@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks: the building-block costs behind AvA's
+//! end-to-end overhead — wire codec, spec compilation, transport
+//! round-trips, policy bookkeeping and remoted call latency.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ava_bench::ava_env;
+use ava_spec::LowerOptions;
+use ava_transport::{CostModel, Transport, TransportKind};
+use ava_wire::{CallMode, CallRequest, Message, Value};
+use ava_workloads::Scale;
+use simcl::ClApi;
+
+fn sample_call(payload: usize) -> Message {
+    Message::Call(CallRequest {
+        call_id: 42,
+        fn_id: 7,
+        mode: CallMode::Sync,
+        args: vec![
+            Value::Handle(3),
+            Value::U64(4096),
+            Value::Bytes(vec![0xabu8; payload].into()),
+        ],
+    })
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for payload in [0usize, 4096] {
+        let msg = sample_call(payload);
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_function(format!("encode_{payload}B"), |b| {
+            b.iter(|| std::hint::black_box(msg.encode()))
+        });
+        let encoded = msg.encode();
+        group.bench_function(format!("decode_{payload}B"), |b| {
+            b.iter(|| Message::decode(std::hint::black_box(encoded.clone())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spec(c: &mut Criterion) {
+    c.bench_function("spec/compile_opencl", |b| {
+        b.iter(|| {
+            ava_core::specs::opencl_descriptor(LowerOptions::default()).unwrap()
+        })
+    });
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_round_trip");
+    group.measurement_time(Duration::from_secs(3));
+    for (name, kind) in [
+        ("inproc", TransportKind::InProcess),
+        ("shmem", TransportKind::SharedMemory),
+        ("tcp", TransportKind::Tcp),
+    ] {
+        let (a, b_end) = ava_transport::pair(kind, CostModel::free()).unwrap();
+        let echo = std::thread::spawn(move || {
+            while let Ok(msg) = b_end.recv() {
+                if b_end.send(&msg).is_err() {
+                    break;
+                }
+            }
+        });
+        let msg = sample_call(64);
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                a.send(&msg).unwrap();
+                a.recv().unwrap();
+            })
+        });
+        a.close();
+        drop(a);
+        let _ = echo.join();
+    }
+    group.finish();
+}
+
+fn bench_remoted_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remoted_call");
+    group.measurement_time(Duration::from_secs(3));
+    // Full-stack round trip with no modelled latency: pure software cost
+    // of marshaling + router + dispatch.
+    let env = ava_env(
+        Scale::Test,
+        LowerOptions::default(),
+        CostModel::free(),
+        TransportKind::SharedMemory,
+    );
+    let platform = env.client.get_platform_ids().unwrap()[0];
+    let device =
+        env.client.get_device_ids(platform, simcl::DeviceType::All).unwrap()[0];
+    let ctx = env.client.create_context(device).unwrap();
+    let queue = env
+        .client
+        .create_command_queue(ctx, device, simcl::QueueProps::default())
+        .unwrap();
+    group.bench_function("clFinish_sync", |b| {
+        b.iter(|| env.client.finish(queue).unwrap())
+    });
+    group.bench_function("clFlush_async", |b| {
+        b.iter(|| env.client.flush(queue).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    c.bench_function("policy/rate_limiter_admit", |b| {
+        let mut rl = ava_hypervisor::RateLimiter::new(1e9, 1000);
+        b.iter(|| std::hint::black_box(rl.try_admit()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_spec,
+    bench_transports,
+    bench_remoted_call,
+    bench_policy
+);
+criterion_main!(benches);

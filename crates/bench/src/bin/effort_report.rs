@@ -1,0 +1,51 @@
+//! §5's developer-effort claims: "a prototype ... to para-virtualize 39
+//! commonly used OpenCL functions", built "in mere developer-days". The
+//! measurable proxy: how many lines a developer writes (the annotation
+//! spec) versus how much stack CAvA generates and the runtime provides.
+
+use ava_cava::{effort_stats, generate_deploy_manifest, generate_guest_stubs, generate_server_dispatch};
+use ava_core::specs;
+use ava_spec::LowerOptions;
+
+fn count_lines(text: &str) -> usize {
+    text.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn main() {
+    println!("# Developer-effort report (§5)");
+    println!();
+    for (api, header, spec_src, desc) in [
+        (
+            "opencl",
+            specs::OPENCL_HEADER,
+            specs::OPENCL_SPEC,
+            specs::opencl_descriptor(LowerOptions::default()).unwrap(),
+        ),
+        (
+            "mvnc",
+            specs::MVNC_HEADER,
+            specs::MVNC_SPEC,
+            specs::mvnc_descriptor(LowerOptions::default()).unwrap(),
+        ),
+    ] {
+        let stats = effort_stats(&desc);
+        let stub_code = generate_guest_stubs(&desc);
+        let dispatch_code = generate_server_dispatch(&desc);
+        let manifest = generate_deploy_manifest(&desc);
+        println!("## API `{api}`");
+        println!("functions forwarded:            {}", stats.functions);
+        println!("  forwarded asynchronously:     {}", stats.async_functions);
+        println!("  recorded for migration:       {}", stats.recorded_functions);
+        println!("unmodified C header lines:      {}", count_lines(header));
+        println!(
+            "developer-written spec lines:   {} (annotations only; header is untouched)",
+            count_lines(spec_src)
+        );
+        println!("generated guest-stub lines:     {}", count_lines(&stub_code));
+        println!("generated server-dispatch:      {}", count_lines(&dispatch_code));
+        println!("generated deploy manifest:      {}", count_lines(&manifest));
+        println!();
+    }
+    println!("# paper: 39 OpenCL functions para-virtualized from scratch in developer-days;");
+    println!("# hand-built comparators: GvirtuS ~25,000 LoC over person-years (§2).");
+}

@@ -1,0 +1,121 @@
+//! Figure 5: end-to-end relative execution time of the benchmark suite,
+//! AvA (shared-memory para-virtual transport) vs native, normalized to
+//! native. The paper reports ≤16 % overhead (8 % average) for the OpenCL
+//! workloads and ~1 % for Inception on the NCS.
+
+use ava_bench::{ava_env_batched, default_model, geomean, row, time_pair_min_ms};
+use ava_core::{mvnc_stack, MvncClient, StackConfig};
+use ava_hypervisor::VmPolicy;
+use ava_spec::LowerOptions;
+use ava_transport::TransportKind;
+use ava_workloads::{opencl_workloads, silo_with_all_kernels, Inception, Scale};
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let scale = Scale::Bench;
+
+    println!("# Figure 5 — end-to-end relative execution time (AvA / native)");
+    println!("# transport: shared-memory ring, paravirtual cost model; reps = {reps}");
+    println!();
+    let widths = [12, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "workload".into(),
+                "native_ms".into(),
+                "ava_ms".into(),
+                "relative".into()
+            ],
+            &widths
+        )
+    );
+
+    let native_cl = silo_with_all_kernels(scale);
+    let env = ava_env_batched(
+        scale,
+        LowerOptions::default(),
+        default_model(),
+        TransportKind::SharedMemory,
+        16,
+    );
+
+    let mut relatives = Vec::new();
+    for wl in opencl_workloads(scale) {
+        let (native_ms, ava_ms) = time_pair_min_ms(
+            reps,
+            || {
+                wl.run(&native_cl).expect("native run");
+            },
+            || {
+                wl.run(&env.client).expect("virtual run");
+            },
+        );
+        let relative = ava_ms / native_ms;
+        relatives.push(relative);
+        println!(
+            "{}",
+            row(
+                &[
+                    wl.name().into(),
+                    format!("{native_ms:.2}"),
+                    format!("{ava_ms:.2}"),
+                    format!("{relative:.3}"),
+                ],
+                &widths
+            )
+        );
+    }
+
+    // Inception on the simulated NCS.
+    let wl = Inception::new(scale);
+    let native_nc = simnc::SimNc::new(1);
+    let stack = mvnc_stack(
+        simnc::SimNc::new(1),
+        StackConfig {
+            transport: TransportKind::SharedMemory,
+            cost_model: default_model(),
+            ..StackConfig::default()
+        },
+    )
+    .expect("mvnc stack");
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm");
+    let client = MvncClient::new(lib);
+    let (native_ms, ava_ms) = time_pair_min_ms(
+        reps,
+        || {
+            wl.run(&native_nc).expect("native inception");
+        },
+        || {
+            wl.run(&client).expect("virtual inception");
+        },
+    );
+    let inception_rel = ava_ms / native_ms;
+    println!(
+        "{}",
+        row(
+            &[
+                "inception".into(),
+                format!("{native_ms:.2}"),
+                format!("{ava_ms:.2}"),
+                format!("{inception_rel:.3}"),
+            ],
+            &widths
+        )
+    );
+
+    println!();
+    let max = relatives.iter().copied().fold(f64::MIN, f64::max);
+    println!(
+        "# OpenCL: geomean relative {:.3} (avg overhead {:.1} %), max {:.3} ({:.1} %)",
+        geomean(&relatives),
+        (geomean(&relatives) - 1.0) * 100.0,
+        max,
+        (max - 1.0) * 100.0
+    );
+    println!("# NCS (inception): relative {:.3} ({:.1} %)", inception_rel, (inception_rel - 1.0) * 100.0);
+    println!("# paper: <=16 % overhead, 8 % average (OpenCL); ~1 % (NCS)");
+}

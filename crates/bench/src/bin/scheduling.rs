@@ -1,0 +1,96 @@
+//! Extension experiment Ext-S: the router's resource-management policies
+//! (§4.3) — cross-VM fair sharing by estimated device time, and command
+//! rate-limiting.
+
+use std::sync::Arc;
+
+use ava_core::{opencl_stack_with, OpenClClient, StackConfig};
+use ava_hypervisor::{SchedulerKind, VmPolicy};
+use ava_spec::LowerOptions;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{opencl_workloads, silo_with_all_kernels, ClWorkload, Scale};
+
+fn contend(
+    scheduler: SchedulerKind,
+    policy_a: VmPolicy,
+    policy_b: VmPolicy,
+    label: &str,
+) {
+    let config = StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::paravirtual(),
+        scheduler,
+        ..StackConfig::default()
+    };
+    let stack =
+        Arc::new(opencl_stack_with(silo_with_all_kernels(Scale::Bench), config, LowerOptions::default()).unwrap());
+    let (vm_a, lib_a) = stack.attach_vm(policy_a).unwrap();
+    let (vm_b, lib_b) = stack.attach_vm(policy_b).unwrap();
+
+    // Both VMs hammer the device with the same kernel-heavy workload.
+    let run = |lib| {
+        let client = OpenClClient::new(lib);
+        let wl = opencl_workloads(Scale::Bench)
+            .into_iter()
+            .find(|w: &Box<dyn ClWorkload>| w.name() == "gaussian")
+            .expect("gaussian exists");
+        let start = std::time::Instant::now();
+        wl.run(&client).expect("contending run");
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let sa = Arc::clone(&stack);
+    let ta = std::thread::spawn(move || {
+        let _ = &sa;
+        run(lib_a)
+    });
+    let sb = Arc::clone(&stack);
+    let tb = std::thread::spawn(move || {
+        let _ = &sb;
+        run(lib_b)
+    });
+    let ms_a = ta.join().unwrap();
+    let ms_b = tb.join().unwrap();
+
+    let stats_a = stack.vm_router_stats(vm_a).unwrap();
+    let stats_b = stack.vm_router_stats(vm_b).unwrap();
+    println!("## {label}");
+    println!(
+        "  vm A: {:8.1} ms   forwarded {:6}   est device time {:9.0} us",
+        ms_a, stats_a.forwarded, stats_a.est_device_time_us
+    );
+    println!(
+        "  vm B: {:8.1} ms   forwarded {:6}   est device time {:9.0} us",
+        ms_b, stats_b.forwarded, stats_b.est_device_time_us
+    );
+    println!();
+}
+
+fn main() {
+    println!("# Scheduling & rate limiting (Ext-S, §4.3)");
+    println!("# two VMs run the gaussian workload concurrently on one device");
+    println!();
+    contend(
+        SchedulerKind::Fifo,
+        VmPolicy::default(),
+        VmPolicy::default(),
+        "FIFO, equal policies (baseline)",
+    );
+    contend(
+        SchedulerKind::FairShare,
+        VmPolicy::with_weight(1),
+        VmPolicy::with_weight(1),
+        "fair share, equal weights (should match baseline closely)",
+    );
+    contend(
+        SchedulerKind::FairShare,
+        VmPolicy::with_weight(4),
+        VmPolicy::with_weight(1),
+        "fair share, A weighted 4x (A should finish first)",
+    );
+    contend(
+        SchedulerKind::Fifo,
+        VmPolicy::default(),
+        VmPolicy::with_rate_limit(2000.0, 64),
+        "FIFO, B rate-limited to 2000 calls/s (B should slow, A should not)",
+    );
+}

@@ -1,0 +1,8 @@
+//! The "generated API servers": per-API handlers binding the generic
+//! server runtime to the native silos.
+
+pub mod mvnc;
+pub mod opencl;
+
+pub use mvnc::MvncHandler;
+pub use opencl::OpenClHandler;

@@ -1,0 +1,8 @@
+//! The "generated guest libraries": typed remoting clients implementing
+//! the same API traits as the native silos.
+
+pub mod mvnc;
+pub mod opencl;
+
+pub use mvnc::MvncClient;
+pub use opencl::OpenClClient;

@@ -1,0 +1,123 @@
+//! The bundled API specifications.
+//!
+//! The OpenCL and NCSDK headers live in `specs/` at the repository root,
+//! together with their CAvA annotation files; this module embeds them and
+//! compiles them to runtime descriptors. These are the inputs a developer
+//! would hand to CAvA (Figure 2's workflow).
+
+use std::sync::Arc;
+
+use ava_spec::{
+    compile_spec, ApiDescriptor, LowerOptions, MapResolver, Result,
+};
+
+/// The unmodified OpenCL subset header (`specs/CL/cl.h`).
+pub const OPENCL_HEADER: &str = include_str!("../../../specs/CL/cl.h");
+
+/// The refined CAvA specification for OpenCL (`specs/CL/opencl.avaspec`).
+pub const OPENCL_SPEC: &str = include_str!("../../../specs/CL/opencl.avaspec");
+
+/// The unmodified NCSDK subset header (`specs/mvnc/mvnc.h`).
+pub const MVNC_HEADER: &str = include_str!("../../../specs/mvnc/mvnc.h");
+
+/// The refined CAvA specification for the NCSDK (`specs/mvnc/mvnc.avaspec`).
+pub const MVNC_SPEC: &str = include_str!("../../../specs/mvnc/mvnc.avaspec");
+
+/// Header resolver covering both bundled APIs.
+pub fn resolver() -> MapResolver {
+    MapResolver::new()
+        .with("CL/cl.h", OPENCL_HEADER)
+        .with("mvnc/mvnc.h", MVNC_HEADER)
+}
+
+/// Compiles the OpenCL specification to a descriptor.
+pub fn opencl_descriptor(opts: LowerOptions) -> Result<Arc<ApiDescriptor>> {
+    compile_spec(OPENCL_SPEC, &resolver(), opts).map(Arc::new)
+}
+
+/// Compiles the NCSDK specification to a descriptor.
+pub fn mvnc_descriptor(opts: LowerOptions) -> Result<Arc<ApiDescriptor>> {
+    compile_spec(MVNC_SPEC, &resolver(), opts).map(Arc::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_spec::SyncPolicy;
+
+    #[test]
+    fn opencl_spec_compiles() {
+        let desc = opencl_descriptor(LowerOptions::default()).unwrap();
+        assert_eq!(desc.api_name, "opencl");
+        assert!(
+            desc.functions.len() >= 39,
+            "paper virtualized 39 functions; subset has {}",
+            desc.functions.len()
+        );
+    }
+
+    #[test]
+    fn mvnc_spec_compiles() {
+        let desc = mvnc_descriptor(LowerOptions::default()).unwrap();
+        assert_eq!(desc.api_name, "mvnc");
+        assert_eq!(desc.functions.len(), 11);
+    }
+
+    #[test]
+    fn enqueue_read_buffer_matches_figure4() {
+        let desc = opencl_descriptor(LowerOptions::default()).unwrap();
+        let f = desc.by_name("clEnqueueReadBuffer").unwrap();
+        assert!(matches!(f.sync, SyncPolicy::SyncIf(_)));
+        assert_eq!(f.params.len(), 9);
+    }
+
+    #[test]
+    fn async_annotations_disappear_without_optimization() {
+        let off = opencl_descriptor(LowerOptions {
+            enable_async: false,
+            ..LowerOptions::default()
+        })
+        .unwrap();
+        for f in &off.functions {
+            assert!(
+                matches!(f.sync, SyncPolicy::Sync),
+                "`{}` must lower sync in the unoptimized spec",
+                f.name
+            );
+        }
+        let on = opencl_descriptor(LowerOptions::default()).unwrap();
+        let async_count = on
+            .functions
+            .iter()
+            .filter(|f| !matches!(f.sync, SyncPolicy::Sync))
+            .count();
+        assert!(async_count >= 10, "only {async_count} async functions");
+    }
+
+    #[test]
+    fn record_categories_cover_migration_surface() {
+        use ava_spec::RecordCategory;
+        let desc = opencl_descriptor(LowerOptions::default()).unwrap();
+        let allocs = desc
+            .functions
+            .iter()
+            .filter(|f| f.record == Some(RecordCategory::Alloc))
+            .count();
+        let deallocs = desc
+            .functions
+            .iter()
+            .filter(|f| f.record == Some(RecordCategory::Dealloc))
+            .count();
+        assert!(allocs >= 6, "{allocs} alloc-recorded functions");
+        assert!(deallocs >= 6, "{deallocs} dealloc-recorded functions");
+    }
+
+    #[test]
+    fn resource_annotations_present() {
+        let desc = opencl_descriptor(LowerOptions::default()).unwrap();
+        let f = desc.by_name("clCreateBuffer").unwrap();
+        assert!(f.resources.iter().any(|r| r.resource == "device_mem"));
+        let f = desc.by_name("clEnqueueNDRangeKernel").unwrap();
+        assert!(f.resources.iter().any(|r| r.resource == "device_time_us"));
+    }
+}

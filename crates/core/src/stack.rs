@@ -1,0 +1,273 @@
+//! The assembled AvA stack: hypervisor + router + per-VM guest libraries
+//! and API servers, wired over a chosen transport.
+//!
+//! [`ApiStack`] is API-agnostic: it is parameterized by a descriptor and a
+//! handler factory (one fresh handler per VM, preserving the paper's
+//! process-level isolation between guests). The OpenCL and MVNC
+//! convenience constructors live in the crate root.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ava_guest::{GuestConfig, GuestLibrary};
+use ava_hypervisor::{Hypervisor, HypervisorError, SchedulerKind, VmPolicy, VmStats};
+use ava_server::{ApiHandler, ApiServer, MigrationImage, ServerStats};
+use ava_spec::ApiDescriptor;
+use ava_transport::{CostModel, Transport, TransportError, TransportKind};
+use ava_wire::VmId;
+use parking_lot::Mutex;
+
+/// Stack-level errors.
+#[derive(Debug)]
+pub enum StackError {
+    /// Hypervisor/router failure.
+    Hypervisor(HypervisorError),
+    /// Transport construction failure.
+    Transport(TransportError),
+    /// Server-side failure (e.g. during migration restore).
+    Server(ava_server::ServerError),
+    /// The VM id is unknown to this stack.
+    UnknownVm(VmId),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hypervisor(e) => write!(f, "hypervisor: {e}"),
+            Self::Transport(e) => write!(f, "transport: {e}"),
+            Self::Server(e) => write!(f, "server: {e}"),
+            Self::UnknownVm(id) => write!(f, "unknown VM {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+impl From<HypervisorError> for StackError {
+    fn from(e: HypervisorError) -> Self {
+        StackError::Hypervisor(e)
+    }
+}
+
+impl From<ava_server::ServerError> for StackError {
+    fn from(e: ava_server::ServerError) -> Self {
+        StackError::Server(e)
+    }
+}
+
+/// Result alias for stack operations.
+pub type Result<T> = std::result::Result<T, StackError>;
+
+/// Stack configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    /// Guest↔hypervisor transport kind.
+    pub transport: TransportKind,
+    /// Cost model for the guest↔hypervisor transport.
+    pub cost_model: CostModel,
+    /// Cross-VM scheduler in the router.
+    pub scheduler: SchedulerKind,
+    /// Guest-library behaviour (batching).
+    pub guest: GuestConfig,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            transport: TransportKind::SharedMemory,
+            cost_model: CostModel::paravirtual(),
+            scheduler: SchedulerKind::Fifo,
+            guest: GuestConfig::default(),
+        }
+    }
+}
+
+/// Per-VM host-side runtime: the serving thread plus shared server state.
+struct VmRuntime {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    server: Arc<Mutex<ApiServer>>,
+    transport: Arc<dyn Transport>,
+}
+
+impl VmRuntime {
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn spawn(&mut self) {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.stop = Arc::clone(&stop);
+        let server = Arc::clone(&self.server);
+        let transport = Arc::clone(&self.transport);
+        self.thread = Some(
+            std::thread::Builder::new()
+                .name("ava-api-server".into())
+                .spawn(move ||
+
+ serve_loop(&server, transport.as_ref(), &stop))
+                .expect("spawn API server thread"),
+        );
+    }
+}
+
+/// Serves one VM's calls until stop/shutdown (lock taken per message so
+/// stats and migration can observe the server from other threads). On stop
+/// the already-delivered backlog is drained first so migration never loses
+/// in-flight calls.
+fn serve_loop(server: &Mutex<ApiServer>, transport: &dyn Transport, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            while let Ok(Some(msg)) = transport.try_recv() {
+                if server.lock().serve_one(transport, msg).is_err() {
+                    break;
+                }
+            }
+            return;
+        }
+        match transport.recv_timeout(Duration::from_millis(2)) {
+            Ok(Some(msg)) => {
+                if server.lock().serve_one(transport, msg).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// An assembled AvA stack for one API.
+pub struct ApiStack {
+    hypervisor: Hypervisor,
+    descriptor: Arc<ApiDescriptor>,
+    config: StackConfig,
+    handler_factory: Box<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
+    vms: Mutex<HashMap<VmId, VmRuntime>>,
+}
+
+impl ApiStack {
+    /// Builds a stack for `descriptor`; `handler_factory` produces one
+    /// fresh API handler per attached VM.
+    pub fn new<F>(descriptor: Arc<ApiDescriptor>, handler_factory: F, config: StackConfig) -> Self
+    where
+        F: Fn() -> Box<dyn ApiHandler> + Send + Sync + 'static,
+    {
+        let hypervisor = Hypervisor::new(config.scheduler, Some(Arc::clone(&descriptor)));
+        ApiStack {
+            hypervisor,
+            descriptor,
+            config,
+            handler_factory: Box::new(handler_factory),
+            vms: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The API descriptor this stack serves.
+    pub fn descriptor(&self) -> &Arc<ApiDescriptor> {
+        &self.descriptor
+    }
+
+    /// The hypervisor (for pause/resume/stats).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hypervisor
+    }
+
+    /// Boots a VM: attaches it to the router, starts its API server, and
+    /// returns the guest library its applications link against.
+    pub fn attach_vm(&self, policy: VmPolicy) -> Result<(VmId, Arc<GuestLibrary>)> {
+        let conn = self
+            .hypervisor
+            .add_vm(policy, self.config.transport, self.config.cost_model)?;
+        let server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        let mut runtime = VmRuntime {
+            stop: Arc::new(AtomicBool::new(true)),
+            thread: None,
+            server: Arc::new(Mutex::new(server)),
+            transport: Arc::from(conn.server),
+        };
+        runtime.spawn();
+        self.vms.lock().insert(conn.vm_id, runtime);
+        let lib = Arc::new(GuestLibrary::new(
+            Arc::clone(&self.descriptor),
+            conn.guest,
+            self.config.guest,
+        ));
+        Ok((conn.vm_id, lib))
+    }
+
+    /// Router-side statistics for a VM.
+    pub fn vm_router_stats(&self, vm: VmId) -> Result<VmStats> {
+        Ok(self.hypervisor.vm_stats(vm)?)
+    }
+
+    /// Server-side statistics for a VM.
+    pub fn vm_server_stats(&self, vm: VmId) -> Result<ServerStats> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        let stats = runtime.server.lock().stats();
+        Ok(stats)
+    }
+
+    /// Estimated live device memory held by a VM's server.
+    pub fn vm_live_device_mem(&self, vm: VmId) -> Result<u64> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        let mem = runtime.server.lock().live_device_mem();
+        Ok(mem)
+    }
+
+    /// Detaches a VM and stops its server.
+    pub fn detach_vm(&self, vm: VmId) -> Result<()> {
+        let mut vms = self.vms.lock();
+        let mut runtime = vms.remove(&vm).ok_or(StackError::UnknownVm(vm))?;
+        runtime.halt();
+        self.hypervisor.remove_vm(vm)?;
+        Ok(())
+    }
+
+    /// Migrates a VM's API state to a new host backend (§4.3): pause,
+    /// quiesce, snapshot, free source device resources, replay onto a
+    /// fresh handler, restore payloads, resume. The guest's transport and
+    /// wire handles survive unchanged.
+    pub fn migrate_vm<F>(&self, vm: VmId, target_handler: F) -> Result<MigrationImage>
+    where
+        F: FnOnce() -> Box<dyn ApiHandler>,
+    {
+        self.hypervisor.pause_vm(vm)?;
+        self.hypervisor.wait_quiescent(vm, Duration::from_secs(30))?;
+
+        let mut vms = self.vms.lock();
+        let runtime = vms.get_mut(&vm).ok_or(StackError::UnknownVm(vm))?;
+        runtime.halt();
+
+        let image = {
+            let mut server = runtime.server.lock();
+            let image = server.snapshot();
+            server.teardown();
+            image
+        };
+
+        let restored =
+            ApiServer::restore(Arc::clone(&self.descriptor), target_handler(), &image)?;
+        runtime.server = Arc::new(Mutex::new(restored));
+        runtime.spawn();
+        drop(vms);
+
+        self.hypervisor.resume_vm(vm)?;
+        Ok(image)
+    }
+}
+
+impl Drop for ApiStack {
+    fn drop(&mut self) {
+        for (_, runtime) in self.vms.lock().iter_mut() {
+            runtime.halt();
+        }
+    }
+}

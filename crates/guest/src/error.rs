@@ -1,0 +1,32 @@
+//! Guest-side errors.
+
+use std::fmt;
+
+/// Error raised by the guest library runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuestError {
+    /// Function name is not in the descriptor.
+    UnknownFunction(String),
+    /// Argument count/shape/size verification failed locally.
+    BadArgument(String),
+    /// The transport failed.
+    Transport(String),
+    /// The router rejected the call by policy.
+    PolicyRejected,
+    /// The server could not execute the call (marshaling mismatch).
+    Protocol(String),
+}
+
+impl fmt::Display for GuestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFunction(name) => write!(f, "unknown API function `{name}`"),
+            Self::BadArgument(m) => write!(f, "bad argument: {m}"),
+            Self::Transport(m) => write!(f, "transport failure: {m}"),
+            Self::PolicyRejected => write!(f, "call rejected by hypervisor policy"),
+            Self::Protocol(m) => write!(f, "protocol failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GuestError {}

@@ -1,0 +1,370 @@
+//! `ava-hypervisor` — simulated VMs and the hypervisor-resident router.
+//!
+//! AvA forwards API calls over hypervisor-managed transport so the
+//! hypervisor can "monitor and control all device accesses and collaborate
+//! with the CPU scheduler" (§3). This crate provides:
+//!
+//! * [`Hypervisor`] — owns the router thread; VMs attach to it and receive
+//!   a guest-side transport (to link into the guest library) plus a
+//!   host-side transport (to hand to the per-VM API server);
+//! * [`router`] — the interposition point: verification, rate limiting,
+//!   cross-VM scheduling, accounting, pause/resume for migration;
+//! * [`policy`] — token-bucket rate limiter, scheduler kinds, per-VM
+//!   policies.
+
+pub mod policy;
+pub mod router;
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ava_spec::ApiDescriptor;
+use ava_transport::{BoxedTransport, CostModel, TransportKind};
+use ava_wire::VmId;
+use crossbeam::channel::{unbounded, Sender};
+
+pub use policy::{RateLimiter, SchedulerKind, VmPolicy};
+pub use router::{RouterConfig, VmStats};
+
+use router::RouterCmd;
+
+/// Error type for hypervisor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypervisorError {
+    /// The router thread has stopped.
+    RouterGone,
+    /// Transport construction failed.
+    Transport(String),
+    /// The VM id is unknown.
+    UnknownVm(VmId),
+    /// Timed out waiting for a condition (e.g. quiescence before
+    /// migration).
+    Timeout,
+}
+
+impl std::fmt::Display for HypervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RouterGone => write!(f, "router thread is gone"),
+            Self::Transport(m) => write!(f, "transport error: {m}"),
+            Self::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            Self::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for HypervisorError {}
+
+/// What a newly attached VM receives.
+pub struct VmConnection {
+    /// The VM's identifier.
+    pub vm_id: VmId,
+    /// Guest-side endpoint: link this into the guest library.
+    pub guest: BoxedTransport,
+    /// Host-side endpoint: hand this to the VM's API server.
+    pub server: BoxedTransport,
+}
+
+/// The simulated hypervisor: owns the router thread.
+pub struct Hypervisor {
+    cmd_tx: Sender<RouterCmd>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    next_vm: AtomicU32,
+}
+
+impl Hypervisor {
+    /// Starts a hypervisor with the given scheduler and API descriptor
+    /// (used for cost estimation and call verification).
+    pub fn new(scheduler: SchedulerKind, descriptor: Option<Arc<ApiDescriptor>>) -> Self {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let config = RouterConfig { scheduler, descriptor, ..RouterConfig::default() };
+        let handle = std::thread::Builder::new()
+            .name("ava-router".into())
+            .spawn(move || router::run_router(config, cmd_rx))
+            .expect("spawn router thread");
+        Hypervisor {
+            cmd_tx,
+            handle: Some(handle),
+            next_vm: AtomicU32::new(1),
+        }
+    }
+
+    /// Attaches a VM using `kind` as the guest↔hypervisor transport with
+    /// cost model `model`; the router↔server hop is an in-process channel
+    /// (both live on the host).
+    pub fn add_vm(
+        &self,
+        policy: VmPolicy,
+        kind: TransportKind,
+        model: CostModel,
+    ) -> Result<VmConnection, HypervisorError> {
+        let vm_id = self.next_vm.fetch_add(1, Ordering::Relaxed);
+        let (guest_end, router_guest_end) = ava_transport::pair(kind, model)
+            .map_err(|e| HypervisorError::Transport(e.to_string()))?;
+        let (router_server_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free())
+                .map_err(|e| HypervisorError::Transport(e.to_string()))?;
+        self.cmd_tx
+            .send(RouterCmd::AddVm {
+                vm_id,
+                guest: router_guest_end,
+                server: router_server_end,
+                policy,
+            })
+            .map_err(|_| HypervisorError::RouterGone)?;
+        Ok(VmConnection { vm_id, guest: guest_end, server: server_end })
+    }
+
+    /// Pauses guest→server forwarding for a VM (used before migration).
+    pub fn pause_vm(&self, vm_id: VmId) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::Pause(vm_id))
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
+    /// Resumes a paused VM.
+    pub fn resume_vm(&self, vm_id: VmId) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::Resume(vm_id))
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
+    /// Detaches a VM.
+    pub fn remove_vm(&self, vm_id: VmId) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::Remove(vm_id))
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
+    /// Snapshot of a VM's router statistics.
+    pub fn vm_stats(&self, vm_id: VmId) -> Result<VmStats, HypervisorError> {
+        let (tx, rx) = unbounded();
+        self.cmd_tx
+            .send(RouterCmd::Stats(vm_id, tx))
+            .map_err(|_| HypervisorError::RouterGone)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| HypervisorError::RouterGone)?
+            .ok_or(HypervisorError::UnknownVm(vm_id))
+    }
+
+    /// Waits until a paused VM has no outstanding forwarded calls — the
+    /// quiescence point at which the server's state can be snapshotted for
+    /// migration (§4.3).
+    pub fn wait_quiescent(
+        &self,
+        vm_id: VmId,
+        timeout: Duration,
+    ) -> Result<(), HypervisorError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let stats = self.vm_stats(vm_id)?;
+            if stats.outstanding == 0 {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(HypervisorError::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl Drop for Hypervisor {
+    fn drop(&mut self) {
+        let _ = self.cmd_tx.send(RouterCmd::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_wire::{CallMode, CallRequest, CallReply, ControlMessage, Message, ReplyStatus, Value};
+
+    fn call(id: u64) -> Message {
+        Message::Call(CallRequest {
+            call_id: id,
+            fn_id: 0,
+            mode: CallMode::Sync,
+            args: vec![Value::U32(1)],
+        })
+    }
+
+    /// Echo server: answers every call with an Ok reply carrying the id.
+    fn spawn_echo(server: BoxedTransport) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(msg) = server.recv() {
+                match msg {
+                    Message::Call(req) => {
+                        let reply = CallReply {
+                            call_id: req.call_id,
+                            status: ReplyStatus::Ok,
+                            ret: Value::I32(0),
+                            outputs: vec![],
+                        };
+                        if server.send(&Message::Reply(reply)).is_err() {
+                            break;
+                        }
+                    }
+                    Message::Control(ControlMessage::Shutdown) => break,
+                    _ => {}
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn calls_flow_guest_to_server_and_back() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        for i in 0..50 {
+            conn.guest.send(&call(i)).unwrap();
+        }
+        for i in 0..50 {
+            match conn.guest.recv().unwrap() {
+                Message::Reply(rep) => {
+                    assert_eq!(rep.call_id, i);
+                    assert_eq!(rep.status, ReplyStatus::Ok);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.forwarded, 50);
+        assert_eq!(stats.replies, 50);
+        assert_eq!(stats.outstanding, 0);
+        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn router_answers_pings_itself() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        conn.guest.send(&Message::Control(ControlMessage::Ping(77))).unwrap();
+        match conn.guest.recv().unwrap() {
+            Message::Control(ControlMessage::Pong(v)) => assert_eq!(v, 77),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pause_holds_calls_and_resume_releases_them() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        hv.pause_vm(conn.vm_id).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        conn.guest.send(&call(1)).unwrap();
+        assert_eq!(
+            conn.guest.recv_timeout(Duration::from_millis(50)).unwrap(),
+            None,
+            "call must be held while paused"
+        );
+        hv.resume_vm(conn.vm_id).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => assert_eq!(rep.call_id, 1),
+            other => panic!("{other:?}"),
+        }
+        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn rate_limit_delays_but_delivers() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        // 100 calls/s, burst 1: 10 calls should take >= ~90 ms.
+        let conn = hv
+            .add_vm(
+                VmPolicy::with_rate_limit(100.0, 1),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        let start = Instant::now();
+        for i in 0..10 {
+            conn.guest.send(&call(i)).unwrap();
+        }
+        for _ in 0..10 {
+            match conn.guest.recv().unwrap() {
+                Message::Reply(_) => {}
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "rate limiting too weak: {:?}",
+            start.elapsed()
+        );
+        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn wait_quiescent_observes_outstanding_drain() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        for i in 0..20 {
+            conn.guest.send(&call(i)).unwrap();
+        }
+        hv.pause_vm(conn.vm_id).unwrap();
+        hv.wait_quiescent(conn.vm_id, Duration::from_secs(5)).unwrap();
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.outstanding, 0);
+        // Calls not yet forwarded stay queued while paused; resume and
+        // drain everything.
+        hv.resume_vm(conn.vm_id).unwrap();
+        let mut got = 0;
+        while got < 20 {
+            match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(Message::Reply(_)) => got += 1,
+                Some(other) => panic!("{other:?}"),
+                None => panic!("timed out after {got} replies"),
+            }
+        }
+        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_vm_stats_error() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        assert_eq!(hv.vm_stats(999), Err(HypervisorError::UnknownVm(999)));
+    }
+
+    #[test]
+    fn two_vms_are_independent_lanes() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let a = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        let b = hv
+            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .unwrap();
+        assert_ne!(a.vm_id, b.vm_id);
+        let ea = spawn_echo(a.server);
+        let eb = spawn_echo(b.server);
+        a.guest.send(&call(1)).unwrap();
+        b.guest.send(&call(2)).unwrap();
+        assert!(matches!(a.guest.recv().unwrap(), Message::Reply(r) if r.call_id == 1));
+        assert!(matches!(b.guest.recv().unwrap(), Message::Reply(r) if r.call_id == 2));
+        a.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        b.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        ea.join().unwrap();
+        eb.join().unwrap();
+    }
+}

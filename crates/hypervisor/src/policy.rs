@@ -1,0 +1,169 @@
+//! Per-VM resource policies: rate limiting and scheduling weights (§4.3).
+
+use std::time::{Duration, Instant};
+
+/// Token-bucket rate limiter over forwarded API calls.
+///
+/// This is the baseline enforcement the paper says even an unrefined
+/// specification gets ("command rate-limiting", §3).
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl RateLimiter {
+    /// A limiter allowing `calls_per_sec` sustained, with a burst of
+    /// `burst` calls.
+    pub fn new(calls_per_sec: f64, burst: u32) -> Self {
+        RateLimiter {
+            capacity: f64::from(burst).max(1.0),
+            tokens: f64::from(burst).max(1.0),
+            refill_per_sec: calls_per_sec.max(0.0),
+            last: Instant::now(),
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        self.last = now;
+    }
+
+    /// Attempts to admit one call now; returns false when rate-limited.
+    pub fn try_admit(&mut self) -> bool {
+        self.try_admit_at(Instant::now())
+    }
+
+    /// Deterministic variant for tests.
+    pub fn try_admit_at(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until the next token becomes available (zero if one is ready).
+    pub fn next_ready_in(&mut self, now: Instant) -> Duration {
+        self.refill(now);
+        if self.tokens >= 1.0 || self.refill_per_sec <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64((1.0 - self.tokens) / self.refill_per_sec)
+    }
+}
+
+/// Scheduling algorithm the router applies across VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Forward in arrival order.
+    #[default]
+    Fifo,
+    /// Pick the VM with the least weighted estimated device time.
+    FairShare,
+    /// Strict priority (higher `VmPolicy::priority` first), FIFO within.
+    Priority,
+}
+
+/// Per-VM policy configuration.
+#[derive(Debug, Clone)]
+pub struct VmPolicy {
+    /// Sustained call-rate limit, if any.
+    pub rate_limit: Option<RateLimiter>,
+    /// Fair-share weight (higher = entitled to more device time).
+    pub weight: u32,
+    /// Priority level for [`SchedulerKind::Priority`].
+    pub priority: u8,
+    /// Device-memory quota in bytes, if enforced.
+    pub device_mem_quota: Option<u64>,
+}
+
+impl Default for VmPolicy {
+    fn default() -> Self {
+        VmPolicy {
+            rate_limit: None,
+            weight: 1,
+            priority: 0,
+            device_mem_quota: None,
+        }
+    }
+}
+
+impl VmPolicy {
+    /// Policy with a call-rate limit.
+    pub fn with_rate_limit(calls_per_sec: f64, burst: u32) -> Self {
+        VmPolicy {
+            rate_limit: Some(RateLimiter::new(calls_per_sec, burst)),
+            ..Default::default()
+        }
+    }
+
+    /// Policy with a fair-share weight.
+    pub fn with_weight(weight: u32) -> Self {
+        VmPolicy { weight: weight.max(1), ..Default::default() }
+    }
+
+    /// Policy with a priority level.
+    pub fn with_priority(priority: u8) -> Self {
+        VmPolicy { priority, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_burst_then_throttles() {
+        let start = Instant::now();
+        let mut rl = RateLimiter::new(10.0, 3);
+        assert!(rl.try_admit_at(start));
+        assert!(rl.try_admit_at(start));
+        assert!(rl.try_admit_at(start));
+        assert!(!rl.try_admit_at(start));
+        // After 100 ms one token refills at 10/s.
+        assert!(rl.try_admit_at(start + Duration::from_millis(110)));
+        assert!(!rl.try_admit_at(start + Duration::from_millis(115)));
+    }
+
+    #[test]
+    fn bucket_caps_at_capacity() {
+        let start = Instant::now();
+        let mut rl = RateLimiter::new(1000.0, 2);
+        // A long idle period must not accumulate more than `burst` tokens.
+        let later = start + Duration::from_secs(10);
+        assert!(rl.try_admit_at(later));
+        assert!(rl.try_admit_at(later));
+        assert!(!rl.try_admit_at(later));
+    }
+
+    #[test]
+    fn next_ready_estimates_wait() {
+        let start = Instant::now();
+        let mut rl = RateLimiter::new(10.0, 1);
+        assert!(rl.try_admit_at(start));
+        let wait = rl.next_ready_in(start);
+        assert!(wait > Duration::from_millis(50) && wait <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let start = Instant::now();
+        let mut rl = RateLimiter::new(0.0, 1);
+        assert!(rl.try_admit_at(start));
+        assert!(!rl.try_admit_at(start + Duration::from_secs(60)));
+        assert_eq!(rl.next_ready_in(start + Duration::from_secs(60)), Duration::ZERO);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert!(VmPolicy::with_rate_limit(5.0, 2).rate_limit.is_some());
+        assert_eq!(VmPolicy::with_weight(0).weight, 1);
+        assert_eq!(VmPolicy::with_priority(9).priority, 9);
+    }
+}

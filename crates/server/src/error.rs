@@ -1,0 +1,42 @@
+//! API-server errors.
+
+use std::fmt;
+
+/// A transport-level dispatch failure (API-level errors travel inside the
+/// call's own status return instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The function id is not in the descriptor.
+    UnknownFunction(u32),
+    /// Argument count or shape does not match the descriptor.
+    BadArguments(String),
+    /// A wire handle has no table entry.
+    BadHandle(u64),
+    /// A size/condition expression failed to evaluate.
+    Expr(String),
+    /// The handler rejected the call.
+    Handler(String),
+    /// Record/replay state is inconsistent (migration bug or corrupt image).
+    Replay(String),
+    /// Swap-in/out failed.
+    Swap(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownFunction(id) => write!(f, "unknown function id {id}"),
+            Self::BadArguments(m) => write!(f, "bad arguments: {m}"),
+            Self::BadHandle(h) => write!(f, "unknown handle {h:#x}"),
+            Self::Expr(m) => write!(f, "expression error: {m}"),
+            Self::Handler(m) => write!(f, "handler error: {m}"),
+            Self::Replay(m) => write!(f, "replay error: {m}"),
+            Self::Swap(m) => write!(f, "swap error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Result alias for server operations.
+pub type Result<T> = std::result::Result<T, ServerError>;

@@ -1,0 +1,377 @@
+//! `ava-server` — the API-agnostic server runtime of AvA (Figure 3's "API
+//! server", §4.1).
+//!
+//! A per-VM [`ApiServer`] executes forwarded API calls on behalf of a
+//! guest application. The runtime is fully descriptor-driven; the
+//! API-specific part is a CAvA-generated [`ApiHandler`] that binds to the
+//! real silo. On top of plain dispatch the runtime implements the §4.3
+//! resource-management machinery:
+//!
+//! * **handle translation** — guests only ever see server-minted wire
+//!   handles;
+//! * **object tracking** — calls annotated `record(...)` are logged;
+//! * **VM migration** — snapshot (records + buffer payloads) and restore
+//!   by replay on another host;
+//! * **buffer-granularity memory swapping** — on device OOM, evict the
+//!   LRU tracked buffer to host memory and transparently restore it on
+//!   next use.
+
+pub mod error;
+pub mod handler;
+pub mod handles;
+pub mod record;
+pub mod server;
+
+pub use error::{Result, ServerError};
+pub use handler::{ApiHandler, HandlerOutput};
+pub use handles::{HandleEntry, HandleState, HandleTable};
+pub use record::{MigrationImage, RecordLog, RecordedCall};
+pub use server::{ApiServer, ServerStats};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use ava_spec::{
+        compile_spec, ApiDescriptor, FunctionDesc, LowerOptions, MapResolver,
+    };
+    use ava_wire::{CallMode, CallRequest, ReplyStatus, Value};
+
+    use super::*;
+
+    /// A toy "device" with named objects, used to exercise the runtime
+    /// without pulling in a real silo.
+    struct ToyHandler {
+        next_silo: u64,
+        /// silo handle → (capacity, contents)
+        objects: HashMap<u64, Vec<u8>>,
+        /// Simulated device capacity in bytes.
+        capacity: usize,
+        fail_next_alloc_with_oom: bool,
+    }
+
+    impl ToyHandler {
+        fn new(capacity: usize) -> Self {
+            ToyHandler {
+                next_silo: 1,
+                objects: HashMap::new(),
+                capacity,
+                fail_next_alloc_with_oom: false,
+            }
+        }
+
+        fn used(&self) -> usize {
+            self.objects.values().map(Vec::len).sum()
+        }
+    }
+
+    impl ApiHandler for ToyHandler {
+        fn dispatch(&mut self, func: &FunctionDesc, args: &[Value]) -> Result<HandlerOutput> {
+            match func.name.as_str() {
+                "toy_init" => Ok(HandlerOutput::ret(Value::I32(0))),
+                "toy_create" => {
+                    let size = args[0].as_u64().unwrap_or(0) as usize;
+                    if self.fail_next_alloc_with_oom {
+                        self.fail_next_alloc_with_oom = false;
+                        return Ok(HandlerOutput::ret(Value::Null));
+                    }
+                    if self.used() + size > self.capacity {
+                        return Ok(HandlerOutput::ret(Value::Null)); // device OOM
+                    }
+                    let silo = self.next_silo;
+                    self.next_silo += 1;
+                    self.objects.insert(silo, vec![0; size]);
+                    Ok(HandlerOutput::ret(Value::Handle(silo)))
+                }
+                "toy_write" => {
+                    let silo = args[0].as_handle().expect("handle arg");
+                    let data = args[1].as_bytes().expect("bytes arg").to_vec();
+                    let obj = self
+                        .objects
+                        .get_mut(&silo)
+                        .ok_or(ServerError::BadHandle(silo))?;
+                    let n = data.len().min(obj.len());
+                    obj[..n].copy_from_slice(&data[..n]);
+                    Ok(HandlerOutput::ret(Value::I32(0)))
+                }
+                "toy_read" => {
+                    let silo = args[0].as_handle().expect("handle arg");
+                    let len = args[2].as_u64().unwrap_or(0) as usize;
+                    let obj =
+                        self.objects.get(&silo).ok_or(ServerError::BadHandle(silo))?;
+                    let bytes = obj[..len.min(obj.len())].to_vec();
+                    Ok(HandlerOutput {
+                        ret: Value::I32(0),
+                        outputs: vec![(1, Value::Bytes(bytes.into()))],
+                        destroyed: None,
+                    })
+                }
+                "toy_destroy" => {
+                    let silo = args[0].as_handle().expect("handle arg");
+                    self.objects.remove(&silo);
+                    Ok(HandlerOutput::ret(Value::I32(0)))
+                }
+                other => Err(ServerError::Handler(format!("unknown fn {other}"))),
+            }
+        }
+
+        fn swappable_kinds(&self) -> &[&str] {
+            &["toy_buf"]
+        }
+
+        fn snapshot_object(&mut self, _kind: &str, silo: u64) -> Option<Vec<u8>> {
+            self.objects.get(&silo).cloned()
+        }
+
+        fn restore_object(&mut self, _kind: &str, silo: u64, data: &[u8]) -> bool {
+            match self.objects.get_mut(&silo) {
+                Some(obj) if obj.len() == data.len() => {
+                    obj.copy_from_slice(data);
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        fn drop_object(&mut self, _kind: &str, silo: u64) -> bool {
+            self.objects.remove(&silo).is_some()
+        }
+
+        fn ret_indicates_oom(&self, func: &FunctionDesc, ret: &Value) -> bool {
+            func.name == "toy_create" && ret.is_null()
+        }
+    }
+
+    const TOY_SPEC: &str = r#"
+api("toy", 1);
+#define TOY_OK 0
+typedef int toy_status;
+typedef struct _toy_buf *toy_buf;
+type(toy_status) { success(TOY_OK); }
+toy_status toy_init(unsigned int flags) { record(config); }
+toy_buf toy_create(size_t size) {
+  record(alloc);
+  resource(device_mem, size);
+}
+toy_status toy_write(toy_buf buf, const void *data, size_t data_size) {
+  record(modify);
+  parameter(data) { buffer(data_size); }
+}
+toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
+  parameter(out) { out; buffer(out_size); }
+}
+toy_status toy_destroy(toy_buf buf) {
+  record(dealloc);
+  parameter(buf) { deallocates; }
+}
+"#;
+
+    fn toy_descriptor() -> Arc<ApiDescriptor> {
+        Arc::new(
+            compile_spec(TOY_SPEC, &MapResolver::new(), LowerOptions::default()).unwrap(),
+        )
+    }
+
+    fn call(desc: &ApiDescriptor, name: &str, args: Vec<Value>) -> CallRequest {
+        CallRequest {
+            call_id: 0,
+            fn_id: desc.by_name(name).unwrap().id,
+            mode: CallMode::Sync,
+            args,
+        }
+    }
+
+    fn create_buf(server: &mut ApiServer, desc: &ApiDescriptor, size: u64) -> u64 {
+        let rep = server.handle_call(call(desc, "toy_create", vec![Value::U64(size)]));
+        assert_eq!(rep.status, ReplyStatus::Ok);
+        rep.ret.as_handle().expect("created handle")
+    }
+
+    fn write_buf(server: &mut ApiServer, desc: &ApiDescriptor, h: u64, data: &[u8]) {
+        let rep = server.handle_call(call(
+            desc,
+            "toy_write",
+            vec![
+                Value::Handle(h),
+                Value::Bytes(data.to_vec().into()),
+                Value::U64(data.len() as u64),
+            ],
+        ));
+        assert_eq!(rep.status, ReplyStatus::Ok);
+        assert_eq!(rep.ret, Value::I32(0));
+    }
+
+    fn read_buf(server: &mut ApiServer, desc: &ApiDescriptor, h: u64, len: u64) -> Vec<u8> {
+        let rep = server.handle_call(call(
+            desc,
+            "toy_read",
+            vec![Value::Handle(h), Value::Null, Value::U64(len)],
+        ));
+        assert_eq!(rep.status, ReplyStatus::Ok);
+        rep.outputs[0].1.as_bytes().unwrap().to_vec()
+    }
+
+    #[test]
+    fn create_write_read_destroy_cycle() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        let h = create_buf(&mut server, &desc, 16);
+        assert!(h >= 0x4000_0000, "guest sees wire handles, not silo handles");
+        write_buf(&mut server, &desc, h, b"hello");
+        assert_eq!(&read_buf(&mut server, &desc, h, 5), b"hello");
+        let rep = server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h)]));
+        assert_eq!(rep.status, ReplyStatus::Ok);
+        // Handle is dead now.
+        let rep = server.handle_call(call(&desc, "toy_read", vec![
+            Value::Handle(h),
+            Value::Null,
+            Value::U64(1),
+        ]));
+        assert_eq!(rep.status, ReplyStatus::TransportError);
+    }
+
+    #[test]
+    fn unknown_function_is_transport_error() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let rep = server.handle_call(CallRequest {
+            call_id: 7,
+            fn_id: 999,
+            mode: CallMode::Sync,
+            args: vec![],
+        });
+        assert_eq!(rep.status, ReplyStatus::TransportError);
+        assert_eq!(rep.call_id, 7);
+    }
+
+    #[test]
+    fn wrong_arg_count_is_transport_error() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let rep = server.handle_call(call(&desc, "toy_create", vec![]));
+        assert_eq!(rep.status, ReplyStatus::TransportError);
+    }
+
+    #[test]
+    fn record_log_tracks_alloc_and_cancels_on_dealloc() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.handle_call(call(&desc, "toy_init", vec![Value::U32(0)]));
+        let h = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h, b"x");
+        assert_eq!(server.stats().recorded, 3); // init + create + write
+        server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h)]));
+        assert_eq!(server.stats().recorded, 1); // only config stays
+    }
+
+    #[test]
+    fn migration_snapshot_restore_preserves_handles_and_data() {
+        let desc = toy_descriptor();
+        let mut source =
+            ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(4096)));
+        source.handle_call(call(&desc, "toy_init", vec![Value::U32(1)]));
+        let h1 = create_buf(&mut source, &desc, 8);
+        let h2 = create_buf(&mut source, &desc, 4);
+        write_buf(&mut source, &desc, h1, b"migrate!");
+        write_buf(&mut source, &desc, h2, b"tiny");
+
+        let image = source.snapshot();
+        source.teardown();
+
+        // "Arrive" on a different host: fresh handler.
+        let mut target = ApiServer::restore(
+            Arc::clone(&desc),
+            Box::new(ToyHandler::new(4096)),
+            &image,
+        )
+        .unwrap();
+        // The guest's old wire handles still resolve.
+        assert_eq!(&read_buf(&mut target, &desc, h1, 8), b"migrate!");
+        assert_eq!(&read_buf(&mut target, &desc, h2, 4), b"tiny");
+    }
+
+    #[test]
+    fn migration_replays_modify_calls_in_order() {
+        // The record log carries the *write* as a modify record, so even
+        // without the buffer snapshot the data would be reconstructed; with
+        // both, the latest contents win (restore happens after replay).
+        let desc = toy_descriptor();
+        let mut source = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let h = create_buf(&mut source, &desc, 4);
+        write_buf(&mut source, &desc, h, b"abcd");
+        let image = source.snapshot();
+        assert_eq!(image.records.len(), 2);
+        assert_eq!(image.buffers.len(), 1);
+        assert_eq!(image.buffers[0].1, b"abcd");
+        let mut target =
+            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(64)), &image)
+                .unwrap();
+        assert_eq!(&read_buf(&mut target, &desc, h, 4), b"abcd");
+    }
+
+    #[test]
+    fn oom_triggers_lru_swap_out_and_swap_in_restores() {
+        let desc = toy_descriptor();
+        // Device fits two 32-byte buffers.
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let h1 = create_buf(&mut server, &desc, 32);
+        let h2 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h1, b"first-buffer-contents!!!");
+        write_buf(&mut server, &desc, h2, b"second");
+        // Third allocation overflows: the LRU buffer (h1) must be evicted.
+        let h3 = create_buf(&mut server, &desc, 32);
+        assert_eq!(server.stats().swap_outs, 1);
+        write_buf(&mut server, &desc, h3, b"third");
+        // Touching h1 swaps it back in (evicting is the server's concern;
+        // the toy device grew room because h2/h3 stayed).
+        // First make room: destroy h3.
+        server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h3)]));
+        assert_eq!(&read_buf(&mut server, &desc, h1, 24), b"first-buffer-contents!!!");
+        assert_eq!(server.stats().swap_ins, 1);
+        // h2 was untouched by the dance.
+        assert_eq!(&read_buf(&mut server, &desc, h2, 6), b"second");
+    }
+
+    #[test]
+    fn live_device_mem_accounts_for_swapped_objects() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(256)));
+        let h1 = create_buf(&mut server, &desc, 100);
+        let _h2 = create_buf(&mut server, &desc, 50);
+        assert_eq!(server.live_device_mem(), 150);
+        server.swap_out(h1, "toy_buf").unwrap();
+        assert_eq!(server.live_device_mem(), 50);
+        server.swap_in(h1).unwrap();
+        assert_eq!(server.live_device_mem(), 150);
+    }
+
+    #[test]
+    fn serve_loop_answers_over_transport() {
+        use ava_transport::{CostModel, TransportKind};
+        use std::sync::atomic::AtomicBool;
+
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let t = std::thread::spawn(move || {
+            server.serve(server_end.as_ref(), &stop2);
+            server
+        });
+        let req = call(&desc, "toy_create", vec![Value::U64(8)]);
+        client.send(&ava_wire::Message::Call(req)).unwrap();
+        match client.recv().unwrap() {
+            ava_wire::Message::Reply(rep) => {
+                assert_eq!(rep.status, ReplyStatus::Ok);
+                assert!(rep.ret.as_handle().is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let server = t.join().unwrap();
+        assert_eq!(server.stats().calls, 1);
+    }
+}

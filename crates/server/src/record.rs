@@ -1,0 +1,175 @@
+//! Record-and-replay support for VM migration (§4.3) and swap-in.
+//!
+//! Functions annotated `record(config|alloc|modify)` in the specification
+//! are logged (in wire form, pre-translation) as they execute. To migrate,
+//! AvA suspends invocations, synthesizes copies of extant device buffers,
+//! and frees device resources; on arrival it replays the recorded calls to
+//! reinitialize the device and reallocate objects, restores buffer
+//! contents, and resumes — the Nooks-style object tracking the paper cites.
+
+use ava_spec::RecordCategory;
+use ava_wire::{FnId, Value};
+
+/// One recorded call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedCall {
+    /// Monotonic sequence number (replay order).
+    pub seq: u64,
+    /// Function id within the API descriptor.
+    pub fn_id: FnId,
+    /// Arguments in wire form (handles are wire handles).
+    pub args: Vec<Value>,
+    /// Record category.
+    pub category: RecordCategory,
+    /// Every wire handle this call produced, in canonical order (return
+    /// value first, then outputs in parameter order, list elements in
+    /// sequence), with its handle kind. Replay rebinds these to the
+    /// freshly created silo objects.
+    pub produced: Vec<(u64, String)>,
+}
+
+impl RecordedCall {
+    /// The primary created handle (for alloc records).
+    pub fn created_wire(&self) -> Option<u64> {
+        self.produced.first().map(|(w, _)| *w)
+    }
+}
+
+/// The ordered log of recorded calls.
+#[derive(Debug, Default, Clone)]
+pub struct RecordLog {
+    next_seq: u64,
+    calls: Vec<RecordedCall>,
+}
+
+impl RecordLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a recorded call.
+    pub fn record(
+        &mut self,
+        fn_id: FnId,
+        args: Vec<Value>,
+        category: RecordCategory,
+        produced: Vec<(u64, String)>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.calls.push(RecordedCall { seq, fn_id, args, category, produced });
+    }
+
+    /// Cancels tracking for a deallocated object: removes its `alloc`
+    /// record and every `modify` record that references its wire handle.
+    pub fn cancel_for_handle(&mut self, wire: u64) {
+        self.calls.retain(|c| {
+            let creates =
+                c.category == RecordCategory::Alloc && c.created_wire() == Some(wire);
+            let modifies = c.category == RecordCategory::Modify
+                && c.args.iter().any(|a| references_handle(a, wire));
+            !(creates || modifies)
+        });
+    }
+
+    /// The `alloc` record that created `wire`, if tracked.
+    pub fn alloc_record_for(&self, wire: u64) -> Option<&RecordedCall> {
+        self.calls
+            .iter()
+            .find(|c| c.category == RecordCategory::Alloc && c.created_wire() == Some(wire))
+    }
+
+    /// All records in replay (original temporal) order.
+    pub fn replay_order(&self) -> impl Iterator<Item = &RecordedCall> {
+        self.calls.iter()
+    }
+
+    /// Number of records currently tracked.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+}
+
+fn references_handle(value: &Value, wire: u64) -> bool {
+    match value {
+        Value::Handle(h) => *h == wire,
+        Value::List(items) => items.iter().any(|v| references_handle(v, wire)),
+        _ => false,
+    }
+}
+
+/// A complete migration image: everything needed to reconstruct a VM's API
+/// state on another host.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationImage {
+    /// Recorded calls in replay order.
+    pub records: Vec<RecordedCall>,
+    /// Saved device-buffer payloads, as `(wire handle, bytes)`.
+    pub buffers: Vec<(u64, Vec<u8>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(log: &mut RecordLog, fn_id: u32, wire: u64) {
+        log.record(
+            fn_id,
+            vec![Value::U64(64)],
+            RecordCategory::Alloc,
+            vec![(wire, "buf".to_string())],
+        );
+    }
+
+    #[test]
+    fn records_keep_temporal_order() {
+        let mut log = RecordLog::new();
+        log.record(0, vec![], RecordCategory::Config, vec![]);
+        alloc(&mut log, 1, 100);
+        log.record(2, vec![Value::Handle(100)], RecordCategory::Modify, vec![]);
+        let seqs: Vec<u64> = log.replay_order().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cancel_removes_alloc_and_its_modifies() {
+        let mut log = RecordLog::new();
+        alloc(&mut log, 1, 100);
+        alloc(&mut log, 1, 101);
+        log.record(2, vec![Value::Handle(100)], RecordCategory::Modify, vec![]);
+        log.record(2, vec![Value::Handle(101)], RecordCategory::Modify, vec![]);
+        log.cancel_for_handle(100);
+        assert_eq!(log.len(), 2);
+        assert!(log.alloc_record_for(100).is_none());
+        assert!(log.alloc_record_for(101).is_some());
+    }
+
+    #[test]
+    fn cancel_finds_handles_inside_lists() {
+        let mut log = RecordLog::new();
+        alloc(&mut log, 1, 100);
+        log.record(
+            3,
+            vec![Value::List(vec![Value::Handle(100), Value::Handle(200)])],
+            RecordCategory::Modify,
+            vec![],
+        );
+        log.cancel_for_handle(100);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn config_records_survive_cancellation() {
+        let mut log = RecordLog::new();
+        log.record(0, vec![Value::Handle(100)], RecordCategory::Config, vec![]);
+        alloc(&mut log, 1, 100);
+        log.cancel_for_handle(100);
+        assert_eq!(log.len(), 1);
+    }
+}

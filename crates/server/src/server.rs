@@ -1,0 +1,631 @@
+//! The API-agnostic server runtime.
+//!
+//! One [`ApiServer`] exists per guest VM (the paper's process-level
+//! isolation: each VM's device context lives in its own server). The
+//! runtime is driven by the lowered [`ApiDescriptor`]: it translates
+//! handles, evaluates resource annotations, records calls for migration,
+//! performs buffer-granularity swapping, and delegates API execution to
+//! the CAvA-generated [`ApiHandler`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ava_spec::{
+    ApiDescriptor, Direction, ElemKind, FunctionDesc, RecordCategory, RetDesc, Transfer,
+};
+use ava_transport::{Transport, TransportError};
+use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
+
+use crate::error::{Result, ServerError};
+use crate::handler::{ApiHandler, HandlerOutput};
+use crate::handles::{HandleState, HandleTable};
+use crate::record::{MigrationImage, RecordLog};
+
+/// Server execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Calls executed.
+    pub calls: u64,
+    /// Calls that failed at the transport level.
+    pub transport_errors: u64,
+    /// Objects swapped out.
+    pub swap_outs: u64,
+    /// Objects swapped back in.
+    pub swap_ins: u64,
+    /// Calls currently recorded for migration.
+    pub recorded: u64,
+}
+
+/// The per-VM API server.
+pub struct ApiServer {
+    desc: Arc<ApiDescriptor>,
+    handler: Box<dyn ApiHandler>,
+    handles: HandleTable,
+    records: RecordLog,
+    /// Estimated device bytes per allocated wire handle (from
+    /// `resource(device_mem, ...)` annotations).
+    mem_sizes: HashMap<u64, u64>,
+    /// LRU clock for swap victim selection.
+    use_clock: u64,
+    last_use: HashMap<u64, u64>,
+    stats: ServerStats,
+}
+
+impl ApiServer {
+    /// Creates a server for one VM.
+    pub fn new(desc: Arc<ApiDescriptor>, handler: Box<dyn ApiHandler>) -> Self {
+        ApiServer {
+            desc,
+            handler,
+            handles: HandleTable::new(),
+            records: RecordLog::new(),
+            mem_sizes: HashMap::new(),
+            use_clock: 0,
+            last_use: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats { recorded: self.records.len() as u64, ..self.stats }
+    }
+
+    /// Estimated device memory currently live (excludes swapped objects).
+    pub fn live_device_mem(&self) -> u64 {
+        self.mem_sizes
+            .iter()
+            .filter(|(w, _)| !self.handles.is_swapped(**w))
+            .map(|(_, sz)| *sz)
+            .sum()
+    }
+
+    /// Serves calls from `transport` until the peer shuts down or `stop`
+    /// becomes true. On stop the already-delivered backlog is drained
+    /// first so no in-flight call is lost (migration relies on this).
+    pub fn serve(&mut self, transport: &dyn Transport, stop: &AtomicBool) {
+        loop {
+            if stop.load(Ordering::Acquire) {
+                while let Ok(Some(msg)) = transport.try_recv() {
+                    if self.serve_one(transport, msg).is_err() {
+                        break;
+                    }
+                }
+                return;
+            }
+            match transport.recv_timeout(Duration::from_millis(2)) {
+                Ok(Some(msg)) => {
+                    if self.serve_one(transport, msg).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {}
+                Err(TransportError::Closed) => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Processes one message; `Err` means "stop serving".
+    pub fn serve_one(
+        &mut self,
+        transport: &dyn Transport,
+        msg: Message,
+    ) -> std::result::Result<(), ()> {
+        match msg {
+            Message::Call(req) => {
+                let (fn_id, mode) = (req.fn_id, req.mode);
+                let reply = self.handle_call(req);
+                if self.should_reply(fn_id, mode, &reply)
+                    && transport.send(&Message::Reply(reply)).is_err()
+                {
+                    return Err(());
+                }
+                Ok(())
+            }
+            Message::Batch(reqs) => {
+                for req in reqs {
+                    let (fn_id, mode) = (req.fn_id, req.mode);
+                    let reply = self.handle_call(req);
+                    if self.should_reply(fn_id, mode, &reply)
+                        && transport.send(&Message::Reply(reply)).is_err()
+                    {
+                        return Err(());
+                    }
+                }
+                Ok(())
+            }
+            Message::Control(ControlMessage::Shutdown) => Err(()),
+            Message::Control(ControlMessage::Ping(v)) => {
+                let _ = transport.send(&Message::Control(ControlMessage::Pong(v)));
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Asynchronously-forwarded calls are fire-and-forget: the server only
+    /// replies when something went wrong (the guest synthesizes success
+    /// immediately and receives failures as deferred errors, §4.2). This
+    /// halves message traffic for async-heavy call streams.
+    pub fn should_reply(
+        &self,
+        fn_id: ava_wire::FnId,
+        mode: ava_wire::CallMode,
+        reply: &CallReply,
+    ) -> bool {
+        if mode == ava_wire::CallMode::Sync || reply.status != ReplyStatus::Ok {
+            return true;
+        }
+        match self.desc.by_id(fn_id).map(|f| &f.ret) {
+            Some(RetDesc::Status { success, .. }) => reply.ret.as_i64() != Some(*success),
+            // Async forwarding of non-status functions is rejected at
+            // lowering time; reply defensively if one slips through.
+            _ => true,
+        }
+    }
+
+    /// Executes one call and builds its reply.
+    pub fn handle_call(&mut self, req: CallRequest) -> CallReply {
+        match self.execute(&req) {
+            Ok((ret, outputs)) => {
+                self.stats.calls += 1;
+                CallReply { call_id: req.call_id, status: ReplyStatus::Ok, ret, outputs }
+            }
+            Err(_e) => {
+                self.stats.transport_errors += 1;
+                CallReply::transport_error(req.call_id)
+            }
+        }
+    }
+
+    fn execute(&mut self, req: &CallRequest) -> Result<(Value, Vec<(u32, Value)>)> {
+        // Borrow the descriptor through a cheap Arc clone so `func` does
+        // not alias `self` (avoids cloning the FunctionDesc per call).
+        let desc = Arc::clone(&self.desc);
+        let func = desc
+            .by_id(req.fn_id)
+            .ok_or(ServerError::UnknownFunction(req.fn_id))?;
+        if req.args.len() != func.params.len() {
+            return Err(ServerError::BadArguments(format!(
+                "`{}` expects {} args, got {}",
+                func.name,
+                func.params.len(),
+                req.args.len()
+            )));
+        }
+
+        // Swap-in any referenced handles that were evicted.
+        for (param, arg) in func.params.iter().zip(req.args.iter()) {
+            if let Transfer::Handle { .. } = &param.transfer {
+                if let Value::Handle(wire) = arg {
+                    if self.handles.is_swapped(*wire) {
+                        self.swap_in(*wire)?;
+                    }
+                }
+            }
+        }
+
+        let silo_args = self.translate_args(func, &req.args)?;
+
+        // Dispatch, with OOM-triggered swap-out retries for allocations.
+        let mut out = self.handler.dispatch(func, &silo_args)?;
+        let mut evictions = 0;
+        while self.handler.ret_indicates_oom(func, &out.ret) && evictions < 64 {
+            if !self.swap_out_one_victim()? {
+                break;
+            }
+            evictions += 1;
+            out = self.handler.dispatch(func, &silo_args)?;
+        }
+
+        // Translate handle outputs to wire handles.
+        let destroyed = out.destroyed;
+        let (ret, outputs, produced) = self.translate_outputs(func, out)?;
+
+        let call_succeeded = match (&func.ret, &ret) {
+            (RetDesc::Status { success, .. }, v) => v.as_i64() == Some(*success),
+            (RetDesc::Handle { .. }, Value::Null) => false,
+            _ => true,
+        };
+
+        if call_succeeded {
+            // Deallocations: retire handle-table entries and cancel
+            // records — unless the handler reported the object survived
+            // (refcounted releases).
+            for (param, arg) in func.params.iter().zip(req.args.iter()) {
+                let deallocates = matches!(
+                    &param.transfer,
+                    Transfer::Handle { deallocates: true, .. }
+                ) && destroyed.unwrap_or(true);
+                if deallocates {
+                    if let Value::Handle(wire) = arg {
+                        self.handles.remove(*wire);
+                        self.records.cancel_for_handle(*wire);
+                        self.mem_sizes.remove(wire);
+                        self.last_use.remove(wire);
+                    }
+                }
+            }
+
+            // Record for migration.
+            match func.record {
+                Some(RecordCategory::Config)
+                | Some(RecordCategory::Alloc)
+                | Some(RecordCategory::Modify) => {
+                    let category = func.record.expect("checked above");
+                    if category == RecordCategory::Alloc {
+                        if let Some((wire, _)) = produced.first() {
+                            if let Some(bytes) = self.estimate_mem(func, &req.args) {
+                                self.mem_sizes.insert(*wire, bytes);
+                            }
+                        }
+                    }
+                    self.records.record(req.fn_id, req.args.clone(), category, produced);
+                }
+                Some(RecordCategory::Dealloc) | None => {}
+            }
+        }
+
+        Ok((ret, outputs))
+    }
+
+    fn estimate_mem(&self, func: &FunctionDesc, args: &[Value]) -> Option<u64> {
+        let env = self.desc.env_for(func, args);
+        for res in &func.resources {
+            if res.resource == "device_mem" {
+                if let Ok(v) = res.amount.eval(&env, &self.desc.types) {
+                    return u64::try_from(v).ok();
+                }
+            }
+        }
+        None
+    }
+
+    /// Translates wire-form arguments to silo form (wire handles → silo
+    /// handles); everything else passes through.
+    fn translate_args(&mut self, func: &FunctionDesc, args: &[Value]) -> Result<Vec<Value>> {
+        let mut out = Vec::with_capacity(args.len());
+        for (param, arg) in func.params.iter().zip(args.iter()) {
+            let translated = match (&param.transfer, arg) {
+                (Transfer::Handle { kind, .. }, Value::Handle(wire)) => {
+                    self.touch(*wire);
+                    Value::Handle(self.handles.to_silo(*wire, kind)?)
+                }
+                (Transfer::Handle { .. }, Value::Null) if param.nullable => Value::Null,
+                (Transfer::Handle { .. }, other) => {
+                    return Err(ServerError::BadArguments(format!(
+                        "parameter `{}` expects a handle, got {other:?}",
+                        param.name
+                    )))
+                }
+                (
+                    Transfer::Buffer { elem: ElemKind::Handle { kind }, .. },
+                    Value::List(items),
+                ) => {
+                    let mut translated = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            Value::Handle(wire) => {
+                                self.touch(*wire);
+                                translated
+                                    .push(Value::Handle(self.handles.to_silo(*wire, kind)?));
+                            }
+                            other => {
+                                return Err(ServerError::BadArguments(format!(
+                                    "handle list for `{}` contains {other:?}",
+                                    param.name
+                                )))
+                            }
+                        }
+                    }
+                    Value::List(translated)
+                }
+                (_, other) => other.clone(),
+            };
+            out.push(translated);
+        }
+        Ok(out)
+    }
+
+    /// Translates handler outputs (silo handles) back to wire form;
+    /// returns `(ret, outputs, produced)` where `produced` lists every
+    /// minted wire handle with its kind, in canonical order (return value
+    /// first, then outputs in parameter order, list elements in sequence).
+    fn translate_outputs(
+        &mut self,
+        func: &FunctionDesc,
+        out: HandlerOutput,
+    ) -> Result<(Value, Vec<(u32, Value)>, Vec<(u64, String)>)> {
+        let mut produced: Vec<(u64, String)> = Vec::new();
+        let ret = match (&func.ret, out.ret) {
+            (RetDesc::Handle { kind }, Value::Handle(silo)) => {
+                let wire = self.handles.insert(kind, silo);
+                produced.push((wire, kind.clone()));
+                Value::Handle(wire)
+            }
+            (RetDesc::Handle { .. }, Value::Null) => Value::Null,
+            (_, other) => other,
+        };
+        let mut outputs = Vec::with_capacity(out.outputs.len());
+        for (idx, value) in out.outputs {
+            let param = func.params.get(idx as usize).ok_or_else(|| {
+                ServerError::BadArguments(format!(
+                    "handler produced output for bad index {idx}"
+                ))
+            })?;
+            let translated = match (&param.transfer, value) {
+                (
+                    Transfer::OutElement { elem: ElemKind::Handle { kind }, .. },
+                    Value::Handle(silo),
+                ) => {
+                    let wire = self.handles.insert(kind, silo);
+                    produced.push((wire, kind.clone()));
+                    Value::Handle(wire)
+                }
+                (
+                    Transfer::Buffer { elem: ElemKind::Handle { kind }, .. },
+                    Value::List(items),
+                ) => {
+                    let mut translated = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            Value::Handle(silo) => {
+                                let wire = self.handles.insert(kind, silo);
+                                produced.push((wire, kind.clone()));
+                                translated.push(Value::Handle(wire));
+                            }
+                            other => translated.push(other),
+                        }
+                    }
+                    Value::List(translated)
+                }
+                (_, other) => other,
+            };
+            outputs.push((idx, translated));
+        }
+        let _ = Direction::In; // (diagnostic aid; directions enforced guest-side)
+        Ok((ret, outputs, produced))
+    }
+
+    fn touch(&mut self, wire: u64) {
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        self.last_use.insert(wire, clock);
+    }
+
+    // ---- Buffer-granularity swapping (§4.3) -----------------------------
+
+    /// Swaps out the least-recently-used swappable object. Returns false
+    /// if no victim exists.
+    pub fn swap_out_one_victim(&mut self) -> Result<bool> {
+        let kinds: Vec<String> =
+            self.handler.swappable_kinds().iter().map(|s| s.to_string()).collect();
+        let mut victim: Option<(u64, String)> = None;
+        let mut best_clock = u64::MAX;
+        for kind in &kinds {
+            for wire in self.handles.live_of_kind(kind) {
+                // Only objects we can recreate (tracked alloc) are eligible.
+                if self.records.alloc_record_for(wire).is_none() {
+                    continue;
+                }
+                let clock = self.last_use.get(&wire).copied().unwrap_or(0);
+                if clock < best_clock {
+                    best_clock = clock;
+                    victim = Some((wire, kind.clone()));
+                }
+            }
+        }
+        let Some((wire, kind)) = victim else {
+            return Ok(false);
+        };
+        self.swap_out(wire, &kind)?;
+        Ok(true)
+    }
+
+    /// Swaps out a specific object: snapshot payload, free the device
+    /// object, park the payload host-side.
+    pub fn swap_out(&mut self, wire: u64, kind: &str) -> Result<()> {
+        let silo = self.handles.to_silo(wire, kind)?;
+        let data = self
+            .handler
+            .snapshot_object(kind, silo)
+            .ok_or_else(|| ServerError::Swap(format!("object {wire:#x} has no payload")))?;
+        if !self.handler.drop_object(kind, silo) {
+            return Err(ServerError::Swap(format!("cannot drop object {wire:#x}")));
+        }
+        self.handles.mark_swapped(wire, data)?;
+        self.stats.swap_outs += 1;
+        Ok(())
+    }
+
+    /// Swaps an object back in by replaying its allocation call and
+    /// restoring the parked payload.
+    pub fn swap_in(&mut self, wire: u64) -> Result<()> {
+        let record = self
+            .records
+            .alloc_record_for(wire)
+            .cloned()
+            .ok_or_else(|| ServerError::Swap(format!("no alloc record for {wire:#x}")))?;
+        let func = self
+            .desc
+            .by_id(record.fn_id)
+            .cloned()
+            .ok_or(ServerError::UnknownFunction(record.fn_id))?;
+        let silo_args = self.translate_args(&func, &record.args)?;
+        // Re-allocation may itself hit device OOM; evict other victims
+        // until it fits (the wire handle being swapped in is not live and
+        // therefore never selected as its own victim).
+        let mut out = self.handler.dispatch(&func, &silo_args)?;
+        let mut evictions = 0;
+        while self.handler.ret_indicates_oom(&func, &out.ret) && evictions < 64 {
+            if !self.swap_out_one_victim()? {
+                break;
+            }
+            evictions += 1;
+            out = self.handler.dispatch(&func, &silo_args)?;
+        }
+        let (kind, silo) = match (&func.ret, &out.ret) {
+            (RetDesc::Handle { kind }, Value::Handle(silo)) => (kind.clone(), *silo),
+            _ => {
+                return Err(ServerError::Swap(format!(
+                    "replayed allocation for {wire:#x} returned no handle"
+                )))
+            }
+        };
+        let data = self.handles.mark_live(wire, silo)?;
+        if !self.handler.restore_object(&kind, silo, &data) {
+            return Err(ServerError::Swap(format!(
+                "payload restore failed for {wire:#x}"
+            )));
+        }
+        self.stats.swap_ins += 1;
+        Ok(())
+    }
+
+    // ---- VM migration (§4.3) ---------------------------------------------
+
+    /// Produces a migration image: the record log plus payload snapshots
+    /// of every live object that has one. The server keeps running; pair
+    /// with router pause + quiescence for a consistent image.
+    pub fn snapshot(&mut self) -> MigrationImage {
+        let mut buffers = Vec::new();
+        for (wire, entry) in self.handles.entries() {
+            match &entry.state {
+                HandleState::Live(silo) => {
+                    if let Some(data) = self.handler.snapshot_object(&entry.kind, *silo) {
+                        buffers.push((wire, data));
+                    }
+                }
+                HandleState::Swapped { data } => buffers.push((wire, data.clone())),
+            }
+        }
+        MigrationImage {
+            records: self.records.replay_order().cloned().collect(),
+            buffers,
+        }
+    }
+
+    /// Tears down every tracked device object (the source side of a
+    /// migration frees device resources after snapshotting).
+    pub fn teardown(&mut self) {
+        let live: Vec<(String, u64)> = self
+            .handles
+            .entries()
+            .into_iter()
+            .filter_map(|(_, entry)| match entry.state {
+                HandleState::Live(silo) => Some((entry.kind.clone(), silo)),
+                HandleState::Swapped { .. } => None,
+            })
+            .collect();
+        for (kind, silo) in live {
+            self.handler.drop_object(&kind, silo);
+        }
+    }
+
+    /// Reconstructs a server on a (possibly different) host by replaying
+    /// the image's records against a fresh handler, then restoring buffer
+    /// payloads. Wire handles are preserved, so the guest's handles remain
+    /// valid after migration.
+    pub fn restore(
+        desc: Arc<ApiDescriptor>,
+        handler: Box<dyn ApiHandler>,
+        image: &MigrationImage,
+    ) -> Result<ApiServer> {
+        let mut server = ApiServer::new(desc, handler);
+        for record in &image.records {
+            let func = server
+                .desc
+                .by_id(record.fn_id)
+                .cloned()
+                .ok_or(ServerError::UnknownFunction(record.fn_id))?;
+            let silo_args = server.translate_args(&func, &record.args)?;
+            let out = server.handler.dispatch(&func, &silo_args)?;
+            // Collect the silo handles the replayed call produced, in the
+            // same canonical order the original recording used, and
+            // re-bind the guest's original wire handles to them.
+            let new_silos = collect_produced_silos(&func, &out);
+            if new_silos.len() != record.produced.len() {
+                return Err(ServerError::Replay(format!(
+                    "replaying `{}` produced {} handle(s), original produced {}",
+                    func.name,
+                    new_silos.len(),
+                    record.produced.len()
+                )));
+            }
+            for ((wire, kind), silo) in record.produced.iter().zip(new_silos) {
+                server.handles.bind(*wire, kind, silo);
+            }
+            if record.category == RecordCategory::Alloc {
+                if let Some((wire, _)) = record.produced.first() {
+                    if let Some(bytes) = server.estimate_mem(&func, &record.args) {
+                        server.mem_sizes.insert(*wire, bytes);
+                    }
+                }
+            }
+            server.records.record(
+                record.fn_id,
+                record.args.clone(),
+                record.category,
+                record.produced.clone(),
+            );
+        }
+        // Restore payloads.
+        for (wire, data) in &image.buffers {
+            let entry = server
+                .handles
+                .get(*wire)
+                .cloned()
+                .ok_or(ServerError::Replay(format!(
+                    "image has payload for untracked handle {wire:#x}"
+                )))?;
+            match entry.state {
+                HandleState::Live(silo) => {
+                    if !server.handler.restore_object(&entry.kind, silo, data) {
+                        return Err(ServerError::Replay(format!(
+                            "payload restore failed for {wire:#x}"
+                        )));
+                    }
+                }
+                HandleState::Swapped { .. } => {
+                    return Err(ServerError::Replay(format!(
+                        "handle {wire:#x} unexpectedly swapped during restore"
+                    )))
+                }
+            }
+        }
+        Ok(server)
+    }
+}
+
+/// Walks a handler output in canonical order (return value first, then
+/// outputs in parameter order, list elements in sequence), collecting
+/// every silo handle it produced.
+fn collect_produced_silos(func: &FunctionDesc, out: &HandlerOutput) -> Vec<u64> {
+    let mut silos = Vec::new();
+    if let (RetDesc::Handle { .. }, Value::Handle(silo)) = (&func.ret, &out.ret) {
+        silos.push(*silo);
+    }
+    for (idx, value) in &out.outputs {
+        match (func.params.get(*idx as usize).map(|p| &p.transfer), value) {
+            (
+                Some(Transfer::OutElement { elem: ElemKind::Handle { .. }, .. }),
+                Value::Handle(silo),
+            ) => silos.push(*silo),
+            (
+                Some(Transfer::Buffer { elem: ElemKind::Handle { .. }, .. }),
+                Value::List(items),
+            ) => {
+                for item in items {
+                    if let Value::Handle(silo) = item {
+                        silos.push(*silo);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    silos
+}

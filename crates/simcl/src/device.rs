@@ -1,0 +1,174 @@
+//! The simulated compute device and its resource accounting.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::status::{ClError, ClResult, CL_MEM_OBJECT_ALLOCATION_FAILURE};
+
+/// Static description of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Device name reported by `clGetDeviceInfo`.
+    pub name: String,
+    /// Vendor string.
+    pub vendor: String,
+    /// Number of compute units.
+    pub compute_units: usize,
+    /// Maximum work-group size.
+    pub max_work_group_size: usize,
+    /// Global memory capacity in bytes.
+    pub global_mem_size: usize,
+    /// Per-work-group local memory in bytes.
+    pub local_mem_size: usize,
+    /// True for GPU-class devices, false for accelerator-class.
+    pub is_gpu: bool,
+}
+
+impl DeviceConfig {
+    /// A GTX-1080-like GPU profile (the device used in the paper's Figure 5
+    /// OpenCL experiments; see DESIGN.md for the substitution notes).
+    pub fn gtx1080_like() -> Self {
+        DeviceConfig {
+            name: "AvA SimCL GPU (GTX 1080 class)".into(),
+            vendor: "AvA Project".into(),
+            compute_units: 20,
+            max_work_group_size: 1024,
+            global_mem_size: 8 << 30,
+            local_mem_size: 48 << 10,
+            is_gpu: true,
+        }
+    }
+
+    /// A small-memory device used by swapping tests and the swapping bench.
+    pub fn small(global_mem_size: usize) -> Self {
+        DeviceConfig {
+            name: "AvA SimCL small".into(),
+            vendor: "AvA Project".into(),
+            compute_units: 4,
+            max_work_group_size: 256,
+            global_mem_size,
+            local_mem_size: 16 << 10,
+            is_gpu: true,
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gtx1080_like()
+    }
+}
+
+/// Mutable per-device state.
+#[derive(Debug)]
+pub struct DeviceState {
+    /// Static configuration.
+    pub config: DeviceConfig,
+    /// Bytes of device memory currently allocated.
+    used_mem: AtomicUsize,
+    /// Accumulated kernel execution time in nanoseconds.
+    busy_nanos: AtomicU64,
+    /// Epoch for event profiling timestamps.
+    pub epoch: Instant,
+}
+
+impl DeviceState {
+    /// Creates device state from a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        DeviceState {
+            config,
+            used_mem: AtomicUsize::new(0),
+            busy_nanos: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Reserves `size` bytes of device memory.
+    pub fn alloc(&self, size: usize) -> ClResult<()> {
+        let mut current = self.used_mem.load(Ordering::Relaxed);
+        loop {
+            let next = current.checked_add(size).filter(|n| *n <= self.config.global_mem_size);
+            let Some(next) = next else {
+                return Err(ClError(CL_MEM_OBJECT_ALLOCATION_FAILURE));
+            };
+            match self.used_mem.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Releases `size` bytes of device memory.
+    pub fn free(&self, size: usize) {
+        self.used_mem.fetch_sub(size, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_mem(&self) -> usize {
+        self.used_mem.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the device-busy counter.
+    pub fn add_busy(&self, nanos: u64) {
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total kernel execution time so far, in nanoseconds. This is the
+    /// "profiling interface" §4.3 suggests schedulers use for precise
+    /// device-time measurements.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the device epoch (profiling clock).
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_usage() {
+        let dev = DeviceState::new(DeviceConfig::small(1000));
+        dev.alloc(400).unwrap();
+        dev.alloc(600).unwrap();
+        assert_eq!(dev.used_mem(), 1000);
+        assert_eq!(dev.alloc(1), Err(ClError(CL_MEM_OBJECT_ALLOCATION_FAILURE)));
+        dev.free(600);
+        assert_eq!(dev.used_mem(), 400);
+        dev.alloc(600).unwrap();
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let dev = DeviceState::new(DeviceConfig::default());
+        dev.add_busy(500);
+        dev.add_busy(1500);
+        assert_eq!(dev.busy_nanos(), 2000);
+    }
+
+    #[test]
+    fn profiling_clock_advances() {
+        let dev = DeviceState::new(DeviceConfig::default());
+        let a = dev.now_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = dev.now_nanos();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn overflow_alloc_rejected() {
+        let dev = DeviceState::new(DeviceConfig::small(100));
+        dev.alloc(50).unwrap();
+        assert!(dev.alloc(usize::MAX).is_err());
+        assert_eq!(dev.used_mem(), 50);
+    }
+}

@@ -1,0 +1,178 @@
+//! Event objects: command completion tracking and profiling timestamps.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::status::{ClError, ClResult};
+use crate::types::{EventStatus, ProfilingInfo};
+
+/// Internal state of an event.
+#[derive(Debug, Clone)]
+struct EventInner {
+    status: EventStatus,
+    profiling: ProfilingInfo,
+    profiling_enabled: bool,
+}
+
+/// A command-completion event. Cheap to share; the queue worker updates it
+/// and any thread may wait on it.
+#[derive(Debug)]
+pub struct EventCore {
+    inner: Mutex<EventInner>,
+    cv: Condvar,
+}
+
+impl EventCore {
+    /// Creates an event in the `Queued` state.
+    pub fn new(profiling_enabled: bool) -> Self {
+        EventCore {
+            inner: Mutex::new(EventInner {
+                status: EventStatus::Queued,
+                profiling: ProfilingInfo::default(),
+                profiling_enabled,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Creates an event that is already complete (used for operations that
+    /// execute synchronously at enqueue).
+    pub fn completed(profiling_enabled: bool, now_nanos: u64) -> Self {
+        let ev = Self::new(profiling_enabled);
+        {
+            let mut inner = ev.inner.lock();
+            inner.status = EventStatus::Complete;
+            inner.profiling = ProfilingInfo {
+                queued: now_nanos,
+                submitted: now_nanos,
+                started: now_nanos,
+                ended: now_nanos,
+            };
+        }
+        ev
+    }
+
+    /// Current execution status.
+    pub fn status(&self) -> EventStatus {
+        self.inner.lock().status
+    }
+
+    /// Marks the queued timestamp.
+    pub fn mark_queued(&self, now: u64) {
+        let mut inner = self.inner.lock();
+        inner.profiling.queued = now;
+    }
+
+    /// Transitions to `Submitted`.
+    pub fn mark_submitted(&self, now: u64) {
+        let mut inner = self.inner.lock();
+        inner.status = EventStatus::Submitted;
+        inner.profiling.submitted = now;
+    }
+
+    /// Transitions to `Running`.
+    pub fn mark_running(&self, now: u64) {
+        let mut inner = self.inner.lock();
+        inner.status = EventStatus::Running;
+        inner.profiling.started = now;
+    }
+
+    /// Transitions to `Complete` and wakes waiters.
+    pub fn mark_complete(&self, now: u64) {
+        let mut inner = self.inner.lock();
+        inner.status = EventStatus::Complete;
+        inner.profiling.ended = now;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Transitions to `Failed` and wakes waiters.
+    pub fn mark_failed(&self, code: i32, now: u64) {
+        let mut inner = self.inner.lock();
+        inner.status = EventStatus::Failed(code);
+        inner.profiling.ended = now;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the event completes; returns the failure status if the
+    /// command failed.
+    pub fn wait(&self) -> ClResult<()> {
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.status {
+                EventStatus::Complete => return Ok(()),
+                EventStatus::Failed(code) => return Err(ClError(code)),
+                _ => self.cv.wait(&mut inner),
+            }
+        }
+    }
+
+    /// Profiling timestamps, if profiling was enabled on the queue.
+    pub fn profiling(&self) -> ClResult<ProfilingInfo> {
+        let inner = self.inner.lock();
+        if !inner.profiling_enabled {
+            return Err(ClError(crate::status::CL_PROFILING_INFO_NOT_AVAILABLE));
+        }
+        Ok(inner.profiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lifecycle_transitions() {
+        let ev = EventCore::new(true);
+        assert_eq!(ev.status(), EventStatus::Queued);
+        ev.mark_queued(1);
+        ev.mark_submitted(2);
+        assert_eq!(ev.status(), EventStatus::Submitted);
+        ev.mark_running(3);
+        assert_eq!(ev.status(), EventStatus::Running);
+        ev.mark_complete(10);
+        assert_eq!(ev.status(), EventStatus::Complete);
+        let p = ev.profiling().unwrap();
+        assert_eq!(p.queued, 1);
+        assert_eq!(p.duration_nanos(), 7);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion() {
+        let ev = Arc::new(EventCore::new(false));
+        let ev2 = Arc::clone(&ev);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            ev2.mark_complete(0);
+        });
+        ev.wait().unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_surfaces_failure() {
+        let ev = Arc::new(EventCore::new(false));
+        let ev2 = Arc::clone(&ev);
+        let t = std::thread::spawn(move || ev2.mark_failed(-52, 0));
+        t.join().unwrap();
+        assert_eq!(ev.wait(), Err(ClError(-52)));
+        assert_eq!(ev.status(), EventStatus::Failed(-52));
+    }
+
+    #[test]
+    fn profiling_unavailable_without_flag() {
+        let ev = EventCore::new(false);
+        ev.mark_complete(5);
+        assert!(ev.profiling().is_err());
+    }
+
+    #[test]
+    fn completed_constructor() {
+        let ev = EventCore::completed(true, 42);
+        assert_eq!(ev.status(), EventStatus::Complete);
+        ev.wait().unwrap();
+        assert_eq!(ev.profiling().unwrap().ended, 42);
+    }
+}

@@ -1,0 +1,332 @@
+//! Kernel bodies and the device's kernel registry.
+//!
+//! Because the simulated device does not compile OpenCL C, kernel *bodies*
+//! are Rust implementations registered by name. `clBuildProgram` resolves
+//! each `__kernel` signature in the source against this registry; execution
+//! then dispatches to the registered body with the bound arguments and the
+//! NDRange geometry — the exact information a real device receives.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::status::{ClError, ClResult, CL_INVALID_ARG_INDEX, CL_INVALID_ARG_VALUE};
+
+/// One bound argument as seen by a kernel body.
+pub enum Slot<'a> {
+    /// A `__global` buffer.
+    Buf(&'a mut [u8]),
+    /// A `__local` scratch request of the given byte size.
+    Local(usize),
+    /// A by-value scalar in native byte order.
+    Scalar(Vec<u8>),
+}
+
+/// Everything a kernel body needs for one NDRange execution.
+pub struct Invocation<'a> {
+    /// Global work size per dimension.
+    pub global: [usize; 3],
+    /// Work-group size per dimension.
+    pub local: [usize; 3],
+    slots: Vec<Slot<'a>>,
+}
+
+impl<'a> Invocation<'a> {
+    /// Builds an invocation (used by the queue executor and by tests).
+    pub fn new(global: [usize; 3], local: [usize; 3], slots: Vec<Slot<'a>>) -> Self {
+        Invocation { global, local, slots }
+    }
+
+    /// Number of bound argument slots.
+    pub fn arg_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, i: usize) -> ClResult<&Slot<'a>> {
+        self.slots.get(i).ok_or(ClError(CL_INVALID_ARG_INDEX))
+    }
+
+    /// Reads a scalar argument's raw bytes.
+    pub fn scalar_bytes(&self, i: usize) -> ClResult<&[u8]> {
+        match self.slot(i)? {
+            Slot::Scalar(b) => Ok(b),
+            _ => Err(ClError(CL_INVALID_ARG_VALUE)),
+        }
+    }
+
+    /// Reads a `cl_uint` scalar argument.
+    pub fn scalar_u32(&self, i: usize) -> ClResult<u32> {
+        let b = self.scalar_bytes(i)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| ClError(CL_INVALID_ARG_VALUE))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Reads a `cl_int` scalar argument.
+    pub fn scalar_i32(&self, i: usize) -> ClResult<i32> {
+        Ok(self.scalar_u32(i)? as i32)
+    }
+
+    /// Reads a `float` scalar argument.
+    pub fn scalar_f32(&self, i: usize) -> ClResult<f32> {
+        Ok(f32::from_bits(self.scalar_u32(i)?))
+    }
+
+    /// Reads a `size_t`/`ulong` scalar argument.
+    pub fn scalar_u64(&self, i: usize) -> ClResult<u64> {
+        let b = self.scalar_bytes(i)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| ClError(CL_INVALID_ARG_VALUE))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Byte size requested for a `__local` argument.
+    pub fn local_len(&self, i: usize) -> ClResult<usize> {
+        match self.slot(i)? {
+            Slot::Local(n) => Ok(*n),
+            _ => Err(ClError(CL_INVALID_ARG_VALUE)),
+        }
+    }
+
+    /// Borrows one buffer argument mutably.
+    pub fn buf(&mut self, i: usize) -> ClResult<&mut [u8]> {
+        match self.slots.get_mut(i) {
+            Some(Slot::Buf(b)) => Ok(&mut **b),
+            Some(_) => Err(ClError(CL_INVALID_ARG_VALUE)),
+            None => Err(ClError(CL_INVALID_ARG_INDEX)),
+        }
+    }
+
+    /// Borrows `N` *distinct* buffer arguments mutably at once.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `CL_INVALID_ARG_VALUE` if any index repeats, is out of
+    /// range, or does not name a buffer slot.
+    pub fn bufs<const N: usize>(&mut self, idx: [usize; N]) -> ClResult<[&mut [u8]; N]> {
+        for (a, i) in idx.iter().enumerate() {
+            if *i >= self.slots.len() {
+                return Err(ClError(CL_INVALID_ARG_INDEX));
+            }
+            if !matches!(self.slots[*i], Slot::Buf(_)) {
+                return Err(ClError(CL_INVALID_ARG_VALUE));
+            }
+            if idx[..a].contains(i) {
+                return Err(ClError(CL_INVALID_ARG_VALUE));
+            }
+        }
+        let base = self.slots.as_mut_ptr();
+        let out: [&mut [u8]; N] = idx.map(|i| {
+            // SAFETY: every index is in bounds and distinct (checked above),
+            // so each `&mut` points at a different element of `slots`; the
+            // borrows cannot alias and all live no longer than `&mut self`.
+            match unsafe { &mut *base.add(i) } {
+                Slot::Buf(b) => &mut **b,
+                _ => unreachable!("checked to be Buf above"),
+            }
+        });
+        Ok(out)
+    }
+}
+
+/// A named kernel implementation.
+pub trait KernelBody: Send + Sync {
+    /// Executes the whole NDRange.
+    fn execute(&self, inv: &mut Invocation<'_>) -> ClResult<()>;
+}
+
+impl<F> KernelBody for F
+where
+    F: Fn(&mut Invocation<'_>) -> ClResult<()> + Send + Sync,
+{
+    fn execute(&self, inv: &mut Invocation<'_>) -> ClResult<()> {
+        self(inv)
+    }
+}
+
+/// Name → body registry consulted by `clBuildProgram`.
+#[derive(Default)]
+pub struct KernelRegistry {
+    map: RwLock<HashMap<String, Arc<dyn KernelBody>>>,
+}
+
+impl KernelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a kernel body under `name`.
+    pub fn register(&self, name: impl Into<String>, body: Arc<dyn KernelBody>) {
+        self.map.write().insert(name.into(), body);
+    }
+
+    /// Registers a closure as a kernel body.
+    pub fn register_fn<F>(&self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut Invocation<'_>) -> ClResult<()> + Send + Sync + 'static,
+    {
+        self.register(name, Arc::new(f));
+    }
+
+    /// Looks up a body by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn KernelBody>> {
+        self.map.read().get(name).cloned()
+    }
+
+    /// True if `name` has a registered body.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.read().contains_key(name)
+    }
+
+    /// Installs the built-in demonstration kernels (`vector_add`,
+    /// `vector_scale`, `fill`, `saxpy`).
+    pub fn with_builtins(self) -> Self {
+        builtins::install(&self);
+        self
+    }
+}
+
+/// Small generic kernels used by the quickstart example and tests.
+pub mod builtins {
+    use super::*;
+    use crate::mem::{as_f32, as_f32_mut};
+
+    /// Registers all built-ins into `reg`.
+    pub fn install(reg: &KernelRegistry) {
+        reg.register_fn("vector_add", |inv| {
+            let n = inv.scalar_u32(3)? as usize;
+            let [a, b, c] = inv.bufs([0, 1, 2])?;
+            let (a, b) = (as_f32(a), as_f32(b));
+            let c = as_f32_mut(c);
+            for i in 0..n.min(c.len()) {
+                c[i] = a[i] + b[i];
+            }
+            Ok(())
+        });
+        reg.register_fn("vector_scale", |inv| {
+            let factor = inv.scalar_f32(1)?;
+            let n = inv.scalar_u32(2)? as usize;
+            let data = as_f32_mut(inv.buf(0)?);
+            for v in data.iter_mut().take(n) {
+                *v *= factor;
+            }
+            Ok(())
+        });
+        reg.register_fn("fill", |inv| {
+            let value = inv.scalar_f32(1)?;
+            let data = as_f32_mut(inv.buf(0)?);
+            for v in data.iter_mut() {
+                *v = value;
+            }
+            Ok(())
+        });
+        reg.register_fn("saxpy", |inv| {
+            let a = inv.scalar_f32(2)?;
+            let n = inv.scalar_u32(3)? as usize;
+            let [x, y] = inv.bufs([0, 1])?;
+            let x = as_f32(x);
+            let y = as_f32_mut(y);
+            for i in 0..n.min(y.len()) {
+                y[i] += a * x[i];
+            }
+            Ok(())
+        });
+    }
+
+    /// OpenCL C source matching the built-ins, for use with
+    /// `clCreateProgramWithSource` in examples and tests.
+    pub const SOURCE: &str = r#"
+__kernel void vector_add(__global const float *a, __global const float *b,
+                         __global float *c, const uint n) {
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+__kernel void vector_scale(__global float *data, const float factor, const uint n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] *= factor;
+}
+__kernel void fill(__global float *data, const float value) {
+    data[get_global_id(0)] = value;
+}
+__kernel void saxpy(__global const float *x, __global float *y,
+                    const float a, const uint n) {
+    int i = get_global_id(0);
+    if (i < n) y[i] += a * x[i];
+}
+"#;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::{f32_to_bytes, AlignedBuf};
+
+    fn inv_with_bufs(bufs: Vec<AlignedBuf>) -> (Vec<AlignedBuf>, ()) {
+        (bufs, ())
+    }
+
+    #[test]
+    fn registry_register_and_lookup() {
+        let reg = KernelRegistry::new();
+        assert!(!reg.contains("k"));
+        reg.register_fn("k", |_inv| Ok(()));
+        assert!(reg.contains("k"));
+        assert!(reg.get("k").is_some());
+        assert!(reg.get("other").is_none());
+    }
+
+    #[test]
+    fn builtin_vector_add_computes() {
+        let reg = KernelRegistry::new().with_builtins();
+        let body = reg.get("vector_add").unwrap();
+        let mut a = AlignedBuf::from_bytes(&f32_to_bytes(&[1.0, 2.0, 3.0]));
+        let mut b = AlignedBuf::from_bytes(&f32_to_bytes(&[10.0, 20.0, 30.0]));
+        let mut c = AlignedBuf::zeroed(12);
+        let slots = vec![
+            Slot::Buf(a.as_bytes_mut()),
+            Slot::Buf(b.as_bytes_mut()),
+            Slot::Buf(c.as_bytes_mut()),
+            Slot::Scalar(3u32.to_le_bytes().to_vec()),
+        ];
+        let mut inv = Invocation::new([3, 1, 1], [1, 1, 1], slots);
+        body.execute(&mut inv).unwrap();
+        drop(inv);
+        assert_eq!(crate::mem::bytes_to_f32(c.as_bytes()), vec![11.0, 22.0, 33.0]);
+        let _ = inv_with_bufs(vec![]);
+    }
+
+    #[test]
+    fn scalar_accessors_validate_size() {
+        let slots = vec![Slot::Scalar(vec![1, 0, 0, 0]), Slot::Scalar(vec![1, 2])];
+        let inv = Invocation::new([1, 1, 1], [1, 1, 1], slots);
+        assert_eq!(inv.scalar_u32(0).unwrap(), 1);
+        assert!(inv.scalar_u32(1).is_err());
+        assert!(inv.scalar_u64(0).is_err());
+        assert!(inv.scalar_u32(9).is_err());
+    }
+
+    #[test]
+    fn bufs_rejects_duplicates_and_wrong_kinds() {
+        let mut a = AlignedBuf::zeroed(8);
+        let slots = vec![Slot::Buf(a.as_bytes_mut()), Slot::Local(64)];
+        let mut inv = Invocation::new([1, 1, 1], [1, 1, 1], slots);
+        assert!(inv.bufs([0, 0]).is_err());
+        assert!(inv.bufs([0, 1]).is_err()); // slot 1 is Local
+        assert!(inv.bufs([0]).is_ok());
+        assert_eq!(inv.local_len(1).unwrap(), 64);
+    }
+
+    #[test]
+    fn bufs_returns_disjoint_mut_slices() {
+        let mut a = AlignedBuf::zeroed(4);
+        let mut b = AlignedBuf::zeroed(4);
+        let slots = vec![Slot::Buf(a.as_bytes_mut()), Slot::Buf(b.as_bytes_mut())];
+        let mut inv = Invocation::new([1, 1, 1], [1, 1, 1], slots);
+        let [x, y] = inv.bufs([0, 1]).unwrap();
+        x[0] = 1;
+        y[0] = 2;
+        drop(inv);
+        assert_eq!(a.as_bytes()[0], 1);
+        assert_eq!(b.as_bytes()[0], 2);
+    }
+}

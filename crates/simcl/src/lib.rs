@@ -1,0 +1,72 @@
+//! `simcl` — an OpenCL-subset accelerator silo with a simulated device.
+//!
+//! This crate is the substrate under AvA's Figure-5 OpenCL experiments: a
+//! from-scratch implementation of the ~40 `cl*` entry points the paper
+//! para-virtualized, executing on a simulated multi-compute-unit device.
+//! Programs are real OpenCL C source; `clBuildProgram` parses their
+//! `__kernel` signatures exactly, while kernel *bodies* dispatch to Rust
+//! implementations registered in a [`kernels::KernelRegistry`] (see
+//! DESIGN.md for why this substitution preserves everything API remoting
+//! exercises).
+//!
+//! The crate is deliberately structured as a *silo* (Figure 1 of the
+//! paper): the only public surface is the user-mode API ([`ClApi`]); queue
+//! workers, device state and memory live behind it.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcl::{ClApi, SimCl};
+//! use simcl::types::{DeviceType, MemFlags, KernelArg, QueueProps};
+//!
+//! let cl = SimCl::new();
+//! let platform = cl.get_platform_ids().unwrap()[0];
+//! let device = cl.get_device_ids(platform, DeviceType::Gpu).unwrap()[0];
+//! let ctx = cl.create_context(device).unwrap();
+//! let queue = cl.create_command_queue(ctx, device, QueueProps::default()).unwrap();
+//!
+//! let program = cl
+//!     .create_program_with_source(ctx, simcl::kernels::builtins::SOURCE)
+//!     .unwrap();
+//! cl.build_program(program, "").unwrap();
+//! let kernel = cl.create_kernel(program, "vector_add").unwrap();
+//!
+//! let a = simcl::mem::f32_to_bytes(&[1.0, 2.0, 3.0, 4.0]);
+//! let b = simcl::mem::f32_to_bytes(&[10.0, 20.0, 30.0, 40.0]);
+//! let buf_a = cl.create_buffer(ctx, MemFlags::read_only(), 16, Some(&a)).unwrap();
+//! let buf_b = cl.create_buffer(ctx, MemFlags::read_only(), 16, Some(&b)).unwrap();
+//! let buf_c = cl.create_buffer(ctx, MemFlags::write_only(), 16, None).unwrap();
+//!
+//! cl.set_kernel_arg(kernel, 0, KernelArg::Mem(buf_a)).unwrap();
+//! cl.set_kernel_arg(kernel, 1, KernelArg::Mem(buf_b)).unwrap();
+//! cl.set_kernel_arg(kernel, 2, KernelArg::Mem(buf_c)).unwrap();
+//! cl.set_kernel_arg(kernel, 3, KernelArg::from_u32(4)).unwrap();
+//! cl.enqueue_nd_range_kernel(queue, kernel, [4, 1, 1], None, &[], false).unwrap();
+//!
+//! let mut out = vec![0u8; 16];
+//! cl.enqueue_read_buffer(queue, buf_c, true, 0, &mut out, &[], false).unwrap();
+//! assert_eq!(simcl::mem::bytes_to_f32(&out), vec![11.0, 22.0, 33.0, 44.0]);
+//! ```
+
+pub mod api;
+pub mod device;
+pub mod event;
+pub mod kernels;
+pub mod mem;
+pub mod objects;
+pub mod program;
+pub mod queue;
+pub mod runtime;
+pub mod status;
+pub mod types;
+
+pub use api::{ClApi, CL_API_FUNCTION_COUNT};
+pub use device::DeviceConfig;
+pub use kernels::{Invocation, KernelBody, KernelRegistry, Slot};
+pub use runtime::SimCl;
+pub use status::{ClError, ClResult};
+pub use types::{
+    ClContext, ClDevice, ClEvent, ClKernel, ClMem, ClPlatform, ClProgram, ClQueue,
+    DeviceInfo, DeviceType, EventStatus, ImageDesc, InfoValue, KernelArg, MemFlags,
+    PlatformInfo, ProfilingInfo, QueueProps,
+};

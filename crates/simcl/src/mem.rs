@@ -1,0 +1,221 @@
+//! Device memory storage with guaranteed 8-byte alignment.
+//!
+//! Kernel bodies view buffers as typed slices (`&mut [f32]`, `&mut [i32]`,
+//! ...). A plain `Vec<u8>` gives no alignment guarantee, so device
+//! allocations are backed by `Vec<u64>` and re-viewed as bytes; any offset
+//! that is a multiple of the element size is then correctly aligned for
+//! elements up to 8 bytes.
+
+/// An 8-byte-aligned, byte-addressable device allocation.
+#[derive(Debug, Default)]
+pub struct AlignedBuf {
+    storage: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Allocates `len` zeroed bytes.
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBuf { storage: vec![0u64; len.div_ceil(8)], len }
+    }
+
+    /// Allocates from existing bytes.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut buf = Self::zeroed(data.len());
+        buf.as_bytes_mut().copy_from_slice(data);
+        buf
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read-only byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `storage` holds at least `len.div_ceil(8) * 8 >= len`
+        // initialized bytes; `u64`'s alignment satisfies `u8`'s; the
+        // lifetime is tied to `&self`.
+        unsafe { std::slice::from_raw_parts(self.storage.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Mutable byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as `as_bytes`, and `&mut self` guarantees uniqueness.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len)
+        }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        AlignedBuf { storage: self.storage.clone(), len: self.len }
+    }
+}
+
+/// Views a byte slice as `f32`s. The slice must be 4-byte aligned and a
+/// multiple of 4 bytes long (always true for [`AlignedBuf`] contents).
+///
+/// # Panics
+///
+/// Panics if the alignment or length requirement is violated — that is a
+/// kernel-implementation bug, not a data-dependent condition.
+pub fn as_f32(bytes: &[u8]) -> &[f32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned f32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: alignment and size were just checked; every bit pattern is a
+    // valid f32; lifetime is inherited from the input slice.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
+}
+
+/// Mutable `f32` view; same requirements as [`as_f32`].
+pub fn as_f32_mut(bytes: &mut [u8]) -> &mut [f32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned f32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: as `as_f32`, with uniqueness from `&mut`.
+    unsafe {
+        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<f32>(), bytes.len() / 4)
+    }
+}
+
+/// Views a byte slice as `i32`s; same requirements as [`as_f32`].
+pub fn as_i32(bytes: &[u8]) -> &[i32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned i32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: as `as_f32`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i32>(), bytes.len() / 4) }
+}
+
+/// Mutable `i32` view; same requirements as [`as_f32`].
+pub fn as_i32_mut(bytes: &mut [u8]) -> &mut [i32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned i32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: as `as_f32_mut`.
+    unsafe {
+        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<i32>(), bytes.len() / 4)
+    }
+}
+
+/// Views a byte slice as `u32`s; same requirements as [`as_f32`].
+pub fn as_u32(bytes: &[u8]) -> &[u32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned u32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: as `as_f32`.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) }
+}
+
+/// Mutable `u32` view; same requirements as [`as_f32`].
+pub fn as_u32_mut(bytes: &mut [u8]) -> &mut [u32] {
+    assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned u32 view");
+    assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
+    // SAFETY: as `as_f32_mut`.
+    unsafe {
+        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<u32>(), bytes.len() / 4)
+    }
+}
+
+/// Copies a `f32` slice into freshly allocated bytes.
+pub fn f32_to_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Copies bytes into a `f32` vector (no alignment requirement).
+pub fn bytes_to_f32(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+/// Copies an `i32` slice into freshly allocated bytes.
+pub fn i32_to_bytes(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Copies bytes into an `i32` vector (no alignment requirement).
+pub fn bytes_to_i32(bytes: &[u8]) -> Vec<i32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_buffer_is_zero() {
+        let buf = AlignedBuf::zeroed(13);
+        assert_eq!(buf.len(), 13);
+        assert!(buf.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn from_bytes_round_trips_odd_lengths() {
+        let data: Vec<u8> = (0..23).collect();
+        let buf = AlignedBuf::from_bytes(&data);
+        assert_eq!(buf.as_bytes(), &data[..]);
+    }
+
+    #[test]
+    fn typed_views_are_aligned() {
+        let mut buf = AlignedBuf::zeroed(32);
+        {
+            let f = as_f32_mut(buf.as_bytes_mut());
+            f[0] = 1.5;
+            f[7] = -2.0;
+        }
+        let f = as_f32(buf.as_bytes());
+        assert_eq!(f[0], 1.5);
+        assert_eq!(f[7], -2.0);
+        let i = as_i32(buf.as_bytes());
+        assert_eq!(i[1], 0);
+    }
+
+    #[test]
+    fn subslice_views_at_element_offsets() {
+        let mut buf = AlignedBuf::zeroed(64);
+        let bytes = buf.as_bytes_mut();
+        let tail = &mut bytes[8..]; // still 8-byte aligned
+        as_f32_mut(tail)[0] = 7.0;
+        assert_eq!(as_f32(buf.as_bytes())[2], 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn ragged_view_panics() {
+        let buf = AlignedBuf::zeroed(10);
+        let _ = as_f32(&buf.as_bytes()[..7]);
+    }
+
+    #[test]
+    fn conversion_helpers_round_trip() {
+        let values = vec![1.0f32, -2.5, 3.25];
+        assert_eq!(bytes_to_f32(&f32_to_bytes(&values)), values);
+        let ints = vec![i32::MIN, -1, 0, 42, i32::MAX];
+        assert_eq!(bytes_to_i32(&i32_to_bytes(&ints)), ints);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::from_bytes(&[1, 2, 3, 4]);
+        let b = a.clone();
+        a.as_bytes_mut()[0] = 99;
+        assert_eq!(b.as_bytes()[0], 1);
+    }
+}

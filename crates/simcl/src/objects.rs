@@ -1,0 +1,192 @@
+//! Runtime object representations behind the public handles.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::DeviceState;
+use crate::event::EventCore;
+use crate::mem::AlignedBuf;
+use crate::program::KernelSig;
+use crate::types::{ImageDesc, MemFlags, QueueProps};
+
+/// Reference count shared by all API objects (`clRetain*` / `clRelease*`).
+#[derive(Debug)]
+pub struct RefCount(AtomicU32);
+
+impl RefCount {
+    /// New object with one reference.
+    pub fn new() -> Self {
+        RefCount(AtomicU32::new(1))
+    }
+
+    /// Increments; returns the new count.
+    pub fn retain(&self) -> u32 {
+        self.0.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Decrements; returns the new count (0 means "destroy").
+    pub fn release(&self) -> u32 {
+        self.0.fetch_sub(1, Ordering::AcqRel) - 1
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u32 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl Default for RefCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A context: a binding to one device.
+#[derive(Debug)]
+pub struct ContextObj {
+    /// Owning device.
+    pub device: Arc<DeviceState>,
+    /// Device handle value this context was created against.
+    pub device_id: u64,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+/// A memory object (buffer or simple image).
+#[derive(Debug)]
+pub struct MemObj {
+    /// Handle value (used for deterministic lock ordering).
+    pub id: u64,
+    /// Owning context handle value.
+    pub ctx: u64,
+    /// Allocation size in bytes.
+    pub size: usize,
+    /// Allocation flags.
+    pub flags: MemFlags,
+    /// Image metadata if created by `clCreateImage`.
+    pub image: Option<ImageDesc>,
+    /// Device that holds the allocation (for accounting on release).
+    pub device: Arc<DeviceState>,
+    /// Backing storage.
+    pub data: Mutex<AlignedBuf>,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+/// Result of a successful `clBuildProgram`.
+#[derive(Debug, Clone)]
+pub struct BuildOutput {
+    /// Kernel signatures found in the source.
+    pub sigs: Vec<KernelSig>,
+    /// Build log text.
+    pub log: String,
+}
+
+/// A program object.
+#[derive(Debug)]
+pub struct ProgramObj {
+    /// Owning context handle value.
+    pub ctx: u64,
+    /// Original source text.
+    pub source: String,
+    /// Build state: `None` until built; `Ok` holds signatures, `Err` the log.
+    pub build: Mutex<Option<Result<BuildOutput, String>>>,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+/// A bound kernel argument (resolved to object references at set time).
+#[derive(Clone)]
+pub enum BoundArg {
+    /// A `__global` buffer.
+    Mem(Arc<MemObj>),
+    /// A `__local` scratch size.
+    Local(usize),
+    /// A by-value scalar.
+    Scalar(Vec<u8>),
+}
+
+impl std::fmt::Debug for BoundArg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundArg::Mem(m) => write!(f, "Mem(#{})", m.id),
+            BoundArg::Local(n) => write!(f, "Local({n})"),
+            BoundArg::Scalar(b) => write!(f, "Scalar({} bytes)", b.len()),
+        }
+    }
+}
+
+/// A kernel object.
+#[derive(Debug)]
+pub struct KernelObj {
+    /// Owning program handle value.
+    pub program: u64,
+    /// Entry-point name.
+    pub name: String,
+    /// Parsed signature (argument kinds).
+    pub sig: KernelSig,
+    /// Registered Rust body.
+    pub body: Arc<dyn crate::kernels::KernelBody>,
+    /// Currently bound arguments (captured at enqueue).
+    pub args: Mutex<Vec<Option<BoundArg>>>,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+impl std::fmt::Debug for dyn crate::kernels::KernelBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<kernel body>")
+    }
+}
+
+/// An event object wrapping the shared [`EventCore`].
+#[derive(Debug)]
+pub struct EventObj {
+    /// Completion/profiling state shared with the queue worker.
+    pub core: Arc<EventCore>,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+/// A command queue.
+#[derive(Debug)]
+pub struct QueueObj {
+    /// Owning context handle value.
+    pub ctx: u64,
+    /// Target device.
+    pub device: Arc<DeviceState>,
+    /// Queue properties.
+    pub props: QueueProps,
+    /// Command channel to the worker thread.
+    pub tx: crossbeam::channel::Sender<crate::queue::Command>,
+    /// Worker join handle (taken on destruction).
+    pub worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Reference count.
+    pub refs: RefCount,
+}
+
+impl QueueObj {
+    /// Sends the shutdown command and joins the worker.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(crate::queue::Command::Shutdown);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refcount_lifecycle() {
+        let r = RefCount::new();
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.retain(), 2);
+        assert_eq!(r.release(), 1);
+        assert_eq!(r.release(), 0);
+    }
+}

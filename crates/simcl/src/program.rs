@@ -1,0 +1,220 @@
+//! OpenCL C program handling: kernel *signature* parsing.
+//!
+//! The simulated device does not compile OpenCL C. `clBuildProgram` parses
+//! the real source text for `__kernel` entry points and their parameter
+//! lists (so `clCreateKernel` / `clSetKernelArg` semantics are exact), and
+//! binds each entry point to a registered Rust implementation by name (see
+//! [`crate::kernels`]). DESIGN.md documents this substitution: API remoting
+//! forwards program source as an opaque string and never inspects kernel
+//! bodies, so signature-exact handling preserves every code path AvA
+//! exercises.
+
+/// Classification of one kernel parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelParamKind {
+    /// `__global` or `__constant` pointer: bound to a buffer object.
+    GlobalPtr,
+    /// `__local` pointer: bound to a scratch size.
+    LocalPtr,
+    /// By-value scalar of the given byte size.
+    Scalar(usize),
+}
+
+/// A parsed kernel signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSig {
+    /// Kernel entry-point name.
+    pub name: String,
+    /// Parameter kinds in declaration order.
+    pub params: Vec<KernelParamKind>,
+}
+
+/// Byte size of an OpenCL C scalar type name.
+fn scalar_size(ty: &str) -> Option<usize> {
+    Some(match ty {
+        "char" | "uchar" | "bool" => 1,
+        "short" | "ushort" | "half" => 2,
+        "int" | "uint" | "float" => 4,
+        "long" | "ulong" | "double" | "size_t" | "ptrdiff_t" => 8,
+        "float2" => 8,
+        "float4" | "int4" | "uint4" => 16,
+        _ => return None,
+    })
+}
+
+/// Extracts every `__kernel` signature from OpenCL C source text.
+///
+/// The parser is tolerant: comments are stripped, attributes such as
+/// `__attribute__((reqd_work_group_size(...)))` are skipped, and anything
+/// that is not a kernel declaration is ignored.
+pub fn parse_kernel_signatures(source: &str) -> Vec<KernelSig> {
+    let clean = strip_comments(source);
+    let mut sigs = Vec::new();
+    let mut rest: &str = &clean;
+    while let Some(pos) = rest.find("__kernel") {
+        rest = &rest[pos + "__kernel".len()..];
+        // Skip attributes between `__kernel` and `void`.
+        let Some(void_pos) = rest.find("void") else { break };
+        rest = &rest[void_pos + "void".len()..];
+        let Some(open) = rest.find('(') else { break };
+        let name = rest[..open].trim().to_string();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let Some(close) = find_matching_paren(&rest[open..]) else { break };
+        let params_text = &rest[open + 1..open + close];
+        rest = &rest[open + close..];
+        let params = params_text
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(classify_param)
+            .collect();
+        sigs.push(KernelSig { name, params });
+    }
+    sigs
+}
+
+/// Returns the offset of the `)` matching the `(` at `s[0]`.
+fn find_matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn classify_param(text: &str) -> KernelParamKind {
+    let is_ptr = text.contains('*');
+    let words: Vec<&str> = text
+        .split(|c: char| c.is_whitespace() || c == '*')
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.iter().any(|w| *w == "__local" || *w == "local") && is_ptr {
+        return KernelParamKind::LocalPtr;
+    }
+    if is_ptr {
+        return KernelParamKind::GlobalPtr;
+    }
+    // Scalar: find the type word (skip qualifiers and the parameter name,
+    // which is the last word).
+    for w in &words {
+        if let Some(sz) = scalar_size(w) {
+            return KernelParamKind::Scalar(sz);
+        }
+    }
+    // Unknown scalar type: assume 4 bytes (int-like).
+    KernelParamKind::Scalar(4)
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_kernel() {
+        let src = r#"
+__kernel void vadd(__global const float *a, __global const float *b,
+                   __global float *c, const unsigned int n) {
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+"#;
+        let sigs = parse_kernel_signatures(src);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].name, "vadd");
+        assert_eq!(
+            sigs[0].params,
+            vec![
+                KernelParamKind::GlobalPtr,
+                KernelParamKind::GlobalPtr,
+                KernelParamKind::GlobalPtr,
+                KernelParamKind::Scalar(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_multiple_kernels_and_local_params() {
+        let src = r#"
+// Reduction with scratch space.
+__kernel void reduce(__global float *data, __local float *scratch, uint n) { }
+/* second kernel */
+__kernel void scale(__global float *data, float factor, ulong count) { }
+"#;
+        let sigs = parse_kernel_signatures(src);
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0].params[1], KernelParamKind::LocalPtr);
+        assert_eq!(sigs[1].params[1], KernelParamKind::Scalar(4));
+        assert_eq!(sigs[1].params[2], KernelParamKind::Scalar(8));
+    }
+
+    #[test]
+    fn ignores_helper_functions() {
+        let src = r#"
+float helper(float x) { return x * 2.0f; }
+__kernel void k(__global float *d) { d[0] = helper(d[0]); }
+"#;
+        let sigs = parse_kernel_signatures(src);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].name, "k");
+    }
+
+    #[test]
+    fn kernel_names_in_comments_are_ignored() {
+        let src = "// __kernel void fake(int x)\n__kernel void real(__global int *p) {}";
+        let sigs = parse_kernel_signatures(src);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].name, "real");
+    }
+
+    #[test]
+    fn empty_parameter_list() {
+        let sigs = parse_kernel_signatures("__kernel void noop() {}");
+        assert_eq!(sigs.len(), 1);
+        assert!(sigs[0].params.is_empty());
+    }
+
+    #[test]
+    fn constant_qualifier_is_global() {
+        let sigs =
+            parse_kernel_signatures("__kernel void k(__constant float *lut, int n) {}");
+        assert_eq!(sigs[0].params[0], KernelParamKind::GlobalPtr);
+    }
+
+    #[test]
+    fn no_kernels_in_plain_code() {
+        assert!(parse_kernel_signatures("int main() { return 0; }").is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests over the silo: signature parsing on generated OpenCL C,
+//! and buffer read/write/copy semantics under arbitrary offsets.
+
+use proptest::prelude::*;
+use simcl::program::{parse_kernel_signatures, KernelParamKind};
+use simcl::types::*;
+use simcl::{ClApi, SimCl};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_kernel_signatures_parse_exactly(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,12}", 1..5),
+        param_shape in proptest::collection::vec(0u8..3, 0..6),
+    ) {
+        // Unique names to keep expectations simple.
+        let mut names = names;
+        names.sort();
+        names.dedup();
+        let params: Vec<String> = param_shape
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| match kind {
+                0 => format!("__global float *p{i}"),
+                1 => format!("__local int *scratch{i}"),
+                _ => format!("const uint s{i}"),
+            })
+            .collect();
+        let src: String = names
+            .iter()
+            .map(|n| format!("__kernel void {n}({}) {{ }}\n", params.join(", ")))
+            .collect();
+        let sigs = parse_kernel_signatures(&src);
+        prop_assert_eq!(sigs.len(), names.len());
+        for (sig, name) in sigs.iter().zip(names.iter()) {
+            prop_assert_eq!(&sig.name, name);
+            prop_assert_eq!(sig.params.len(), param_shape.len());
+            for (got, want) in sig.params.iter().zip(param_shape.iter()) {
+                let expect = match want {
+                    0 => KernelParamKind::GlobalPtr,
+                    1 => KernelParamKind::LocalPtr,
+                    _ => KernelParamKind::Scalar(4),
+                };
+                prop_assert_eq!(got, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_io_round_trips_at_any_offset(
+        total in 16usize..2048,
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        offset_frac in 0.0f64..1.0,
+    ) {
+        let cl = SimCl::new();
+        let platform = cl.get_platform_ids().unwrap()[0];
+        let device = cl.get_device_ids(platform, DeviceType::All).unwrap()[0];
+        let ctx = cl.create_context(device).unwrap();
+        let queue = cl.create_command_queue(ctx, device, QueueProps::default()).unwrap();
+        let size = total.max(data.len());
+        let buf = cl.create_buffer(ctx, MemFlags::read_write(), size, None).unwrap();
+        let max_off = size - data.len();
+        let offset = (offset_frac * max_off as f64) as usize;
+
+        cl.enqueue_write_buffer(queue, buf, true, offset, &data, &[], false).unwrap();
+        let mut out = vec![0u8; data.len()];
+        cl.enqueue_read_buffer(queue, buf, true, offset, &mut out, &[], false).unwrap();
+        prop_assert_eq!(&out, &data);
+
+        // Copy to a second buffer at offset 0 and verify there too.
+        let dst = cl.create_buffer(ctx, MemFlags::read_write(), size, None).unwrap();
+        cl.enqueue_copy_buffer(queue, buf, dst, offset, 0, data.len(), &[], false).unwrap();
+        cl.finish(queue).unwrap();
+        let mut out2 = vec![0u8; data.len()];
+        cl.enqueue_read_buffer(queue, dst, true, 0, &mut out2, &[], false).unwrap();
+        prop_assert_eq!(&out2, &data);
+
+        cl.release_mem_object(buf).unwrap();
+        cl.release_mem_object(dst).unwrap();
+        cl.release_command_queue(queue).unwrap();
+        cl.release_context(ctx).unwrap();
+    }
+}

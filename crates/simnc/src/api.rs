@@ -1,0 +1,81 @@
+//! The NCSDK v1 (`mvnc*`) API surface.
+//!
+//! Mirrors the Intel Movidius Neural Compute SDK's C API, which the AvA
+//! prototype para-virtualized alongside OpenCL (§5). Implemented natively
+//! by [`crate::SimNc`] and, in `ava-core`, by the generated remoting
+//! client.
+
+use crate::status::NcResult;
+
+/// Opaque device handle (`void *deviceHandle` in the NCSDK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NcDevice(pub u64);
+
+/// Opaque graph handle (`void *graphHandle`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NcGraph(pub u64);
+
+/// Graph-level options (`mvncGraphOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphOption {
+    /// Blocking behaviour of `LoadTensor`/`GetResult` (1 = don't block).
+    DontBlock,
+    /// Time taken by the last inference, in microseconds (read-only).
+    TimeTaken,
+}
+
+/// Device-level options (`mvncDeviceOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceOption {
+    /// Thermal throttling level (always 0 on the simulated VPU).
+    ThermalThrottle,
+    /// Maximum executors (FIFO depth).
+    MaxExecutors,
+}
+
+/// The NCSDK v1 API (11 entry points).
+pub trait MvncApi: Send + Sync {
+    /// `mvncGetDeviceName`.
+    fn get_device_name(&self, index: usize) -> NcResult<String>;
+
+    /// `mvncOpenDevice`.
+    fn open_device(&self, name: &str) -> NcResult<NcDevice>;
+
+    /// `mvncCloseDevice`.
+    fn close_device(&self, device: NcDevice) -> NcResult<()>;
+
+    /// `mvncAllocateGraph`: uploads a compiled graph blob to the device.
+    fn allocate_graph(&self, device: NcDevice, graph_blob: &[u8]) -> NcResult<NcGraph>;
+
+    /// `mvncDeallocateGraph`.
+    fn deallocate_graph(&self, graph: NcGraph) -> NcResult<()>;
+
+    /// `mvncLoadTensor`: queues one input tensor (little-endian `f32`
+    /// bytes) for inference. `user_param` is returned with the result.
+    fn load_tensor(&self, graph: NcGraph, tensor: &[u8], user_param: u64) -> NcResult<()>;
+
+    /// `mvncGetResult`: blocks for the next inference result; returns the
+    /// output tensor bytes and the matching `user_param`.
+    fn get_result(&self, graph: NcGraph) -> NcResult<(Vec<u8>, u64)>;
+
+    /// `mvncSetGraphOption`.
+    fn set_graph_option(&self, graph: NcGraph, option: GraphOption, value: u64)
+        -> NcResult<()>;
+
+    /// `mvncGetGraphOption`.
+    fn get_graph_option(&self, graph: NcGraph, option: GraphOption) -> NcResult<u64>;
+
+    /// `mvncSetDeviceOption`.
+    fn set_device_option(
+        &self,
+        device: NcDevice,
+        option: DeviceOption,
+        value: u64,
+    ) -> NcResult<()>;
+
+    /// `mvncGetDeviceOption`.
+    fn get_device_option(&self, device: NcDevice, option: DeviceOption) -> NcResult<u64>;
+}
+
+/// Number of `mvnc*` entry points in the subset.
+pub const MVNC_API_FUNCTION_COUNT: usize = 11;

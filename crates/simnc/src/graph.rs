@@ -1,0 +1,589 @@
+//! Network graphs: the contents of an NCSDK "graph file".
+//!
+//! A real NCS graph file is a compiled binary blob produced offline by the
+//! NCSDK compiler. Here the blob is a serialized [`Network`]: a DAG of
+//! layers with inline `f32` weights. `mvncAllocateGraph` deserializes it;
+//! the simulated VPU executes it with the primitives in [`crate::tensor`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::status::{NcError, NcResult, MVNC_UNSUPPORTED_GRAPH_FILE};
+use crate::tensor::{
+    avgpool, concat, conv2d, fully_connected, maxpool, softmax, Tensor,
+};
+
+/// Magic bytes at the start of a graph blob.
+pub const GRAPH_MAGIC: &[u8; 4] = b"AVNC";
+
+/// One layer of the network. `input` fields index earlier layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Network input declaration.
+    Input {
+        /// Channels.
+        c: usize,
+        /// Height.
+        h: usize,
+        /// Width.
+        w: usize,
+    },
+    /// 2D convolution (+ optional fused ReLU).
+    Conv {
+        /// Index of the producing layer.
+        input: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Square kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Fused ReLU.
+        relu: bool,
+        /// Weights, `[out_c][in_c][k][k]` flattened.
+        weights: Vec<f32>,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Index of the producing layer.
+        input: usize,
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Index of the producing layer.
+        input: usize,
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Channel concatenation of several branches.
+    Concat {
+        /// Indices of the producing layers.
+        inputs: Vec<usize>,
+    },
+    /// Fully connected (+ optional fused ReLU).
+    Fc {
+        /// Index of the producing layer.
+        input: usize,
+        /// Output neurons.
+        out_n: usize,
+        /// Fused ReLU.
+        relu: bool,
+        /// Weights, `[out][in]` flattened.
+        weights: Vec<f32>,
+        /// Bias, `out` entries.
+        bias: Vec<f32>,
+    },
+    /// Softmax over the flattened input.
+    Softmax {
+        /// Index of the producing layer.
+        input: usize,
+    },
+}
+
+/// A compiled network: layers in topological order; the last layer is the
+/// output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Human-readable network name.
+    pub name: String,
+    /// Layers; index 0 must be `Input`.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Input shape `(c, h, w)`.
+    pub fn input_shape(&self) -> NcResult<(usize, usize, usize)> {
+        match self.layers.first() {
+            Some(Layer::Input { c, h, w }) => Ok((*c, *h, *w)),
+            _ => Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE)),
+        }
+    }
+
+    /// Total weight parameters (for reporting).
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Conv { weights, bias, .. } | Layer::Fc { weights, bias, .. } => {
+                    weights.len() + bias.len()
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Runs a forward pass.
+    pub fn forward(&self, input: &Tensor) -> NcResult<Tensor> {
+        let mut results: Vec<Option<Tensor>> = vec![None; self.layers.len()];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = match layer {
+                Layer::Input { c, h, w } => {
+                    if input.c != *c || input.h != *h || input.w != *w {
+                        return Err(NcError(
+                            crate::status::MVNC_INVALID_PARAMETERS,
+                        ));
+                    }
+                    input.clone()
+                }
+                Layer::Conv { input, out_c, k, stride, pad, relu, weights, bias } => {
+                    let src = fetch(&results, *input)?;
+                    conv2d(src, weights, bias, *out_c, *k, *stride, *pad, *relu)?
+                }
+                Layer::MaxPool { input, k, stride } => {
+                    maxpool(fetch(&results, *input)?, *k, *stride)?
+                }
+                Layer::AvgPool { input, k, stride } => {
+                    avgpool(fetch(&results, *input)?, *k, *stride)?
+                }
+                Layer::Concat { inputs } => {
+                    let srcs: NcResult<Vec<&Tensor>> =
+                        inputs.iter().map(|i| fetch(&results, *i)).collect();
+                    concat(&srcs?)?
+                }
+                Layer::Fc { input, out_n, relu, weights, bias } => {
+                    fully_connected(fetch(&results, *input)?, weights, bias, *out_n, *relu)?
+                }
+                Layer::Softmax { input } => softmax(fetch(&results, *input)?),
+            };
+            results[i] = Some(out);
+        }
+        results
+            .pop()
+            .flatten()
+            .ok_or(NcError(MVNC_UNSUPPORTED_GRAPH_FILE))
+    }
+
+    /// Serializes into a graph blob.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(GRAPH_MAGIC);
+        put_u32(&mut out, 1); // version
+        put_str(&mut out, &self.name);
+        put_u32(&mut out, self.layers.len() as u32);
+        for layer in &self.layers {
+            match layer {
+                Layer::Input { c, h, w } => {
+                    out.push(0);
+                    put_u32(&mut out, *c as u32);
+                    put_u32(&mut out, *h as u32);
+                    put_u32(&mut out, *w as u32);
+                }
+                Layer::Conv { input, out_c, k, stride, pad, relu, weights, bias } => {
+                    out.push(1);
+                    put_u32(&mut out, *input as u32);
+                    put_u32(&mut out, *out_c as u32);
+                    put_u32(&mut out, *k as u32);
+                    put_u32(&mut out, *stride as u32);
+                    put_u32(&mut out, *pad as u32);
+                    out.push(u8::from(*relu));
+                    put_f32s(&mut out, weights);
+                    put_f32s(&mut out, bias);
+                }
+                Layer::MaxPool { input, k, stride } => {
+                    out.push(2);
+                    put_u32(&mut out, *input as u32);
+                    put_u32(&mut out, *k as u32);
+                    put_u32(&mut out, *stride as u32);
+                }
+                Layer::AvgPool { input, k, stride } => {
+                    out.push(3);
+                    put_u32(&mut out, *input as u32);
+                    put_u32(&mut out, *k as u32);
+                    put_u32(&mut out, *stride as u32);
+                }
+                Layer::Concat { inputs } => {
+                    out.push(4);
+                    put_u32(&mut out, inputs.len() as u32);
+                    for i in inputs {
+                        put_u32(&mut out, *i as u32);
+                    }
+                }
+                Layer::Fc { input, out_n, relu, weights, bias } => {
+                    out.push(5);
+                    put_u32(&mut out, *input as u32);
+                    put_u32(&mut out, *out_n as u32);
+                    out.push(u8::from(*relu));
+                    put_f32s(&mut out, weights);
+                    put_f32s(&mut out, bias);
+                }
+                Layer::Softmax { input } => {
+                    out.push(6);
+                    put_u32(&mut out, *input as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a graph blob.
+    pub fn from_blob(blob: &[u8]) -> NcResult<Network> {
+        let mut cur = Reader { buf: blob, pos: 0 };
+        let magic = cur.take(4)?;
+        if magic != GRAPH_MAGIC {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        let version = cur.u32()?;
+        if version != 1 {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        let name = cur.str()?;
+        let count = cur.u32()? as usize;
+        if count > 1 << 20 {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        let mut layers = Vec::with_capacity(count);
+        for idx in 0..count {
+            let tag = cur.u8()?;
+            let layer = match tag {
+                0 => Layer::Input {
+                    c: cur.u32()? as usize,
+                    h: cur.u32()? as usize,
+                    w: cur.u32()? as usize,
+                },
+                1 => Layer::Conv {
+                    input: cur.idx(idx)?,
+                    out_c: cur.u32()? as usize,
+                    k: cur.u32()? as usize,
+                    stride: cur.u32()? as usize,
+                    pad: cur.u32()? as usize,
+                    relu: cur.u8()? != 0,
+                    weights: cur.f32s()?,
+                    bias: cur.f32s()?,
+                },
+                2 => Layer::MaxPool {
+                    input: cur.idx(idx)?,
+                    k: cur.u32()? as usize,
+                    stride: cur.u32()? as usize,
+                },
+                3 => Layer::AvgPool {
+                    input: cur.idx(idx)?,
+                    k: cur.u32()? as usize,
+                    stride: cur.u32()? as usize,
+                },
+                4 => {
+                    let n = cur.u32()? as usize;
+                    let mut inputs = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        inputs.push(cur.idx(idx)?);
+                    }
+                    Layer::Concat { inputs }
+                }
+                5 => Layer::Fc {
+                    input: cur.idx(idx)?,
+                    out_n: cur.u32()? as usize,
+                    relu: cur.u8()? != 0,
+                    weights: cur.f32s()?,
+                    bias: cur.f32s()?,
+                },
+                6 => Layer::Softmax { input: cur.idx(idx)? },
+                _ => return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE)),
+            };
+            layers.push(layer);
+        }
+        Ok(Network { name, layers })
+    }
+}
+
+fn fetch<'a>(results: &'a [Option<Tensor>], idx: usize) -> NcResult<&'a Tensor> {
+    results
+        .get(idx)
+        .and_then(|o| o.as_ref())
+        .ok_or(NcError(MVNC_UNSUPPORTED_GRAPH_FILE))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> NcResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> NcResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> NcResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a layer index that must reference an earlier layer.
+    fn idx(&mut self, current: usize) -> NcResult<usize> {
+        let v = self.u32()? as usize;
+        if v >= current {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        Ok(v)
+    }
+
+    fn str(&mut self) -> NcResult<String> {
+        let len = self.u32()? as usize;
+        if len > 4096 {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| NcError(MVNC_UNSUPPORTED_GRAPH_FILE))
+    }
+
+    fn f32s(&mut self) -> NcResult<Vec<f32>> {
+        let len = self.u32()? as usize;
+        if len > 64 << 20 {
+            return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE));
+        }
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// Builds an Inception-v3-like network.
+///
+/// The schedule mirrors Inception v3's structure — a convolutional stem,
+/// `blocks` Inception modules (each with 1x1 / 3x3 / double-3x3 / pooled
+/// branches joined by channel concatenation), global average pooling and a
+/// fully connected classifier with softmax — at a reduced spatial/channel
+/// scale so CPU inference stays tractable. Weights are seeded-random; the
+/// Figure-5 NCS experiment measures remoting overhead, which depends on the
+/// call/transfer profile, not on trained weights (see DESIGN.md).
+pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layers = vec![Layer::Input { c: 3, h: input_hw, w: input_hw }];
+    let mut last = 0usize;
+    let mut last_c = 3usize;
+
+    let conv = |layers: &mut Vec<Layer>,
+                    rng: &mut StdRng,
+                    input: usize,
+                    in_c: usize,
+                    out_c: usize,
+                    k: usize,
+                    stride: usize,
+                    pad: usize|
+     -> usize {
+        let scale = (2.0 / (in_c * k * k) as f32).sqrt();
+        let weights = (0..out_c * in_c * k * k)
+            .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+            .collect();
+        let bias = vec![0.01; out_c];
+        layers.push(Layer::Conv { input, out_c, k, stride, pad, relu: true, weights, bias });
+        layers.len() - 1
+    };
+
+    // Stem: conv3x3/2, conv3x3, maxpool — Inception v3's reduced opening.
+    last = conv(&mut layers, &mut rng, last, last_c, 8, 3, 2, 1);
+    last_c = 8;
+    last = conv(&mut layers, &mut rng, last, last_c, 16, 3, 1, 1);
+    last_c = 16;
+    layers.push(Layer::MaxPool { input: last, k: 2, stride: 2 });
+    last = layers.len() - 1;
+
+    // Inception modules.
+    for _ in 0..blocks {
+        let b1 = conv(&mut layers, &mut rng, last, last_c, 8, 1, 1, 0);
+        let b2a = conv(&mut layers, &mut rng, last, last_c, 8, 1, 1, 0);
+        let b2 = conv(&mut layers, &mut rng, b2a, 8, 12, 3, 1, 1);
+        let b3a = conv(&mut layers, &mut rng, last, last_c, 8, 1, 1, 0);
+        let b3b = conv(&mut layers, &mut rng, b3a, 8, 12, 3, 1, 1);
+        let b3 = conv(&mut layers, &mut rng, b3b, 12, 12, 3, 1, 1);
+        // Pool branch: our pooling has no padding, so the shape-preserving
+        // stand-in is a 3x3/1/1 "pool projection" convolution.
+        let b4 = conv(&mut layers, &mut rng, last, last_c, 8, 3, 1, 1);
+        layers.push(Layer::Concat { inputs: vec![b1, b2, b3, b4] });
+        last = layers.len() - 1;
+        last_c = 8 + 12 + 12 + 8;
+    }
+
+    // Head: global average pool (approximated by one big window), FC,
+    // softmax.
+    let spatial = input_hw / 4; // after stem stride-2 conv + stride-2 pool
+    layers.push(Layer::AvgPool { input: last, k: spatial, stride: spatial });
+    let pooled = layers.len() - 1;
+    let in_n = last_c; // 1x1 spatial after global pool
+    let scale = (2.0 / in_n as f32).sqrt();
+    let weights = (0..classes * in_n)
+        .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+        .collect();
+    layers.push(Layer::Fc {
+        input: pooled,
+        out_n: classes,
+        relu: false,
+        weights,
+        bias: vec![0.0; classes],
+    });
+    let fc = layers.len() - 1;
+    layers.push(Layer::Softmax { input: fc });
+
+    Network { name: format!("inception-v3-like-{input_hw}x{input_hw}"), layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        Network {
+            name: "tiny".into(),
+            layers: vec![
+                Layer::Input { c: 1, h: 4, w: 4 },
+                Layer::Conv {
+                    input: 0,
+                    out_c: 2,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    relu: true,
+                    weights: vec![0.1; 2 * 1 * 9],
+                    bias: vec![0.0, 0.5],
+                },
+                Layer::MaxPool { input: 1, k: 2, stride: 2 },
+                Layer::Fc {
+                    input: 2,
+                    out_n: 3,
+                    relu: false,
+                    weights: vec![0.05; 3 * 8],
+                    bias: vec![0.0; 3],
+                },
+                Layer::Softmax { input: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn blob_round_trips() {
+        let net = tiny_net();
+        let blob = net.to_blob();
+        let back = Network::from_blob(&blob).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        let net = tiny_net();
+        let mut blob = net.to_blob();
+        // Bad magic.
+        let mut bad = blob.clone();
+        bad[0] = b'X';
+        assert!(Network::from_blob(&bad).is_err());
+        // Truncated.
+        blob.truncate(blob.len() - 5);
+        assert!(Network::from_blob(&blob).is_err());
+        // Empty.
+        assert!(Network::from_blob(&[]).is_err());
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let net = tiny_net();
+        let input = Tensor::zeros(1, 4, 4);
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.len(), 3);
+        let sum: f32 = out.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn forward_rejects_wrong_input_shape() {
+        let net = tiny_net();
+        assert!(net.forward(&Tensor::zeros(1, 5, 5)).is_err());
+    }
+
+    #[test]
+    fn forward_reference_values() {
+        // Single identity conv: output equals input.
+        let net = Network {
+            name: "id".into(),
+            layers: vec![
+                Layer::Input { c: 1, h: 2, w: 2 },
+                Layer::Conv {
+                    input: 0,
+                    out_c: 1,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    relu: false,
+                    weights: vec![1.0],
+                    bias: vec![0.0],
+                },
+            ],
+        };
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, -2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(net.forward(&input).unwrap().data, input.data);
+    }
+
+    #[test]
+    fn inception_like_builds_and_runs() {
+        let net = inception_v3_like(16, 2, 10, 42);
+        assert!(net.param_count() > 1000);
+        let (c, h, w) = net.input_shape().unwrap();
+        assert_eq!((c, h, w), (3, 16, 16));
+        let input = Tensor::zeros(3, 16, 16);
+        let out = net.forward(&input).unwrap();
+        assert_eq!(out.len(), 10);
+        let sum: f32 = out.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inception_blob_round_trips() {
+        let net = inception_v3_like(16, 1, 4, 7);
+        let blob = net.to_blob();
+        let back = Network::from_blob(&blob).unwrap();
+        assert_eq!(back.name, net.name);
+        assert_eq!(back.param_count(), net.param_count());
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = inception_v3_like(16, 1, 4, 99);
+        let b = inception_v3_like(16, 1, 4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_index_out_of_range_rejected() {
+        // A layer referencing a later layer must be rejected at decode.
+        let net = tiny_net();
+        let mut blob = net.to_blob();
+        // Layer 1 (Conv) input index is right after its tag; patch it to 9.
+        // Locate: magic(4) + version(4) + name(4+4) + count(4) + input-layer
+        // (tag 1 + 12 bytes) + conv tag(1) → conv's input u32.
+        let off = 4 + 4 + 8 + 4 + 13 + 1;
+        blob[off..off + 4].copy_from_slice(&9u32.to_le_bytes());
+        assert!(Network::from_blob(&blob).is_err());
+    }
+}

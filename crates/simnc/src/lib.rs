@@ -1,0 +1,44 @@
+//! `simnc` — a simulated Intel Movidius Neural Compute Stick.
+//!
+//! This crate is the second accelerator silo in the AvA reproduction: the
+//! NCSDK v1 `mvnc*` API over a simulated Myriad-class VPU that executes
+//! real CNN inference (convolutions, pooling, concat, fully connected,
+//! softmax) on graphs shipped as compiled blobs. The Figure-5 Inception
+//! experiment runs an Inception-v3-like schedule built by
+//! [`graph::inception_v3_like`].
+//!
+//! # Examples
+//!
+//! ```
+//! use simnc::{MvncApi, SimNc};
+//! use simnc::graph::inception_v3_like;
+//! use simnc::tensor::Tensor;
+//!
+//! let nc = SimNc::new(1);
+//! let name = nc.get_device_name(0).unwrap();
+//! let dev = nc.open_device(&name).unwrap();
+//!
+//! let network = inception_v3_like(16, 1, 10, 42);
+//! let graph = nc.allocate_graph(dev, &network.to_blob()).unwrap();
+//!
+//! let image = Tensor::zeros(3, 16, 16);
+//! nc.load_tensor(graph, &image.to_bytes(), 7).unwrap();
+//! let (probs, user_param) = nc.get_result(graph).unwrap();
+//! assert_eq!(user_param, 7);
+//! assert_eq!(probs.len(), 10 * 4);
+//!
+//! nc.deallocate_graph(graph).unwrap();
+//! nc.close_device(dev).unwrap();
+//! ```
+
+pub mod api;
+pub mod graph;
+pub mod runtime;
+pub mod status;
+pub mod tensor;
+
+pub use api::{DeviceOption, GraphOption, MvncApi, NcDevice, NcGraph, MVNC_API_FUNCTION_COUNT};
+pub use graph::{inception_v3_like, Layer, Network};
+pub use runtime::SimNc;
+pub use status::{NcError, NcResult};
+pub use tensor::Tensor;

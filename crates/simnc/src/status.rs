@@ -1,0 +1,74 @@
+//! NCSDK status codes (`mvncStatus`), numerically matching the Intel
+//! Movidius NCSDK v1 headers.
+
+use std::fmt;
+
+/// `MVNC_OK`.
+pub const MVNC_OK: i32 = 0;
+/// `MVNC_BUSY`.
+pub const MVNC_BUSY: i32 = -1;
+/// `MVNC_ERROR`.
+pub const MVNC_ERROR: i32 = -2;
+/// `MVNC_OUT_OF_MEMORY`.
+pub const MVNC_OUT_OF_MEMORY: i32 = -3;
+/// `MVNC_DEVICE_NOT_FOUND`.
+pub const MVNC_DEVICE_NOT_FOUND: i32 = -4;
+/// `MVNC_INVALID_PARAMETERS`.
+pub const MVNC_INVALID_PARAMETERS: i32 = -5;
+/// `MVNC_TIMEOUT`.
+pub const MVNC_TIMEOUT: i32 = -6;
+/// `MVNC_NO_DATA`.
+pub const MVNC_NO_DATA: i32 = -8;
+/// `MVNC_GONE`.
+pub const MVNC_GONE: i32 = -9;
+/// `MVNC_UNSUPPORTED_GRAPH_FILE`.
+pub const MVNC_UNSUPPORTED_GRAPH_FILE: i32 = -10;
+/// `MVNC_MYRIAD_ERROR`.
+pub const MVNC_MYRIAD_ERROR: i32 = -11;
+
+/// An NCSDK error: any status other than `MVNC_OK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NcError(pub i32);
+
+impl NcError {
+    /// Symbolic name of the status code.
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            MVNC_OK => "MVNC_OK",
+            MVNC_BUSY => "MVNC_BUSY",
+            MVNC_ERROR => "MVNC_ERROR",
+            MVNC_OUT_OF_MEMORY => "MVNC_OUT_OF_MEMORY",
+            MVNC_DEVICE_NOT_FOUND => "MVNC_DEVICE_NOT_FOUND",
+            MVNC_INVALID_PARAMETERS => "MVNC_INVALID_PARAMETERS",
+            MVNC_TIMEOUT => "MVNC_TIMEOUT",
+            MVNC_NO_DATA => "MVNC_NO_DATA",
+            MVNC_GONE => "MVNC_GONE",
+            MVNC_UNSUPPORTED_GRAPH_FILE => "MVNC_UNSUPPORTED_GRAPH_FILE",
+            MVNC_MYRIAD_ERROR => "MVNC_MYRIAD_ERROR",
+            _ => "MVNC_UNKNOWN",
+        }
+    }
+}
+
+impl fmt::Display for NcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.0)
+    }
+}
+
+impl std::error::Error for NcError {}
+
+/// Result alias for NCSDK-style calls.
+pub type NcResult<T> = Result<T, NcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_codes() {
+        assert_eq!(NcError(MVNC_NO_DATA).name(), "MVNC_NO_DATA");
+        assert_eq!(NcError(-99).name(), "MVNC_UNKNOWN");
+        assert!(NcError(MVNC_TIMEOUT).to_string().contains("-6"));
+    }
+}

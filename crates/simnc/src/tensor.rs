@@ -1,0 +1,318 @@
+//! CHW tensors and the neural-network primitives the VPU executes.
+
+use crate::status::{NcError, NcResult, MVNC_INVALID_PARAMETERS};
+
+/// A dense `f32` tensor in channel-major (C, H, W) layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major data, `c * h * w` elements.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Tensor { c, h, w, data: vec![0.0; c * h * w] }
+    }
+
+    /// Tensor from existing data.
+    pub fn from_data(c: usize, h: usize, w: usize, data: Vec<f32>) -> NcResult<Self> {
+        if data.len() != c * h * w {
+            return Err(NcError(MVNC_INVALID_PARAMETERS));
+        }
+        Ok(Tensor { c, h, w, data })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at (channel, row, col).
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Mutable value at (channel, row, col).
+    #[inline]
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        &mut self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Serializes to little-endian `f32` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from little-endian `f32` bytes with the given shape.
+    pub fn from_bytes(c: usize, h: usize, w: usize, bytes: &[u8]) -> NcResult<Self> {
+        if bytes.len() != c * h * w * 4 {
+            return Err(NcError(MVNC_INVALID_PARAMETERS));
+        }
+        let data = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().expect("4-byte chunk")))
+            .collect();
+        Ok(Tensor { c, h, w, data })
+    }
+}
+
+/// 2D convolution. Weights are `[out_c][in_c][k][k]` flattened; `bias` has
+/// `out_c` entries. Zero padding of `pad` on each side, square stride.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> NcResult<Tensor> {
+    if stride == 0 || k == 0 {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let in_c = input.c;
+    if weights.len() != out_c * in_c * k * k || bias.len() != out_c {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let oh = (input.h + 2 * pad).checked_sub(k).map(|v| v / stride + 1).unwrap_or(0);
+    let ow = (input.w + 2 * pad).checked_sub(k).map(|v| v / stride + 1).unwrap_or(0);
+    if oh == 0 || ow == 0 {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let mut out = Tensor::zeros(out_c, oh, ow);
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias[oc];
+                for ic in 0..in_c {
+                    let wbase = ((oc * in_c) + ic) * k * k;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= input.h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= input.w as isize {
+                                continue;
+                            }
+                            acc += weights[wbase + ky * k + kx]
+                                * input.at(ic, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                if relu && acc < 0.0 {
+                    acc = 0.0;
+                }
+                *out.at_mut(oc, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max pooling with square window `k` and stride `stride`.
+pub fn maxpool(input: &Tensor, k: usize, stride: usize) -> NcResult<Tensor> {
+    pool(input, k, stride, true)
+}
+
+/// Average pooling with square window `k` and stride `stride`.
+pub fn avgpool(input: &Tensor, k: usize, stride: usize) -> NcResult<Tensor> {
+    pool(input, k, stride, false)
+}
+
+fn pool(input: &Tensor, k: usize, stride: usize, is_max: bool) -> NcResult<Tensor> {
+    if k == 0 || stride == 0 || input.h < k || input.w < k {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let oh = (input.h - k) / stride + 1;
+    let ow = (input.w - k) / stride + 1;
+    let mut out = Tensor::zeros(input.c, oh, ow);
+    for c in 0..input.c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let v = input.at(c, oy * stride + ky, ox * stride + kx);
+                        if is_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                    }
+                }
+                if !is_max {
+                    acc /= (k * k) as f32;
+                }
+                *out.at_mut(c, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fully connected layer over the flattened input. Weights are
+/// `[out][in]` flattened.
+pub fn fully_connected(
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_n: usize,
+    relu: bool,
+) -> NcResult<Tensor> {
+    let in_n = input.len();
+    if weights.len() != out_n * in_n || bias.len() != out_n {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let mut out = Tensor::zeros(out_n, 1, 1);
+    for o in 0..out_n {
+        let mut acc = bias[o];
+        let row = &weights[o * in_n..(o + 1) * in_n];
+        for (w, x) in row.iter().zip(input.data.iter()) {
+            acc += w * x;
+        }
+        if relu && acc < 0.0 {
+            acc = 0.0;
+        }
+        out.data[o] = acc;
+    }
+    Ok(out)
+}
+
+/// Channel-wise concatenation; all inputs must share height and width.
+pub fn concat(inputs: &[&Tensor]) -> NcResult<Tensor> {
+    let first = inputs.first().ok_or(NcError(MVNC_INVALID_PARAMETERS))?;
+    if inputs.iter().any(|t| t.h != first.h || t.w != first.w) {
+        return Err(NcError(MVNC_INVALID_PARAMETERS));
+    }
+    let total_c: usize = inputs.iter().map(|t| t.c).sum();
+    let mut out = Tensor::zeros(total_c, first.h, first.w);
+    let mut offset = 0;
+    for t in inputs {
+        out.data[offset..offset + t.len()].copy_from_slice(&t.data);
+        offset += t.len();
+    }
+    Ok(out)
+}
+
+/// Numerically stable softmax over the flattened input.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let max = input.data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = input.data.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor {
+        c: input.c,
+        h: input.h,
+        w: input.w,
+        data: exps.into_iter().map(|e| e / sum).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_conv_passes_through() {
+        // 1x1 kernel with weight 1, bias 0 is the identity.
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = conv2d(&input, &[1.0], &[0.0], 1, 1, 1, 0, false).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 3x3 input, 2x2 kernel of ones, stride 1, no pad: sliding sums.
+        let input =
+            Tensor::from_data(1, 3, 3, (1..=9).map(|v| v as f32).collect()).unwrap();
+        let out = conv2d(&input, &[1.0; 4], &[0.0], 1, 2, 1, 0, false).unwrap();
+        assert_eq!(out.data, vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_padding_and_stride() {
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // 3x3 ones kernel, pad 1, stride 2 → output 1x1 at center? No:
+        // oh = (2+2-3)/2+1 = 1, ow = 1. Window covers the whole input.
+        let out = conv2d(&input, &[1.0; 9], &[0.5], 1, 3, 2, 1, false).unwrap();
+        assert_eq!(out.data, vec![10.5]);
+    }
+
+    #[test]
+    fn conv_relu_clamps() {
+        let input = Tensor::from_data(1, 1, 1, vec![1.0]).unwrap();
+        let out = conv2d(&input, &[-2.0], &[0.0], 1, 1, 1, 0, true).unwrap();
+        assert_eq!(out.data, vec![0.0]);
+    }
+
+    #[test]
+    fn conv_rejects_bad_shapes() {
+        let input = Tensor::zeros(1, 2, 2);
+        assert!(conv2d(&input, &[1.0; 3], &[0.0], 1, 2, 1, 0, false).is_err());
+        assert!(conv2d(&input, &[1.0; 9], &[0.0], 1, 3, 1, 0, false).is_err()); // too big
+    }
+
+    #[test]
+    fn maxpool_and_avgpool() {
+        let input =
+            Tensor::from_data(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        assert_eq!(maxpool(&input, 2, 2).unwrap().data, vec![5.0]);
+        assert_eq!(avgpool(&input, 2, 2).unwrap().data, vec![2.75]);
+    }
+
+    #[test]
+    fn fc_computes_dot_products() {
+        let input = Tensor::from_data(2, 1, 1, vec![1.0, 2.0]).unwrap();
+        let out =
+            fully_connected(&input, &[1.0, 1.0, 0.5, -1.0], &[0.0, 1.0], 2, false)
+                .unwrap();
+        assert_eq!(out.data, vec![3.0, -0.5]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_data(1, 1, 2, vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_data(2, 1, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let out = concat(&[&a, &b]).unwrap();
+        assert_eq!(out.c, 3);
+        assert_eq!(out.data, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bad = Tensor::zeros(1, 2, 2);
+        assert!(concat(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let input = Tensor::from_data(4, 1, 1, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = softmax(&input);
+        let sum: f32 = out.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.data[3] > out.data[0]);
+    }
+
+    #[test]
+    fn tensor_bytes_round_trip() {
+        let t = Tensor::from_data(1, 2, 2, vec![0.5, -1.5, 2.0, 3.25]).unwrap();
+        let bytes = t.to_bytes();
+        assert_eq!(Tensor::from_bytes(1, 2, 2, &bytes).unwrap(), t);
+        assert!(Tensor::from_bytes(1, 2, 3, &bytes).is_err());
+    }
+}

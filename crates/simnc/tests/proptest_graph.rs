@@ -1,0 +1,59 @@
+//! Property tests: graph blobs round-trip for arbitrary layer stacks, and
+//! the decoder never panics on mutated blobs.
+
+use proptest::prelude::*;
+use simnc::{Layer, Network};
+
+fn arb_network() -> impl Strategy<Value = Network> {
+    (2usize..6, 2usize..8, 1usize..4).prop_map(|(c, hw, convs)| {
+        let mut layers = vec![Layer::Input { c, h: hw, w: hw }];
+        let mut last_c = c;
+        for i in 0..convs {
+            layers.push(Layer::Conv {
+                input: i,
+                out_c: last_c + 1,
+                k: 1,
+                stride: 1,
+                pad: 0,
+                relu: i % 2 == 0,
+                weights: vec![0.5; (last_c + 1) * last_c],
+                bias: vec![0.0; last_c + 1],
+            });
+            last_c += 1;
+        }
+        Network { name: format!("n{c}x{hw}"), layers }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blobs_round_trip(net in arb_network()) {
+        let blob = net.to_blob();
+        let back = Network::from_blob(&blob).unwrap();
+        prop_assert_eq!(back, net);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutation(
+        net in arb_network(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut blob = net.to_blob();
+        for (idx, byte) in flips {
+            let i = idx.index(blob.len());
+            blob[i] = byte;
+        }
+        // Either outcome is fine; the property is "no panic".
+        let _ = Network::from_blob(&blob);
+    }
+
+    #[test]
+    fn forward_output_is_finite(net in arb_network()) {
+        let (c, h, w) = net.input_shape().unwrap();
+        let input = simnc::Tensor::zeros(c, h, w);
+        let out = net.forward(&input).unwrap();
+        prop_assert!(out.data.iter().all(|v| v.is_finite()));
+    }
+}

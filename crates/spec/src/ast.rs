@@ -1,0 +1,158 @@
+//! Abstract syntax of a CAvA API specification.
+//!
+//! A specification references an unmodified C header (via `#include`) and
+//! adds the information the header cannot express: buffer sizes, parameter
+//! directions, sync/async behaviour, resource-cost estimates and
+//! record/replay categories (Figure 4 of the paper).
+
+use std::collections::BTreeMap;
+
+use crate::cparse::{Header, Prototype};
+use crate::expr::Expr;
+
+/// A complete parsed specification.
+#[derive(Debug, Clone)]
+pub struct ApiSpec {
+    /// API name from `api("name", version);` (defaults to `"api"`).
+    pub name: String,
+    /// API version from the `api` metadata item.
+    pub version: u32,
+    /// Types, constants and prototypes gathered from included headers and
+    /// from prototypes declared inline in the spec.
+    pub header: Header,
+    /// Per-type rules from `type(T) { ... }` items, keyed by type name.
+    pub type_rules: BTreeMap<String, TypeRule>,
+    /// Function specifications, in order of appearance.
+    pub functions: Vec<FunctionSpec>,
+}
+
+impl ApiSpec {
+    /// Looks up the explicit spec for a function, if one was written.
+    pub fn function(&self, name: &str) -> Option<&FunctionSpec> {
+        self.functions.iter().find(|f| f.proto.name == name)
+    }
+}
+
+/// Annotations attached to a named type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeRule {
+    /// `success(expr)`: the value of this type that means "call succeeded".
+    /// Used to synthesize return values for transparently-async calls.
+    pub success: Option<Expr>,
+    /// `handle;`: force this type to be treated as an opaque handle even if
+    /// auto-detection would not classify it as one.
+    pub handle: bool,
+}
+
+/// How a call's blocking behaviour is specified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncSpec {
+    /// No annotation: the lowering default (synchronous) applies.
+    Default,
+    /// Always synchronous.
+    Sync,
+    /// Always forwarded asynchronously.
+    Async,
+    /// `if (cond) sync; else async;` — synchronous when `cond` is true.
+    SyncIf(Expr),
+}
+
+/// Category used by record-and-replay VM migration (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordCategory {
+    /// Global configuration (e.g. `cuInit`): replayed first.
+    Config,
+    /// Object allocation (e.g. `clCreateBuffer`): tracked per handle.
+    Alloc,
+    /// Object deallocation: cancels the matching `Alloc` record.
+    Dealloc,
+    /// Object modification (e.g. `clBuildProgram`): replayed after the
+    /// allocation that created the object.
+    Modify,
+}
+
+/// Annotations inside an `element { ... }` block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ElementSpec {
+    /// The element written to this out-parameter is a freshly allocated
+    /// object (e.g. the `event` out-param of `clEnqueueReadBuffer`).
+    pub allocates: bool,
+    /// The element passed in is deallocated by this call.
+    pub deallocates: bool,
+}
+
+/// Annotations for one parameter.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamSpec {
+    /// Explicit direction (`in; out; inout;`).
+    pub direction: Option<DirectionSpec>,
+    /// `buffer(expr)`: the parameter points to `expr` elements.
+    pub buffer: Option<Expr>,
+    /// `element { ... }`: single-element out/in pointer semantics.
+    pub element: Option<ElementSpec>,
+    /// `deallocates;` on a handle parameter: the call releases the object.
+    pub deallocates: bool,
+    /// `handle;` — force handle treatment for this parameter.
+    pub handle: bool,
+    /// `nullable;` — `NULL` is a legal value and must round-trip as such.
+    pub nullable: bool,
+    /// `string;` — NUL-terminated C string.
+    pub string: bool,
+    /// `userdata;` — opaque pointer-sized token forwarded verbatim
+    /// (callback user data). Never dereferenced by the remoting stack.
+    pub userdata: bool,
+    /// `zero_copy;` — placement hint; accepted and recorded but the
+    /// reference transports always copy.
+    pub zero_copy: bool,
+}
+
+/// Explicit parameter direction annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectionSpec {
+    /// Read by the callee.
+    In,
+    /// Written by the callee.
+    Out,
+    /// Both.
+    InOut,
+}
+
+/// A function specification: prototype plus annotation body.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// The C prototype (from the spec file or copied from the header).
+    pub proto: Prototype,
+    /// Blocking behaviour.
+    pub sync: SyncSpec,
+    /// Per-parameter annotations, keyed by parameter name.
+    pub params: BTreeMap<String, ParamSpec>,
+    /// Record/replay category for migration support.
+    pub record: Option<RecordCategory>,
+    /// Resource-cost estimates: `(resource name, amount expression)`.
+    pub resources: Vec<(String, Expr)>,
+    /// `unsupported;` — exclude from the generated stack.
+    pub unsupported: bool,
+    /// Free-form notes (`note("...")`), also used by the preliminary-spec
+    /// generator to ask the developer for refinement.
+    pub notes: Vec<String>,
+}
+
+impl FunctionSpec {
+    /// Creates an empty spec for a prototype (no annotations).
+    pub fn bare(proto: Prototype) -> Self {
+        FunctionSpec {
+            proto,
+            sync: SyncSpec::Default,
+            params: BTreeMap::new(),
+            record: None,
+            resources: Vec::new(),
+            unsupported: false,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Returns the annotations for `param`, or a default if none given.
+    pub fn param(&self, param: &str) -> ParamSpec {
+        self.params.get(param).cloned().unwrap_or_default()
+    }
+}

@@ -1,0 +1,669 @@
+//! Parser for the C declaration subset used by accelerator API headers:
+//! typedefs, struct/union/enum definitions, constants and function
+//! prototypes. Bodies, initializers and most of the C expression grammar are
+//! out of scope — headers do not need them.
+
+use std::collections::BTreeMap;
+
+use crate::ctypes::{CType, RecordDef, TypeTable};
+use crate::error::Result;
+use crate::lexer::{lex, Cursor, Tok};
+use crate::preprocess::{preprocess, HeaderResolver, Preprocessed};
+
+/// A parsed function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParam {
+    /// Parameter name; synthesized as `arg<N>` when omitted.
+    pub name: String,
+    /// Declared type (arrays decay to pointers).
+    pub ty: CType,
+    /// Whether the parameter had a top-level or pointee `const`.
+    pub const_qualified: bool,
+}
+
+/// A parsed function prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prototype {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in declaration order. A single `void` parameter list is
+    /// represented as an empty vector.
+    pub params: Vec<CParam>,
+}
+
+/// Everything extracted from a header set.
+#[derive(Debug, Clone, Default)]
+pub struct Header {
+    /// Typedefs, struct/union layouts and enums.
+    pub types: TypeTable,
+    /// `#define` and `enum` integer constants.
+    pub constants: BTreeMap<String, i64>,
+    /// Function prototypes in declaration order.
+    pub protos: Vec<Prototype>,
+}
+
+impl Header {
+    /// Looks up a prototype by function name.
+    pub fn proto(&self, name: &str) -> Option<&Prototype> {
+        self.protos.iter().find(|p| p.name == name)
+    }
+}
+
+/// Parses a header after preprocessing with `resolver`.
+pub fn parse_header(src: &str, resolver: &dyn HeaderResolver) -> Result<Header> {
+    let pre = preprocess(src, resolver)?;
+    parse_preprocessed(&pre)
+}
+
+/// Parses already-preprocessed text.
+pub fn parse_preprocessed(pre: &Preprocessed) -> Result<Header> {
+    let mut header = Header {
+        constants: pre.constants.clone(),
+        ..Header::default()
+    };
+    let mut cur = Cursor::new(lex(&pre.text)?);
+    while !cur.at_end() {
+        parse_top_level(&mut cur, &mut header)?;
+    }
+    Ok(header)
+}
+
+/// Parses one function prototype head (return type, name, parameter list)
+/// from the cursor, leaving the cursor just after the closing `)`. Used by
+/// the specification parser, where a prototype is followed by an annotation
+/// body instead of `;`.
+pub fn parse_prototype(cur: &mut Cursor, header: &Header) -> Result<Prototype> {
+    let (base, base_const) = parse_type(cur, header)?;
+    let (ret, name) = parse_declarator(cur, header, base, base_const)?;
+    let name = name.ok_or_else(|| cur.err_here("function without a name".into()))?;
+    cur.expect_punct("(")?;
+    let params = parse_param_list(cur, header)?;
+    Ok(Prototype { name, ret, params })
+}
+
+fn parse_top_level(cur: &mut Cursor, header: &mut Header) -> Result<()> {
+    // Stray semicolons are legal.
+    if cur.eat_punct(";") {
+        return Ok(());
+    }
+    if cur.eat_ident("typedef") {
+        return parse_typedef(cur, header);
+    }
+    cur.eat_ident("extern");
+    // Struct/union/enum definition or forward declaration?
+    match cur.peek() {
+        Some(Tok::Ident(kw)) if kw == "struct" || kw == "union" => {
+            // Could be `struct X {...};`, `struct X;`, or the start of a
+            // declaration like `struct X f(...)`. Decide by lookahead.
+            match (cur.peek_n(1), cur.peek_n(2)) {
+                (Some(Tok::Ident(_)), Some(Tok::Punct("{")))
+                | (Some(Tok::Punct("{")), _) => {
+                    let is_union = kw == "union";
+                    cur.next();
+                    let tag = match cur.peek() {
+                        Some(Tok::Ident(_)) => cur.expect_ident()?,
+                        _ => anon_tag(cur),
+                    };
+                    let def = parse_record_body(cur, header, is_union)?;
+                    header.types.add_record(tag, def);
+                    cur.expect_punct(";")?;
+                    return Ok(());
+                }
+                (Some(Tok::Ident(_)), Some(Tok::Punct(";"))) => {
+                    // Forward declaration: incomplete type, nothing to do.
+                    cur.next();
+                    cur.next();
+                    cur.expect_punct(";")?;
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        Some(Tok::Ident(kw)) if kw == "enum" => {
+            if matches!(cur.peek_n(1), Some(Tok::Punct("{")))
+                || matches!(
+                    (cur.peek_n(1), cur.peek_n(2)),
+                    (Some(Tok::Ident(_)), Some(Tok::Punct("{")))
+                )
+            {
+                cur.next();
+                let tag = match cur.peek() {
+                    Some(Tok::Ident(_)) => cur.expect_ident()?,
+                    _ => anon_tag(cur),
+                };
+                parse_enum_body(cur, header, &tag)?;
+                cur.expect_punct(";")?;
+                return Ok(());
+            }
+        }
+        _ => {}
+    }
+    // Otherwise: a declaration (prototype or variable).
+    let (base, base_const) = parse_type(cur, header)?;
+    let (ty, name) = parse_declarator(cur, header, base, base_const)?;
+    if cur.eat_punct("(") {
+        let name = name.ok_or_else(|| cur.err_here("function without a name".into()))?;
+        let params = parse_param_list(cur, header)?;
+        cur.expect_punct(";")?;
+        header.protos.push(Prototype { name, ret: ty, params });
+        return Ok(());
+    }
+    // Variable declaration (possibly with initializer) — skip to `;`.
+    skip_to_semicolon(cur)?;
+    Ok(())
+}
+
+fn anon_tag(cur: &Cursor) -> String {
+    format!("__anon_{}_{}", cur.loc().line, cur.loc().col)
+}
+
+fn parse_typedef(cur: &mut Cursor, header: &mut Header) -> Result<()> {
+    // `typedef struct [tag] { ... } name;` defines the record inline.
+    if matches!(cur.peek(), Some(Tok::Ident(kw)) if kw == "struct" || kw == "union") {
+        let is_union = matches!(cur.peek(), Some(Tok::Ident(k)) if k == "union");
+        let has_body_at = |cur: &Cursor, n: usize| matches!(cur.peek_n(n), Some(Tok::Punct("{")));
+        if has_body_at(cur, 1) || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2)) {
+            cur.next(); // struct/union
+            let tag = match cur.peek() {
+                Some(Tok::Ident(_)) => cur.expect_ident()?,
+                _ => anon_tag(cur),
+            };
+            let def = parse_record_body(cur, header, is_union)?;
+            header.types.add_record(tag.clone(), def);
+            let base = if is_union { CType::Union(tag) } else { CType::Struct(tag) };
+            let (ty, name) = parse_declarator(cur, header, base, false)?;
+            let name =
+                name.ok_or_else(|| cur.err_here("typedef without a name".into()))?;
+            header.types.add_typedef(name, ty);
+            cur.expect_punct(";")?;
+            return Ok(());
+        }
+    }
+    if matches!(cur.peek(), Some(Tok::Ident(kw)) if kw == "enum") {
+        let has_body_at = |cur: &Cursor, n: usize| matches!(cur.peek_n(n), Some(Tok::Punct("{")));
+        if has_body_at(cur, 1) || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2)) {
+            cur.next();
+            let tag = match cur.peek() {
+                Some(Tok::Ident(_)) => cur.expect_ident()?,
+                _ => anon_tag(cur),
+            };
+            parse_enum_body(cur, header, &tag)?;
+            let name = cur.expect_ident()?;
+            header.types.add_typedef(name, CType::Enum(tag));
+            cur.expect_punct(";")?;
+            return Ok(());
+        }
+    }
+    let (base, base_const) = parse_type(cur, header)?;
+    let (ty, name) = parse_declarator(cur, header, base, base_const)?;
+    let name = name.ok_or_else(|| cur.err_here("typedef without a name".into()))?;
+    header.types.add_typedef(name, ty);
+    cur.expect_punct(";")?;
+    Ok(())
+}
+
+fn parse_record_body(
+    cur: &mut Cursor,
+    header: &mut Header,
+    is_union: bool,
+) -> Result<RecordDef> {
+    cur.expect_punct("{")?;
+    let mut def = RecordDef { members: Vec::new(), is_union };
+    while !cur.eat_punct("}") {
+        let (base, base_const) = parse_type(cur, header)?;
+        loop {
+            let (ty, name) = parse_declarator(cur, header, base.clone(), base_const)?;
+            let name =
+                name.ok_or_else(|| cur.err_here("unnamed struct member".into()))?;
+            def.members.push((name, ty));
+            if !cur.eat_punct(",") {
+                break;
+            }
+        }
+        cur.expect_punct(";")?;
+    }
+    Ok(def)
+}
+
+fn parse_enum_body(cur: &mut Cursor, header: &mut Header, tag: &str) -> Result<()> {
+    cur.expect_punct("{")?;
+    let mut variants = Vec::new();
+    let mut next = 0i64;
+    while !cur.eat_punct("}") {
+        let name = cur.expect_ident()?;
+        if cur.eat_punct("=") {
+            let neg = cur.eat_punct("-");
+            let v = cur.expect_int()?;
+            next = if neg { -v } else { v };
+        }
+        header.constants.insert(name.clone(), next);
+        variants.push((name, next));
+        next += 1;
+        if !cur.eat_punct(",") && !matches!(cur.peek(), Some(Tok::Punct("}"))) {
+            return Err(cur.err_here("expected `,` or `}` in enum".into()));
+        }
+    }
+    header.types.add_enum(tag.to_string(), variants);
+    Ok(())
+}
+
+/// Parses a type *specifier* (no declarator): `const unsigned long`,
+/// `struct foo`, `cl_uint`, ... Pointers belong to the declarator.
+fn parse_type(cur: &mut Cursor, header: &Header) -> Result<(CType, bool)> {
+    let _ = header;
+    parse_type_inner(cur)
+}
+
+/// Parses a full abstract type name (specifier + pointers), as used inside
+/// `sizeof(...)`. Usable without a header (for spec expressions).
+pub fn parse_type_name(cur: &mut Cursor) -> Result<CType> {
+    let (base, base_const) = parse_type_inner(cur)?;
+    Ok(apply_pointers(cur, base, base_const))
+}
+
+/// Applies `*` declarator levels. In C, `const T *p` makes the *pointee*
+/// const, so the base type's constness attaches to the first pointer level;
+/// a `const` written after a `*` makes the pointer itself const, which has
+/// no marshaling meaning and is dropped.
+fn apply_pointers(cur: &mut Cursor, mut ty: CType, base_const: bool) -> CType {
+    let mut first = true;
+    while cur.eat_punct("*") {
+        let ptr_const = cur.eat_ident("const");
+        let _ = ptr_const;
+        let const_pointee = first && base_const;
+        first = false;
+        ty = CType::Pointer { pointee: Box::new(ty), const_pointee };
+    }
+    ty
+}
+
+fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
+    let mut is_const = false;
+    let mut signedness: Option<bool> = None;
+    let mut longs = 0u8;
+    let mut short = false;
+    let mut base: Option<CType> = None;
+    let mut saw_int_kw = false;
+
+    loop {
+        match cur.peek().cloned() {
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "const" => {
+                    is_const = true;
+                    cur.next();
+                }
+                "volatile" | "register" | "restrict" | "__restrict" => {
+                    cur.next();
+                }
+                "unsigned" => {
+                    signedness = Some(false);
+                    cur.next();
+                }
+                "signed" => {
+                    signedness = Some(true);
+                    cur.next();
+                }
+                "long" => {
+                    longs += 1;
+                    cur.next();
+                }
+                "short" => {
+                    short = true;
+                    cur.next();
+                }
+                "void" => {
+                    base = Some(CType::Void);
+                    cur.next();
+                }
+                "_Bool" | "bool" => {
+                    base = Some(CType::Bool);
+                    cur.next();
+                }
+                "char" => {
+                    base = Some(CType::Int { signed: signedness.unwrap_or(true), bits: 8 });
+                    cur.next();
+                }
+                "int" => {
+                    saw_int_kw = true;
+                    cur.next();
+                }
+                "float" => {
+                    base = Some(CType::Float { bits: 32 });
+                    cur.next();
+                }
+                "double" => {
+                    base = Some(CType::Float { bits: 64 });
+                    cur.next();
+                }
+                "struct" | "union" | "enum" => {
+                    cur.next();
+                    let tag = cur.expect_ident()?;
+                    base = Some(match kw.as_str() {
+                        "struct" => CType::Struct(tag),
+                        "union" => CType::Union(tag),
+                        _ => CType::Enum(tag),
+                    });
+                }
+                "size_t" | "uintptr_t" => {
+                    base = Some(CType::Int { signed: false, bits: 64 });
+                    cur.next();
+                }
+                "ssize_t" | "intptr_t" | "ptrdiff_t" => {
+                    base = Some(CType::Int { signed: true, bits: 64 });
+                    cur.next();
+                }
+                "int8_t" | "int16_t" | "int32_t" | "int64_t" | "uint8_t"
+                | "uint16_t" | "uint32_t" | "uint64_t" => {
+                    let signed = !kw.starts_with('u');
+                    let bits: u8 = kw
+                        .trim_start_matches(['u', 'i'])
+                        .trim_start_matches("nt")
+                        .trim_end_matches("_t")
+                        .parse()
+                        .expect("fixed-width typedef name");
+                    base = Some(CType::Int { signed, bits });
+                    cur.next();
+                }
+                _ => {
+                    // A typedef name can only serve as the base type if no
+                    // other specifier has claimed that role.
+                    if base.is_none() && !saw_int_kw && signedness.is_none() && longs == 0 && !short {
+                        base = Some(CType::Named(kw));
+                        cur.next();
+                    }
+                    break;
+                }
+            },
+            _ => break,
+        }
+    }
+
+    let ty = match base {
+        Some(t) => {
+            if signedness.is_some() || longs > 0 || short {
+                // `unsigned char` handled above; reject e.g. `unsigned float`.
+                if let CType::Int { bits, .. } = t {
+                    CType::Int { signed: signedness.unwrap_or(true), bits }
+                } else {
+                    return Err(cur.err_here("conflicting type specifiers".into()));
+                }
+            } else {
+                t
+            }
+        }
+        None => {
+            if saw_int_kw || signedness.is_some() || longs > 0 || short {
+                let bits = if longs > 0 {
+                    64
+                } else if short {
+                    16
+                } else {
+                    32
+                };
+                CType::Int { signed: signedness.unwrap_or(true), bits }
+            } else {
+                return Err(cur.err_here(format!("expected type, found {}", cur.describe())));
+            }
+        }
+    };
+    Ok((ty, is_const))
+}
+
+/// Parses a declarator after a base type: pointers, an optional name, array
+/// suffixes, or a function-pointer declarator.
+fn parse_declarator(
+    cur: &mut Cursor,
+    header: &Header,
+    base: CType,
+    base_const: bool,
+) -> Result<(CType, Option<String>)> {
+    let mut ty = apply_pointers(cur, base, base_const);
+    // Function pointer: `(*name)(params)` or `(*)(params)`.
+    if matches!(cur.peek(), Some(Tok::Punct("(")))
+        && matches!(cur.peek_n(1), Some(Tok::Punct("*")))
+    {
+        cur.next(); // (
+        cur.next(); // *
+        let name = match cur.peek() {
+            Some(Tok::Ident(_)) => Some(cur.expect_ident()?),
+            _ => None,
+        };
+        cur.expect_punct(")")?;
+        cur.expect_punct("(")?;
+        // Parameter types of the callback are opaque to the wire layer.
+        let _ = parse_param_list(cur, header)?;
+        return Ok((CType::FnPtr, name));
+    }
+    let name = match cur.peek() {
+        Some(Tok::Ident(id)) if !is_reserved(id) => Some(cur.expect_ident()?),
+        _ => None,
+    };
+    while cur.eat_punct("[") {
+        if let Some(Tok::Int(_)) = cur.peek() {
+            let len = cur.expect_int()?;
+            cur.expect_punct("]")?;
+            let len = usize::try_from(len)
+                .map_err(|_| cur.err_here("negative array length".into()))?;
+            ty = CType::Array { elem: Box::new(ty), len };
+        } else {
+            cur.expect_punct("]")?;
+            // Unsized array in a parameter decays to a pointer.
+            ty = CType::ptr(ty);
+        }
+    }
+    Ok((ty, name))
+}
+
+fn is_reserved(id: &str) -> bool {
+    matches!(
+        id,
+        "const" | "volatile" | "struct" | "union" | "enum" | "unsigned" | "signed"
+    )
+}
+
+fn parse_param_list(cur: &mut Cursor, header: &Header) -> Result<Vec<CParam>> {
+    let mut params = Vec::new();
+    if cur.eat_punct(")") {
+        return Ok(params);
+    }
+    loop {
+        if cur.eat_punct("...") {
+            // Varargs cannot be marshaled; the spec layer rejects such
+            // functions unless annotated `unsupported`.
+            cur.expect_punct(")")?;
+            params.push(CParam {
+                name: "...".into(),
+                ty: CType::Void,
+                const_qualified: false,
+            });
+            return Ok(params);
+        }
+        let (base, base_const) = parse_type(cur, header)?;
+        if base == CType::Void && matches!(cur.peek(), Some(Tok::Punct(")"))) {
+            cur.expect_punct(")")?;
+            return Ok(params);
+        }
+        let (ty, name) = parse_declarator(cur, header, base, base_const)?;
+        let const_qualified =
+            base_const || matches!(&ty, CType::Pointer { const_pointee: true, .. });
+        params.push(CParam {
+            name: name.unwrap_or_else(|| format!("arg{}", params.len())),
+            ty,
+            const_qualified,
+        });
+        if cur.eat_punct(")") {
+            return Ok(params);
+        }
+        cur.expect_punct(",")?;
+    }
+}
+
+fn skip_to_semicolon(cur: &mut Cursor) -> Result<()> {
+    let mut depth = 0usize;
+    while let Some(tok) = cur.next() {
+        match tok {
+            Tok::Punct("(") | Tok::Punct("{") | Tok::Punct("[") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("}") | Tok::Punct("]") => {
+                depth = depth.saturating_sub(1)
+            }
+            Tok::Punct(";") if depth == 0 => return Ok(()),
+            _ => {}
+        }
+    }
+    Err(cur.err_here("unterminated declaration".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::NoHeaders;
+
+    fn parse(src: &str) -> Header {
+        parse_header(src, &NoHeaders).unwrap()
+    }
+
+    #[test]
+    fn parses_simple_prototype() {
+        let h = parse("int add(int a, int b);");
+        let p = h.proto("add").unwrap();
+        assert_eq!(p.ret, CType::Int { signed: true, bits: 32 });
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].name, "a");
+    }
+
+    #[test]
+    fn parses_void_parameter_list() {
+        let h = parse("int f(void); int g();");
+        assert!(h.proto("f").unwrap().params.is_empty());
+        assert!(h.proto("g").unwrap().params.is_empty());
+    }
+
+    #[test]
+    fn parses_opaque_handle_typedefs() {
+        let h = parse(
+            "typedef struct _cl_mem *cl_mem;\n\
+             typedef struct _cl_context *cl_context;\n\
+             cl_mem clCreateBuffer(cl_context ctx, unsigned long size);",
+        );
+        assert!(h.types.is_opaque_handle(&CType::Named("cl_mem".into())));
+        let p = h.proto("clCreateBuffer").unwrap();
+        assert_eq!(p.ret, CType::Named("cl_mem".into()));
+    }
+
+    #[test]
+    fn parses_scalar_typedef_chain() {
+        let h = parse("typedef unsigned int cl_uint;\ntypedef cl_uint cl_bool;\n");
+        assert_eq!(
+            h.types.resolve(&CType::Named("cl_bool".into())).unwrap(),
+            &CType::Int { signed: false, bits: 32 }
+        );
+    }
+
+    #[test]
+    fn parses_struct_definition_and_layout() {
+        let h = parse("struct point { int x; int y; double w; };");
+        assert_eq!(h.types.size_of(&CType::Struct("point".into())).unwrap(), 16);
+    }
+
+    #[test]
+    fn parses_typedef_struct_with_body() {
+        let h = parse("typedef struct { float a; float b; } pair_t;");
+        assert_eq!(h.types.size_of(&CType::Named("pair_t".into())).unwrap(), 8);
+    }
+
+    #[test]
+    fn parses_multi_declarator_members() {
+        let h = parse("struct v { int x, y, z; };");
+        assert_eq!(h.types.record("v").unwrap().members.len(), 3);
+    }
+
+    #[test]
+    fn parses_enum_constants() {
+        let h = parse("enum color { RED, GREEN = 5, BLUE };");
+        assert_eq!(h.constants["RED"], 0);
+        assert_eq!(h.constants["GREEN"], 5);
+        assert_eq!(h.constants["BLUE"], 6);
+    }
+
+    #[test]
+    fn parses_pointer_params_with_const() {
+        let h = parse("int write(const unsigned char *src, unsigned long n, char *dst);");
+        let p = h.proto("write").unwrap();
+        assert!(p.params[0].const_qualified);
+        assert!(!p.params[2].const_qualified);
+        assert_eq!(
+            p.params[0].ty,
+            CType::const_ptr(CType::Int { signed: false, bits: 8 })
+        );
+    }
+
+    #[test]
+    fn parses_double_pointer() {
+        let h = parse("typedef struct _d *dev;\nint get(dev *out, unsigned int n);");
+        let p = h.proto("get").unwrap();
+        assert_eq!(p.params[0].ty, CType::ptr(CType::Named("dev".into())));
+    }
+
+    #[test]
+    fn parses_function_pointer_param() {
+        let h = parse(
+            "int create(int flags, void (*pfn_notify)(const char *, const void *, unsigned long, void *), void *user_data);",
+        );
+        let p = h.proto("create").unwrap();
+        assert_eq!(p.params[1].ty, CType::FnPtr);
+        assert_eq!(p.params[1].name, "pfn_notify");
+    }
+
+    #[test]
+    fn parses_array_param_as_pointer() {
+        let h = parse("int f(int values[], int n);");
+        let p = h.proto("f").unwrap();
+        assert_eq!(p.params[0].ty, CType::ptr(CType::Int { signed: true, bits: 32 }));
+    }
+
+    #[test]
+    fn fixed_width_and_size_t() {
+        let h = parse("uint64_t f(size_t n, int32_t m, uint8_t b);");
+        let p = h.proto("f").unwrap();
+        assert_eq!(p.ret, CType::Int { signed: false, bits: 64 });
+        assert_eq!(p.params[0].ty, CType::Int { signed: false, bits: 64 });
+        assert_eq!(p.params[2].ty, CType::Int { signed: false, bits: 8 });
+    }
+
+    #[test]
+    fn skips_variable_declarations() {
+        let h = parse("int global_counter; extern int other; int f(void);");
+        assert_eq!(h.protos.len(), 1);
+    }
+
+    #[test]
+    fn forward_struct_declaration_is_incomplete() {
+        let h = parse("struct _cl_event; typedef struct _cl_event *cl_event;");
+        assert!(h.types.is_opaque_handle(&CType::Named("cl_event".into())));
+    }
+
+    #[test]
+    fn unnamed_params_get_synthetic_names() {
+        let h = parse("int f(int, float);");
+        let p = h.proto("f").unwrap();
+        assert_eq!(p.params[0].name, "arg0");
+        assert_eq!(p.params[1].name, "arg1");
+    }
+
+    #[test]
+    fn defines_flow_into_constants() {
+        let h = parse("#define CL_SUCCESS 0\n#define CL_TRUE 1\nint f(void);\n");
+        assert_eq!(h.constants["CL_SUCCESS"], 0);
+        assert_eq!(h.constants["CL_TRUE"], 1);
+    }
+
+    #[test]
+    fn long_long_is_64_bits() {
+        let h = parse("unsigned long long f(long long x);");
+        let p = h.proto("f").unwrap();
+        assert_eq!(p.ret, CType::Int { signed: false, bits: 64 });
+        assert_eq!(p.params[0].ty, CType::Int { signed: true, bits: 64 });
+    }
+}

@@ -1,0 +1,310 @@
+//! A model of the C type system, sufficient for accelerator API headers.
+//!
+//! The model covers scalars, pointers, incomplete struct types (the usual
+//! representation of opaque API handles such as `cl_mem`), fixed-size arrays
+//! and typedef chains. Struct layout follows the usual LP64 ABI rules so
+//! that `sizeof` on by-value structures marshaled as byte buffers is exact.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Result, SpecError, SpecErrorKind};
+
+/// A C type as written in a declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `void`.
+    Void,
+    /// `_Bool`.
+    Bool,
+    /// Integer scalar: signedness and width in bits (8/16/32/64).
+    Int { signed: bool, bits: u8 },
+    /// Floating-point scalar: width in bits (32/64).
+    Float { bits: u8 },
+    /// Reference to a typedef name, resolved via [`TypeTable`].
+    Named(String),
+    /// Pointer, with constness of the *pointee*.
+    Pointer { pointee: Box<CType>, const_pointee: bool },
+    /// Struct by tag; definition (if any) lives in the [`TypeTable`].
+    Struct(String),
+    /// Union by tag (layout = max member size; alignment = max member align).
+    Union(String),
+    /// Enum by tag; represented as `int`.
+    Enum(String),
+    /// Fixed-size array.
+    Array { elem: Box<CType>, len: usize },
+    /// Pointer to function; opaque at the wire level (callbacks are
+    /// registered out-of-band by the guest runtime).
+    FnPtr,
+}
+
+impl CType {
+    /// Convenience constructor for a (mutable-pointee) pointer.
+    pub fn ptr(pointee: CType) -> CType {
+        CType::Pointer { pointee: Box::new(pointee), const_pointee: false }
+    }
+
+    /// Convenience constructor for a const-pointee pointer.
+    pub fn const_ptr(pointee: CType) -> CType {
+        CType::Pointer { pointee: Box::new(pointee), const_pointee: true }
+    }
+}
+
+/// A struct or union definition: ordered `(name, type)` members.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordDef {
+    /// Members in declaration order.
+    pub members: Vec<(String, CType)>,
+    /// True for unions.
+    pub is_union: bool,
+}
+
+/// All type names known to a parsed header set.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    typedefs: BTreeMap<String, CType>,
+    records: BTreeMap<String, RecordDef>,
+    enums: BTreeMap<String, Vec<(String, i64)>>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `typedef <ty> <name>;`.
+    pub fn add_typedef(&mut self, name: impl Into<String>, ty: CType) {
+        self.typedefs.insert(name.into(), ty);
+    }
+
+    /// Registers a struct/union definition by tag.
+    pub fn add_record(&mut self, tag: impl Into<String>, def: RecordDef) {
+        self.records.insert(tag.into(), def);
+    }
+
+    /// Registers an enum definition by tag.
+    pub fn add_enum(&mut self, tag: impl Into<String>, variants: Vec<(String, i64)>) {
+        self.enums.insert(tag.into(), variants);
+    }
+
+    /// Looks up a typedef.
+    pub fn typedef(&self, name: &str) -> Option<&CType> {
+        self.typedefs.get(name)
+    }
+
+    /// Looks up a record definition.
+    pub fn record(&self, tag: &str) -> Option<&RecordDef> {
+        self.records.get(tag)
+    }
+
+    /// Iterates all typedefs (name, type).
+    pub fn typedefs(&self) -> impl Iterator<Item = (&String, &CType)> {
+        self.typedefs.iter()
+    }
+
+    /// Merges every typedef, record and enum from `other` into `self`
+    /// (entries in `other` win on collision).
+    pub fn merge_from(&mut self, other: &TypeTable) {
+        for (k, v) in &other.typedefs {
+            self.typedefs.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &other.records {
+            self.records.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &other.enums {
+            self.enums.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Resolves typedef chains until a non-`Named` type is reached.
+    ///
+    /// Unknown names resolve to themselves (treated as incomplete types);
+    /// self-referential typedef chains are detected and reported.
+    pub fn resolve<'a>(&'a self, ty: &'a CType) -> Result<&'a CType> {
+        let mut current = ty;
+        for _ in 0..64 {
+            match current {
+                CType::Named(name) => match self.typedefs.get(name) {
+                    Some(next) => current = next,
+                    None => return Ok(current),
+                },
+                other => return Ok(other),
+            }
+        }
+        Err(SpecError::nowhere(SpecErrorKind::Conflict(
+            "typedef chain exceeds 64 links (cycle?)".into(),
+        )))
+    }
+
+    /// True if `ty` resolves to a pointer to an *incomplete* struct — the C
+    /// idiom for opaque handles (`typedef struct _cl_mem *cl_mem;`).
+    pub fn is_opaque_handle(&self, ty: &CType) -> bool {
+        match self.resolve(ty) {
+            Ok(CType::Pointer { pointee, .. }) => match self.resolve(pointee) {
+                Ok(CType::Struct(tag)) => !self.records.contains_key(tag.as_str()),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Returns `(size, align)` of a type under LP64 rules.
+    pub fn layout(&self, ty: &CType) -> Result<(usize, usize)> {
+        let resolved = self.resolve(ty)?.clone();
+        match resolved {
+            CType::Void => Err(SpecError::nowhere(SpecErrorKind::Eval(
+                "sizeof(void) is not defined".into(),
+            ))),
+            CType::Bool => Ok((1, 1)),
+            CType::Int { bits, .. } => {
+                let n = usize::from(bits / 8);
+                Ok((n, n))
+            }
+            CType::Float { bits } => {
+                let n = usize::from(bits / 8);
+                Ok((n, n))
+            }
+            CType::Pointer { .. } | CType::FnPtr => Ok((8, 8)),
+            CType::Enum(_) => Ok((4, 4)),
+            CType::Array { elem, len } => {
+                let (sz, al) = self.layout(&elem)?;
+                Ok((sz * len, al))
+            }
+            CType::Struct(tag) | CType::Union(tag) => {
+                let def = self.records.get(&tag).ok_or_else(|| {
+                    SpecError::nowhere(SpecErrorKind::Eval(format!(
+                        "sizeof incomplete type `struct {tag}`"
+                    )))
+                })?;
+                self.record_layout(def)
+            }
+            CType::Named(_) => unreachable!("resolve() removed Named"),
+        }
+    }
+
+    /// `sizeof` a type.
+    pub fn size_of(&self, ty: &CType) -> Result<usize> {
+        Ok(self.layout(ty)?.0)
+    }
+
+    fn record_layout(&self, def: &RecordDef) -> Result<(usize, usize)> {
+        let mut size = 0usize;
+        let mut align = 1usize;
+        for (_, mty) in &def.members {
+            let (msz, mal) = self.layout(mty)?;
+            align = align.max(mal);
+            if def.is_union {
+                size = size.max(msz);
+            } else {
+                size = size.div_ceil(mal) * mal + msz;
+            }
+        }
+        let size = size.div_ceil(align) * align;
+        Ok((size.max(1), align))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(bits: u8) -> CType {
+        CType::Int { signed: true, bits }
+    }
+
+    #[test]
+    fn scalar_layouts() {
+        let t = TypeTable::new();
+        assert_eq!(t.size_of(&CType::Bool).unwrap(), 1);
+        assert_eq!(t.size_of(&int(32)).unwrap(), 4);
+        assert_eq!(t.size_of(&CType::Float { bits: 64 }).unwrap(), 8);
+        assert_eq!(t.size_of(&CType::ptr(CType::Void)).unwrap(), 8);
+    }
+
+    #[test]
+    fn typedef_chains_resolve() {
+        let mut t = TypeTable::new();
+        t.add_typedef("cl_int", int(32));
+        t.add_typedef("my_int", CType::Named("cl_int".into()));
+        assert_eq!(t.resolve(&CType::Named("my_int".into())).unwrap(), &int(32));
+        assert_eq!(t.size_of(&CType::Named("my_int".into())).unwrap(), 4);
+    }
+
+    #[test]
+    fn typedef_cycle_detected() {
+        let mut t = TypeTable::new();
+        t.add_typedef("a", CType::Named("b".into()));
+        t.add_typedef("b", CType::Named("a".into()));
+        assert!(t.resolve(&CType::Named("a".into())).is_err());
+    }
+
+    #[test]
+    fn unknown_named_type_resolves_to_itself() {
+        let t = TypeTable::new();
+        let ty = CType::Named("mystery_t".into());
+        assert_eq!(t.resolve(&ty).unwrap(), &ty);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        let mut t = TypeTable::new();
+        t.add_record(
+            "s",
+            RecordDef {
+                members: vec![
+                    ("a".into(), int(8)),
+                    ("b".into(), int(64)), // forces 8-byte alignment, 7 pad
+                    ("c".into(), int(16)),
+                ],
+                is_union: false,
+            },
+        );
+        // 1 + 7 pad + 8 + 2 + 6 tail pad = 24.
+        assert_eq!(t.size_of(&CType::Struct("s".into())).unwrap(), 24);
+    }
+
+    #[test]
+    fn union_layout_is_max() {
+        let mut t = TypeTable::new();
+        t.add_record(
+            "u",
+            RecordDef {
+                members: vec![("a".into(), int(64)), ("b".into(), int(8))],
+                is_union: true,
+            },
+        );
+        assert_eq!(t.size_of(&CType::Union("u".into())).unwrap(), 8);
+    }
+
+    #[test]
+    fn array_layout() {
+        let t = TypeTable::new();
+        let a = CType::Array { elem: Box::new(int(32)), len: 10 };
+        assert_eq!(t.size_of(&a).unwrap(), 40);
+    }
+
+    #[test]
+    fn opaque_handle_detection() {
+        let mut t = TypeTable::new();
+        // typedef struct _cl_mem *cl_mem;  (struct never defined)
+        t.add_typedef("cl_mem", CType::ptr(CType::Struct("_cl_mem".into())));
+        assert!(t.is_opaque_handle(&CType::Named("cl_mem".into())));
+
+        // A pointer to a *defined* struct is not a handle.
+        t.add_typedef("vec_p", CType::ptr(CType::Struct("vec".into())));
+        t.add_record(
+            "vec",
+            RecordDef { members: vec![("x".into(), int(32))], is_union: false },
+        );
+        assert!(!t.is_opaque_handle(&CType::Named("vec_p".into())));
+
+        // Plain scalar is not a handle.
+        assert!(!t.is_opaque_handle(&int(32)));
+    }
+
+    #[test]
+    fn sizeof_incomplete_struct_fails() {
+        let t = TypeTable::new();
+        assert!(t.size_of(&CType::Struct("nope".into())).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Tokenizer shared by the C-header parser and the specification parser.
+
+use crate::error::{Loc, Result, SpecError, SpecErrorKind};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, hex or char), suffixes stripped.
+    Int(i64),
+    /// String literal, unescaped.
+    Str(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Source location of the first character.
+    pub loc: Loc,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "(", ")", "{", "}", "[", "]", ";", ",", "*", "&",
+    "+", "-", "/", "%", "<", ">", "=", "!", "?", ":", ".", "|", "^", "~", "#",
+];
+
+/// Tokenizes `src`. Comments must already have been stripped (the
+/// preprocessor does this); stray `/*` here is an error.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! loc {
+        () => {
+            Loc { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        let start_loc = loc!();
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let text = &src[start..i];
+            col += (i - start) as u32;
+            toks.push(Token { tok: Tok::Ident(text.to_string()), loc: start_loc });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let value = if c == '0'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+            {
+                i += 2;
+                let hs = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hs {
+                    return Err(SpecError::at(
+                        start_loc,
+                        SpecErrorKind::Lex("empty hex literal".into()),
+                    ));
+                }
+                i64::from_str_radix(&src[hs..i], 16).map_err(|_| {
+                    SpecError::at(
+                        start_loc,
+                        SpecErrorKind::Lex("hex literal out of range".into()),
+                    )
+                })?
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                src[start..i].parse::<i64>().map_err(|_| {
+                    SpecError::at(
+                        start_loc,
+                        SpecErrorKind::Lex("integer literal out of range".into()),
+                    )
+                })?
+            };
+            // Swallow integer suffixes (u, U, l, L combinations).
+            while i < bytes.len() && matches!(bytes[i], b'u' | b'U' | b'l' | b'L') {
+                i += 1;
+            }
+            col += (i - start) as u32;
+            toks.push(Token { tok: Tok::Int(value), loc: start_loc });
+            continue;
+        }
+        if c == '"' {
+            let mut out = String::new();
+            i += 1;
+            col += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(SpecError::at(
+                        start_loc,
+                        SpecErrorKind::Lex("unterminated string literal".into()),
+                    ));
+                }
+                let ch = bytes[i] as char;
+                i += 1;
+                col += 1;
+                match ch {
+                    '"' => break,
+                    '\\' => {
+                        if i >= bytes.len() {
+                            return Err(SpecError::at(
+                                start_loc,
+                                SpecErrorKind::Lex("unterminated escape".into()),
+                            ));
+                        }
+                        let esc = bytes[i] as char;
+                        i += 1;
+                        col += 1;
+                        out.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            '0' => '\0',
+                            other => other,
+                        });
+                    }
+                    '\n' => {
+                        return Err(SpecError::at(
+                            start_loc,
+                            SpecErrorKind::Lex("newline in string literal".into()),
+                        ))
+                    }
+                    other => out.push(other),
+                }
+            }
+            toks.push(Token { tok: Tok::Str(out), loc: start_loc });
+            continue;
+        }
+        // Punctuation: maximal munch against the table.
+        let rest = &src[i..];
+        let mut matched = None;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        match matched {
+            Some(p) => {
+                i += p.len();
+                col += p.len() as u32;
+                toks.push(Token { tok: Tok::Punct(p), loc: start_loc });
+            }
+            None => {
+                return Err(SpecError::at(
+                    start_loc,
+                    SpecErrorKind::Lex(format!("unexpected character `{c}`")),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// A cursor over a token stream with the usual parser conveniences.
+#[derive(Debug)]
+pub struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wraps a token vector.
+    pub fn new(toks: Vec<Token>) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    /// Location of the next token (or end of input).
+    pub fn loc(&self) -> Loc {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.loc)
+            .unwrap_or(Loc { line: u32::MAX, col: 0 })
+    }
+
+    /// Peeks the next token without consuming it.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    /// Peeks `n` tokens ahead (0 = next).
+    pub fn peek_n(&self, n: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + n).map(|t| &t.tok)
+    }
+
+    /// Consumes and returns the next token.
+    pub fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True when all tokens have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes the next token if it equals the given punctuation.
+    pub fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the given identifier/keyword.
+    pub fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the given punctuation next, or errors.
+    pub fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{p}`, found {}", self.describe())))
+        }
+    }
+
+    /// Requires an identifier next and returns it.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err_here(format!("expected identifier, found {}", self.describe()))),
+        }
+    }
+
+    /// Requires an integer literal next and returns it.
+    pub fn expect_int(&mut self) -> Result<i64> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err_here(format!("expected integer, found {}", self.describe()))),
+        }
+    }
+
+    /// Human description of the next token, for error messages.
+    pub fn describe(&self) -> String {
+        match self.peek() {
+            Some(Tok::Ident(s)) => format!("`{s}`"),
+            Some(Tok::Int(v)) => format!("`{v}`"),
+            Some(Tok::Str(_)) => "string literal".into(),
+            Some(Tok::Punct(p)) => format!("`{p}`"),
+            None => "end of input".into(),
+        }
+    }
+
+    /// Builds a parse error at the current position.
+    pub fn err_here(&self, msg: String) -> SpecError {
+        SpecError::at(self.loc(), SpecErrorKind::Parse(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lexes_c_prototype() {
+        let toks = lex("cl_int clFinish(cl_command_queue q);").unwrap();
+        assert_eq!(toks.len(), 7);
+        assert_eq!(toks[0].tok, Tok::Ident("cl_int".into()));
+        assert_eq!(toks[2].tok, Tok::Punct("("));
+        assert_eq!(toks[6].tok, Tok::Punct(";"));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex("0 42 0x10 0xFFU 123L").unwrap();
+        let vals: Vec<i64> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![0, 42, 16, 255, 123]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = lex(r#""hello\nworld" "a\"b""#).unwrap();
+        assert_eq!(toks[0].tok, Tok::Str("hello\nworld".into()));
+        assert_eq!(toks[1].tok, Tok::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        let toks = lex("a==b !=c <= >= && || << >>").unwrap();
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "<=", ">=", "&&", "||", "<<", ">>"]);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].loc.line, 1);
+        assert_eq!(toks[1].loc.line, 2);
+        assert_eq!(toks[2].loc.line, 3);
+        assert_eq!(toks[2].loc.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("int a @ b;").is_err());
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(idents("_cl_mem __x a_b_c"), vec!["_cl_mem", "__x", "a_b_c"]);
+    }
+
+    #[test]
+    fn cursor_basics() {
+        let mut cur = Cursor::new(lex("foo ( 7 )").unwrap());
+        assert_eq!(cur.expect_ident().unwrap(), "foo");
+        assert!(cur.eat_punct("("));
+        assert_eq!(cur.expect_int().unwrap(), 7);
+        assert!(cur.expect_punct(")").is_ok());
+        assert!(cur.at_end());
+        assert!(cur.expect_ident().is_err());
+    }
+}

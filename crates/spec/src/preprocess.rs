@@ -1,0 +1,443 @@
+//! A minimal C preprocessor: comments, object-like `#define`s, `#include`
+//! resolution and include-guard style conditionals.
+//!
+//! This is not a general cpp. It supports exactly the subset that clean API
+//! headers (and the bundled `CL/cl.h` / `mvnc.h`) use:
+//!
+//! * `//` and `/* */` comments;
+//! * `#include <path>` and `#include "path"`, resolved through a
+//!   [`HeaderResolver`] so the parser never touches the filesystem directly;
+//! * object-like `#define NAME <integer-expression>` collected into a
+//!   constants table (used to resolve names like `CL_SUCCESS` in spec
+//!   expressions); non-integer defines are recorded as flags with value 1;
+//! * `#ifndef` / `#ifdef` / `#else` / `#endif` driven by the define table
+//!   (sufficient for include guards);
+//! * `#pragma`, which is ignored.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Loc, Result, SpecError, SpecErrorKind};
+
+/// Supplies header contents by include path.
+pub trait HeaderResolver {
+    /// Returns the contents of the header at `path` (as written between the
+    /// `<>` or `""`), or `None` if it is unknown.
+    fn resolve(&self, path: &str) -> Option<String>;
+}
+
+/// Resolver over an in-memory path → contents map.
+#[derive(Debug, Clone, Default)]
+pub struct MapResolver {
+    headers: BTreeMap<String, String>,
+}
+
+impl MapResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a header.
+    pub fn with(mut self, path: impl Into<String>, contents: impl Into<String>) -> Self {
+        self.headers.insert(path.into(), contents.into());
+        self
+    }
+}
+
+impl HeaderResolver for MapResolver {
+    fn resolve(&self, path: &str) -> Option<String> {
+        self.headers.get(path).cloned()
+    }
+}
+
+/// A resolver that knows no headers; `#include` always fails.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHeaders;
+
+impl HeaderResolver for NoHeaders {
+    fn resolve(&self, _path: &str) -> Option<String> {
+        None
+    }
+}
+
+/// Output of preprocessing.
+#[derive(Debug, Clone, Default)]
+pub struct Preprocessed {
+    /// Directive-free source text. Removed constructs are replaced by blank
+    /// lines (or, for includes, followed by the included text) so line
+    /// numbers in the *outermost* file stay meaningful.
+    pub text: String,
+    /// Integer constants gathered from `#define`s, e.g. `CL_SUCCESS` → 0.
+    pub constants: BTreeMap<String, i64>,
+}
+
+/// Strips comments, replacing them with equivalent whitespace.
+pub fn strip_comments(src: &str) -> Result<String> {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SpecError::at(
+                            Loc { line: start_line, col: 1 },
+                            SpecErrorKind::Lex("unterminated block comment".into()),
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                // Copy string literals verbatim so `//` inside them survives.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    out.push(ch);
+                    i += 1;
+                    if ch == '\\' && i < bytes.len() {
+                        out.push(bytes[i] as char);
+                        i += 1;
+                    } else if ch == '"' {
+                        break;
+                    } else if ch == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the preprocessor over `src`, resolving includes through `resolver`.
+pub fn preprocess(src: &str, resolver: &dyn HeaderResolver) -> Result<Preprocessed> {
+    let mut out = Preprocessed::default();
+    let mut include_stack: Vec<String> = Vec::new();
+    process_file(src, resolver, &mut out, &mut include_stack)?;
+    Ok(out)
+}
+
+fn process_file(
+    src: &str,
+    resolver: &dyn HeaderResolver,
+    out: &mut Preprocessed,
+    include_stack: &mut Vec<String>,
+) -> Result<()> {
+    let clean = strip_comments(src)?;
+    // Stack of conditional states: `true` if the current branch is active.
+    let mut cond: Vec<bool> = Vec::new();
+
+    for (idx, raw_line) in clean.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw_line.trim();
+        let active = cond.iter().all(|&b| b);
+        if let Some(directive) = line.strip_prefix('#') {
+            let directive = directive.trim_start();
+            let (name, rest) = split_word(directive);
+            match name {
+                "include" if active => {
+                    let path = parse_include_path(rest).ok_or_else(|| {
+                        SpecError::at(
+                            Loc { line: line_no, col: 1 },
+                            SpecErrorKind::Preprocess(format!(
+                                "malformed #include: `{line}`"
+                            )),
+                        )
+                    })?;
+                    if include_stack.iter().any(|p| p == &path) {
+                        return Err(SpecError::at(
+                            Loc { line: line_no, col: 1 },
+                            SpecErrorKind::Preprocess(format!(
+                                "recursive #include of `{path}`"
+                            )),
+                        ));
+                    }
+                    let contents = resolver.resolve(&path).ok_or_else(|| {
+                        SpecError::at(
+                            Loc { line: line_no, col: 1 },
+                            SpecErrorKind::Preprocess(format!(
+                                "cannot resolve #include `{path}`"
+                            )),
+                        )
+                    })?;
+                    include_stack.push(path);
+                    process_file(&contents, resolver, out, include_stack)?;
+                    include_stack.pop();
+                    out.text.push('\n');
+                }
+                "define" if active => {
+                    let (dname, dval) = split_word(rest);
+                    if dname.is_empty() {
+                        return Err(SpecError::at(
+                            Loc { line: line_no, col: 1 },
+                            SpecErrorKind::Preprocess("#define without a name".into()),
+                        ));
+                    }
+                    // Function-like macros are recorded as flags only.
+                    if dname.contains('(') {
+                        out.text.push('\n');
+                        continue;
+                    }
+                    let value = parse_int_expr(dval, &out.constants).unwrap_or(1);
+                    out.constants.insert(dname.to_string(), value);
+                    out.text.push('\n');
+                }
+                "undef" if active => {
+                    let (dname, _) = split_word(rest);
+                    out.constants.remove(dname);
+                    out.text.push('\n');
+                }
+                "ifndef" => {
+                    let (dname, _) = split_word(rest);
+                    cond.push(!out.constants.contains_key(dname));
+                    out.text.push('\n');
+                }
+                "ifdef" => {
+                    let (dname, _) = split_word(rest);
+                    cond.push(out.constants.contains_key(dname));
+                    out.text.push('\n');
+                }
+                "if" => {
+                    // Only `#if 0` / `#if 1` style guards are supported.
+                    let v = parse_int_expr(rest, &out.constants).unwrap_or(0);
+                    cond.push(v != 0);
+                    out.text.push('\n');
+                }
+                "else" => {
+                    match cond.last_mut() {
+                        Some(b) => *b = !*b,
+                        None => {
+                            return Err(SpecError::at(
+                                Loc { line: line_no, col: 1 },
+                                SpecErrorKind::Preprocess("#else without #if".into()),
+                            ))
+                        }
+                    }
+                    out.text.push('\n');
+                }
+                "endif" => {
+                    if cond.pop().is_none() {
+                        return Err(SpecError::at(
+                            Loc { line: line_no, col: 1 },
+                            SpecErrorKind::Preprocess("#endif without #if".into()),
+                        ));
+                    }
+                    out.text.push('\n');
+                }
+                "pragma" | "error" | "warning" => out.text.push('\n'),
+                // Inactive branches swallow any directive except the
+                // conditional bookkeeping handled above.
+                _ if !active => out.text.push('\n'),
+                other => {
+                    return Err(SpecError::at(
+                        Loc { line: line_no, col: 1 },
+                        SpecErrorKind::Preprocess(format!(
+                            "unsupported directive #{other}"
+                        )),
+                    ))
+                }
+            }
+        } else if active {
+            out.text.push_str(raw_line);
+            out.text.push('\n');
+        } else {
+            out.text.push('\n');
+        }
+    }
+    if !cond.is_empty() {
+        return Err(SpecError::nowhere(SpecErrorKind::Preprocess(
+            "unterminated #if/#ifndef".into(),
+        )));
+    }
+    Ok(())
+}
+
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(|c: char| c.is_ascii_whitespace()) {
+        Some(pos) => (&s[..pos], s[pos..].trim()),
+        None => (s, ""),
+    }
+}
+
+fn parse_include_path(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    if let Some(inner) = rest.strip_prefix('<').and_then(|r| r.strip_suffix('>')) {
+        return Some(inner.trim().to_string());
+    }
+    if let Some(inner) = rest.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Some(inner.trim().to_string());
+    }
+    None
+}
+
+/// Parses simple integer define bodies: literals, parenthesized literals,
+/// unary minus, references to earlier defines, and `a << b` shifts (the
+/// common bitmask idiom).
+fn parse_int_expr(s: &str, consts: &BTreeMap<String, i64>) -> Option<i64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let s = s
+        .strip_prefix('(')
+        .and_then(|inner| inner.strip_suffix(')'))
+        .map(str::trim)
+        .unwrap_or(s);
+    if let Some((lhs, rhs)) = s.split_once("<<") {
+        let l = parse_int_atom(lhs.trim(), consts)?;
+        let r = parse_int_atom(rhs.trim(), consts)?;
+        return l.checked_shl(u32::try_from(r).ok()?);
+    }
+    parse_int_atom(s, consts)
+}
+
+fn parse_int_atom(s: &str, consts: &BTreeMap<String, i64>) -> Option<i64> {
+    if let Some(rest) = s.strip_prefix('-') {
+        return parse_int_atom(rest.trim(), consts).map(|v| -v);
+    }
+    let stripped = s.trim_end_matches(['u', 'U', 'l', 'L']);
+    if let Some(hex) = stripped.strip_prefix("0x").or_else(|| stripped.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if stripped.chars().all(|c| c.is_ascii_digit()) && !stripped.is_empty() {
+        return stripped.parse().ok();
+    }
+    consts.get(s).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "int a; // trailing\nint /* inline */ b;\n/* multi\nline */int c;\n";
+        let out = strip_comments(src).unwrap();
+        // Comment text is gone, declarations and line structure survive.
+        assert!(!out.contains("trailing"));
+        assert!(!out.contains("inline"));
+        assert!(!out.contains("multi"));
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(out.contains("int a;"));
+        assert!(out.contains("b;"));
+        assert!(out.contains("int c;"));
+    }
+
+    #[test]
+    fn preserves_comment_markers_in_strings() {
+        let src = "char *s = \"// not a comment\";\n";
+        let out = strip_comments(src).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(strip_comments("int a; /* oops").is_err());
+    }
+
+    #[test]
+    fn collects_defines() {
+        let src = "#define CL_SUCCESS 0\n#define CL_TRUE 1\n#define NEG (-30)\n#define HEX 0x10\n#define SHIFT (1 << 4)\n";
+        let out = preprocess(src, &NoHeaders).unwrap();
+        assert_eq!(out.constants["CL_SUCCESS"], 0);
+        assert_eq!(out.constants["CL_TRUE"], 1);
+        assert_eq!(out.constants["NEG"], -30);
+        assert_eq!(out.constants["HEX"], 16);
+        assert_eq!(out.constants["SHIFT"], 16);
+    }
+
+    #[test]
+    fn define_referencing_earlier_define() {
+        let src = "#define A 5\n#define B A\n";
+        let out = preprocess(src, &NoHeaders).unwrap();
+        assert_eq!(out.constants["B"], 5);
+    }
+
+    #[test]
+    fn include_guard_prevents_double_definitions() {
+        let header = "#ifndef GUARD\n#define GUARD 1\nint the_decl;\n#endif\n";
+        let resolver = MapResolver::new().with("g.h", header);
+        let src = "#include <g.h>\n#include <g.h>\n";
+        let out = preprocess(src, &resolver).unwrap();
+        assert_eq!(out.text.matches("the_decl").count(), 1);
+    }
+
+    #[test]
+    fn nested_includes_resolve() {
+        let inner = "#define INNER 9\nint inner_decl;\n";
+        let outer = "#include \"inner.h\"\nint outer_decl;\n";
+        let resolver = MapResolver::new().with("inner.h", inner).with("outer.h", outer);
+        let out = preprocess("#include <outer.h>\n", &resolver).unwrap();
+        assert!(out.text.contains("inner_decl"));
+        assert!(out.text.contains("outer_decl"));
+        assert_eq!(out.constants["INNER"], 9);
+    }
+
+    #[test]
+    fn recursive_include_detected() {
+        let resolver = MapResolver::new().with("a.h", "#include <a.h>\n");
+        assert!(preprocess("#include <a.h>\n", &resolver).is_err());
+    }
+
+    #[test]
+    fn missing_include_errors() {
+        let err = preprocess("#include <missing.h>\n", &NoHeaders).unwrap_err();
+        assert!(err.to_string().contains("missing.h"));
+    }
+
+    #[test]
+    fn ifdef_else_branches() {
+        let src = "#define YES 1\n#ifdef YES\nint a;\n#else\nint b;\n#endif\n#ifdef NO\nint c;\n#else\nint d;\n#endif\n";
+        let out = preprocess(src, &NoHeaders).unwrap();
+        assert!(out.text.contains("int a;"));
+        assert!(!out.text.contains("int b;"));
+        assert!(!out.text.contains("int c;"));
+        assert!(out.text.contains("int d;"));
+    }
+
+    #[test]
+    fn unterminated_conditional_errors() {
+        assert!(preprocess("#ifndef X\nint a;\n", &NoHeaders).is_err());
+    }
+
+    #[test]
+    fn line_numbers_preserved_for_outer_file() {
+        let src = "#define A 1\n\nint decl_on_line_3;\n";
+        let out = preprocess(src, &NoHeaders).unwrap();
+        let line3 = out.text.lines().nth(2).unwrap();
+        assert!(line3.contains("decl_on_line_3"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Transport-layer errors.
+
+use std::fmt;
+
+use ava_wire::WireError;
+
+/// Error raised by a transport operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint has been dropped or shut down.
+    Closed,
+    /// A frame failed to decode (corruption or version mismatch).
+    Decode(WireError),
+    /// An I/O error (socket transports).
+    Io(String),
+    /// A frame exceeded the transport's maximum size.
+    FrameTooLarge {
+        /// Size of the offending frame in bytes.
+        size: usize,
+        /// The transport's limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Closed => write!(f, "transport closed by peer"),
+            Self::Decode(e) => write!(f, "frame decode failed: {e}"),
+            Self::Io(m) => write!(f, "transport I/O error: {m}"),
+            Self::FrameTooLarge { size, limit } => {
+                write!(f, "frame of {size} bytes exceeds transport limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// Result alias for transport operations.
+pub type Result<T> = std::result::Result<T, TransportError>;

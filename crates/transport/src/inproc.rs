@@ -1,0 +1,222 @@
+//! In-process channel transport.
+//!
+//! Messages are passed by value over a crossbeam channel — no serialization
+//! and (by default) no modelled costs. This is the baseline "ideal"
+//! transport, and it also backs the router↔server hop when both run in the
+//! same host process.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ava_wire::Message;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::error::{Result, TransportError};
+use crate::latency::{wait_until, CostModel};
+use crate::stats::{StatsCell, TransportStats};
+use crate::Transport;
+
+/// A message annotated with the instant it becomes deliverable.
+enum Timed {
+    /// An ordinary message.
+    Msg {
+        /// When the receiver may observe the message.
+        deliver_at: Instant,
+        /// The message itself.
+        msg: Message,
+    },
+    /// Sent by [`Transport::close`] so a blocked receiver wakes up.
+    Closed,
+}
+
+/// One endpoint of an in-process transport pair.
+pub struct InProcTransport {
+    tx: Sender<Timed>,
+    rx: Receiver<Timed>,
+    model: CostModel,
+    stats: Arc<StatsCell>,
+    closed: Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// Creates a connected pair with the given cost model.
+pub fn pair(model: CostModel) -> (InProcTransport, InProcTransport) {
+    let (tx_ab, rx_ab) = channel::unbounded();
+    let (tx_ba, rx_ba) = channel::unbounded();
+    let closed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let a = InProcTransport {
+        tx: tx_ab,
+        rx: rx_ba,
+        model,
+        stats: StatsCell::new(),
+        closed: Arc::clone(&closed),
+    };
+    let b = InProcTransport {
+        tx: tx_ba,
+        rx: rx_ab,
+        model,
+        stats: StatsCell::new(),
+        closed,
+    };
+    (a, b)
+}
+
+impl InProcTransport {
+    fn deliver(&self, timed: Timed) -> Result<Message> {
+        match timed {
+            Timed::Msg { deliver_at, msg } => {
+                wait_until(deliver_at);
+                self.stats.on_recv(msg.payload_bytes());
+                Ok(msg)
+            }
+            Timed::Closed => Err(TransportError::Closed),
+        }
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.closed.load(std::sync::atomic::Ordering::Acquire) {
+            Err(TransportError::Closed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn send(&self, msg: &Message) -> Result<()> {
+        self.check_open()?;
+        let payload = msg.payload_bytes();
+        let now = Instant::now();
+        let timed = Timed::Msg {
+            deliver_at: self.model.deliver_at(now, payload),
+            msg: msg.clone(),
+        };
+        self.tx.send(timed).map_err(|_| TransportError::Closed)?;
+        self.stats.on_send(payload, 0);
+        wait_until(now + self.model.sender_overhead);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Message> {
+        let timed = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        self.deliver(timed)
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            // A message whose deliver-at lies ahead is drained anyway
+            // (blocking the short remainder) rather than re-queued, which
+            // would reorder traffic.
+            Ok(timed) => self.deliver(timed).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(timed) => self.deliver(timed).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, std::sync::atomic::Ordering::Release);
+        // Wake a receiver blocked on the peer end.
+        let _ = self.tx.send(Timed::Closed);
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ava_wire::{CallMode, CallRequest, ControlMessage, Value};
+
+    fn call(id: u64, bytes: usize) -> Message {
+        Message::Call(CallRequest {
+            call_id: id,
+            fn_id: 1,
+            mode: CallMode::Sync,
+            args: vec![Value::Bytes(bytes::Bytes::from(vec![0u8; bytes]))],
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_order() {
+        let (a, b) = pair(CostModel::free());
+        for i in 0..100 {
+            a.send(&call(i, 10)).unwrap();
+        }
+        for i in 0..100 {
+            match b.recv().unwrap() {
+                Message::Call(req) => assert_eq!(req.call_id, i),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_recv_on_empty_returns_none() {
+        let (a, b) = pair(CostModel::free());
+        assert_eq!(b.try_recv().unwrap(), None);
+        a.send(&call(1, 0)).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_a, b) = pair(CostModel::free());
+        let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn dropped_peer_closes_channel() {
+        let (a, b) = pair(CostModel::free());
+        drop(a);
+        assert_eq!(b.recv().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let (a, b) = pair(CostModel::free());
+        a.send(&call(1, 500)).unwrap();
+        a.send(&Message::Control(ControlMessage::Ping(0))).unwrap();
+        b.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.stats().messages_sent, 2);
+        assert_eq!(a.stats().payload_bytes_sent, 500);
+        assert_eq!(b.stats().messages_received, 2);
+        assert_eq!(b.stats().payload_bytes_received, 500);
+    }
+
+    #[test]
+    fn latency_model_delays_delivery() {
+        let model = CostModel {
+            delivery_latency: Duration::from_millis(5),
+            ..CostModel::free()
+        };
+        let (a, b) = pair(model);
+        let start = Instant::now();
+        a.send(&call(1, 0)).unwrap();
+        b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn bandwidth_model_charges_large_payloads() {
+        let model = CostModel {
+            bytes_per_sec: Some(1_000_000), // 1 MB/s
+            ..CostModel::free()
+        };
+        let (a, b) = pair(model);
+        let start = Instant::now();
+        a.send(&call(1, 10_000)).unwrap(); // 10 ms at 1 MB/s
+        b.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+}

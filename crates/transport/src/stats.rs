@@ -1,0 +1,86 @@
+//! Per-endpoint traffic counters.
+//!
+//! The router uses these for bandwidth accounting and the benchmarks use
+//! them to attribute overhead to call frequency vs. data movement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Snapshot of an endpoint's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages sent from this endpoint.
+    pub messages_sent: u64,
+    /// Messages received by this endpoint.
+    pub messages_received: u64,
+    /// Payload bytes (buffer/string contents) sent.
+    pub payload_bytes_sent: u64,
+    /// Payload bytes received.
+    pub payload_bytes_received: u64,
+    /// Encoded frame bytes sent (headers + encoding overhead included);
+    /// zero on transports that do not serialize.
+    pub frame_bytes_sent: u64,
+}
+
+/// Shared mutable counters behind an endpoint.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    messages_sent: AtomicU64,
+    messages_received: AtomicU64,
+    payload_bytes_sent: AtomicU64,
+    payload_bytes_received: AtomicU64,
+    frame_bytes_sent: AtomicU64,
+}
+
+impl StatsCell {
+    /// Creates a zeroed, shareable counter cell.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records a sent message.
+    pub fn on_send(&self, payload_bytes: usize, frame_bytes: usize) {
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.payload_bytes_sent
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+        self.frame_bytes_sent
+            .fetch_add(frame_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records a received message.
+    pub fn on_recv(&self, payload_bytes: usize) {
+        self.messages_received.fetch_add(1, Ordering::Relaxed);
+        self.payload_bytes_received
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            payload_bytes_sent: self.payload_bytes_sent.load(Ordering::Relaxed),
+            payload_bytes_received: self.payload_bytes_received.load(Ordering::Relaxed),
+            frame_bytes_sent: self.frame_bytes_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let cell = StatsCell::new();
+        cell.on_send(100, 120);
+        cell.on_send(50, 66);
+        cell.on_recv(7);
+        let s = cell.snapshot();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.messages_received, 1);
+        assert_eq!(s.payload_bytes_sent, 150);
+        assert_eq!(s.payload_bytes_received, 7);
+        assert_eq!(s.frame_bytes_sent, 186);
+    }
+}

@@ -1,0 +1,485 @@
+//! Call/reply framing for forwarded API invocations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{get_len, get_varint, put_varint};
+use crate::{CallId, FnId, Result, Value, WireError};
+
+/// Whether the guest blocks on a call's reply.
+///
+/// `Async` calls are fire-and-forget: the guest library returns the API's
+/// success value immediately and any error is delivered by a later
+/// synchronous call (the fidelity loss discussed in §4.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallMode {
+    /// Guest blocks until the reply arrives.
+    Sync,
+    /// Guest continues immediately; the reply (if any) is consumed by the
+    /// runtime for deferred error delivery.
+    Async,
+}
+
+/// Outcome classification of a forwarded call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyStatus {
+    /// The API function executed (its own status code is in the return
+    /// value; API-level errors still count as `Ok` at the transport level).
+    Ok,
+    /// The server could not execute the call (unknown function, marshaling
+    /// mismatch, handle translation failure).
+    TransportError,
+    /// The call was rejected by the router's policy (rate limit exceeded,
+    /// quota exhausted).
+    PolicyRejected,
+}
+
+/// A forwarded API invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRequest {
+    /// Caller-assigned identifier used to match the reply.
+    pub call_id: CallId,
+    /// Function identifier within the API descriptor.
+    pub fn_id: FnId,
+    /// Blocking behaviour expected by the guest.
+    pub mode: CallMode,
+    /// Marshaled arguments, in declaration order. Output-only buffer
+    /// parameters are marshaled as their length so the server can allocate.
+    pub args: Vec<Value>,
+}
+
+/// The reply to a [`CallRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallReply {
+    /// Mirrors the request's `call_id`.
+    pub call_id: CallId,
+    /// Transport-level status.
+    pub status: ReplyStatus,
+    /// The API function's return value.
+    pub ret: Value,
+    /// Values for output parameters as `(param index, value)` pairs.
+    pub outputs: Vec<(u32, Value)>,
+}
+
+/// Out-of-band coordination between endpoints, router and server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// Liveness probe.
+    Ping(u64),
+    /// Reply to a `Ping`, echoing its payload.
+    Pong(u64),
+    /// The sender is about to go away; flush and stop.
+    Shutdown,
+    /// Suspend processing of further calls (used before migration).
+    Suspend,
+    /// Resume processing after a `Suspend`.
+    Resume,
+    /// Free-form error report.
+    Error(String),
+}
+
+/// Top-level unit exchanged over a transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A single forwarded invocation.
+    Call(CallRequest),
+    /// A reply to a forwarded invocation.
+    Reply(CallReply),
+    /// Several invocations batched into one transport crossing
+    /// (rCUDA-style API batching; §2 of the paper).
+    Batch(Vec<CallRequest>),
+    /// Out-of-band coordination.
+    Control(ControlMessage),
+}
+
+mod kind {
+    pub const CALL: u8 = 0x10;
+    pub const REPLY: u8 = 0x11;
+    pub const BATCH: u8 = 0x12;
+    pub const CONTROL: u8 = 0x13;
+}
+
+mod ctrl {
+    pub const PING: u64 = 0;
+    pub const PONG: u64 = 1;
+    pub const SHUTDOWN: u64 = 2;
+    pub const SUSPEND: u64 = 3;
+    pub const RESUME: u64 = 4;
+    pub const ERROR: u64 = 5;
+}
+
+impl CallMode {
+    fn encode_u64(self) -> u64 {
+        match self {
+            CallMode::Sync => 0,
+            CallMode::Async => 1,
+        }
+    }
+
+    fn decode_u64(v: u64) -> Result<Self> {
+        match v {
+            0 => Ok(CallMode::Sync),
+            1 => Ok(CallMode::Async),
+            other => Err(WireError::BadDiscriminant("call mode", other)),
+        }
+    }
+}
+
+impl ReplyStatus {
+    fn encode_u64(self) -> u64 {
+        match self {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::TransportError => 1,
+            ReplyStatus::PolicyRejected => 2,
+        }
+    }
+
+    fn decode_u64(v: u64) -> Result<Self> {
+        match v {
+            0 => Ok(ReplyStatus::Ok),
+            1 => Ok(ReplyStatus::TransportError),
+            2 => Ok(ReplyStatus::PolicyRejected),
+            other => Err(WireError::BadDiscriminant("reply status", other)),
+        }
+    }
+}
+
+impl CallRequest {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.call_id);
+        put_varint(buf, u64::from(self.fn_id));
+        put_varint(buf, self.mode.encode_u64());
+        put_varint(buf, self.args.len() as u64);
+        for arg in &self.args {
+            arg.encode(buf);
+        }
+    }
+
+    fn decode_body(buf: &mut Bytes) -> Result<Self> {
+        let call_id = get_varint(buf)?;
+        let fn_id = u32::try_from(get_varint(buf)?)
+            .map_err(|_| WireError::BadDiscriminant("fn id", u64::MAX))?;
+        let mode = CallMode::decode_u64(get_varint(buf)?)?;
+        let argc = get_len(buf)?;
+        if argc > buf.remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let mut args = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            args.push(Value::decode(buf)?);
+        }
+        Ok(CallRequest { call_id, fn_id, mode, args })
+    }
+
+    /// Total payload bytes moved guest-to-host by this request.
+    pub fn payload_bytes(&self) -> usize {
+        self.args.iter().map(Value::payload_bytes).sum()
+    }
+}
+
+impl CallReply {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.call_id);
+        put_varint(buf, self.status.encode_u64());
+        self.ret.encode(buf);
+        put_varint(buf, self.outputs.len() as u64);
+        for (idx, value) in &self.outputs {
+            put_varint(buf, u64::from(*idx));
+            value.encode(buf);
+        }
+    }
+
+    fn decode_body(buf: &mut Bytes) -> Result<Self> {
+        let call_id = get_varint(buf)?;
+        let status = ReplyStatus::decode_u64(get_varint(buf)?)?;
+        let ret = Value::decode(buf)?;
+        let count = get_len(buf)?;
+        if count > buf.remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let mut outputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let idx = u32::try_from(get_varint(buf)?)
+                .map_err(|_| WireError::BadDiscriminant("output index", u64::MAX))?;
+            outputs.push((idx, Value::decode(buf)?));
+        }
+        Ok(CallReply { call_id, status, ret, outputs })
+    }
+
+    /// Total payload bytes moved host-to-guest by this reply.
+    pub fn payload_bytes(&self) -> usize {
+        self.ret.payload_bytes()
+            + self.outputs.iter().map(|(_, v)| v.payload_bytes()).sum::<usize>()
+    }
+
+    /// Convenience constructor for a transport-level failure reply.
+    pub fn transport_error(call_id: CallId) -> Self {
+        CallReply {
+            call_id,
+            status: ReplyStatus::TransportError,
+            ret: Value::Unit,
+            outputs: Vec::new(),
+        }
+    }
+}
+
+impl ControlMessage {
+    fn encode_body(&self, buf: &mut BytesMut) {
+        match self {
+            ControlMessage::Ping(v) => {
+                put_varint(buf, ctrl::PING);
+                put_varint(buf, *v);
+            }
+            ControlMessage::Pong(v) => {
+                put_varint(buf, ctrl::PONG);
+                put_varint(buf, *v);
+            }
+            ControlMessage::Shutdown => put_varint(buf, ctrl::SHUTDOWN),
+            ControlMessage::Suspend => put_varint(buf, ctrl::SUSPEND),
+            ControlMessage::Resume => put_varint(buf, ctrl::RESUME),
+            ControlMessage::Error(text) => {
+                put_varint(buf, ctrl::ERROR);
+                put_varint(buf, text.len() as u64);
+                buf.put_slice(text.as_bytes());
+            }
+        }
+    }
+
+    fn decode_body(buf: &mut Bytes) -> Result<Self> {
+        Ok(match get_varint(buf)? {
+            ctrl::PING => ControlMessage::Ping(get_varint(buf)?),
+            ctrl::PONG => ControlMessage::Pong(get_varint(buf)?),
+            ctrl::SHUTDOWN => ControlMessage::Shutdown,
+            ctrl::SUSPEND => ControlMessage::Suspend,
+            ctrl::RESUME => ControlMessage::Resume,
+            ctrl::ERROR => {
+                let len = get_len(buf)?;
+                if buf.remaining() < len {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let raw = buf.split_to(len);
+                ControlMessage::Error(
+                    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?,
+                )
+            }
+            other => return Err(WireError::BadDiscriminant("control kind", other)),
+        })
+    }
+}
+
+impl Message {
+    /// Serializes the message into a standalone byte string.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serializes the message, appending to `buf`.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            Message::Call(req) => {
+                buf.put_u8(kind::CALL);
+                req.encode_body(buf);
+            }
+            Message::Reply(rep) => {
+                buf.put_u8(kind::REPLY);
+                rep.encode_body(buf);
+            }
+            Message::Batch(reqs) => {
+                buf.put_u8(kind::BATCH);
+                put_varint(buf, reqs.len() as u64);
+                for req in reqs {
+                    req.encode_body(buf);
+                }
+            }
+            Message::Control(ctl) => {
+                buf.put_u8(kind::CONTROL);
+                ctl.encode_body(buf);
+            }
+        }
+    }
+
+    /// Decodes exactly one message, consuming the entire input.
+    pub fn decode(bytes: Bytes) -> Result<Message> {
+        let mut buf = bytes;
+        let msg = Self::decode_from(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(WireError::TrailingBytes(buf.remaining()));
+        }
+        Ok(msg)
+    }
+
+    /// Decodes one message from the front of `buf`, leaving any remainder.
+    pub fn decode_from(buf: &mut Bytes) -> Result<Message> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let k = buf.get_u8();
+        Ok(match k {
+            kind::CALL => Message::Call(CallRequest::decode_body(buf)?),
+            kind::REPLY => Message::Reply(CallReply::decode_body(buf)?),
+            kind::BATCH => {
+                let count = get_len(buf)?;
+                if count > buf.remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let mut reqs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    reqs.push(CallRequest::decode_body(buf)?);
+                }
+                Message::Batch(reqs)
+            }
+            kind::CONTROL => Message::Control(ControlMessage::decode_body(buf)?),
+            other => return Err(WireError::BadMessageKind(other)),
+        })
+    }
+
+    /// Payload bytes carried by this message (for bandwidth accounting).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Message::Call(req) => req.payload_bytes(),
+            Message::Reply(rep) => rep.payload_bytes(),
+            Message::Batch(reqs) => reqs.iter().map(CallRequest::payload_bytes).sum(),
+            Message::Control(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) -> Message {
+        Message::decode(msg.encode()).expect("round trip")
+    }
+
+    fn sample_call(id: u64) -> CallRequest {
+        CallRequest {
+            call_id: id,
+            fn_id: 17,
+            mode: CallMode::Sync,
+            args: vec![
+                Value::Handle(3),
+                Value::U64(4096),
+                Value::Bytes(Bytes::from_static(&[1, 2, 3])),
+                Value::Null,
+            ],
+        }
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let msg = Message::Call(sample_call(99));
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn async_call_round_trips() {
+        let mut req = sample_call(1);
+        req.mode = CallMode::Async;
+        let msg = Message::Call(req);
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let msg = Message::Reply(CallReply {
+            call_id: 99,
+            status: ReplyStatus::Ok,
+            ret: Value::I32(0),
+            outputs: vec![
+                (2, Value::Bytes(Bytes::from_static(b"result"))),
+                (5, Value::Handle(42)),
+            ],
+        });
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn policy_rejected_reply_round_trips() {
+        let msg = Message::Reply(CallReply {
+            call_id: 1,
+            status: ReplyStatus::PolicyRejected,
+            ret: Value::Unit,
+            outputs: vec![],
+        });
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let msg = Message::Batch(vec![sample_call(1), sample_call(2), sample_call(3)]);
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let msg = Message::Batch(vec![]);
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn control_round_trips() {
+        for ctl in [
+            ControlMessage::Ping(7),
+            ControlMessage::Pong(7),
+            ControlMessage::Shutdown,
+            ControlMessage::Suspend,
+            ControlMessage::Resume,
+            ControlMessage::Error("device lost".into()),
+        ] {
+            let msg = Message::Control(ctl);
+            assert_eq!(round_trip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut buf = BytesMut::new();
+        Message::Control(ControlMessage::Shutdown).encode_into(&mut buf);
+        buf.put_u8(0xaa);
+        assert_eq!(
+            Message::decode(buf.freeze()),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let bytes = Bytes::from_static(&[0xee]);
+        assert_eq!(Message::decode(bytes), Err(WireError::BadMessageKind(0xee)));
+    }
+
+    #[test]
+    fn decode_rejects_empty_input() {
+        assert_eq!(Message::decode(Bytes::new()), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_batch_count_overrun() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x12); // BATCH
+        buf.put_u8(0x05); // claims 5 calls, but nothing follows
+        assert_eq!(Message::decode(buf.freeze()), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn payload_accounting_spans_batches() {
+        let msg = Message::Batch(vec![sample_call(1), sample_call(2)]);
+        assert_eq!(msg.payload_bytes(), 6);
+        assert_eq!(Message::Control(ControlMessage::Ping(0)).payload_bytes(), 0);
+    }
+
+    #[test]
+    fn decode_from_leaves_remainder() {
+        let mut buf = BytesMut::new();
+        Message::Call(sample_call(5)).encode_into(&mut buf);
+        Message::Control(ControlMessage::Resume).encode_into(&mut buf);
+        let mut bytes = buf.freeze();
+        let first = Message::decode_from(&mut bytes).unwrap();
+        assert!(matches!(first, Message::Call(_)));
+        let second = Message::decode_from(&mut bytes).unwrap();
+        assert_eq!(second, Message::Control(ControlMessage::Resume));
+        assert!(bytes.is_empty());
+    }
+}

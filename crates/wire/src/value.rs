@@ -1,0 +1,373 @@
+//! The API-agnostic argument value model.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{get_len, get_varint, put_varint};
+use crate::{Result, WireError};
+
+/// A single marshaled argument or return value.
+///
+/// `Value` is the common currency between the guest library, the hypervisor
+/// router and the API server. The CAvA-generated descriptor on each side maps
+/// between native API types and `Value`s; the wire layer itself attaches no
+/// API semantics beyond the shape of the data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (e.g. `void` return).
+    Unit,
+    /// A null pointer argument. Distinct from an empty buffer: OpenCL-style
+    /// APIs frequently distinguish `NULL` from a zero-length array.
+    Null,
+    /// Boolean scalar.
+    Bool(bool),
+    /// Signed 32-bit scalar (covers C `int` and most status codes).
+    I32(i32),
+    /// Signed 64-bit scalar.
+    I64(i64),
+    /// Unsigned 32-bit scalar.
+    U32(u32),
+    /// Unsigned 64-bit scalar (also used for `size_t`).
+    U64(u64),
+    /// 32-bit float scalar.
+    F32(f32),
+    /// 64-bit float scalar.
+    F64(f64),
+    /// An opaque accelerator object handle, already translated to the wire
+    /// handle namespace by the endpoint that produced it.
+    Handle(u64),
+    /// Raw buffer contents (input or output data), cheaply cloneable.
+    Bytes(Bytes),
+    /// A NUL-free UTF-8 string (e.g. program source, option strings).
+    Str(String),
+    /// A homogeneous or heterogeneous list of values (arrays of handles,
+    /// nested structures).
+    List(Vec<Value>),
+}
+
+mod tag {
+    pub const UNIT: u8 = 0x00;
+    pub const NULL: u8 = 0x01;
+    pub const BOOL_FALSE: u8 = 0x02;
+    pub const BOOL_TRUE: u8 = 0x03;
+    pub const I32: u8 = 0x04;
+    pub const I64: u8 = 0x05;
+    pub const U32: u8 = 0x06;
+    pub const U64: u8 = 0x07;
+    pub const F32: u8 = 0x08;
+    pub const F64: u8 = 0x09;
+    pub const HANDLE: u8 = 0x0a;
+    pub const BYTES: u8 = 0x0b;
+    pub const STR: u8 = 0x0c;
+    pub const LIST: u8 = 0x0d;
+}
+
+impl Value {
+    /// Encodes `self`, appending to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Value::Unit => buf.put_u8(tag::UNIT),
+            Value::Null => buf.put_u8(tag::NULL),
+            Value::Bool(false) => buf.put_u8(tag::BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(tag::BOOL_TRUE),
+            Value::I32(v) => {
+                buf.put_u8(tag::I32);
+                buf.put_i32_le(*v);
+            }
+            Value::I64(v) => {
+                buf.put_u8(tag::I64);
+                buf.put_i64_le(*v);
+            }
+            Value::U32(v) => {
+                buf.put_u8(tag::U32);
+                buf.put_u32_le(*v);
+            }
+            Value::U64(v) => {
+                buf.put_u8(tag::U64);
+                buf.put_u64_le(*v);
+            }
+            Value::F32(v) => {
+                buf.put_u8(tag::F32);
+                buf.put_f32_le(*v);
+            }
+            Value::F64(v) => {
+                buf.put_u8(tag::F64);
+                buf.put_f64_le(*v);
+            }
+            Value::Handle(h) => {
+                buf.put_u8(tag::HANDLE);
+                put_varint(buf, *h);
+            }
+            Value::Bytes(b) => {
+                buf.put_u8(tag::BYTES);
+                put_varint(buf, b.len() as u64);
+                buf.put_slice(b);
+            }
+            Value::Str(s) => {
+                buf.put_u8(tag::STR);
+                put_varint(buf, s.len() as u64);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::List(items) => {
+                buf.put_u8(tag::LIST);
+                put_varint(buf, items.len() as u64);
+                for item in items {
+                    item.encode(buf);
+                }
+            }
+        }
+    }
+
+    /// Decodes a value from the front of `buf`.
+    pub fn decode(buf: &mut Bytes) -> Result<Value> {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let t = buf.get_u8();
+        Ok(match t {
+            tag::UNIT => Value::Unit,
+            tag::NULL => Value::Null,
+            tag::BOOL_FALSE => Value::Bool(false),
+            tag::BOOL_TRUE => Value::Bool(true),
+            tag::I32 => Value::I32(need(buf, 4)?.get_i32_le()),
+            tag::I64 => Value::I64(need(buf, 8)?.get_i64_le()),
+            tag::U32 => Value::U32(need(buf, 4)?.get_u32_le()),
+            tag::U64 => Value::U64(need(buf, 8)?.get_u64_le()),
+            tag::F32 => Value::F32(need(buf, 4)?.get_f32_le()),
+            tag::F64 => Value::F64(need(buf, 8)?.get_f64_le()),
+            tag::HANDLE => Value::Handle(get_varint(buf)?),
+            tag::BYTES => {
+                let len = get_len(buf)?;
+                if buf.remaining() < len {
+                    return Err(WireError::UnexpectedEof);
+                }
+                Value::Bytes(buf.split_to(len))
+            }
+            tag::STR => {
+                let len = get_len(buf)?;
+                if buf.remaining() < len {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let raw = buf.split_to(len);
+                Value::Str(
+                    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?,
+                )
+            }
+            tag::LIST => {
+                let len = get_len(buf)?;
+                // A list element takes at least one byte, so `len` can never
+                // legitimately exceed the remaining input.
+                if len > buf.remaining() {
+                    return Err(WireError::UnexpectedEof);
+                }
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Value::decode(buf)?);
+                }
+                Value::List(items)
+            }
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// Number of payload bytes this value moves across the transport,
+    /// counting buffer/string/list contents. Used by the router for
+    /// bandwidth accounting.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Bytes(b) => b.len(),
+            Value::Str(s) => s.len(),
+            Value::List(items) => items.iter().map(Value::payload_bytes).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Interprets this value as an unsigned integer, if it has integral
+    /// shape. Used by size-expression evaluation and handle translation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Bool(b) => Some(u64::from(*b)),
+            Value::I32(v) if *v >= 0 => Some(*v as u64),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            Value::U32(v) => Some(u64::from(*v)),
+            Value::U64(v) => Some(*v),
+            Value::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Interprets this value as a signed integer, if it has integral shape.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::I32(v) => Some(i64::from(*v)),
+            Value::I64(v) => Some(*v),
+            Value::U32(v) => Some(i64::from(*v)),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            Value::Handle(h) => i64::try_from(*h).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the buffer contents if this is a `Bytes` value.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the handle value if this is a `Handle`.
+    pub fn as_handle(&self) -> Option<u64> {
+        match self {
+            Value::Handle(h) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// Returns the list items if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Checks that at least `n` bytes remain, returning the buffer for chaining.
+fn need<'b>(buf: &'b mut Bytes, n: usize) -> Result<&'b mut Bytes> {
+    if buf.remaining() < n {
+        Err(WireError::UnexpectedEof)
+    } else {
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = Value::decode(&mut bytes).expect("decode");
+        assert!(bytes.is_empty(), "trailing bytes for {v:?}");
+        decoded
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Unit,
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I32(-7),
+            Value::I32(i32::MIN),
+            Value::I64(i64::MAX),
+            Value::U32(0),
+            Value::U64(u64::MAX),
+            Value::F32(3.5),
+            Value::F64(-0.0),
+            Value::Handle(0xdead_beef),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::List(vec![
+            Value::Bytes(Bytes::from_static(b"hello")),
+            Value::Str("world".into()),
+            Value::List(vec![Value::Handle(1), Value::Null]),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn empty_containers_round_trip() {
+        assert_eq!(
+            round_trip(&Value::Bytes(Bytes::new())),
+            Value::Bytes(Bytes::new())
+        );
+        assert_eq!(round_trip(&Value::Str(String::new())), Value::Str(String::new()));
+        assert_eq!(round_trip(&Value::List(vec![])), Value::List(vec![]));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut bytes = Bytes::from_static(&[0x7f]);
+        assert_eq!(Value::decode(&mut bytes), Err(WireError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_scalar() {
+        let mut buf = BytesMut::new();
+        Value::I64(42).encode(&mut buf);
+        let mut truncated = buf.freeze().slice(0..5);
+        assert_eq!(Value::decode(&mut truncated), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_bytes() {
+        let mut buf = BytesMut::new();
+        Value::Bytes(Bytes::from_static(b"abcdef")).encode(&mut buf);
+        let frozen = buf.freeze();
+        let mut truncated = frozen.slice(0..frozen.len() - 1);
+        assert_eq!(Value::decode(&mut truncated), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x0c); // STR tag
+        raw.put_u8(2); // length 2
+        raw.put_slice(&[0xff, 0xfe]);
+        let mut bytes = raw.freeze();
+        assert_eq!(Value::decode(&mut bytes), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn decode_rejects_list_longer_than_input() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x0d); // LIST tag
+        raw.put_u8(0x7f); // claims 127 elements, but input ends here
+        let mut bytes = raw.freeze();
+        assert_eq!(Value::decode(&mut bytes), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn payload_bytes_counts_nested_contents() {
+        let v = Value::List(vec![
+            Value::Bytes(Bytes::from_static(&[0u8; 100])),
+            Value::Str("abcd".into()),
+            Value::U64(9),
+            Value::List(vec![Value::Bytes(Bytes::from_static(&[0u8; 3]))]),
+        ]);
+        assert_eq!(v.payload_bytes(), 107);
+    }
+
+    #[test]
+    fn numeric_views_behave() {
+        assert_eq!(Value::I32(-1).as_u64(), None);
+        assert_eq!(Value::I32(-1).as_i64(), Some(-1));
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_u64(), Some(1));
+        assert_eq!(Value::Handle(7).as_u64(), Some(7));
+        assert_eq!(Value::Str("x".into()).as_u64(), None);
+    }
+}

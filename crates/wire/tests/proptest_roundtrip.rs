@@ -1,0 +1,103 @@
+//! Property tests: every well-formed message survives an encode/decode cycle,
+//! and the decoder never panics on arbitrary input.
+
+use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        any::<u32>().prop_map(Value::U32),
+        any::<u64>().prop_map(Value::U64),
+        any::<f32>().prop_filter("NaN != NaN", |f| !f.is_nan()).prop_map(Value::F32),
+        any::<f64>().prop_filter("NaN != NaN", |f| !f.is_nan()).prop_map(Value::F64),
+        any::<u64>().prop_map(Value::Handle),
+        proptest::collection::vec(any::<u8>(), 0..256)
+            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        "[a-zA-Z0-9 _:/.-]{0,64}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 64, 8, |inner| {
+        proptest::collection::vec(inner, 0..8).prop_map(Value::List)
+    })
+}
+
+fn arb_call() -> impl Strategy<Value = CallRequest> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec(arb_value(), 0..6),
+    )
+        .prop_map(|(call_id, fn_id, is_async, args)| CallRequest {
+            call_id,
+            fn_id,
+            mode: if is_async { CallMode::Async } else { CallMode::Sync },
+            args,
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = CallReply> {
+    (
+        any::<u64>(),
+        0u8..3,
+        arb_value(),
+        proptest::collection::vec((any::<u32>(), arb_value()), 0..4),
+    )
+        .prop_map(|(call_id, status, ret, outputs)| CallReply {
+            call_id,
+            status: match status {
+                0 => ReplyStatus::Ok,
+                1 => ReplyStatus::TransportError,
+                _ => ReplyStatus::PolicyRejected,
+            },
+            ret,
+            outputs,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_call().prop_map(Message::Call),
+        arb_reply().prop_map(Message::Reply),
+        proptest::collection::vec(arb_call(), 0..4).prop_map(Message::Batch),
+        prop_oneof![
+            any::<u64>().prop_map(ControlMessage::Ping),
+            any::<u64>().prop_map(ControlMessage::Pong),
+            Just(ControlMessage::Shutdown),
+            Just(ControlMessage::Suspend),
+            Just(ControlMessage::Resume),
+            "[ -~]{0,32}".prop_map(ControlMessage::Error),
+        ]
+        .prop_map(Message::Control),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_round_trips(msg in arb_message()) {
+        let encoded = msg.encode();
+        let decoded = Message::decode(encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Either outcome is fine; the property is "no panic, no hang".
+        let _ = Message::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn value_round_trips(v in arb_value()) {
+        let mut buf = bytes::BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = Value::decode(&mut bytes).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert!(bytes.is_empty());
+    }
+}

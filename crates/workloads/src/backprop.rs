@@ -1,0 +1,206 @@
+//! `backprop` — Rodinia's back-propagation training step for a
+//! three-layer perceptron: a forward pass through the hidden layer and a
+//! weight-adjustment pass.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_f32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source (signatures drive `clSetKernelArg` validation).
+pub const SOURCE: &str = r#"
+__kernel void bpnn_layerforward(__global const float *input,
+                                __global const float *weights,
+                                __global float *hidden,
+                                const uint in_n, const uint hid_n) {
+    int j = get_global_id(0);
+    if (j < hid_n) {
+        float sum = 0.0f;
+        for (uint i = 0; i < in_n; i++) sum += input[i] * weights[i * hid_n + j];
+        hidden[j] = 1.0f / (1.0f + exp(-sum));
+    }
+}
+__kernel void bpnn_adjust_weights(__global const float *delta,
+                                  __global const float *input,
+                                  __global float *weights,
+                                  const uint in_n, const uint hid_n,
+                                  const float eta) {
+    int i = get_global_id(0);
+    if (i < in_n)
+        for (uint j = 0; j < hid_n; j++)
+            weights[i * hid_n + j] += eta * delta[j] * input[i];
+}
+"#;
+
+/// The backprop workload.
+pub struct Backprop {
+    in_n: usize,
+    hid_n: usize,
+    epochs: usize,
+}
+
+impl Backprop {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Backprop { in_n: 256, hid_n: 8, epochs: 2 },
+            Scale::Bench => Backprop { in_n: 64 * 1024, hid_n: 16, epochs: 8 },
+        }
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = XorShift::new(0xbac0);
+        let input: Vec<f32> = (0..self.in_n).map(|_| rng.next_f32()).collect();
+        let weights: Vec<f32> = (0..self.in_n * self.hid_n)
+            .map(|_| rng.next_f32() * 0.02 - 0.01)
+            .collect();
+        (input, weights)
+    }
+
+    fn cpu_forward(&self, input: &[f32], weights: &[f32]) -> Vec<f32> {
+        (0..self.hid_n)
+            .map(|j| {
+                let mut sum = 0.0f32;
+                for i in 0..self.in_n {
+                    sum += input[i] * weights[i * self.hid_n + j];
+                }
+                1.0 / (1.0 + (-sum).exp())
+            })
+            .collect()
+    }
+}
+
+impl ClWorkload for Backprop {
+    fn name(&self) -> &'static str {
+        "backprop"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("bpnn_layerforward", |inv| {
+            let in_n = inv.scalar_u32(3)? as usize;
+            let hid_n = inv.scalar_u32(4)? as usize;
+            let [input, weights, hidden] = inv.bufs([0, 1, 2])?;
+            let (input, weights) = (as_f32(input), as_f32(weights));
+            let hidden = as_f32_mut(hidden);
+            for j in 0..hid_n.min(hidden.len()) {
+                let mut sum = 0.0f32;
+                for i in 0..in_n {
+                    sum += input[i] * weights[i * hid_n + j];
+                }
+                hidden[j] = 1.0 / (1.0 + (-sum).exp());
+            }
+            Ok(())
+        });
+        registry.register_fn("bpnn_adjust_weights", |inv| {
+            let in_n = inv.scalar_u32(3)? as usize;
+            let hid_n = inv.scalar_u32(4)? as usize;
+            let eta = inv.scalar_f32(5)?;
+            let [delta, input, weights] = inv.bufs([0, 1, 2])?;
+            let (delta, input) = (as_f32(delta), as_f32(input));
+            let weights = as_f32_mut(weights);
+            for i in 0..in_n {
+                for j in 0..hid_n {
+                    weights[i * hid_n + j] += eta * delta[j] * input[i];
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let (input, weights) = self.inputs();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let k_fwd = session.kernel("bpnn_layerforward")?;
+        let k_adj = session.kernel("bpnn_adjust_weights")?;
+
+        let b_input = session.buffer_f32(&input)?;
+        let b_weights = session.buffer_f32(&weights)?;
+        let b_hidden = session.buffer_zeroed(self.hid_n * 4)?;
+        let b_delta = session.buffer_zeroed(self.hid_n * 4)?;
+
+        let mut checksum = 0.0f64;
+        let mut first_hidden: Vec<f32> = Vec::new();
+        for epoch in 0..self.epochs {
+            session.set_args(
+                k_fwd,
+                &[
+                    KernelArg::Mem(b_input),
+                    KernelArg::Mem(b_weights),
+                    KernelArg::Mem(b_hidden),
+                    KernelArg::from_u32(self.in_n as u32),
+                    KernelArg::from_u32(self.hid_n as u32),
+                ],
+            )?;
+            session.run_1d(k_fwd, self.hid_n)?;
+            let hidden = session.read_f32(b_hidden, self.hid_n)?;
+            if epoch == 0 {
+                first_hidden = hidden.clone();
+            }
+
+            // Host computes the output-layer delta (target = 0.5).
+            let delta: Vec<f32> = hidden
+                .iter()
+                .map(|h| h * (1.0 - h) * (0.5 - h))
+                .collect();
+            session.write_f32(b_delta, &delta)?;
+            session.set_args(
+                k_adj,
+                &[
+                    KernelArg::Mem(b_delta),
+                    KernelArg::Mem(b_input),
+                    KernelArg::Mem(b_weights),
+                    KernelArg::from_u32(self.in_n as u32),
+                    KernelArg::from_u32(self.hid_n as u32),
+                    KernelArg::from_f32(0.3),
+                ],
+            )?;
+            session.run_1d(k_adj, self.in_n)?;
+            checksum = hidden.iter().map(|&h| f64::from(h)).sum();
+        }
+        session.finish()?;
+
+        // Validate the first epoch's forward pass against the CPU.
+        let reference = self.cpu_forward(&input, &weights);
+        for (a, b) in reference.iter().zip(first_hidden.iter()) {
+            if !close_enough(*a, *b, 1e-4) {
+                return Err(WorkloadError::Validation(format!(
+                    "forward mismatch: cpu {a} vs device {b}"
+                )));
+            }
+        }
+        let final_weights = session.read_f32(b_weights, self.in_n * self.hid_n)?;
+        if final_weights.iter().any(|w| !w.is_finite()) {
+            return Err(WorkloadError::Validation("weights diverged".into()));
+        }
+
+        for mem in [b_input, b_weights, b_hidden, b_delta] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backprop_runs_and_validates_native() {
+        let wl = Backprop::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        let checksum = wl.run(&cl).unwrap();
+        assert!(checksum.is_finite() && checksum > 0.0);
+        // Deterministic across runs.
+        assert_eq!(checksum, wl.run(&cl).unwrap());
+    }
+}

@@ -1,0 +1,195 @@
+//! `bfs` — Rodinia's breadth-first search over a CSR graph. One kernel
+//! launch per BFS level plus a host-read of the "frontier changed" flag —
+//! a chatty, small-transfer call profile.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_i32, as_i32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void bfs_level(__global const int *row_offsets,
+                        __global const int *edges,
+                        __global int *levels,
+                        __global int *changed,
+                        const int level, const uint n) {
+    int node = get_global_id(0);
+    if (node < n && levels[node] == level) {
+        for (int e = row_offsets[node]; e < row_offsets[node + 1]; e++) {
+            int nb = edges[e];
+            if (levels[nb] < 0) { levels[nb] = level + 1; changed[0] = 1; }
+        }
+    }
+}
+"#;
+
+/// The BFS workload.
+pub struct Bfs {
+    nodes: usize,
+    degree: usize,
+}
+
+impl Bfs {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Bfs { nodes: 512, degree: 4 },
+            Scale::Bench => Bfs { nodes: 200_000, degree: 6 },
+        }
+    }
+
+    /// Builds a connected random CSR graph (ring + random chords).
+    fn graph(&self) -> (Vec<i32>, Vec<i32>) {
+        let n = self.nodes;
+        let mut rng = XorShift::new(0xbf5);
+        let mut adj: Vec<Vec<i32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            adj[v].push(((v + 1) % n) as i32); // ring keeps it connected
+            for _ in 0..self.degree - 1 {
+                adj[v].push(rng.next_below(n) as i32);
+            }
+        }
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::new();
+        row_offsets.push(0);
+        for list in &adj {
+            edges.extend_from_slice(list);
+            row_offsets.push(edges.len() as i32);
+        }
+        (row_offsets, edges)
+    }
+
+    fn cpu_bfs(&self, row_offsets: &[i32], edges: &[i32]) -> Vec<i32> {
+        let n = self.nodes;
+        let mut levels = vec![-1i32; n];
+        levels[0] = 0;
+        let mut frontier = vec![0usize];
+        let mut level = 0;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for e in row_offsets[node] as usize..row_offsets[node + 1] as usize {
+                    let nb = edges[e] as usize;
+                    if levels[nb] < 0 {
+                        levels[nb] = level + 1;
+                        next.push(nb);
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+        levels
+    }
+}
+
+impl ClWorkload for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("bfs_level", |inv| {
+            let level = inv.scalar_i32(4)?;
+            let n = inv.scalar_u32(5)? as usize;
+            let [row_offsets, edges, levels, changed] = inv.bufs([0, 1, 2, 3])?;
+            let (row_offsets, edges) = (as_i32(row_offsets), as_i32(edges));
+            let levels = as_i32_mut(levels);
+            let changed = as_i32_mut(changed);
+            for node in 0..n {
+                if levels[node] == level {
+                    for e in row_offsets[node] as usize..row_offsets[node + 1] as usize {
+                        let nb = edges[e] as usize;
+                        if levels[nb] < 0 {
+                            levels[nb] = level + 1;
+                            changed[0] = 1;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let (row_offsets, edges) = self.graph();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("bfs_level")?;
+
+        let b_rows = session.buffer_i32(&row_offsets)?;
+        let b_edges = session.buffer_i32(&edges)?;
+        let mut levels_init = vec![-1i32; self.nodes];
+        levels_init[0] = 0;
+        let b_levels = session.buffer_i32(&levels_init)?;
+        let b_changed = session.buffer_i32(&[0])?;
+
+        let mut level = 0i32;
+        loop {
+            session.api.enqueue_write_buffer(
+                session.queue,
+                b_changed,
+                false,
+                0,
+                &0i32.to_le_bytes(),
+                &[],
+                false,
+            )?;
+            session.set_args(
+                kernel,
+                &[
+                    KernelArg::Mem(b_rows),
+                    KernelArg::Mem(b_edges),
+                    KernelArg::Mem(b_levels),
+                    KernelArg::Mem(b_changed),
+                    KernelArg::from_i32(level),
+                    KernelArg::from_u32(self.nodes as u32),
+                ],
+            )?;
+            session.run_1d(kernel, self.nodes)?;
+            let changed = session.read_i32(b_changed, 1)?[0];
+            if changed == 0 {
+                break;
+            }
+            level += 1;
+            if level > self.nodes as i32 {
+                return Err(WorkloadError::Validation("BFS did not terminate".into()));
+            }
+        }
+
+        let levels = session.read_i32(b_levels, self.nodes)?;
+        let reference = self.cpu_bfs(&row_offsets, &edges);
+        if levels != reference {
+            return Err(WorkloadError::Validation("level array mismatch".into()));
+        }
+        let checksum: f64 = levels.iter().map(|&l| f64::from(l)).sum();
+
+        for mem in [b_rows, b_edges, b_levels, b_changed] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bfs_matches_cpu_reference() {
+        let wl = Bfs::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        let checksum = wl.run(&cl).unwrap();
+        assert!(checksum > 0.0);
+    }
+}

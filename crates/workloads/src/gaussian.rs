@@ -1,0 +1,208 @@
+//! `gaussian` — Rodinia's Gaussian elimination: two kernels (`Fan1`,
+//! `Fan2`) launched per elimination step, with kernel arguments rebound
+//! every step. Thousands of tiny API calls per run make this the most
+//! forwarding-sensitive workload in the suite — it shows the largest AvA
+//! overhead in Figure 5's shape.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_f32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void Fan1(__global float *m, __global const float *a,
+                   const int size, const int t) {
+    int i = get_global_id(0);
+    if (i < size - 1 - t)
+        m[(i + t + 1) * size + t] = a[(i + t + 1) * size + t] / a[t * size + t];
+}
+__kernel void Fan2(__global const float *m, __global float *a,
+                   __global float *b, const int size, const int t) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < size - 1 - t && j < size - t) {
+        a[(i + t + 1) * size + (j + t)] -=
+            m[(i + t + 1) * size + t] * a[t * size + (j + t)];
+        if (j == 0) b[i + t + 1] -= m[(i + t + 1) * size + t] * b[t];
+    }
+}
+"#;
+
+/// The Gaussian elimination workload.
+pub struct Gaussian {
+    size: usize,
+}
+
+impl Gaussian {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Gaussian { size: 32 },
+            Scale::Bench => Gaussian { size: 640 },
+        }
+    }
+
+    /// Diagonally dominant system so elimination stays stable.
+    fn system(&self) -> (Vec<f32>, Vec<f32>) {
+        let n = self.size;
+        let mut rng = XorShift::new(0x6a55);
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            let mut row_sum = 0.0f32;
+            for j in 0..n {
+                if i != j {
+                    let v = rng.next_f32() - 0.5;
+                    a[i * n + j] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[i * n + i] = row_sum + 1.0;
+        }
+        let b: Vec<f32> = (0..n).map(|_| rng.next_f32() * 10.0).collect();
+        (a, b)
+    }
+
+    /// Back-substitution on the host, as in Rodinia.
+    fn back_substitute(n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut x = vec![0.0f32; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in i + 1..n {
+                sum -= a[i * n + j] * x[j];
+            }
+            x[i] = sum / a[i * n + i];
+        }
+        x
+    }
+}
+
+impl ClWorkload for Gaussian {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("Fan1", |inv| {
+            let size = inv.scalar_i32(2)? as usize;
+            let t = inv.scalar_i32(3)? as usize;
+            let [m, a] = inv.bufs([0, 1])?;
+            let a = as_f32(a);
+            let m = as_f32_mut(m);
+            let pivot = a[t * size + t];
+            for i in 0..size - 1 - t {
+                m[(i + t + 1) * size + t] = a[(i + t + 1) * size + t] / pivot;
+            }
+            Ok(())
+        });
+        registry.register_fn("Fan2", |inv| {
+            let size = inv.scalar_i32(3)? as usize;
+            let t = inv.scalar_i32(4)? as usize;
+            let [m, a, b] = inv.bufs([0, 1, 2])?;
+            let m = as_f32(m);
+            let a = as_f32_mut(a);
+            // Copy the pivot row first: the update reads it while rows
+            // below are being rewritten.
+            let pivot_row: Vec<f32> = a[t * size..(t + 1) * size].to_vec();
+            for i in 0..size - 1 - t {
+                let mult = m[(i + t + 1) * size + t];
+                for j in 0..size - t {
+                    a[(i + t + 1) * size + (j + t)] -= mult * pivot_row[j + t];
+                }
+            }
+            let b = as_f32_mut(b);
+            let bt = b[t];
+            for i in 0..size - 1 - t {
+                let mult = m[(i + t + 1) * size + t];
+                b[i + t + 1] -= mult * bt;
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let n = self.size;
+        let (a0, b0) = self.system();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let fan1 = session.kernel("Fan1")?;
+        let fan2 = session.kernel("Fan2")?;
+
+        let b_a = session.buffer_f32(&a0)?;
+        let b_b = session.buffer_f32(&b0)?;
+        let b_m = session.buffer_zeroed(n * n * 4)?;
+
+        // One Fan1 + Fan2 pair per elimination step, arguments rebound
+        // every iteration (the Rodinia host-code pattern).
+        for t in 0..n - 1 {
+            session.set_args(
+                fan1,
+                &[
+                    KernelArg::Mem(b_m),
+                    KernelArg::Mem(b_a),
+                    KernelArg::from_i32(n as i32),
+                    KernelArg::from_i32(t as i32),
+                ],
+            )?;
+            session.run_1d(fan1, n)?;
+            session.set_args(
+                fan2,
+                &[
+                    KernelArg::Mem(b_m),
+                    KernelArg::Mem(b_a),
+                    KernelArg::Mem(b_b),
+                    KernelArg::from_i32(n as i32),
+                    KernelArg::from_i32(t as i32),
+                ],
+            )?;
+            session.run_2d(fan2, n, n)?;
+        }
+        session.finish()?;
+
+        let a = session.read_f32(b_a, n * n)?;
+        let b = session.read_f32(b_b, n)?;
+        let x = Self::back_substitute(n, &a, &b);
+
+        // Validate: A0 * x must reproduce b0.
+        for i in 0..n {
+            let mut sum = 0.0f32;
+            for j in 0..n {
+                sum += a0[i * n + j] * x[j];
+            }
+            if !close_enough(sum, b0[i], 1e-2) {
+                return Err(WorkloadError::Validation(format!(
+                    "row {i}: A0*x = {sum}, b0 = {}",
+                    b0[i]
+                )));
+            }
+        }
+        let checksum: f64 = x.iter().map(|&v| f64::from(v)).sum();
+
+        for mem in [b_a, b_b, b_m] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gaussian_solves_the_system() {
+        let wl = Gaussian::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        let checksum = wl.run(&cl).unwrap();
+        assert!(checksum.is_finite());
+    }
+}

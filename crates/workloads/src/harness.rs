@@ -1,0 +1,309 @@
+//! Workload harness: the contract every benchmark implements, plus a
+//! session helper that wraps the OpenCL boilerplate while preserving the
+//! real API call pattern (the thing that determines remoting overhead).
+
+use std::fmt;
+
+use simcl::kernels::KernelRegistry;
+use simcl::types::*;
+use simcl::{ClApi, ClError};
+
+/// Workload failure.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// An OpenCL call failed.
+    Cl(ClError),
+    /// An NCSDK call failed.
+    Nc(simnc::NcError),
+    /// Output validation failed.
+    Validation(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cl(e) => write!(f, "OpenCL error: {e}"),
+            Self::Nc(e) => write!(f, "NCSDK error: {e}"),
+            Self::Validation(m) => write!(f, "validation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<ClError> for WorkloadError {
+    fn from(e: ClError) -> Self {
+        WorkloadError::Cl(e)
+    }
+}
+
+impl From<simnc::NcError> for WorkloadError {
+    fn from(e: simnc::NcError) -> Self {
+        WorkloadError::Nc(e)
+    }
+}
+
+/// Result alias for workloads.
+pub type Result<T> = std::result::Result<T, WorkloadError>;
+
+/// Problem-size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny inputs for unit tests (sub-millisecond kernels).
+    Test,
+    /// Benchmark inputs (tens to hundreds of milliseconds end-to-end).
+    Bench,
+}
+
+/// An OpenCL workload: registers its kernels, then runs end-to-end against
+/// any [`ClApi`] implementation (native silo or AvA remoting client).
+pub trait ClWorkload: Send + Sync {
+    /// Benchmark name (Rodinia-style).
+    fn name(&self) -> &'static str;
+
+    /// Registers the Rust kernel bodies this workload's program needs.
+    fn register(&self, registry: &KernelRegistry);
+
+    /// Runs the workload end-to-end; returns a checksum of the results.
+    /// Implementations must verify their own invariants and return
+    /// [`WorkloadError::Validation`] on bad output.
+    fn run(&self, api: &dyn ClApi) -> Result<f64>;
+}
+
+/// Shared OpenCL session boilerplate.
+///
+/// The helper performs exactly the calls a Rodinia host program performs —
+/// nothing is batched or elided, so the per-call cost structure AvA
+/// interposes on is preserved.
+pub struct Session<'a> {
+    /// The API being driven.
+    pub api: &'a dyn ClApi,
+    /// Selected device.
+    pub device: ClDevice,
+    /// Context for this run.
+    pub ctx: ClContext,
+    /// In-order command queue (profiling enabled).
+    pub queue: ClQueue,
+    program: Option<ClProgram>,
+    /// Kernels created through this session; released by [`Session::close`]
+    /// (a kernel object pins its bound argument buffers, so leaking kernels
+    /// leaks device memory).
+    kernels: std::cell::RefCell<Vec<ClKernel>>,
+}
+
+impl<'a> Session<'a> {
+    /// Discovers the platform/device and builds context + queue.
+    pub fn open(api: &'a dyn ClApi) -> Result<Self> {
+        let platform = api.get_platform_ids()?[0];
+        let device = api.get_device_ids(platform, DeviceType::All)?[0];
+        let ctx = api.create_context(device)?;
+        let queue = api.create_command_queue(ctx, device, QueueProps { profiling: true })?;
+        Ok(Session {
+            api,
+            device,
+            ctx,
+            queue,
+            program: None,
+            kernels: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Compiles `source` and remembers the program.
+    pub fn build(&mut self, source: &str) -> Result<()> {
+        let program = self.api.create_program_with_source(self.ctx, source)?;
+        self.api.build_program(program, "")?;
+        self.program = Some(program);
+        Ok(())
+    }
+
+    /// Creates a kernel from the built program.
+    pub fn kernel(&self, name: &str) -> Result<ClKernel> {
+        let program = self.program.ok_or_else(|| {
+            WorkloadError::Validation("Session::build not called".into())
+        })?;
+        let kernel = self.api.create_kernel(program, name)?;
+        self.kernels.borrow_mut().push(kernel);
+        Ok(kernel)
+    }
+
+    /// Creates a read-write buffer initialized with `f32` data.
+    pub fn buffer_f32(&self, data: &[f32]) -> Result<ClMem> {
+        Ok(self.api.create_buffer(
+            self.ctx,
+            MemFlags::read_write(),
+            data.len() * 4,
+            Some(&simcl::mem::f32_to_bytes(data)),
+        )?)
+    }
+
+    /// Creates a read-write buffer initialized with `i32` data.
+    pub fn buffer_i32(&self, data: &[i32]) -> Result<ClMem> {
+        Ok(self.api.create_buffer(
+            self.ctx,
+            MemFlags::read_write(),
+            data.len() * 4,
+            Some(&simcl::mem::i32_to_bytes(data)),
+        )?)
+    }
+
+    /// Creates an uninitialized (zeroed) buffer of `len` bytes.
+    pub fn buffer_zeroed(&self, len: usize) -> Result<ClMem> {
+        Ok(self.api.create_buffer(self.ctx, MemFlags::read_write(), len, None)?)
+    }
+
+    /// Blocking read of a whole `f32` buffer.
+    pub fn read_f32(&self, mem: ClMem, count: usize) -> Result<Vec<f32>> {
+        let mut raw = vec![0u8; count * 4];
+        self.api
+            .enqueue_read_buffer(self.queue, mem, true, 0, &mut raw, &[], false)?;
+        Ok(simcl::mem::bytes_to_f32(&raw))
+    }
+
+    /// Blocking read of a whole `i32` buffer.
+    pub fn read_i32(&self, mem: ClMem, count: usize) -> Result<Vec<i32>> {
+        let mut raw = vec![0u8; count * 4];
+        self.api
+            .enqueue_read_buffer(self.queue, mem, true, 0, &mut raw, &[], false)?;
+        Ok(simcl::mem::bytes_to_i32(&raw))
+    }
+
+    /// Non-blocking write of `f32` data into a buffer.
+    pub fn write_f32(&self, mem: ClMem, data: &[f32]) -> Result<()> {
+        self.api.enqueue_write_buffer(
+            self.queue,
+            mem,
+            false,
+            0,
+            &simcl::mem::f32_to_bytes(data),
+            &[],
+            false,
+        )?;
+        Ok(())
+    }
+
+    /// Sets several kernel arguments starting at index 0.
+    pub fn set_args(&self, kernel: ClKernel, args: &[KernelArg]) -> Result<()> {
+        for (i, arg) in args.iter().enumerate() {
+            self.api.set_kernel_arg(kernel, i as u32, arg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Enqueues a 1-D NDRange.
+    pub fn run_1d(&self, kernel: ClKernel, global: usize) -> Result<()> {
+        self.api
+            .enqueue_nd_range_kernel(self.queue, kernel, [global, 1, 1], None, &[], false)?;
+        Ok(())
+    }
+
+    /// Enqueues a 2-D NDRange.
+    pub fn run_2d(&self, kernel: ClKernel, gx: usize, gy: usize) -> Result<()> {
+        self.api
+            .enqueue_nd_range_kernel(self.queue, kernel, [gx, gy, 1], None, &[], false)?;
+        Ok(())
+    }
+
+    /// Waits for the queue to drain.
+    pub fn finish(&self) -> Result<()> {
+        Ok(self.api.finish(self.queue)?)
+    }
+
+    /// Releases a buffer.
+    pub fn release(&self, mem: ClMem) -> Result<()> {
+        Ok(self.api.release_mem_object(mem)?)
+    }
+
+    /// Releases session objects (kernels, program, queue, context).
+    pub fn close(self) -> Result<()> {
+        self.api.finish(self.queue)?;
+        for kernel in self.kernels.borrow_mut().drain(..) {
+            self.api.release_kernel(kernel)?;
+        }
+        if let Some(program) = self.program {
+            self.api.release_program(program)?;
+        }
+        self.api.release_command_queue(self.queue)?;
+        self.api.release_context(self.ctx)?;
+        Ok(())
+    }
+}
+
+/// A deterministic xorshift PRNG so workloads are reproducible without
+/// threading `rand` through every kernel body.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a generator from a seed (0 is mapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform f32 in [0, 1).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform usize in [0, bound).
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+}
+
+/// Relative-error check used by validations.
+pub fn close_enough(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_in_range() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..1000 {
+            let va = a.next_f32();
+            assert_eq!(va, b.next_f32());
+            assert!((0.0..1.0).contains(&va));
+        }
+        let mut c = XorShift::new(0);
+        assert!(c.next_below(10) < 10);
+    }
+
+    #[test]
+    fn close_enough_tolerates_small_errors() {
+        assert!(close_enough(1.0, 1.0 + 1e-6, 1e-4));
+        assert!(!close_enough(1.0, 1.1, 1e-4));
+        assert!(close_enough(0.0, 1e-6, 1e-4));
+    }
+
+    #[test]
+    fn session_lifecycle_on_native_silo() {
+        let cl = simcl::SimCl::new();
+        let mut session = Session::open(&cl).unwrap();
+        session.build(simcl::kernels::builtins::SOURCE).unwrap();
+        let k = session.kernel("fill").unwrap();
+        let buf = session.buffer_f32(&[0.0; 16]).unwrap();
+        session
+            .set_args(k, &[KernelArg::Mem(buf), KernelArg::from_f32(2.5)])
+            .unwrap();
+        session.run_1d(k, 16).unwrap();
+        let out = session.read_f32(buf, 16).unwrap();
+        assert!(out.iter().all(|&v| v == 2.5));
+        session.release(buf).unwrap();
+        session.close().unwrap();
+    }
+}

@@ -1,0 +1,191 @@
+//! `hotspot` — Rodinia's thermal simulation: an iterative 5-point stencil
+//! over power and temperature grids, one kernel launch per time step with
+//! ping-pong buffers.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_f32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void hotspot_step(__global const float *temp_in,
+                           __global const float *power,
+                           __global float *temp_out,
+                           const int rows, const int cols,
+                           const float cap, const float rx,
+                           const float ry, const float rz) {
+    int c = get_global_id(0);
+    int r = get_global_id(1);
+    if (r < rows && c < cols) {
+        float t = temp_in[r * cols + c];
+        float tn = (r > 0) ? temp_in[(r - 1) * cols + c] : t;
+        float ts = (r < rows - 1) ? temp_in[(r + 1) * cols + c] : t;
+        float tw = (c > 0) ? temp_in[r * cols + c - 1] : t;
+        float te = (c < cols - 1) ? temp_in[r * cols + c + 1] : t;
+        float delta = (cap) * (power[r * cols + c] +
+            (ts + tn - 2.0f * t) / ry + (te + tw - 2.0f * t) / rx +
+            (80.0f - t) / rz);
+        temp_out[r * cols + c] = t + delta;
+    }
+}
+"#;
+
+const CAP: f32 = 0.5;
+const RX: f32 = 1.0;
+const RY: f32 = 1.0;
+const RZ: f32 = 4.0;
+
+/// The hotspot workload.
+pub struct Hotspot {
+    rows: usize,
+    cols: usize,
+    steps: usize,
+}
+
+impl Hotspot {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Hotspot { rows: 16, cols: 16, steps: 4 },
+            Scale::Bench => Hotspot { rows: 512, cols: 512, steps: 60 },
+        }
+    }
+
+    fn grids(&self) -> (Vec<f32>, Vec<f32>) {
+        let n = self.rows * self.cols;
+        let mut rng = XorShift::new(0x407);
+        let temp: Vec<f32> = (0..n).map(|_| 60.0 + 20.0 * rng.next_f32()).collect();
+        let power: Vec<f32> = (0..n).map(|_| rng.next_f32() * 0.5).collect();
+        (temp, power)
+    }
+
+    fn cpu_step(&self, temp: &[f32], power: &[f32]) -> Vec<f32> {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let t = temp[r * cols + c];
+                let tn = if r > 0 { temp[(r - 1) * cols + c] } else { t };
+                let ts = if r < rows - 1 { temp[(r + 1) * cols + c] } else { t };
+                let tw = if c > 0 { temp[r * cols + c - 1] } else { t };
+                let te = if c < cols - 1 { temp[r * cols + c + 1] } else { t };
+                let delta = CAP
+                    * (power[r * cols + c]
+                        + (ts + tn - 2.0 * t) / RY
+                        + (te + tw - 2.0 * t) / RX
+                        + (80.0 - t) / RZ);
+                out[r * cols + c] = t + delta;
+            }
+        }
+        out
+    }
+}
+
+impl ClWorkload for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("hotspot_step", |inv| {
+            let rows = inv.scalar_i32(3)? as usize;
+            let cols = inv.scalar_i32(4)? as usize;
+            let cap = inv.scalar_f32(5)?;
+            let rx = inv.scalar_f32(6)?;
+            let ry = inv.scalar_f32(7)?;
+            let rz = inv.scalar_f32(8)?;
+            let [temp_in, power, temp_out] = inv.bufs([0, 1, 2])?;
+            let (temp_in, power) = (as_f32(temp_in), as_f32(power));
+            let temp_out = as_f32_mut(temp_out);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let t = temp_in[r * cols + c];
+                    let tn = if r > 0 { temp_in[(r - 1) * cols + c] } else { t };
+                    let ts = if r < rows - 1 { temp_in[(r + 1) * cols + c] } else { t };
+                    let tw = if c > 0 { temp_in[r * cols + c - 1] } else { t };
+                    let te = if c < cols - 1 { temp_in[r * cols + c + 1] } else { t };
+                    let delta = cap
+                        * (power[r * cols + c]
+                            + (ts + tn - 2.0 * t) / ry
+                            + (te + tw - 2.0 * t) / rx
+                            + (80.0 - t) / rz);
+                    temp_out[r * cols + c] = t + delta;
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let (temp0, power) = self.grids();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("hotspot_step")?;
+
+        let b_power = session.buffer_f32(&power)?;
+        let mut src = session.buffer_f32(&temp0)?;
+        let mut dst = session.buffer_zeroed(temp0.len() * 4)?;
+
+        for _ in 0..self.steps {
+            session.set_args(
+                kernel,
+                &[
+                    KernelArg::Mem(src),
+                    KernelArg::Mem(b_power),
+                    KernelArg::Mem(dst),
+                    KernelArg::from_i32(self.rows as i32),
+                    KernelArg::from_i32(self.cols as i32),
+                    KernelArg::from_f32(CAP),
+                    KernelArg::from_f32(RX),
+                    KernelArg::from_f32(RY),
+                    KernelArg::from_f32(RZ),
+                ],
+            )?;
+            session.run_2d(kernel, self.cols, self.rows)?;
+            std::mem::swap(&mut src, &mut dst);
+        }
+        session.finish()?;
+        let result = session.read_f32(src, temp0.len())?;
+
+        // Validate against the CPU stencil.
+        let mut reference = temp0;
+        for _ in 0..self.steps {
+            reference = self.cpu_step(&reference, &power);
+        }
+        for (i, (a, b)) in reference.iter().zip(result.iter()).enumerate() {
+            if !close_enough(*a, *b, 1e-3) {
+                return Err(WorkloadError::Validation(format!(
+                    "cell {i}: cpu {a} vs device {b}"
+                )));
+            }
+        }
+        let checksum: f64 = result.iter().map(|&v| f64::from(v)).sum();
+
+        for mem in [b_power, src, dst] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn hotspot_matches_cpu_stencil() {
+        let wl = Hotspot::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,209 @@
+//! `kmeans` — Rodinia's k-means clustering: each iteration runs an
+//! assignment kernel on the device, then the host reduces new centroids
+//! and writes them back — a mixed compute/transfer profile.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_i32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void kmeans_assign(__global const float *points,
+                            __global const float *centroids,
+                            __global int *membership,
+                            const uint n, const uint k, const uint dim) {
+    int i = get_global_id(0);
+    if (i < n) {
+        int best = 0;
+        float best_d = INFINITY;
+        for (uint c = 0; c < k; c++) {
+            float d = 0.0f;
+            for (uint f = 0; f < dim; f++) {
+                float diff = points[i * dim + f] - centroids[c * dim + f];
+                d += diff * diff;
+            }
+            if (d < best_d) { best_d = d; best = c; }
+        }
+        membership[i] = best;
+    }
+}
+"#;
+
+/// The k-means workload.
+pub struct Kmeans {
+    n: usize,
+    k: usize,
+    dim: usize,
+    iters: usize,
+}
+
+impl Kmeans {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Kmeans { n: 512, k: 4, dim: 4, iters: 3 },
+            Scale::Bench => Kmeans { n: 100_000, k: 8, dim: 16, iters: 8 },
+        }
+    }
+
+    fn points(&self) -> Vec<f32> {
+        let mut rng = XorShift::new(0x6b6d);
+        (0..self.n * self.dim).map(|_| rng.next_f32() * 10.0).collect()
+    }
+
+    fn cpu_assign(&self, points: &[f32], centroids: &[f32]) -> Vec<i32> {
+        (0..self.n)
+            .map(|i| {
+                let mut best = 0i32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..self.k {
+                    let mut d = 0.0f32;
+                    for f in 0..self.dim {
+                        let diff = points[i * self.dim + f] - centroids[c * self.dim + f];
+                        d += diff * diff;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c as i32;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    fn reduce_centroids(&self, points: &[f32], membership: &[i32]) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.k * self.dim];
+        let mut counts = vec![0usize; self.k];
+        for i in 0..self.n {
+            let c = membership[i] as usize;
+            counts[c] += 1;
+            for f in 0..self.dim {
+                sums[c * self.dim + f] += points[i * self.dim + f];
+            }
+        }
+        for c in 0..self.k {
+            if counts[c] > 0 {
+                for f in 0..self.dim {
+                    sums[c * self.dim + f] /= counts[c] as f32;
+                }
+            }
+        }
+        sums
+    }
+}
+
+impl ClWorkload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("kmeans_assign", |inv| {
+            let n = inv.scalar_u32(3)? as usize;
+            let k = inv.scalar_u32(4)? as usize;
+            let dim = inv.scalar_u32(5)? as usize;
+            let [points, centroids, membership] = inv.bufs([0, 1, 2])?;
+            let (points, centroids) = (as_f32(points), as_f32(centroids));
+            let membership = as_i32_mut(membership);
+            for i in 0..n {
+                let mut best = 0i32;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let mut d = 0.0f32;
+                    for f in 0..dim {
+                        let diff = points[i * dim + f] - centroids[c * dim + f];
+                        d += diff * diff;
+                    }
+                    if d < best_d {
+                        best_d = d;
+                        best = c as i32;
+                    }
+                }
+                membership[i] = best;
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let points = self.points();
+        // Initial centroids: the first k points.
+        let mut centroids = points[..self.k * self.dim].to_vec();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("kmeans_assign")?;
+
+        let b_points = session.buffer_f32(&points)?;
+        let b_centroids = session.buffer_f32(&centroids)?;
+        let b_membership = session.buffer_zeroed(self.n * 4)?;
+
+        let mut membership = Vec::new();
+        for _ in 0..self.iters {
+            session.set_args(
+                kernel,
+                &[
+                    KernelArg::Mem(b_points),
+                    KernelArg::Mem(b_centroids),
+                    KernelArg::Mem(b_membership),
+                    KernelArg::from_u32(self.n as u32),
+                    KernelArg::from_u32(self.k as u32),
+                    KernelArg::from_u32(self.dim as u32),
+                ],
+            )?;
+            session.run_1d(kernel, self.n)?;
+            membership = session.read_i32(b_membership, self.n)?;
+            centroids = self.reduce_centroids(&points, &membership);
+            session.write_f32(b_centroids, &centroids)?;
+        }
+        session.finish()?;
+
+        // Validate the final assignment against the CPU using the final
+        // centroids from the second-to-last reduction.
+        let expected = self.cpu_assign(&points, &self.final_centroids(&points)?);
+        if membership != expected {
+            return Err(WorkloadError::Validation("membership mismatch".into()));
+        }
+        let checksum: f64 = membership.iter().map(|&m| f64::from(m)).sum();
+
+        for mem in [b_points, b_centroids, b_membership] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+impl Kmeans {
+    /// CPU re-run of the full loop, returning the centroids the device saw
+    /// at the last assignment.
+    fn final_centroids(&self, points: &[f32]) -> Result<Vec<f32>> {
+        let mut centroids = points[..self.k * self.dim].to_vec();
+        for _ in 0..self.iters - 1 {
+            let membership = self.cpu_assign(points, &centroids);
+            centroids = self.reduce_centroids(points, &membership);
+        }
+        Ok(centroids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn kmeans_matches_cpu_loop() {
+        let wl = Kmeans::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap() >= 0.0);
+    }
+}

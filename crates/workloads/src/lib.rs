@@ -1,0 +1,117 @@
+//! `ava-workloads` — the benchmark suite behind Figure 5: ten
+//! Rodinia-style OpenCL workloads plus Inception-v3-like inference on the
+//! simulated NCS.
+//!
+//! Every workload is written against `&dyn ClApi` (or `&dyn MvncApi`), so
+//! the identical host program runs either natively on the silo or
+//! virtualized through the AvA stack — the exact comparison the paper's
+//! evaluation makes. All workloads validate their own outputs against CPU
+//! references or invariants; a passing run is a *correct* run.
+//!
+//! Call-profile diversity is deliberate (it is what spreads the Figure-5
+//! bars):
+//!
+//! | workload   | profile                                                |
+//! |------------|--------------------------------------------------------|
+//! | backprop   | few launches, large reduction, small reads             |
+//! | bfs        | launch + tiny readback per BFS level (chatty)          |
+//! | gaussian   | 2 launches + arg rebinds per elimination step (chattiest) |
+//! | hotspot    | one stencil launch per timestep                        |
+//! | kmeans     | launch + centroid round-trip per iteration             |
+//! | lud        | 3 launches per block step                              |
+//! | nn         | single big launch + big read (data-heavy)              |
+//! | nw         | one tiny launch per anti-diagonal (chatty)             |
+//! | pathfinder | one row launch per DP row                              |
+//! | srad       | 2 launches per diffusion iteration                     |
+//! | inception  | few coarse NCS calls, large tensors                    |
+
+pub mod backprop;
+pub mod bfs;
+pub mod gaussian;
+pub mod harness;
+pub mod hotspot;
+pub mod inception;
+pub mod kmeans;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod srad;
+
+use std::sync::Arc;
+
+use simcl::kernels::KernelRegistry;
+
+pub use harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+pub use inception::Inception;
+
+/// All OpenCL workloads at the given scale, in Figure-5 order.
+pub fn opencl_workloads(scale: Scale) -> Vec<Box<dyn ClWorkload>> {
+    vec![
+        Box::new(backprop::Backprop::new(scale)),
+        Box::new(bfs::Bfs::new(scale)),
+        Box::new(gaussian::Gaussian::new(scale)),
+        Box::new(hotspot::Hotspot::new(scale)),
+        Box::new(kmeans::Kmeans::new(scale)),
+        Box::new(lud::Lud::new(scale)),
+        Box::new(nn::Nn::new(scale)),
+        Box::new(nw::Nw::new(scale)),
+        Box::new(pathfinder::Pathfinder::new(scale)),
+        Box::new(srad::Srad::new(scale)),
+    ]
+}
+
+/// A kernel registry with every workload's kernels (plus the built-ins)
+/// installed — what a device image containing all "compiled programs"
+/// looks like.
+pub fn full_registry(scale: Scale) -> Arc<KernelRegistry> {
+    let registry = KernelRegistry::new().with_builtins();
+    for wl in opencl_workloads(scale) {
+        wl.register(&registry);
+    }
+    Arc::new(registry)
+}
+
+/// Builds a native silo with all workload kernels registered.
+pub fn silo_with_all_kernels(scale: Scale) -> simcl::SimCl {
+    simcl::SimCl::with_devices_and_registry(
+        vec![simcl::DeviceConfig::default()],
+        full_registry(scale),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_ten_opencl_workloads_with_unique_names() {
+        let workloads = opencl_workloads(Scale::Test);
+        assert_eq!(workloads.len(), 10);
+        let mut names: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn every_workload_runs_natively_at_test_scale() {
+        let cl = silo_with_all_kernels(Scale::Test);
+        for wl in opencl_workloads(Scale::Test) {
+            let checksum = wl
+                .run(&cl)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name()));
+            assert!(checksum.is_finite(), "{} checksum", wl.name());
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let cl = silo_with_all_kernels(Scale::Test);
+        for wl in opencl_workloads(Scale::Test) {
+            let a = wl.run(&cl).unwrap();
+            let b = wl.run(&cl).unwrap();
+            assert_eq!(a, b, "{} must be deterministic", wl.name());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! `lud` — Rodinia's blocked LU decomposition: per block step a diagonal
+//! factorization kernel, a perimeter kernel, and an internal-update
+//! kernel.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::as_f32_mut;
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source. The kernels operate on the trailing submatrix at
+/// offset `off` with block size `bs`.
+pub const SOURCE: &str = r#"
+__kernel void lud_diagonal(__global float *a, const int n, const int off,
+                           const int bs) {
+    /* factorize the bs x bs diagonal block at (off, off) */
+}
+__kernel void lud_perimeter(__global float *a, const int n, const int off,
+                            const int bs) {
+    /* update the row and column panels right/below the diagonal block */
+}
+__kernel void lud_internal(__global float *a, const int n, const int off,
+                           const int bs) {
+    /* trailing submatrix update */
+}
+"#;
+
+/// The LU decomposition workload.
+pub struct Lud {
+    n: usize,
+    bs: usize,
+}
+
+impl Lud {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Lud { n: 32, bs: 8 },
+            Scale::Bench => Lud { n: 512, bs: 32 },
+        }
+    }
+
+    /// Diagonally dominant input so no pivoting is needed (as Rodinia).
+    fn matrix(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut rng = XorShift::new(0x10d);
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            let mut sum = 0.0f32;
+            for j in 0..n {
+                if i != j {
+                    let v = rng.next_f32() - 0.5;
+                    a[i * n + j] = v;
+                    sum += v.abs();
+                }
+            }
+            a[i * n + i] = sum + 1.0;
+        }
+        a
+    }
+}
+
+/// In-place right-looking LU on a sub-block; shared by the kernel bodies.
+fn diag_block(a: &mut [f32], n: usize, off: usize, bs: usize) {
+    let end = (off + bs).min(n);
+    for k in off..end {
+        let pivot = a[k * n + k];
+        for i in k + 1..end {
+            a[i * n + k] /= pivot;
+            let lik = a[i * n + k];
+            for j in k + 1..end {
+                a[i * n + j] -= lik * a[k * n + j];
+            }
+        }
+    }
+}
+
+fn perimeter_block(a: &mut [f32], n: usize, off: usize, bs: usize) {
+    let end = (off + bs).min(n);
+    // Row panel: solve L(diag) * U(row) = A for blocks right of diagonal.
+    for k in off..end {
+        for i in k + 1..end {
+            let lik = a[i * n + k];
+            for j in end..n {
+                a[i * n + j] -= lik * a[k * n + j];
+            }
+        }
+    }
+    // Column panel: L(col) = A * U(diag)^-1.
+    for k in off..end {
+        let pivot = a[k * n + k];
+        for i in end..n {
+            a[i * n + k] /= pivot;
+            let lik = a[i * n + k];
+            for j in k + 1..end {
+                a[i * n + j] -= lik * a[k * n + j];
+            }
+        }
+    }
+}
+
+fn internal_block(a: &mut [f32], n: usize, off: usize, bs: usize) {
+    let end = (off + bs).min(n);
+    for i in end..n {
+        for k in off..end {
+            let lik = a[i * n + k];
+            if lik != 0.0 {
+                for j in end..n {
+                    a[i * n + j] -= lik * a[k * n + j];
+                }
+            }
+        }
+    }
+}
+
+impl ClWorkload for Lud {
+    fn name(&self) -> &'static str {
+        "lud"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("lud_diagonal", |inv| {
+            let n = inv.scalar_i32(1)? as usize;
+            let off = inv.scalar_i32(2)? as usize;
+            let bs = inv.scalar_i32(3)? as usize;
+            diag_block(as_f32_mut(inv.buf(0)?), n, off, bs);
+            Ok(())
+        });
+        registry.register_fn("lud_perimeter", |inv| {
+            let n = inv.scalar_i32(1)? as usize;
+            let off = inv.scalar_i32(2)? as usize;
+            let bs = inv.scalar_i32(3)? as usize;
+            perimeter_block(as_f32_mut(inv.buf(0)?), n, off, bs);
+            Ok(())
+        });
+        registry.register_fn("lud_internal", |inv| {
+            let n = inv.scalar_i32(1)? as usize;
+            let off = inv.scalar_i32(2)? as usize;
+            let bs = inv.scalar_i32(3)? as usize;
+            internal_block(as_f32_mut(inv.buf(0)?), n, off, bs);
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let (n, bs) = (self.n, self.bs);
+        let a0 = self.matrix();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let k_diag = session.kernel("lud_diagonal")?;
+        let k_peri = session.kernel("lud_perimeter")?;
+        let k_int = session.kernel("lud_internal")?;
+
+        let b_a = session.buffer_f32(&a0)?;
+
+        let mut off = 0usize;
+        while off < n {
+            for (kernel, global) in [(k_diag, bs), (k_peri, n - off), (k_int, n - off)]
+            {
+                session.set_args(
+                    kernel,
+                    &[
+                        KernelArg::Mem(b_a),
+                        KernelArg::from_i32(n as i32),
+                        KernelArg::from_i32(off as i32),
+                        KernelArg::from_i32(bs as i32),
+                    ],
+                )?;
+                session.run_1d(kernel, global.max(1))?;
+            }
+            off += bs;
+        }
+        session.finish()?;
+        let lu = session.read_f32(b_a, n * n)?;
+
+        // Validate: L * U must reconstruct A0 (sampled rows to keep test
+        // scale cheap; full check at bench scale is overkill).
+        let stride = (n / 16).max(1);
+        for i in (0..n).step_by(stride) {
+            for j in (0..n).step_by(stride) {
+                // A = L * U with L unit-lower and U upper triangular, both
+                // packed into `lu`.
+                let mut sum = 0.0f32;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { lu[i * n + k] };
+                    let u = lu[k * n + j];
+                    sum += l * u;
+                }
+                if !close_enough(sum, a0[i * n + j], 5e-2) {
+                    return Err(WorkloadError::Validation(format!(
+                        "LU({i},{j}) = {sum}, A0 = {}",
+                        a0[i * n + j]
+                    )));
+                }
+            }
+        }
+        let checksum: f64 = (0..n).map(|i| f64::from(lu[i * n + i])).sum();
+
+        session.release(b_a)?;
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lud_factorization_reconstructs_matrix() {
+        let wl = Lud::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap().is_finite());
+    }
+
+    #[test]
+    fn block_lu_matches_unblocked_on_cpu() {
+        // Sanity-check the three block kernels against plain LU.
+        let n = 16;
+        let wl = Lud { n, bs: 4 };
+        let a0 = wl.matrix();
+        let mut blocked = a0.clone();
+        let mut off = 0;
+        while off < n {
+            diag_block(&mut blocked, n, off, wl.bs);
+            perimeter_block(&mut blocked, n, off, wl.bs);
+            internal_block(&mut blocked, n, off, wl.bs);
+            off += wl.bs;
+        }
+        let mut plain = a0;
+        for k in 0..n {
+            let pivot = plain[k * n + k];
+            for i in k + 1..n {
+                plain[i * n + k] /= pivot;
+                let lik = plain[i * n + k];
+                for j in k + 1..n {
+                    plain[i * n + j] -= lik * plain[k * n + j];
+                }
+            }
+        }
+        for (x, y) in blocked.iter().zip(plain.iter()) {
+            assert!(close_enough(*x, *y, 1e-3), "{x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! `nn` — Rodinia's nearest neighbor: one large data-parallel distance
+//! kernel over many records, followed by a host-side top-k scan. A
+//! data-movement-heavy, call-light profile (low AvA overhead).
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_f32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void nn_distance(__global const float *locations,
+                          __global float *distances,
+                          const float lat, const float lng, const uint n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float dx = locations[2 * i] - lat;
+        float dy = locations[2 * i + 1] - lng;
+        distances[i] = sqrt(dx * dx + dy * dy);
+    }
+}
+"#;
+
+/// The nearest-neighbor workload.
+pub struct Nn {
+    records: usize,
+    k: usize,
+}
+
+impl Nn {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Nn { records: 1024, k: 5 },
+            Scale::Bench => Nn { records: 1_000_000, k: 10 },
+        }
+    }
+
+    fn locations(&self) -> Vec<f32> {
+        let mut rng = XorShift::new(0x4e4e);
+        (0..self.records * 2)
+            .map(|_| rng.next_f32() * 180.0 - 90.0)
+            .collect()
+    }
+
+    fn top_k(&self, distances: &[f32]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..distances.len()).collect();
+        let k = self.k.min(idx.len());
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            distances[a].partial_cmp(&distances[b]).expect("no NaNs")
+        });
+        idx.truncate(k);
+        idx.sort_by(|&a, &b| {
+            distances[a].partial_cmp(&distances[b]).expect("no NaNs")
+        });
+        idx
+    }
+}
+
+impl ClWorkload for Nn {
+    fn name(&self) -> &'static str {
+        "nn"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("nn_distance", |inv| {
+            let lat = inv.scalar_f32(2)?;
+            let lng = inv.scalar_f32(3)?;
+            let n = inv.scalar_u32(4)? as usize;
+            let [locations, distances] = inv.bufs([0, 1])?;
+            let locations = as_f32(locations);
+            let distances = as_f32_mut(distances);
+            for i in 0..n {
+                let dx = locations[2 * i] - lat;
+                let dy = locations[2 * i + 1] - lng;
+                distances[i] = (dx * dx + dy * dy).sqrt();
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let locations = self.locations();
+        let (lat, lng) = (30.0f32, -60.0f32);
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("nn_distance")?;
+
+        let b_loc = session.buffer_f32(&locations)?;
+        let b_dist = session.buffer_zeroed(self.records * 4)?;
+        session.set_args(
+            kernel,
+            &[
+                KernelArg::Mem(b_loc),
+                KernelArg::Mem(b_dist),
+                KernelArg::from_f32(lat),
+                KernelArg::from_f32(lng),
+                KernelArg::from_u32(self.records as u32),
+            ],
+        )?;
+        session.run_1d(kernel, self.records)?;
+        let distances = session.read_f32(b_dist, self.records)?;
+        let nearest = self.top_k(&distances);
+
+        // Validate: recompute the winner's distance on the CPU and confirm
+        // no other record is closer.
+        let best = nearest[0];
+        let dx = locations[2 * best] - lat;
+        let dy = locations[2 * best + 1] - lng;
+        let best_dist = (dx * dx + dy * dy).sqrt();
+        if !close_enough(best_dist, distances[best], 1e-4) {
+            return Err(WorkloadError::Validation("winner distance mismatch".into()));
+        }
+        if distances.iter().any(|&d| d < distances[best] - 1e-6) {
+            return Err(WorkloadError::Validation("missed a closer record".into()));
+        }
+
+        let checksum: f64 = nearest
+            .iter()
+            .map(|&i| f64::from(distances[i]))
+            .sum();
+
+        session.release(b_loc)?;
+        session.release(b_dist)?;
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn nn_finds_the_nearest_records() {
+        let wl = Nn::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! `nw` — Rodinia's Needleman-Wunsch sequence alignment. The scoring
+//! matrix is filled along anti-diagonals, one kernel launch per diagonal:
+//! `2N - 1` launches of small kernels, the classic chatty-GPU pattern.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_i32, as_i32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void nw_diagonal(__global int *score,
+                          __global const int *reference,
+                          const int n, const int diag, const int penalty) {
+    int k = get_global_id(0);
+    int i = (diag < n) ? (diag - k) : (n - 1 - k);
+    int j = (diag < n) ? k : (diag - n + 1 + k);
+    if (i >= 1 && i < n && j >= 1 && j < n) {
+        int up = score[(i - 1) * n + j] - penalty;
+        int left = score[i * n + (j - 1)] - penalty;
+        int upleft = score[(i - 1) * n + (j - 1)] + reference[i * n + j];
+        int best = upleft > up ? upleft : up;
+        score[i * n + j] = best > left ? best : left;
+    }
+}
+"#;
+
+/// The Needleman-Wunsch workload.
+pub struct Nw {
+    n: usize,
+    penalty: i32,
+}
+
+impl Nw {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Nw { n: 48, penalty: 10 },
+            Scale::Bench => Nw { n: 2048, penalty: 10 },
+        }
+    }
+
+    fn reference_matrix(&self) -> Vec<i32> {
+        let n = self.n;
+        let mut rng = XorShift::new(0x9999);
+        // BLOSUM-like random similarity scores in [-4, 6].
+        (0..n * n).map(|_| (rng.next_below(11) as i32) - 4).collect()
+    }
+
+    fn initial_score(&self) -> Vec<i32> {
+        let n = self.n;
+        let mut score = vec![0i32; n * n];
+        for i in 0..n {
+            score[i * n] = -(i as i32) * self.penalty;
+            score[i] = -(i as i32) * self.penalty;
+        }
+        score
+    }
+
+    fn cpu_solve(&self, reference: &[i32]) -> Vec<i32> {
+        let n = self.n;
+        let mut score = self.initial_score();
+        for i in 1..n {
+            for j in 1..n {
+                let up = score[(i - 1) * n + j] - self.penalty;
+                let left = score[i * n + (j - 1)] - self.penalty;
+                let upleft = score[(i - 1) * n + (j - 1)] + reference[i * n + j];
+                score[i * n + j] = upleft.max(up).max(left);
+            }
+        }
+        score
+    }
+}
+
+impl ClWorkload for Nw {
+    fn name(&self) -> &'static str {
+        "nw"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("nw_diagonal", |inv| {
+            let n = inv.scalar_i32(2)? as usize;
+            let diag = inv.scalar_i32(3)? as i64;
+            let penalty = inv.scalar_i32(4)?;
+            let work_items = inv.global[0];
+            let [score, reference] = inv.bufs([0, 1])?;
+            let reference = as_i32(reference);
+            let score = as_i32_mut(score);
+            for k in 0..work_items {
+                let (i, j) = if diag < n as i64 {
+                    (diag - k as i64, k as i64)
+                } else {
+                    (n as i64 - 1 - k as i64, diag - n as i64 + 1 + k as i64)
+                };
+                if i >= 1 && (i as usize) < n && j >= 1 && (j as usize) < n {
+                    let (i, j) = (i as usize, j as usize);
+                    let up = score[(i - 1) * n + j] - penalty;
+                    let left = score[i * n + (j - 1)] - penalty;
+                    let upleft = score[(i - 1) * n + (j - 1)] + reference[i * n + j];
+                    score[i * n + j] = upleft.max(up).max(left);
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let n = self.n;
+        let reference = self.reference_matrix();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("nw_diagonal")?;
+
+        let b_score = session.buffer_i32(&self.initial_score())?;
+        let b_ref = session.buffer_i32(&reference)?;
+
+        // One launch per anti-diagonal.
+        for diag in 1..(2 * n - 1) {
+            let work = if diag < n { diag + 1 } else { 2 * n - 1 - diag };
+            session.set_args(
+                kernel,
+                &[
+                    KernelArg::Mem(b_score),
+                    KernelArg::Mem(b_ref),
+                    KernelArg::from_i32(n as i32),
+                    KernelArg::from_i32(diag as i32),
+                    KernelArg::from_i32(self.penalty),
+                ],
+            )?;
+            session.run_1d(kernel, work)?;
+        }
+        session.finish()?;
+
+        let score = session.read_i32(b_score, n * n)?;
+        let expected = self.cpu_solve(&reference);
+        if score != expected {
+            return Err(WorkloadError::Validation("score matrix mismatch".into()));
+        }
+        let checksum = f64::from(score[n * n - 1]);
+
+        session.release(b_score)?;
+        session.release(b_ref)?;
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn nw_matches_cpu_dp() {
+        let wl = Nw::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap().is_finite());
+    }
+}

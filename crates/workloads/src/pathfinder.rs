@@ -1,0 +1,153 @@
+//! `pathfinder` — Rodinia's grid dynamic programming: find the cheapest
+//! path from the bottom row to the top, one kernel launch per row.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_i32, as_i32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void pathfinder_row(__global const int *wall,
+                             __global const int *src,
+                             __global int *dst,
+                             const int cols, const int row) {
+    int c = get_global_id(0);
+    if (c < cols) {
+        int best = src[c];
+        if (c > 0 && src[c - 1] < best) best = src[c - 1];
+        if (c < cols - 1 && src[c + 1] < best) best = src[c + 1];
+        dst[c] = wall[row * cols + c] + best;
+    }
+}
+"#;
+
+/// The pathfinder workload.
+pub struct Pathfinder {
+    rows: usize,
+    cols: usize,
+}
+
+impl Pathfinder {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Pathfinder { rows: 8, cols: 64 },
+            Scale::Bench => Pathfinder { rows: 500, cols: 20_000 },
+        }
+    }
+
+    fn wall(&self) -> Vec<i32> {
+        let mut rng = XorShift::new(0x9a7f);
+        (0..self.rows * self.cols)
+            .map(|_| rng.next_below(10) as i32)
+            .collect()
+    }
+
+    fn cpu_solve(&self, wall: &[i32]) -> Vec<i32> {
+        let cols = self.cols;
+        let mut src: Vec<i32> = wall[..cols].to_vec();
+        for row in 1..self.rows {
+            let mut dst = vec![0i32; cols];
+            for c in 0..cols {
+                let mut best = src[c];
+                if c > 0 {
+                    best = best.min(src[c - 1]);
+                }
+                if c < cols - 1 {
+                    best = best.min(src[c + 1]);
+                }
+                dst[c] = wall[row * cols + c] + best;
+            }
+            src = dst;
+        }
+        src
+    }
+}
+
+impl ClWorkload for Pathfinder {
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("pathfinder_row", |inv| {
+            let cols = inv.scalar_i32(3)? as usize;
+            let row = inv.scalar_i32(4)? as usize;
+            let [wall, src, dst] = inv.bufs([0, 1, 2])?;
+            let (wall, src) = (as_i32(wall), as_i32(src));
+            let dst = as_i32_mut(dst);
+            for c in 0..cols {
+                let mut best = src[c];
+                if c > 0 {
+                    best = best.min(src[c - 1]);
+                }
+                if c < cols - 1 {
+                    best = best.min(src[c + 1]);
+                }
+                dst[c] = wall[row * cols + c] + best;
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let wall = self.wall();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let kernel = session.kernel("pathfinder_row")?;
+
+        let b_wall = session.buffer_i32(&wall)?;
+        let mut b_src = session.buffer_i32(&wall[..self.cols])?;
+        let mut b_dst = session.buffer_zeroed(self.cols * 4)?;
+
+        for row in 1..self.rows {
+            session.set_args(
+                kernel,
+                &[
+                    KernelArg::Mem(b_wall),
+                    KernelArg::Mem(b_src),
+                    KernelArg::Mem(b_dst),
+                    KernelArg::from_i32(self.cols as i32),
+                    KernelArg::from_i32(row as i32),
+                ],
+            )?;
+            session.run_1d(kernel, self.cols)?;
+            std::mem::swap(&mut b_src, &mut b_dst);
+        }
+        session.finish()?;
+        let result = session.read_i32(b_src, self.cols)?;
+
+        let expected = self.cpu_solve(&wall);
+        if result != expected {
+            return Err(WorkloadError::Validation("DP row mismatch".into()));
+        }
+        let checksum = f64::from(*result.iter().min().expect("non-empty"));
+
+        for mem in [b_wall, b_src, b_dst] {
+            session.release(mem)?;
+        }
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pathfinder_matches_cpu_dp() {
+        let wl = Pathfinder::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap().is_finite());
+    }
+}

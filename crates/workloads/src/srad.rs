@@ -1,0 +1,257 @@
+//! `srad` — Rodinia's Speckle Reducing Anisotropic Diffusion: two kernels
+//! per iteration (diffusion-coefficient computation, then the update),
+//! over an ultrasound-like image.
+
+use simcl::kernels::KernelRegistry;
+use simcl::mem::{as_f32, as_f32_mut};
+use simcl::types::KernelArg;
+use simcl::ClApi;
+
+use crate::harness::{close_enough, ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
+
+/// OpenCL C source.
+pub const SOURCE: &str = r#"
+__kernel void srad_coeff(__global const float *img, __global float *c,
+                         const int rows, const int cols, const float q0sqr) {
+    int j = get_global_id(0);
+    int i = get_global_id(1);
+    if (i < rows && j < cols) {
+        float jc = img[i * cols + j];
+        float dn = ((i > 0) ? img[(i - 1) * cols + j] : jc) - jc;
+        float ds = ((i < rows - 1) ? img[(i + 1) * cols + j] : jc) - jc;
+        float dw = ((j > 0) ? img[i * cols + j - 1] : jc) - jc;
+        float de = ((j < cols - 1) ? img[i * cols + j + 1] : jc) - jc;
+        float g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+        float l = (dn + ds + dw + de) / jc;
+        float num = (0.5f * g2) - ((1.0f / 16.0f) * (l * l));
+        float den = 1.0f + 0.25f * l;
+        float qsqr = num / (den * den);
+        den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+        float coeff = 1.0f / (1.0f + den);
+        c[i * cols + j] = clamp(coeff, 0.0f, 1.0f);
+    }
+}
+__kernel void srad_update(__global float *img, __global const float *c,
+                          const int rows, const int cols, const float lambda) {
+    int j = get_global_id(0);
+    int i = get_global_id(1);
+    if (i < rows && j < cols) {
+        float jc = img[i * cols + j];
+        float cn = c[i * cols + j];
+        float cs = (i < rows - 1) ? c[(i + 1) * cols + j] : cn;
+        float ce = (j < cols - 1) ? c[i * cols + j + 1] : cn;
+        float dn = ((i > 0) ? img[(i - 1) * cols + j] : jc) - jc;
+        float ds = ((i < rows - 1) ? img[(i + 1) * cols + j] : jc) - jc;
+        float dw = ((j > 0) ? img[i * cols + j - 1] : jc) - jc;
+        float de = ((j < cols - 1) ? img[i * cols + j + 1] : jc) - jc;
+        float d = cn * dn + cs * ds + cn * dw + ce * de;
+        img[i * cols + j] = jc + 0.25f * lambda * d;
+    }
+}
+"#;
+
+const LAMBDA: f32 = 0.5;
+const Q0SQR: f32 = 0.05;
+
+/// The SRAD workload.
+pub struct Srad {
+    rows: usize,
+    cols: usize,
+    iters: usize,
+}
+
+impl Srad {
+    /// Creates the workload at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Srad { rows: 16, cols: 16, iters: 3 },
+            Scale::Bench => Srad { rows: 502, cols: 458, iters: 40 },
+        }
+    }
+
+    fn image(&self) -> Vec<f32> {
+        let mut rng = XorShift::new(0x54ad);
+        (0..self.rows * self.cols)
+            .map(|_| (rng.next_f32() * 255.0 / 255.0).exp())
+            .collect()
+    }
+
+    fn cpu_coeff(&self, img: &[f32]) -> Vec<f32> {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut c = vec![0.0f32; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let jc = img[i * cols + j];
+                let dn = (if i > 0 { img[(i - 1) * cols + j] } else { jc }) - jc;
+                let ds = (if i < rows - 1 { img[(i + 1) * cols + j] } else { jc }) - jc;
+                let dw = (if j > 0 { img[i * cols + j - 1] } else { jc }) - jc;
+                let de = (if j < cols - 1 { img[i * cols + j + 1] } else { jc }) - jc;
+                let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+                let l = (dn + ds + dw + de) / jc;
+                let num = 0.5 * g2 - (1.0 / 16.0) * (l * l);
+                let den = 1.0 + 0.25 * l;
+                let qsqr = num / (den * den);
+                let den = (qsqr - Q0SQR) / (Q0SQR * (1.0 + Q0SQR));
+                c[i * cols + j] = (1.0 / (1.0 + den)).clamp(0.0, 1.0);
+            }
+        }
+        c
+    }
+
+    fn cpu_update(&self, img: &mut [f32], c: &[f32]) {
+        let (rows, cols) = (self.rows, self.cols);
+        let prev = img.to_vec();
+        for i in 0..rows {
+            for j in 0..cols {
+                let jc = prev[i * cols + j];
+                let cn = c[i * cols + j];
+                let cs = if i < rows - 1 { c[(i + 1) * cols + j] } else { cn };
+                let ce = if j < cols - 1 { c[i * cols + j + 1] } else { cn };
+                let dn = (if i > 0 { prev[(i - 1) * cols + j] } else { jc }) - jc;
+                let ds = (if i < rows - 1 { prev[(i + 1) * cols + j] } else { jc }) - jc;
+                let dw = (if j > 0 { prev[i * cols + j - 1] } else { jc }) - jc;
+                let de = (if j < cols - 1 { prev[i * cols + j + 1] } else { jc }) - jc;
+                let d = cn * dn + cs * ds + cn * dw + ce * de;
+                img[i * cols + j] = jc + 0.25 * LAMBDA * d;
+            }
+        }
+    }
+}
+
+impl ClWorkload for Srad {
+    fn name(&self) -> &'static str {
+        "srad"
+    }
+
+    fn register(&self, registry: &KernelRegistry) {
+        registry.register_fn("srad_coeff", |inv| {
+            let rows = inv.scalar_i32(2)? as usize;
+            let cols = inv.scalar_i32(3)? as usize;
+            let q0sqr = inv.scalar_f32(4)?;
+            let [img, c] = inv.bufs([0, 1])?;
+            let img = as_f32(img);
+            let c = as_f32_mut(c);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let jc = img[i * cols + j];
+                    let dn = (if i > 0 { img[(i - 1) * cols + j] } else { jc }) - jc;
+                    let ds =
+                        (if i < rows - 1 { img[(i + 1) * cols + j] } else { jc }) - jc;
+                    let dw = (if j > 0 { img[i * cols + j - 1] } else { jc }) - jc;
+                    let de =
+                        (if j < cols - 1 { img[i * cols + j + 1] } else { jc }) - jc;
+                    let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+                    let l = (dn + ds + dw + de) / jc;
+                    let num = 0.5 * g2 - (1.0 / 16.0) * (l * l);
+                    let den = 1.0 + 0.25 * l;
+                    let qsqr = num / (den * den);
+                    let den = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr));
+                    c[i * cols + j] = (1.0 / (1.0 + den)).clamp(0.0, 1.0);
+                }
+            }
+            Ok(())
+        });
+        registry.register_fn("srad_update", |inv| {
+            let rows = inv.scalar_i32(2)? as usize;
+            let cols = inv.scalar_i32(3)? as usize;
+            let lambda = inv.scalar_f32(4)?;
+            let [img, c] = inv.bufs([0, 1])?;
+            let c = as_f32(c);
+            let img = as_f32_mut(img);
+            let prev = img.to_vec();
+            for i in 0..rows {
+                for j in 0..cols {
+                    let jc = prev[i * cols + j];
+                    let cn = c[i * cols + j];
+                    let cs = if i < rows - 1 { c[(i + 1) * cols + j] } else { cn };
+                    let ce = if j < cols - 1 { c[i * cols + j + 1] } else { cn };
+                    let dn = (if i > 0 { prev[(i - 1) * cols + j] } else { jc }) - jc;
+                    let ds =
+                        (if i < rows - 1 { prev[(i + 1) * cols + j] } else { jc }) - jc;
+                    let dw = (if j > 0 { prev[i * cols + j - 1] } else { jc }) - jc;
+                    let de =
+                        (if j < cols - 1 { prev[i * cols + j + 1] } else { jc }) - jc;
+                    let d = cn * dn + cs * ds + cn * dw + ce * de;
+                    img[i * cols + j] = jc + 0.25 * lambda * d;
+                }
+            }
+            Ok(())
+        });
+    }
+
+    fn run(&self, api: &dyn ClApi) -> Result<f64> {
+        let image = self.image();
+        let mut session = Session::open(api)?;
+        session.build(SOURCE)?;
+        let k_coeff = session.kernel("srad_coeff")?;
+        let k_update = session.kernel("srad_update")?;
+
+        let b_img = session.buffer_f32(&image)?;
+        let b_c = session.buffer_zeroed(image.len() * 4)?;
+
+        for _ in 0..self.iters {
+            session.set_args(
+                k_coeff,
+                &[
+                    KernelArg::Mem(b_img),
+                    KernelArg::Mem(b_c),
+                    KernelArg::from_i32(self.rows as i32),
+                    KernelArg::from_i32(self.cols as i32),
+                    KernelArg::from_f32(Q0SQR),
+                ],
+            )?;
+            session.run_2d(k_coeff, self.cols, self.rows)?;
+            session.set_args(
+                k_update,
+                &[
+                    KernelArg::Mem(b_img),
+                    KernelArg::Mem(b_c),
+                    KernelArg::from_i32(self.rows as i32),
+                    KernelArg::from_i32(self.cols as i32),
+                    KernelArg::from_f32(LAMBDA),
+                ],
+            )?;
+            session.run_2d(k_update, self.cols, self.rows)?;
+        }
+        session.finish()?;
+        let result = session.read_f32(b_img, image.len())?;
+
+        // CPU reference.
+        let mut reference = image;
+        for _ in 0..self.iters {
+            let c = self.cpu_coeff(&reference);
+            self.cpu_update(&mut reference, &c);
+        }
+        for (i, (a, b)) in reference.iter().zip(result.iter()).enumerate() {
+            if !close_enough(*a, *b, 1e-3) {
+                return Err(WorkloadError::Validation(format!(
+                    "pixel {i}: cpu {a} vs device {b}"
+                )));
+            }
+        }
+        let checksum: f64 = result.iter().map(|&v| f64::from(v)).sum();
+
+        session.release(b_img)?;
+        session.release(b_c)?;
+        session.close()?;
+        Ok(checksum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn srad_matches_cpu_reference() {
+        let wl = Srad::new(Scale::Test);
+        let registry = Arc::new(KernelRegistry::new());
+        wl.register(&registry);
+        let cl = simcl::SimCl::with_devices_and_registry(
+            vec![simcl::DeviceConfig::default()],
+            registry,
+        );
+        assert!(wl.run(&cl).unwrap().is_finite());
+    }
+}

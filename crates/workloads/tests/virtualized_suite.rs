@@ -1,0 +1,72 @@
+//! The entire workload suite, executed through the AvA stack: the same
+//! binaries that ran natively in unit tests run here against the remoting
+//! client, and must produce identical checksums.
+
+use ava_core::{mvnc_stack, opencl_stack, MvncClient, OpenClClient, StackConfig};
+use ava_hypervisor::VmPolicy;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{opencl_workloads, silo_with_all_kernels, Inception, Scale};
+
+fn fast_config() -> StackConfig {
+    StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::free(),
+        ..StackConfig::default()
+    }
+}
+
+#[test]
+fn all_opencl_workloads_match_native_checksums_when_virtualized() {
+    let native_cl = silo_with_all_kernels(Scale::Test);
+    let virtual_cl = silo_with_all_kernels(Scale::Test);
+    let stack = opencl_stack(virtual_cl, fast_config()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+
+    for wl in opencl_workloads(Scale::Test) {
+        let native = wl
+            .run(&native_cl)
+            .unwrap_or_else(|e| panic!("{} native failed: {e}", wl.name()));
+        let virtualized = wl
+            .run(&client)
+            .unwrap_or_else(|e| panic!("{} virtual failed: {e}", wl.name()));
+        assert_eq!(
+            native,
+            virtualized,
+            "{}: native and virtual checksums must match",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn inception_matches_native_when_virtualized() {
+    let wl = Inception::new(Scale::Test);
+    let native = wl.run(&simnc::SimNc::new(1)).unwrap();
+
+    let stack = mvnc_stack(simnc::SimNc::new(1), fast_config()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = MvncClient::new(lib);
+    let virtualized = wl.run(&client).unwrap();
+    assert_eq!(native, virtualized);
+}
+
+#[test]
+fn suite_runs_with_paravirtual_cost_model_too() {
+    // Sanity that modelled latencies do not break correctness.
+    let stack = opencl_stack(
+        silo_with_all_kernels(Scale::Test),
+        StackConfig {
+            transport: TransportKind::SharedMemory,
+            cost_model: CostModel::paravirtual(),
+            ..StackConfig::default()
+        },
+    )
+    .unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    for wl in opencl_workloads(Scale::Test).into_iter().take(3) {
+        wl.run(&client)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name()));
+    }
+}

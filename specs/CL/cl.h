@@ -1,0 +1,189 @@
+/*
+ * OpenCL subset header for the AvA reproduction.
+ *
+ * Shapes follow the Khronos cl.h; a small number of signatures are
+ * simplified where the original multiplexes types through void* in ways
+ * the CAvA annotation language cannot express (documented in DESIGN.md):
+ *   - clCreateProgramWithSource takes one source string;
+ *   - clSetKernelArg is split into scalar/mem/local variants;
+ *   - clCreateImage takes explicit geometry instead of descriptor structs;
+ *   - single-value Get*Info queries return through a typed out-pointer.
+ */
+#ifndef AVA_CL_H
+#define AVA_CL_H 1
+
+#define CL_SUCCESS 0
+#define CL_DEVICE_NOT_FOUND -1
+#define CL_MEM_OBJECT_ALLOCATION_FAILURE -4
+#define CL_OUT_OF_RESOURCES -5
+#define CL_OUT_OF_HOST_MEMORY -6
+#define CL_PROFILING_INFO_NOT_AVAILABLE -7
+#define CL_BUILD_PROGRAM_FAILURE -11
+#define CL_INVALID_VALUE -30
+#define CL_INVALID_DEVICE -33
+#define CL_INVALID_CONTEXT -34
+#define CL_INVALID_QUEUE_PROPERTIES -35
+#define CL_INVALID_COMMAND_QUEUE -36
+#define CL_INVALID_MEM_OBJECT -38
+#define CL_INVALID_PROGRAM -44
+#define CL_INVALID_PROGRAM_EXECUTABLE -45
+#define CL_INVALID_KERNEL_NAME -46
+#define CL_INVALID_KERNEL -48
+#define CL_INVALID_ARG_INDEX -49
+#define CL_INVALID_ARG_VALUE -50
+#define CL_INVALID_ARG_SIZE -51
+#define CL_INVALID_KERNEL_ARGS -52
+#define CL_INVALID_WORK_DIMENSION -53
+#define CL_INVALID_WORK_GROUP_SIZE -54
+#define CL_INVALID_EVENT_WAIT_LIST -57
+#define CL_INVALID_EVENT -58
+#define CL_INVALID_BUFFER_SIZE -61
+
+#define CL_FALSE 0
+#define CL_TRUE 1
+
+#define CL_DEVICE_TYPE_GPU (1 << 2)
+#define CL_DEVICE_TYPE_ACCELERATOR (1 << 3)
+#define CL_DEVICE_TYPE_ALL 0xFFFFFFFF
+
+#define CL_PLATFORM_NAME 0x0902
+#define CL_PLATFORM_VENDOR 0x0903
+#define CL_PLATFORM_VERSION 0x0901
+
+#define CL_DEVICE_NAME 0x102B
+#define CL_DEVICE_VENDOR 0x102C
+#define CL_DEVICE_MAX_COMPUTE_UNITS 0x1002
+#define CL_DEVICE_MAX_WORK_GROUP_SIZE 0x1004
+#define CL_DEVICE_GLOBAL_MEM_SIZE 0x101F
+#define CL_DEVICE_LOCAL_MEM_SIZE 0x1023
+#define CL_DEVICE_TYPE_INFO 0x1000
+
+#define CL_QUEUE_PROFILING_ENABLE (1 << 1)
+
+#define CL_MEM_READ_WRITE (1 << 0)
+#define CL_MEM_WRITE_ONLY (1 << 1)
+#define CL_MEM_READ_ONLY (1 << 2)
+#define CL_MEM_COPY_HOST_PTR (1 << 5)
+
+#define CL_PROFILING_COMMAND_QUEUED 0x1280
+#define CL_PROFILING_COMMAND_SUBMIT 0x1281
+#define CL_PROFILING_COMMAND_START 0x1282
+#define CL_PROFILING_COMMAND_END 0x1283
+
+typedef int cl_int;
+typedef unsigned int cl_uint;
+typedef unsigned long cl_ulong;
+typedef cl_uint cl_bool;
+typedef cl_ulong cl_bitfield;
+typedef cl_bitfield cl_device_type;
+typedef cl_bitfield cl_mem_flags;
+typedef cl_bitfield cl_command_queue_properties;
+typedef cl_uint cl_platform_info;
+typedef cl_uint cl_device_info;
+
+typedef struct _cl_platform_id *cl_platform_id;
+typedef struct _cl_device_id *cl_device_id;
+typedef struct _cl_context *cl_context;
+typedef struct _cl_command_queue *cl_command_queue;
+typedef struct _cl_mem *cl_mem;
+typedef struct _cl_program *cl_program;
+typedef struct _cl_kernel *cl_kernel;
+typedef struct _cl_event *cl_event;
+
+/* Platform and device discovery. */
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id *platforms,
+                        cl_uint *num_platforms);
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_platform_info param_name,
+                         size_t param_value_size, void *param_value,
+                         size_t *param_value_size_ret);
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id *devices,
+                      cl_uint *num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_device_info param_name,
+                       size_t param_value_size, void *param_value,
+                       size_t *param_value_size_ret);
+
+/* Contexts. */
+cl_context clCreateContext(cl_uint num_devices, const cl_device_id *devices,
+                           void (*pfn_notify)(const char *, const void *, size_t, void *),
+                           void *user_data, cl_int *errcode_ret);
+cl_int clRetainContext(cl_context context);
+cl_int clReleaseContext(cl_context context);
+cl_int clGetContextInfo(cl_context context, cl_device_id *device);
+
+/* Command queues. */
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_command_queue_properties properties,
+                                      cl_int *errcode_ret);
+cl_int clRetainCommandQueue(cl_command_queue command_queue);
+cl_int clReleaseCommandQueue(cl_command_queue command_queue);
+
+/* Memory objects. */
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags, size_t size,
+                      const void *host_ptr, cl_int *errcode_ret);
+cl_mem clCreateImage(cl_context context, cl_mem_flags flags, size_t width,
+                     size_t height, size_t elem_size, const void *host_ptr,
+                     cl_int *errcode_ret);
+cl_int clRetainMemObject(cl_mem memobj);
+cl_int clReleaseMemObject(cl_mem memobj);
+cl_int clGetMemObjectInfo(cl_mem memobj, size_t *size);
+
+/* Programs. */
+cl_program clCreateProgramWithSource(cl_context context, const char *source,
+                                     cl_int *errcode_ret);
+cl_int clBuildProgram(cl_program program, const char *options);
+cl_int clCompileProgram(cl_program program, const char *options);
+cl_int clGetProgramBuildInfo(cl_program program, size_t param_value_size,
+                             void *param_value, size_t *param_value_size_ret);
+cl_int clRetainProgram(cl_program program);
+cl_int clReleaseProgram(cl_program program);
+
+/* Kernels. */
+cl_kernel clCreateKernel(cl_program program, const char *kernel_name,
+                         cl_int *errcode_ret);
+cl_int clCreateKernelsInProgram(cl_program program, cl_uint num_kernels,
+                                cl_kernel *kernels, cl_uint *num_kernels_ret);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void *arg_value);
+cl_int clSetKernelArgMem(cl_kernel kernel, cl_uint arg_index, cl_mem mem);
+cl_int clSetKernelArgLocal(cl_kernel kernel, cl_uint arg_index, size_t size);
+cl_int clGetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                size_t *work_group_size);
+
+/* Enqueue operations. */
+cl_int clEnqueueNDRangeKernel(cl_command_queue command_queue, cl_kernel kernel,
+                              cl_uint work_dim, const size_t *global_work_offset,
+                              const size_t *global_work_size,
+                              const size_t *local_work_size,
+                              cl_uint num_events_in_wait_list,
+                              const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueTask(cl_command_queue command_queue, cl_kernel kernel,
+                     cl_uint num_events_in_wait_list,
+                     const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueReadBuffer(cl_command_queue command_queue, cl_mem buf,
+                           cl_bool blocking_read, size_t offset, size_t size,
+                           void *ptr, cl_uint num_events_in_wait_list,
+                           const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueWriteBuffer(cl_command_queue command_queue, cl_mem buf,
+                            cl_bool blocking_write, size_t offset, size_t size,
+                            const void *ptr, cl_uint num_events_in_wait_list,
+                            const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueCopyBuffer(cl_command_queue command_queue, cl_mem src_buffer,
+                           cl_mem dst_buffer, size_t src_offset,
+                           size_t dst_offset, size_t size,
+                           cl_uint num_events_in_wait_list,
+                           const cl_event *event_wait_list, cl_event *event);
+
+/* Synchronization and events. */
+cl_int clFlush(cl_command_queue command_queue);
+cl_int clFinish(cl_command_queue command_queue);
+cl_int clWaitForEvents(cl_uint num_events, const cl_event *event_list);
+cl_int clGetEventInfo(cl_event event, cl_int *execution_status);
+cl_int clGetEventProfilingInfo(cl_event event, cl_uint param_name,
+                               cl_ulong *param_value);
+cl_int clRetainEvent(cl_event event);
+cl_int clReleaseEvent(cl_event event);
+
+#endif /* AVA_CL_H */

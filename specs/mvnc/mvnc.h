@@ -1,0 +1,55 @@
+/*
+ * NCSDK v1 subset header for the AvA reproduction.
+ *
+ * Follows the Intel Movidius NCSDK v1 mvnc.h shapes, with one documented
+ * adaptation: mvncGetResult takes an explicit result capacity instead of
+ * returning an internal pointer (the original returns a pointer into
+ * SDK-owned memory, which cannot cross an API-remoting boundary).
+ */
+#ifndef AVA_MVNC_H
+#define AVA_MVNC_H 1
+
+#define MVNC_OK 0
+#define MVNC_BUSY -1
+#define MVNC_ERROR -2
+#define MVNC_OUT_OF_MEMORY -3
+#define MVNC_DEVICE_NOT_FOUND -4
+#define MVNC_INVALID_PARAMETERS -5
+#define MVNC_TIMEOUT -6
+#define MVNC_NO_DATA -8
+#define MVNC_GONE -9
+#define MVNC_UNSUPPORTED_GRAPH_FILE -10
+#define MVNC_MYRIAD_ERROR -11
+
+#define MVNC_DONT_BLOCK 0
+#define MVNC_TIME_TAKEN 1
+#define MVNC_THERMAL_THROTTLE 0
+#define MVNC_MAX_EXECUTORS 1
+
+typedef int mvncStatus;
+typedef struct _mvnc_device *mvncDeviceHandle;
+typedef struct _mvnc_graph *mvncGraphHandle;
+
+mvncStatus mvncGetDeviceName(int index, char *name, unsigned int name_size);
+mvncStatus mvncOpenDevice(const char *name, mvncDeviceHandle *device_handle);
+mvncStatus mvncCloseDevice(mvncDeviceHandle device_handle);
+mvncStatus mvncAllocateGraph(mvncDeviceHandle device_handle,
+                             mvncGraphHandle *graph_handle,
+                             const void *graph_file,
+                             unsigned int graph_file_size);
+mvncStatus mvncDeallocateGraph(mvncGraphHandle graph_handle);
+mvncStatus mvncLoadTensor(mvncGraphHandle graph_handle, const void *tensor,
+                          unsigned int tensor_size, unsigned long user_param);
+mvncStatus mvncGetResult(mvncGraphHandle graph_handle, void *result,
+                         unsigned int result_capacity,
+                         unsigned int *result_size, unsigned long *user_param);
+mvncStatus mvncSetGraphOption(mvncGraphHandle graph_handle, int option,
+                              unsigned long value);
+mvncStatus mvncGetGraphOption(mvncGraphHandle graph_handle, int option,
+                              unsigned long *value);
+mvncStatus mvncSetDeviceOption(mvncDeviceHandle device_handle, int option,
+                               unsigned long value);
+mvncStatus mvncGetDeviceOption(mvncDeviceHandle device_handle, int option,
+                               unsigned long *value);
+
+#endif /* AVA_MVNC_H */

@@ -1,0 +1,16 @@
+//! `ava` — the repository root crate: re-exports the whole AvA
+//! reproduction so examples and repo-level integration tests can use one
+//! dependency. The library itself lives in `crates/` (see README.md and
+//! DESIGN.md).
+
+pub use ava_cava as cava;
+pub use ava_core as core;
+pub use ava_guest as guest;
+pub use ava_hypervisor as hypervisor;
+pub use ava_server as server;
+pub use ava_spec as spec;
+pub use ava_transport as transport;
+pub use ava_wire as wire;
+pub use ava_workloads as workloads;
+pub use simcl;
+pub use simnc;

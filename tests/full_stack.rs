@@ -1,0 +1,150 @@
+//! Repo-level integration: the complete AvA pipeline — specification →
+//! descriptor → hypervisor/router → guest library → API server → silo —
+//! exercised through the workspace's public APIs only.
+
+use ava::core::{opencl_stack, OpenClClient, StackConfig};
+use ava::hypervisor::VmPolicy;
+use ava::transport::{CostModel, TransportKind};
+use ava::workloads::{opencl_workloads, silo_with_all_kernels, Scale};
+use simcl::ClApi;
+
+fn paravirt_config() -> StackConfig {
+    StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::paravirtual(),
+        ..StackConfig::default()
+    }
+}
+
+#[test]
+fn workloads_survive_realistic_transport_costs() {
+    let native = silo_with_all_kernels(Scale::Test);
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), paravirt_config()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+
+    for wl in opencl_workloads(Scale::Test) {
+        if !matches!(wl.name(), "backprop" | "gaussian" | "nw") {
+            continue; // three representative call profiles
+        }
+        let native_sum = wl.run(&native).unwrap();
+        let virtual_sum = wl.run(&client).unwrap();
+        assert_eq!(native_sum, virtual_sum, "{}", wl.name());
+    }
+}
+
+#[test]
+fn guest_async_stats_reflect_spec_annotations() {
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), paravirt_config()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    let wl = opencl_workloads(Scale::Test)
+        .into_iter()
+        .find(|w| w.name() == "gaussian")
+        .unwrap();
+    wl.run(&client).unwrap();
+    let stats = client.library().stats();
+    // Gaussian is dominated by setKernelArg + enqueue, all async-annotated.
+    assert!(
+        stats.async_calls > stats.sync_calls,
+        "expected mostly-async forwarding, got {stats:?}"
+    );
+}
+
+#[test]
+fn batching_reduces_transport_crossings_without_changing_results() {
+    use ava::core::GuestConfig;
+    let native = silo_with_all_kernels(Scale::Test);
+    let stack = opencl_stack(
+        silo_with_all_kernels(Scale::Test),
+        StackConfig {
+            guest: GuestConfig { batch_max: 16 },
+            ..paravirt_config()
+        },
+    )
+    .unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    let wl = opencl_workloads(Scale::Test)
+        .into_iter()
+        .find(|w| w.name() == "gaussian")
+        .unwrap();
+    let native_sum = wl.run(&native).unwrap();
+    let virtual_sum = wl.run(&client).unwrap();
+    assert_eq!(native_sum, virtual_sum);
+    let guest = client.library().stats();
+    assert!(guest.batched_calls > 0, "batching must have engaged: {guest:?}");
+    // Router saw every *sent* call even though they arrived in batches. A
+    // final partial batch of trailing async calls may legitimately still
+    // sit in the guest library (lazy RPC flushes on the next sync call).
+    let total = guest.sync_calls + guest.async_calls;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let router = stack.vm_router_stats(vm).unwrap();
+        if router.forwarded >= total - 16 && router.forwarded <= total {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "router stats: {router:?}");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn both_apis_virtualize_side_by_side() {
+    use ava::core::{mvnc_stack, MvncClient};
+    use ava::workloads::Inception;
+
+    // One host running an OpenCL stack and an NCS stack simultaneously.
+    let cl_stack = opencl_stack(silo_with_all_kernels(Scale::Test), paravirt_config()).unwrap();
+    let nc_stack = mvnc_stack(simnc::SimNc::new(1), paravirt_config()).unwrap();
+
+    let (_v1, cl_lib) = cl_stack.attach_vm(VmPolicy::default()).unwrap();
+    let (_v2, nc_lib) = nc_stack.attach_vm(VmPolicy::default()).unwrap();
+    let cl = OpenClClient::new(cl_lib);
+    let nc = MvncClient::new(nc_lib);
+
+    let t1 = std::thread::spawn(move || {
+        let wl = opencl_workloads(Scale::Test)
+            .into_iter()
+            .find(|w| w.name() == "hotspot")
+            .unwrap();
+        wl.run(&cl).unwrap()
+    });
+    let t2 = std::thread::spawn(move || Inception::new(Scale::Test).run(&nc).unwrap());
+    assert!(t1.join().unwrap().is_finite());
+    assert!(t2.join().unwrap() > 0.0);
+}
+
+#[test]
+fn policy_rejection_surfaces_as_guest_error() {
+    use ava::guest::GuestError;
+    // Quota of 1 KiB estimated device memory: the second buffer allocation
+    // must be rejected by the router, not executed.
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), paravirt_config()).unwrap();
+    let policy = VmPolicy {
+        device_mem_quota: Some(1024),
+        ..VmPolicy::default()
+    };
+    let (_vm, lib) = stack.attach_vm(policy).unwrap();
+    let client = OpenClClient::new(lib);
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client.get_device_ids(platform, simcl::DeviceType::All).unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let ok = client.create_buffer(ctx, simcl::MemFlags::read_write(), 512, None);
+    assert!(ok.is_ok(), "first allocation fits the quota");
+    // Cumulative estimate now 512; next 1024 exceeds the quota.
+    let lib2 = client.library();
+    let err = lib2
+        .call(
+            "clCreateBuffer",
+            vec![
+                ava::wire::Value::Handle(ctx.0),
+                ava::wire::Value::U64(simcl::MemFlags::read_write().to_bits()),
+                ava::wire::Value::U64(4096),
+                ava::wire::Value::Null,
+                ava::wire::Value::U64(1),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, GuestError::PolicyRejected), "{err}");
+}
