@@ -44,9 +44,7 @@ fn bench_wire(c: &mut Criterion) {
 
 fn bench_spec(c: &mut Criterion) {
     c.bench_function("spec/compile_opencl", |b| {
-        b.iter(|| {
-            ava_core::specs::opencl_descriptor(LowerOptions::default()).unwrap()
-        })
+        b.iter(|| ava_core::specs::opencl_descriptor(LowerOptions::default()).unwrap())
     });
 }
 
@@ -92,8 +90,10 @@ fn bench_remoted_call(c: &mut Criterion) {
         TransportKind::SharedMemory,
     );
     let platform = env.client.get_platform_ids().unwrap()[0];
-    let device =
-        env.client.get_device_ids(platform, simcl::DeviceType::All).unwrap()[0];
+    let device = env
+        .client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .unwrap()[0];
     let ctx = env.client.create_context(device).unwrap();
     let queue = env
         .client

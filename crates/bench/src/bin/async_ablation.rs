@@ -38,7 +38,10 @@ fn main() {
     // Unoptimized spec: every call lowered synchronous.
     let env_sync = ava_env(
         scale,
-        LowerOptions { enable_async: false, ..LowerOptions::default() },
+        LowerOptions {
+            enable_async: false,
+            ..LowerOptions::default()
+        },
         default_model(),
         TransportKind::SharedMemory,
     );

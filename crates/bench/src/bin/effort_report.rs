@@ -3,7 +3,9 @@
 //! measurable proxy: how many lines a developer writes (the annotation
 //! spec) versus how much stack CAvA generates and the runtime provides.
 
-use ava_cava::{effort_stats, generate_deploy_manifest, generate_guest_stubs, generate_server_dispatch};
+use ava_cava::{
+    effort_stats, generate_deploy_manifest, generate_guest_stubs, generate_server_dispatch,
+};
 use ava_core::specs;
 use ava_spec::LowerOptions;
 
@@ -35,14 +37,23 @@ fn main() {
         println!("## API `{api}`");
         println!("functions forwarded:            {}", stats.functions);
         println!("  forwarded asynchronously:     {}", stats.async_functions);
-        println!("  recorded for migration:       {}", stats.recorded_functions);
+        println!(
+            "  recorded for migration:       {}",
+            stats.recorded_functions
+        );
         println!("unmodified C header lines:      {}", count_lines(header));
         println!(
             "developer-written spec lines:   {} (annotations only; header is untouched)",
             count_lines(spec_src)
         );
-        println!("generated guest-stub lines:     {}", count_lines(&stub_code));
-        println!("generated server-dispatch:      {}", count_lines(&dispatch_code));
+        println!(
+            "generated guest-stub lines:     {}",
+            count_lines(&stub_code)
+        );
+        println!(
+            "generated server-dispatch:      {}",
+            count_lines(&dispatch_code)
+        );
         println!("generated deploy manifest:      {}", count_lines(&manifest));
         println!();
     }

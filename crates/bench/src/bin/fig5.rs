@@ -116,6 +116,10 @@ fn main() {
         max,
         (max - 1.0) * 100.0
     );
-    println!("# NCS (inception): relative {:.3} ({:.1} %)", inception_rel, (inception_rel - 1.0) * 100.0);
+    println!(
+        "# NCS (inception): relative {:.3} ({:.1} %)",
+        inception_rel,
+        (inception_rel - 1.0) * 100.0
+    );
     println!("# paper: <=16 % overhead, 8 % average (OpenCL); ~1 % (NCS)");
 }

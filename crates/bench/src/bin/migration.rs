@@ -19,7 +19,9 @@ fn main() {
     let buf_mb: usize = 4;
 
     println!("# VM migration cost (Ext-M, §4.3)");
-    println!("# guest state: context + queue + program + kernel + {buffers} x {buf_mb} MiB buffers");
+    println!(
+        "# guest state: context + queue + program + kernel + {buffers} x {buf_mb} MiB buffers"
+    );
     println!();
 
     let source_cl = SimCl::with_devices_and_registry(
@@ -47,7 +49,9 @@ fn main() {
     let platform = client.get_platform_ids().unwrap()[0];
     let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
     let ctx = client.create_context(device).unwrap();
-    let queue = client.create_command_queue(ctx, device, QueueProps::default()).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, QueueProps::default())
+        .unwrap();
     let program = client
         .create_program_with_source(ctx, simcl::kernels::builtins::SOURCE)
         .unwrap();
@@ -74,7 +78,11 @@ fn main() {
 
     let image_bytes: usize = image.buffers.iter().map(|(_, d)| d.len()).sum();
     println!("records replayed:      {}", image.records.len());
-    println!("buffer payloads moved: {} ({:.1} MiB)", image.buffers.len(), image_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "buffer payloads moved: {} ({:.1} MiB)",
+        image.buffers.len(),
+        image_bytes as f64 / (1 << 20) as f64
+    );
     println!("total migration time:  {total_ms:.1} ms");
     println!(
         "effective state bandwidth: {:.1} MiB/s",
@@ -87,8 +95,12 @@ fn main() {
         .enqueue_read_buffer(queue, bufs[0], true, 0, &mut out, &[], false)
         .unwrap();
     assert!(out.iter().all(|&b| b == 0x5A), "payload survived migration");
-    client.set_kernel_arg(kernel, 0, KernelArg::Mem(bufs[0])).unwrap();
-    client.set_kernel_arg(kernel, 1, KernelArg::from_f32(1.0)).unwrap();
+    client
+        .set_kernel_arg(kernel, 0, KernelArg::Mem(bufs[0]))
+        .unwrap();
+    client
+        .set_kernel_arg(kernel, 1, KernelArg::from_f32(1.0))
+        .unwrap();
     client
         .enqueue_nd_range_kernel(queue, kernel, [16, 1, 1], None, &[], false)
         .unwrap();

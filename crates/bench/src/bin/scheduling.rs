@@ -10,20 +10,21 @@ use ava_spec::LowerOptions;
 use ava_transport::{CostModel, TransportKind};
 use ava_workloads::{opencl_workloads, silo_with_all_kernels, ClWorkload, Scale};
 
-fn contend(
-    scheduler: SchedulerKind,
-    policy_a: VmPolicy,
-    policy_b: VmPolicy,
-    label: &str,
-) {
+fn contend(scheduler: SchedulerKind, policy_a: VmPolicy, policy_b: VmPolicy, label: &str) {
     let config = StackConfig {
         transport: TransportKind::SharedMemory,
         cost_model: CostModel::paravirtual(),
         scheduler,
         ..StackConfig::default()
     };
-    let stack =
-        Arc::new(opencl_stack_with(silo_with_all_kernels(Scale::Bench), config, LowerOptions::default()).unwrap());
+    let stack = Arc::new(
+        opencl_stack_with(
+            silo_with_all_kernels(Scale::Bench),
+            config,
+            LowerOptions::default(),
+        )
+        .unwrap(),
+    );
     let (vm_a, lib_a) = stack.attach_vm(policy_a).unwrap();
     let (vm_b, lib_b) = stack.attach_vm(policy_b).unwrap();
 

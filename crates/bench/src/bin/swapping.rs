@@ -52,8 +52,9 @@ fn main() {
         let platform = client.get_platform_ids().unwrap()[0];
         let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
         let ctx = client.create_context(device).unwrap();
-        let queue =
-            client.create_command_queue(ctx, device, QueueProps::default()).unwrap();
+        let queue = client
+            .create_command_queue(ctx, device, QueueProps::default())
+            .unwrap();
         let mut vm_bufs = Vec::new();
         for _ in 0..bufs_per_vm {
             vm_bufs.push(
@@ -100,7 +101,10 @@ fn main() {
     println!("touch phase: read 4 KiB from each of {verified} buffers in {touch_ms:.1} ms");
     for (vm, _, _) in &handles {
         let s = stack.vm_server_stats(*vm).unwrap();
-        println!("  vm {vm}: swap_outs {}  swap_ins {}", s.swap_outs, s.swap_ins);
+        println!(
+            "  vm {vm}: swap_outs {}  swap_ins {}",
+            s.swap_outs, s.swap_ins
+        );
     }
     println!();
     println!("# all contents verified; the guests never saw CL_MEM_OBJECT_ALLOCATION_FAILURE");

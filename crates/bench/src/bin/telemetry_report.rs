@@ -1,0 +1,125 @@
+//! End-to-end telemetry demonstration: runs a Rodinia-style OpenCL
+//! workload through the full AvA stack with a registry attached, then
+//! prints the per-function latency table and the cross-tier span
+//! breakdown (guest-marshal / transport / router-queue / server-execute)
+//! for both the in-process and the TCP transport.
+//!
+//! The segment sums telescope: for each completed sync span they add up
+//! exactly to its guest-observed end-to-end latency, so the "sum /
+//! total" column printed at the bottom is a built-in self-check (it must
+//! be 1.000 up to floating-point rounding).
+//!
+//! Usage: `telemetry_report [--json]`
+
+use ava_bench::row;
+use ava_core::OpenClClient;
+use ava_core::{opencl_stack_with, StackConfig};
+use ava_hypervisor::VmPolicy;
+use ava_spec::LowerOptions;
+use ava_telemetry::Registry;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{opencl_workloads, silo_with_all_kernels, Scale};
+
+fn run_with_transport(kind: TransportKind, json: bool) {
+    let label = match kind {
+        TransportKind::InProcess => "inproc",
+        TransportKind::SharedMemory => "shmem",
+        TransportKind::Tcp => "tcp",
+    };
+    let scale = Scale::Test;
+    let config = StackConfig {
+        transport: kind,
+        cost_model: CostModel::free(),
+        ..StackConfig::default()
+    };
+    let stack = opencl_stack_with(
+        silo_with_all_kernels(scale),
+        config,
+        LowerOptions::default(),
+    )
+    .expect("stack builds");
+    let registry = Registry::new();
+    stack
+        .set_telemetry(registry.clone())
+        .expect("telemetry attaches");
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+    let client = OpenClClient::new(lib);
+
+    for wl in opencl_workloads(scale) {
+        wl.run(&client).expect("workload runs");
+    }
+
+    let snapshot = registry.snapshot();
+    if json {
+        println!("{}", snapshot.render_json());
+        return;
+    }
+
+    println!("== transport: {label} ==");
+    println!();
+
+    // Per-function latency table from the guest-side histograms.
+    let widths = [34, 8, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "function".into(),
+                "count".into(),
+                "p50_us".into(),
+                "p95_us".into(),
+                "p99_us".into(),
+                "max_us".into(),
+            ],
+            &widths
+        )
+    );
+    for (name, hist) in &snapshot.histograms {
+        let Some(fn_name) = name.strip_prefix("guest.call.") else {
+            continue;
+        };
+        let us = |n: u64| n as f64 / 1e3;
+        println!(
+            "{}",
+            row(
+                &[
+                    fn_name.into(),
+                    format!("{}", hist.count),
+                    format!("{:.1}", us(hist.percentile(0.50))),
+                    format!("{:.1}", us(hist.percentile(0.95))),
+                    format!("{:.1}", us(hist.percentile(0.99))),
+                    format!("{:.1}", us(hist.max)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+
+    // Cross-tier breakdown over all completed sync spans.
+    println!("cross-tier breakdown (mean over completed sync spans):");
+    let breakdown = snapshot.segment_breakdown();
+    let mut segment_sum = 0.0;
+    for (segment, mean_ns) in &breakdown {
+        segment_sum += mean_ns;
+        println!("  {segment:<16} {:>10.1} us", mean_ns / 1e3);
+    }
+    let total = snapshot.span_total_mean().unwrap_or(0.0);
+    println!("  {:<16} {:>10.1} us", "e2e total", total / 1e3);
+    if total > 0.0 {
+        println!("  sum / total      {:>10.3}", segment_sum / total);
+    }
+    println!();
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    if !json {
+        println!("# End-to-end telemetry report");
+        println!("# Rodinia-style OpenCL suite, per-call spans across guest -> router -> server");
+        println!();
+    }
+    for kind in [TransportKind::InProcess, TransportKind::Tcp] {
+        run_with_transport(kind, json);
+    }
+}

@@ -20,14 +20,21 @@ fn main() {
     let configs: [(&str, TransportKind, CostModel); 4] = [
         ("inproc_ideal", TransportKind::InProcess, CostModel::free()),
         ("shmem_free", TransportKind::SharedMemory, CostModel::free()),
-        ("shmem_paravirt", TransportKind::SharedMemory, CostModel::paravirtual()),
+        (
+            "shmem_paravirt",
+            TransportKind::SharedMemory,
+            CostModel::paravirtual(),
+        ),
         ("tcp_network", TransportKind::Tcp, CostModel::network()),
     ];
 
     // Microbenchmark: synchronous call round-trip latency (clFinish).
     println!("## Sync call round-trip latency (clFinish on empty queue)");
     let widths = [18, 14];
-    println!("{}", row(&["transport".into(), "latency_us".into()], &widths));
+    println!(
+        "{}",
+        row(&["transport".into(), "latency_us".into()], &widths)
+    );
     for (name, kind, model) in configs.iter() {
         let env = ava_env(Scale::Test, LowerOptions::default(), *model, *kind);
         let platform = env.client.get_platform_ids().expect("platforms")[0];
@@ -68,8 +75,7 @@ fn main() {
     for target in selected {
         let mut cols = vec![target.to_string()];
         for (_, kind, model) in configs.iter() {
-            let env =
-                ava_env_batched(Scale::Bench, LowerOptions::default(), *model, *kind, 16);
+            let env = ava_env_batched(Scale::Bench, LowerOptions::default(), *model, *kind, 16);
             let wl = opencl_workloads(Scale::Bench)
                 .into_iter()
                 .find(|w| w.name() == target)

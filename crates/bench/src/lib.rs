@@ -41,11 +41,7 @@ pub fn time_median_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 /// Times two alternately-executed variants (A/B interleaved to cancel
 /// machine drift) and returns their minimum times in milliseconds. The
 /// minimum is the noise-robust estimator on shared/virtualized hardware.
-pub fn time_pair_min_ms<FA: FnMut(), FB: FnMut()>(
-    reps: usize,
-    mut a: FA,
-    mut b: FB,
-) -> (f64, f64) {
+pub fn time_pair_min_ms<FA: FnMut(), FB: FnMut()>(reps: usize, mut a: FA, mut b: FB) -> (f64, f64) {
     a(); // warmups
     b();
     let mut best_a = f64::INFINITY;

@@ -101,7 +101,13 @@ impl ApiHandler for MvncHandler {
             }
             "mvncCloseDevice" => {
                 let dev = NcDevice(handle(args, 0)?);
-                Ok(status_ret(self.nc.close_device(dev).err().map(|e| e.0).unwrap_or(MVNC_OK)))
+                Ok(status_ret(
+                    self.nc
+                        .close_device(dev)
+                        .err()
+                        .map(|e| e.0)
+                        .unwrap_or(MVNC_OK),
+                ))
             }
             "mvncAllocateGraph" => {
                 let dev = NcDevice(handle(args, 0)?);
@@ -118,7 +124,11 @@ impl ApiHandler for MvncHandler {
             "mvncDeallocateGraph" => {
                 let graph = NcGraph(handle(args, 0)?);
                 Ok(status_ret(
-                    self.nc.deallocate_graph(graph).err().map(|e| e.0).unwrap_or(MVNC_OK),
+                    self.nc
+                        .deallocate_graph(graph)
+                        .err()
+                        .map(|e| e.0)
+                        .unwrap_or(MVNC_OK),
                 ))
             }
             "mvncLoadTensor" => {
@@ -223,7 +233,9 @@ impl ApiHandler for MvncHandler {
                     Err(e) => Ok(status_ret(e.0)),
                 }
             }
-            other => Err(ServerError::Handler(format!("unhandled function `{other}`"))),
+            other => Err(ServerError::Handler(format!(
+                "unhandled function `{other}`"
+            ))),
         }
     }
 

@@ -165,9 +165,9 @@ fn events(args: &[Value], i: usize) -> Result<Vec<ClEvent>> {
         Value::List(items) => items
             .iter()
             .map(|v| {
-                v.as_handle().map(ClEvent).ok_or_else(|| {
-                    ServerError::BadArguments("event list holds non-handle".into())
-                })
+                v.as_handle()
+                    .map(ClEvent)
+                    .ok_or_else(|| ServerError::BadArguments("event list holds non-handle".into()))
             })
             .collect(),
         other => Err(ServerError::BadArguments(format!(
@@ -272,7 +272,8 @@ impl ApiHandler for OpenClHandler {
                         let raw = text.into_bytes();
                         if wants(args, 3) {
                             let n = raw.len().min(cap);
-                            out.outputs.push((3, Value::Bytes(raw[..n].to_vec().into())));
+                            out.outputs
+                                .push((3, Value::Bytes(raw[..n].to_vec().into())));
                         }
                         if wants(args, 4) {
                             out.outputs.push((4, Value::U64(raw.len() as u64)));
@@ -332,7 +333,8 @@ impl ApiHandler for OpenClHandler {
                         let mut out = status_ret(CL_SUCCESS);
                         if wants(args, 3) {
                             let n = raw.len().min(cap);
-                            out.outputs.push((3, Value::Bytes(raw[..n].to_vec().into())));
+                            out.outputs
+                                .push((3, Value::Bytes(raw[..n].to_vec().into())));
                         }
                         if wants(args, 4) {
                             out.outputs.push((4, Value::U64(raw.len() as u64)));
@@ -509,7 +511,8 @@ impl ApiHandler for OpenClHandler {
                         let mut out = status_ret(CL_SUCCESS);
                         if wants(args, 2) {
                             let n = raw.len().min(cap);
-                            out.outputs.push((2, Value::Bytes(raw[..n].to_vec().into())));
+                            out.outputs
+                                .push((2, Value::Bytes(raw[..n].to_vec().into())));
                         }
                         if wants(args, 3) {
                             out.outputs.push((3, Value::U64(raw.len() as u64)));
@@ -619,9 +622,8 @@ impl ApiHandler for OpenClHandler {
             "clEnqueueNDRangeKernel" => {
                 let queue = ClQueue(handle(args, 0)?);
                 let kernel = ClKernel(handle(args, 1)?);
-                let global = size_list(args, 4)?.ok_or_else(|| {
-                    ServerError::BadArguments("global_work_size is NULL".into())
-                })?;
+                let global = size_list(args, 4)?
+                    .ok_or_else(|| ServerError::BadArguments("global_work_size is NULL".into()))?;
                 let local = size_list(args, 5)?;
                 let wait = events(args, 7)?;
                 let want_event = wants(args, 8);
@@ -671,9 +673,9 @@ impl ApiHandler for OpenClHandler {
                 let wait = events(args, 7)?;
                 let want_event = wants(args, 8);
                 let mut data = vec![0u8; size];
-                match cl.enqueue_read_buffer(
-                    queue, mem, blocking, offset, &mut data, &wait, want_event,
-                ) {
+                match cl
+                    .enqueue_read_buffer(queue, mem, blocking, offset, &mut data, &wait, want_event)
+                {
                     Ok(ev) => {
                         let mut out = status_ret(CL_SUCCESS);
                         out.outputs.push((5, Value::Bytes(data.into())));
@@ -694,9 +696,8 @@ impl ApiHandler for OpenClHandler {
                 let data = bytes(args, 5)?;
                 let wait = events(args, 7)?;
                 let want_event = wants(args, 8);
-                match cl.enqueue_write_buffer(
-                    queue, mem, blocking, offset, data, &wait, want_event,
-                ) {
+                match cl.enqueue_write_buffer(queue, mem, blocking, offset, data, &wait, want_event)
+                {
                     Ok(ev) => {
                         let mut out = status_ret(CL_SUCCESS);
                         if let Some(ev) = ev {
@@ -791,7 +792,9 @@ impl ApiHandler for OpenClHandler {
                 out.destroyed = Some(died);
                 Ok(out)
             }
-            other => Err(ServerError::Handler(format!("unhandled function `{other}`"))),
+            other => Err(ServerError::Handler(format!(
+                "unhandled function `{other}`"
+            ))),
         }
     }
 

@@ -64,10 +64,7 @@ impl MvncApi for MvncClient {
     }
 
     fn open_device(&self, name: &str) -> NcResult<NcDevice> {
-        let r = self.call(
-            "mvncOpenDevice",
-            vec![Value::Str(name.to_string()), WANT],
-        )?;
+        let r = self.call("mvncOpenDevice", vec![Value::Str(name.to_string()), WANT])?;
         Self::status(&r)?;
         r.output(1)
             .and_then(Value::as_handle)
@@ -118,13 +115,7 @@ impl MvncApi for MvncClient {
         let cap = 1 << 20;
         let r = self.call(
             "mvncGetResult",
-            vec![
-                Value::Handle(graph.0),
-                WANT,
-                Value::U32(cap),
-                WANT,
-                WANT,
-            ],
+            vec![Value::Handle(graph.0), WANT, Value::U32(cap), WANT, WANT],
         )?;
         Self::status(&r)?;
         let data = r
@@ -132,16 +123,14 @@ impl MvncApi for MvncClient {
             .and_then(Value::as_bytes)
             .ok_or(NcError(MVNC_ERROR))?
             .to_vec();
-        let user_param = r.output(4).and_then(Value::as_u64).ok_or(NcError(MVNC_ERROR))?;
+        let user_param = r
+            .output(4)
+            .and_then(Value::as_u64)
+            .ok_or(NcError(MVNC_ERROR))?;
         Ok((data, user_param))
     }
 
-    fn set_graph_option(
-        &self,
-        graph: NcGraph,
-        option: GraphOption,
-        value: u64,
-    ) -> NcResult<()> {
+    fn set_graph_option(&self, graph: NcGraph, option: GraphOption, value: u64) -> NcResult<()> {
         let opt = match option {
             GraphOption::DontBlock => code::MVNC_DONT_BLOCK,
             GraphOption::TimeTaken => code::MVNC_TIME_TAKEN,
@@ -162,7 +151,9 @@ impl MvncApi for MvncClient {
             vec![Value::Handle(graph.0), Value::I32(opt), WANT],
         )?;
         Self::status(&r)?;
-        r.output(2).and_then(Value::as_u64).ok_or(NcError(MVNC_ERROR))
+        r.output(2)
+            .and_then(Value::as_u64)
+            .ok_or(NcError(MVNC_ERROR))
     }
 
     fn set_device_option(
@@ -191,6 +182,8 @@ impl MvncApi for MvncClient {
             vec![Value::Handle(device.0), Value::I32(opt), WANT],
         )?;
         Self::status(&r)?;
-        r.output(2).and_then(Value::as_u64).ok_or(NcError(MVNC_ERROR))
+        r.output(2)
+            .and_then(Value::as_u64)
+            .ok_or(NcError(MVNC_ERROR))
     }
 }

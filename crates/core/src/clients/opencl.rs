@@ -52,7 +52,9 @@ impl OpenClClient {
     }
 
     fn call(&self, name: &str, args: Vec<Value>) -> ClResult<CallResult> {
-        self.lib.call(name, args).map_err(|_| ClError(CL_OUT_OF_RESOURCES))
+        self.lib
+            .call(name, args)
+            .map_err(|_| ClError(CL_OUT_OF_RESOURCES))
     }
 
     /// Checks a status-returning call.
@@ -101,12 +103,7 @@ impl OpenClClient {
     }
 
     /// The two-call info idiom shared by all Get*Info entry points.
-    fn get_info_raw(
-        &self,
-        fn_name: &str,
-        subject: u64,
-        param: u32,
-    ) -> ClResult<Vec<u8>> {
+    fn get_info_raw(&self, fn_name: &str, subject: u64, param: u32) -> ClResult<Vec<u8>> {
         // First call: ask for the value size.
         let r = self.call(
             fn_name,
@@ -156,10 +153,7 @@ impl OpenClClient {
 
 impl ClApi for OpenClClient {
     fn get_platform_ids(&self) -> ClResult<Vec<ClPlatform>> {
-        let r = self.call(
-            "clGetPlatformIDs",
-            vec![Value::U32(0), Value::Null, WANT],
-        )?;
+        let r = self.call("clGetPlatformIDs", vec![Value::U32(0), Value::Null, WANT])?;
         Self::status(&r)?;
         let count = Self::out_u64(&r, 2)?;
         let r = self.call(
@@ -178,11 +172,7 @@ impl ClApi for OpenClClient {
             .collect())
     }
 
-    fn get_platform_info(
-        &self,
-        platform: ClPlatform,
-        info: PlatformInfo,
-    ) -> ClResult<String> {
+    fn get_platform_info(&self, platform: ClPlatform, info: PlatformInfo) -> ClResult<String> {
         let param = match info {
             PlatformInfo::Name => code::CL_PLATFORM_NAME,
             PlatformInfo::Vendor => code::CL_PLATFORM_VENDOR,
@@ -192,11 +182,7 @@ impl ClApi for OpenClClient {
         String::from_utf8(raw).map_err(|_| ClError(CL_OUT_OF_RESOURCES))
     }
 
-    fn get_device_ids(
-        &self,
-        platform: ClPlatform,
-        ty: DeviceType,
-    ) -> ClResult<Vec<ClDevice>> {
+    fn get_device_ids(&self, platform: ClPlatform, ty: DeviceType) -> ClResult<Vec<ClDevice>> {
         let ty_bits = match ty {
             DeviceType::All => code::CL_DEVICE_TYPE_ALL,
             DeviceType::Gpu => code::CL_DEVICE_TYPE_GPU,
@@ -229,7 +215,11 @@ impl ClApi for OpenClClient {
             .output(3)
             .and_then(Value::as_list)
             .ok_or(ClError(CL_OUT_OF_RESOURCES))?;
-        Ok(list.iter().filter_map(Value::as_handle).map(ClDevice).collect())
+        Ok(list
+            .iter()
+            .filter_map(Value::as_handle)
+            .map(ClDevice)
+            .collect())
     }
 
     fn get_device_info(&self, device: ClDevice, info: DeviceInfo) -> ClResult<InfoValue> {
@@ -248,8 +238,7 @@ impl ClApi for OpenClClient {
                 String::from_utf8(raw).map_err(|_| ClError(CL_OUT_OF_RESOURCES))?,
             ))
         } else {
-            let arr: [u8; 8] =
-                raw.try_into().map_err(|_| ClError(CL_OUT_OF_RESOURCES))?;
+            let arr: [u8; 8] = raw.try_into().map_err(|_| ClError(CL_OUT_OF_RESOURCES))?;
             Ok(InfoValue::UInt(u64::from_le_bytes(arr)))
         }
     }
@@ -260,9 +249,9 @@ impl ClApi for OpenClClient {
             vec![
                 Value::U32(1),
                 Value::List(vec![Value::Handle(device.0)]),
-                Value::Null,    // pfn_notify
-                Value::U64(0),  // user_data (opaque)
-                WANT,           // errcode_ret
+                Value::Null,   // pfn_notify
+                Value::U64(0), // user_data (opaque)
+                WANT,          // errcode_ret
             ],
         )?;
         Self::created(&r, 4).map(ClContext)
@@ -372,11 +361,7 @@ impl ClApi for OpenClClient {
         Ok(Self::out_u64(&r, 1)? as usize)
     }
 
-    fn create_program_with_source(
-        &self,
-        context: ClContext,
-        source: &str,
-    ) -> ClResult<ClProgram> {
+    fn create_program_with_source(&self, context: ClContext, source: &str) -> ClResult<ClProgram> {
         let r = self.call(
             "clCreateProgramWithSource",
             vec![
@@ -411,7 +396,12 @@ impl ClApi for OpenClClient {
         let size = Self::out_u64(&r, 3)?;
         let r = self.call(
             "clGetProgramBuildInfo",
-            vec![Value::Handle(program.0), Value::U64(size), WANT, Value::Null],
+            vec![
+                Value::Handle(program.0),
+                Value::U64(size),
+                WANT,
+                Value::Null,
+            ],
         )?;
         Self::status(&r)?;
         String::from_utf8(Self::out_bytes(&r, 2)?.to_vec())
@@ -429,11 +419,7 @@ impl ClApi for OpenClClient {
     fn create_kernel(&self, program: ClProgram, name: &str) -> ClResult<ClKernel> {
         let r = self.call(
             "clCreateKernel",
-            vec![
-                Value::Handle(program.0),
-                Value::Str(name.to_string()),
-                WANT,
-            ],
+            vec![Value::Handle(program.0), Value::Str(name.to_string()), WANT],
         )?;
         Self::created(&r, 2).map(ClKernel)
     }
@@ -459,15 +445,14 @@ impl ClApi for OpenClClient {
             .output(2)
             .and_then(Value::as_list)
             .ok_or(ClError(CL_OUT_OF_RESOURCES))?;
-        Ok(list.iter().filter_map(Value::as_handle).map(ClKernel).collect())
+        Ok(list
+            .iter()
+            .filter_map(Value::as_handle)
+            .map(ClKernel)
+            .collect())
     }
 
-    fn set_kernel_arg(
-        &self,
-        kernel: ClKernel,
-        index: u32,
-        arg: KernelArg,
-    ) -> ClResult<()> {
+    fn set_kernel_arg(&self, kernel: ClKernel, index: u32, arg: KernelArg) -> ClResult<()> {
         let r = match arg {
             KernelArg::Mem(mem) => self.call(
                 "clSetKernelArgMem",
@@ -498,11 +483,7 @@ impl ClApi for OpenClClient {
         Self::status(&r)
     }
 
-    fn get_kernel_work_group_info(
-        &self,
-        kernel: ClKernel,
-        device: ClDevice,
-    ) -> ClResult<usize> {
+    fn get_kernel_work_group_info(&self, kernel: ClKernel, device: ClDevice) -> ClResult<usize> {
         let r = self.call(
             "clGetKernelWorkGroupInfo",
             vec![Value::Handle(kernel.0), Value::Handle(device.0), WANT],

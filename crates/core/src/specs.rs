@@ -7,9 +7,7 @@
 
 use std::sync::Arc;
 
-use ava_spec::{
-    compile_spec, ApiDescriptor, LowerOptions, MapResolver, Result,
-};
+use ava_spec::{compile_spec, ApiDescriptor, LowerOptions, MapResolver, Result};
 
 /// The unmodified OpenCL subset header (`specs/CL/cl.h`).
 pub const OPENCL_HEADER: &str = include_str!("../../../specs/CL/cl.h");

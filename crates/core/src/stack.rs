@@ -15,6 +15,7 @@ use ava_guest::{GuestConfig, GuestLibrary};
 use ava_hypervisor::{Hypervisor, HypervisorError, SchedulerKind, VmPolicy, VmStats};
 use ava_server::{ApiHandler, ApiServer, MigrationImage, ServerStats};
 use ava_spec::ApiDescriptor;
+use ava_telemetry::{Registry, Telemetry};
 use ava_transport::{CostModel, Transport, TransportError, TransportKind};
 use ava_wire::VmId;
 use parking_lot::Mutex;
@@ -108,9 +109,7 @@ impl VmRuntime {
         self.thread = Some(
             std::thread::Builder::new()
                 .name("ava-api-server".into())
-                .spawn(move ||
-
- serve_loop(&server, transport.as_ref(), &stop))
+                .spawn(move || serve_loop(&server, transport.as_ref(), &stop))
                 .expect("spawn API server thread"),
         );
     }
@@ -149,6 +148,7 @@ pub struct ApiStack {
     config: StackConfig,
     handler_factory: Box<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
     vms: Mutex<HashMap<VmId, VmRuntime>>,
+    telemetry: Mutex<Telemetry>,
 }
 
 impl ApiStack {
@@ -165,7 +165,24 @@ impl ApiStack {
             config,
             handler_factory: Box::new(handler_factory),
             vms: Mutex::new(HashMap::new()),
+            telemetry: Mutex::new(Telemetry::disabled()),
         }
+    }
+
+    /// Attaches a unified telemetry registry to every tier: router counters
+    /// and span stamps, plus guest/server/transport instrumentation for
+    /// each VM attached from now on. Call before [`ApiStack::attach_vm`].
+    pub fn set_telemetry(&self, registry: Registry) -> Result<()> {
+        let telemetry = Telemetry::new(registry);
+        *self.telemetry.lock() = telemetry.clone();
+        self.hypervisor.set_telemetry(telemetry)?;
+        Ok(())
+    }
+
+    /// Renders the attached registry as a text report; `None` when
+    /// telemetry was never attached.
+    pub fn telemetry_report(&self) -> Option<String> {
+        self.telemetry.lock().report()
     }
 
     /// The API descriptor this stack serves.
@@ -184,7 +201,15 @@ impl ApiStack {
         let conn = self
             .hypervisor
             .add_vm(policy, self.config.transport, self.config.cost_model)?;
-        let server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        let telemetry = self.telemetry.lock().with_vm(conn.vm_id);
+        let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        server.set_telemetry(telemetry.clone());
+        if let Some(registry) = telemetry.registry() {
+            conn.guest
+                .register_telemetry(registry, &format!("vm{}.guest", conn.vm_id));
+            conn.server
+                .register_telemetry(registry, &format!("vm{}.server", conn.vm_id));
+        }
         let mut runtime = VmRuntime {
             stop: Arc::new(AtomicBool::new(true)),
             thread: None,
@@ -193,12 +218,10 @@ impl ApiStack {
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
-        let lib = Arc::new(GuestLibrary::new(
-            Arc::clone(&self.descriptor),
-            conn.guest,
-            self.config.guest,
-        ));
-        Ok((conn.vm_id, lib))
+        let mut lib =
+            GuestLibrary::new(Arc::clone(&self.descriptor), conn.guest, self.config.guest);
+        lib.attach_telemetry(telemetry);
+        Ok((conn.vm_id, Arc::new(lib)))
     }
 
     /// Router-side statistics for a VM.
@@ -240,7 +263,8 @@ impl ApiStack {
         F: FnOnce() -> Box<dyn ApiHandler>,
     {
         self.hypervisor.pause_vm(vm)?;
-        self.hypervisor.wait_quiescent(vm, Duration::from_secs(30))?;
+        self.hypervisor
+            .wait_quiescent(vm, Duration::from_secs(30))?;
 
         let mut vms = self.vms.lock();
         let runtime = vms.get_mut(&vm).ok_or(StackError::UnknownVm(vm))?;
@@ -253,8 +277,9 @@ impl ApiStack {
             image
         };
 
-        let restored =
+        let mut restored =
             ApiServer::restore(Arc::clone(&self.descriptor), target_handler(), &image)?;
+        restored.set_telemetry(self.telemetry.lock().with_vm(vm));
         runtime.server = Arc::new(Mutex::new(restored));
         runtime.spawn();
         drop(vms);

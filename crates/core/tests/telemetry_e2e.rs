@@ -1,0 +1,205 @@
+//! End-to-end telemetry tests: a real workload through the full stack
+//! with a registry attached, checking that cross-tier spans are coherent
+//! and that the four replaced stats structs still agree with the registry.
+
+use ava_core::{opencl_stack, OpenClClient, StackConfig};
+use ava_hypervisor::VmPolicy;
+use ava_telemetry::Registry;
+use ava_transport::{CostModel, TransportKind};
+use simcl::types::*;
+use simcl::{ClApi, SimCl};
+
+fn fast_config() -> StackConfig {
+    StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::free(),
+        ..StackConfig::default()
+    }
+}
+
+/// A small vector-add pipeline (sync-heavy: every buffer read is sync).
+fn run_workload(api: &dyn ClApi, n: usize) {
+    let platform = api.get_platform_ids().unwrap()[0];
+    let device = api.get_device_ids(platform, DeviceType::Gpu).unwrap()[0];
+    let ctx = api.create_context(device).unwrap();
+    let queue = api
+        .create_command_queue(ctx, device, QueueProps { profiling: false })
+        .unwrap();
+    let program = api
+        .create_program_with_source(ctx, simcl::kernels::builtins::SOURCE)
+        .unwrap();
+    api.build_program(program, "").unwrap();
+    let kernel = api.create_kernel(program, "saxpy").unwrap();
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let bx = api
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&x)),
+        )
+        .unwrap();
+    let by = api
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&x)),
+        )
+        .unwrap();
+    api.set_kernel_arg(kernel, 0, KernelArg::Mem(bx)).unwrap();
+    api.set_kernel_arg(kernel, 1, KernelArg::Mem(by)).unwrap();
+    api.set_kernel_arg(kernel, 2, KernelArg::from_f32(2.0))
+        .unwrap();
+    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32))
+        .unwrap();
+    api.enqueue_nd_range_kernel(queue, kernel, [n, 1, 1], None, &[], false)
+        .unwrap();
+    let mut out = vec![0u8; 4 * n];
+    api.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false)
+        .unwrap();
+    api.finish(queue).unwrap();
+}
+
+#[test]
+fn spans_are_stage_ordered_and_tiers_agree() {
+    let stack = opencl_stack(SimCl::new(), fast_config()).unwrap();
+    let registry = Registry::new();
+    stack.set_telemetry(registry.clone()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    run_workload(&client, 256);
+
+    let snapshot = registry.snapshot();
+    let full: Vec<_> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.guest_start.is_some())
+        .collect();
+    assert!(
+        full.len() >= 5,
+        "expected several completed sync spans, got {}",
+        full.len()
+    );
+    for span in &full {
+        // Each tier stamped its stage in lifecycle order.
+        assert!(span.stages_ordered(), "stages out of order: {span:?}");
+        let q = span.queued.expect("router stamped Queued");
+        let f = span.forwarded.expect("router stamped Forwarded");
+        let x = span.executed.expect("server stamped Executed");
+        let r = span.replied.expect("router stamped Replied");
+        assert!(q <= f && f <= x && x <= r, "{span:?}");
+        // Guest and server describe the same wire call.
+        assert_eq!(
+            span.fn_id, span.server_fn_id,
+            "guest and server disagree on what call {} was",
+            span.call_id
+        );
+        // Telescoping segments: the six deltas sum exactly to the total.
+        let segments: u64 = [
+            span.guest_marshal(),
+            span.transport_out(),
+            span.router_queue(),
+            span.server_execute(),
+            span.reply_path(),
+            span.transport_back(),
+        ]
+        .iter()
+        .map(|s| s.expect("full span has every segment"))
+        .sum();
+        assert_eq!(Some(segments), span.total());
+    }
+    // No span leaked in the active table (every sync call completed).
+    assert_eq!(registry.spans().active_len(), 0);
+}
+
+#[test]
+fn registry_counters_match_legacy_stats_views() {
+    let stack = opencl_stack(SimCl::new(), fast_config()).unwrap();
+    let registry = Registry::new();
+    stack.set_telemetry(registry.clone()).unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib.clone());
+    run_workload(&client, 128);
+
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| *snapshot.counters.get(name).unwrap_or(&0);
+
+    let guest = lib.stats();
+    assert_eq!(
+        counter(&format!("guest.vm{vm}.sync_calls")),
+        guest.sync_calls
+    );
+    assert_eq!(
+        counter(&format!("guest.vm{vm}.async_calls")),
+        guest.async_calls
+    );
+
+    let router = stack.vm_router_stats(vm).unwrap();
+    assert_eq!(
+        counter(&format!("router.vm{vm}.forwarded")),
+        router.forwarded
+    );
+    assert_eq!(counter(&format!("router.vm{vm}.replies")), router.replies);
+
+    let server = stack.vm_server_stats(vm).unwrap();
+    assert_eq!(counter(&format!("server.vm{vm}.calls")), server.calls);
+
+    // Per-function histograms exist for the sync entry points.
+    assert!(snapshot
+        .histograms
+        .keys()
+        .any(|k| k.starts_with("guest.call.")));
+    assert!(snapshot
+        .histograms
+        .keys()
+        .any(|k| k.starts_with("server.execute.")));
+
+    // The rendered report mentions every tier.
+    let report = stack.telemetry_report().unwrap();
+    for tier in ["guest.", "router.", "server.", "transport."] {
+        assert!(report.contains(tier), "report is missing {tier}*: {report}");
+    }
+}
+
+#[test]
+fn take_resets_counters_and_spans() {
+    let stack = opencl_stack(SimCl::new(), fast_config()).unwrap();
+    let registry = Registry::new();
+    stack.set_telemetry(registry.clone()).unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib.clone());
+    run_workload(&client, 64);
+
+    let first = registry.take();
+    assert!(
+        *first
+            .counters
+            .get(&format!("guest.vm{vm}.sync_calls"))
+            .unwrap()
+            > 0
+    );
+    assert!(!first.spans.is_empty());
+
+    // After take, every shared cell reads zero — including the thin
+    // snapshot views the components expose.
+    let drained = registry.snapshot();
+    assert!(drained.counters.values().all(|v| *v == 0));
+    assert!(drained.spans.is_empty());
+    assert_eq!(lib.stats().sync_calls, 0);
+    assert_eq!(stack.vm_server_stats(vm).unwrap().calls, 0);
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    // No set_telemetry call: the stack runs exactly as before and exposes
+    // no report.
+    let stack = opencl_stack(SimCl::new(), fast_config()).unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib.clone());
+    run_workload(&client, 64);
+    assert!(stack.telemetry_report().is_none());
+    assert!(lib.telemetry_report().is_none());
+    assert!(lib.stats().sync_calls > 0);
+    assert!(stack.vm_router_stats(vm).unwrap().forwarded > 0);
+}

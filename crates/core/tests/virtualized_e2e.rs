@@ -34,19 +34,32 @@ fn run_saxpy(api: &dyn ClApi, n: usize) -> Vec<f32> {
     let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let y: Vec<f32> = vec![10.0; n];
     let bx = api
-        .create_buffer(ctx, MemFlags::read_only(), 4 * n, Some(&simcl::mem::f32_to_bytes(&x)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&x)),
+        )
         .unwrap();
     let by = api
-        .create_buffer(ctx, MemFlags::read_write(), 4 * n, Some(&simcl::mem::f32_to_bytes(&y)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&y)),
+        )
         .unwrap();
     api.set_kernel_arg(kernel, 0, KernelArg::Mem(bx)).unwrap();
     api.set_kernel_arg(kernel, 1, KernelArg::Mem(by)).unwrap();
-    api.set_kernel_arg(kernel, 2, KernelArg::from_f32(3.0)).unwrap();
-    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32)).unwrap();
+    api.set_kernel_arg(kernel, 2, KernelArg::from_f32(3.0))
+        .unwrap();
+    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32))
+        .unwrap();
     api.enqueue_nd_range_kernel(queue, kernel, [n, 1, 1], None, &[], false)
         .unwrap();
     let mut out = vec![0u8; 4 * n];
-    api.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false).unwrap();
+    api.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false)
+        .unwrap();
 
     // Exercise teardown through the remoting path too.
     api.release_kernel(kernel).unwrap();
@@ -98,13 +111,17 @@ fn device_info_strings_cross_the_wire() {
     let client = OpenClClient::new(lib);
     let platform = client.get_platform_ids().unwrap()[0];
     assert_eq!(
-        client.get_platform_info(platform, PlatformInfo::Name).unwrap(),
+        client
+            .get_platform_info(platform, PlatformInfo::Name)
+            .unwrap(),
         "AvA SimCL"
     );
     let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
     let name = client.get_device_info(device, DeviceInfo::Name).unwrap();
     assert!(name.as_str().unwrap().contains("GTX 1080"));
-    let wg = client.get_device_info(device, DeviceInfo::MaxWorkGroupSize).unwrap();
+    let wg = client
+        .get_device_info(device, DeviceInfo::MaxWorkGroupSize)
+        .unwrap();
     assert_eq!(wg.as_u64().unwrap(), 1024);
 }
 
@@ -117,7 +134,9 @@ fn api_errors_cross_faithfully() {
     let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
     let ctx = client.create_context(device).unwrap();
     // Zero-sized buffer must produce CL_INVALID_BUFFER_SIZE (-61) exactly.
-    let err = client.create_buffer(ctx, MemFlags::read_write(), 0, None).unwrap_err();
+    let err = client
+        .create_buffer(ctx, MemFlags::read_write(), 0, None)
+        .unwrap_err();
     assert_eq!(err.0, simcl::status::CL_INVALID_BUFFER_SIZE);
     // Unknown kernel name produces CL_INVALID_PROGRAM_EXECUTABLE (not
     // built) first.
@@ -159,7 +178,9 @@ fn handles_from_one_vm_are_invalid_in_another() {
     let ctx_a = a.create_context(device).unwrap();
     // VM B presents VM A's wire handle: its own server has no entry for
     // it, so the call must fail rather than touch A's object.
-    let err = b.create_buffer(ctx_a, MemFlags::read_write(), 64, None).unwrap_err();
+    let err = b
+        .create_buffer(ctx_a, MemFlags::read_write(), 64, None)
+        .unwrap_err();
     assert_eq!(err.0, simcl::status::CL_OUT_OF_RESOURCES);
 }
 
@@ -205,7 +226,9 @@ fn vm_migration_moves_state_to_second_host() {
     assert_eq!(out, payload);
 
     // The kernel object also survived replay: set args and run on target.
-    client.set_kernel_arg(kernel, 0, KernelArg::Mem(buf)).unwrap();
+    client
+        .set_kernel_arg(kernel, 0, KernelArg::Mem(buf))
+        .unwrap();
     client
         .set_kernel_arg(kernel, 1, KernelArg::from_f32(1.0))
         .unwrap();
@@ -239,12 +262,22 @@ fn buffer_swapping_under_device_memory_pressure() {
         .create_buffer(ctx, MemFlags::read_write(), half_mb, Some(&marker_a))
         .unwrap();
     let b = client
-        .create_buffer(ctx, MemFlags::read_write(), half_mb, Some(&vec![0xBBu8; half_mb]))
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            half_mb,
+            Some(&vec![0xBBu8; half_mb]),
+        )
         .unwrap();
     // Third allocation exceeds device memory: AvA swaps the LRU buffer
     // (a) to host memory instead of surfacing OOM to the guest (§4.3).
     let c = client
-        .create_buffer(ctx, MemFlags::read_write(), half_mb, Some(&vec![0xCCu8; half_mb]))
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            half_mb,
+            Some(&vec![0xCCu8; half_mb]),
+        )
         .unwrap();
     let stats = stack.vm_server_stats(vm).unwrap();
     assert_eq!(stats.swap_outs, 1, "one buffer must have been evicted");
@@ -315,9 +348,7 @@ fn router_observes_all_traffic() {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     let stats = loop {
         let stats = stack.vm_router_stats(vm).unwrap();
-        if stats.forwarded + stats.rejected >= expected
-            || std::time::Instant::now() > deadline
-        {
+        if stats.forwarded + stats.rejected >= expected || std::time::Instant::now() > deadline {
             break stats;
         }
         std::thread::sleep(std::time::Duration::from_millis(2));

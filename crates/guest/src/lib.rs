@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ava_spec::{ApiDescriptor, ElemKind, FunctionDesc, RetDesc, ScalarKind, Transfer};
+use ava_telemetry::{Counter, Stage, Telemetry};
 use ava_transport::BoxedTransport;
 use ava_wire::{CallId, CallMode, CallRequest, FnId, Message, ReplyStatus, Value};
 use parking_lot::Mutex;
@@ -82,7 +83,40 @@ struct Inner {
     deferred_error: Option<Value>,
     /// Batched (not yet sent) async calls.
     batch: Vec<CallRequest>,
-    stats: GuestStats,
+}
+
+/// Registry-shareable storage behind [`GuestStats`].
+#[derive(Default)]
+struct GuestCounters {
+    sync_calls: Counter,
+    async_calls: Counter,
+    batched_calls: Counter,
+    deferred_errors_delivered: Counter,
+}
+
+impl GuestCounters {
+    fn snapshot(&self) -> GuestStats {
+        GuestStats {
+            sync_calls: self.sync_calls.get(),
+            async_calls: self.async_calls.get(),
+            batched_calls: self.batched_calls.get(),
+            deferred_errors_delivered: self.deferred_errors_delivered.get(),
+        }
+    }
+
+    fn register_into(&self, telemetry: &Telemetry) {
+        let Some(registry) = telemetry.registry() else {
+            return;
+        };
+        let vm = telemetry.vm();
+        registry.register_counter(&format!("guest.vm{vm}.sync_calls"), &self.sync_calls);
+        registry.register_counter(&format!("guest.vm{vm}.async_calls"), &self.async_calls);
+        registry.register_counter(&format!("guest.vm{vm}.batched_calls"), &self.batched_calls);
+        registry.register_counter(
+            &format!("guest.vm{vm}.deferred_errors_delivered"),
+            &self.deferred_errors_delivered,
+        );
+    }
 }
 
 /// The descriptor-driven guest library runtime.
@@ -90,6 +124,8 @@ pub struct GuestLibrary {
     desc: Arc<ApiDescriptor>,
     transport: BoxedTransport,
     config: GuestConfig,
+    counters: GuestCounters,
+    telemetry: Telemetry,
     inner: Mutex<Inner>,
 }
 
@@ -100,12 +136,13 @@ impl GuestLibrary {
             desc,
             transport,
             config,
+            counters: GuestCounters::default(),
+            telemetry: Telemetry::disabled(),
             inner: Mutex::new(Inner {
                 next_call_id: 1,
                 pending: HashMap::new(),
                 deferred_error: None,
                 batch: Vec::new(),
-                stats: GuestStats::default(),
             }),
         }
     }
@@ -115,9 +152,32 @@ impl GuestLibrary {
         &self.desc
     }
 
+    /// Attaches a telemetry handle (tagged with this guest's VM id via
+    /// [`Telemetry::with_vm`]): the [`GuestStats`] counters register into
+    /// the shared registry, sync calls get cross-tier spans, and per-call
+    /// latency lands in `guest.call.<fn>` histograms. Call before sharing
+    /// the library; the attached endpoint's transport counters are
+    /// registered by the stack that owns it.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters.register_into(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`GuestLibrary::attach_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Renders the attached registry as a text report; `None` when
+    /// telemetry is disabled.
+    pub fn telemetry_report(&self) -> Option<String> {
+        self.telemetry.report()
+    }
+
     /// Guest-side behaviour counters.
     pub fn stats(&self) -> GuestStats {
-        self.inner.lock().stats
+        self.counters.snapshot()
     }
 
     /// Invokes `name` with wire-form arguments.
@@ -139,6 +199,10 @@ impl GuestLibrary {
     /// Invokes a function by descriptor (used by generated clients that
     /// cache descriptors).
     pub fn call_fn(&self, func: &FunctionDesc, args: Vec<Value>) -> Result<CallResult> {
+        // Captured before the call id exists; stamped as GuestStart once it
+        // does, so the span covers marshal/verify work too.
+        let entry_nanos = self.telemetry.now_nanos();
+
         self.verify_args(func, &args)?;
 
         let env = self.desc.env_for(func, &args);
@@ -154,12 +218,17 @@ impl GuestLibrary {
         inner.next_call_id += 1;
 
         if !is_sync {
-            inner.stats.async_calls += 1;
+            self.counters.async_calls.inc();
             inner.pending.insert(call_id, func.id);
-            let req = CallRequest { call_id, fn_id: func.id, mode: CallMode::Async, args };
+            let req = CallRequest {
+                call_id,
+                fn_id: func.id,
+                mode: CallMode::Async,
+                args,
+            };
             if self.config.batch_max > 0 {
                 inner.batch.push(req);
-                inner.stats.batched_calls += 1;
+                self.counters.batched_calls.inc();
                 if inner.batch.len() >= self.config.batch_max {
                     self.flush_batch(&mut inner)?;
                 }
@@ -168,33 +237,67 @@ impl GuestLibrary {
                     .send(&Message::Call(req))
                     .map_err(|e| GuestError::Transport(e.to_string()))?;
             }
+            // Async calls get no span (success replies are suppressed, so
+            // the span could never complete) — only the immediate-return
+            // latency the application observes.
+            if self.telemetry.enabled() {
+                let spent = self.telemetry.now_nanos().saturating_sub(entry_nanos);
+                self.telemetry
+                    .record_hist(&format!("guest.call.{}", func.name), spent);
+            }
             // Synthesize the success value immediately.
             let ret = synthesized_success(func);
-            return Ok(CallResult { ret, outputs: Vec::new() });
+            return Ok(CallResult {
+                ret,
+                outputs: Vec::new(),
+            });
         }
 
         // Synchronous path: flush any batched work first so ordering holds.
-        inner.stats.sync_calls += 1;
+        self.counters.sync_calls.inc();
         self.flush_batch(&mut inner)?;
-        let req = CallRequest { call_id, fn_id: func.id, mode: CallMode::Sync, args };
-        self.transport
-            .send(&Message::Call(req))
-            .map_err(|e| GuestError::Transport(e.to_string()))?;
+        let req = CallRequest {
+            call_id,
+            fn_id: func.id,
+            mode: CallMode::Sync,
+            args,
+        };
+        self.telemetry
+            .span_stage_at(call_id, Stage::GuestStart, entry_nanos, Some(func.id));
+        // Stamped before the send: `send` blocks on modelled sender
+        // overhead, so the router may ingest (Queued) before it returns —
+        // stamping after would break sent ≤ queued monotonicity.
+        self.telemetry.span_stage(call_id, Stage::Sent, None);
+        if let Err(e) = self.transport.send(&Message::Call(req)) {
+            self.telemetry.span_abandon(call_id);
+            return Err(GuestError::Transport(e.to_string()));
+        }
 
         // Collect replies until ours arrives, consuming async failure
         // replies on the way (the in-order server guarantees they precede
         // ours; successful async calls are reply-suppressed).
         let reply = loop {
-            let msg = self
-                .transport
-                .recv()
-                .map_err(|e| GuestError::Transport(e.to_string()))?;
+            let msg = match self.transport.recv() {
+                Ok(m) => m,
+                Err(e) => {
+                    self.telemetry.span_abandon(call_id);
+                    return Err(GuestError::Transport(e.to_string()));
+                }
+            };
             match msg {
                 Message::Reply(rep) if rep.call_id == call_id => break rep,
                 Message::Reply(rep) => self.consume_async_reply(&mut inner, rep),
                 _ => {}
             }
         };
+        // Close the span before the status branches below: rejected calls
+        // still completed a full round trip worth measuring.
+        self.telemetry.span_stage(call_id, Stage::GuestEnd, None);
+        if self.telemetry.enabled() {
+            let spent = self.telemetry.now_nanos().saturating_sub(entry_nanos);
+            self.telemetry
+                .record_hist(&format!("guest.call.{}", func.name), spent);
+        }
         // The server processes in order, so every async call sent before
         // this sync call has completed; forget its bookkeeping.
         inner.pending.retain(|id, _| *id > call_id);
@@ -216,12 +319,15 @@ impl GuestLibrary {
         if let Some(deferred) = inner.deferred_error.take() {
             if matches!(func.ret, RetDesc::Status { .. }) && ret_is_success(func, &ret) {
                 ret = deferred;
-                inner.stats.deferred_errors_delivered += 1;
+                self.counters.deferred_errors_delivered.inc();
             } else {
                 inner.deferred_error = Some(deferred);
             }
         }
-        Ok(CallResult { ret, outputs: reply.outputs })
+        Ok(CallResult {
+            ret,
+            outputs: reply.outputs,
+        })
     }
 
     /// Sends any batched calls as a single transport crossing.
@@ -245,7 +351,9 @@ impl GuestLibrary {
         if inner.deferred_error.is_some() {
             return; // Keep the first failure.
         }
-        let Some(func) = self.desc.by_id(fn_id) else { return };
+        let Some(func) = self.desc.by_id(fn_id) else {
+            return;
+        };
         let failed = rep.status != ReplyStatus::Ok || !ret_is_success(func, &rep.ret);
         if failed {
             let err_value = if rep.status == ReplyStatus::Ok {
@@ -254,7 +362,10 @@ impl GuestLibrary {
                 // Transport/policy failure of an async call: synthesize a
                 // generic failure status if the return type allows it.
                 match func.ret {
-                    RetDesc::Status { kind: ScalarKind::I32, .. } => Value::I32(-9999),
+                    RetDesc::Status {
+                        kind: ScalarKind::I32,
+                        ..
+                    } => Value::I32(-9999),
                     RetDesc::Status { .. } => Value::I64(-9999),
                     _ => return,
                 }
@@ -276,7 +387,8 @@ impl GuestLibrary {
         let env = self.desc.env_for(func, args);
         for (param, arg) in func.params.iter().zip(args.iter()) {
             match (&param.transfer, arg) {
-                (Transfer::Scalar(_), v) if v.as_i64().is_some() || matches!(v, Value::F32(_) | Value::F64(_)) => {}
+                (Transfer::Scalar(_), v)
+                    if v.as_i64().is_some() || matches!(v, Value::F32(_) | Value::F64(_)) => {}
                 (Transfer::Handle { .. }, Value::Handle(_)) => {}
                 (Transfer::Handle { .. }, Value::Null) if param.nullable => {}
                 (Transfer::Str, Value::Str(_)) => {}
@@ -284,8 +396,7 @@ impl GuestLibrary {
                 (Transfer::Callback { .. } | Transfer::Opaque, _) => {}
                 (Transfer::OutElement { .. }, _) => {}
                 (Transfer::Buffer { len, elem }, value) => {
-                    let is_out_only =
-                        matches!(param.direction, ava_spec::Direction::Out);
+                    let is_out_only = matches!(param.direction, ava_spec::Direction::Out);
                     if value.is_null() {
                         continue; // permissible for nullable/out buffers
                     }
@@ -411,10 +522,10 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
                 for req in reqs {
                     let mode = req.mode;
                     let (ret, outputs) = match req.fn_id {
-                        0 => (Value::I32(0), vec![]),                       // toy_init
-                        1 => (Value::Handle(0x4000_0001), vec![]),          // toy_create
+                        0 => (Value::I32(0), vec![]),                              // toy_init
+                        1 => (Value::Handle(0x4000_0001), vec![]),                 // toy_create
                         2 => (Value::I32(if fail_poke { -7 } else { 0 }), vec![]), // toy_poke
-                        3 => (Value::I32(0), vec![]),                       // toy_write
+                        3 => (Value::I32(0), vec![]),                              // toy_write
                         4 => {
                             let n = req.args[2].as_u64().unwrap_or(0) as usize;
                             (
@@ -441,15 +552,14 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
         })
     }
 
-    fn setup(fail_poke: bool, batch: usize) -> (GuestLibrary, std::thread::JoinHandle<Vec<CallRequest>>) {
+    fn setup(
+        fail_poke: bool,
+        batch: usize,
+    ) -> (GuestLibrary, std::thread::JoinHandle<Vec<CallRequest>>) {
         let (guest_end, server_end) =
             ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
         let server = spawn_server(server_end, fail_poke);
-        let lib = GuestLibrary::new(
-            descriptor(),
-            guest_end,
-            GuestConfig { batch_max: batch },
-        );
+        let lib = GuestLibrary::new(descriptor(), guest_end, GuestConfig { batch_max: batch });
         (lib, server)
     }
 
@@ -496,7 +606,9 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
         let h = lib.call("toy_create", vec![Value::U64(8)]).unwrap().ret;
         // Async poke fails server-side with TOY_FAIL (-7), but the guest
         // sees immediate success.
-        let r = lib.call("toy_poke", vec![h.clone(), Value::U32(1)]).unwrap();
+        let r = lib
+            .call("toy_poke", vec![h.clone(), Value::U32(1)])
+            .unwrap();
         assert_eq!(r.ret, Value::I32(0));
         // The next synchronous status call delivers the deferred error.
         let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
@@ -529,7 +641,8 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
         let (lib, server) = setup(false, 16);
         let h = lib.call("toy_create", vec![Value::U64(8)]).unwrap().ret;
         for i in 0..5 {
-            lib.call("toy_poke", vec![h.clone(), Value::U32(i)]).unwrap();
+            lib.call("toy_poke", vec![h.clone(), Value::U32(i)])
+                .unwrap();
         }
         // A sync call flushes the batch and orders after it.
         lib.call("toy_init", vec![Value::U32(0)]).unwrap();
@@ -545,8 +658,10 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
     fn batch_flushes_when_full() {
         let (lib, server) = setup(false, 2);
         let h = lib.call("toy_create", vec![Value::U64(8)]).unwrap().ret;
-        lib.call("toy_poke", vec![h.clone(), Value::U32(0)]).unwrap();
-        lib.call("toy_poke", vec![h.clone(), Value::U32(1)]).unwrap();
+        lib.call("toy_poke", vec![h.clone(), Value::U32(0)])
+            .unwrap();
+        lib.call("toy_poke", vec![h.clone(), Value::U32(1)])
+            .unwrap();
         // Batch max is 2: both pokes must already be on the wire without
         // any sync call. Give the server a moment, then check stats only
         // (transport visibility is covered by the ordering test above).

@@ -71,6 +71,7 @@ pub struct Hypervisor {
     cmd_tx: Sender<RouterCmd>,
     handle: Option<std::thread::JoinHandle<()>>,
     next_vm: AtomicU32,
+    telemetry: parking_lot::Mutex<ava_telemetry::Telemetry>,
 }
 
 impl Hypervisor {
@@ -78,7 +79,11 @@ impl Hypervisor {
     /// (used for cost estimation and call verification).
     pub fn new(scheduler: SchedulerKind, descriptor: Option<Arc<ApiDescriptor>>) -> Self {
         let (cmd_tx, cmd_rx) = unbounded();
-        let config = RouterConfig { scheduler, descriptor, ..RouterConfig::default() };
+        let config = RouterConfig {
+            scheduler,
+            descriptor,
+            ..RouterConfig::default()
+        };
         let handle = std::thread::Builder::new()
             .name("ava-router".into())
             .spawn(move || router::run_router(config, cmd_rx))
@@ -87,7 +92,27 @@ impl Hypervisor {
             cmd_tx,
             handle: Some(handle),
             next_vm: AtomicU32::new(1),
+            telemetry: parking_lot::Mutex::new(ava_telemetry::Telemetry::disabled()),
         }
+    }
+
+    /// Attaches a telemetry registry: the router registers per-VM
+    /// `router.vm<N>.*` counters (existing and future lanes) and stamps
+    /// span stages for sync calls.
+    pub fn set_telemetry(
+        &self,
+        telemetry: ava_telemetry::Telemetry,
+    ) -> Result<(), HypervisorError> {
+        *self.telemetry.lock() = telemetry.clone();
+        self.cmd_tx
+            .send(RouterCmd::SetTelemetry(telemetry))
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
+    /// Renders the attached registry as a text report; `None` when
+    /// telemetry was never attached.
+    pub fn telemetry_report(&self) -> Option<String> {
+        self.telemetry.lock().report()
     }
 
     /// Attaches a VM using `kind` as the guest↔hypervisor transport with
@@ -113,7 +138,11 @@ impl Hypervisor {
                 policy,
             })
             .map_err(|_| HypervisorError::RouterGone)?;
-        Ok(VmConnection { vm_id, guest: guest_end, server: server_end })
+        Ok(VmConnection {
+            vm_id,
+            guest: guest_end,
+            server: server_end,
+        })
     }
 
     /// Pauses guest→server forwarding for a VM (used before migration).
@@ -151,11 +180,7 @@ impl Hypervisor {
     /// Waits until a paused VM has no outstanding forwarded calls — the
     /// quiescence point at which the server's state can be snapshotted for
     /// migration (§4.3).
-    pub fn wait_quiescent(
-        &self,
-        vm_id: VmId,
-        timeout: Duration,
-    ) -> Result<(), HypervisorError> {
+    pub fn wait_quiescent(&self, vm_id: VmId, timeout: Duration) -> Result<(), HypervisorError> {
         let deadline = Instant::now() + timeout;
         loop {
             let stats = self.vm_stats(vm_id)?;
@@ -182,7 +207,7 @@ impl Drop for Hypervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ava_wire::{CallMode, CallRequest, CallReply, ControlMessage, Message, ReplyStatus, Value};
+    use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
 
     fn call(id: u64) -> Message {
         Message::Call(CallRequest {
@@ -220,7 +245,11 @@ mod tests {
     fn calls_flow_guest_to_server_and_back() {
         let hv = Hypervisor::new(SchedulerKind::Fifo, None);
         let conn = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
         let echo = spawn_echo(conn.server);
         for i in 0..50 {
@@ -239,7 +268,9 @@ mod tests {
         assert_eq!(stats.forwarded, 50);
         assert_eq!(stats.replies, 50);
         assert_eq!(stats.outstanding, 0);
-        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
         echo.join().unwrap();
     }
 
@@ -247,9 +278,15 @@ mod tests {
     fn router_answers_pings_itself() {
         let hv = Hypervisor::new(SchedulerKind::Fifo, None);
         let conn = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
-        conn.guest.send(&Message::Control(ControlMessage::Ping(77))).unwrap();
+        conn.guest
+            .send(&Message::Control(ControlMessage::Ping(77)))
+            .unwrap();
         match conn.guest.recv().unwrap() {
             Message::Control(ControlMessage::Pong(v)) => assert_eq!(v, 77),
             other => panic!("{other:?}"),
@@ -260,7 +297,11 @@ mod tests {
     fn pause_holds_calls_and_resume_releases_them() {
         let hv = Hypervisor::new(SchedulerKind::Fifo, None);
         let conn = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
         let echo = spawn_echo(conn.server);
         hv.pause_vm(conn.vm_id).unwrap();
@@ -276,7 +317,9 @@ mod tests {
             Some(Message::Reply(rep)) => assert_eq!(rep.call_id, 1),
             other => panic!("{other:?}"),
         }
-        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
         echo.join().unwrap();
     }
 
@@ -307,7 +350,9 @@ mod tests {
             "rate limiting too weak: {:?}",
             start.elapsed()
         );
-        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
         echo.join().unwrap();
     }
 
@@ -315,14 +360,19 @@ mod tests {
     fn wait_quiescent_observes_outstanding_drain() {
         let hv = Hypervisor::new(SchedulerKind::Fifo, None);
         let conn = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
         let echo = spawn_echo(conn.server);
         for i in 0..20 {
             conn.guest.send(&call(i)).unwrap();
         }
         hv.pause_vm(conn.vm_id).unwrap();
-        hv.wait_quiescent(conn.vm_id, Duration::from_secs(5)).unwrap();
+        hv.wait_quiescent(conn.vm_id, Duration::from_secs(5))
+            .unwrap();
         let stats = hv.vm_stats(conn.vm_id).unwrap();
         assert_eq!(stats.outstanding, 0);
         // Calls not yet forwarded stay queued while paused; resume and
@@ -336,7 +386,9 @@ mod tests {
                 None => panic!("timed out after {got} replies"),
             }
         }
-        conn.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
         echo.join().unwrap();
     }
 
@@ -350,10 +402,18 @@ mod tests {
     fn two_vms_are_independent_lanes() {
         let hv = Hypervisor::new(SchedulerKind::Fifo, None);
         let a = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
         let b = hv
-            .add_vm(VmPolicy::default(), TransportKind::InProcess, CostModel::free())
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
             .unwrap();
         assert_ne!(a.vm_id, b.vm_id);
         let ea = spawn_echo(a.server);
@@ -362,8 +422,12 @@ mod tests {
         b.guest.send(&call(2)).unwrap();
         assert!(matches!(a.guest.recv().unwrap(), Message::Reply(r) if r.call_id == 1));
         assert!(matches!(b.guest.recv().unwrap(), Message::Reply(r) if r.call_id == 2));
-        a.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
-        b.guest.send(&Message::Control(ControlMessage::Shutdown)).unwrap();
+        a.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        b.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
         ea.join().unwrap();
         eb.join().unwrap();
     }

@@ -105,12 +105,18 @@ impl VmPolicy {
 
     /// Policy with a fair-share weight.
     pub fn with_weight(weight: u32) -> Self {
-        VmPolicy { weight: weight.max(1), ..Default::default() }
+        VmPolicy {
+            weight: weight.max(1),
+            ..Default::default()
+        }
     }
 
     /// Policy with a priority level.
     pub fn with_priority(priority: u8) -> Self {
-        VmPolicy { priority, ..Default::default() }
+        VmPolicy {
+            priority,
+            ..Default::default()
+        }
     }
 }
 
@@ -157,7 +163,10 @@ mod tests {
         let mut rl = RateLimiter::new(0.0, 1);
         assert!(rl.try_admit_at(start));
         assert!(!rl.try_admit_at(start + Duration::from_secs(60)));
-        assert_eq!(rl.next_ready_in(start + Duration::from_secs(60)), Duration::ZERO);
+        assert_eq!(
+            rl.next_ready_in(start + Duration::from_secs(60)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ava_spec::{ApiDescriptor, RecordCategory};
+use ava_telemetry::{Counter, Gauge, Stage, Telemetry};
 use ava_transport::{BoxedTransport, TransportError};
 use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
 use crossbeam::channel::{Receiver, Sender};
@@ -40,6 +41,60 @@ pub struct VmStats {
     pub outstanding: u64,
 }
 
+/// Registry-shareable storage behind [`VmStats`]: the router mutates these
+/// shared atomics, and a telemetry [`ava_telemetry::Registry`] (when
+/// attached) sees the very same cells under `router.vm<N>.*` names.
+#[derive(Default)]
+struct VmMetrics {
+    forwarded: Counter,
+    rejected: Counter,
+    replies: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    outstanding: Counter,
+    est_device_time_us: Gauge,
+    est_device_mem: Gauge,
+}
+
+impl VmMetrics {
+    fn snapshot(&self) -> VmStats {
+        VmStats {
+            forwarded: self.forwarded.get(),
+            rejected: self.rejected.get(),
+            replies: self.replies.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            est_device_time_us: self.est_device_time_us.get(),
+            est_device_mem: self.est_device_mem.get(),
+            outstanding: self.outstanding.get(),
+        }
+    }
+
+    fn register_into(&self, telemetry: &Telemetry) {
+        let Some(registry) = telemetry.registry() else {
+            return;
+        };
+        let vm = telemetry.vm();
+        let c = |name: &str, cell: &Counter| {
+            registry.register_counter(&format!("router.vm{vm}.{name}"), cell);
+        };
+        c("forwarded", &self.forwarded);
+        c("rejected", &self.rejected);
+        c("replies", &self.replies);
+        c("bytes_in", &self.bytes_in);
+        c("bytes_out", &self.bytes_out);
+        c("outstanding", &self.outstanding);
+        registry.register_gauge(
+            &format!("router.vm{vm}.est_device_time_us"),
+            &self.est_device_time_us,
+        );
+        registry.register_gauge(
+            &format!("router.vm{vm}.est_device_mem"),
+            &self.est_device_mem,
+        );
+    }
+}
+
 /// Commands sent to the router thread.
 pub enum RouterCmd {
     /// Attach a VM: its guest-side and server-side transports plus policy.
@@ -61,6 +116,10 @@ pub enum RouterCmd {
     Remove(VmId),
     /// Query statistics.
     Stats(VmId, Sender<Option<VmStats>>),
+    /// Attach a telemetry registry: per-VM counters register under
+    /// `router.vm<N>.*` and sync calls get Queued/Forwarded/Replied span
+    /// stamps. Applies to existing lanes and any added later.
+    SetTelemetry(Telemetry),
     /// Stop the router.
     Shutdown,
 }
@@ -73,7 +132,8 @@ struct Lane {
     queue: VecDeque<CallRequest>,
     paused: bool,
     closed: bool,
-    stats: VmStats,
+    metrics: VmMetrics,
+    telemetry: Telemetry,
 }
 
 /// Router configuration.
@@ -101,6 +161,7 @@ impl Default for RouterConfig {
 /// Runs the router loop until [`RouterCmd::Shutdown`].
 pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
     let mut lanes: Vec<Lane> = Vec::new();
+    let mut telemetry = Telemetry::disabled();
     let mut rr_cursor = 0usize; // round-robin start position
     let mut idle_spins = 0u32;
 
@@ -111,7 +172,15 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
         while let Ok(cmd) = cmds.try_recv() {
             progressed = true;
             match cmd {
-                RouterCmd::AddVm { vm_id, guest, server, policy } => {
+                RouterCmd::AddVm {
+                    vm_id,
+                    guest,
+                    server,
+                    policy,
+                } => {
+                    let metrics = VmMetrics::default();
+                    let lane_telemetry = telemetry.with_vm(vm_id);
+                    metrics.register_into(&lane_telemetry);
                     lanes.push(Lane {
                         vm_id,
                         guest,
@@ -120,7 +189,8 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         queue: VecDeque::new(),
                         paused: false,
                         closed: false,
-                        stats: VmStats::default(),
+                        metrics,
+                        telemetry: lane_telemetry,
                     });
                 }
                 RouterCmd::Pause(id) => {
@@ -137,8 +207,18 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     lanes.retain(|l| l.vm_id != id);
                 }
                 RouterCmd::Stats(id, reply) => {
-                    let stats = lanes.iter().find(|l| l.vm_id == id).map(|l| l.stats);
+                    let stats = lanes
+                        .iter()
+                        .find(|l| l.vm_id == id)
+                        .map(|l| l.metrics.snapshot());
                     let _ = reply.send(stats);
+                }
+                RouterCmd::SetTelemetry(t) => {
+                    telemetry = t;
+                    for lane in lanes.iter_mut() {
+                        lane.telemetry = telemetry.with_vm(lane.vm_id);
+                        lane.metrics.register_into(&lane.telemetry);
+                    }
                 }
                 RouterCmd::Shutdown => return,
             }
@@ -152,13 +232,19 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             loop {
                 match lane.guest.try_recv() {
                     Ok(Some(Message::Call(req))) => {
-                        lane.stats.bytes_in += req.payload_bytes() as u64;
+                        lane.metrics.bytes_in.add(req.payload_bytes() as u64);
+                        // Only sync calls carry spans: async successes are
+                        // reply-suppressed, so their spans could never
+                        // complete.
+                        if req.mode == ava_wire::CallMode::Sync {
+                            lane.telemetry.span_stage(req.call_id, Stage::Queued, None);
+                        }
                         lane.queue.push_back(req);
                         progressed = true;
                     }
                     Ok(Some(Message::Batch(reqs))) => {
                         for req in reqs {
-                            lane.stats.bytes_in += req.payload_bytes() as u64;
+                            lane.metrics.bytes_in.add(req.payload_bytes() as u64);
                             lane.queue.push_back(req);
                         }
                         progressed = true;
@@ -166,14 +252,14 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     Ok(Some(Message::Control(ControlMessage::Ping(v)))) => {
                         // The router itself answers liveness probes — a
                         // visible demonstration of interposition.
-                        let _ = lane
-                            .guest
-                            .send(&Message::Control(ControlMessage::Pong(v)));
+                        let _ = lane.guest.send(&Message::Control(ControlMessage::Pong(v)));
                         progressed = true;
                     }
                     Ok(Some(Message::Control(ControlMessage::Shutdown))) => {
                         lane.closed = true;
-                        let _ = lane.server.send(&Message::Control(ControlMessage::Shutdown));
+                        let _ = lane
+                            .server
+                            .send(&Message::Control(ControlMessage::Shutdown));
                         progressed = true;
                         break;
                     }
@@ -202,7 +288,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             let Some(idx) = candidate else { break };
             rr_cursor = (idx + 1).max(1) % lanes.len().max(1);
             let lane = &mut lanes[idx];
-            let req = lane.queue.pop_front().expect("picked lane has a queued call");
+            let req = lane
+                .queue
+                .pop_front()
+                .expect("picked lane has a queued call");
 
             // Verify and cost-account the call against the API descriptor.
             let mut reject = false;
@@ -215,18 +304,16 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                             if let Ok(v) = res.amount.eval(&env, &desc.types) {
                                 match res.resource.as_str() {
                                     "device_time_us" => {
-                                        lane.stats.est_device_time_us += v as f64
+                                        lane.metrics.est_device_time_us.add(v as f64)
                                     }
-                                    "device_mem" => {
-                                        lane.stats.est_device_mem += v as f64
-                                    }
+                                    "device_mem" => lane.metrics.est_device_mem.add(v as f64),
                                     _ => {}
                                 }
                             }
                         }
                         if func.record == Some(RecordCategory::Alloc) {
                             if let Some(quota) = lane.policy.device_mem_quota {
-                                if lane.stats.est_device_mem > quota as f64 {
+                                if lane.metrics.est_device_mem.get() > quota as f64 {
                                     reject = true;
                                 }
                             }
@@ -237,7 +324,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             }
 
             if reject {
-                lane.stats.rejected += 1;
+                lane.metrics.rejected.inc();
+                if req.mode == ava_wire::CallMode::Sync {
+                    lane.telemetry.span_stage(req.call_id, Stage::Replied, None);
+                }
                 let reply = CallReply {
                     call_id: req.call_id,
                     status: ReplyStatus::PolicyRejected,
@@ -246,11 +336,13 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                 };
                 let _ = lane.guest.send(&Message::Reply(reply));
             } else {
-                lane.stats.forwarded += 1;
+                lane.metrics.forwarded.inc();
                 // Async calls are fire-and-forget: the server only replies
                 // on failure, so they are not tracked as outstanding.
                 if req.mode == ava_wire::CallMode::Sync {
-                    lane.stats.outstanding += 1;
+                    lane.metrics.outstanding.inc();
+                    lane.telemetry
+                        .span_stage(req.call_id, Stage::Forwarded, None);
                 }
                 let _ = lane.server.send(&Message::Call(req));
             }
@@ -262,9 +354,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             loop {
                 match lane.server.try_recv() {
                     Ok(Some(Message::Reply(rep))) => {
-                        lane.stats.replies += 1;
-                        lane.stats.outstanding = lane.stats.outstanding.saturating_sub(1);
-                        lane.stats.bytes_out += rep.payload_bytes() as u64;
+                        lane.metrics.replies.inc();
+                        lane.metrics.outstanding.dec_saturating();
+                        lane.metrics.bytes_out.add(rep.payload_bytes() as u64);
+                        lane.telemetry.span_stage(rep.call_id, Stage::Replied, None);
                         let _ = lane.guest.send(&Message::Reply(rep));
                         progressed = true;
                     }
@@ -338,7 +431,7 @@ fn pick_lane(
                 if !ready {
                     continue;
                 }
-                let score = lanes[idx].stats.est_device_time_us
+                let score = lanes[idx].metrics.est_device_time_us.get()
                     / f64::from(lanes[idx].policy.weight.max(1));
                 if best.map(|(_, s)| score < s).unwrap_or(true) {
                     best = Some((idx, score));

@@ -30,14 +30,21 @@ pub struct HandlerOutput {
 
 impl Default for HandlerOutput {
     fn default() -> Self {
-        HandlerOutput { ret: Value::Unit, outputs: Vec::new(), destroyed: None }
+        HandlerOutput {
+            ret: Value::Unit,
+            outputs: Vec::new(),
+            destroyed: None,
+        }
     }
 }
 
 impl HandlerOutput {
     /// An output with just a return value.
     pub fn ret(value: Value) -> Self {
-        HandlerOutput { ret: value, ..HandlerOutput::default() }
+        HandlerOutput {
+            ret: value,
+            ..HandlerOutput::default()
+        }
     }
 }
 

@@ -42,7 +42,10 @@ pub struct HandleTable {
 impl HandleTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        HandleTable { next: 0x4000_0000, map: HashMap::new() }
+        HandleTable {
+            next: 0x4000_0000,
+            map: HashMap::new(),
+        }
     }
 
     /// Mints a new wire handle for a silo object.
@@ -51,7 +54,10 @@ impl HandleTable {
         self.next += 1;
         self.map.insert(
             wire,
-            HandleEntry { kind: kind.to_string(), state: HandleState::Live(silo) },
+            HandleEntry {
+                kind: kind.to_string(),
+                state: HandleState::Live(silo),
+            },
         );
         wire
     }
@@ -62,7 +68,10 @@ impl HandleTable {
         self.next = self.next.max(wire + 1);
         self.map.insert(
             wire,
-            HandleEntry { kind: kind.to_string(), state: HandleState::Live(silo) },
+            HandleEntry {
+                kind: kind.to_string(),
+                state: HandleState::Live(silo),
+            },
         );
     }
 
@@ -95,7 +104,10 @@ impl HandleTable {
 
     /// Marks a handle swapped-out, parking `data`.
     pub fn mark_swapped(&mut self, wire: u64, data: Vec<u8>) -> Result<()> {
-        let entry = self.map.get_mut(&wire).ok_or(ServerError::BadHandle(wire))?;
+        let entry = self
+            .map
+            .get_mut(&wire)
+            .ok_or(ServerError::BadHandle(wire))?;
         entry.state = HandleState::Swapped { data };
         Ok(())
     }
@@ -103,12 +115,17 @@ impl HandleTable {
     /// Brings a swapped handle back to life with a new silo handle,
     /// returning the parked payload.
     pub fn mark_live(&mut self, wire: u64, silo: u64) -> Result<Vec<u8>> {
-        let entry = self.map.get_mut(&wire).ok_or(ServerError::BadHandle(wire))?;
+        let entry = self
+            .map
+            .get_mut(&wire)
+            .ok_or(ServerError::BadHandle(wire))?;
         match std::mem::replace(&mut entry.state, HandleState::Live(silo)) {
             HandleState::Swapped { data } => Ok(data),
             live @ HandleState::Live(_) => {
                 entry.state = live;
-                Err(ServerError::Swap(format!("handle {wire:#x} was not swapped")))
+                Err(ServerError::Swap(format!(
+                    "handle {wire:#x} was not swapped"
+                )))
             }
         }
     }
@@ -135,8 +152,7 @@ impl HandleTable {
 
     /// All entries (wire, entry), sorted by wire handle.
     pub fn entries(&self) -> Vec<(u64, &HandleEntry)> {
-        let mut out: Vec<(u64, &HandleEntry)> =
-            self.map.iter().map(|(w, e)| (*w, e)).collect();
+        let mut out: Vec<(u64, &HandleEntry)> = self.map.iter().map(|(w, e)| (*w, e)).collect();
         out.sort_by_key(|(w, _)| *w);
         out
     }
@@ -173,7 +189,10 @@ mod tests {
         let a = t.insert("k", 1);
         let b = t.insert("k", 1);
         assert_ne!(a, b);
-        assert!(a >= 0x4000_0000, "wire namespace must not collide with silo ids");
+        assert!(
+            a >= 0x4000_0000,
+            "wire namespace must not collide with silo ids"
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ mod tests {
     use std::collections::HashMap;
     use std::sync::Arc;
 
-    use ava_spec::{
-        compile_spec, ApiDescriptor, FunctionDesc, LowerOptions, MapResolver,
-    };
+    use ava_spec::{compile_spec, ApiDescriptor, FunctionDesc, LowerOptions, MapResolver};
     use ava_wire::{CallMode, CallRequest, ReplyStatus, Value};
 
     use super::*;
@@ -98,8 +96,10 @@ mod tests {
                 "toy_read" => {
                     let silo = args[0].as_handle().expect("handle arg");
                     let len = args[2].as_u64().unwrap_or(0) as usize;
-                    let obj =
-                        self.objects.get(&silo).ok_or(ServerError::BadHandle(silo))?;
+                    let obj = self
+                        .objects
+                        .get(&silo)
+                        .ok_or(ServerError::BadHandle(silo))?;
                     let bytes = obj[..len.min(obj.len())].to_vec();
                     Ok(HandlerOutput {
                         ret: Value::I32(0),
@@ -168,9 +168,7 @@ toy_status toy_destroy(toy_buf buf) {
 "#;
 
     fn toy_descriptor() -> Arc<ApiDescriptor> {
-        Arc::new(
-            compile_spec(TOY_SPEC, &MapResolver::new(), LowerOptions::default()).unwrap(),
-        )
+        Arc::new(compile_spec(TOY_SPEC, &MapResolver::new(), LowerOptions::default()).unwrap())
     }
 
     fn call(desc: &ApiDescriptor, name: &str, args: Vec<Value>) -> CallRequest {
@@ -217,17 +215,20 @@ toy_status toy_destroy(toy_buf buf) {
         let desc = toy_descriptor();
         let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
         let h = create_buf(&mut server, &desc, 16);
-        assert!(h >= 0x4000_0000, "guest sees wire handles, not silo handles");
+        assert!(
+            h >= 0x4000_0000,
+            "guest sees wire handles, not silo handles"
+        );
         write_buf(&mut server, &desc, h, b"hello");
         assert_eq!(&read_buf(&mut server, &desc, h, 5), b"hello");
         let rep = server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h)]));
         assert_eq!(rep.status, ReplyStatus::Ok);
         // Handle is dead now.
-        let rep = server.handle_call(call(&desc, "toy_read", vec![
-            Value::Handle(h),
-            Value::Null,
-            Value::U64(1),
-        ]));
+        let rep = server.handle_call(call(
+            &desc,
+            "toy_read",
+            vec![Value::Handle(h), Value::Null, Value::U64(1)],
+        ));
         assert_eq!(rep.status, ReplyStatus::TransportError);
     }
 
@@ -268,8 +269,7 @@ toy_status toy_destroy(toy_buf buf) {
     #[test]
     fn migration_snapshot_restore_preserves_handles_and_data() {
         let desc = toy_descriptor();
-        let mut source =
-            ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(4096)));
+        let mut source = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(4096)));
         source.handle_call(call(&desc, "toy_init", vec![Value::U32(1)]));
         let h1 = create_buf(&mut source, &desc, 8);
         let h2 = create_buf(&mut source, &desc, 4);
@@ -280,12 +280,8 @@ toy_status toy_destroy(toy_buf buf) {
         source.teardown();
 
         // "Arrive" on a different host: fresh handler.
-        let mut target = ApiServer::restore(
-            Arc::clone(&desc),
-            Box::new(ToyHandler::new(4096)),
-            &image,
-        )
-        .unwrap();
+        let mut target =
+            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(4096)), &image).unwrap();
         // The guest's old wire handles still resolve.
         assert_eq!(&read_buf(&mut target, &desc, h1, 8), b"migrate!");
         assert_eq!(&read_buf(&mut target, &desc, h2, 4), b"tiny");
@@ -305,8 +301,7 @@ toy_status toy_destroy(toy_buf buf) {
         assert_eq!(image.buffers.len(), 1);
         assert_eq!(image.buffers[0].1, b"abcd");
         let mut target =
-            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(64)), &image)
-                .unwrap();
+            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(64)), &image).unwrap();
         assert_eq!(&read_buf(&mut target, &desc, h, 4), b"abcd");
     }
 
@@ -327,7 +322,10 @@ toy_status toy_destroy(toy_buf buf) {
         // the toy device grew room because h2/h3 stayed).
         // First make room: destroy h3.
         server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h3)]));
-        assert_eq!(&read_buf(&mut server, &desc, h1, 24), b"first-buffer-contents!!!");
+        assert_eq!(
+            &read_buf(&mut server, &desc, h1, 24),
+            b"first-buffer-contents!!!"
+        );
         assert_eq!(server.stats().swap_ins, 1);
         // h2 was untouched by the dance.
         assert_eq!(&read_buf(&mut server, &desc, h2, 6), b"second");

@@ -58,15 +58,20 @@ impl RecordLog {
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.calls.push(RecordedCall { seq, fn_id, args, category, produced });
+        self.calls.push(RecordedCall {
+            seq,
+            fn_id,
+            args,
+            category,
+            produced,
+        });
     }
 
     /// Cancels tracking for a deallocated object: removes its `alloc`
     /// record and every `modify` record that references its wire handle.
     pub fn cancel_for_handle(&mut self, wire: u64) {
         self.calls.retain(|c| {
-            let creates =
-                c.category == RecordCategory::Alloc && c.created_wire() == Some(wire);
+            let creates = c.category == RecordCategory::Alloc && c.created_wire() == Some(wire);
             let modifies = c.category == RecordCategory::Modify
                 && c.args.iter().any(|a| references_handle(a, wire));
             !(creates || modifies)

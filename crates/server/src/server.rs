@@ -15,6 +15,7 @@ use std::time::Duration;
 use ava_spec::{
     ApiDescriptor, Direction, ElemKind, FunctionDesc, RecordCategory, RetDesc, Transfer,
 };
+use ava_telemetry::{Counter, Stage, Telemetry};
 use ava_transport::{Transport, TransportError};
 use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
 
@@ -38,6 +39,32 @@ pub struct ServerStats {
     pub recorded: u64,
 }
 
+/// Registry-shareable storage behind [`ServerStats`] (`recorded` is
+/// derived from the record log, not stored).
+#[derive(Default)]
+struct ServerCounters {
+    calls: Counter,
+    transport_errors: Counter,
+    swap_outs: Counter,
+    swap_ins: Counter,
+}
+
+impl ServerCounters {
+    fn register_into(&self, telemetry: &Telemetry) {
+        let Some(registry) = telemetry.registry() else {
+            return;
+        };
+        let vm = telemetry.vm();
+        registry.register_counter(&format!("server.vm{vm}.calls"), &self.calls);
+        registry.register_counter(
+            &format!("server.vm{vm}.transport_errors"),
+            &self.transport_errors,
+        );
+        registry.register_counter(&format!("server.vm{vm}.swap_outs"), &self.swap_outs);
+        registry.register_counter(&format!("server.vm{vm}.swap_ins"), &self.swap_ins);
+    }
+}
+
 /// The per-VM API server.
 pub struct ApiServer {
     desc: Arc<ApiDescriptor>,
@@ -50,7 +77,8 @@ pub struct ApiServer {
     /// LRU clock for swap victim selection.
     use_clock: u64,
     last_use: HashMap<u64, u64>,
-    stats: ServerStats,
+    counters: ServerCounters,
+    telemetry: Telemetry,
 }
 
 impl ApiServer {
@@ -64,13 +92,35 @@ impl ApiServer {
             mem_sizes: HashMap::new(),
             use_clock: 0,
             last_use: HashMap::new(),
-            stats: ServerStats::default(),
+            counters: ServerCounters::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (tagged with this server's VM id):
+    /// execution counters register under `server.vm<N>.*`, per-function
+    /// execute latency lands in `server.execute.<fn>` histograms, and sync
+    /// calls get their Executed span stamp.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters.register_into(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// Renders the attached registry as a text report; `None` when
+    /// telemetry is disabled.
+    pub fn telemetry_report(&self) -> Option<String> {
+        self.telemetry.report()
     }
 
     /// Execution statistics.
     pub fn stats(&self) -> ServerStats {
-        ServerStats { recorded: self.records.len() as u64, ..self.stats }
+        ServerStats {
+            calls: self.counters.calls.get(),
+            transport_errors: self.counters.transport_errors.get(),
+            swap_outs: self.counters.swap_outs.get(),
+            swap_ins: self.counters.swap_ins.get(),
+            recorded: self.records.len() as u64,
+        }
     }
 
     /// Estimated device memory currently live (excludes swapped objects).
@@ -169,13 +219,37 @@ impl ApiServer {
 
     /// Executes one call and builds its reply.
     pub fn handle_call(&mut self, req: CallRequest) -> CallReply {
-        match self.execute(&req) {
+        let enabled = self.telemetry.enabled();
+        let start = if enabled {
+            self.telemetry.now_nanos()
+        } else {
+            0
+        };
+        let result = self.execute(&req);
+        if enabled {
+            let spent = self.telemetry.now_nanos().saturating_sub(start);
+            if let Some(func) = self.desc.by_id(req.fn_id) {
+                let name = func.name.clone();
+                self.telemetry
+                    .record_hist(&format!("server.execute.{name}"), spent);
+            }
+            if req.mode == ava_wire::CallMode::Sync {
+                self.telemetry
+                    .span_stage(req.call_id, Stage::Executed, Some(req.fn_id));
+            }
+        }
+        match result {
             Ok((ret, outputs)) => {
-                self.stats.calls += 1;
-                CallReply { call_id: req.call_id, status: ReplyStatus::Ok, ret, outputs }
+                self.counters.calls.inc();
+                CallReply {
+                    call_id: req.call_id,
+                    status: ReplyStatus::Ok,
+                    ret,
+                    outputs,
+                }
             }
             Err(_e) => {
-                self.stats.transport_errors += 1;
+                self.counters.transport_errors.inc();
                 CallReply::transport_error(req.call_id)
             }
         }
@@ -238,7 +312,10 @@ impl ApiServer {
             for (param, arg) in func.params.iter().zip(req.args.iter()) {
                 let deallocates = matches!(
                     &param.transfer,
-                    Transfer::Handle { deallocates: true, .. }
+                    Transfer::Handle {
+                        deallocates: true,
+                        ..
+                    }
                 ) && destroyed.unwrap_or(true);
                 if deallocates {
                     if let Value::Handle(wire) = arg {
@@ -263,7 +340,8 @@ impl ApiServer {
                             }
                         }
                     }
-                    self.records.record(req.fn_id, req.args.clone(), category, produced);
+                    self.records
+                        .record(req.fn_id, req.args.clone(), category, produced);
                 }
                 Some(RecordCategory::Dealloc) | None => {}
             }
@@ -302,7 +380,10 @@ impl ApiServer {
                     )))
                 }
                 (
-                    Transfer::Buffer { elem: ElemKind::Handle { kind }, .. },
+                    Transfer::Buffer {
+                        elem: ElemKind::Handle { kind },
+                        ..
+                    },
                     Value::List(items),
                 ) => {
                     let mut translated = Vec::with_capacity(items.len());
@@ -310,8 +391,7 @@ impl ApiServer {
                         match item {
                             Value::Handle(wire) => {
                                 self.touch(*wire);
-                                translated
-                                    .push(Value::Handle(self.handles.to_silo(*wire, kind)?));
+                                translated.push(Value::Handle(self.handles.to_silo(*wire, kind)?));
                             }
                             other => {
                                 return Err(ServerError::BadArguments(format!(
@@ -352,13 +432,14 @@ impl ApiServer {
         let mut outputs = Vec::with_capacity(out.outputs.len());
         for (idx, value) in out.outputs {
             let param = func.params.get(idx as usize).ok_or_else(|| {
-                ServerError::BadArguments(format!(
-                    "handler produced output for bad index {idx}"
-                ))
+                ServerError::BadArguments(format!("handler produced output for bad index {idx}"))
             })?;
             let translated = match (&param.transfer, value) {
                 (
-                    Transfer::OutElement { elem: ElemKind::Handle { kind }, .. },
+                    Transfer::OutElement {
+                        elem: ElemKind::Handle { kind },
+                        ..
+                    },
                     Value::Handle(silo),
                 ) => {
                     let wire = self.handles.insert(kind, silo);
@@ -366,7 +447,10 @@ impl ApiServer {
                     Value::Handle(wire)
                 }
                 (
-                    Transfer::Buffer { elem: ElemKind::Handle { kind }, .. },
+                    Transfer::Buffer {
+                        elem: ElemKind::Handle { kind },
+                        ..
+                    },
                     Value::List(items),
                 ) => {
                     let mut translated = Vec::with_capacity(items.len());
@@ -401,8 +485,12 @@ impl ApiServer {
     /// Swaps out the least-recently-used swappable object. Returns false
     /// if no victim exists.
     pub fn swap_out_one_victim(&mut self) -> Result<bool> {
-        let kinds: Vec<String> =
-            self.handler.swappable_kinds().iter().map(|s| s.to_string()).collect();
+        let kinds: Vec<String> = self
+            .handler
+            .swappable_kinds()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut victim: Option<(u64, String)> = None;
         let mut best_clock = u64::MAX;
         for kind in &kinds {
@@ -437,7 +525,7 @@ impl ApiServer {
             return Err(ServerError::Swap(format!("cannot drop object {wire:#x}")));
         }
         self.handles.mark_swapped(wire, data)?;
-        self.stats.swap_outs += 1;
+        self.counters.swap_outs.inc();
         Ok(())
     }
 
@@ -481,7 +569,7 @@ impl ApiServer {
                 "payload restore failed for {wire:#x}"
             )));
         }
-        self.stats.swap_ins += 1;
+        self.counters.swap_ins.inc();
         Ok(())
     }
 
@@ -611,11 +699,17 @@ fn collect_produced_silos(func: &FunctionDesc, out: &HandlerOutput) -> Vec<u64> 
     for (idx, value) in &out.outputs {
         match (func.params.get(*idx as usize).map(|p| &p.transfer), value) {
             (
-                Some(Transfer::OutElement { elem: ElemKind::Handle { .. }, .. }),
+                Some(Transfer::OutElement {
+                    elem: ElemKind::Handle { .. },
+                    ..
+                }),
                 Value::Handle(silo),
             ) => silos.push(*silo),
             (
-                Some(Transfer::Buffer { elem: ElemKind::Handle { .. }, .. }),
+                Some(Transfer::Buffer {
+                    elem: ElemKind::Handle { .. },
+                    ..
+                }),
                 Value::List(items),
             ) => {
                 for item in items {

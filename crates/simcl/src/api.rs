@@ -13,9 +13,9 @@
 
 use crate::status::ClResult;
 use crate::types::{
-    ClContext, ClDevice, ClEvent, ClKernel, ClMem, ClPlatform, ClProgram, ClQueue,
-    DeviceInfo, DeviceType, EventStatus, ImageDesc, InfoValue, KernelArg, MemFlags,
-    PlatformInfo, ProfilingInfo, QueueProps,
+    ClContext, ClDevice, ClEvent, ClKernel, ClMem, ClPlatform, ClProgram, ClQueue, DeviceInfo,
+    DeviceType, EventStatus, ImageDesc, InfoValue, KernelArg, MemFlags, PlatformInfo,
+    ProfilingInfo, QueueProps,
 };
 
 /// The OpenCL-subset API (see module docs).
@@ -26,12 +26,10 @@ pub trait ClApi: Send + Sync {
     fn get_platform_ids(&self) -> ClResult<Vec<ClPlatform>>;
 
     /// `clGetPlatformInfo`.
-    fn get_platform_info(&self, platform: ClPlatform, info: PlatformInfo)
-        -> ClResult<String>;
+    fn get_platform_info(&self, platform: ClPlatform, info: PlatformInfo) -> ClResult<String>;
 
     /// `clGetDeviceIDs`.
-    fn get_device_ids(&self, platform: ClPlatform, ty: DeviceType)
-        -> ClResult<Vec<ClDevice>>;
+    fn get_device_ids(&self, platform: ClPlatform, ty: DeviceType) -> ClResult<Vec<ClDevice>>;
 
     /// `clGetDeviceInfo`.
     fn get_device_info(&self, device: ClDevice, info: DeviceInfo) -> ClResult<InfoValue>;
@@ -99,11 +97,7 @@ pub trait ClApi: Send + Sync {
     // -- Programs ------------------------------------------------------------
 
     /// `clCreateProgramWithSource`.
-    fn create_program_with_source(
-        &self,
-        context: ClContext,
-        source: &str,
-    ) -> ClResult<ClProgram>;
+    fn create_program_with_source(&self, context: ClContext, source: &str) -> ClResult<ClProgram>;
 
     /// `clBuildProgram`.
     fn build_program(&self, program: ClProgram, options: &str) -> ClResult<()>;
@@ -130,12 +124,10 @@ pub trait ClApi: Send + Sync {
     fn create_kernels_in_program(&self, program: ClProgram) -> ClResult<Vec<ClKernel>>;
 
     /// `clSetKernelArg`.
-    fn set_kernel_arg(&self, kernel: ClKernel, index: u32, arg: KernelArg)
-        -> ClResult<()>;
+    fn set_kernel_arg(&self, kernel: ClKernel, index: u32, arg: KernelArg) -> ClResult<()>;
 
     /// `clGetKernelWorkGroupInfo` (returns the max work-group size).
-    fn get_kernel_work_group_info(&self, kernel: ClKernel, device: ClDevice)
-        -> ClResult<usize>;
+    fn get_kernel_work_group_info(&self, kernel: ClKernel, device: ClDevice) -> ClResult<usize>;
 
     /// `clRetainKernel`.
     fn retain_kernel(&self, kernel: ClKernel) -> ClResult<()>;

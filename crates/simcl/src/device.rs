@@ -87,7 +87,9 @@ impl DeviceState {
     pub fn alloc(&self, size: usize) -> ClResult<()> {
         let mut current = self.used_mem.load(Ordering::Relaxed);
         loop {
-            let next = current.checked_add(size).filter(|n| *n <= self.config.global_mem_size);
+            let next = current
+                .checked_add(size)
+                .filter(|n| *n <= self.config.global_mem_size);
             let Some(next) = next else {
                 return Err(ClError(CL_MEM_OBJECT_ALLOCATION_FAILURE));
             };

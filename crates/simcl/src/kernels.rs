@@ -35,7 +35,11 @@ pub struct Invocation<'a> {
 impl<'a> Invocation<'a> {
     /// Builds an invocation (used by the queue executor and by tests).
     pub fn new(global: [usize; 3], local: [usize; 3], slots: Vec<Slot<'a>>) -> Self {
-        Invocation { global, local, slots }
+        Invocation {
+            global,
+            local,
+            slots,
+        }
     }
 
     /// Number of bound argument slots.
@@ -291,7 +295,10 @@ mod tests {
         let mut inv = Invocation::new([3, 1, 1], [1, 1, 1], slots);
         body.execute(&mut inv).unwrap();
         drop(inv);
-        assert_eq!(crate::mem::bytes_to_f32(c.as_bytes()), vec![11.0, 22.0, 33.0]);
+        assert_eq!(
+            crate::mem::bytes_to_f32(c.as_bytes()),
+            vec![11.0, 22.0, 33.0]
+        );
         let _ = inv_with_bufs(vec![]);
     }
 

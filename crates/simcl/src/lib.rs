@@ -66,7 +66,7 @@ pub use kernels::{Invocation, KernelBody, KernelRegistry, Slot};
 pub use runtime::SimCl;
 pub use status::{ClError, ClResult};
 pub use types::{
-    ClContext, ClDevice, ClEvent, ClKernel, ClMem, ClPlatform, ClProgram, ClQueue,
-    DeviceInfo, DeviceType, EventStatus, ImageDesc, InfoValue, KernelArg, MemFlags,
-    PlatformInfo, ProfilingInfo, QueueProps,
+    ClContext, ClDevice, ClEvent, ClKernel, ClMem, ClPlatform, ClProgram, ClQueue, DeviceInfo,
+    DeviceType, EventStatus, ImageDesc, InfoValue, KernelArg, MemFlags, PlatformInfo,
+    ProfilingInfo, QueueProps,
 };

@@ -16,7 +16,10 @@ pub struct AlignedBuf {
 impl AlignedBuf {
     /// Allocates `len` zeroed bytes.
     pub fn zeroed(len: usize) -> Self {
-        AlignedBuf { storage: vec![0u64; len.div_ceil(8)], len }
+        AlignedBuf {
+            storage: vec![0u64; len.div_ceil(8)],
+            len,
+        }
     }
 
     /// Allocates from existing bytes.
@@ -47,15 +50,16 @@ impl AlignedBuf {
     /// Mutable byte view.
     pub fn as_bytes_mut(&mut self) -> &mut [u8] {
         // SAFETY: as `as_bytes`, and `&mut self` guarantees uniqueness.
-        unsafe {
-            std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len)
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len) }
     }
 }
 
 impl Clone for AlignedBuf {
     fn clone(&self) -> Self {
-        AlignedBuf { storage: self.storage.clone(), len: self.len }
+        AlignedBuf {
+            storage: self.storage.clone(),
+            len: self.len,
+        }
     }
 }
 
@@ -79,9 +83,7 @@ pub fn as_f32_mut(bytes: &mut [u8]) -> &mut [f32] {
     assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned f32 view");
     assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
     // SAFETY: as `as_f32`, with uniqueness from `&mut`.
-    unsafe {
-        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<f32>(), bytes.len() / 4)
-    }
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<f32>(), bytes.len() / 4) }
 }
 
 /// Views a byte slice as `i32`s; same requirements as [`as_f32`].
@@ -97,9 +99,7 @@ pub fn as_i32_mut(bytes: &mut [u8]) -> &mut [i32] {
     assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned i32 view");
     assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
     // SAFETY: as `as_f32_mut`.
-    unsafe {
-        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<i32>(), bytes.len() / 4)
-    }
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<i32>(), bytes.len() / 4) }
 }
 
 /// Views a byte slice as `u32`s; same requirements as [`as_f32`].
@@ -115,9 +115,7 @@ pub fn as_u32_mut(bytes: &mut [u8]) -> &mut [u32] {
     assert_eq!(bytes.as_ptr() as usize % 4, 0, "misaligned u32 view");
     assert_eq!(bytes.len() % 4, 0, "byte length not a multiple of 4");
     // SAFETY: as `as_f32_mut`.
-    unsafe {
-        std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<u32>(), bytes.len() / 4)
-    }
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr().cast::<u32>(), bytes.len() / 4) }
 }
 
 /// Copies a `f32` slice into freshly allocated bytes.

@@ -54,14 +54,18 @@ pub fn parse_kernel_signatures(source: &str) -> Vec<KernelSig> {
     while let Some(pos) = rest.find("__kernel") {
         rest = &rest[pos + "__kernel".len()..];
         // Skip attributes between `__kernel` and `void`.
-        let Some(void_pos) = rest.find("void") else { break };
+        let Some(void_pos) = rest.find("void") else {
+            break;
+        };
         rest = &rest[void_pos + "void".len()..];
         let Some(open) = rest.find('(') else { break };
         let name = rest[..open].trim().to_string();
         if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
             continue;
         }
-        let Some(close) = find_matching_paren(&rest[open..]) else { break };
+        let Some(close) = find_matching_paren(&rest[open..]) else {
+            break;
+        };
         let params_text = &rest[open + 1..open + close];
         rest = &rest[open + close..];
         let params = params_text
@@ -208,8 +212,7 @@ __kernel void k(__global float *d) { d[0] = helper(d[0]); }
 
     #[test]
     fn constant_qualifier_is_global() {
-        let sigs =
-            parse_kernel_signatures("__kernel void k(__constant float *lut, int n) {}");
+        let sigs = parse_kernel_signatures("__kernel void k(__constant float *lut, int n) {}");
         assert_eq!(sigs[0].params[0], KernelParamKind::GlobalPtr);
     }
 

@@ -19,9 +19,7 @@ use crate::event::EventCore;
 use crate::kernels::{Invocation, Slot};
 use crate::mem::AlignedBuf;
 use crate::objects::{BoundArg, MemObj};
-use crate::status::{
-    CL_INVALID_KERNEL_ARGS, CL_INVALID_VALUE,
-};
+use crate::status::{CL_INVALID_KERNEL_ARGS, CL_INVALID_VALUE};
 
 /// A command accepted by the queue worker.
 pub enum Command {
@@ -105,7 +103,14 @@ pub fn run_worker(rx: Receiver<Command>, device: Arc<DeviceState>) {
                 event.mark_running(now);
                 event.mark_complete(device.now_nanos());
             }
-            Command::RunKernel { body, args, global, local, wait, event } => {
+            Command::RunKernel {
+                body,
+                args,
+                global,
+                local,
+                wait,
+                event,
+            } => {
                 wait_all(&wait);
                 event.mark_submitted(device.now_nanos());
                 event.mark_running(device.now_nanos());
@@ -118,15 +123,20 @@ pub fn run_worker(rx: Receiver<Command>, device: Arc<DeviceState>) {
                     Err(e) => event.mark_failed(e.0, device.now_nanos()),
                 }
             }
-            Command::WriteBuffer { mem, offset, data, wait, event } => {
+            Command::WriteBuffer {
+                mem,
+                offset,
+                data,
+                wait,
+                event,
+            } => {
                 wait_all(&wait);
                 event.mark_submitted(device.now_nanos());
                 event.mark_running(device.now_nanos());
                 let mut buf = mem.data.lock();
                 match checked_range(&buf, offset, data.len()) {
                     Ok(()) => {
-                        buf.as_bytes_mut()[offset..offset + data.len()]
-                            .copy_from_slice(&data);
+                        buf.as_bytes_mut()[offset..offset + data.len()].copy_from_slice(&data);
                         drop(buf);
                         event.mark_complete(device.now_nanos());
                     }
@@ -136,7 +146,14 @@ pub fn run_worker(rx: Receiver<Command>, device: Arc<DeviceState>) {
                     }
                 }
             }
-            Command::ReadBuffer { mem, offset, len, result, wait, event } => {
+            Command::ReadBuffer {
+                mem,
+                offset,
+                len,
+                result,
+                wait,
+                event,
+            } => {
                 wait_all(&wait);
                 event.mark_submitted(device.now_nanos());
                 event.mark_running(device.now_nanos());
@@ -154,7 +171,15 @@ pub fn run_worker(rx: Receiver<Command>, device: Arc<DeviceState>) {
                     }
                 }
             }
-            Command::CopyBuffer { src, dst, src_offset, dst_offset, len, wait, event } => {
+            Command::CopyBuffer {
+                src,
+                dst,
+                src_offset,
+                dst_offset,
+                len,
+                wait,
+                event,
+            } => {
                 wait_all(&wait);
                 event.mark_submitted(device.now_nanos());
                 event.mark_running(device.now_nanos());
@@ -164,25 +189,24 @@ pub fn run_worker(rx: Receiver<Command>, device: Arc<DeviceState>) {
                         let mut buf = dst.data.lock();
                         checked_range(&buf, src_offset, len)?;
                         checked_range(&buf, dst_offset, len)?;
-                        let tmp =
-                            buf.as_bytes()[src_offset..src_offset + len].to_vec();
-                        buf.as_bytes_mut()[dst_offset..dst_offset + len]
-                            .copy_from_slice(&tmp);
+                        let tmp = buf.as_bytes()[src_offset..src_offset + len].to_vec();
+                        buf.as_bytes_mut()[dst_offset..dst_offset + len].copy_from_slice(&tmp);
                         return Ok(());
                     }
                     // Lock in id order to avoid deadlock against another
                     // queue copying the opposite direction.
-                    let (first, second) =
-                        if src.id < dst.id { (&src, &dst) } else { (&dst, &src) };
+                    let (first, second) = if src.id < dst.id {
+                        (&src, &dst)
+                    } else {
+                        (&dst, &src)
+                    };
                     let g1 = first.data.lock();
                     let g2 = second.data.lock();
-                    let (sbuf, mut dbuf) =
-                        if src.id < dst.id { (g1, g2) } else { (g2, g1) };
+                    let (sbuf, mut dbuf) = if src.id < dst.id { (g1, g2) } else { (g2, g1) };
                     checked_range(&sbuf, src_offset, len)?;
                     checked_range(&dbuf, dst_offset, len)?;
                     let tmp = sbuf.as_bytes()[src_offset..src_offset + len].to_vec();
-                    dbuf.as_bytes_mut()[dst_offset..dst_offset + len]
-                        .copy_from_slice(&tmp);
+                    dbuf.as_bytes_mut()[dst_offset..dst_offset + len].copy_from_slice(&tmp);
                     Ok(())
                 })();
                 match status {
@@ -203,7 +227,11 @@ fn wait_all(events: &[Arc<EventCore>]) {
 }
 
 fn checked_range(buf: &AlignedBuf, offset: usize, len: usize) -> Result<(), i32> {
-    if offset.checked_add(len).map(|end| end <= buf.len()).unwrap_or(false) {
+    if offset
+        .checked_add(len)
+        .map(|end| end <= buf.len())
+        .unwrap_or(false)
+    {
         Ok(())
     } else {
         Err(CL_INVALID_VALUE)
@@ -436,7 +464,10 @@ mod tests {
             event: Arc::clone(&ev),
         })
         .unwrap();
-        assert_eq!(ev.wait(), Err(crate::status::ClError(CL_INVALID_KERNEL_ARGS)));
+        assert_eq!(
+            ev.wait(),
+            Err(crate::status::ClError(CL_INVALID_KERNEL_ARGS))
+        );
         tx.send(Command::Shutdown).unwrap();
         handle.join().unwrap();
     }

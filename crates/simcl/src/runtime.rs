@@ -12,8 +12,7 @@ use crate::event::EventCore;
 use crate::kernels::KernelRegistry;
 use crate::mem::AlignedBuf;
 use crate::objects::{
-    BoundArg, BuildOutput, ContextObj, EventObj, KernelObj, MemObj, ProgramObj,
-    QueueObj, RefCount,
+    BoundArg, BuildOutput, ContextObj, EventObj, KernelObj, MemObj, ProgramObj, QueueObj, RefCount,
 };
 use crate::program::{parse_kernel_signatures, KernelParamKind};
 use crate::queue::{run_worker, Command};
@@ -55,8 +54,7 @@ struct Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         // Stop all queue workers so no threads outlive the runtime.
-        let queues: Vec<Arc<QueueObj>> =
-            self.objects.lock().queues.values().cloned().collect();
+        let queues: Vec<Arc<QueueObj>> = self.objects.lock().queues.values().cloned().collect();
         for q in queues {
             q.shutdown();
         }
@@ -81,10 +79,7 @@ impl SimCl {
 
     /// Creates a runtime with custom devices and the built-in kernels.
     pub fn with_devices(configs: Vec<DeviceConfig>) -> Self {
-        Self::with_devices_and_registry(
-            configs,
-            Arc::new(KernelRegistry::new().with_builtins()),
-        )
+        Self::with_devices_and_registry(configs, Arc::new(KernelRegistry::new().with_builtins()))
     }
 
     /// Creates a runtime with custom devices and a caller-supplied kernel
@@ -101,7 +96,10 @@ impl SimCl {
             inner: Arc::new(Inner {
                 devices,
                 registry,
-                objects: Mutex::new(Objects { next: OBJECT_BASE, ..Objects::default() }),
+                objects: Mutex::new(Objects {
+                    next: OBJECT_BASE,
+                    ..Objects::default()
+                }),
             }),
         }
     }
@@ -118,7 +116,9 @@ impl SimCl {
     }
 
     fn device(&self, id: u64) -> ClResult<Arc<DeviceState>> {
-        let idx = id.checked_sub(DEVICE_BASE).ok_or(ClError(CL_INVALID_DEVICE))?;
+        let idx = id
+            .checked_sub(DEVICE_BASE)
+            .ok_or(ClError(CL_INVALID_DEVICE))?;
         self.inner
             .devices
             .get(idx as usize)
@@ -197,19 +197,19 @@ impl SimCl {
     }
 
     /// Registers an event object if the caller asked for one.
-    fn register_event(
-        &self,
-        core: Arc<EventCore>,
-        want_event: bool,
-    ) -> Option<ClEvent> {
+    fn register_event(&self, core: Arc<EventCore>, want_event: bool) -> Option<ClEvent> {
         if !want_event {
             return None;
         }
         let mut objects = self.inner.objects.lock();
         let id = objects.fresh_id();
-        objects
-            .events
-            .insert(id, Arc::new(EventObj { core, refs: RefCount::new() }));
+        objects.events.insert(
+            id,
+            Arc::new(EventObj {
+                core,
+                refs: RefCount::new(),
+            }),
+        );
         Some(ClEvent(id))
     }
 
@@ -258,7 +258,10 @@ impl SimCl {
         if args.len() != kernel.sig.params.len() || args.iter().any(Option::is_none) {
             return Err(ClError(CL_INVALID_KERNEL_ARGS));
         }
-        Ok(args.iter().map(|a| a.clone().expect("checked above")).collect())
+        Ok(args
+            .iter()
+            .map(|a| a.clone().expect("checked above"))
+            .collect())
     }
 
     fn enqueue_kernel_common(
@@ -324,11 +327,7 @@ impl ClApi for SimCl {
         Ok(vec![ClPlatform(PLATFORM_ID)])
     }
 
-    fn get_platform_info(
-        &self,
-        platform: ClPlatform,
-        info: PlatformInfo,
-    ) -> ClResult<String> {
+    fn get_platform_info(&self, platform: ClPlatform, info: PlatformInfo) -> ClResult<String> {
         if platform.0 != PLATFORM_ID {
             return Err(ClError(CL_INVALID_VALUE));
         }
@@ -339,11 +338,7 @@ impl ClApi for SimCl {
         })
     }
 
-    fn get_device_ids(
-        &self,
-        platform: ClPlatform,
-        ty: DeviceType,
-    ) -> ClResult<Vec<ClDevice>> {
+    fn get_device_ids(&self, platform: ClPlatform, ty: DeviceType) -> ClResult<Vec<ClDevice>> {
         if platform.0 != PLATFORM_ID {
             return Err(ClError(CL_INVALID_VALUE));
         }
@@ -371,14 +366,10 @@ impl ClApi for SimCl {
             DeviceInfo::Name => InfoValue::Str(dev.config.name.clone()),
             DeviceInfo::Vendor => InfoValue::Str(dev.config.vendor.clone()),
             DeviceInfo::MaxComputeUnits => InfoValue::UInt(dev.config.compute_units as u64),
-            DeviceInfo::MaxWorkGroupSize => {
-                InfoValue::UInt(dev.config.max_work_group_size as u64)
-            }
+            DeviceInfo::MaxWorkGroupSize => InfoValue::UInt(dev.config.max_work_group_size as u64),
             DeviceInfo::GlobalMemSize => InfoValue::UInt(dev.config.global_mem_size as u64),
             DeviceInfo::LocalMemSize => InfoValue::UInt(dev.config.local_mem_size as u64),
-            DeviceInfo::Type => {
-                InfoValue::UInt(if dev.config.is_gpu { 1 << 2 } else { 1 << 3 })
-            }
+            DeviceInfo::Type => InfoValue::UInt(if dev.config.is_gpu { 1 << 2 } else { 1 << 3 }),
         })
     }
 
@@ -499,11 +490,7 @@ impl ClApi for SimCl {
         Ok(self.mem(mem.0)?.size)
     }
 
-    fn create_program_with_source(
-        &self,
-        context: ClContext,
-        source: &str,
-    ) -> ClResult<ClProgram> {
+    fn create_program_with_source(&self, context: ClContext, source: &str) -> ClResult<ClProgram> {
         self.ctx(context.0)?;
         if source.is_empty() {
             return Err(ClError(CL_INVALID_VALUE));
@@ -624,22 +611,18 @@ impl ClApi for SimCl {
             Some(Ok(out)) => out.sigs.iter().map(|s| s.name.clone()).collect(),
             _ => return Err(ClError(CL_INVALID_PROGRAM_EXECUTABLE)),
         };
-        names.iter().map(|n| self.create_kernel(program, n)).collect()
+        names
+            .iter()
+            .map(|n| self.create_kernel(program, n))
+            .collect()
     }
 
-    fn set_kernel_arg(
-        &self,
-        kernel: ClKernel,
-        index: u32,
-        arg: KernelArg,
-    ) -> ClResult<()> {
+    fn set_kernel_arg(&self, kernel: ClKernel, index: u32, arg: KernelArg) -> ClResult<()> {
         let k = self.kern(kernel.0)?;
         let idx = index as usize;
         let kind = *k.sig.params.get(idx).ok_or(ClError(CL_INVALID_ARG_INDEX))?;
         let bound = match (kind, arg) {
-            (KernelParamKind::GlobalPtr, KernelArg::Mem(m)) => {
-                BoundArg::Mem(self.mem(m.0)?)
-            }
+            (KernelParamKind::GlobalPtr, KernelArg::Mem(m)) => BoundArg::Mem(self.mem(m.0)?),
             (KernelParamKind::LocalPtr, KernelArg::Local(n)) => BoundArg::Local(n),
             (KernelParamKind::Scalar(expect), KernelArg::Scalar(bytes)) => {
                 if bytes.len() != expect {
@@ -653,11 +636,7 @@ impl ClApi for SimCl {
         Ok(())
     }
 
-    fn get_kernel_work_group_info(
-        &self,
-        kernel: ClKernel,
-        device: ClDevice,
-    ) -> ClResult<usize> {
+    fn get_kernel_work_group_info(&self, kernel: ClKernel, device: ClDevice) -> ClResult<usize> {
         self.kern(kernel.0)?;
         Ok(self.device(device.0)?.config.max_work_group_size)
     }
@@ -694,14 +673,7 @@ impl ClApi for SimCl {
         wait: &[ClEvent],
         want_event: bool,
     ) -> ClResult<Option<ClEvent>> {
-        self.enqueue_kernel_common(
-            queue,
-            kernel,
-            [1, 1, 1],
-            Some([1, 1, 1]),
-            wait,
-            want_event,
-        )
+        self.enqueue_kernel_common(queue, kernel, [1, 1, 1], Some([1, 1, 1]), wait, want_event)
     }
 
     fn enqueue_read_buffer(
@@ -810,8 +782,10 @@ impl ClApi for SimCl {
     fn finish(&self, queue: ClQueue) -> ClResult<()> {
         let q = self.queue(queue.0)?;
         let core = Arc::new(EventCore::new(false));
-        q.tx.send(Command::Marker { event: Arc::clone(&core) })
-            .map_err(|_| ClError(CL_INVALID_COMMAND_QUEUE))?;
+        q.tx.send(Command::Marker {
+            event: Arc::clone(&core),
+        })
+        .map_err(|_| ClError(CL_INVALID_COMMAND_QUEUE))?;
         core.wait()
     }
 

@@ -79,12 +79,18 @@ impl MemFlags {
 
     /// Read-only buffer.
     pub fn read_only() -> Self {
-        MemFlags { read_only: true, ..Default::default() }
+        MemFlags {
+            read_only: true,
+            ..Default::default()
+        }
     }
 
     /// Write-only buffer.
     pub fn write_only() -> Self {
-        MemFlags { write_only: true, ..Default::default() }
+        MemFlags {
+            write_only: true,
+            ..Default::default()
+        }
     }
 
     /// Encodes to the OpenCL bitfield (for marshaling).
@@ -134,7 +140,9 @@ impl QueueProps {
 
     /// Decodes from the OpenCL bitfield.
     pub fn from_bits(bits: u64) -> Self {
-        QueueProps { profiling: bits & (1 << 1) != 0 }
+        QueueProps {
+            profiling: bits & (1 << 1) != 0,
+        }
     }
 }
 
@@ -317,7 +325,10 @@ mod tests {
             MemFlags::read_write(),
             MemFlags::read_only(),
             MemFlags::write_only(),
-            MemFlags { copy_host_ptr: true, ..MemFlags::read_only() },
+            MemFlags {
+                copy_host_ptr: true,
+                ..MemFlags::read_only()
+            },
         ] {
             assert_eq!(MemFlags::from_bits(flags.to_bits()), flags);
         }
@@ -345,7 +356,10 @@ mod tests {
 
     #[test]
     fn scalar_arg_encodings() {
-        assert_eq!(KernelArg::from_u32(0x01020304), KernelArg::Scalar(vec![4, 3, 2, 1]));
+        assert_eq!(
+            KernelArg::from_u32(0x01020304),
+            KernelArg::Scalar(vec![4, 3, 2, 1])
+        );
         assert_eq!(
             KernelArg::from_f32(1.0),
             KernelArg::Scalar(1.0f32.to_le_bytes().to_vec())
@@ -354,13 +368,22 @@ mod tests {
 
     #[test]
     fn profiling_duration() {
-        let p = ProfilingInfo { queued: 0, submitted: 10, started: 100, ended: 350 };
+        let p = ProfilingInfo {
+            queued: 0,
+            submitted: 10,
+            started: 100,
+            ended: 350,
+        };
         assert_eq!(p.duration_nanos(), 250);
     }
 
     #[test]
     fn image_desc_len() {
-        let d = ImageDesc { width: 64, height: 32, elem_size: 4 };
+        let d = ImageDesc {
+            width: 64,
+            height: 32,
+            elem_size: 4,
+        };
         assert_eq!(d.byte_len(), 8192);
     }
 }

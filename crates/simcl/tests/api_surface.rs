@@ -18,10 +18,15 @@ fn setup() -> (SimCl, ClContext, ClQueue, ClDevice) {
 fn platform_and_device_discovery() {
     let (cl, _ctx, _q, device) = setup();
     let platform = cl.get_platform_ids().unwrap()[0];
-    assert_eq!(cl.get_platform_info(platform, PlatformInfo::Name).unwrap(), "AvA SimCL");
+    assert_eq!(
+        cl.get_platform_info(platform, PlatformInfo::Name).unwrap(),
+        "AvA SimCL"
+    );
     let name = cl.get_device_info(device, DeviceInfo::Name).unwrap();
     assert!(name.as_str().unwrap().contains("GTX 1080"));
-    let cus = cl.get_device_info(device, DeviceInfo::MaxComputeUnits).unwrap();
+    let cus = cl
+        .get_device_info(device, DeviceInfo::MaxComputeUnits)
+        .unwrap();
     assert_eq!(cus.as_u64().unwrap(), 20);
 }
 
@@ -48,15 +53,27 @@ fn full_saxpy_pipeline() {
     let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let y: Vec<f32> = vec![1.0; n];
     let bx = cl
-        .create_buffer(ctx, MemFlags::read_only(), 4 * n, Some(&simcl::mem::f32_to_bytes(&x)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&x)),
+        )
         .unwrap();
     let by = cl
-        .create_buffer(ctx, MemFlags::read_write(), 4 * n, Some(&simcl::mem::f32_to_bytes(&y)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&y)),
+        )
         .unwrap();
     cl.set_kernel_arg(kernel, 0, KernelArg::Mem(bx)).unwrap();
     cl.set_kernel_arg(kernel, 1, KernelArg::Mem(by)).unwrap();
-    cl.set_kernel_arg(kernel, 2, KernelArg::from_f32(2.0)).unwrap();
-    cl.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32)).unwrap();
+    cl.set_kernel_arg(kernel, 2, KernelArg::from_f32(2.0))
+        .unwrap();
+    cl.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32))
+        .unwrap();
     let ev = cl
         .enqueue_nd_range_kernel(queue, kernel, [n, 1, 1], Some([64, 1, 1]), &[], true)
         .unwrap()
@@ -68,7 +85,8 @@ fn full_saxpy_pipeline() {
     cl.release_event(ev).unwrap();
 
     let mut out = vec![0u8; 4 * n];
-    cl.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false).unwrap();
+    cl.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false)
+        .unwrap();
     let result = simcl::mem::bytes_to_f32(&out);
     for i in 0..n {
         assert_eq!(result[i], 1.0 + 2.0 * i as f32);
@@ -78,7 +96,9 @@ fn full_saxpy_pipeline() {
 #[test]
 fn event_wait_list_chains_commands() {
     let (cl, ctx, queue, _dev) = setup();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 8, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 8, None)
+        .unwrap();
     let ev1 = cl
         .enqueue_write_buffer(queue, buf, false, 0, &[1u8; 8], &[], true)
         .unwrap()
@@ -89,7 +109,8 @@ fn event_wait_list_chains_commands() {
         .unwrap();
     cl.wait_for_events(&[ev2]).unwrap();
     let mut out = [0u8; 8];
-    cl.enqueue_read_buffer(queue, buf, true, 0, &mut out, &[], false).unwrap();
+    cl.enqueue_read_buffer(queue, buf, true, 0, &mut out, &[], false)
+        .unwrap();
     assert_eq!(out, [2, 2, 2, 2, 1, 1, 1, 1]);
 }
 
@@ -97,13 +118,22 @@ fn event_wait_list_chains_commands() {
 fn copy_buffer_between_objects() {
     let (cl, ctx, queue, _dev) = setup();
     let src = cl
-        .create_buffer(ctx, MemFlags::read_only(), 8, Some(&[9u8, 8, 7, 6, 5, 4, 3, 2]))
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            8,
+            Some(&[9u8, 8, 7, 6, 5, 4, 3, 2]),
+        )
         .unwrap();
-    let dst = cl.create_buffer(ctx, MemFlags::read_write(), 8, None).unwrap();
-    cl.enqueue_copy_buffer(queue, src, dst, 2, 0, 4, &[], false).unwrap();
+    let dst = cl
+        .create_buffer(ctx, MemFlags::read_write(), 8, None)
+        .unwrap();
+    cl.enqueue_copy_buffer(queue, src, dst, 2, 0, 4, &[], false)
+        .unwrap();
     cl.finish(queue).unwrap();
     let mut out = [0u8; 4];
-    cl.enqueue_read_buffer(queue, dst, true, 0, &mut out, &[], false).unwrap();
+    cl.enqueue_read_buffer(queue, dst, true, 0, &mut out, &[], false)
+        .unwrap();
     assert_eq!(out, [7, 6, 5, 4]);
 }
 
@@ -158,7 +188,9 @@ fn kernel_arg_validation() {
         .unwrap();
     cl.build_program(program, "").unwrap();
     let kernel = cl.create_kernel(program, "vector_scale").unwrap();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 16, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 16, None)
+        .unwrap();
     // Wrong kind: scalar where buffer expected.
     assert_eq!(
         cl.set_kernel_arg(kernel, 0, KernelArg::from_u32(1)),
@@ -176,8 +208,10 @@ fn kernel_arg_validation() {
     );
     // Valid bindings.
     cl.set_kernel_arg(kernel, 0, KernelArg::Mem(buf)).unwrap();
-    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(2.0)).unwrap();
-    cl.set_kernel_arg(kernel, 2, KernelArg::from_u32(4)).unwrap();
+    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(2.0))
+        .unwrap();
+    cl.set_kernel_arg(kernel, 2, KernelArg::from_u32(4))
+        .unwrap();
 }
 
 #[test]
@@ -202,9 +236,12 @@ fn bad_work_group_sizes_rejected() {
         .unwrap();
     cl.build_program(program, "").unwrap();
     let kernel = cl.create_kernel(program, "fill").unwrap();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 64, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 64, None)
+        .unwrap();
     cl.set_kernel_arg(kernel, 0, KernelArg::Mem(buf)).unwrap();
-    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(0.0)).unwrap();
+    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(0.0))
+        .unwrap();
     // Local does not divide global.
     assert_eq!(
         cl.enqueue_nd_range_kernel(queue, kernel, [10, 1, 1], Some([3, 1, 1]), &[], false),
@@ -228,21 +265,29 @@ fn device_memory_accounting_and_oom() {
     let platform = cl.get_platform_ids().unwrap()[0];
     let device = cl.get_device_ids(platform, DeviceType::All).unwrap()[0];
     let ctx = cl.create_context(device).unwrap();
-    let a = cl.create_buffer(ctx, MemFlags::read_write(), 512 << 10, None).unwrap();
-    let _b = cl.create_buffer(ctx, MemFlags::read_write(), 400 << 10, None).unwrap();
+    let a = cl
+        .create_buffer(ctx, MemFlags::read_write(), 512 << 10, None)
+        .unwrap();
+    let _b = cl
+        .create_buffer(ctx, MemFlags::read_write(), 400 << 10, None)
+        .unwrap();
     assert_eq!(
         cl.create_buffer(ctx, MemFlags::read_write(), 200 << 10, None),
         Err(ClError(simcl::status::CL_MEM_OBJECT_ALLOCATION_FAILURE))
     );
     // Releasing makes room again.
     cl.release_mem_object(a).unwrap();
-    assert!(cl.create_buffer(ctx, MemFlags::read_write(), 200 << 10, None).is_ok());
+    assert!(cl
+        .create_buffer(ctx, MemFlags::read_write(), 200 << 10, None)
+        .is_ok());
 }
 
 #[test]
 fn refcounts_keep_objects_alive() {
     let (cl, ctx, _q, _dev) = setup();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 16, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 16, None)
+        .unwrap();
     cl.retain_mem_object(buf).unwrap();
     cl.release_mem_object(buf).unwrap();
     // Still alive after one release (refcount was 2).
@@ -254,19 +299,29 @@ fn refcounts_keep_objects_alive() {
 #[test]
 fn images_are_buffers_with_geometry() {
     let (cl, ctx, queue, _dev) = setup();
-    let desc = ImageDesc { width: 8, height: 4, elem_size: 4 };
-    let img = cl.create_image(ctx, MemFlags::read_write(), desc, None).unwrap();
+    let desc = ImageDesc {
+        width: 8,
+        height: 4,
+        elem_size: 4,
+    };
+    let img = cl
+        .create_image(ctx, MemFlags::read_write(), desc, None)
+        .unwrap();
     assert_eq!(cl.get_mem_object_info(img).unwrap(), 128);
-    cl.enqueue_write_buffer(queue, img, true, 0, &[1u8; 128], &[], false).unwrap();
+    cl.enqueue_write_buffer(queue, img, true, 0, &[1u8; 128], &[], false)
+        .unwrap();
     let mut out = [0u8; 16];
-    cl.enqueue_read_buffer(queue, img, true, 16, &mut out, &[], false).unwrap();
+    cl.enqueue_read_buffer(queue, img, true, 16, &mut out, &[], false)
+        .unwrap();
     assert_eq!(out, [1u8; 16]);
 }
 
 #[test]
 fn stale_handles_are_rejected() {
     let (cl, ctx, queue, _dev) = setup();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 4, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 4, None)
+        .unwrap();
     cl.release_mem_object(buf).unwrap();
     let mut out = [0u8; 4];
     assert_eq!(
@@ -285,10 +340,14 @@ fn busy_time_visible_through_profiling_interface() {
         .unwrap();
     cl.build_program(program, "").unwrap();
     let kernel = cl.create_kernel(program, "fill").unwrap();
-    let buf = cl.create_buffer(ctx, MemFlags::read_write(), 1 << 16, None).unwrap();
+    let buf = cl
+        .create_buffer(ctx, MemFlags::read_write(), 1 << 16, None)
+        .unwrap();
     cl.set_kernel_arg(kernel, 0, KernelArg::Mem(buf)).unwrap();
-    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(3.0)).unwrap();
-    cl.enqueue_nd_range_kernel(queue, kernel, [1 << 14, 1, 1], None, &[], false).unwrap();
+    cl.set_kernel_arg(kernel, 1, KernelArg::from_f32(3.0))
+        .unwrap();
+    cl.enqueue_nd_range_kernel(queue, kernel, [1 << 14, 1, 1], None, &[], false)
+        .unwrap();
     cl.finish(queue).unwrap();
     assert!(cl.device_state(dev).unwrap().busy_nanos() > 0);
 }
@@ -297,8 +356,12 @@ fn busy_time_visible_through_profiling_interface() {
 fn two_contexts_are_isolated_namespaces() {
     let (cl, ctx1, _q, dev) = setup();
     let ctx2 = cl.create_context(dev).unwrap();
-    let b1 = cl.create_buffer(ctx1, MemFlags::read_write(), 8, None).unwrap();
-    let b2 = cl.create_buffer(ctx2, MemFlags::read_write(), 8, None).unwrap();
+    let b1 = cl
+        .create_buffer(ctx1, MemFlags::read_write(), 8, None)
+        .unwrap();
+    let b2 = cl
+        .create_buffer(ctx2, MemFlags::read_write(), 8, None)
+        .unwrap();
     assert_ne!(b1, b2);
     cl.release_context(ctx2).unwrap();
 }

@@ -59,19 +59,14 @@ pub trait MvncApi: Send + Sync {
     fn get_result(&self, graph: NcGraph) -> NcResult<(Vec<u8>, u64)>;
 
     /// `mvncSetGraphOption`.
-    fn set_graph_option(&self, graph: NcGraph, option: GraphOption, value: u64)
-        -> NcResult<()>;
+    fn set_graph_option(&self, graph: NcGraph, option: GraphOption, value: u64) -> NcResult<()>;
 
     /// `mvncGetGraphOption`.
     fn get_graph_option(&self, graph: NcGraph, option: GraphOption) -> NcResult<u64>;
 
     /// `mvncSetDeviceOption`.
-    fn set_device_option(
-        &self,
-        device: NcDevice,
-        option: DeviceOption,
-        value: u64,
-    ) -> NcResult<()>;
+    fn set_device_option(&self, device: NcDevice, option: DeviceOption, value: u64)
+        -> NcResult<()>;
 
     /// `mvncGetDeviceOption`.
     fn get_device_option(&self, device: NcDevice, option: DeviceOption) -> NcResult<u64>;

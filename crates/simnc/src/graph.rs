@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::status::{NcError, NcResult, MVNC_UNSUPPORTED_GRAPH_FILE};
-use crate::tensor::{
-    avgpool, concat, conv2d, fully_connected, maxpool, softmax, Tensor,
-};
+use crate::tensor::{avgpool, concat, conv2d, fully_connected, maxpool, softmax, Tensor};
 
 /// Magic bytes at the start of a graph blob.
 pub const GRAPH_MAGIC: &[u8; 4] = b"AVNC";
@@ -129,13 +127,20 @@ impl Network {
             let out = match layer {
                 Layer::Input { c, h, w } => {
                     if input.c != *c || input.h != *h || input.w != *w {
-                        return Err(NcError(
-                            crate::status::MVNC_INVALID_PARAMETERS,
-                        ));
+                        return Err(NcError(crate::status::MVNC_INVALID_PARAMETERS));
                     }
                     input.clone()
                 }
-                Layer::Conv { input, out_c, k, stride, pad, relu, weights, bias } => {
+                Layer::Conv {
+                    input,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    relu,
+                    weights,
+                    bias,
+                } => {
                     let src = fetch(&results, *input)?;
                     conv2d(src, weights, bias, *out_c, *k, *stride, *pad, *relu)?
                 }
@@ -150,9 +155,13 @@ impl Network {
                         inputs.iter().map(|i| fetch(&results, *i)).collect();
                     concat(&srcs?)?
                 }
-                Layer::Fc { input, out_n, relu, weights, bias } => {
-                    fully_connected(fetch(&results, *input)?, weights, bias, *out_n, *relu)?
-                }
+                Layer::Fc {
+                    input,
+                    out_n,
+                    relu,
+                    weights,
+                    bias,
+                } => fully_connected(fetch(&results, *input)?, weights, bias, *out_n, *relu)?,
                 Layer::Softmax { input } => softmax(fetch(&results, *input)?),
             };
             results[i] = Some(out);
@@ -178,7 +187,16 @@ impl Network {
                     put_u32(&mut out, *h as u32);
                     put_u32(&mut out, *w as u32);
                 }
-                Layer::Conv { input, out_c, k, stride, pad, relu, weights, bias } => {
+                Layer::Conv {
+                    input,
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                    relu,
+                    weights,
+                    bias,
+                } => {
                     out.push(1);
                     put_u32(&mut out, *input as u32);
                     put_u32(&mut out, *out_c as u32);
@@ -208,7 +226,13 @@ impl Network {
                         put_u32(&mut out, *i as u32);
                     }
                 }
-                Layer::Fc { input, out_n, relu, weights, bias } => {
+                Layer::Fc {
+                    input,
+                    out_n,
+                    relu,
+                    weights,
+                    bias,
+                } => {
                     out.push(5);
                     put_u32(&mut out, *input as u32);
                     put_u32(&mut out, *out_n as u32);
@@ -285,7 +309,9 @@ impl Network {
                     weights: cur.f32s()?,
                     bias: cur.f32s()?,
                 },
-                6 => Layer::Softmax { input: cur.idx(idx)? },
+                6 => Layer::Softmax {
+                    input: cur.idx(idx)?,
+                },
                 _ => return Err(NcError(MVNC_UNSUPPORTED_GRAPH_FILE)),
             };
             layers.push(layer);
@@ -337,7 +363,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> NcResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a layer index that must reference an earlier layer.
@@ -382,25 +410,38 @@ impl<'a> Reader<'a> {
 /// call/transfer profile, not on trained weights (see DESIGN.md).
 pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u64) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut layers = vec![Layer::Input { c: 3, h: input_hw, w: input_hw }];
+    let mut layers = vec![Layer::Input {
+        c: 3,
+        h: input_hw,
+        w: input_hw,
+    }];
     let mut last = 0usize;
     let mut last_c = 3usize;
 
     let conv = |layers: &mut Vec<Layer>,
-                    rng: &mut StdRng,
-                    input: usize,
-                    in_c: usize,
-                    out_c: usize,
-                    k: usize,
-                    stride: usize,
-                    pad: usize|
+                rng: &mut StdRng,
+                input: usize,
+                in_c: usize,
+                out_c: usize,
+                k: usize,
+                stride: usize,
+                pad: usize|
      -> usize {
         let scale = (2.0 / (in_c * k * k) as f32).sqrt();
         let weights = (0..out_c * in_c * k * k)
             .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
             .collect();
         let bias = vec![0.01; out_c];
-        layers.push(Layer::Conv { input, out_c, k, stride, pad, relu: true, weights, bias });
+        layers.push(Layer::Conv {
+            input,
+            out_c,
+            k,
+            stride,
+            pad,
+            relu: true,
+            weights,
+            bias,
+        });
         layers.len() - 1
     };
 
@@ -409,7 +450,11 @@ pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u
     last_c = 8;
     last = conv(&mut layers, &mut rng, last, last_c, 16, 3, 1, 1);
     last_c = 16;
-    layers.push(Layer::MaxPool { input: last, k: 2, stride: 2 });
+    layers.push(Layer::MaxPool {
+        input: last,
+        k: 2,
+        stride: 2,
+    });
     last = layers.len() - 1;
 
     // Inception modules.
@@ -423,7 +468,9 @@ pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u
         // Pool branch: our pooling has no padding, so the shape-preserving
         // stand-in is a 3x3/1/1 "pool projection" convolution.
         let b4 = conv(&mut layers, &mut rng, last, last_c, 8, 3, 1, 1);
-        layers.push(Layer::Concat { inputs: vec![b1, b2, b3, b4] });
+        layers.push(Layer::Concat {
+            inputs: vec![b1, b2, b3, b4],
+        });
         last = layers.len() - 1;
         last_c = 8 + 12 + 12 + 8;
     }
@@ -431,7 +478,11 @@ pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u
     // Head: global average pool (approximated by one big window), FC,
     // softmax.
     let spatial = input_hw / 4; // after stem stride-2 conv + stride-2 pool
-    layers.push(Layer::AvgPool { input: last, k: spatial, stride: spatial });
+    layers.push(Layer::AvgPool {
+        input: last,
+        k: spatial,
+        stride: spatial,
+    });
     let pooled = layers.len() - 1;
     let in_n = last_c; // 1x1 spatial after global pool
     let scale = (2.0 / in_n as f32).sqrt();
@@ -448,7 +499,10 @@ pub fn inception_v3_like(input_hw: usize, blocks: usize, classes: usize, seed: u
     let fc = layers.len() - 1;
     layers.push(Layer::Softmax { input: fc });
 
-    Network { name: format!("inception-v3-like-{input_hw}x{input_hw}"), layers }
+    Network {
+        name: format!("inception-v3-like-{input_hw}x{input_hw}"),
+        layers,
+    }
 }
 
 #[cfg(test)]
@@ -470,7 +524,11 @@ mod tests {
                     weights: vec![0.1; 2 * 1 * 9],
                     bias: vec![0.0, 0.5],
                 },
-                Layer::MaxPool { input: 1, k: 2, stride: 2 },
+                Layer::MaxPool {
+                    input: 1,
+                    k: 2,
+                    stride: 2,
+                },
                 Layer::Fc {
                     input: 2,
                     out_n: 3,

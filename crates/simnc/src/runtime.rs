@@ -185,7 +185,12 @@ impl MvncApi for SimNc {
                     // Inputs arrive as flat element vectors; reshape against
                     // the network's declared input geometry.
                     let reply = if job.input.len() == c * h * w {
-                        let input = Tensor { c, h, w, data: job.input.data };
+                        let input = Tensor {
+                            c,
+                            h,
+                            w,
+                            data: job.input.data,
+                        };
                         let started = Instant::now();
                         let result = network.forward(&input);
                         *worker_micros.lock() = started.elapsed().as_micros() as u64;
@@ -246,11 +251,20 @@ impl MvncApi for SimNc {
             .collect();
         // Pack as a flat (n,1,1) tensor; the worker reshapes against the
         // network's declared input.
-        let input = Tensor { c: n, h: 1, w: 1, data };
+        let input = Tensor {
+            c: n,
+            h: 1,
+            w: 1,
+            data,
+        };
         let (reply_tx, reply_rx) = unbounded();
         state
             .job_tx
-            .send(Job { input, user_param, reply: reply_tx })
+            .send(Job {
+                input,
+                user_param,
+                reply: reply_tx,
+            })
             .map_err(|_| NcError(MVNC_GONE))?;
         state
             .result_order_tx
@@ -273,12 +287,7 @@ impl MvncApi for SimNc {
         pending.recv().map_err(|_| NcError(MVNC_GONE))?
     }
 
-    fn set_graph_option(
-        &self,
-        graph: NcGraph,
-        option: GraphOption,
-        value: u64,
-    ) -> NcResult<()> {
+    fn set_graph_option(&self, graph: NcGraph, option: GraphOption, value: u64) -> NcResult<()> {
         let state = self.graph(graph.0)?;
         match option {
             GraphOption::DontBlock => {
@@ -370,7 +379,10 @@ mod tests {
         nc.load_tensor(graph, &input.to_bytes(), 0xCAFE).unwrap();
         let (out, param) = nc.get_result(graph).unwrap();
         assert_eq!(param, 0xCAFE);
-        assert_eq!(Tensor::from_bytes(2, 1, 1, &out).unwrap().data, vec![3.0, -4.0]);
+        assert_eq!(
+            Tensor::from_bytes(2, 1, 1, &out).unwrap().data,
+            vec![3.0, -4.0]
+        );
         nc.deallocate_graph(graph).unwrap();
         nc.close_device(dev).unwrap();
     }
@@ -397,7 +409,10 @@ mod tests {
         let graph = nc.allocate_graph(dev, &id_network().to_blob()).unwrap();
         nc.load_tensor(graph, &[0u8; 12], 1).unwrap(); // 3 floats, net wants 2
         assert_eq!(nc.get_result(graph), Err(NcError(MVNC_INVALID_PARAMETERS)));
-        assert_eq!(nc.load_tensor(graph, &[], 1), Err(NcError(MVNC_INVALID_PARAMETERS)));
+        assert_eq!(
+            nc.load_tensor(graph, &[], 1),
+            Err(NcError(MVNC_INVALID_PARAMETERS))
+        );
     }
 
     #[test]
@@ -426,8 +441,12 @@ mod tests {
         let nc = SimNc::new(1);
         let dev = nc.open_device("ncs0").unwrap();
         let graph = nc.allocate_graph(dev, &id_network().to_blob()).unwrap();
-        nc.set_graph_option(graph, GraphOption::DontBlock, 1).unwrap();
-        assert_eq!(nc.get_graph_option(graph, GraphOption::DontBlock).unwrap(), 1);
+        nc.set_graph_option(graph, GraphOption::DontBlock, 1)
+            .unwrap();
+        assert_eq!(
+            nc.get_graph_option(graph, GraphOption::DontBlock).unwrap(),
+            1
+        );
         assert_eq!(nc.get_result(graph), Err(NcError(MVNC_NO_DATA)));
     }
 
@@ -461,9 +480,20 @@ mod tests {
     fn device_options() {
         let nc = SimNc::new(1);
         let dev = nc.open_device("ncs0").unwrap();
-        nc.set_device_option(dev, DeviceOption::MaxExecutors, 2).unwrap();
-        assert_eq!(nc.get_device_option(dev, DeviceOption::MaxExecutors).unwrap(), 2);
-        assert_eq!(nc.get_device_option(dev, DeviceOption::ThermalThrottle).unwrap(), 0);
-        assert!(nc.set_device_option(dev, DeviceOption::ThermalThrottle, 1).is_err());
+        nc.set_device_option(dev, DeviceOption::MaxExecutors, 2)
+            .unwrap();
+        assert_eq!(
+            nc.get_device_option(dev, DeviceOption::MaxExecutors)
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            nc.get_device_option(dev, DeviceOption::ThermalThrottle)
+                .unwrap(),
+            0
+        );
+        assert!(nc
+            .set_device_option(dev, DeviceOption::ThermalThrottle, 1)
+            .is_err());
     }
 }

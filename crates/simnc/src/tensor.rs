@@ -18,7 +18,12 @@ pub struct Tensor {
 impl Tensor {
     /// Zero-filled tensor.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Tensor { c, h, w, data: vec![0.0; c * h * w] }
+        Tensor {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Tensor from existing data.
@@ -92,8 +97,14 @@ pub fn conv2d(
     if weights.len() != out_c * in_c * k * k || bias.len() != out_c {
         return Err(NcError(MVNC_INVALID_PARAMETERS));
     }
-    let oh = (input.h + 2 * pad).checked_sub(k).map(|v| v / stride + 1).unwrap_or(0);
-    let ow = (input.w + 2 * pad).checked_sub(k).map(|v| v / stride + 1).unwrap_or(0);
+    let oh = (input.h + 2 * pad)
+        .checked_sub(k)
+        .map(|v| v / stride + 1)
+        .unwrap_or(0);
+    let ow = (input.w + 2 * pad)
+        .checked_sub(k)
+        .map(|v| v / stride + 1)
+        .unwrap_or(0);
     if oh == 0 || ow == 0 {
         return Err(NcError(MVNC_INVALID_PARAMETERS));
     }
@@ -242,8 +253,7 @@ mod tests {
     #[test]
     fn conv_known_values() {
         // 3x3 input, 2x2 kernel of ones, stride 1, no pad: sliding sums.
-        let input =
-            Tensor::from_data(1, 3, 3, (1..=9).map(|v| v as f32).collect()).unwrap();
+        let input = Tensor::from_data(1, 3, 3, (1..=9).map(|v| v as f32).collect()).unwrap();
         let out = conv2d(&input, &[1.0; 4], &[0.0], 1, 2, 1, 0, false).unwrap();
         assert_eq!(out.data, vec![12.0, 16.0, 24.0, 28.0]);
     }
@@ -273,8 +283,7 @@ mod tests {
 
     #[test]
     fn maxpool_and_avgpool() {
-        let input =
-            Tensor::from_data(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let input = Tensor::from_data(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
         assert_eq!(maxpool(&input, 2, 2).unwrap().data, vec![5.0]);
         assert_eq!(avgpool(&input, 2, 2).unwrap().data, vec![2.75]);
     }
@@ -282,9 +291,7 @@ mod tests {
     #[test]
     fn fc_computes_dot_products() {
         let input = Tensor::from_data(2, 1, 1, vec![1.0, 2.0]).unwrap();
-        let out =
-            fully_connected(&input, &[1.0, 1.0, 0.5, -1.0], &[0.0, 1.0], 2, false)
-                .unwrap();
+        let out = fully_connected(&input, &[1.0, 1.0, 0.5, -1.0], &[0.0, 1.0], 2, false).unwrap();
         assert_eq!(out.data, vec![3.0, -0.5]);
     }
 

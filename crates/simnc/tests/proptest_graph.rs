@@ -21,7 +21,10 @@ fn arb_network() -> impl Strategy<Value = Network> {
             });
             last_c += 1;
         }
-        Network { name: format!("n{c}x{hw}"), layers }
+        Network {
+            name: format!("n{c}x{hw}"),
+            layers,
+        }
     })
 }
 

@@ -98,8 +98,7 @@ fn parse_top_level(cur: &mut Cursor, header: &mut Header) -> Result<()> {
             // Could be `struct X {...};`, `struct X;`, or the start of a
             // declaration like `struct X f(...)`. Decide by lookahead.
             match (cur.peek_n(1), cur.peek_n(2)) {
-                (Some(Tok::Ident(_)), Some(Tok::Punct("{")))
-                | (Some(Tok::Punct("{")), _) => {
+                (Some(Tok::Ident(_)), Some(Tok::Punct("{"))) | (Some(Tok::Punct("{")), _) => {
                     let is_union = kw == "union";
                     cur.next();
                     let tag = match cur.peek() {
@@ -147,7 +146,11 @@ fn parse_top_level(cur: &mut Cursor, header: &mut Header) -> Result<()> {
         let name = name.ok_or_else(|| cur.err_here("function without a name".into()))?;
         let params = parse_param_list(cur, header)?;
         cur.expect_punct(";")?;
-        header.protos.push(Prototype { name, ret: ty, params });
+        header.protos.push(Prototype {
+            name,
+            ret: ty,
+            params,
+        });
         return Ok(());
     }
     // Variable declaration (possibly with initializer) — skip to `;`.
@@ -164,7 +167,9 @@ fn parse_typedef(cur: &mut Cursor, header: &mut Header) -> Result<()> {
     if matches!(cur.peek(), Some(Tok::Ident(kw)) if kw == "struct" || kw == "union") {
         let is_union = matches!(cur.peek(), Some(Tok::Ident(k)) if k == "union");
         let has_body_at = |cur: &Cursor, n: usize| matches!(cur.peek_n(n), Some(Tok::Punct("{")));
-        if has_body_at(cur, 1) || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2)) {
+        if has_body_at(cur, 1)
+            || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2))
+        {
             cur.next(); // struct/union
             let tag = match cur.peek() {
                 Some(Tok::Ident(_)) => cur.expect_ident()?,
@@ -172,10 +177,13 @@ fn parse_typedef(cur: &mut Cursor, header: &mut Header) -> Result<()> {
             };
             let def = parse_record_body(cur, header, is_union)?;
             header.types.add_record(tag.clone(), def);
-            let base = if is_union { CType::Union(tag) } else { CType::Struct(tag) };
+            let base = if is_union {
+                CType::Union(tag)
+            } else {
+                CType::Struct(tag)
+            };
             let (ty, name) = parse_declarator(cur, header, base, false)?;
-            let name =
-                name.ok_or_else(|| cur.err_here("typedef without a name".into()))?;
+            let name = name.ok_or_else(|| cur.err_here("typedef without a name".into()))?;
             header.types.add_typedef(name, ty);
             cur.expect_punct(";")?;
             return Ok(());
@@ -183,7 +191,9 @@ fn parse_typedef(cur: &mut Cursor, header: &mut Header) -> Result<()> {
     }
     if matches!(cur.peek(), Some(Tok::Ident(kw)) if kw == "enum") {
         let has_body_at = |cur: &Cursor, n: usize| matches!(cur.peek_n(n), Some(Tok::Punct("{")));
-        if has_body_at(cur, 1) || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2)) {
+        if has_body_at(cur, 1)
+            || (matches!(cur.peek_n(1), Some(Tok::Ident(_))) && has_body_at(cur, 2))
+        {
             cur.next();
             let tag = match cur.peek() {
                 Some(Tok::Ident(_)) => cur.expect_ident()?,
@@ -204,19 +214,17 @@ fn parse_typedef(cur: &mut Cursor, header: &mut Header) -> Result<()> {
     Ok(())
 }
 
-fn parse_record_body(
-    cur: &mut Cursor,
-    header: &mut Header,
-    is_union: bool,
-) -> Result<RecordDef> {
+fn parse_record_body(cur: &mut Cursor, header: &mut Header, is_union: bool) -> Result<RecordDef> {
     cur.expect_punct("{")?;
-    let mut def = RecordDef { members: Vec::new(), is_union };
+    let mut def = RecordDef {
+        members: Vec::new(),
+        is_union,
+    };
     while !cur.eat_punct("}") {
         let (base, base_const) = parse_type(cur, header)?;
         loop {
             let (ty, name) = parse_declarator(cur, header, base.clone(), base_const)?;
-            let name =
-                name.ok_or_else(|| cur.err_here("unnamed struct member".into()))?;
+            let name = name.ok_or_else(|| cur.err_here("unnamed struct member".into()))?;
             def.members.push((name, ty));
             if !cur.eat_punct(",") {
                 break;
@@ -274,7 +282,10 @@ fn apply_pointers(cur: &mut Cursor, mut ty: CType, base_const: bool) -> CType {
         let _ = ptr_const;
         let const_pointee = first && base_const;
         first = false;
-        ty = CType::Pointer { pointee: Box::new(ty), const_pointee };
+        ty = CType::Pointer {
+            pointee: Box::new(ty),
+            const_pointee,
+        };
     }
     ty
 }
@@ -322,7 +333,10 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
                     cur.next();
                 }
                 "char" => {
-                    base = Some(CType::Int { signed: signedness.unwrap_or(true), bits: 8 });
+                    base = Some(CType::Int {
+                        signed: signedness.unwrap_or(true),
+                        bits: 8,
+                    });
                     cur.next();
                 }
                 "int" => {
@@ -347,15 +361,21 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
                     });
                 }
                 "size_t" | "uintptr_t" => {
-                    base = Some(CType::Int { signed: false, bits: 64 });
+                    base = Some(CType::Int {
+                        signed: false,
+                        bits: 64,
+                    });
                     cur.next();
                 }
                 "ssize_t" | "intptr_t" | "ptrdiff_t" => {
-                    base = Some(CType::Int { signed: true, bits: 64 });
+                    base = Some(CType::Int {
+                        signed: true,
+                        bits: 64,
+                    });
                     cur.next();
                 }
-                "int8_t" | "int16_t" | "int32_t" | "int64_t" | "uint8_t"
-                | "uint16_t" | "uint32_t" | "uint64_t" => {
+                "int8_t" | "int16_t" | "int32_t" | "int64_t" | "uint8_t" | "uint16_t"
+                | "uint32_t" | "uint64_t" => {
                     let signed = !kw.starts_with('u');
                     let bits: u8 = kw
                         .trim_start_matches(['u', 'i'])
@@ -369,7 +389,8 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
                 _ => {
                     // A typedef name can only serve as the base type if no
                     // other specifier has claimed that role.
-                    if base.is_none() && !saw_int_kw && signedness.is_none() && longs == 0 && !short {
+                    if base.is_none() && !saw_int_kw && signedness.is_none() && longs == 0 && !short
+                    {
                         base = Some(CType::Named(kw));
                         cur.next();
                     }
@@ -385,7 +406,10 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
             if signedness.is_some() || longs > 0 || short {
                 // `unsigned char` handled above; reject e.g. `unsigned float`.
                 if let CType::Int { bits, .. } = t {
-                    CType::Int { signed: signedness.unwrap_or(true), bits }
+                    CType::Int {
+                        signed: signedness.unwrap_or(true),
+                        bits,
+                    }
                 } else {
                     return Err(cur.err_here("conflicting type specifiers".into()));
                 }
@@ -402,7 +426,10 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
                 } else {
                     32
                 };
-                CType::Int { signed: signedness.unwrap_or(true), bits }
+                CType::Int {
+                    signed: signedness.unwrap_or(true),
+                    bits,
+                }
             } else {
                 return Err(cur.err_here(format!("expected type, found {}", cur.describe())));
             }
@@ -421,8 +448,7 @@ fn parse_declarator(
 ) -> Result<(CType, Option<String>)> {
     let mut ty = apply_pointers(cur, base, base_const);
     // Function pointer: `(*name)(params)` or `(*)(params)`.
-    if matches!(cur.peek(), Some(Tok::Punct("(")))
-        && matches!(cur.peek_n(1), Some(Tok::Punct("*")))
+    if matches!(cur.peek(), Some(Tok::Punct("("))) && matches!(cur.peek_n(1), Some(Tok::Punct("*")))
     {
         cur.next(); // (
         cur.next(); // *
@@ -444,9 +470,12 @@ fn parse_declarator(
         if let Some(Tok::Int(_)) = cur.peek() {
             let len = cur.expect_int()?;
             cur.expect_punct("]")?;
-            let len = usize::try_from(len)
-                .map_err(|_| cur.err_here("negative array length".into()))?;
-            ty = CType::Array { elem: Box::new(ty), len };
+            let len =
+                usize::try_from(len).map_err(|_| cur.err_here("negative array length".into()))?;
+            ty = CType::Array {
+                elem: Box::new(ty),
+                len,
+            };
         } else {
             cur.expect_punct("]")?;
             // Unsized array in a parameter decays to a pointer.
@@ -486,8 +515,14 @@ fn parse_param_list(cur: &mut Cursor, header: &Header) -> Result<Vec<CParam>> {
             return Ok(params);
         }
         let (ty, name) = parse_declarator(cur, header, base, base_const)?;
-        let const_qualified =
-            base_const || matches!(&ty, CType::Pointer { const_pointee: true, .. });
+        let const_qualified = base_const
+            || matches!(
+                &ty,
+                CType::Pointer {
+                    const_pointee: true,
+                    ..
+                }
+            );
         params.push(CParam {
             name: name.unwrap_or_else(|| format!("arg{}", params.len())),
             ty,
@@ -505,9 +540,7 @@ fn skip_to_semicolon(cur: &mut Cursor) -> Result<()> {
     while let Some(tok) = cur.next() {
         match tok {
             Tok::Punct("(") | Tok::Punct("{") | Tok::Punct("[") => depth += 1,
-            Tok::Punct(")") | Tok::Punct("}") | Tok::Punct("]") => {
-                depth = depth.saturating_sub(1)
-            }
+            Tok::Punct(")") | Tok::Punct("}") | Tok::Punct("]") => depth = depth.saturating_sub(1),
             Tok::Punct(";") if depth == 0 => return Ok(()),
             _ => {}
         }
@@ -528,7 +561,13 @@ mod tests {
     fn parses_simple_prototype() {
         let h = parse("int add(int a, int b);");
         let p = h.proto("add").unwrap();
-        assert_eq!(p.ret, CType::Int { signed: true, bits: 32 });
+        assert_eq!(
+            p.ret,
+            CType::Int {
+                signed: true,
+                bits: 32
+            }
+        );
         assert_eq!(p.params.len(), 2);
         assert_eq!(p.params[0].name, "a");
     }
@@ -557,7 +596,10 @@ mod tests {
         let h = parse("typedef unsigned int cl_uint;\ntypedef cl_uint cl_bool;\n");
         assert_eq!(
             h.types.resolve(&CType::Named("cl_bool".into())).unwrap(),
-            &CType::Int { signed: false, bits: 32 }
+            &CType::Int {
+                signed: false,
+                bits: 32
+            }
         );
     }
 
@@ -595,7 +637,10 @@ mod tests {
         assert!(!p.params[2].const_qualified);
         assert_eq!(
             p.params[0].ty,
-            CType::const_ptr(CType::Int { signed: false, bits: 8 })
+            CType::const_ptr(CType::Int {
+                signed: false,
+                bits: 8
+            })
         );
     }
 
@@ -620,16 +665,40 @@ mod tests {
     fn parses_array_param_as_pointer() {
         let h = parse("int f(int values[], int n);");
         let p = h.proto("f").unwrap();
-        assert_eq!(p.params[0].ty, CType::ptr(CType::Int { signed: true, bits: 32 }));
+        assert_eq!(
+            p.params[0].ty,
+            CType::ptr(CType::Int {
+                signed: true,
+                bits: 32
+            })
+        );
     }
 
     #[test]
     fn fixed_width_and_size_t() {
         let h = parse("uint64_t f(size_t n, int32_t m, uint8_t b);");
         let p = h.proto("f").unwrap();
-        assert_eq!(p.ret, CType::Int { signed: false, bits: 64 });
-        assert_eq!(p.params[0].ty, CType::Int { signed: false, bits: 64 });
-        assert_eq!(p.params[2].ty, CType::Int { signed: false, bits: 8 });
+        assert_eq!(
+            p.ret,
+            CType::Int {
+                signed: false,
+                bits: 64
+            }
+        );
+        assert_eq!(
+            p.params[0].ty,
+            CType::Int {
+                signed: false,
+                bits: 64
+            }
+        );
+        assert_eq!(
+            p.params[2].ty,
+            CType::Int {
+                signed: false,
+                bits: 8
+            }
+        );
     }
 
     #[test]
@@ -663,7 +732,19 @@ mod tests {
     fn long_long_is_64_bits() {
         let h = parse("unsigned long long f(long long x);");
         let p = h.proto("f").unwrap();
-        assert_eq!(p.ret, CType::Int { signed: false, bits: 64 });
-        assert_eq!(p.params[0].ty, CType::Int { signed: true, bits: 64 });
+        assert_eq!(
+            p.ret,
+            CType::Int {
+                signed: false,
+                bits: 64
+            }
+        );
+        assert_eq!(
+            p.params[0].ty,
+            CType::Int {
+                signed: true,
+                bits: 64
+            }
+        );
     }
 }

@@ -23,7 +23,10 @@ pub enum CType {
     /// Reference to a typedef name, resolved via [`TypeTable`].
     Named(String),
     /// Pointer, with constness of the *pointee*.
-    Pointer { pointee: Box<CType>, const_pointee: bool },
+    Pointer {
+        pointee: Box<CType>,
+        const_pointee: bool,
+    },
     /// Struct by tag; definition (if any) lives in the [`TypeTable`].
     Struct(String),
     /// Union by tag (layout = max member size; alignment = max member align).
@@ -40,12 +43,18 @@ pub enum CType {
 impl CType {
     /// Convenience constructor for a (mutable-pointee) pointer.
     pub fn ptr(pointee: CType) -> CType {
-        CType::Pointer { pointee: Box::new(pointee), const_pointee: false }
+        CType::Pointer {
+            pointee: Box::new(pointee),
+            const_pointee: false,
+        }
     }
 
     /// Convenience constructor for a const-pointee pointer.
     pub fn const_ptr(pointee: CType) -> CType {
-        CType::Pointer { pointee: Box::new(pointee), const_pointee: true }
+        CType::Pointer {
+            pointee: Box::new(pointee),
+            const_pointee: true,
+        }
     }
 }
 
@@ -279,7 +288,10 @@ mod tests {
     #[test]
     fn array_layout() {
         let t = TypeTable::new();
-        let a = CType::Array { elem: Box::new(int(32)), len: 10 };
+        let a = CType::Array {
+            elem: Box::new(int(32)),
+            len: 10,
+        };
         assert_eq!(t.size_of(&a).unwrap(), 40);
     }
 
@@ -294,7 +306,10 @@ mod tests {
         t.add_typedef("vec_p", CType::ptr(CType::Struct("vec".into())));
         t.add_record(
             "vec",
-            RecordDef { members: vec![("x".into(), int(32))], is_union: false },
+            RecordDef {
+                members: vec![("x".into(), int(32))],
+                is_union: false,
+            },
         );
         assert!(!t.is_opaque_handle(&CType::Named("vec_p".into())));
 

@@ -207,11 +207,7 @@ impl FunctionDesc {
     }
 
     /// Evaluates the sync policy against marshaled arguments.
-    pub fn is_sync_for(
-        &self,
-        env: &EvalEnv<'_>,
-        types: &TypeTable,
-    ) -> Result<bool> {
+    pub fn is_sync_for(&self, env: &EvalEnv<'_>, types: &TypeTable) -> Result<bool> {
         match &self.sync {
             SyncPolicy::Sync => Ok(true),
             SyncPolicy::Async => Ok(false),
@@ -233,7 +229,10 @@ pub struct LowerOptions {
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { enable_async: true, infer_conventions: true }
+        LowerOptions {
+            enable_async: true,
+            infer_conventions: true,
+        }
     }
 }
 
@@ -256,7 +255,9 @@ pub struct ApiDescriptor {
 impl ApiDescriptor {
     /// Looks up a function by name.
     pub fn by_name(&self, name: &str) -> Option<&FunctionDesc> {
-        self.by_name.get(name).map(|id| &self.functions[*id as usize])
+        self.by_name
+            .get(name)
+            .map(|id| &self.functions[*id as usize])
     }
 
     /// Looks up a function by id.
@@ -293,11 +294,8 @@ pub fn lower(spec: &ApiSpec, opts: LowerOptions) -> Result<ApiDescriptor> {
         let fspec = match spec.function(&proto.name) {
             Some(f) => f,
             None => {
-                owned_spec = infer::infer_function_spec(
-                    proto,
-                    &spec.header.types,
-                    opts.infer_conventions,
-                );
+                owned_spec =
+                    infer::infer_function_spec(proto, &spec.header.types, opts.infer_conventions);
                 &owned_spec
             }
         };
@@ -466,7 +464,9 @@ fn elem_kind_for(spec: &ApiSpec, pointee: &CType) -> Result<ElemKind> {
         CType::Void => Ok(ElemKind::Bytes { elem_size: 1 }),
         other => {
             if let Some(sk) = scalar_kind(types, other) {
-                Ok(ElemKind::Bytes { elem_size: sk.size() })
+                Ok(ElemKind::Bytes {
+                    elem_size: sk.size(),
+                })
             } else {
                 let size = types.size_of(other)?;
                 Ok(ElemKind::Bytes { elem_size: size })
@@ -506,13 +506,20 @@ fn lower_param(
         return Ok(ParamDesc {
             name,
             direction: Direction::In,
-            transfer: Transfer::Handle { kind, deallocates: pspec.deallocates },
+            transfer: Transfer::Handle {
+                kind,
+                deallocates: pspec.deallocates,
+            },
             nullable: pspec.nullable,
         });
     }
 
     // Pointer parameters.
-    if let CType::Pointer { pointee, const_pointee } = types.resolve(&cparam.ty)?.clone() {
+    if let CType::Pointer {
+        pointee,
+        const_pointee,
+    } = types.resolve(&cparam.ty)?.clone()
+    {
         let is_const = const_pointee || cparam.const_qualified;
         // `const char*` (or explicit `string;`) → input string.
         let pointee_resolved = types.resolve(&pointee)?.clone();
@@ -544,9 +551,11 @@ fn lower_param(
             return Ok(ParamDesc {
                 name,
                 direction,
-                transfer: Transfer::Buffer { len: len.clone(), elem },
-                nullable: pspec.nullable
-                    || matches!(direction, Direction::In) && !is_const,
+                transfer: Transfer::Buffer {
+                    len: len.clone(),
+                    elem,
+                },
+                nullable: pspec.nullable || matches!(direction, Direction::In) && !is_const,
             });
         }
 
@@ -558,7 +567,9 @@ fn lower_param(
                     // Prefer a scalar representation for single elements.
                     match scalar_kind(types, &pointee) {
                         Some(sk) => ElemKind::Scalar(sk),
-                        None => ElemKind::Bytes { elem_size: *elem_size },
+                        None => ElemKind::Bytes {
+                            elem_size: *elem_size,
+                        },
                     }
                 }
                 other => other.clone(),
@@ -665,7 +676,13 @@ cl_int clEnqueueReadBuffer(
 "#,
         );
         let f = desc.by_name("clEnqueueReadBuffer").unwrap();
-        assert_eq!(f.ret, RetDesc::Status { kind: ScalarKind::I32, success: 0 });
+        assert_eq!(
+            f.ret,
+            RetDesc::Status {
+                kind: ScalarKind::I32,
+                success: 0
+            }
+        );
         assert!(matches!(f.sync, SyncPolicy::SyncIf(_)));
 
         // command_queue, buf: handles.
@@ -686,7 +703,10 @@ cl_int clEnqueueReadBuffer(
         assert_eq!(f.params[5].direction, Direction::Out);
         // event_wait_list: in handle buffer.
         match &f.params[7].transfer {
-            Transfer::Buffer { elem: ElemKind::Handle { kind }, .. } => {
+            Transfer::Buffer {
+                elem: ElemKind::Handle { kind },
+                ..
+            } => {
                 assert_eq!(kind, "cl_event")
             }
             other => panic!("{other:?}"),
@@ -694,7 +714,10 @@ cl_int clEnqueueReadBuffer(
         assert_eq!(f.params[7].direction, Direction::In);
         // event: out element handle that allocates.
         match &f.params[8].transfer {
-            Transfer::OutElement { elem: ElemKind::Handle { kind }, allocates } => {
+            Transfer::OutElement {
+                elem: ElemKind::Handle { kind },
+                allocates,
+            } => {
                 assert_eq!(kind, "cl_event");
                 assert!(allocates);
             }
@@ -703,7 +726,7 @@ cl_int clEnqueueReadBuffer(
     }
 
     #[test]
-    fn sync_condition_evaluates_against_args(){
+    fn sync_condition_evaluates_against_args() {
         let desc = lower_src(
             r#"
 type(cl_int) { success(CL_SUCCESS); }
@@ -737,11 +760,15 @@ cl_int clEnqueueReadBuffer(
 
     #[test]
     fn handle_return_lowers() {
-        let desc = lower_src(
-            "cl_mem clCreateBuffer(cl_context ctx, size_t size) { record(alloc); }",
-        );
+        let desc =
+            lower_src("cl_mem clCreateBuffer(cl_context ctx, size_t size) { record(alloc); }");
         let f = desc.by_name("clCreateBuffer").unwrap();
-        assert_eq!(f.ret, RetDesc::Handle { kind: "cl_mem".into() });
+        assert_eq!(
+            f.ret,
+            RetDesc::Handle {
+                kind: "cl_mem".into()
+            }
+        );
         assert_eq!(f.record, Some(crate::ast::RecordCategory::Alloc));
     }
 
@@ -769,10 +796,16 @@ cl_int clEnqueueReadBuffer(
         ));
         let off = lower(
             &spec,
-            LowerOptions { enable_async: false, ..LowerOptions::default() },
+            LowerOptions {
+                enable_async: false,
+                ..LowerOptions::default()
+            },
         )
         .unwrap();
-        assert!(matches!(off.by_name("clFlushThing").unwrap().sync, SyncPolicy::Sync));
+        assert!(matches!(
+            off.by_name("clFlushThing").unwrap().sync,
+            SyncPolicy::Sync
+        ));
     }
 
     #[test]
@@ -788,7 +821,10 @@ cl_int clEnqueueReadBuffer(
         let spec = parse_spec(src, &resolver).unwrap();
         let err = lower(
             &spec,
-            LowerOptions { infer_conventions: false, ..LowerOptions::default() },
+            LowerOptions {
+                infer_conventions: false,
+                ..LowerOptions::default()
+            },
         )
         .unwrap_err();
         assert!(err.to_string().contains("refine"), "{err}");
@@ -817,7 +853,10 @@ cl_int clEnqueueReadBuffer(
         let f = desc.by_name("f").unwrap();
         assert_eq!(
             f.params[1].transfer,
-            Transfer::OutElement { elem: ElemKind::Scalar(ScalarKind::U32), allocates: false }
+            Transfer::OutElement {
+                elem: ElemKind::Scalar(ScalarKind::U32),
+                allocates: false
+            }
         );
     }
 
@@ -840,9 +879,8 @@ cl_int clEnqueueReadBuffer(
 
     #[test]
     fn ids_are_stable_and_dense() {
-        let desc = lower_src(
-            "cl_int a(cl_uint x) { }\ncl_int b(cl_uint x) { }\ncl_int c(cl_uint x) { }",
-        );
+        let desc =
+            lower_src("cl_int a(cl_uint x) { }\ncl_int b(cl_uint x) { }\ncl_int c(cl_uint x) { }");
         for (i, f) in desc.functions.iter().enumerate() {
             assert_eq!(f.id as usize, i);
             assert_eq!(desc.by_id(f.id).unwrap().name, f.name);

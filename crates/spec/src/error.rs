@@ -54,7 +54,10 @@ impl SpecError {
 
     /// Creates an error with no meaningful position.
     pub fn nowhere(kind: SpecErrorKind) -> Self {
-        SpecError { loc: Loc { line: 0, col: 0 }, kind }
+        SpecError {
+            loc: Loc { line: 0, col: 0 },
+            kind,
+        }
     }
 }
 

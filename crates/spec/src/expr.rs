@@ -105,7 +105,10 @@ pub struct EvalEnv<'a> {
 impl<'a> EvalEnv<'a> {
     /// Creates an environment with just a constants table.
     pub fn with_constants(constants: &'a BTreeMap<String, i64>) -> Self {
-        EvalEnv { params: Vec::new(), constants: Some(constants) }
+        EvalEnv {
+            params: Vec::new(),
+            constants: Some(constants),
+        }
     }
 
     /// Binds a parameter name to an integer value.
@@ -153,9 +156,8 @@ impl Expr {
             }),
             Expr::SizeOf(ty) => {
                 let size = types.size_of(ty)?;
-                i64::try_from(size).map_err(|_| {
-                    SpecError::nowhere(SpecErrorKind::Eval("sizeof overflow".into()))
-                })
+                i64::try_from(size)
+                    .map_err(|_| SpecError::nowhere(SpecErrorKind::Eval("sizeof overflow".into())))
             }
             Expr::Unary(op, e) => {
                 let v = e.eval(env, types)?;
@@ -423,7 +425,10 @@ mod tests {
         let mut consts = BTreeMap::new();
         consts.insert("CL_TRUE".to_string(), 1i64);
         let env = EvalEnv::with_constants(&consts);
-        assert_eq!(parse("CL_TRUE == 1").eval(&env, &TypeTable::new()).unwrap(), 1);
+        assert_eq!(
+            parse("CL_TRUE == 1").eval(&env, &TypeTable::new()).unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -57,18 +57,22 @@ pub fn infer_function_spec(
         if types.is_opaque_handle(&cparam.ty) {
             continue;
         }
-        if let CType::Pointer { pointee, const_pointee } = resolved {
+        if let CType::Pointer {
+            pointee,
+            const_pointee,
+        } = resolved
+        {
             let is_const = const_pointee || cparam.const_qualified;
-            let pointee_resolved =
-                types.resolve(&pointee).cloned().unwrap_or(CType::Void);
+            let pointee_resolved = types.resolve(&pointee).cloned().unwrap_or(CType::Void);
             let is_char = matches!(pointee_resolved, CType::Int { bits: 8, .. });
             if is_char && is_const {
                 // `const char*` defaults to a string; nothing to add.
                 continue;
             }
             let mut pspec = ParamSpec::default();
-            if let Some(sibling) =
-                conventions.then(|| size_sibling(proto, types, &cparam.name)).flatten()
+            if let Some(sibling) = conventions
+                .then(|| size_sibling(proto, types, &cparam.name))
+                .flatten()
             {
                 pspec.buffer = Some(Expr::Ident(sibling));
                 pspec.direction = Some(if is_const {
@@ -217,7 +221,10 @@ pub fn render_ctype(ty: &CType) -> String {
         CType::Float { bits: 32 } => "float".into(),
         CType::Float { .. } => "double".into(),
         CType::Named(n) => n.clone(),
-        CType::Pointer { pointee, const_pointee } => {
+        CType::Pointer {
+            pointee,
+            const_pointee,
+        } => {
             if *const_pointee {
                 format!("const {} *", render_ctype(pointee))
             } else {
@@ -251,11 +258,12 @@ mod tests {
 
     #[test]
     fn num_prefix_convention_matches() {
-        let h = header(
-            "typedef struct _e *ev;\nint f(unsigned int num_events, const ev *events);",
-        );
+        let h = header("typedef struct _e *ev;\nint f(unsigned int num_events, const ev *events);");
         let p = h.proto("f").unwrap();
-        assert_eq!(size_sibling(p, &h.types, "events"), Some("num_events".into()));
+        assert_eq!(
+            size_sibling(p, &h.types, "events"),
+            Some("num_events".into())
+        );
     }
 
     #[test]
@@ -310,9 +318,7 @@ mod tests {
         let text = generate_preliminary_spec(&h, "toy");
         // The generated text must itself be a valid spec. Supply the type
         // declarations alongside.
-        let full = format!(
-            "typedef struct _m *mem; typedef struct _q *queue;\n{text}"
-        );
+        let full = format!("typedef struct _m *mem; typedef struct _q *queue;\n{text}");
         let spec = crate::parse::parse_spec(&full, &NoHeaders).unwrap();
         assert_eq!(spec.name, "toy");
         assert_eq!(spec.functions.len(), 3);
@@ -330,6 +336,12 @@ mod tests {
             render_ctype(&CType::ptr(CType::Named("cl_event".into()))),
             "cl_event *"
         );
-        assert_eq!(render_ctype(&CType::Int { signed: false, bits: 64 }), "unsigned long");
+        assert_eq!(
+            render_ctype(&CType::Int {
+                signed: false,
+                bits: 64
+            }),
+            "unsigned long"
+        );
     }
 }

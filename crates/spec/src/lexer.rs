@@ -26,9 +26,9 @@ pub struct Token {
 
 /// Multi-character operators, longest first so maximal munch works.
 const PUNCTS: &[&str] = &[
-    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
-    "+=", "-=", "*=", "/=", "(", ")", "{", "}", "[", "]", ";", ",", "*", "&",
-    "+", "-", "/", "%", "<", ">", "=", "!", "?", ":", ".", "|", "^", "~", "#",
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "+=", "-=", "*=",
+    "/=", "(", ")", "{", "}", "[", "]", ";", ",", "*", "&", "+", "-", "/", "%", "<", ">", "=", "!",
+    "?", ":", ".", "|", "^", "~", "#",
 ];
 
 /// Tokenizes `src`. Comments must already have been stripped (the
@@ -69,7 +69,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             let text = &src[start..i];
             col += (i - start) as u32;
-            toks.push(Token { tok: Tok::Ident(text.to_string()), loc: start_loc });
+            toks.push(Token {
+                tok: Tok::Ident(text.to_string()),
+                loc: start_loc,
+            });
             continue;
         }
         if c.is_ascii_digit() {
@@ -111,7 +114,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             col += (i - start) as u32;
-            toks.push(Token { tok: Tok::Int(value), loc: start_loc });
+            toks.push(Token {
+                tok: Tok::Int(value),
+                loc: start_loc,
+            });
             continue;
         }
         if c == '"' {
@@ -157,7 +163,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     other => out.push(other),
                 }
             }
-            toks.push(Token { tok: Tok::Str(out), loc: start_loc });
+            toks.push(Token {
+                tok: Tok::Str(out),
+                loc: start_loc,
+            });
             continue;
         }
         // Punctuation: maximal munch against the table.
@@ -173,7 +182,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             Some(p) => {
                 i += p.len();
                 col += p.len() as u32;
-                toks.push(Token { tok: Tok::Punct(p), loc: start_loc });
+                toks.push(Token {
+                    tok: Tok::Punct(p),
+                    loc: start_loc,
+                });
             }
             None => {
                 return Err(SpecError::at(
@@ -201,10 +213,10 @@ impl Cursor {
 
     /// Location of the next token (or end of input).
     pub fn loc(&self) -> Loc {
-        self.toks
-            .get(self.pos)
-            .map(|t| t.loc)
-            .unwrap_or(Loc { line: u32::MAX, col: 0 })
+        self.toks.get(self.pos).map(|t| t.loc).unwrap_or(Loc {
+            line: u32::MAX,
+            col: 0,
+        })
     }
 
     /// Peeks the next token without consuming it.

@@ -32,8 +32,8 @@ pub use ast::{ApiSpec, RecordCategory, SyncSpec};
 pub use cparse::{Header, Prototype};
 pub use ctypes::{CType, TypeTable};
 pub use descriptor::{
-    ApiDescriptor, Direction, ElemKind, FunctionDesc, LowerOptions, ParamDesc,
-    ResourceEstimate, RetDesc, ScalarKind, SyncPolicy, Transfer,
+    ApiDescriptor, Direction, ElemKind, FunctionDesc, LowerOptions, ParamDesc, ResourceEstimate,
+    RetDesc, ScalarKind, SyncPolicy, Transfer,
 };
 pub use error::{Loc, Result, SpecError, SpecErrorKind};
 pub use expr::{EvalEnv, Expr};

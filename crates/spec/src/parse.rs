@@ -12,8 +12,8 @@
 use std::collections::BTreeMap;
 
 use crate::ast::{
-    ApiSpec, DirectionSpec, ElementSpec, FunctionSpec, ParamSpec, RecordCategory,
-    SyncSpec, TypeRule,
+    ApiSpec, DirectionSpec, ElementSpec, FunctionSpec, ParamSpec, RecordCategory, SyncSpec,
+    TypeRule,
 };
 use crate::cparse::{parse_preprocessed, parse_prototype, Header};
 use crate::error::{Result, SpecError, SpecErrorKind};
@@ -42,16 +42,18 @@ pub fn parse_spec(src: &str, resolver: &dyn HeaderResolver) -> Result<ApiSpec> {
     let mut i = 0usize;
     while i < all_tokens.len() {
         let tok = &all_tokens[i];
-        let is_item_kw = |name: &str| {
-            matches!(&tok.tok, Tok::Ident(s) if s == name)
-        };
-        if is_item_kw("api") && matches!(all_tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct("("))) {
+        let is_item_kw = |name: &str| matches!(&tok.tok, Tok::Ident(s) if s == name);
+        if is_item_kw("api")
+            && matches!(all_tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct("(")))
+        {
             let mut cur2 = Cursor::new(all_tokens[i..].to_vec());
             let consumed = parse_api_item(&mut cur2, &mut spec)?;
             i += consumed;
             continue;
         }
-        if is_item_kw("type") && matches!(all_tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct("("))) {
+        if is_item_kw("type")
+            && matches!(all_tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct("(")))
+        {
             let mut cur2 = Cursor::new(all_tokens[i..].to_vec());
             let consumed = parse_type_item(&mut cur2, &mut spec)?;
             i += consumed;
@@ -97,7 +99,10 @@ fn flush_c(c_tokens: &mut Vec<crate::lexer::Token>, spec: &mut ApiSpec) -> Resul
     }
     let text = detokenize(c_tokens);
     c_tokens.clear();
-    let pre = crate::preprocess::Preprocessed { text, constants: BTreeMap::new() };
+    let pre = crate::preprocess::Preprocessed {
+        text,
+        constants: BTreeMap::new(),
+    };
     let parsed = parse_preprocessed(&pre)?;
     // Merge.
     for (name, ty) in parsed.types.typedefs() {
@@ -218,8 +223,7 @@ fn parse_api_item(cur: &mut Cursor, spec: &mut ApiSpec) -> Result<usize> {
     }
     if cur.eat_punct(",") {
         let v = cur.expect_int()?;
-        spec.version = u32::try_from(v)
-            .map_err(|_| cur.err_here("version out of range".into()))?;
+        spec.version = u32::try_from(v).map_err(|_| cur.err_here("version out of range".into()))?;
     }
     cur.expect_punct(")")?;
     cur.eat_punct(";");
@@ -246,9 +250,7 @@ fn parse_type_item(cur: &mut Cursor, spec: &mut ApiSpec) -> Result<usize> {
                 cur.expect_punct(")")?;
             }
             "handle" => rule.handle = true,
-            other => {
-                return Err(cur.err_here(format!("unknown type property `{other}`")))
-            }
+            other => return Err(cur.err_here(format!("unknown type property `{other}`"))),
         }
         cur.expect_punct(";")?;
     }
@@ -339,9 +341,7 @@ fn parse_annotation_stmt(cur: &mut Cursor, func: &mut FunctionSpec) -> Result<()
             "alloc" => RecordCategory::Alloc,
             "dealloc" => RecordCategory::Dealloc,
             "modify" => RecordCategory::Modify,
-            other => {
-                return Err(cur.err_here(format!("unknown record category `{other}`")))
-            }
+            other => return Err(cur.err_here(format!("unknown record category `{other}`"))),
         });
         return Ok(());
     }
@@ -399,10 +399,7 @@ fn set_sync(cur: &Cursor, func: &mut FunctionSpec, policy: SyncSpec) -> Result<(
     if func.sync != SyncSpec::Default {
         return Err(SpecError::at(
             cur.loc(),
-            SpecErrorKind::Conflict(format!(
-                "multiple sync policies for `{}`",
-                func.proto.name
-            )),
+            SpecErrorKind::Conflict(format!("multiple sync policies for `{}`", func.proto.name)),
         ));
     }
     func.sync = policy;
@@ -436,9 +433,7 @@ fn parse_param_props(cur: &mut Cursor, pspec: &mut ParamSpec) -> Result<()> {
                         "allocates" => elem.allocates = true,
                         "deallocates" => elem.deallocates = true,
                         other => {
-                            return Err(cur.err_here(format!(
-                                "unknown element property `{other}`"
-                            )))
+                            return Err(cur.err_here(format!("unknown element property `{other}`")))
                         }
                     }
                     cur.expect_punct(";")?;
@@ -453,9 +448,7 @@ fn parse_param_props(cur: &mut Cursor, pspec: &mut ParamSpec) -> Result<()> {
             "string" => pspec.string = true,
             "userdata" => pspec.userdata = true,
             "zero_copy" => pspec.zero_copy = true,
-            other => {
-                return Err(cur.err_here(format!("unknown parameter property `{other}`")))
-            }
+            other => return Err(cur.err_here(format!("unknown parameter property `{other}`"))),
         }
         cur.expect_punct(";")?;
     }
@@ -546,7 +539,10 @@ cl_int clEnqueueReadBuffer(
         assert_eq!(ptr.direction, Some(DirectionSpec::Out));
         assert_eq!(ptr.buffer, Some(Expr::Ident("size".into())));
         let wl = f.param("event_wait_list");
-        assert_eq!(wl.buffer, Some(Expr::Ident("num_events_in_wait_list".into())));
+        assert_eq!(
+            wl.buffer,
+            Some(Expr::Ident("num_events_in_wait_list".into()))
+        );
         assert_eq!(wl.direction, None); // inferred from const later
         let ev = f.param("event");
         assert_eq!(ev.direction, Some(DirectionSpec::Out));
@@ -606,25 +602,20 @@ int destroy(m_t h) { record(dealloc); parameter(h) { deallocates; } }
 
     #[test]
     fn duplicate_sync_rejected() {
-        let err = parse_spec("int f(int a) { sync; async; }", &MapResolver::new())
-            .unwrap_err();
+        let err = parse_spec("int f(int a) { sync; async; }", &MapResolver::new()).unwrap_err();
         assert!(err.to_string().contains("multiple sync"));
     }
 
     #[test]
     fn unknown_parameter_rejected() {
-        let err = parse_spec(
-            "int f(int a) { parameter(b) { in; } }",
-            &MapResolver::new(),
-        )
-        .unwrap_err();
+        let err =
+            parse_spec("int f(int a) { parameter(b) { in; } }", &MapResolver::new()).unwrap_err();
         assert!(err.to_string().contains("`b`"));
     }
 
     #[test]
     fn unknown_annotation_rejected() {
-        let err =
-            parse_spec("int f(int a) { frobnicate; }", &MapResolver::new()).unwrap_err();
+        let err = parse_spec("int f(int a) { frobnicate; }", &MapResolver::new()).unwrap_err();
         assert!(err.to_string().contains("frobnicate"));
     }
 

@@ -96,7 +96,10 @@ pub fn strip_comments(src: &str) -> Result<String> {
                 loop {
                     if i + 1 >= bytes.len() {
                         return Err(SpecError::at(
-                            Loc { line: start_line, col: 1 },
+                            Loc {
+                                line: start_line,
+                                col: 1,
+                            },
                             SpecErrorKind::Lex("unterminated block comment".into()),
                         ));
                     }
@@ -170,26 +173,29 @@ fn process_file(
                 "include" if active => {
                     let path = parse_include_path(rest).ok_or_else(|| {
                         SpecError::at(
-                            Loc { line: line_no, col: 1 },
-                            SpecErrorKind::Preprocess(format!(
-                                "malformed #include: `{line}`"
-                            )),
+                            Loc {
+                                line: line_no,
+                                col: 1,
+                            },
+                            SpecErrorKind::Preprocess(format!("malformed #include: `{line}`")),
                         )
                     })?;
                     if include_stack.iter().any(|p| p == &path) {
                         return Err(SpecError::at(
-                            Loc { line: line_no, col: 1 },
-                            SpecErrorKind::Preprocess(format!(
-                                "recursive #include of `{path}`"
-                            )),
+                            Loc {
+                                line: line_no,
+                                col: 1,
+                            },
+                            SpecErrorKind::Preprocess(format!("recursive #include of `{path}`")),
                         ));
                     }
                     let contents = resolver.resolve(&path).ok_or_else(|| {
                         SpecError::at(
-                            Loc { line: line_no, col: 1 },
-                            SpecErrorKind::Preprocess(format!(
-                                "cannot resolve #include `{path}`"
-                            )),
+                            Loc {
+                                line: line_no,
+                                col: 1,
+                            },
+                            SpecErrorKind::Preprocess(format!("cannot resolve #include `{path}`")),
                         )
                     })?;
                     include_stack.push(path);
@@ -201,7 +207,10 @@ fn process_file(
                     let (dname, dval) = split_word(rest);
                     if dname.is_empty() {
                         return Err(SpecError::at(
-                            Loc { line: line_no, col: 1 },
+                            Loc {
+                                line: line_no,
+                                col: 1,
+                            },
                             SpecErrorKind::Preprocess("#define without a name".into()),
                         ));
                     }
@@ -240,7 +249,10 @@ fn process_file(
                         Some(b) => *b = !*b,
                         None => {
                             return Err(SpecError::at(
-                                Loc { line: line_no, col: 1 },
+                                Loc {
+                                    line: line_no,
+                                    col: 1,
+                                },
                                 SpecErrorKind::Preprocess("#else without #if".into()),
                             ))
                         }
@@ -250,7 +262,10 @@ fn process_file(
                 "endif" => {
                     if cond.pop().is_none() {
                         return Err(SpecError::at(
-                            Loc { line: line_no, col: 1 },
+                            Loc {
+                                line: line_no,
+                                col: 1,
+                            },
                             SpecErrorKind::Preprocess("#endif without #if".into()),
                         ));
                     }
@@ -262,10 +277,11 @@ fn process_file(
                 _ if !active => out.text.push('\n'),
                 other => {
                     return Err(SpecError::at(
-                        Loc { line: line_no, col: 1 },
-                        SpecErrorKind::Preprocess(format!(
-                            "unsupported directive #{other}"
-                        )),
+                        Loc {
+                            line: line_no,
+                            col: 1,
+                        },
+                        SpecErrorKind::Preprocess(format!("unsupported directive #{other}")),
                     ))
                 }
             }
@@ -329,7 +345,10 @@ fn parse_int_atom(s: &str, consts: &BTreeMap<String, i64>) -> Option<i64> {
         return parse_int_atom(rest.trim(), consts).map(|v| -v);
     }
     let stripped = s.trim_end_matches(['u', 'U', 'l', 'L']);
-    if let Some(hex) = stripped.strip_prefix("0x").or_else(|| stripped.strip_prefix("0X")) {
+    if let Some(hex) = stripped
+        .strip_prefix("0x")
+        .or_else(|| stripped.strip_prefix("0X"))
+    {
         return i64::from_str_radix(hex, 16).ok();
     }
     if stripped.chars().all(|c| c.is_ascii_digit()) && !stripped.is_empty() {
@@ -399,7 +418,9 @@ mod tests {
     fn nested_includes_resolve() {
         let inner = "#define INNER 9\nint inner_decl;\n";
         let outer = "#include \"inner.h\"\nint outer_decl;\n";
-        let resolver = MapResolver::new().with("inner.h", inner).with("outer.h", outer);
+        let resolver = MapResolver::new()
+            .with("inner.h", inner)
+            .with("outer.h", outer);
         let out = preprocess("#include <outer.h>\n", &resolver).unwrap();
         assert!(out.text.contains("inner_decl"));
         assert!(out.text.contains("outer_decl"));

@@ -1,0 +1,302 @@
+//! Per-call spans: one record per forwarded API invocation, with stage
+//! timestamps contributed by every tier it crosses.
+//!
+//! The guest library opens a span keyed by the wire `(vm_id, call_id)`
+//! pair; the router stamps `queued`/`forwarded`/`replied`, the API server
+//! stamps `executed`. All timestamps are nanoseconds since the owning
+//! registry's epoch, so a single call's end-to-end latency decomposes
+//! exactly into per-tier segments (the stage deltas telescope).
+//!
+//! ```text
+//!  guest_start ── sent ── queued ── forwarded ── executed ── replied ── guest_end
+//!  |  marshal  | transport | queue  |  server    |  reply    | return  |
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identifies one call across tiers: `(vm_id, call_id)`.
+pub type SpanKey = (u32, u64);
+
+/// Lifecycle stages a span passes through, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Guest: call entered the guest library (before marshaling).
+    GuestStart,
+    /// Guest: request handed to the transport.
+    Sent,
+    /// Router: request ingested from the guest channel.
+    Queued,
+    /// Router: request forwarded to the API server.
+    Forwarded,
+    /// Server: dispatch against the silo finished.
+    Executed,
+    /// Router: reply pumped back toward the guest.
+    Replied,
+    /// Guest: reply consumed, call returns to the application.
+    GuestEnd,
+}
+
+/// One call's cross-tier timeline. All times are nanoseconds since the
+/// registry epoch; `None` means the stage was not observed (that tier was
+/// not instrumented, or the call bypassed it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// VM the call belongs to (0 when unattributed).
+    pub vm: u32,
+    /// Wire call id (unique per VM).
+    pub call_id: u64,
+    /// Function id as seen by the guest when opening the span.
+    pub fn_id: Option<u32>,
+    /// Function id as seen by the server when executing — must agree with
+    /// `fn_id` for a healthy stack.
+    pub server_fn_id: Option<u32>,
+    /// Stage timestamps.
+    pub guest_start: Option<u64>,
+    /// Request handed to the transport by the guest.
+    pub sent: Option<u64>,
+    /// Request ingested by the router.
+    pub queued: Option<u64>,
+    /// Request forwarded to the API server.
+    pub forwarded: Option<u64>,
+    /// Server dispatch completed.
+    pub executed: Option<u64>,
+    /// Reply pumped back by the router.
+    pub replied: Option<u64>,
+    /// Reply consumed by the guest.
+    pub guest_end: Option<u64>,
+}
+
+impl SpanRecord {
+    fn delta(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+        Some(b?.saturating_sub(a?))
+    }
+
+    /// Guest-side marshal + verification time (`guest_start → sent`).
+    pub fn guest_marshal(&self) -> Option<u64> {
+        Self::delta(self.guest_start, self.sent)
+    }
+
+    /// Guest→router transport time (`sent → queued`).
+    pub fn transport_out(&self) -> Option<u64> {
+        Self::delta(self.sent, self.queued)
+    }
+
+    /// Router queueing + policy time (`queued → forwarded`).
+    pub fn router_queue(&self) -> Option<u64> {
+        Self::delta(self.queued, self.forwarded)
+    }
+
+    /// Server execution time including the router→server hop
+    /// (`forwarded → executed`).
+    pub fn server_execute(&self) -> Option<u64> {
+        Self::delta(self.forwarded, self.executed)
+    }
+
+    /// Server→router reply time (`executed → replied`).
+    pub fn reply_path(&self) -> Option<u64> {
+        Self::delta(self.executed, self.replied)
+    }
+
+    /// Router→guest return transport time (`replied → guest_end`).
+    pub fn transport_back(&self) -> Option<u64> {
+        Self::delta(self.replied, self.guest_end)
+    }
+
+    /// End-to-end latency observed by the guest
+    /// (`guest_start → guest_end`).
+    pub fn total(&self) -> Option<u64> {
+        Self::delta(self.guest_start, self.guest_end)
+    }
+
+    /// The stage timestamps that were observed, in lifecycle order.
+    pub fn observed_stages(&self) -> Vec<(Stage, u64)> {
+        [
+            (Stage::GuestStart, self.guest_start),
+            (Stage::Sent, self.sent),
+            (Stage::Queued, self.queued),
+            (Stage::Forwarded, self.forwarded),
+            (Stage::Executed, self.executed),
+            (Stage::Replied, self.replied),
+            (Stage::GuestEnd, self.guest_end),
+        ]
+        .into_iter()
+        .filter_map(|(s, t)| Some((s, t?)))
+        .collect()
+    }
+
+    /// True if every observed stage pair is in lifecycle order.
+    pub fn stages_ordered(&self) -> bool {
+        self.observed_stages().windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+}
+
+/// Default cap on in-flight (active) spans; excess openings are dropped
+/// and counted rather than growing without bound.
+const ACTIVE_CAP: usize = 1 << 16;
+
+/// Default cap on retained completed spans.
+const COMPLETED_CAP: usize = 1 << 16;
+
+/// Concurrent store of active and completed spans.
+#[derive(Default)]
+pub struct SpanTable {
+    active: Mutex<HashMap<SpanKey, SpanRecord>>,
+    completed: Mutex<Vec<SpanRecord>>,
+    /// Spans dropped because a cap was hit.
+    dropped: AtomicU64,
+}
+
+impl SpanTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `stage` at time `nanos` for the span `key`, creating the
+    /// record on first touch. `fn_id` attributes the function at the
+    /// recording tier (guest on open, server on execute).
+    pub fn stage(&self, key: SpanKey, stage: Stage, nanos: u64, fn_id: Option<u32>) {
+        let mut active = self.active.lock().expect("span table poisoned");
+        let record = match active.get_mut(&key) {
+            Some(r) => r,
+            None => {
+                if active.len() >= ACTIVE_CAP {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let r = active.entry(key).or_default();
+                r.vm = key.0;
+                r.call_id = key.1;
+                r
+            }
+        };
+        match stage {
+            Stage::GuestStart => {
+                record.guest_start = Some(nanos);
+                record.fn_id = fn_id.or(record.fn_id);
+            }
+            Stage::Sent => record.sent = Some(nanos),
+            Stage::Queued => record.queued = Some(nanos),
+            Stage::Forwarded => record.forwarded = Some(nanos),
+            Stage::Executed => {
+                record.executed = Some(nanos);
+                record.server_fn_id = fn_id.or(record.server_fn_id);
+            }
+            Stage::Replied => record.replied = Some(nanos),
+            Stage::GuestEnd => record.guest_end = Some(nanos),
+        }
+        // A span completes when the guest consumes the reply, or — for
+        // traffic injected below the guest library (raw transport tests,
+        // unattributed probes) — when the router pumps the reply back and
+        // no guest ever opened the span.
+        let done = match stage {
+            Stage::GuestEnd => true,
+            Stage::Replied => record.guest_start.is_none(),
+            _ => false,
+        };
+        if done {
+            let record = active.remove(&key).expect("record exists");
+            drop(active);
+            let mut completed = self.completed.lock().expect("span table poisoned");
+            if completed.len() >= COMPLETED_CAP {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                completed.push(record);
+            }
+        }
+    }
+
+    /// Discards the active record for `key` (e.g. a call that failed
+    /// before reaching the wire).
+    pub fn abandon(&self, key: SpanKey) {
+        self.active
+            .lock()
+            .expect("span table poisoned")
+            .remove(&key);
+    }
+
+    /// Number of spans currently in flight.
+    pub fn active_len(&self) -> usize {
+        self.active.lock().expect("span table poisoned").len()
+    }
+
+    /// Spans dropped due to capacity limits.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies the completed spans without consuming them.
+    pub fn completed(&self) -> Vec<SpanRecord> {
+        self.completed.lock().expect("span table poisoned").clone()
+    }
+
+    /// Drains and returns the completed spans.
+    pub fn take_completed(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.completed.lock().expect("span table poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lifecycle_completes_on_guest_end() {
+        let t = SpanTable::new();
+        let key = (1, 42);
+        t.stage(key, Stage::GuestStart, 10, Some(7));
+        t.stage(key, Stage::Sent, 20, None);
+        t.stage(key, Stage::Queued, 30, None);
+        t.stage(key, Stage::Forwarded, 40, None);
+        t.stage(key, Stage::Executed, 50, Some(7));
+        t.stage(key, Stage::Replied, 60, None);
+        assert_eq!(t.active_len(), 1, "guest has not consumed the reply yet");
+        t.stage(key, Stage::GuestEnd, 70, None);
+        assert_eq!(t.active_len(), 0);
+        let done = t.take_completed();
+        assert_eq!(done.len(), 1);
+        let span = &done[0];
+        assert_eq!(span.fn_id, Some(7));
+        assert_eq!(span.server_fn_id, Some(7));
+        assert!(span.stages_ordered());
+        assert_eq!(span.total(), Some(60));
+        let segments = span.guest_marshal().unwrap()
+            + span.transport_out().unwrap()
+            + span.router_queue().unwrap()
+            + span.server_execute().unwrap()
+            + span.reply_path().unwrap()
+            + span.transport_back().unwrap();
+        assert_eq!(segments, span.total().unwrap(), "segments telescope");
+    }
+
+    #[test]
+    fn guestless_span_completes_on_replied() {
+        let t = SpanTable::new();
+        let key = (3, 1);
+        t.stage(key, Stage::Queued, 5, None);
+        t.stage(key, Stage::Forwarded, 6, None);
+        t.stage(key, Stage::Executed, 7, Some(2));
+        t.stage(key, Stage::Replied, 8, None);
+        assert_eq!(t.active_len(), 0);
+        assert_eq!(t.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn abandon_discards_active() {
+        let t = SpanTable::new();
+        t.stage((1, 1), Stage::GuestStart, 1, Some(0));
+        t.abandon((1, 1));
+        assert_eq!(t.active_len(), 0);
+        assert!(t.take_completed().is_empty());
+    }
+
+    #[test]
+    fn out_of_order_stamp_detected() {
+        let mut r = SpanRecord::default();
+        r.queued = Some(10);
+        r.forwarded = Some(5);
+        assert!(!r.stages_ordered());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the log2 histogram: percentile estimates must land
+//! within one bucket of the exact order statistics, and the p50/p95/p99/max
+//! ladder must be monotone for any sample set.
+
+use ava_telemetry::{bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Exact q-quantile by the same rank convention the histogram uses
+/// (rank = ceil(q·n), 1-based).
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn percentile_within_one_bucket_of_exact(
+        mut samples in proptest::collection::vec(0u64..=1_000_000_000_000, 1..200),
+        q in 0.01f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let exact = exact_percentile(&samples, q);
+        let estimate = h.snapshot().percentile(q);
+        let be = bucket_index(estimate) as i64;
+        let bx = bucket_index(exact) as i64;
+        prop_assert!(
+            (be - bx).abs() <= 1,
+            "estimate {estimate} (bucket {be}) vs exact {exact} (bucket {bx})"
+        );
+    }
+
+    #[test]
+    fn percentile_ladder_is_monotone(
+        samples in proptest::collection::vec(0u64..=u64::MAX / 2, 1..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.percentile(0.50);
+        let p95 = snap.percentile(0.95);
+        let p99 = snap.percentile(0.99);
+        prop_assert!(p50 <= p95);
+        prop_assert!(p95 <= p99);
+        prop_assert!(p99 <= snap.max);
+        prop_assert_eq!(snap.max, *samples.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(0u64..=1_000_000, 0..100),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.sum, samples.iter().sum::<u64>());
+    }
+}

@@ -65,7 +65,7 @@ impl InProcTransport {
         match timed {
             Timed::Msg { deliver_at, msg } => {
                 wait_until(deliver_at);
-                self.stats.on_recv(msg.payload_bytes());
+                self.stats.on_recv(msg.payload_bytes(), 0);
                 Ok(msg)
             }
             Timed::Closed => Err(TransportError::Closed),
@@ -121,13 +121,18 @@ impl Transport for InProcTransport {
     }
 
     fn close(&self) {
-        self.closed.store(true, std::sync::atomic::Ordering::Release);
+        self.closed
+            .store(true, std::sync::atomic::Ordering::Release);
         // Wake a receiver blocked on the peer end.
         let _ = self.tx.send(Timed::Closed);
     }
 
     fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        self.stats.register_into(registry, prefix);
     }
 }
 

@@ -61,9 +61,7 @@ impl CostModel {
     pub fn serialization_delay(&self, payload_bytes: usize) -> Duration {
         match self.bytes_per_sec {
             Some(bw) if bw > 0 => {
-                let nanos = (payload_bytes as u128)
-                    .saturating_mul(1_000_000_000)
-                    / u128::from(bw);
+                let nanos = (payload_bytes as u128).saturating_mul(1_000_000_000) / u128::from(bw);
                 Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
             }
             _ => Duration::ZERO,
@@ -120,7 +118,10 @@ mod tests {
 
     #[test]
     fn serialization_scales_with_bytes() {
-        let m = CostModel { bytes_per_sec: Some(1_000_000_000), ..CostModel::free() };
+        let m = CostModel {
+            bytes_per_sec: Some(1_000_000_000),
+            ..CostModel::free()
+        };
         assert_eq!(m.serialization_delay(0), Duration::ZERO);
         assert_eq!(m.serialization_delay(1_000_000), Duration::from_millis(1));
         assert!(m.serialization_delay(100) < m.serialization_delay(1_000_000));
@@ -140,12 +141,18 @@ mod tests {
         wait_until(start + Duration::from_micros(200));
         let elapsed = start.elapsed();
         assert!(elapsed >= Duration::from_micros(200));
-        assert!(elapsed < Duration::from_millis(50), "overslept: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(50),
+            "overslept: {elapsed:?}"
+        );
     }
 
     #[test]
     fn zero_bandwidth_is_treated_as_unbounded() {
-        let m = CostModel { bytes_per_sec: Some(0), ..CostModel::free() };
+        let m = CostModel {
+            bytes_per_sec: Some(0),
+            ..CostModel::free()
+        };
         assert_eq!(m.serialization_delay(1234), Duration::ZERO);
     }
 }

@@ -56,6 +56,13 @@ pub trait Transport: Send + Sync {
 
     /// Traffic counters for this endpoint.
     fn stats(&self) -> TransportStats;
+
+    /// Registers this endpoint's counters into `registry` under
+    /// `transport.<prefix>.*`, sharing storage with [`Transport::stats`].
+    /// Default: no-op, for transports without exposable counters.
+    fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        let _ = (registry, prefix);
+    }
 }
 
 /// Boxed transport, the form the runtime components pass around.
@@ -83,7 +90,10 @@ pub fn pair(kind: TransportKind, model: CostModel) -> Result<(BoxedTransport, Bo
             Ok((Box::new(a), Box::new(b)))
         }
         TransportKind::SharedMemory => {
-            let (a, b) = shmem::pair(shmem::RingConfig { model, ..Default::default() });
+            let (a, b) = shmem::pair(shmem::RingConfig {
+                model,
+                ..Default::default()
+            });
             Ok((Box::new(a), Box::new(b)))
         }
         TransportKind::Tcp => {

@@ -54,7 +54,10 @@ pub struct RingConfig {
 
 impl Default for RingConfig {
     fn default() -> Self {
-        RingConfig { capacity: 1 << 20, model: CostModel::paravirtual() }
+        RingConfig {
+            capacity: 1 << 20,
+            model: CostModel::paravirtual(),
+        }
     }
 }
 
@@ -93,8 +96,7 @@ unsafe impl Send for Ring {}
 
 impl Ring {
     fn new(capacity: usize, epoch: Instant) -> Arc<Self> {
-        let data: Box<[UnsafeCell<u8>]> =
-            (0..capacity).map(|_| UnsafeCell::new(0)).collect();
+        let data: Box<[UnsafeCell<u8>]> = (0..capacity).map(|_| UnsafeCell::new(0)).collect();
         Arc::new(Ring {
             data,
             head: AtomicUsize::new(0),
@@ -135,11 +137,7 @@ impl Ring {
             let base = self.data.as_ptr() as *mut u8;
             std::ptr::copy_nonoverlapping(src.as_ptr(), base.add(start), first);
             if first < src.len() {
-                std::ptr::copy_nonoverlapping(
-                    src.as_ptr().add(first),
-                    base,
-                    src.len() - first,
-                );
+                std::ptr::copy_nonoverlapping(src.as_ptr().add(first), base, src.len() - first);
             }
         }
     }
@@ -156,11 +154,7 @@ impl Ring {
             let base = self.data.as_ptr() as *const u8;
             std::ptr::copy_nonoverlapping(base.add(start), dst.as_mut_ptr(), first);
             if first < dst.len() {
-                std::ptr::copy_nonoverlapping(
-                    base,
-                    dst.as_mut_ptr().add(first),
-                    dst.len() - first,
-                );
+                std::ptr::copy_nonoverlapping(base, dst.as_mut_ptr().add(first), dst.len() - first);
             }
         }
     }
@@ -193,7 +187,8 @@ impl Ring {
             if self.capacity() - used >= need || self.is_closed() {
                 continue;
             }
-            self.space_cv.wait_for(&mut guard, Duration::from_millis(50));
+            self.space_cv
+                .wait_for(&mut guard, Duration::from_millis(50));
         }
         let tail = self.tail.load(Ordering::Relaxed);
         let mut header = [0u8; HEADER];
@@ -274,7 +269,8 @@ impl Ring {
                     }
                 }
                 None => {
-                    self.doorbell_cv.wait_for(&mut guard, Duration::from_millis(50));
+                    self.doorbell_cv
+                        .wait_for(&mut guard, Duration::from_millis(50));
                 }
             }
         }
@@ -325,7 +321,12 @@ impl ShmemTransport {
     }
 
     /// Reassembles any remaining fragments after the first, then decodes.
-    fn finish_recv(&self, deliver_nanos: u64, mut payload: Vec<u8>, mut more: bool) -> Result<Message> {
+    fn finish_recv(
+        &self,
+        deliver_nanos: u64,
+        mut payload: Vec<u8>,
+        mut more: bool,
+    ) -> Result<Message> {
         while more {
             match self.rx_ring.pop_frame(None)? {
                 Some((_nanos, chunk, chunk_more)) => {
@@ -337,8 +338,9 @@ impl ShmemTransport {
         }
         let deliver_at = self.rx_ring.epoch + Duration::from_nanos(deliver_nanos);
         wait_until(deliver_at);
+        let frame_bytes = payload.len() + HEADER;
         let msg = Message::decode(bytes::Bytes::from(payload))?;
-        self.stats.on_recv(msg.payload_bytes());
+        self.stats.on_recv(msg.payload_bytes(), frame_bytes);
         Ok(msg)
     }
 }
@@ -363,7 +365,8 @@ impl Transport for ShmemTransport {
                 self.tx_ring.push_frame(deliver_nanos, chunk, more)?;
             }
         }
-        self.stats.on_send(msg.payload_bytes(), encoded.len() + HEADER);
+        self.stats
+            .on_send(msg.payload_bytes(), encoded.len() + HEADER);
         wait_until(now + self.model.sender_overhead);
         Ok(())
     }
@@ -379,9 +382,7 @@ impl Transport for ShmemTransport {
     fn try_recv(&self) -> Result<Option<Message>> {
         let _guard = self.recv_lock.lock();
         match self.rx_ring.try_pop_frame()? {
-            Some((deliver, payload, more)) => {
-                self.finish_recv(deliver, payload, more).map(Some)
-            }
+            Some((deliver, payload, more)) => self.finish_recv(deliver, payload, more).map(Some),
             None => Ok(None),
         }
     }
@@ -389,9 +390,7 @@ impl Transport for ShmemTransport {
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>> {
         let _guard = self.recv_lock.lock();
         match self.rx_ring.pop_frame(Some(timeout))? {
-            Some((deliver, payload, more)) => {
-                self.finish_recv(deliver, payload, more).map(Some)
-            }
+            Some((deliver, payload, more)) => self.finish_recv(deliver, payload, more).map(Some),
             None => Ok(None),
         }
     }
@@ -403,6 +402,10 @@ impl Transport for ShmemTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        self.stats.register_into(registry, prefix);
     }
 }
 
@@ -418,7 +421,10 @@ mod tests {
     use ava_wire::{CallMode, CallRequest, ControlMessage, Value};
 
     fn free_pair() -> (ShmemTransport, ShmemTransport) {
-        pair(RingConfig { capacity: 1 << 16, model: CostModel::free() })
+        pair(RingConfig {
+            capacity: 1 << 16,
+            model: CostModel::free(),
+        })
     }
 
     fn call(id: u64, bytes: usize) -> Message {
@@ -463,7 +469,10 @@ mod tests {
     fn wraparound_is_exercised() {
         // Ring far smaller than total traffic forces many wraps; also use
         // payloads larger than half the ring to hit the split-copy path.
-        let (a, b) = pair(RingConfig { capacity: 4096, model: CostModel::free() });
+        let (a, b) = pair(RingConfig {
+            capacity: 4096,
+            model: CostModel::free(),
+        });
         let sender = std::thread::spawn(move || {
             for i in 0..200 {
                 a.send(&call(i, 1500)).unwrap();
@@ -486,7 +495,10 @@ mod tests {
     #[test]
     fn oversized_messages_fragment_and_reassemble() {
         // 4 KiB ring, 64 KiB payload: must chain ~64 fragments.
-        let (a, b) = pair(RingConfig { capacity: 4096, model: CostModel::free() });
+        let (a, b) = pair(RingConfig {
+            capacity: 4096,
+            model: CostModel::free(),
+        });
         let msg = call(1, 64 * 1024);
         let expected = msg.clone();
         let sender = std::thread::spawn(move || {
@@ -499,7 +511,10 @@ mod tests {
 
     #[test]
     fn interleaved_large_and_small_messages() {
-        let (a, b) = pair(RingConfig { capacity: 8192, model: CostModel::free() });
+        let (a, b) = pair(RingConfig {
+            capacity: 8192,
+            model: CostModel::free(),
+        });
         let sender = std::thread::spawn(move || {
             for i in 0..20 {
                 let size = if i % 3 == 0 { 32 * 1024 } else { 16 };
@@ -522,7 +537,10 @@ mod tests {
 
     #[test]
     fn full_ring_blocks_until_drained() {
-        let (a, b) = pair(RingConfig { capacity: 2048, model: CostModel::free() });
+        let (a, b) = pair(RingConfig {
+            capacity: 2048,
+            model: CostModel::free(),
+        });
         // Fill with ~4 frames of ~400 bytes; the 6th send must block until
         // the receiver drains.
         let sender = std::thread::spawn(move || {
@@ -563,7 +581,10 @@ mod tests {
             delivery_latency: Duration::from_millis(4),
             ..CostModel::free()
         };
-        let (a, b) = pair(RingConfig { capacity: 1 << 16, model });
+        let (a, b) = pair(RingConfig {
+            capacity: 1 << 16,
+            model,
+        });
         let start = Instant::now();
         a.send(&Message::Control(ControlMessage::Ping(1))).unwrap();
         b.recv().unwrap();
@@ -579,6 +600,13 @@ mod tests {
         assert_eq!(s.messages_sent, 1);
         assert!(s.frame_bytes_sent > 64, "frame must include headers");
         assert_eq!(s.payload_bytes_sent, 64);
+        let r = b.stats();
+        assert_eq!(r.messages_received, 1);
+        assert_eq!(
+            r.frame_bytes_received, s.frame_bytes_sent,
+            "receiver sees the same encoded frame the sender put on the ring"
+        );
+        assert_eq!(r.payload_bytes_received, 64);
     }
 
     #[test]

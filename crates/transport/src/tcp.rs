@@ -73,25 +73,28 @@ fn reader_loop(
     tx: crossbeam::channel::Sender<Result<Message>>,
     stats: Arc<StatsCell>,
 ) {
-    let mut read_frame = move || -> Result<Message> {
+    let mut read_frame = move || -> Result<(Message, usize)> {
         let mut header = [0u8; 12];
         read_exact_mapped(&mut socket, &mut header)?;
         let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
         let delay_nanos = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
         if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge { size: len, limit: MAX_FRAME });
+            return Err(TransportError::FrameTooLarge {
+                size: len,
+                limit: MAX_FRAME,
+            });
         }
         let mut payload = vec![0u8; len];
         read_exact_mapped(&mut socket, &mut payload)?;
         if delay_nanos > 0 {
             wait_until(Instant::now() + Duration::from_nanos(delay_nanos));
         }
-        Ok(Message::decode(bytes::Bytes::from(payload))?)
+        Ok((Message::decode(bytes::Bytes::from(payload))?, len + 12))
     };
     loop {
         match read_frame() {
-            Ok(msg) => {
-                stats.on_recv(msg.payload_bytes());
+            Ok((msg, frame_bytes)) => {
+                stats.on_recv(msg.payload_bytes(), frame_bytes);
                 if tx.send(Ok(msg)).is_err() {
                     return; // endpoint dropped
                 }
@@ -117,8 +120,7 @@ impl Transport for TcpTransport {
     fn send(&self, msg: &Message) -> Result<()> {
         let encoded = msg.encode();
         let payload_bytes = msg.payload_bytes();
-        let delay = self.model.delivery_latency
-            + self.model.serialization_delay(payload_bytes);
+        let delay = self.model.delivery_latency + self.model.serialization_delay(payload_bytes);
         let now = Instant::now();
         {
             let mut writer = self.writer.lock();
@@ -163,6 +165,10 @@ impl Transport for TcpTransport {
 
     fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        self.stats.register_into(registry, prefix);
     }
 }
 

@@ -11,7 +11,11 @@ fn message(id: u64, payload: &[u8]) -> Message {
     Message::Call(CallRequest {
         call_id: id,
         fn_id: (id % 7) as u32,
-        mode: if id % 2 == 0 { CallMode::Sync } else { CallMode::Async },
+        mode: if id % 2 == 0 {
+            CallMode::Sync
+        } else {
+            CallMode::Async
+        },
         args: vec![Value::U64(id), Value::Bytes(payload.to_vec().into())],
     })
 }

@@ -23,9 +23,7 @@ mod message;
 mod value;
 
 pub use error::WireError;
-pub use message::{
-    CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus,
-};
+pub use message::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus};
 pub use value::Value;
 
 /// Result alias for wire-format operations.

@@ -167,7 +167,12 @@ impl CallRequest {
         for _ in 0..argc {
             args.push(Value::decode(buf)?);
         }
-        Ok(CallRequest { call_id, fn_id, mode, args })
+        Ok(CallRequest {
+            call_id,
+            fn_id,
+            mode,
+            args,
+        })
     }
 
     /// Total payload bytes moved guest-to-host by this request.
@@ -202,13 +207,22 @@ impl CallReply {
                 .map_err(|_| WireError::BadDiscriminant("output index", u64::MAX))?;
             outputs.push((idx, Value::decode(buf)?));
         }
-        Ok(CallReply { call_id, status, ret, outputs })
+        Ok(CallReply {
+            call_id,
+            status,
+            ret,
+            outputs,
+        })
     }
 
     /// Total payload bytes moved host-to-guest by this reply.
     pub fn payload_bytes(&self) -> usize {
         self.ret.payload_bytes()
-            + self.outputs.iter().map(|(_, v)| v.payload_bytes()).sum::<usize>()
+            + self
+                .outputs
+                .iter()
+                .map(|(_, v)| v.payload_bytes())
+                .sum::<usize>()
     }
 
     /// Convenience constructor for a transport-level failure reply.

@@ -148,9 +148,7 @@ impl Value {
                     return Err(WireError::UnexpectedEof);
                 }
                 let raw = buf.split_to(len);
-                Value::Str(
-                    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?,
-                )
+                Value::Str(String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?)
             }
             tag::LIST => {
                 let len = get_len(buf)?;
@@ -304,7 +302,10 @@ mod tests {
             round_trip(&Value::Bytes(Bytes::new())),
             Value::Bytes(Bytes::new())
         );
-        assert_eq!(round_trip(&Value::Str(String::new())), Value::Str(String::new()));
+        assert_eq!(
+            round_trip(&Value::Str(String::new())),
+            Value::Str(String::new())
+        );
         assert_eq!(round_trip(&Value::List(vec![])), Value::List(vec![]));
     }
 

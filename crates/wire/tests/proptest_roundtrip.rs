@@ -14,11 +14,14 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::I64),
         any::<u32>().prop_map(Value::U32),
         any::<u64>().prop_map(Value::U64),
-        any::<f32>().prop_filter("NaN != NaN", |f| !f.is_nan()).prop_map(Value::F32),
-        any::<f64>().prop_filter("NaN != NaN", |f| !f.is_nan()).prop_map(Value::F64),
+        any::<f32>()
+            .prop_filter("NaN != NaN", |f| !f.is_nan())
+            .prop_map(Value::F32),
+        any::<f64>()
+            .prop_filter("NaN != NaN", |f| !f.is_nan())
+            .prop_map(Value::F64),
         any::<u64>().prop_map(Value::Handle),
-        proptest::collection::vec(any::<u8>(), 0..256)
-            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Value::Bytes(Bytes::from(v))),
         "[a-zA-Z0-9 _:/.-]{0,64}".prop_map(Value::Str),
     ];
     leaf.prop_recursive(3, 64, 8, |inner| {
@@ -36,7 +39,11 @@ fn arb_call() -> impl Strategy<Value = CallRequest> {
         .prop_map(|(call_id, fn_id, is_async, args)| CallRequest {
             call_id,
             fn_id,
-            mode: if is_async { CallMode::Async } else { CallMode::Sync },
+            mode: if is_async {
+                CallMode::Async
+            } else {
+                CallMode::Sync
+            },
             args,
         })
 }

@@ -45,8 +45,16 @@ impl Backprop {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Backprop { in_n: 256, hid_n: 8, epochs: 2 },
-            Scale::Bench => Backprop { in_n: 64 * 1024, hid_n: 16, epochs: 8 },
+            Scale::Test => Backprop {
+                in_n: 256,
+                hid_n: 8,
+                epochs: 2,
+            },
+            Scale::Bench => Backprop {
+                in_n: 64 * 1024,
+                hid_n: 16,
+                epochs: 8,
+            },
         }
     }
 
@@ -141,10 +149,7 @@ impl ClWorkload for Backprop {
             }
 
             // Host computes the output-layer delta (target = 0.5).
-            let delta: Vec<f32> = hidden
-                .iter()
-                .map(|h| h * (1.0 - h) * (0.5 - h))
-                .collect();
+            let delta: Vec<f32> = hidden.iter().map(|h| h * (1.0 - h) * (0.5 - h)).collect();
             session.write_f32(b_delta, &delta)?;
             session.set_args(
                 k_adj,
@@ -194,10 +199,8 @@ mod tests {
         let wl = Backprop::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         let checksum = wl.run(&cl).unwrap();
         assert!(checksum.is_finite() && checksum > 0.0);
         // Deterministic across runs.

@@ -36,8 +36,14 @@ impl Bfs {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Bfs { nodes: 512, degree: 4 },
-            Scale::Bench => Bfs { nodes: 200_000, degree: 6 },
+            Scale::Test => Bfs {
+                nodes: 512,
+                degree: 4,
+            },
+            Scale::Bench => Bfs {
+                nodes: 200_000,
+                degree: 6,
+            },
         }
     }
 
@@ -185,10 +191,8 @@ mod tests {
         let wl = Bfs::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         let checksum = wl.run(&cl).unwrap();
         assert!(checksum > 0.0);
     }

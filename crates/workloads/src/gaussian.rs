@@ -198,10 +198,8 @@ mod tests {
         let wl = Gaussian::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         let checksum = wl.run(&cl).unwrap();
         assert!(checksum.is_finite());
     }

@@ -118,9 +118,9 @@ impl<'a> Session<'a> {
 
     /// Creates a kernel from the built program.
     pub fn kernel(&self, name: &str) -> Result<ClKernel> {
-        let program = self.program.ok_or_else(|| {
-            WorkloadError::Validation("Session::build not called".into())
-        })?;
+        let program = self
+            .program
+            .ok_or_else(|| WorkloadError::Validation("Session::build not called".into()))?;
         let kernel = self.api.create_kernel(program, name)?;
         self.kernels.borrow_mut().push(kernel);
         Ok(kernel)
@@ -148,7 +148,9 @@ impl<'a> Session<'a> {
 
     /// Creates an uninitialized (zeroed) buffer of `len` bytes.
     pub fn buffer_zeroed(&self, len: usize) -> Result<ClMem> {
-        Ok(self.api.create_buffer(self.ctx, MemFlags::read_write(), len, None)?)
+        Ok(self
+            .api
+            .create_buffer(self.ctx, MemFlags::read_write(), len, None)?)
     }
 
     /// Blocking read of a whole `f32` buffer.
@@ -236,7 +238,11 @@ pub struct XorShift(u64);
 impl XorShift {
     /// Creates a generator from a seed (0 is mapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
-        XorShift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.

@@ -49,8 +49,16 @@ impl Hotspot {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Hotspot { rows: 16, cols: 16, steps: 4 },
-            Scale::Bench => Hotspot { rows: 512, cols: 512, steps: 60 },
+            Scale::Test => Hotspot {
+                rows: 16,
+                cols: 16,
+                steps: 4,
+            },
+            Scale::Bench => Hotspot {
+                rows: 512,
+                cols: 512,
+                steps: 60,
+            },
         }
     }
 
@@ -69,9 +77,17 @@ impl Hotspot {
             for c in 0..cols {
                 let t = temp[r * cols + c];
                 let tn = if r > 0 { temp[(r - 1) * cols + c] } else { t };
-                let ts = if r < rows - 1 { temp[(r + 1) * cols + c] } else { t };
+                let ts = if r < rows - 1 {
+                    temp[(r + 1) * cols + c]
+                } else {
+                    t
+                };
                 let tw = if c > 0 { temp[r * cols + c - 1] } else { t };
-                let te = if c < cols - 1 { temp[r * cols + c + 1] } else { t };
+                let te = if c < cols - 1 {
+                    temp[r * cols + c + 1]
+                } else {
+                    t
+                };
                 let delta = CAP
                     * (power[r * cols + c]
                         + (ts + tn - 2.0 * t) / RY
@@ -103,10 +119,22 @@ impl ClWorkload for Hotspot {
             for r in 0..rows {
                 for c in 0..cols {
                     let t = temp_in[r * cols + c];
-                    let tn = if r > 0 { temp_in[(r - 1) * cols + c] } else { t };
-                    let ts = if r < rows - 1 { temp_in[(r + 1) * cols + c] } else { t };
+                    let tn = if r > 0 {
+                        temp_in[(r - 1) * cols + c]
+                    } else {
+                        t
+                    };
+                    let ts = if r < rows - 1 {
+                        temp_in[(r + 1) * cols + c]
+                    } else {
+                        t
+                    };
                     let tw = if c > 0 { temp_in[r * cols + c - 1] } else { t };
-                    let te = if c < cols - 1 { temp_in[r * cols + c + 1] } else { t };
+                    let te = if c < cols - 1 {
+                        temp_in[r * cols + c + 1]
+                    } else {
+                        t
+                    };
                     let delta = cap
                         * (power[r * cols + c]
                             + (ts + tn - 2.0 * t) / ry
@@ -182,10 +210,8 @@ mod tests {
         let wl = Hotspot::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap().is_finite());
     }
 }

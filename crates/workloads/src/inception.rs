@@ -20,10 +20,18 @@ impl Inception {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Inception { input_hw: 16, blocks: 1, classes: 8, inferences: 2 },
-            Scale::Bench => {
-                Inception { input_hw: 64, blocks: 3, classes: 100, inferences: 12 }
-            }
+            Scale::Test => Inception {
+                input_hw: 16,
+                blocks: 1,
+                classes: 8,
+                inferences: 2,
+            },
+            Scale::Bench => Inception {
+                input_hw: 64,
+                blocks: 3,
+                classes: 100,
+                inferences: 12,
+            },
         }
     }
 
@@ -66,13 +74,7 @@ impl Inception {
                     "softmax output sums to {sum}"
                 )));
             }
-            checksum += f64::from(
-                probs
-                    .data
-                    .iter()
-                    .copied()
-                    .fold(f32::NEG_INFINITY, f32::max),
-            );
+            checksum += f64::from(probs.data.iter().copied().fold(f32::NEG_INFINITY, f32::max));
         }
 
         api.deallocate_graph(graph)?;

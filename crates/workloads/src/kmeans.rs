@@ -44,14 +44,26 @@ impl Kmeans {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Kmeans { n: 512, k: 4, dim: 4, iters: 3 },
-            Scale::Bench => Kmeans { n: 100_000, k: 8, dim: 16, iters: 8 },
+            Scale::Test => Kmeans {
+                n: 512,
+                k: 4,
+                dim: 4,
+                iters: 3,
+            },
+            Scale::Bench => Kmeans {
+                n: 100_000,
+                k: 8,
+                dim: 16,
+                iters: 8,
+            },
         }
     }
 
     fn points(&self) -> Vec<f32> {
         let mut rng = XorShift::new(0x6b6d);
-        (0..self.n * self.dim).map(|_| rng.next_f32() * 10.0).collect()
+        (0..self.n * self.dim)
+            .map(|_| rng.next_f32() * 10.0)
+            .collect()
     }
 
     fn cpu_assign(&self, points: &[f32], centroids: &[f32]) -> Vec<i32> {
@@ -200,10 +212,8 @@ mod tests {
         let wl = Kmeans::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap() >= 0.0);
     }
 }

@@ -156,8 +156,7 @@ impl ClWorkload for Lud {
 
         let mut off = 0usize;
         while off < n {
-            for (kernel, global) in [(k_diag, bs), (k_peri, n - off), (k_int, n - off)]
-            {
+            for (kernel, global) in [(k_diag, bs), (k_peri, n - off), (k_int, n - off)] {
                 session.set_args(
                     kernel,
                     &[
@@ -213,10 +212,8 @@ mod tests {
         let wl = Lud::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap().is_finite());
     }
 

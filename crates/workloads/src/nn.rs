@@ -33,8 +33,14 @@ impl Nn {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Nn { records: 1024, k: 5 },
-            Scale::Bench => Nn { records: 1_000_000, k: 10 },
+            Scale::Test => Nn {
+                records: 1024,
+                k: 5,
+            },
+            Scale::Bench => Nn {
+                records: 1_000_000,
+                k: 10,
+            },
         }
     }
 
@@ -52,9 +58,7 @@ impl Nn {
             distances[a].partial_cmp(&distances[b]).expect("no NaNs")
         });
         idx.truncate(k);
-        idx.sort_by(|&a, &b| {
-            distances[a].partial_cmp(&distances[b]).expect("no NaNs")
-        });
+        idx.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).expect("no NaNs"));
         idx
     }
 }
@@ -117,10 +121,7 @@ impl ClWorkload for Nn {
             return Err(WorkloadError::Validation("missed a closer record".into()));
         }
 
-        let checksum: f64 = nearest
-            .iter()
-            .map(|&i| f64::from(distances[i]))
-            .sum();
+        let checksum: f64 = nearest.iter().map(|&i| f64::from(distances[i])).sum();
 
         session.release(b_loc)?;
         session.release(b_dist)?;
@@ -139,10 +140,8 @@ mod tests {
         let wl = Nn::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap() >= 0.0);
     }
 }

@@ -38,7 +38,10 @@ impl Nw {
     pub fn new(scale: Scale) -> Self {
         match scale {
             Scale::Test => Nw { n: 48, penalty: 10 },
-            Scale::Bench => Nw { n: 2048, penalty: 10 },
+            Scale::Bench => Nw {
+                n: 2048,
+                penalty: 10,
+            },
         }
     }
 
@@ -46,7 +49,9 @@ impl Nw {
         let n = self.n;
         let mut rng = XorShift::new(0x9999);
         // BLOSUM-like random similarity scores in [-4, 6].
-        (0..n * n).map(|_| (rng.next_below(11) as i32) - 4).collect()
+        (0..n * n)
+            .map(|_| (rng.next_below(11) as i32) - 4)
+            .collect()
     }
 
     fn initial_score(&self) -> Vec<i32> {
@@ -157,10 +162,8 @@ mod tests {
         let wl = Nw::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap().is_finite());
     }
 }

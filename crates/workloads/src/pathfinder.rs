@@ -35,7 +35,10 @@ impl Pathfinder {
     pub fn new(scale: Scale) -> Self {
         match scale {
             Scale::Test => Pathfinder { rows: 8, cols: 64 },
-            Scale::Bench => Pathfinder { rows: 500, cols: 20_000 },
+            Scale::Bench => Pathfinder {
+                rows: 500,
+                cols: 20_000,
+            },
         }
     }
 
@@ -144,10 +147,8 @@ mod tests {
         let wl = Pathfinder::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap().is_finite());
     }
 }

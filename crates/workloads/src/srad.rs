@@ -64,8 +64,16 @@ impl Srad {
     /// Creates the workload at the given scale.
     pub fn new(scale: Scale) -> Self {
         match scale {
-            Scale::Test => Srad { rows: 16, cols: 16, iters: 3 },
-            Scale::Bench => Srad { rows: 502, cols: 458, iters: 40 },
+            Scale::Test => Srad {
+                rows: 16,
+                cols: 16,
+                iters: 3,
+            },
+            Scale::Bench => Srad {
+                rows: 502,
+                cols: 458,
+                iters: 40,
+            },
         }
     }
 
@@ -83,9 +91,17 @@ impl Srad {
             for j in 0..cols {
                 let jc = img[i * cols + j];
                 let dn = (if i > 0 { img[(i - 1) * cols + j] } else { jc }) - jc;
-                let ds = (if i < rows - 1 { img[(i + 1) * cols + j] } else { jc }) - jc;
+                let ds = (if i < rows - 1 {
+                    img[(i + 1) * cols + j]
+                } else {
+                    jc
+                }) - jc;
                 let dw = (if j > 0 { img[i * cols + j - 1] } else { jc }) - jc;
-                let de = (if j < cols - 1 { img[i * cols + j + 1] } else { jc }) - jc;
+                let de = (if j < cols - 1 {
+                    img[i * cols + j + 1]
+                } else {
+                    jc
+                }) - jc;
                 let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
                 let l = (dn + ds + dw + de) / jc;
                 let num = 0.5 * g2 - (1.0 / 16.0) * (l * l);
@@ -105,12 +121,28 @@ impl Srad {
             for j in 0..cols {
                 let jc = prev[i * cols + j];
                 let cn = c[i * cols + j];
-                let cs = if i < rows - 1 { c[(i + 1) * cols + j] } else { cn };
-                let ce = if j < cols - 1 { c[i * cols + j + 1] } else { cn };
+                let cs = if i < rows - 1 {
+                    c[(i + 1) * cols + j]
+                } else {
+                    cn
+                };
+                let ce = if j < cols - 1 {
+                    c[i * cols + j + 1]
+                } else {
+                    cn
+                };
                 let dn = (if i > 0 { prev[(i - 1) * cols + j] } else { jc }) - jc;
-                let ds = (if i < rows - 1 { prev[(i + 1) * cols + j] } else { jc }) - jc;
+                let ds = (if i < rows - 1 {
+                    prev[(i + 1) * cols + j]
+                } else {
+                    jc
+                }) - jc;
                 let dw = (if j > 0 { prev[i * cols + j - 1] } else { jc }) - jc;
-                let de = (if j < cols - 1 { prev[i * cols + j + 1] } else { jc }) - jc;
+                let de = (if j < cols - 1 {
+                    prev[i * cols + j + 1]
+                } else {
+                    jc
+                }) - jc;
                 let d = cn * dn + cs * ds + cn * dw + ce * de;
                 img[i * cols + j] = jc + 0.25 * LAMBDA * d;
             }
@@ -135,11 +167,17 @@ impl ClWorkload for Srad {
                 for j in 0..cols {
                     let jc = img[i * cols + j];
                     let dn = (if i > 0 { img[(i - 1) * cols + j] } else { jc }) - jc;
-                    let ds =
-                        (if i < rows - 1 { img[(i + 1) * cols + j] } else { jc }) - jc;
+                    let ds = (if i < rows - 1 {
+                        img[(i + 1) * cols + j]
+                    } else {
+                        jc
+                    }) - jc;
                     let dw = (if j > 0 { img[i * cols + j - 1] } else { jc }) - jc;
-                    let de =
-                        (if j < cols - 1 { img[i * cols + j + 1] } else { jc }) - jc;
+                    let de = (if j < cols - 1 {
+                        img[i * cols + j + 1]
+                    } else {
+                        jc
+                    }) - jc;
                     let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
                     let l = (dn + ds + dw + de) / jc;
                     let num = 0.5 * g2 - (1.0 / 16.0) * (l * l);
@@ -163,14 +201,28 @@ impl ClWorkload for Srad {
                 for j in 0..cols {
                     let jc = prev[i * cols + j];
                     let cn = c[i * cols + j];
-                    let cs = if i < rows - 1 { c[(i + 1) * cols + j] } else { cn };
-                    let ce = if j < cols - 1 { c[i * cols + j + 1] } else { cn };
+                    let cs = if i < rows - 1 {
+                        c[(i + 1) * cols + j]
+                    } else {
+                        cn
+                    };
+                    let ce = if j < cols - 1 {
+                        c[i * cols + j + 1]
+                    } else {
+                        cn
+                    };
                     let dn = (if i > 0 { prev[(i - 1) * cols + j] } else { jc }) - jc;
-                    let ds =
-                        (if i < rows - 1 { prev[(i + 1) * cols + j] } else { jc }) - jc;
+                    let ds = (if i < rows - 1 {
+                        prev[(i + 1) * cols + j]
+                    } else {
+                        jc
+                    }) - jc;
                     let dw = (if j > 0 { prev[i * cols + j - 1] } else { jc }) - jc;
-                    let de =
-                        (if j < cols - 1 { prev[i * cols + j + 1] } else { jc }) - jc;
+                    let de = (if j < cols - 1 {
+                        prev[i * cols + j + 1]
+                    } else {
+                        jc
+                    }) - jc;
                     let d = cn * dn + cs * ds + cn * dw + ce * de;
                     img[i * cols + j] = jc + 0.25 * lambda * d;
                 }
@@ -248,10 +300,8 @@ mod tests {
         let wl = Srad::new(Scale::Test);
         let registry = Arc::new(KernelRegistry::new());
         wl.register(&registry);
-        let cl = simcl::SimCl::with_devices_and_registry(
-            vec![simcl::DeviceConfig::default()],
-            registry,
-        );
+        let cl =
+            simcl::SimCl::with_devices_and_registry(vec![simcl::DeviceConfig::default()], registry);
         assert!(wl.run(&cl).unwrap().is_finite());
     }
 }

@@ -23,15 +23,22 @@ fn main() {
         ..StackConfig::default()
     };
     let stack = Arc::new(
-        opencl_stack_with(silo_with_all_kernels(Scale::Test), config, LowerOptions::default())
-            .expect("stack"),
+        opencl_stack_with(
+            silo_with_all_kernels(Scale::Test),
+            config,
+            LowerOptions::default(),
+        )
+        .expect("stack"),
     );
 
     // Three tenants with different entitlements.
     let tenants = [
         ("tenant-gold (weight 4)", VmPolicy::with_weight(4)),
         ("tenant-silver (weight 1)", VmPolicy::with_weight(1)),
-        ("tenant-capped (1000 calls/s)", VmPolicy::with_rate_limit(1000.0, 32)),
+        (
+            "tenant-capped (1000 calls/s)",
+            VmPolicy::with_rate_limit(1000.0, 32),
+        ),
     ];
 
     let mut threads = Vec::new();

@@ -27,9 +27,12 @@ fn main() {
     let platform = api.get_platform_ids().expect("platforms")[0];
     println!(
         "guest sees platform: {}",
-        api.get_platform_info(platform, PlatformInfo::Name).expect("info")
+        api.get_platform_info(platform, PlatformInfo::Name)
+            .expect("info")
     );
-    let device = api.get_device_ids(platform, DeviceType::Gpu).expect("devices")[0];
+    let device = api
+        .get_device_ids(platform, DeviceType::Gpu)
+        .expect("devices")[0];
     println!(
         "guest sees device:   {}",
         api.get_device_info(device, DeviceInfo::Name)
@@ -53,19 +56,33 @@ fn main() {
     let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
     let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
     let buf_a = api
-        .create_buffer(ctx, MemFlags::read_only(), 4 * n, Some(&simcl::mem::f32_to_bytes(&a)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&a)),
+        )
         .expect("buffer a");
     let buf_b = api
-        .create_buffer(ctx, MemFlags::read_only(), 4 * n, Some(&simcl::mem::f32_to_bytes(&b)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&b)),
+        )
         .expect("buffer b");
     let buf_c = api
         .create_buffer(ctx, MemFlags::write_only(), 4 * n, None)
         .expect("buffer c");
 
-    api.set_kernel_arg(kernel, 0, KernelArg::Mem(buf_a)).expect("arg");
-    api.set_kernel_arg(kernel, 1, KernelArg::Mem(buf_b)).expect("arg");
-    api.set_kernel_arg(kernel, 2, KernelArg::Mem(buf_c)).expect("arg");
-    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32)).expect("arg");
+    api.set_kernel_arg(kernel, 0, KernelArg::Mem(buf_a))
+        .expect("arg");
+    api.set_kernel_arg(kernel, 1, KernelArg::Mem(buf_b))
+        .expect("arg");
+    api.set_kernel_arg(kernel, 2, KernelArg::Mem(buf_c))
+        .expect("arg");
+    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32))
+        .expect("arg");
     api.enqueue_nd_range_kernel(queue, kernel, [n, 1, 1], None, &[], false)
         .expect("launch");
 

@@ -30,7 +30,9 @@ fn main() {
 
     // The guest sets up real state on host A.
     let platform = client.get_platform_ids().expect("platforms")[0];
-    let device = client.get_device_ids(platform, DeviceType::All).expect("devices")[0];
+    let device = client
+        .get_device_ids(platform, DeviceType::All)
+        .expect("devices")[0];
     let ctx = client.create_context(device).expect("context");
     let queue = client
         .create_command_queue(ctx, device, QueueProps::default())
@@ -39,14 +41,26 @@ fn main() {
         .create_program_with_source(ctx, simcl::kernels::builtins::SOURCE)
         .expect("program");
     client.build_program(program, "").expect("build");
-    let kernel = client.create_kernel(program, "vector_scale").expect("kernel");
+    let kernel = client
+        .create_kernel(program, "vector_scale")
+        .expect("kernel");
     let data: Vec<f32> = (0..1024).map(|i| i as f32).collect();
     let buf = client
-        .create_buffer(ctx, MemFlags::read_write(), 4096, Some(&simcl::mem::f32_to_bytes(&data)))
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            4096,
+            Some(&simcl::mem::f32_to_bytes(&data)),
+        )
         .expect("buffer");
     client.finish(queue).expect("finish");
-    println!("guest state built on host A (device busy: {} ns)",
-        host_a.device_state(simcl::ClDevice(0x10)).expect("dev").busy_nanos());
+    println!(
+        "guest state built on host A (device busy: {} ns)",
+        host_a
+            .device_state(simcl::ClDevice(0x10))
+            .expect("dev")
+            .busy_nanos()
+    );
 
     // Live-migrate the VM's accelerator state to host B.
     let target = host_b.clone();
@@ -62,8 +76,12 @@ fn main() {
     );
 
     // The guest continues, oblivious: same handles, new physical host.
-    client.set_kernel_arg(kernel, 0, KernelArg::Mem(buf)).expect("arg");
-    client.set_kernel_arg(kernel, 1, KernelArg::from_f32(2.0)).expect("arg");
+    client
+        .set_kernel_arg(kernel, 0, KernelArg::Mem(buf))
+        .expect("arg");
+    client
+        .set_kernel_arg(kernel, 1, KernelArg::from_f32(2.0))
+        .expect("arg");
     client
         .set_kernel_arg(kernel, 2, KernelArg::from_u32(1024))
         .expect("arg");
@@ -79,6 +97,9 @@ fn main() {
     println!("post-migration kernel ran on host B; data doubled correctly");
     println!(
         "host B device busy time is now {} ns (host A untouched since migration)",
-        host_b.device_state(simcl::ClDevice(0x10)).expect("dev").busy_nanos()
+        host_b
+            .device_state(simcl::ClDevice(0x10))
+            .expect("dev")
+            .busy_nanos()
     );
 }

@@ -73,7 +73,10 @@ fn batching_reduces_transport_crossings_without_changing_results() {
     let virtual_sum = wl.run(&client).unwrap();
     assert_eq!(native_sum, virtual_sum);
     let guest = client.library().stats();
-    assert!(guest.batched_calls > 0, "batching must have engaged: {guest:?}");
+    assert!(
+        guest.batched_calls > 0,
+        "batching must have engaged: {guest:?}"
+    );
     // Router saw every *sent* call even though they arrived in batches. A
     // final partial batch of trailing async calls may legitimately still
     // sit in the guest library (lazy RPC flushes on the next sync call).
@@ -84,7 +87,10 @@ fn batching_reduces_transport_crossings_without_changing_results() {
         if router.forwarded >= total - 16 && router.forwarded <= total {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "router stats: {router:?}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "router stats: {router:?}"
+        );
         std::thread::sleep(std::time::Duration::from_millis(2));
     }
 }
@@ -128,7 +134,9 @@ fn policy_rejection_surfaces_as_guest_error() {
     let (_vm, lib) = stack.attach_vm(policy).unwrap();
     let client = OpenClClient::new(lib);
     let platform = client.get_platform_ids().unwrap()[0];
-    let device = client.get_device_ids(platform, simcl::DeviceType::All).unwrap()[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .unwrap()[0];
     let ctx = client.create_context(device).unwrap();
     let ok = client.create_buffer(ctx, simcl::MemFlags::read_write(), 512, None);
     assert!(ok.is_ok(), "first allocation fits the quota");
