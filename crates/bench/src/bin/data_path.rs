@@ -1,0 +1,250 @@
+//! Extension experiment Ext-D: the data-path fast lane. Iterative
+//! workloads (kmeans, backprop) re-upload largely identical buffers every
+//! iteration; the content-addressed transfer cache elides those bytes at
+//! the cost of a 12-byte digest reference. This harness measures payload
+//! bytes on the wire, hit rate, and end-to-end wall time with the cache
+//! on vs off, across the three transports.
+//!
+//! Usage: `data_path [--smoke] [reps]`. `--smoke` shrinks the workload
+//! for CI; either way a machine-readable `BENCH_data_path.json` is
+//! written to the current directory.
+
+use std::time::Instant;
+
+use ava_bench::row;
+use ava_core::{opencl_stack_with, GuestConfig, OpenClClient, StackConfig};
+use ava_hypervisor::{VmPolicy, VmStats};
+use ava_spec::LowerOptions;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{silo_with_all_kernels, Scale};
+use simcl::ClApi;
+
+struct Sample {
+    transport: &'static str,
+    cache: bool,
+    wall_ms: f64,
+    stats: VmStats,
+    hit_rate: f64,
+}
+
+/// Builds a stack over `kind` with the transfer cache sized to `entries`
+/// (0 disables), attaches one VM, and returns the live client + stack.
+fn build_env(kind: TransportKind, model: CostModel, entries: usize) -> ava_bench::AvaEnv {
+    let config = StackConfig {
+        transport: kind,
+        cost_model: model,
+        guest: GuestConfig {
+            payload_cache_entries: entries,
+            payload_cache_min_bytes: 64,
+            ..GuestConfig::default()
+        },
+        ..StackConfig::default()
+    };
+    let stack = opencl_stack_with(
+        silo_with_all_kernels(Scale::Test),
+        config,
+        LowerOptions::default(),
+    )
+    .expect("stack builds");
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+    let client = OpenClClient::new(lib);
+    ava_bench::AvaEnv { stack, client, vm }
+}
+
+/// The kmeans/backprop-shaped inner loop: each "epoch" re-uploads the
+/// same training inputs, mutates a small fraction in place (weights
+/// change, inputs do not), and downloads the result.
+fn iterative_transfer(env: &ava_bench::AvaEnv, iters: usize, payload: &mut [u8]) -> u64 {
+    let client = &env.client;
+    let platform = client.get_platform_ids().expect("platforms")[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .expect("devices")[0];
+    let ctx = client.create_context(device).expect("context");
+    let queue = client
+        .create_command_queue(ctx, device, simcl::QueueProps::default())
+        .expect("queue");
+    let buf = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), payload.len(), None)
+        .expect("buffer");
+    let mut checksum = 0u64;
+    for epoch in 0..iters {
+        client
+            .enqueue_write_buffer(queue, buf, true, 0, payload, &[], false)
+            .expect("write");
+        client.finish(queue).expect("finish");
+        // Every 4th epoch the "weights" change: one byte flips, so the
+        // digest changes and the full payload legitimately re-ships.
+        if epoch % 4 == 3 {
+            payload[0] = payload[0].wrapping_add(1);
+        }
+        let mut out = vec![0u8; payload.len()];
+        client
+            .enqueue_read_buffer(queue, buf, true, 0, &mut out, &[], false)
+            .expect("read");
+        checksum = checksum.wrapping_add(out.iter().map(|&b| b as u64).sum::<u64>());
+    }
+    checksum
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let reps: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 });
+    let (payload_len, iters) = if smoke {
+        (16 << 10, 12)
+    } else {
+        (256 << 10, 48)
+    };
+
+    println!("# Data-path fast lane (Ext-D): content-addressed transfer elision");
+    println!("# payload {payload_len} B, {iters} epochs, weights mutate every 4th epoch");
+    println!();
+    let widths = [10usize, 7, 10, 12, 12, 10, 8, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "transport".into(),
+                "cache".into(),
+                "wall_ms".into(),
+                "bytes_in".into(),
+                "elided".into(),
+                "hits".into(),
+                "misses".into(),
+                "hit_rate".into(),
+            ],
+            &widths
+        )
+    );
+
+    let transports: [(&'static str, TransportKind, CostModel); 3] = [
+        ("inproc", TransportKind::InProcess, CostModel::free()),
+        (
+            "shmem",
+            TransportKind::SharedMemory,
+            CostModel::paravirtual(),
+        ),
+        ("tcp", TransportKind::Tcp, CostModel::network()),
+    ];
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut checksums: Vec<u64> = Vec::new();
+    for (name, kind, model) in transports.iter() {
+        for cache in [false, true] {
+            let entries = if cache { 64 } else { 0 };
+            let mut best_ms = f64::INFINITY;
+            let mut last_stats = VmStats::default();
+            let mut checksum = 0u64;
+            for _ in 0..reps.max(1) {
+                let env = build_env(*kind, *model, entries);
+                let mut payload: Vec<u8> =
+                    (0..payload_len).map(|i| (i * 131 % 251) as u8).collect();
+                let start = Instant::now();
+                checksum = iterative_transfer(&env, iters, &mut payload);
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                last_stats = env.stack.vm_router_stats(env.vm).expect("router stats");
+            }
+            checksums.push(checksum);
+            let refs = last_stats.cache_hits + last_stats.cache_misses;
+            let hit_rate = if refs == 0 {
+                0.0
+            } else {
+                last_stats.cache_hits as f64 / refs as f64
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        (*name).into(),
+                        if cache { "on" } else { "off" }.into(),
+                        format!("{best_ms:.2}"),
+                        last_stats.bytes_in.to_string(),
+                        last_stats.bytes_elided.to_string(),
+                        last_stats.cache_hits.to_string(),
+                        last_stats.cache_misses.to_string(),
+                        format!("{hit_rate:.2}"),
+                    ],
+                    &widths
+                )
+            );
+            samples.push(Sample {
+                transport: name,
+                cache,
+                wall_ms: best_ms,
+                stats: last_stats,
+                hit_rate,
+            });
+        }
+    }
+
+    // The cache must never change results: every config saw the same
+    // device bytes, so every checksum agrees.
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "cache-on/off runs diverged: {checksums:?}"
+    );
+
+    // Machine-readable artifact for CI.
+    let mut json = String::from("{\n  \"bench\": \"data_path\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {payload_len},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n  \"configs\": [\n"));
+    for (i, s) in samples.iter().enumerate() {
+        let off_bytes = samples
+            .iter()
+            .find(|o| o.transport == s.transport && !o.cache)
+            .map(|o| o.stats.bytes_in)
+            .unwrap_or(0);
+        let reduction = if s.cache && off_bytes > 0 {
+            1.0 - s.stats.bytes_in as f64 / off_bytes as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"cache\": {}, \"wall_ms\": {:.3}, \
+             \"bytes_in\": {}, \"bytes_out\": {}, \"bytes_elided\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}, \
+             \"payload_reduction_vs_off\": {:.4}}}{}\n",
+            s.transport,
+            s.cache,
+            s.wall_ms,
+            s.stats.bytes_in,
+            s.stats.bytes_out,
+            s.stats.bytes_elided,
+            s.stats.cache_hits,
+            s.stats.cache_misses,
+            s.hit_rate,
+            reduction,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_data_path.json", &json).expect("write BENCH_data_path.json");
+    println!();
+
+    // Headline number: payload-byte reduction on the shared-memory path.
+    for (name, _, _) in transports.iter() {
+        let off = samples
+            .iter()
+            .find(|s| s.transport == *name && !s.cache)
+            .unwrap();
+        let on = samples
+            .iter()
+            .find(|s| s.transport == *name && s.cache)
+            .unwrap();
+        let reduction = 1.0 - on.stats.bytes_in as f64 / off.stats.bytes_in as f64;
+        println!(
+            "# {name}: payload bytes {} -> {} ({:.1}% elided), wall {:.2} -> {:.2} ms",
+            off.stats.bytes_in,
+            on.stats.bytes_in,
+            reduction * 100.0,
+            off.wall_ms,
+            on.wall_ms
+        );
+    }
+    println!("# wrote BENCH_data_path.json");
+}

@@ -9,6 +9,8 @@
 //! * `effort_report` — §5's developer-effort claims: functions covered,
 //!   spec size vs generated-stack size;
 //! * `transport_compare` — extension: in-process vs shared-memory vs TCP;
+//! * `data_path` — extension: content-addressed buffer-transfer elision
+//!   (cache on/off payload bytes, hit rate, wall time per transport);
 //! * `scheduling` — extension: cross-VM fairness and rate limiting (§4.3);
 //! * `migration` — extension: VM migration cost breakdown (§4.3);
 //! * `swapping` — extension: buffer-granularity memory swapping (§4.3).
@@ -91,7 +93,10 @@ pub fn ava_env_batched(
     let config = StackConfig {
         transport: kind,
         cost_model: model,
-        guest: ava_core::GuestConfig { batch_max },
+        guest: ava_core::GuestConfig {
+            batch_max,
+            ..ava_core::GuestConfig::default()
+        },
         ..StackConfig::default()
     };
     let stack = opencl_stack_with(cl, config, opts).expect("stack builds");

@@ -17,7 +17,7 @@ use ava_server::{ApiHandler, ApiServer, MigrationImage, ServerStats};
 use ava_spec::ApiDescriptor;
 use ava_telemetry::{Registry, Telemetry};
 use ava_transport::{CostModel, Transport, TransportError, TransportKind};
-use ava_wire::VmId;
+use ava_wire::{ControlMessage, Message, VmId};
 use parking_lot::Mutex;
 
 /// Stack-level errors.
@@ -91,6 +91,9 @@ struct VmRuntime {
     thread: Option<std::thread::JoinHandle<()>>,
     server: Arc<Mutex<ApiServer>>,
     transport: Arc<dyn Transport>,
+    /// Transfer-cache epoch; bumped on migration so both ends drop their
+    /// payload caches (the restored server starts with an empty mirror).
+    cache_epoch: u64,
 }
 
 impl VmRuntime {
@@ -204,6 +207,13 @@ impl ApiStack {
         let telemetry = self.telemetry.lock().with_vm(conn.vm_id);
         let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
         server.set_telemetry(telemetry.clone());
+        // The server's payload mirror must match the guest's transfer cache
+        // exactly (same capacity, same eligibility floor) — the stack is
+        // the single source of truth for both.
+        server.set_payload_cache(
+            self.config.guest.payload_cache_entries,
+            self.config.guest.payload_cache_min_bytes,
+        );
         if let Some(registry) = telemetry.registry() {
             conn.guest
                 .register_telemetry(registry, &format!("vm{}.guest", conn.vm_id));
@@ -215,6 +225,7 @@ impl ApiStack {
             thread: None,
             server: Arc::new(Mutex::new(server)),
             transport: Arc::from(conn.server),
+            cache_epoch: 0,
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
@@ -280,12 +291,38 @@ impl ApiStack {
         let mut restored =
             ApiServer::restore(Arc::clone(&self.descriptor), target_handler(), &image)?;
         restored.set_telemetry(self.telemetry.lock().with_vm(vm));
+        restored.set_payload_cache(
+            self.config.guest.payload_cache_entries,
+            self.config.guest.payload_cache_min_bytes,
+        );
         runtime.server = Arc::new(Mutex::new(restored));
         runtime.spawn();
+        // The restored server's payload mirror starts empty; announce the
+        // new epoch so the guest proactively drops its digest cache instead
+        // of discovering the desync one NACK at a time. (The NACK/resend
+        // path would heal it regardless — this is an optimization, and the
+        // reason record/replay stays sound: replay only ever sees the
+        // materialized bytes resolved before recording.)
+        runtime.cache_epoch += 1;
+        let _ = runtime
+            .transport
+            .send(&Message::Control(ControlMessage::CacheEpoch(
+                runtime.cache_epoch,
+            )));
         drop(vms);
 
         self.hypervisor.resume_vm(vm)?;
         Ok(image)
+    }
+
+    /// Wipes a VM's server-side payload cache while leaving the guest's
+    /// digest cache untouched — a deliberate desync. Test hook for
+    /// exercising the `CacheMiss` NACK/resend convergence path end-to-end.
+    pub fn desync_vm_payload_cache(&self, vm: VmId) -> Result<()> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        runtime.server.lock().clear_payload_cache();
+        Ok(())
     }
 }
 

@@ -25,7 +25,10 @@ use std::sync::Arc;
 use ava_spec::{ApiDescriptor, ElemKind, FunctionDesc, RetDesc, ScalarKind, Transfer};
 use ava_telemetry::{Counter, Stage, Telemetry};
 use ava_transport::BoxedTransport;
-use ava_wire::{CallId, CallMode, CallRequest, FnId, Message, ReplyStatus, Value};
+use ava_wire::{
+    fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, FnId, Message,
+    ReplyStatus, Value,
+};
 use parking_lot::Mutex;
 
 pub use error::GuestError;
@@ -54,11 +57,22 @@ impl CallResult {
 pub struct GuestConfig {
     /// Maximum calls coalesced into one batch; 0 disables batching.
     pub batch_max: usize,
+    /// Entries in the content-addressed transfer cache (digests of buffer
+    /// payloads already pushed over this connection); 0 disables elision.
+    /// The server mirrors this capacity, so both caches evolve in lockstep.
+    pub payload_cache_entries: usize,
+    /// Smallest buffer (bytes) eligible for transfer-cache elision. Tiny
+    /// buffers cost more to digest than to send; must match the server.
+    pub payload_cache_min_bytes: usize,
 }
 
 impl Default for GuestConfig {
     fn default() -> Self {
-        GuestConfig { batch_max: 0 }
+        GuestConfig {
+            batch_max: 0,
+            payload_cache_entries: 0,
+            payload_cache_min_bytes: 64,
+        }
     }
 }
 
@@ -73,16 +87,32 @@ pub struct GuestStats {
     pub batched_calls: u64,
     /// Deferred errors delivered on later synchronous calls.
     pub deferred_errors_delivered: u64,
+    /// Buffer arguments elided by the transfer cache.
+    pub payload_cache_hits: u64,
+    /// `CacheMiss` NACKs that forced a full resend.
+    pub payload_cache_misses: u64,
+    /// Payload bytes that never crossed the transport thanks to elision.
+    pub bytes_elided: u64,
+}
+
+/// Bookkeeping for an async call whose reply has not been consumed yet.
+struct PendingCall {
+    fn_id: FnId,
+    /// Full-payload copy kept for `CacheMiss` resends; `None` when the
+    /// transfer cache is disabled or the call carried no eligible buffers.
+    resend: Option<CallRequest>,
 }
 
 struct Inner {
     next_call_id: CallId,
     /// Async calls whose replies have not been consumed yet.
-    pending: HashMap<CallId, FnId>,
+    pending: HashMap<CallId, PendingCall>,
     /// First asynchronous failure awaiting delivery.
     deferred_error: Option<Value>,
     /// Batched (not yet sent) async calls.
     batch: Vec<CallRequest>,
+    /// Digests of eligible buffers already pushed over this connection.
+    tx_cache: DigestLru<()>,
 }
 
 /// Registry-shareable storage behind [`GuestStats`].
@@ -92,6 +122,9 @@ struct GuestCounters {
     async_calls: Counter,
     batched_calls: Counter,
     deferred_errors_delivered: Counter,
+    payload_cache_hits: Counter,
+    payload_cache_misses: Counter,
+    bytes_elided: Counter,
 }
 
 impl GuestCounters {
@@ -101,6 +134,9 @@ impl GuestCounters {
             async_calls: self.async_calls.get(),
             batched_calls: self.batched_calls.get(),
             deferred_errors_delivered: self.deferred_errors_delivered.get(),
+            payload_cache_hits: self.payload_cache_hits.get(),
+            payload_cache_misses: self.payload_cache_misses.get(),
+            bytes_elided: self.bytes_elided.get(),
         }
     }
 
@@ -116,6 +152,15 @@ impl GuestCounters {
             &format!("guest.vm{vm}.deferred_errors_delivered"),
             &self.deferred_errors_delivered,
         );
+        registry.register_counter(
+            &format!("guest.vm{vm}.payload_cache_hits"),
+            &self.payload_cache_hits,
+        );
+        registry.register_counter(
+            &format!("guest.vm{vm}.payload_cache_misses"),
+            &self.payload_cache_misses,
+        );
+        registry.register_counter(&format!("guest.vm{vm}.bytes_elided"), &self.bytes_elided);
     }
 }
 
@@ -143,6 +188,7 @@ impl GuestLibrary {
                 pending: HashMap::new(),
                 deferred_error: None,
                 batch: Vec::new(),
+                tx_cache: DigestLru::new(config.payload_cache_entries),
             }),
         }
     }
@@ -219,12 +265,20 @@ impl GuestLibrary {
 
         if !is_sync {
             self.counters.async_calls.inc();
-            inner.pending.insert(call_id, func.id);
+            let (wire_args, resend) =
+                self.prepare_args(&mut inner, call_id, func.id, is_sync, args);
+            inner.pending.insert(
+                call_id,
+                PendingCall {
+                    fn_id: func.id,
+                    resend,
+                },
+            );
             let req = CallRequest {
                 call_id,
                 fn_id: func.id,
                 mode: CallMode::Async,
-                args,
+                args: wire_args,
             };
             if self.config.batch_max > 0 {
                 inner.batch.push(req);
@@ -256,11 +310,12 @@ impl GuestLibrary {
         // Synchronous path: flush any batched work first so ordering holds.
         self.counters.sync_calls.inc();
         self.flush_batch(&mut inner)?;
+        let (wire_args, resend) = self.prepare_args(&mut inner, call_id, func.id, is_sync, args);
         let req = CallRequest {
             call_id,
             fn_id: func.id,
             mode: CallMode::Sync,
-            args,
+            args: wire_args,
         };
         self.telemetry
             .span_stage_at(call_id, Stage::GuestStart, entry_nanos, Some(func.id));
@@ -285,8 +340,41 @@ impl GuestLibrary {
                 }
             };
             match msg {
-                Message::Reply(rep) if rep.call_id == call_id => break rep,
+                Message::Reply(rep) if rep.call_id == call_id => {
+                    if rep.status == ReplyStatus::CacheMiss {
+                        // The server could not rematerialize an elided
+                        // buffer; retransmit the full payload (repairing
+                        // both caches) and keep waiting for the real reply.
+                        if let Some(full) = &resend {
+                            self.counters.payload_cache_misses.inc();
+                            repair_cache(
+                                &mut inner.tx_cache,
+                                &full.args,
+                                self.config.payload_cache_min_bytes,
+                            );
+                            if let Err(e) = self.transport.send(&Message::Call(full.clone())) {
+                                self.telemetry.span_abandon(call_id);
+                                return Err(GuestError::Transport(e.to_string()));
+                            }
+                        } else {
+                            // A NACK with nothing to resend means the two
+                            // sides disagree about what was elided.
+                            self.telemetry.span_abandon(call_id);
+                            return Err(GuestError::Protocol(format!(
+                                "spurious cache-miss NACK for `{}`",
+                                func.name
+                            )));
+                        }
+                        continue;
+                    }
+                    break rep;
+                }
                 Message::Reply(rep) => self.consume_async_reply(&mut inner, rep),
+                Message::Control(ControlMessage::CacheEpoch(_)) => {
+                    // Reconnect/migration: every previously pushed payload
+                    // is gone from the server; start the mirror over.
+                    inner.tx_cache.clear();
+                }
                 _ => {}
             }
         };
@@ -308,6 +396,14 @@ impl GuestLibrary {
             ReplyStatus::TransportError => {
                 return Err(GuestError::Protocol(format!(
                     "server failed to execute `{}`",
+                    func.name
+                )))
+            }
+            // Consumed inside the receive loop; escaping here means the
+            // resend machinery failed to converge.
+            ReplyStatus::CacheMiss => {
+                return Err(GuestError::Protocol(format!(
+                    "unresolved cache-miss NACK for `{}`",
                     func.name
                 )))
             }
@@ -342,10 +438,77 @@ impl GuestLibrary {
         Ok(())
     }
 
-    /// Processes a reply to an earlier asynchronous call: any failure is
-    /// remembered for deferred delivery.
-    fn consume_async_reply(&self, inner: &mut Inner, rep: ava_wire::CallReply) {
-        let Some(fn_id) = inner.pending.remove(&rep.call_id) else {
+    /// Runs transfer-cache elision over `args`. Returns the wire-form
+    /// arguments plus — whenever the cache is enabled — a full-payload copy
+    /// of the request, kept so a `CacheMiss` NACK can be answered with a
+    /// retransmission.
+    fn prepare_args(
+        &self,
+        inner: &mut Inner,
+        call_id: CallId,
+        fn_id: FnId,
+        is_sync: bool,
+        args: Vec<Value>,
+    ) -> (Vec<Value>, Option<CallRequest>) {
+        if self.config.payload_cache_entries == 0 {
+            return (args, None);
+        }
+        let min = self.config.payload_cache_min_bytes;
+        let wire_args: Vec<Value> = args
+            .iter()
+            .map(|arg| match arg {
+                Value::Bytes(b) if b.len() >= min => {
+                    let digest = fnv1a64(b);
+                    if inner.tx_cache.get(digest).is_some() {
+                        self.counters.payload_cache_hits.inc();
+                        self.counters.bytes_elided.add(b.len() as u64);
+                        Value::CachedBytes {
+                            digest,
+                            len: b.len() as u64,
+                        }
+                    } else {
+                        inner.tx_cache.insert(digest, ());
+                        arg.clone()
+                    }
+                }
+                other => other.clone(),
+            })
+            .collect();
+        let resend = CallRequest {
+            call_id,
+            fn_id,
+            mode: if is_sync {
+                CallMode::Sync
+            } else {
+                CallMode::Async
+            },
+            args,
+        };
+        (wire_args, Some(resend))
+    }
+
+    /// Processes a reply to an earlier asynchronous call: a `CacheMiss`
+    /// NACK triggers a full-payload retransmission (the call has not
+    /// executed and stays pending); any failure is remembered for deferred
+    /// delivery.
+    fn consume_async_reply(&self, inner: &mut Inner, rep: CallReply) {
+        if rep.status == ReplyStatus::CacheMiss {
+            let full = inner
+                .pending
+                .get(&rep.call_id)
+                .and_then(|p| p.resend.clone());
+            if let Some(full) = full {
+                self.counters.payload_cache_misses.inc();
+                repair_cache(
+                    &mut inner.tx_cache,
+                    &full.args,
+                    self.config.payload_cache_min_bytes,
+                );
+                let _ = self.transport.send(&Message::Call(full));
+            }
+            return;
+        }
+        let Some(PendingCall { fn_id, .. }) = inner.pending.remove(&rep.call_id) else {
             return;
         };
         if inner.deferred_error.is_some() {
@@ -462,6 +625,19 @@ fn synthesized_success(func: &FunctionDesc) -> Value {
     }
 }
 
+/// Re-inserts the digests of every cache-eligible buffer in `args` after a
+/// `CacheMiss` resend: the server inserts them on receipt, so doing the same
+/// here keeps the two caches mirrored.
+fn repair_cache(cache: &mut DigestLru<()>, args: &[Value], min_bytes: usize) {
+    for arg in args {
+        if let Value::Bytes(b) = arg {
+            if b.len() >= min_bytes {
+                cache.insert(fnv1a64(b), ());
+            }
+        }
+    }
+}
+
 /// True if `ret` equals the function's declared success value (non-status
 /// returns always count as success).
 fn ret_is_success(func: &FunctionDesc, ret: &Value) -> bool {
@@ -494,6 +670,10 @@ toy_status toy_write(toy_buf buf, const void *data, size_t data_size) {
 }
 toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
   parameter(out) { out; buffer(out_size); }
+}
+toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
+  sync;
+  parameter(data) { buffer(data_size); }
 }
 "#;
 
@@ -559,7 +739,14 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
         let (guest_end, server_end) =
             ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
         let server = spawn_server(server_end, fail_poke);
-        let lib = GuestLibrary::new(descriptor(), guest_end, GuestConfig { batch_max: batch });
+        let lib = GuestLibrary::new(
+            descriptor(),
+            guest_end,
+            GuestConfig {
+                batch_max: batch,
+                ..GuestConfig::default()
+            },
+        );
         (lib, server)
     }
 
@@ -708,5 +895,217 @@ toy_status toy_read(toy_buf buf, void *out, size_t out_size) {
         ));
         shutdown(lib);
         server.join().unwrap();
+    }
+
+    /// A scripted server that mirrors the transfer-cache protocol: inserts
+    /// received eligible buffers, rematerializes `CachedBytes`, NACKs on
+    /// miss, and optionally wipes its cache after `wipe_after` executions
+    /// to force a desync.
+    fn spawn_cache_server(
+        server: BoxedTransport,
+        entries: usize,
+        min: usize,
+        wipe_after: Option<usize>,
+    ) -> std::thread::JoinHandle<Vec<CallRequest>> {
+        std::thread::spawn(move || {
+            let mut rx: DigestLru<Vec<u8>> = DigestLru::new(entries);
+            let mut seen = Vec::new();
+            let mut executed = 0usize;
+            loop {
+                let msg = match server.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                };
+                let reqs = match msg {
+                    Message::Call(req) => vec![req],
+                    Message::Batch(reqs) => reqs,
+                    Message::Control(ControlMessage::Shutdown) => break,
+                    _ => continue,
+                };
+                for mut req in reqs {
+                    seen.push(req.clone());
+                    let mut missed = false;
+                    for arg in req.args.iter_mut() {
+                        match arg {
+                            Value::Bytes(b) if b.len() >= min => {
+                                rx.insert(fnv1a64(b), b.to_vec());
+                            }
+                            Value::CachedBytes { digest, .. } => match rx.get(*digest) {
+                                Some(data) => *arg = Value::Bytes(data.clone().into()),
+                                None => {
+                                    missed = true;
+                                    break;
+                                }
+                            },
+                            _ => {}
+                        }
+                    }
+                    if missed {
+                        let nack = ava_wire::CallReply {
+                            call_id: req.call_id,
+                            status: ReplyStatus::CacheMiss,
+                            ret: Value::Unit,
+                            outputs: vec![],
+                        };
+                        if server.send(&Message::Reply(nack)).is_err() {
+                            return seen;
+                        }
+                        continue;
+                    }
+                    executed += 1;
+                    if wipe_after == Some(executed) {
+                        rx.clear();
+                    }
+                    let ret = match req.fn_id {
+                        1 => Value::Handle(0x4000_0001), // toy_create
+                        _ => Value::I32(0),              // toy_init / toy_store / toy_write
+                    };
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Ok,
+                        ret,
+                        outputs: vec![],
+                    };
+                    if server.send(&Message::Reply(reply)).is_err() {
+                        return seen;
+                    }
+                }
+            }
+            seen
+        })
+    }
+
+    fn setup_cached(
+        entries: usize,
+        wipe_after: Option<usize>,
+    ) -> (GuestLibrary, std::thread::JoinHandle<Vec<CallRequest>>) {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let config = GuestConfig {
+            batch_max: 0,
+            payload_cache_entries: entries,
+            payload_cache_min_bytes: 8,
+        };
+        let server = spawn_cache_server(server_end, entries, 8, wipe_after);
+        let lib = GuestLibrary::new(descriptor(), guest_end, config);
+        (lib, server)
+    }
+
+    #[test]
+    fn repeated_buffer_is_elided_on_the_wire() {
+        let (lib, server) = setup_cached(8, None);
+        let h = lib.call("toy_create", vec![Value::U64(64)]).unwrap().ret;
+        let data = vec![7u8; 32];
+        for _ in 0..3 {
+            let r = lib
+                .call(
+                    "toy_store",
+                    vec![h.clone(), Value::Bytes(data.clone().into()), Value::U64(32)],
+                )
+                .unwrap();
+            assert_eq!(r.ret, Value::I32(0));
+        }
+        let stats = lib.stats();
+        assert_eq!(stats.payload_cache_hits, 2, "second and third sends hit");
+        assert_eq!(stats.payload_cache_misses, 0);
+        assert_eq!(stats.bytes_elided, 64);
+        shutdown(lib);
+        let seen = server.join().unwrap();
+        // On the wire: create, store(full), store(elided), store(elided).
+        let stores: Vec<&CallRequest> = seen.iter().filter(|r| r.fn_id == 5).collect();
+        assert_eq!(stores.len(), 3);
+        assert!(matches!(stores[0].args[1], Value::Bytes(_)));
+        assert!(matches!(stores[1].args[1], Value::CachedBytes { .. }));
+        assert!(matches!(stores[2].args[1], Value::CachedBytes { .. }));
+    }
+
+    #[test]
+    fn small_buffers_are_never_elided() {
+        let (lib, server) = setup_cached(8, None);
+        let h = lib.call("toy_create", vec![Value::U64(64)]).unwrap().ret;
+        let tiny = vec![1u8; 4]; // below the 8-byte eligibility floor
+        for _ in 0..2 {
+            lib.call(
+                "toy_store",
+                vec![h.clone(), Value::Bytes(tiny.clone().into()), Value::U64(4)],
+            )
+            .unwrap();
+        }
+        assert_eq!(lib.stats().payload_cache_hits, 0);
+        shutdown(lib);
+        let seen = server.join().unwrap();
+        assert!(seen
+            .iter()
+            .filter(|r| r.fn_id == 5)
+            .all(|r| matches!(r.args[1], Value::Bytes(_))));
+    }
+
+    #[test]
+    fn forced_server_eviction_heals_via_nack_resend() {
+        // The server wipes its payload cache after the second execution
+        // (create + first store), desynchronizing the mirrors. The next
+        // elided store must NACK, resend, and still succeed.
+        let (lib, server) = setup_cached(8, Some(2));
+        let h = lib.call("toy_create", vec![Value::U64(64)]).unwrap().ret;
+        let data = vec![9u8; 16];
+        for _ in 0..3 {
+            let r = lib
+                .call(
+                    "toy_store",
+                    vec![h.clone(), Value::Bytes(data.clone().into()), Value::U64(16)],
+                )
+                .unwrap();
+            assert_eq!(r.ret, Value::I32(0), "store succeeds despite desync");
+        }
+        let stats = lib.stats();
+        assert_eq!(stats.payload_cache_misses, 1, "exactly one NACK round");
+        // Store #2 hit (elided, then NACKed + resent); store #3 hit again
+        // after both caches were repaired by the resend.
+        assert_eq!(stats.payload_cache_hits, 2);
+        shutdown(lib);
+        let seen = server.join().unwrap();
+        let stores: Vec<&CallRequest> = seen.iter().filter(|r| r.fn_id == 5).collect();
+        // full, elided (NACKed), full resend, elided.
+        assert_eq!(stores.len(), 4);
+        assert!(matches!(stores[0].args[1], Value::Bytes(_)));
+        assert!(matches!(stores[1].args[1], Value::CachedBytes { .. }));
+        assert!(matches!(stores[2].args[1], Value::Bytes(_)));
+        assert!(matches!(stores[3].args[1], Value::CachedBytes { .. }));
+    }
+
+    #[test]
+    fn async_cache_miss_resends_from_pending() {
+        // Async toy_write is elided, the server NACKs it, and the guest —
+        // blocked inside the next sync call — resends the full payload
+        // from its pending map.
+        let (lib, server) = setup_cached(8, Some(2));
+        let h = lib.call("toy_create", vec![Value::U64(64)]).unwrap().ret;
+        let data = vec![3u8; 24];
+        // First write seeds both caches (create + write = 2 executions,
+        // after which the server wipes its cache).
+        lib.call(
+            "toy_write",
+            vec![h.clone(), Value::Bytes(data.clone().into()), Value::U64(24)],
+        )
+        .unwrap();
+        // Second write is elided but the server's cache is gone: NACK.
+        lib.call(
+            "toy_write",
+            vec![h.clone(), Value::Bytes(data.clone().into()), Value::U64(24)],
+        )
+        .unwrap();
+        // The sync call pumps the NACK and the resend.
+        let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        assert_eq!(r.ret, Value::I32(0), "no deferred error: write succeeded");
+        let stats = lib.stats();
+        assert_eq!(stats.payload_cache_misses, 1);
+        shutdown(lib);
+        let seen = server.join().unwrap();
+        let writes: Vec<&CallRequest> = seen.iter().filter(|r| r.fn_id == 3).collect();
+        // full, elided (NACKed), full resend.
+        assert_eq!(writes.len(), 3);
+        assert!(matches!(writes[0].args[1], Value::Bytes(_)));
+        assert!(matches!(writes[1].args[1], Value::CachedBytes { .. }));
+        assert!(matches!(writes[2].args[1], Value::Bytes(_)));
     }
 }

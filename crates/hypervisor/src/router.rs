@@ -31,6 +31,14 @@ pub struct VmStats {
     pub bytes_in: u64,
     /// Host→guest payload bytes seen.
     pub bytes_out: u64,
+    /// Guest→host payload bytes that never crossed the transport because
+    /// the transfer cache elided them (`bytes_in` counts only what moved,
+    /// so interposition-level accounting stays truthful).
+    pub bytes_elided: u64,
+    /// Buffer arguments that arrived as `CachedBytes` digests.
+    pub cache_hits: u64,
+    /// `CacheMiss` NACKs relayed back to the guest.
+    pub cache_misses: u64,
     /// Estimated device time consumed, in microseconds (from the spec's
     /// `resource(device_time_us, ...)` annotations).
     pub est_device_time_us: f64,
@@ -51,6 +59,9 @@ struct VmMetrics {
     replies: Counter,
     bytes_in: Counter,
     bytes_out: Counter,
+    bytes_elided: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
     outstanding: Counter,
     est_device_time_us: Gauge,
     est_device_mem: Gauge,
@@ -64,6 +75,9 @@ impl VmMetrics {
             replies: self.replies.get(),
             bytes_in: self.bytes_in.get(),
             bytes_out: self.bytes_out.get(),
+            bytes_elided: self.bytes_elided.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
             est_device_time_us: self.est_device_time_us.get(),
             est_device_mem: self.est_device_mem.get(),
             outstanding: self.outstanding.get(),
@@ -83,6 +97,9 @@ impl VmMetrics {
         c("replies", &self.replies);
         c("bytes_in", &self.bytes_in);
         c("bytes_out", &self.bytes_out);
+        c("bytes_elided", &self.bytes_elided);
+        c("cache_hits", &self.cache_hits);
+        c("cache_misses", &self.cache_misses);
         c("outstanding", &self.outstanding);
         registry.register_gauge(
             &format!("router.vm{vm}.est_device_time_us"),
@@ -232,20 +249,16 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             loop {
                 match lane.guest.try_recv() {
                     Ok(Some(Message::Call(req))) => {
-                        lane.metrics.bytes_in.add(req.payload_bytes() as u64);
-                        // Only sync calls carry spans: async successes are
-                        // reply-suppressed, so their spans could never
-                        // complete.
-                        if req.mode == ava_wire::CallMode::Sync {
-                            lane.telemetry.span_stage(req.call_id, Stage::Queued, None);
-                        }
-                        lane.queue.push_back(req);
+                        ingest_request(lane, req);
                         progressed = true;
                     }
                     Ok(Some(Message::Batch(reqs))) => {
+                        // Batched calls get the same per-call accounting
+                        // and span stamps as singly-sent ones: the batch is
+                        // a transport framing detail, not a different kind
+                        // of traffic.
                         for req in reqs {
-                            lane.metrics.bytes_in.add(req.payload_bytes() as u64);
-                            lane.queue.push_back(req);
+                            ingest_request(lane, req);
                         }
                         progressed = true;
                     }
@@ -357,6 +370,9 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         lane.metrics.replies.inc();
                         lane.metrics.outstanding.dec_saturating();
                         lane.metrics.bytes_out.add(rep.payload_bytes() as u64);
+                        if rep.status == ReplyStatus::CacheMiss {
+                            lane.metrics.cache_misses.inc();
+                        }
                         lane.telemetry.span_stage(rep.call_id, Stage::Replied, None);
                         let _ = lane.guest.send(&Message::Reply(rep));
                         progressed = true;
@@ -386,6 +402,21 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             }
         }
     }
+}
+
+/// Ingests one guest call into a lane's queue with uniform per-call
+/// accounting: moved and elided byte counts, cache-hit counting, and the
+/// `Queued` span stamp for sync calls (batched or not). Only sync calls
+/// carry spans: async successes are reply-suppressed, so their spans could
+/// never complete.
+fn ingest_request(lane: &mut Lane, req: CallRequest) {
+    lane.metrics.bytes_in.add(req.payload_bytes() as u64);
+    lane.metrics.bytes_elided.add(req.elided_bytes() as u64);
+    lane.metrics.cache_hits.add(req.cached_count() as u64);
+    if req.mode == ava_wire::CallMode::Sync {
+        lane.telemetry.span_stage(req.call_id, Stage::Queued, None);
+    }
+    lane.queue.push_back(req);
 }
 
 /// Picks the next lane to service, honouring pause state, rate limits and

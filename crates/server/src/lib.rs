@@ -344,6 +344,194 @@ toy_status toy_destroy(toy_buf buf) {
         assert_eq!(server.live_device_mem(), 150);
     }
 
+    /// Sends `msg` through `serve_one` and drains every reply available on
+    /// the client end.
+    fn pump(
+        server: &mut ApiServer,
+        server_end: &dyn ava_transport::Transport,
+        client: &dyn ava_transport::Transport,
+        msg: ava_wire::Message,
+    ) -> Vec<ava_wire::CallReply> {
+        server.serve_one(server_end, msg).unwrap();
+        let mut replies = Vec::new();
+        while let Ok(Some(ava_wire::Message::Reply(rep))) = client.try_recv() {
+            replies.push(rep);
+        }
+        replies
+    }
+
+    fn write_req(desc: &ApiDescriptor, call_id: u64, h: u64, arg: Value, len: u64) -> CallRequest {
+        CallRequest {
+            call_id,
+            fn_id: desc.by_name("toy_write").unwrap().id,
+            mode: CallMode::Sync,
+            args: vec![Value::Handle(h), arg, Value::U64(len)],
+        }
+    }
+
+    #[test]
+    fn cached_bytes_rematerialize_from_the_payload_mirror() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_payload_cache(8, 4);
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let h = create_buf(&mut server, &desc, 64);
+
+        let payload = b"content-addressed".to_vec();
+        let digest = ava_wire::fnv1a64(&payload);
+        // Full transfer primes the mirror.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::Bytes(payload.clone().into()),
+                payload.len() as u64,
+            )),
+        );
+        assert_eq!(reps[0].status, ReplyStatus::Ok);
+        // Digest-only reference rematerializes server-side.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::CachedBytes {
+                    digest,
+                    len: payload.len() as u64,
+                },
+                payload.len() as u64,
+            )),
+        );
+        assert_eq!(reps[0].status, ReplyStatus::Ok);
+        assert_eq!(server.stats().payload_cache_hits, 1);
+        assert_eq!(server.stats().payload_cache_misses, 0);
+        assert_eq!(
+            read_buf(&mut server, &desc, h, payload.len() as u64),
+            payload
+        );
+    }
+
+    #[test]
+    fn unknown_digest_nacks_and_holds_later_calls_in_order() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_payload_cache(8, 4);
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let h = create_buf(&mut server, &desc, 64);
+
+        let first = b"AAAA-first".to_vec();
+        let second = b"BBBB-second".to_vec();
+        // Call 1 references a digest the server has never seen.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::CachedBytes {
+                    digest: ava_wire::fnv1a64(&first),
+                    len: first.len() as u64,
+                },
+                first.len() as u64,
+            )),
+        );
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].status, ReplyStatus::CacheMiss);
+        assert_eq!(reps[0].call_id, 1);
+        // Call 2 arrives while the resend is outstanding: held, no reply,
+        // not executed.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::Bytes(second.clone().into()),
+                second.len() as u64,
+            )),
+        );
+        assert!(reps.is_empty(), "held call must not be answered: {reps:?}");
+        assert_eq!(server.stats().calls, 1, "only toy_create has executed");
+        // The full-payload resend unblocks call 1 and then drains call 2.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::Bytes(first.clone().into()),
+                first.len() as u64,
+            )),
+        );
+        assert_eq!(reps.len(), 2);
+        assert_eq!((reps[0].call_id, reps[0].status), (1, ReplyStatus::Ok));
+        assert_eq!((reps[1].call_id, reps[1].status), (2, ReplyStatus::Ok));
+        // Call 2 executed *after* call 1: the buffer holds call 2's bytes.
+        assert_eq!(read_buf(&mut server, &desc, h, second.len() as u64), second);
+        assert_eq!(server.stats().payload_cache_misses, 1);
+    }
+
+    #[test]
+    fn clearing_the_mirror_forces_a_nack_on_next_cached_reference() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_payload_cache(8, 4);
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let h = create_buf(&mut server, &desc, 64);
+
+        let payload = b"soon-to-be-forgotten".to_vec();
+        let digest = ava_wire::fnv1a64(&payload);
+        pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::Bytes(payload.clone().into()),
+                payload.len() as u64,
+            )),
+        );
+        server.clear_payload_cache();
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::CachedBytes {
+                    digest,
+                    len: payload.len() as u64,
+                },
+                payload.len() as u64,
+            )),
+        );
+        assert_eq!(reps[0].status, ReplyStatus::CacheMiss);
+        assert_eq!(server.stats().payload_cache_misses, 1);
+    }
+
     #[test]
     fn serve_loop_answers_over_transport() {
         use ava_transport::{CostModel, TransportKind};

@@ -7,7 +7,7 @@
 //! performs buffer-granularity swapping, and delegates API execution to
 //! the CAvA-generated [`ApiHandler`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,7 +17,9 @@ use ava_spec::{
 };
 use ava_telemetry::{Counter, Stage, Telemetry};
 use ava_transport::{Transport, TransportError};
-use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
+use ava_wire::{
+    fnv1a64, CallId, CallReply, CallRequest, ControlMessage, DigestLru, Message, ReplyStatus, Value,
+};
 
 use crate::error::{Result, ServerError};
 use crate::handler::{ApiHandler, HandlerOutput};
@@ -37,6 +39,10 @@ pub struct ServerStats {
     pub swap_ins: u64,
     /// Calls currently recorded for migration.
     pub recorded: u64,
+    /// Buffer arguments rematerialized from the payload cache.
+    pub payload_cache_hits: u64,
+    /// `CacheMiss` NACKs sent (each forces a full guest resend).
+    pub payload_cache_misses: u64,
 }
 
 /// Registry-shareable storage behind [`ServerStats`] (`recorded` is
@@ -47,6 +53,8 @@ struct ServerCounters {
     transport_errors: Counter,
     swap_outs: Counter,
     swap_ins: Counter,
+    payload_cache_hits: Counter,
+    payload_cache_misses: Counter,
 }
 
 impl ServerCounters {
@@ -62,6 +70,14 @@ impl ServerCounters {
         );
         registry.register_counter(&format!("server.vm{vm}.swap_outs"), &self.swap_outs);
         registry.register_counter(&format!("server.vm{vm}.swap_ins"), &self.swap_ins);
+        registry.register_counter(
+            &format!("server.vm{vm}.payload_cache_hits"),
+            &self.payload_cache_hits,
+        );
+        registry.register_counter(
+            &format!("server.vm{vm}.payload_cache_misses"),
+            &self.payload_cache_misses,
+        );
     }
 }
 
@@ -79,6 +95,19 @@ pub struct ApiServer {
     last_use: HashMap<u64, u64>,
     counters: ServerCounters,
     telemetry: Telemetry,
+    /// Mirror of the guest's transfer cache: digest → materialized payload
+    /// (stored as `Value::Bytes` so hits clone cheaply into argument
+    /// position). Same capacity and eligibility floor as the guest's, so
+    /// both caches evolve in lockstep on an ordered transport.
+    rx_cache: DigestLru<Value>,
+    /// Smallest buffer eligible for caching; must match the guest.
+    rx_cache_min_bytes: usize,
+    /// Calls held back while a `CacheMiss` resend is outstanding —
+    /// execution order must match send order, so nothing behind the NACKed
+    /// call may run before its retransmission arrives.
+    held: VecDeque<CallRequest>,
+    /// The call id whose full-payload resend we are waiting for.
+    stalled_on: Option<CallId>,
 }
 
 impl ApiServer {
@@ -94,7 +123,28 @@ impl ApiServer {
             last_use: HashMap::new(),
             counters: ServerCounters::default(),
             telemetry: Telemetry::disabled(),
+            rx_cache: DigestLru::new(0),
+            rx_cache_min_bytes: 0,
+            held: VecDeque::new(),
+            stalled_on: None,
         }
+    }
+
+    /// Configures the payload mirror cache. `entries` and `min_bytes` must
+    /// match the guest library's transfer-cache configuration — the two
+    /// caches stay consistent only when both sides apply the same
+    /// insert/touch sequence over the same capacity. Resets any existing
+    /// cache contents.
+    pub fn set_payload_cache(&mut self, entries: usize, min_bytes: usize) {
+        self.rx_cache = DigestLru::new(entries);
+        self.rx_cache_min_bytes = min_bytes;
+    }
+
+    /// Drops every cached payload (epoch change — reconnect or migration).
+    /// Also used by tests to force a guest/server cache desync and exercise
+    /// the NACK/resend path.
+    pub fn clear_payload_cache(&mut self) {
+        self.rx_cache.clear();
     }
 
     /// Attaches a telemetry handle (tagged with this server's VM id):
@@ -120,6 +170,8 @@ impl ApiServer {
             swap_outs: self.counters.swap_outs.get(),
             swap_ins: self.counters.swap_ins.get(),
             recorded: self.records.len() as u64,
+            payload_cache_hits: self.counters.payload_cache_hits.get(),
+            payload_cache_misses: self.counters.payload_cache_misses.get(),
         }
     }
 
@@ -165,25 +217,10 @@ impl ApiServer {
         msg: Message,
     ) -> std::result::Result<(), ()> {
         match msg {
-            Message::Call(req) => {
-                let (fn_id, mode) = (req.fn_id, req.mode);
-                let reply = self.handle_call(req);
-                if self.should_reply(fn_id, mode, &reply)
-                    && transport.send(&Message::Reply(reply)).is_err()
-                {
-                    return Err(());
-                }
-                Ok(())
-            }
+            Message::Call(req) => self.ingest_call(transport, req),
             Message::Batch(reqs) => {
                 for req in reqs {
-                    let (fn_id, mode) = (req.fn_id, req.mode);
-                    let reply = self.handle_call(req);
-                    if self.should_reply(fn_id, mode, &reply)
-                        && transport.send(&Message::Reply(reply)).is_err()
-                    {
-                        return Err(());
-                    }
+                    self.ingest_call(transport, req)?;
                 }
                 Ok(())
             }
@@ -192,8 +229,99 @@ impl ApiServer {
                 let _ = transport.send(&Message::Control(ControlMessage::Pong(v)));
                 Ok(())
             }
+            Message::Control(ControlMessage::CacheEpoch(_)) => {
+                self.rx_cache.clear();
+                Ok(())
+            }
             _ => Ok(()),
         }
+    }
+
+    /// Admits one call into the execution order. While a `CacheMiss`
+    /// resend is outstanding, every other call is held back — the server
+    /// must execute calls in the order the guest issued them, and the
+    /// NACKed call logically precedes everything sent after it.
+    fn ingest_call(
+        &mut self,
+        transport: &dyn Transport,
+        req: CallRequest,
+    ) -> std::result::Result<(), ()> {
+        if let Some(waiting) = self.stalled_on {
+            if req.call_id != waiting {
+                self.held.push_back(req);
+                return Ok(());
+            }
+            self.stalled_on = None;
+        }
+        self.try_execute(transport, req)?;
+        // Drain the held backlog until it runs dry or a held call itself
+        // opens a new stall.
+        while self.stalled_on.is_none() {
+            let Some(next) = self.held.pop_front() else {
+                break;
+            };
+            self.try_execute(transport, next)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves transfer-cache references, then executes and replies. On
+    /// an unresolvable `CachedBytes` the call is NACKed and the server
+    /// stalls awaiting the full-payload resend.
+    fn try_execute(
+        &mut self,
+        transport: &dyn Transport,
+        mut req: CallRequest,
+    ) -> std::result::Result<(), ()> {
+        if !self.resolve_cached_args(&mut req) {
+            self.counters.payload_cache_misses.inc();
+            self.stalled_on = Some(req.call_id);
+            let nack = CallReply {
+                call_id: req.call_id,
+                status: ReplyStatus::CacheMiss,
+                ret: Value::Unit,
+                outputs: Vec::new(),
+            };
+            if transport.send(&Message::Reply(nack)).is_err() {
+                return Err(());
+            }
+            return Ok(());
+        }
+        let (fn_id, mode) = (req.fn_id, req.mode);
+        let reply = self.handle_call(req);
+        if self.should_reply(fn_id, mode, &reply) && transport.send(&Message::Reply(reply)).is_err()
+        {
+            return Err(());
+        }
+        Ok(())
+    }
+
+    /// Rewrites `req` in place: received eligible buffers are inserted
+    /// into the mirror cache, and `CachedBytes` references are replaced by
+    /// their materialized payloads. Returns false when a reference cannot
+    /// be resolved. Runs *before* execution and recording, so the record
+    /// log — and therefore migration replay — only ever sees real bytes,
+    /// never digests.
+    fn resolve_cached_args(&mut self, req: &mut CallRequest) -> bool {
+        for arg in req.args.iter_mut() {
+            match arg {
+                Value::Bytes(b) => {
+                    if b.len() >= self.rx_cache_min_bytes && self.rx_cache.capacity() > 0 {
+                        self.rx_cache.insert(fnv1a64(b), Value::Bytes(b.clone()));
+                    }
+                }
+                Value::CachedBytes { digest, .. } => match self.rx_cache.get(*digest) {
+                    Some(cached) => {
+                        let materialized = cached.clone();
+                        self.counters.payload_cache_hits.inc();
+                        *arg = materialized;
+                    }
+                    None => return false,
+                },
+                _ => {}
+            }
+        }
+        true
     }
 
     /// Asynchronously-forwarded calls are fire-and-forget: the server only

@@ -1,0 +1,205 @@
+//! Content-addressed transfer-cache primitives.
+//!
+//! The guest library and the API server each keep a small LRU keyed by a
+//! 64-bit content digest of buffer payloads that have already crossed the
+//! transport. When the guest is about to resend a payload whose digest is
+//! cached, it marshals [`crate::Value::CachedBytes`] — digest plus length —
+//! instead of the bytes, and the server rematerializes the payload from its
+//! mirror cache. Both sides apply the same insert/touch sequence in transport
+//! order over the same capacity, so the caches evolve in lockstep on an
+//! ordered, reliable transport; any divergence (migration, forced eviction,
+//! mismatched configuration) is healed by the `ReplyStatus::CacheMiss` NACK
+//! and a full resend.
+//!
+//! The digest is FNV-1a (64-bit): dependency-free, a few instructions per
+//! byte, and collision-safe enough for a cooperative cache where a collision
+//! costs correctness only within one guest's own traffic. This is a
+//! transfer-elision cache, not an integrity check.
+
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a content digest.
+///
+/// Offset basis `0xcbf29ce484222325`, prime `0x100000001b3` — the standard
+/// parameters, so test vectors from the FNV reference implementation apply.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// A fixed-capacity LRU map from content digest to `V`.
+///
+/// Eviction is strict least-recently-used over *entry count* (not bytes), so
+/// two caches configured with the same capacity that observe the same
+/// insert/touch sequence hold exactly the same digests — the property the
+/// guest/server mirror-cache protocol relies on. Recency is tracked with a
+/// monotonic tick; lookup of the victim is `O(n)` in the capacity, which is
+/// small (tens of entries) and off the byte-moving hot path.
+#[derive(Debug)]
+pub struct DigestLru<V> {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (u64, V)>,
+}
+
+impl<V> DigestLru<V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables the cache (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        DigestLru {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `digest`, marking it most-recently-used on hit.
+    pub fn get(&mut self, digest: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&digest) {
+            Some((used, value)) => {
+                *used = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// True when `digest` is cached; does not touch recency.
+    pub fn contains(&self, digest: u64) -> bool {
+        self.entries.contains_key(&digest)
+    }
+
+    /// Inserts (or refreshes) `digest`, evicting the least-recently-used
+    /// entry if the cache is full. Inserting an existing digest only
+    /// refreshes its recency and replaces its value.
+    pub fn insert(&mut self, digest: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.entries.get_mut(&digest) {
+            *slot = (tick, value);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(d, _)| *d)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(digest, (tick, value));
+    }
+
+    /// Removes `digest`, returning its value if present. Used by tests to
+    /// force a guest/server desync.
+    pub fn remove(&mut self, digest: u64) -> Option<V> {
+        self.entries.remove(&digest).map(|(_, v)| v)
+    }
+
+    /// Drops every entry (epoch change: reconnect or migration).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Vectors from the FNV reference implementation.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = DigestLru::new(2);
+        lru.insert(1, "one");
+        lru.insert(2, "two");
+        assert_eq!(lru.get(1), Some(&"one")); // 1 is now freshest
+        lru.insert(3, "three"); // evicts 2
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+        assert!(lru.contains(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_evicting() {
+        let mut lru = DigestLru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // refresh, not a new entry
+        assert_eq!(lru.len(), 2);
+        lru.insert(3, 30); // evicts 2, the stale one
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+        assert_eq!(lru.get(1), Some(&11));
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut lru = DigestLru::new(0);
+        lru.insert(1, ());
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(1), None);
+    }
+
+    #[test]
+    fn mirrored_caches_stay_in_lockstep() {
+        // The protocol invariant: same capacity + same operation sequence
+        // (insert on send == insert on receive, get on hit) => same digests.
+        let mut guest = DigestLru::new(3);
+        let mut server = DigestLru::new(3);
+        let ops: &[u64] = &[5, 6, 7, 5, 8, 9, 6, 5, 10];
+        for &d in ops {
+            let g_hit = guest.get(d).is_some();
+            let s_hit = server.get(d).is_some();
+            assert_eq!(g_hit, s_hit, "caches diverged at digest {d}");
+            if !g_hit {
+                guest.insert(d, ());
+                server.insert(d, ());
+            }
+        }
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let mut lru = DigestLru::new(4);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.remove(1), Some("a"));
+        assert_eq!(lru.remove(1), None);
+        lru.clear();
+        assert!(lru.is_empty());
+    }
+}

@@ -18,10 +18,12 @@
 //! to exchange between guest and host address spaces, or across machines for
 //! disaggregated accelerators.
 
+mod cache;
 mod error;
 mod message;
 mod value;
 
+pub use cache::{fnv1a64, DigestLru};
 pub use error::WireError;
 pub use message::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus};
 pub use value::Value;

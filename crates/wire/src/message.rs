@@ -31,6 +31,10 @@ pub enum ReplyStatus {
     /// The call was rejected by the router's policy (rate limit exceeded,
     /// quota exhausted).
     PolicyRejected,
+    /// The server could not rematerialize a `Value::CachedBytes` argument
+    /// from its payload cache. The guest must retransmit the call with the
+    /// full buffer contents; the call has not been executed.
+    CacheMiss,
 }
 
 /// A forwarded API invocation.
@@ -75,6 +79,10 @@ pub enum ControlMessage {
     Resume,
     /// Free-form error report.
     Error(String),
+    /// The transfer-cache epoch changed (reconnect or migration): both ends
+    /// must drop their payload caches before processing further calls. The
+    /// payload is the new epoch number, monotonically increasing.
+    CacheEpoch(u64),
 }
 
 /// Top-level unit exchanged over a transport.
@@ -105,6 +113,7 @@ mod ctrl {
     pub const SUSPEND: u64 = 3;
     pub const RESUME: u64 = 4;
     pub const ERROR: u64 = 5;
+    pub const CACHE_EPOCH: u64 = 6;
 }
 
 impl CallMode {
@@ -130,6 +139,7 @@ impl ReplyStatus {
             ReplyStatus::Ok => 0,
             ReplyStatus::TransportError => 1,
             ReplyStatus::PolicyRejected => 2,
+            ReplyStatus::CacheMiss => 3,
         }
     }
 
@@ -138,6 +148,7 @@ impl ReplyStatus {
             0 => Ok(ReplyStatus::Ok),
             1 => Ok(ReplyStatus::TransportError),
             2 => Ok(ReplyStatus::PolicyRejected),
+            3 => Ok(ReplyStatus::CacheMiss),
             other => Err(WireError::BadDiscriminant("reply status", other)),
         }
     }
@@ -178,6 +189,16 @@ impl CallRequest {
     /// Total payload bytes moved guest-to-host by this request.
     pub fn payload_bytes(&self) -> usize {
         self.args.iter().map(Value::payload_bytes).sum()
+    }
+
+    /// Total payload bytes elided from this request by the transfer cache.
+    pub fn elided_bytes(&self) -> usize {
+        self.args.iter().map(Value::elided_bytes).sum()
+    }
+
+    /// Number of `CachedBytes` arguments in this request, recursively.
+    pub fn cached_count(&self) -> usize {
+        self.args.iter().map(Value::cached_count).sum()
     }
 }
 
@@ -255,6 +276,10 @@ impl ControlMessage {
                 put_varint(buf, text.len() as u64);
                 buf.put_slice(text.as_bytes());
             }
+            ControlMessage::CacheEpoch(epoch) => {
+                put_varint(buf, ctrl::CACHE_EPOCH);
+                put_varint(buf, *epoch);
+            }
         }
     }
 
@@ -275,6 +300,7 @@ impl ControlMessage {
                     String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)?,
                 )
             }
+            ctrl::CACHE_EPOCH => ControlMessage::CacheEpoch(get_varint(buf)?),
             other => return Err(WireError::BadDiscriminant("control kind", other)),
         })
     }
@@ -355,6 +381,24 @@ impl Message {
             Message::Reply(rep) => rep.payload_bytes(),
             Message::Batch(reqs) => reqs.iter().map(CallRequest::payload_bytes).sum(),
             Message::Control(_) => 0,
+        }
+    }
+
+    /// Payload bytes this message elided via the transfer cache.
+    pub fn elided_bytes(&self) -> usize {
+        match self {
+            Message::Call(req) => req.elided_bytes(),
+            Message::Batch(reqs) => reqs.iter().map(CallRequest::elided_bytes).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Number of `CachedBytes` arguments across this message's calls.
+    pub fn cached_count(&self) -> usize {
+        match self {
+            Message::Call(req) => req.cached_count(),
+            Message::Batch(reqs) => reqs.iter().map(CallRequest::cached_count).sum(),
+            _ => 0,
         }
     }
 }
@@ -441,6 +485,8 @@ mod tests {
             ControlMessage::Suspend,
             ControlMessage::Resume,
             ControlMessage::Error("device lost".into()),
+            ControlMessage::CacheEpoch(0),
+            ControlMessage::CacheEpoch(u64::MAX),
         ] {
             let msg = Message::Control(ctl);
             assert_eq!(round_trip(&msg), msg);
@@ -482,6 +528,35 @@ mod tests {
         let msg = Message::Batch(vec![sample_call(1), sample_call(2)]);
         assert_eq!(msg.payload_bytes(), 6);
         assert_eq!(Message::Control(ControlMessage::Ping(0)).payload_bytes(), 0);
+    }
+
+    #[test]
+    fn cache_miss_reply_round_trips() {
+        let msg = Message::Reply(CallReply {
+            call_id: 12,
+            status: ReplyStatus::CacheMiss,
+            ret: Value::Unit,
+            outputs: vec![],
+        });
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn elided_accounting_spans_batches() {
+        let mut req = sample_call(1);
+        req.args.push(Value::CachedBytes {
+            digest: 0xfeed,
+            len: 512,
+        });
+        let msg = Message::Batch(vec![req.clone(), sample_call(2)]);
+        // Each sample_call carries 3 payload bytes; the cached arg adds none.
+        assert_eq!(msg.payload_bytes(), 6);
+        assert_eq!(msg.elided_bytes(), 512);
+        assert_eq!(msg.cached_count(), 1);
+        let single = Message::Call(req);
+        assert_eq!(single.elided_bytes(), 512);
+        assert_eq!(single.cached_count(), 1);
+        assert_eq!(Message::Control(ControlMessage::Ping(0)).elided_bytes(), 0);
     }
 
     #[test]

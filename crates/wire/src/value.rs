@@ -42,6 +42,18 @@ pub enum Value {
     /// A homogeneous or heterogeneous list of values (arrays of handles,
     /// nested structures).
     List(Vec<Value>),
+    /// A buffer payload elided by the content-addressed transfer cache: the
+    /// receiver rematerializes the bytes from its mirror cache keyed by
+    /// `digest` (FNV-1a 64-bit over the payload). `len` is the payload
+    /// length, kept so size accounting works without the bytes present. If
+    /// the receiver's cache misses, it NACKs with
+    /// `ReplyStatus::CacheMiss` and the sender retransmits the full buffer.
+    CachedBytes {
+        /// FNV-1a 64-bit digest of the elided payload.
+        digest: u64,
+        /// Length in bytes of the elided payload.
+        len: u64,
+    },
 }
 
 mod tag {
@@ -59,6 +71,7 @@ mod tag {
     pub const BYTES: u8 = 0x0b;
     pub const STR: u8 = 0x0c;
     pub const LIST: u8 = 0x0d;
+    pub const CACHED_BYTES: u8 = 0x0e;
 }
 
 impl Value {
@@ -114,6 +127,11 @@ impl Value {
                     item.encode(buf);
                 }
             }
+            Value::CachedBytes { digest, len } => {
+                buf.put_u8(tag::CACHED_BYTES);
+                buf.put_u64_le(*digest);
+                put_varint(buf, *len);
+            }
         }
     }
 
@@ -163,18 +181,48 @@ impl Value {
                 }
                 Value::List(items)
             }
+            tag::CACHED_BYTES => {
+                let digest = need(buf, 8)?.get_u64_le();
+                // The elided payload obeys the same length bound as an
+                // in-line `Bytes`, even though the bytes are not present.
+                let len = get_len(buf)? as u64;
+                Value::CachedBytes { digest, len }
+            }
             other => return Err(WireError::BadTag(other)),
         })
     }
 
     /// Number of payload bytes this value moves across the transport,
     /// counting buffer/string/list contents. Used by the router for
-    /// bandwidth accounting.
+    /// bandwidth accounting. `CachedBytes` moves no payload — only its
+    /// fixed-size digest — so it counts zero here; the bytes it stands in
+    /// for are reported by [`Value::elided_bytes`].
     pub fn payload_bytes(&self) -> usize {
         match self {
             Value::Bytes(b) => b.len(),
             Value::Str(s) => s.len(),
             Value::List(items) => items.iter().map(Value::payload_bytes).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Number of payload bytes this value *avoided* moving thanks to
+    /// transfer-cache elision (the declared lengths of any `CachedBytes`
+    /// inside, recursively).
+    pub fn elided_bytes(&self) -> usize {
+        match self {
+            Value::CachedBytes { len, .. } => *len as usize,
+            Value::List(items) => items.iter().map(Value::elided_bytes).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Number of `CachedBytes` values inside `self`, recursively. Used by
+    /// the router's cache-hit accounting.
+    pub fn cached_count(&self) -> usize {
+        match self {
+            Value::CachedBytes { .. } => 1,
+            Value::List(items) => items.iter().map(Value::cached_count).sum(),
             _ => 0,
         }
     }
@@ -349,6 +397,80 @@ mod tests {
         raw.put_u8(0x7f); // claims 127 elements, but input ends here
         let mut bytes = raw.freeze();
         assert_eq!(Value::decode(&mut bytes), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn cached_bytes_round_trips() {
+        for v in [
+            Value::CachedBytes { digest: 0, len: 0 },
+            Value::CachedBytes {
+                digest: u64::MAX,
+                len: 4096,
+            },
+            Value::List(vec![
+                Value::CachedBytes {
+                    digest: 0x1234_5678_9abc_def0,
+                    len: 1,
+                },
+                Value::Bytes(Bytes::from_static(b"xy")),
+            ]),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_cached_bytes_digest() {
+        let mut buf = BytesMut::new();
+        Value::CachedBytes {
+            digest: 0xaabb_ccdd_eeff_0011,
+            len: 77,
+        }
+        .encode(&mut buf);
+        // Cut into the fixed-width digest field.
+        let mut truncated = buf.freeze().slice(0..5);
+        assert_eq!(Value::decode(&mut truncated), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_cached_bytes_missing_len() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x0e); // CACHED_BYTES tag
+        raw.put_u64_le(42); // digest present, len varint absent
+        let mut bytes = raw.freeze();
+        assert_eq!(Value::decode(&mut bytes), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_cached_bytes_len_out_of_range() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0x0e); // CACHED_BYTES tag
+        raw.put_u64_le(42);
+        // A length far beyond MAX_LEN: corrupt frame, must be rejected even
+        // though no payload bytes follow a CachedBytes.
+        crate::codec::put_varint(&mut raw, u64::MAX);
+        let mut bytes = raw.freeze();
+        assert_eq!(
+            Value::decode(&mut bytes),
+            Err(WireError::LengthOutOfRange(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn elided_accounting_is_disjoint_from_payload() {
+        let v = Value::List(vec![
+            Value::CachedBytes {
+                digest: 7,
+                len: 100,
+            },
+            Value::Bytes(Bytes::from_static(&[0u8; 40])),
+            Value::List(vec![Value::CachedBytes { digest: 8, len: 5 }]),
+        ]);
+        assert_eq!(v.payload_bytes(), 40);
+        assert_eq!(v.elided_bytes(), 105);
+        assert_eq!(v.cached_count(), 2);
+        assert_eq!(Value::U64(9).elided_bytes(), 0);
+        assert_eq!(Value::U64(9).cached_count(), 0);
     }
 
     #[test]

@@ -23,6 +23,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<u64>().prop_map(Value::Handle),
         proptest::collection::vec(any::<u8>(), 0..256).prop_map(|v| Value::Bytes(Bytes::from(v))),
         "[a-zA-Z0-9 _:/.-]{0,64}".prop_map(Value::Str),
+        (any::<u64>(), 0u64..=u32::MAX as u64)
+            .prop_map(|(digest, len)| Value::CachedBytes { digest, len }),
     ];
     leaf.prop_recursive(3, 64, 8, |inner| {
         proptest::collection::vec(inner, 0..8).prop_map(Value::List)
@@ -51,7 +53,7 @@ fn arb_call() -> impl Strategy<Value = CallRequest> {
 fn arb_reply() -> impl Strategy<Value = CallReply> {
     (
         any::<u64>(),
-        0u8..3,
+        0u8..4,
         arb_value(),
         proptest::collection::vec((any::<u32>(), arb_value()), 0..4),
     )
@@ -60,7 +62,8 @@ fn arb_reply() -> impl Strategy<Value = CallReply> {
             status: match status {
                 0 => ReplyStatus::Ok,
                 1 => ReplyStatus::TransportError,
-                _ => ReplyStatus::PolicyRejected,
+                2 => ReplyStatus::PolicyRejected,
+                _ => ReplyStatus::CacheMiss,
             },
             ret,
             outputs,
@@ -79,6 +82,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             Just(ControlMessage::Suspend),
             Just(ControlMessage::Resume),
             "[ -~]{0,32}".prop_map(ControlMessage::Error),
+            any::<u64>().prop_map(ControlMessage::CacheEpoch),
         ]
         .prop_map(Message::Control),
     ]

@@ -58,7 +58,10 @@ fn batching_reduces_transport_crossings_without_changing_results() {
     let stack = opencl_stack(
         silo_with_all_kernels(Scale::Test),
         StackConfig {
-            guest: GuestConfig { batch_max: 16 },
+            guest: GuestConfig {
+                batch_max: 16,
+                ..GuestConfig::default()
+            },
             ..paravirt_config()
         },
     )
