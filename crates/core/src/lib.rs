@@ -49,7 +49,7 @@ pub use ava_spec::LowerOptions;
 pub use ava_transport::{CostModel, TransportKind};
 pub use bindings::{MvncHandler, OpenClHandler};
 pub use clients::{MvncClient, OpenClClient};
-pub use stack::{ApiStack, Result, StackConfig, StackError};
+pub use stack::{ApiStack, RecoveryStats, Result, StackConfig, StackError};
 
 /// Builds a complete AvA stack virtualizing OpenCL over the silo `cl`,
 /// using the default (async-optimized) specification.

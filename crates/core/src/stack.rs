@@ -8,15 +8,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex as StdMutex};
 use std::time::Duration;
 
 use ava_guest::{GuestConfig, GuestLibrary};
 use ava_hypervisor::{Hypervisor, HypervisorError, SchedulerKind, VmPolicy, VmStats};
-use ava_server::{ApiHandler, ApiServer, MigrationImage, ServerStats};
+use ava_server::{ApiHandler, ApiServer, CallJournal, MigrationImage, ServerStats};
 use ava_spec::ApiDescriptor;
-use ava_telemetry::{Registry, Telemetry};
-use ava_transport::{CostModel, Transport, TransportError, TransportKind};
+use ava_telemetry::{Counter, Registry, Telemetry};
+use ava_transport::{CostModel, FaultPlan, Transport, TransportError, TransportKind};
 use ava_wire::{ControlMessage, Message, VmId};
 use parking_lot::Mutex;
 
@@ -72,6 +72,11 @@ pub struct StackConfig {
     pub scheduler: SchedulerKind,
     /// Guest-library behaviour (batching).
     pub guest: GuestConfig,
+    /// How many times the supervisor respawns a crashed API server before
+    /// declaring the VM permanently unavailable.
+    pub max_respawns: u32,
+    /// How often the supervisor sweeps for dead API-server threads.
+    pub supervision_interval: Duration,
 }
 
 impl Default for StackConfig {
@@ -81,6 +86,47 @@ impl Default for StackConfig {
             cost_model: CostModel::paravirtual(),
             scheduler: SchedulerKind::Fifo,
             guest: GuestConfig::default(),
+            max_respawns: 3,
+            supervision_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Crash-recovery statistics for the whole stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// API servers respawned after a crash.
+    pub respawns: u64,
+    /// Journaled calls re-executed to rebuild crashed servers.
+    pub replayed_calls: u64,
+    /// Recoveries abandoned (respawn budget exhausted or the router is
+    /// gone); the VM was marked unavailable.
+    pub failed: u64,
+}
+
+/// Shared-storage counters behind [`RecoveryStats`]; registered into the
+/// telemetry registry as `recovery.*`. They live at stack level — not on
+/// the [`ApiServer`] — precisely because they must survive the servers
+/// they describe.
+#[derive(Clone, Default)]
+struct RecoveryCounters {
+    respawns: Counter,
+    replayed_calls: Counter,
+    failed: Counter,
+}
+
+impl RecoveryCounters {
+    fn register(&self, registry: &Registry) {
+        registry.register_counter("recovery.respawns", &self.respawns);
+        registry.register_counter("recovery.replayed_calls", &self.replayed_calls);
+        registry.register_counter("recovery.failed", &self.failed);
+    }
+
+    fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            respawns: self.respawns.get(),
+            replayed_calls: self.replayed_calls.get(),
+            failed: self.failed.get(),
         }
     }
 }
@@ -88,12 +134,22 @@ impl Default for StackConfig {
 /// Per-VM host-side runtime: the serving thread plus shared server state.
 struct VmRuntime {
     stop: Arc<AtomicBool>,
+    /// Simulated-crash flag: when set, the serving thread exits abruptly —
+    /// no backlog drain, in-flight frames abandoned — exactly as if the
+    /// API-server process had died.
+    crashed: Arc<AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
     server: Arc<Mutex<ApiServer>>,
     transport: Arc<dyn Transport>,
     /// Transfer-cache epoch; bumped on migration so both ends drop their
     /// payload caches (the restored server starts with an empty mirror).
     cache_epoch: u64,
+    /// Every call this VM's server executed, in order. Owned here — not by
+    /// the server — because it must survive the server it describes: after
+    /// a crash, replaying it is the only way to rebuild device state.
+    journal: Arc<StdMutex<CallJournal>>,
+    /// Respawns consumed so far (against [`StackConfig::max_respawns`]).
+    respawns: u32,
 }
 
 impl VmRuntime {
@@ -106,13 +162,15 @@ impl VmRuntime {
 
     fn spawn(&mut self) {
         let stop = Arc::new(AtomicBool::new(false));
+        let crashed = Arc::new(AtomicBool::new(false));
         self.stop = Arc::clone(&stop);
+        self.crashed = Arc::clone(&crashed);
         let server = Arc::clone(&self.server);
         let transport = Arc::clone(&self.transport);
         self.thread = Some(
             std::thread::Builder::new()
                 .name("ava-api-server".into())
-                .spawn(move || serve_loop(&server, transport.as_ref(), &stop))
+                .spawn(move || serve_loop(&server, transport.as_ref(), &stop, &crashed))
                 .expect("spawn API server thread"),
         );
     }
@@ -121,9 +179,18 @@ impl VmRuntime {
 /// Serves one VM's calls until stop/shutdown (lock taken per message so
 /// stats and migration can observe the server from other threads). On stop
 /// the already-delivered backlog is drained first so migration never loses
-/// in-flight calls.
-fn serve_loop(server: &Mutex<ApiServer>, transport: &dyn Transport, stop: &AtomicBool) {
+/// in-flight calls; on a simulated crash the loop exits immediately,
+/// abandoning the backlog, so recovery is exercised honestly.
+fn serve_loop(
+    server: &Mutex<ApiServer>,
+    transport: &dyn Transport,
+    stop: &AtomicBool,
+    crashed: &AtomicBool,
+) {
     loop {
+        if crashed.load(Ordering::Acquire) {
+            return;
+        }
         if stop.load(Ordering::Acquire) {
             while let Ok(Some(msg)) = transport.try_recv() {
                 if server.lock().serve_one(transport, msg).is_err() {
@@ -144,38 +211,166 @@ fn serve_loop(server: &Mutex<ApiServer>, transport: &dyn Transport, stop: &Atomi
     }
 }
 
-/// An assembled AvA stack for one API.
-pub struct ApiStack {
-    hypervisor: Hypervisor,
+/// Everything the supervisor thread needs to notice a dead API server and
+/// rebuild it: the crash-recovery half of the stack, shared between
+/// [`ApiStack`] and its background sweep.
+struct Supervisor {
+    hypervisor: Arc<Hypervisor>,
     descriptor: Arc<ApiDescriptor>,
     config: StackConfig,
-    handler_factory: Box<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
-    vms: Mutex<HashMap<VmId, VmRuntime>>,
-    telemetry: Mutex<Telemetry>,
+    handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
+    vms: Arc<Mutex<HashMap<VmId, VmRuntime>>>,
+    telemetry: Arc<Mutex<Telemetry>>,
+    recovery: RecoveryCounters,
+}
+
+impl Supervisor {
+    fn run(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            std::thread::sleep(self.config.supervision_interval);
+            self.sweep();
+        }
+    }
+
+    /// One pass over every VM: a serving thread that exited without being
+    /// asked to stop is a crashed server, and gets rebuilt in place.
+    fn sweep(&self) {
+        let mut vms = self.vms.lock();
+        for (&vm, runtime) in vms.iter_mut() {
+            let dead = runtime.thread.as_ref().is_some_and(|t| t.is_finished())
+                && !runtime.stop.load(Ordering::Acquire);
+            if dead {
+                self.recover(vm, runtime);
+            }
+        }
+    }
+
+    /// Rebuilds one crashed API server: fresh handler, journal replay to
+    /// reconstruct device state (wire handles re-mint deterministically, so
+    /// the guest's handles stay valid), new router↔server channel, respawn.
+    /// When the respawn budget is exhausted the VM is declared permanently
+    /// unavailable instead, so guests fail fast.
+    fn recover(&self, vm: VmId, runtime: &mut VmRuntime) {
+        // Sever the old channel first: the router parks the lane and
+        // requeues in-flight calls instead of writing into a channel
+        // nobody will ever read again.
+        runtime.transport.close();
+        if let Some(t) = runtime.thread.take() {
+            let _ = t.join();
+        }
+        if runtime.respawns >= self.config.max_respawns {
+            self.recovery.failed.inc();
+            let _ = self.hypervisor.mark_unavailable(vm);
+            return;
+        }
+        runtime.respawns += 1;
+        self.recovery.respawns.inc();
+
+        let telemetry = self.telemetry.lock().with_vm(vm);
+        let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        server.set_telemetry(telemetry.clone());
+        server.set_payload_cache(
+            self.config.guest.payload_cache_entries,
+            self.config.guest.payload_cache_min_bytes,
+        );
+        let entries = match runtime.journal.lock() {
+            Ok(journal) => journal.entries().to_vec(),
+            Err(poisoned) => poisoned.into_inner().entries().to_vec(),
+        };
+        let replayed = server.replay_journal(&entries);
+        self.recovery.replayed_calls.add(replayed);
+        // Attach the journal only after replay, so replayed calls are not
+        // journaled a second time.
+        server.set_journal(Arc::clone(&runtime.journal));
+
+        let transport = match self.hypervisor.reattach_server(vm) {
+            Ok(t) => t,
+            Err(_) => {
+                self.recovery.failed.inc();
+                let _ = self.hypervisor.mark_unavailable(vm);
+                return;
+            }
+        };
+        if let Some(registry) = telemetry.registry() {
+            transport.register_telemetry(registry, &format!("vm{vm}.server"));
+        }
+        runtime.server = Arc::new(Mutex::new(server));
+        runtime.transport = Arc::from(transport);
+        // The rebuilt payload mirror is empty; announce a new epoch so the
+        // guest drops its digest cache instead of eating a NACK per payload.
+        runtime.cache_epoch += 1;
+        let _ = runtime
+            .transport
+            .send(&Message::Control(ControlMessage::CacheEpoch(
+                runtime.cache_epoch,
+            )));
+        runtime.spawn();
+    }
+}
+
+/// An assembled AvA stack for one API.
+pub struct ApiStack {
+    hypervisor: Arc<Hypervisor>,
+    descriptor: Arc<ApiDescriptor>,
+    config: StackConfig,
+    handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
+    vms: Arc<Mutex<HashMap<VmId, VmRuntime>>>,
+    telemetry: Arc<Mutex<Telemetry>>,
+    recovery: RecoveryCounters,
+    supervisor_stop: Arc<AtomicBool>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ApiStack {
     /// Builds a stack for `descriptor`; `handler_factory` produces one
-    /// fresh API handler per attached VM.
+    /// fresh API handler per attached VM (and per crash recovery).
     pub fn new<F>(descriptor: Arc<ApiDescriptor>, handler_factory: F, config: StackConfig) -> Self
     where
         F: Fn() -> Box<dyn ApiHandler> + Send + Sync + 'static,
     {
-        let hypervisor = Hypervisor::new(config.scheduler, Some(Arc::clone(&descriptor)));
+        let hypervisor = Arc::new(Hypervisor::new(
+            config.scheduler,
+            Some(Arc::clone(&descriptor)),
+        ));
+        let handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync> =
+            Arc::new(handler_factory);
+        let vms = Arc::new(Mutex::new(HashMap::new()));
+        let telemetry = Arc::new(Mutex::new(Telemetry::disabled()));
+        let recovery = RecoveryCounters::default();
+        let supervisor = Supervisor {
+            hypervisor: Arc::clone(&hypervisor),
+            descriptor: Arc::clone(&descriptor),
+            config,
+            handler_factory: Arc::clone(&handler_factory),
+            vms: Arc::clone(&vms),
+            telemetry: Arc::clone(&telemetry),
+            recovery: recovery.clone(),
+        };
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&supervisor_stop);
+        let supervisor = std::thread::Builder::new()
+            .name("ava-supervisor".into())
+            .spawn(move || supervisor.run(&stop))
+            .expect("spawn supervisor thread");
         ApiStack {
             hypervisor,
             descriptor,
             config,
-            handler_factory: Box::new(handler_factory),
-            vms: Mutex::new(HashMap::new()),
-            telemetry: Mutex::new(Telemetry::disabled()),
+            handler_factory,
+            vms,
+            telemetry,
+            recovery,
+            supervisor_stop,
+            supervisor: Some(supervisor),
         }
     }
 
     /// Attaches a unified telemetry registry to every tier: router counters
-    /// and span stamps, plus guest/server/transport instrumentation for
-    /// each VM attached from now on. Call before [`ApiStack::attach_vm`].
+    /// and span stamps, stack-level `recovery.*` counters, plus
+    /// guest/server/transport instrumentation for each VM attached from now
+    /// on. Call before [`ApiStack::attach_vm`].
     pub fn set_telemetry(&self, registry: Registry) -> Result<()> {
+        self.recovery.register(&registry);
         let telemetry = Telemetry::new(registry);
         *self.telemetry.lock() = telemetry.clone();
         self.hypervisor.set_telemetry(telemetry)?;
@@ -201,9 +396,27 @@ impl ApiStack {
     /// Boots a VM: attaches it to the router, starts its API server, and
     /// returns the guest library its applications link against.
     pub fn attach_vm(&self, policy: VmPolicy) -> Result<(VmId, Arc<GuestLibrary>)> {
-        let conn = self
-            .hypervisor
-            .add_vm(policy, self.config.transport, self.config.cost_model)?;
+        self.attach_vm_with_faults(policy, None, None)
+    }
+
+    /// Like [`ApiStack::attach_vm`], but with deterministic fault injection
+    /// on the guest↔hypervisor channel (chaos testing): `guest_tx_plan`
+    /// faults the frames the guest sends (calls), `guest_rx_plan` the
+    /// frames it receives (replies). Each direction draws from its own
+    /// seeded schedule, so a chaos run is reproducible from the seeds.
+    pub fn attach_vm_with_faults(
+        &self,
+        policy: VmPolicy,
+        guest_tx_plan: Option<FaultPlan>,
+        guest_rx_plan: Option<FaultPlan>,
+    ) -> Result<(VmId, Arc<GuestLibrary>)> {
+        let conn = self.hypervisor.add_vm_with_faults(
+            policy,
+            self.config.transport,
+            self.config.cost_model,
+            guest_tx_plan,
+            guest_rx_plan,
+        )?;
         let telemetry = self.telemetry.lock().with_vm(conn.vm_id);
         let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
         server.set_telemetry(telemetry.clone());
@@ -220,12 +433,17 @@ impl ApiStack {
             conn.server
                 .register_telemetry(registry, &format!("vm{}.server", conn.vm_id));
         }
+        let journal = Arc::new(StdMutex::new(CallJournal::new()));
+        server.set_journal(Arc::clone(&journal));
         let mut runtime = VmRuntime {
             stop: Arc::new(AtomicBool::new(true)),
+            crashed: Arc::new(AtomicBool::new(false)),
             thread: None,
             server: Arc::new(Mutex::new(server)),
             transport: Arc::from(conn.server),
             cache_epoch: 0,
+            journal,
+            respawns: 0,
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
@@ -295,6 +513,10 @@ impl ApiStack {
             self.config.guest.payload_cache_entries,
             self.config.guest.payload_cache_min_bytes,
         );
+        // The journal keeps accumulating across migrations: it already
+        // holds the pre-migration history, so a later crash still replays
+        // the full execution and re-mints the same wire handles.
+        restored.set_journal(Arc::clone(&runtime.journal));
         runtime.server = Arc::new(Mutex::new(restored));
         runtime.spawn();
         // The restored server's payload mirror starts empty; announce the
@@ -324,10 +546,47 @@ impl ApiStack {
         runtime.server.lock().clear_payload_cache();
         Ok(())
     }
+
+    /// Kills a VM's API server mid-flight, abandoning all server state —
+    /// the crash the supervisor exists to heal. Test hook for recovery
+    /// paths: the serving thread exits without draining, frames in flight
+    /// on the severed channel are lost, and the supervisor rebuilds the
+    /// server by journal replay.
+    pub fn crash_vm_server(&self, vm: VmId) -> Result<()> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        runtime.crashed.store(true, Ordering::Release);
+        runtime.transport.close();
+        Ok(())
+    }
+
+    /// Crash-recovery statistics (respawns, replayed calls, abandoned
+    /// recoveries) for the whole stack.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.stats()
+    }
+
+    /// A snapshot of a VM's execution journal. Its call ids being unique
+    /// ([`CallJournal::call_ids_unique`]) is the at-most-once guarantee
+    /// made observable: no call ever executed device-side twice, however
+    /// many duplicate frames the transport delivered.
+    pub fn vm_journal(&self, vm: VmId) -> Result<CallJournal> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        let journal = match runtime.journal.lock() {
+            Ok(journal) => journal.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        Ok(journal)
+    }
 }
 
 impl Drop for ApiStack {
     fn drop(&mut self) {
+        self.supervisor_stop.store(true, Ordering::Release);
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
         for (_, runtime) in self.vms.lock().iter_mut() {
             runtime.halt();
         }

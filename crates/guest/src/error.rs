@@ -9,12 +9,33 @@ pub enum GuestError {
     UnknownFunction(String),
     /// Argument count/shape/size verification failed locally.
     BadArgument(String),
-    /// The transport failed.
+    /// The transport failed transiently (the endpoint is still usable).
     Transport(String),
     /// The router rejected the call by policy.
     PolicyRejected,
     /// The server could not execute the call (marshaling mismatch).
     Protocol(String),
+    /// The API server backing this VM is gone and could not be recovered.
+    /// The call was not executed; further calls will fail the same way
+    /// until the stack reattaches a server.
+    Unavailable,
+    /// The per-call deadline (including retries) elapsed without a reply.
+    /// The call *may* have executed; retrying is safe because the server
+    /// deduplicates by call id.
+    DeadlineExceeded,
+}
+
+impl GuestError {
+    /// Whether the caller may safely retry the failed call.
+    ///
+    /// Retry safety has two halves: the error must be transient
+    /// (a transport hiccup or an expired deadline, not a rejected or
+    /// malformed call), and re-execution must be harmless — which the
+    /// server's call-id-based at-most-once dedup guarantees even when the
+    /// original attempt did execute and only its reply was lost.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Transport(_) | Self::DeadlineExceeded)
+    }
 }
 
 impl fmt::Display for GuestError {
@@ -25,8 +46,26 @@ impl fmt::Display for GuestError {
             Self::Transport(m) => write!(f, "transport failure: {m}"),
             Self::PolicyRejected => write!(f, "call rejected by hypervisor policy"),
             Self::Protocol(m) => write!(f, "protocol failure: {m}"),
+            Self::Unavailable => write!(f, "API server unavailable"),
+            Self::DeadlineExceeded => write!(f, "call deadline exceeded"),
         }
     }
 }
 
 impl std::error::Error for GuestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(GuestError::Transport("frame lost".into()).is_retryable());
+        assert!(GuestError::DeadlineExceeded.is_retryable());
+        assert!(!GuestError::Unavailable.is_retryable());
+        assert!(!GuestError::PolicyRejected.is_retryable());
+        assert!(!GuestError::Protocol("bad reply".into()).is_retryable());
+        assert!(!GuestError::UnknownFunction("x".into()).is_retryable());
+        assert!(!GuestError::BadArgument("shape".into()).is_retryable());
+    }
+}

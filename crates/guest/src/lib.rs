@@ -21,6 +21,7 @@ mod error;
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ava_spec::{ApiDescriptor, ElemKind, FunctionDesc, RetDesc, ScalarKind, Transfer};
 use ava_telemetry::{Counter, Stage, Telemetry};
@@ -64,6 +65,16 @@ pub struct GuestConfig {
     /// Smallest buffer (bytes) eligible for transfer-cache elision. Tiny
     /// buffers cost more to digest than to send; must match the server.
     pub payload_cache_min_bytes: usize,
+    /// Per-attempt reply deadline for synchronous calls. A call that sees
+    /// no reply within this window is retried (same call id — the server
+    /// deduplicates), up to [`GuestConfig::max_retries`] times and never
+    /// past a total budget of twice this deadline. `None` waits forever,
+    /// the pre-fault-tolerance behaviour.
+    pub call_deadline: Option<Duration>,
+    /// Maximum resends of a timed-out or transiently-failed call.
+    pub max_retries: u32,
+    /// Initial backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
 }
 
 impl Default for GuestConfig {
@@ -72,6 +83,9 @@ impl Default for GuestConfig {
             batch_max: 0,
             payload_cache_entries: 0,
             payload_cache_min_bytes: 64,
+            call_deadline: None,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(2),
         }
     }
 }
@@ -93,6 +107,10 @@ pub struct GuestStats {
     pub payload_cache_misses: u64,
     /// Payload bytes that never crossed the transport thanks to elision.
     pub bytes_elided: u64,
+    /// Calls resent after a reply deadline or transient send failure.
+    pub retries: u64,
+    /// Calls abandoned with [`GuestError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
 }
 
 /// Bookkeeping for an async call whose reply has not been consumed yet.
@@ -125,6 +143,8 @@ struct GuestCounters {
     payload_cache_hits: Counter,
     payload_cache_misses: Counter,
     bytes_elided: Counter,
+    retries: Counter,
+    deadline_exceeded: Counter,
 }
 
 impl GuestCounters {
@@ -137,6 +157,8 @@ impl GuestCounters {
             payload_cache_hits: self.payload_cache_hits.get(),
             payload_cache_misses: self.payload_cache_misses.get(),
             bytes_elided: self.bytes_elided.get(),
+            retries: self.retries.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
         }
     }
 
@@ -161,6 +183,11 @@ impl GuestCounters {
             &self.payload_cache_misses,
         );
         registry.register_counter(&format!("guest.vm{vm}.bytes_elided"), &self.bytes_elided);
+        registry.register_counter(&format!("guest.vm{vm}.retries"), &self.retries);
+        registry.register_counter(
+            &format!("guest.vm{vm}.deadline_exceeded"),
+            &self.deadline_exceeded,
+        );
     }
 }
 
@@ -287,9 +314,7 @@ impl GuestLibrary {
                     self.flush_batch(&mut inner)?;
                 }
             } else {
-                self.transport
-                    .send(&Message::Call(req))
-                    .map_err(|e| GuestError::Transport(e.to_string()))?;
+                self.send_with_retry(&Message::Call(req))?;
             }
             // Async calls get no span (success replies are suppressed, so
             // the span could never complete) — only the immediate-return
@@ -311,32 +336,80 @@ impl GuestLibrary {
         self.counters.sync_calls.inc();
         self.flush_batch(&mut inner)?;
         let (wire_args, resend) = self.prepare_args(&mut inner, call_id, func.id, is_sync, args);
-        let req = CallRequest {
+        let call_msg = Message::Call(CallRequest {
             call_id,
             fn_id: func.id,
             mode: CallMode::Sync,
             args: wire_args,
-        };
+        });
         self.telemetry
             .span_stage_at(call_id, Stage::GuestStart, entry_nanos, Some(func.id));
         // Stamped before the send: `send` blocks on modelled sender
         // overhead, so the router may ingest (Queued) before it returns —
         // stamping after would break sent ≤ queued monotonicity.
         self.telemetry.span_stage(call_id, Stage::Sent, None);
-        if let Err(e) = self.transport.send(&Message::Call(req)) {
+        if let Err(e) = self.send_with_retry(&call_msg) {
             self.telemetry.span_abandon(call_id);
-            return Err(GuestError::Transport(e.to_string()));
+            return Err(e);
         }
 
         // Collect replies until ours arrives, consuming async failure
         // replies on the way (the in-order server guarantees they precede
         // ours; successful async calls are reply-suppressed).
+        //
+        // With a deadline configured, each attempt waits at most
+        // `call_deadline` for the reply and then resends the *same*
+        // request: the server deduplicates by call id, so a retry whose
+        // original merely sat in a queue cannot execute twice. The whole
+        // call never outlives twice the deadline.
+        let budget = self
+            .config
+            .call_deadline
+            .map(|d| (Instant::now() + d * 2, d));
+        let mut attempt_deadline = budget.map(|(hard, d)| (Instant::now() + d).min(hard));
+        let mut attempts_left = self.config.max_retries;
+        let mut backoff = self.config.retry_backoff;
         let reply = loop {
-            let msg = match self.transport.recv() {
-                Ok(m) => m,
-                Err(e) => {
-                    self.telemetry.span_abandon(call_id);
-                    return Err(GuestError::Transport(e.to_string()));
+            let received = match attempt_deadline {
+                None => match self.transport.recv() {
+                    Ok(m) => Some(m),
+                    Err(e) => {
+                        self.telemetry.span_abandon(call_id);
+                        return Err(map_transport_err(&e));
+                    }
+                },
+                Some(ad) => {
+                    let remaining = ad.saturating_duration_since(Instant::now());
+                    match self.transport.recv_timeout(remaining) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            self.telemetry.span_abandon(call_id);
+                            return Err(map_transport_err(&e));
+                        }
+                    }
+                }
+            };
+            let msg = match received {
+                Some(m) => m,
+                None => {
+                    // This attempt's window expired without our reply.
+                    let (hard, per_attempt) = budget.expect("timeout implies a deadline");
+                    let now = Instant::now();
+                    if attempts_left == 0 || now >= hard {
+                        self.counters.deadline_exceeded.inc();
+                        self.telemetry.span_abandon(call_id);
+                        return Err(GuestError::DeadlineExceeded);
+                    }
+                    attempts_left -= 1;
+                    self.counters.retries.inc();
+                    std::thread::sleep(backoff.min(hard.saturating_duration_since(now)));
+                    backoff = backoff.saturating_mul(2);
+                    if let Err(e) = self.transport.send(&call_msg) {
+                        self.telemetry.span_abandon(call_id);
+                        return Err(map_transport_err(&e));
+                    }
+                    attempt_deadline = Some((Instant::now() + per_attempt).min(hard));
+                    continue;
                 }
             };
             match msg {
@@ -354,7 +427,12 @@ impl GuestLibrary {
                             );
                             if let Err(e) = self.transport.send(&Message::Call(full.clone())) {
                                 self.telemetry.span_abandon(call_id);
-                                return Err(GuestError::Transport(e.to_string()));
+                                return Err(map_transport_err(&e));
+                            }
+                            // The NACKed call never executed; give the
+                            // resend a fresh attempt window.
+                            if let Some((hard, per_attempt)) = budget {
+                                attempt_deadline = Some((Instant::now() + per_attempt).min(hard));
                             }
                         } else {
                             // A NACK with nothing to resend means the two
@@ -407,6 +485,9 @@ impl GuestLibrary {
                     func.name
                 )))
             }
+            // The router answers for a lane whose server is gone and
+            // unrecoverable: fail cleanly instead of hanging.
+            ReplyStatus::Unavailable => return Err(GuestError::Unavailable),
         }
 
         // Deliver a deferred async failure through this call's status
@@ -432,10 +513,65 @@ impl GuestLibrary {
             return Ok(());
         }
         let batch = std::mem::take(&mut inner.batch);
-        self.transport
-            .send(&Message::Batch(batch))
-            .map_err(|e| GuestError::Transport(e.to_string()))?;
-        Ok(())
+        self.send_with_retry(&Message::Batch(batch))
+    }
+
+    /// Sends one message, retrying transient failures with bounded
+    /// exponential backoff. Fatal errors (orderly close, hard disconnect,
+    /// poison) are not retried — the endpoint is gone. Resending a frame
+    /// the peer already received is safe: the server deduplicates calls by
+    /// call id.
+    fn send_with_retry(&self, msg: &Message) -> Result<()> {
+        let mut attempts_left = self.config.max_retries;
+        let mut backoff = self.config.retry_backoff;
+        loop {
+            match self.transport.send(msg) {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_fatal() || attempts_left == 0 => {
+                    return Err(map_transport_err(&e));
+                }
+                Err(_) => {
+                    attempts_left -= 1;
+                    self.counters.retries.inc();
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+
+    /// Probes end-to-end liveness: sends a heartbeat through the router to
+    /// the API server and waits up to `timeout` for the acknowledgement.
+    /// `Ok(false)` means the heartbeat went unanswered — the server is
+    /// dead, wedged, or its lane is down — while `Err` means this guest's
+    /// own transport is gone. Async failure replies and cache-epoch
+    /// announcements arriving in the window are consumed as usual.
+    pub fn probe_liveness(&self, timeout: Duration) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        // Heartbeat nonces share the call-id namespace so they stay unique
+        // per connection; the skipped call id is harmless (ids only ever
+        // need to be strictly increasing).
+        let nonce = inner.next_call_id;
+        inner.next_call_id += 1;
+        self.send_with_retry(&Message::Control(ControlMessage::Heartbeat(nonce)))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(false);
+            }
+            match self.transport.recv_timeout(remaining) {
+                Ok(Some(Message::Control(ControlMessage::HeartbeatAck(n)))) if n == nonce => {
+                    return Ok(true);
+                }
+                Ok(Some(Message::Reply(rep))) => self.consume_async_reply(&mut inner, rep),
+                Ok(Some(Message::Control(ControlMessage::CacheEpoch(_)))) => {
+                    inner.tx_cache.clear();
+                }
+                Ok(_) => {}
+                Err(e) => return Err(map_transport_err(&e)),
+            }
+        }
     }
 
     /// Runs transfer-cache elision over `args`. Returns the wire-form
@@ -609,6 +745,17 @@ impl GuestLibrary {
     }
 }
 
+/// Maps a transport error onto the guest error taxonomy: peer *failures*
+/// (hard disconnect, poisoned state) become [`GuestError::Unavailable`];
+/// everything else stays a transient [`GuestError::Transport`].
+fn map_transport_err(e: &ava_transport::TransportError) -> GuestError {
+    if e.is_failure() {
+        GuestError::Unavailable
+    } else {
+        GuestError::Transport(e.to_string())
+    }
+}
+
 /// The synthesized immediate return for a transparently-async call.
 fn synthesized_success(func: &FunctionDesc) -> Value {
     match func.ret {
@@ -697,6 +844,13 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
                     Message::Call(req) => vec![req],
                     Message::Batch(reqs) => reqs,
                     Message::Control(ControlMessage::Shutdown) => break,
+                    Message::Control(ControlMessage::Heartbeat(n)) => {
+                        let ack = Message::Control(ControlMessage::HeartbeatAck(n));
+                        if server.send(&ack).is_err() {
+                            return seen;
+                        }
+                        continue;
+                    }
                     _ => continue,
                 };
                 for req in reqs {
@@ -985,6 +1139,7 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
             batch_max: 0,
             payload_cache_entries: entries,
             payload_cache_min_bytes: 8,
+            ..GuestConfig::default()
         };
         let server = spawn_cache_server(server_end, entries, 8, wipe_after);
         let lib = GuestLibrary::new(descriptor(), guest_end, config);
@@ -1071,6 +1226,171 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
         assert!(matches!(stores[1].args[1], Value::CachedBytes { .. }));
         assert!(matches!(stores[2].args[1], Value::Bytes(_)));
         assert!(matches!(stores[3].args[1], Value::CachedBytes { .. }));
+    }
+
+    /// A lossy scripted server: swallows the first `drop_first` Call
+    /// frames (modelling dropped requests), then answers every request —
+    /// deduplicating by call id the way the real server does, so retried
+    /// calls are answered but counted as one execution.
+    fn spawn_flaky_server(
+        server: BoxedTransport,
+        drop_first: usize,
+    ) -> std::thread::JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut dropped = 0usize;
+            let mut highwater = 0u64;
+            let mut executed = 0u64;
+            loop {
+                let req = match server.recv() {
+                    Ok(Message::Call(req)) => req,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                };
+                if dropped < drop_first {
+                    dropped += 1;
+                    continue;
+                }
+                if req.call_id > highwater {
+                    highwater = req.call_id;
+                    executed += 1;
+                }
+                let reply = ava_wire::CallReply {
+                    call_id: req.call_id,
+                    status: ReplyStatus::Ok,
+                    ret: Value::I32(0),
+                    outputs: vec![],
+                };
+                if server.send(&Message::Reply(reply)).is_err() {
+                    break;
+                }
+            }
+            executed
+        })
+    }
+
+    fn deadline_config(deadline_ms: u64, retries: u32) -> GuestConfig {
+        GuestConfig {
+            call_deadline: Some(std::time::Duration::from_millis(deadline_ms)),
+            max_retries: retries,
+            retry_backoff: std::time::Duration::from_millis(1),
+            ..GuestConfig::default()
+        }
+    }
+
+    #[test]
+    fn dropped_request_is_retried_and_succeeds() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let server = spawn_flaky_server(server_end, 1);
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(40, 3));
+        let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        assert_eq!(r.ret, Value::I32(0));
+        assert!(lib.stats().retries >= 1, "the dropped frame forced a retry");
+        shutdown(lib);
+        assert_eq!(server.join().unwrap(), 1, "retry must not double-execute");
+    }
+
+    #[test]
+    fn silent_server_fails_within_twice_the_deadline() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        // A server that reads but never replies: the worst kind of hang.
+        let server = std::thread::spawn(move || while server_end.recv().is_ok() {});
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(30, 5));
+        let start = std::time::Instant::now();
+        let err = lib.call("toy_init", vec![Value::U32(0)]).unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err, GuestError::DeadlineExceeded);
+        assert!(err.is_retryable());
+        assert!(
+            elapsed < std::time::Duration::from_millis(200),
+            "2x30ms budget blown: took {elapsed:?}"
+        );
+        assert_eq!(lib.stats().deadline_exceeded, 1);
+        shutdown(lib);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unavailable_reply_surfaces_as_unavailable() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let server = std::thread::spawn(move || {
+            while let Ok(msg) = server_end.recv() {
+                if let Message::Call(req) = msg {
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Unavailable,
+                        ret: Value::Unit,
+                        outputs: vec![],
+                    };
+                    if server_end.send(&Message::Reply(reply)).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(1000, 0));
+        let err = lib.call("toy_init", vec![Value::U32(0)]).unwrap_err();
+        assert_eq!(err, GuestError::Unavailable);
+        assert!(!err.is_retryable());
+        shutdown(lib);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn liveness_probe_distinguishes_live_from_dead_servers() {
+        let (lib, server) = setup(false, 0);
+        assert_eq!(
+            lib.probe_liveness(std::time::Duration::from_secs(1)),
+            Ok(true)
+        );
+        shutdown(lib);
+        server.join().unwrap();
+
+        // A server that reads but never acks: the probe times out false.
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let server = std::thread::spawn(move || while server_end.recv().is_ok() {});
+        let lib = GuestLibrary::new(descriptor(), guest_end, GuestConfig::default());
+        assert_eq!(
+            lib.probe_liveness(std::time::Duration::from_millis(20)),
+            Ok(false)
+        );
+        shutdown(lib);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_replies_are_ignored() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        // A server that answers every sync call twice (a duplicated reply
+        // frame): the stale copy must not confuse the next call.
+        let server = std::thread::spawn(move || {
+            while let Ok(msg) = server_end.recv() {
+                if let Message::Call(req) = msg {
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Ok,
+                        ret: Value::I32(0),
+                        outputs: vec![],
+                    };
+                    if server_end.send(&Message::Reply(reply.clone())).is_err()
+                        || server_end.send(&Message::Reply(reply)).is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        });
+        let lib = GuestLibrary::new(descriptor(), guest_end, GuestConfig::default());
+        for _ in 0..3 {
+            let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+            assert_eq!(r.ret, Value::I32(0));
+        }
+        shutdown(lib);
+        server.join().unwrap();
     }
 
     #[test]

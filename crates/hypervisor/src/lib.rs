@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ava_spec::ApiDescriptor;
-use ava_transport::{BoxedTransport, CostModel, TransportKind};
+use ava_transport::{BoxedTransport, CostModel, FaultInjector, FaultPlan, TransportKind};
 use ava_wire::VmId;
 use crossbeam::channel::{unbounded, Sender};
 
@@ -124,9 +124,33 @@ impl Hypervisor {
         kind: TransportKind,
         model: CostModel,
     ) -> Result<VmConnection, HypervisorError> {
+        self.add_vm_with_faults(policy, kind, model, None, None)
+    }
+
+    /// Like [`Hypervisor::add_vm`], but with deterministic fault injection
+    /// on the guest channel. `guest_tx_plan` faults frames the guest sends
+    /// (calls), `guest_rx_plan` faults frames the router sends back
+    /// (replies) — each direction draws from its own seeded schedule, so a
+    /// chaos run is reproducible from the two seeds alone.
+    pub fn add_vm_with_faults(
+        &self,
+        policy: VmPolicy,
+        kind: TransportKind,
+        model: CostModel,
+        guest_tx_plan: Option<FaultPlan>,
+        guest_rx_plan: Option<FaultPlan>,
+    ) -> Result<VmConnection, HypervisorError> {
         let vm_id = self.next_vm.fetch_add(1, Ordering::Relaxed);
         let (guest_end, router_guest_end) = ava_transport::pair(kind, model)
             .map_err(|e| HypervisorError::Transport(e.to_string()))?;
+        let guest_end = match guest_tx_plan {
+            Some(plan) => FaultInjector::wrap(guest_end, plan),
+            None => guest_end,
+        };
+        let router_guest_end = match guest_rx_plan {
+            Some(plan) => FaultInjector::wrap(router_guest_end, plan),
+            None => router_guest_end,
+        };
         let (router_server_end, server_end) =
             ava_transport::pair(TransportKind::InProcess, CostModel::free())
                 .map_err(|e| HypervisorError::Transport(e.to_string()))?;
@@ -143,6 +167,32 @@ impl Hypervisor {
             guest: guest_end,
             server: server_end,
         })
+    }
+
+    /// Replaces a VM's router↔server transport after its API server was
+    /// respawned: the router resumes forwarding (queued calls first) and
+    /// the returned endpoint is handed to the new server. Clears any
+    /// unavailable state on the lane.
+    pub fn reattach_server(&self, vm_id: VmId) -> Result<BoxedTransport, HypervisorError> {
+        let (router_server_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free())
+                .map_err(|e| HypervisorError::Transport(e.to_string()))?;
+        self.cmd_tx
+            .send(RouterCmd::ReattachServer {
+                vm_id,
+                server: router_server_end,
+            })
+            .map_err(|_| HypervisorError::RouterGone)?;
+        Ok(server_end)
+    }
+
+    /// Declares a VM's server permanently gone: the router answers queued
+    /// and future sync calls with `Unavailable` immediately, so guests
+    /// fail fast instead of burning their whole retry budget.
+    pub fn mark_unavailable(&self, vm_id: VmId) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::MarkUnavailable(vm_id))
+            .map_err(|_| HypervisorError::RouterGone)
     }
 
     /// Pauses guest→server forwarding for a VM (used before migration).
@@ -231,6 +281,14 @@ mod tests {
                             outputs: vec![],
                         };
                         if server.send(&Message::Reply(reply)).is_err() {
+                            break;
+                        }
+                    }
+                    Message::Control(ControlMessage::Heartbeat(v)) => {
+                        if server
+                            .send(&Message::Control(ControlMessage::HeartbeatAck(v)))
+                            .is_err()
+                        {
                             break;
                         }
                     }
@@ -385,6 +443,87 @@ mod tests {
                 Some(other) => panic!("{other:?}"),
                 None => panic!("timed out after {got} replies"),
             }
+        }
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_round_trip_through_the_router() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        conn.guest
+            .send(&Message::Control(ControlMessage::Heartbeat(9)))
+            .unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Control(ControlMessage::HeartbeatAck(v))) => assert_eq!(v, 9),
+            other => panic!("{other:?}"),
+        }
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn unavailable_lane_answers_sync_calls_immediately() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        // The server "crashes" before ever answering, and the supervisor
+        // gives up on it.
+        drop(conn.server);
+        hv.mark_unavailable(conn.vm_id).unwrap();
+        conn.guest.send(&call(1)).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => {
+                assert_eq!(rep.call_id, 1);
+                assert_eq!(rep.status, ReplyStatus::Unavailable);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.unavailable_replies, 1);
+    }
+
+    #[test]
+    fn reattach_revives_a_dead_lane_without_losing_queued_calls() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        // Crash the server, then issue a call: forwarding fails, the call
+        // is requeued, and the lane suspends.
+        drop(conn.server);
+        conn.guest.send(&call(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // Respawn: attach a fresh server transport; the queued call flows.
+        let new_server = hv.reattach_server(conn.vm_id).unwrap();
+        let echo = spawn_echo(new_server);
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => {
+                assert_eq!(rep.call_id, 1);
+                assert_eq!(rep.status, ReplyStatus::Ok);
+            }
+            other => panic!("{other:?}"),
         }
         conn.guest
             .send(&Message::Control(ControlMessage::Shutdown))

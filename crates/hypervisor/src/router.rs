@@ -14,7 +14,7 @@ use ava_spec::{ApiDescriptor, RecordCategory};
 use ava_telemetry::{Counter, Gauge, Stage, Telemetry};
 use ava_transport::{BoxedTransport, TransportError};
 use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::policy::{SchedulerKind, VmPolicy};
 
@@ -47,6 +47,9 @@ pub struct VmStats {
     pub est_device_mem: f64,
     /// Calls currently forwarded but not yet answered.
     pub outstanding: u64,
+    /// Sync calls answered with [`ReplyStatus::Unavailable`] because the
+    /// lane's server is permanently gone.
+    pub unavailable_replies: u64,
 }
 
 /// Registry-shareable storage behind [`VmStats`]: the router mutates these
@@ -63,6 +66,7 @@ struct VmMetrics {
     cache_hits: Counter,
     cache_misses: Counter,
     outstanding: Counter,
+    unavailable_replies: Counter,
     est_device_time_us: Gauge,
     est_device_mem: Gauge,
 }
@@ -81,6 +85,7 @@ impl VmMetrics {
             est_device_time_us: self.est_device_time_us.get(),
             est_device_mem: self.est_device_mem.get(),
             outstanding: self.outstanding.get(),
+            unavailable_replies: self.unavailable_replies.get(),
         }
     }
 
@@ -101,6 +106,7 @@ impl VmMetrics {
         c("cache_hits", &self.cache_hits);
         c("cache_misses", &self.cache_misses);
         c("outstanding", &self.outstanding);
+        c("unavailable_replies", &self.unavailable_replies);
         registry.register_gauge(
             &format!("router.vm{vm}.est_device_time_us"),
             &self.est_device_time_us,
@@ -131,6 +137,19 @@ pub enum RouterCmd {
     Resume(VmId),
     /// Remove a VM entirely.
     Remove(VmId),
+    /// Replace a lane's server-side transport after the supervisor
+    /// respawned a crashed API server. Clears any down/unavailable state;
+    /// queued calls start flowing to the new server.
+    ReattachServer {
+        /// VM identifier.
+        vm_id: VmId,
+        /// Router end of the new server channel.
+        server: BoxedTransport,
+    },
+    /// Declare a VM's server permanently gone: queued and future sync
+    /// calls are answered with [`ReplyStatus::Unavailable`] immediately
+    /// instead of waiting on a reply that can never come.
+    MarkUnavailable(VmId),
     /// Query statistics.
     Stats(VmId, Sender<Option<VmStats>>),
     /// Attach a telemetry registry: per-VM counters register under
@@ -149,6 +168,12 @@ struct Lane {
     queue: VecDeque<CallRequest>,
     paused: bool,
     closed: bool,
+    /// The server transport failed; forwarding is suspended until the
+    /// supervisor either reattaches a respawned server or gives up.
+    server_down: bool,
+    /// The supervisor gave up on this lane's server: answer sync calls
+    /// with `Unavailable` instead of queueing them.
+    unavailable: bool,
     metrics: VmMetrics,
     telemetry: Telemetry,
 }
@@ -186,7 +211,15 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
         let mut progressed = false;
 
         // 1. Process control-plane commands.
-        while let Ok(cmd) = cmds.try_recv() {
+        loop {
+            let cmd = match cmds.try_recv() {
+                Ok(cmd) => cmd,
+                Err(TryRecvError::Empty) => break,
+                // The command sender was dropped without an explicit
+                // Shutdown (the owning stack died): exit instead of
+                // routing for nobody, forever.
+                Err(TryRecvError::Disconnected) => return,
+            };
             progressed = true;
             match cmd {
                 RouterCmd::AddVm {
@@ -206,6 +239,8 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         queue: VecDeque::new(),
                         paused: false,
                         closed: false,
+                        server_down: false,
+                        unavailable: false,
                         metrics,
                         telemetry: lane_telemetry,
                     });
@@ -222,6 +257,20 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                 }
                 RouterCmd::Remove(id) => {
                     lanes.retain(|l| l.vm_id != id);
+                }
+                RouterCmd::ReattachServer { vm_id, server } => {
+                    if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == vm_id) {
+                        lane.server = server;
+                        lane.server_down = false;
+                        lane.unavailable = false;
+                    }
+                }
+                RouterCmd::MarkUnavailable(id) => {
+                    if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == id) {
+                        lane.unavailable = true;
+                        lane.server_down = true;
+                        fail_queued_unavailable(lane);
+                    }
                 }
                 RouterCmd::Stats(id, reply) => {
                     let stats = lanes
@@ -268,6 +317,15 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         let _ = lane.guest.send(&Message::Control(ControlMessage::Pong(v)));
                         progressed = true;
                     }
+                    Ok(Some(Message::Control(hb @ ControlMessage::Heartbeat(_)))) => {
+                        // Heartbeats probe the *server*, not the router:
+                        // forward them through so the ack round-trips the
+                        // whole lane (the reply pump relays the ack back).
+                        if lane.server.send(&Message::Control(hb)).is_err() {
+                            lane.server_down = true;
+                        }
+                        progressed = true;
+                    }
                     Ok(Some(Message::Control(ControlMessage::Shutdown))) => {
                         lane.closed = true;
                         let _ = lane
@@ -301,10 +359,11 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             let Some(idx) = candidate else { break };
             rr_cursor = (idx + 1).max(1) % lanes.len().max(1);
             let lane = &mut lanes[idx];
-            let req = lane
-                .queue
-                .pop_front()
-                .expect("picked lane has a queued call");
+            let Some(req) = lane.queue.pop_front() else {
+                // A scheduler bug should degrade to a skipped round, not
+                // take the whole router (and every lane) down with it.
+                continue;
+            };
 
             // Verify and cost-account the call against the API descriptor.
             let mut reject = false;
@@ -349,21 +408,50 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                 };
                 let _ = lane.guest.send(&Message::Reply(reply));
             } else {
-                lane.metrics.forwarded.inc();
-                // Async calls are fire-and-forget: the server only replies
-                // on failure, so they are not tracked as outstanding.
+                // Stamp Forwarded before the send: the modelled sender
+                // overhead means the server could otherwise execute (and
+                // stamp) before this thread resumes. A failed send leaves
+                // a harmless early stamp — the requeued call overwrites it
+                // when it is actually forwarded.
                 if req.mode == ava_wire::CallMode::Sync {
-                    lane.metrics.outstanding.inc();
                     lane.telemetry
                         .span_stage(req.call_id, Stage::Forwarded, None);
                 }
-                let _ = lane.server.send(&Message::Call(req));
+                let msg = Message::Call(req);
+                match lane.server.send(&msg) {
+                    Ok(()) => {
+                        lane.metrics.forwarded.inc();
+                        if let Message::Call(req) = msg {
+                            // Async calls are fire-and-forget: the server
+                            // only replies on failure, so they are not
+                            // tracked as outstanding.
+                            if req.mode == ava_wire::CallMode::Sync {
+                                lane.metrics.outstanding.inc();
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // The call never reached the server: requeue it at
+                        // the front (nothing newer was forwarded, so order
+                        // is preserved) and suspend the lane for the
+                        // supervisor to reattach or fail it.
+                        lane.server_down = true;
+                        if let Message::Call(req) = msg {
+                            lane.queue.push_front(req);
+                        }
+                    }
+                }
             }
             progressed = true;
         }
 
         // 4. Pump replies server→guest.
         for lane in lanes.iter_mut() {
+            if lane.server_down {
+                // Nothing to pump, and re-polling a dead transport would
+                // re-report the failure every round (a busy spin).
+                continue;
+            }
             loop {
                 match lane.server.try_recv() {
                     Ok(Some(Message::Reply(rep))) => {
@@ -382,6 +470,14 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         progressed = true;
                     }
                     Ok(None) => break,
+                    Err(e) if e.is_failure() => {
+                        // The server vanished abruptly; any in-flight
+                        // replies are gone. Suspend forwarding and let the
+                        // supervisor decide between reattach and giving up.
+                        lane.server_down = true;
+                        progressed = true;
+                        break;
+                    }
                     Err(_) => break,
                 }
             }
@@ -410,6 +506,14 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
 /// carry spans: async successes are reply-suppressed, so their spans could
 /// never complete.
 fn ingest_request(lane: &mut Lane, req: CallRequest) {
+    if lane.unavailable {
+        // The server is permanently gone. Answering immediately — rather
+        // than queueing toward a reply that can never come — is what
+        // bounds the guest's failure latency to its own deadline instead
+        // of a full retry budget.
+        fail_unavailable(lane, &req);
+        return;
+    }
     lane.metrics.bytes_in.add(req.payload_bytes() as u64);
     lane.metrics.bytes_elided.add(req.elided_bytes() as u64);
     lane.metrics.cache_hits.add(req.cached_count() as u64);
@@ -417,6 +521,31 @@ fn ingest_request(lane: &mut Lane, req: CallRequest) {
         lane.telemetry.span_stage(req.call_id, Stage::Queued, None);
     }
     lane.queue.push_back(req);
+}
+
+/// Answers one call with [`ReplyStatus::Unavailable`] (sync calls only —
+/// async calls are fire-and-forget and simply dropped; the guest learns of
+/// the failure on its next sync call at the latest).
+fn fail_unavailable(lane: &mut Lane, req: &CallRequest) {
+    if req.mode != ava_wire::CallMode::Sync {
+        return;
+    }
+    lane.metrics.unavailable_replies.inc();
+    lane.telemetry.span_stage(req.call_id, Stage::Replied, None);
+    let reply = CallReply {
+        call_id: req.call_id,
+        status: ReplyStatus::Unavailable,
+        ret: ava_wire::Value::Unit,
+        outputs: vec![],
+    };
+    let _ = lane.guest.send(&Message::Reply(reply));
+}
+
+/// Fails every queued call on a lane whose server was declared gone.
+fn fail_queued_unavailable(lane: &mut Lane) {
+    while let Some(req) = lane.queue.pop_front() {
+        fail_unavailable(lane, &req);
+    }
 }
 
 /// Picks the next lane to service, honouring pause state, rate limits and
@@ -432,7 +561,7 @@ fn pick_lane(
         return None;
     }
     let admissible = |lane: &mut Lane, now: Instant| -> bool {
-        if lane.paused || lane.closed || lane.queue.is_empty() {
+        if lane.paused || lane.closed || lane.server_down || lane.queue.is_empty() {
             return false;
         }
         match &mut lane.policy.rate_limit {
@@ -457,7 +586,7 @@ fn pick_lane(
             for idx in 0..n {
                 let ready = {
                     let lane = &lanes[idx];
-                    !lane.paused && !lane.closed && !lane.queue.is_empty()
+                    !lane.paused && !lane.closed && !lane.server_down && !lane.queue.is_empty()
                 };
                 if !ready {
                     continue;
@@ -479,7 +608,7 @@ fn pick_lane(
             let mut best: Option<(usize, u8)> = None;
             for idx in 0..n {
                 let lane = &lanes[idx];
-                if lane.paused || lane.closed || lane.queue.is_empty() {
+                if lane.paused || lane.closed || lane.server_down || lane.queue.is_empty() {
                     continue;
                 }
                 let p = lane.policy.priority;

@@ -14,7 +14,13 @@
 //!   by replay on another host;
 //! * **buffer-granularity memory swapping** — on device OOM, evict the
 //!   LRU tracked buffer to host memory and transparently restore it on
-//!   next use.
+//!   next use;
+//! * **at-most-once execution** — duplicate call frames (guest retries,
+//!   transport duplication) are answered from a bounded reply cache, never
+//!   re-executed;
+//! * **crash recovery** — every executed call is journaled so a supervisor
+//!   can rebuild a crashed server by deterministic replay
+//!   ([`ApiServer::replay_journal`]).
 
 pub mod error;
 pub mod handler;
@@ -25,8 +31,8 @@ pub mod server;
 pub use error::{Result, ServerError};
 pub use handler::{ApiHandler, HandlerOutput};
 pub use handles::{HandleEntry, HandleState, HandleTable};
-pub use record::{MigrationImage, RecordLog, RecordedCall};
-pub use server::{ApiServer, ServerStats};
+pub use record::{CallJournal, JournalEntry, MigrationImage, RecordLog, RecordedCall};
+pub use server::{ApiServer, ServeExit, ServerStats};
 
 #[cfg(test)]
 mod tests {
@@ -530,6 +536,183 @@ toy_status toy_destroy(toy_buf buf) {
         );
         assert_eq!(reps[0].status, ReplyStatus::CacheMiss);
         assert_eq!(server.stats().payload_cache_misses, 1);
+    }
+
+    fn create_req(desc: &ApiDescriptor, call_id: u64, size: u64) -> CallRequest {
+        CallRequest {
+            call_id,
+            fn_id: desc.by_name("toy_create").unwrap().id,
+            mode: CallMode::Sync,
+            args: vec![Value::U64(size)],
+        }
+    }
+
+    #[test]
+    fn duplicate_sync_frames_execute_once_and_replay_the_reply() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+
+        let req = create_req(&desc, 1, 8);
+        let first = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(req.clone()),
+        );
+        assert_eq!(first[0].status, ReplyStatus::Ok);
+        // A transport-duplicated copy of the same frame: answered from the
+        // reply cache, with the *same* wire handle — re-execution would
+        // have minted a second buffer.
+        let dup = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(req),
+        );
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0], first[0]);
+        assert_eq!(server.stats().calls, 1, "the create ran exactly once");
+        assert_eq!(server.stats().duplicates_suppressed, 1);
+        assert_eq!(server.stats().recorded, 1, "one alloc record, not two");
+    }
+
+    #[test]
+    fn duplicate_async_frames_are_suppressed_silently() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let req = CallRequest {
+            call_id: 1,
+            fn_id: desc.by_name("toy_init").unwrap().id,
+            mode: CallMode::Async,
+            args: vec![Value::U32(0)],
+        };
+        for _ in 0..2 {
+            let reps = pump(
+                &mut server,
+                server_end.as_ref(),
+                client.as_ref(),
+                ava_wire::Message::Call(req.clone()),
+            );
+            assert!(reps.is_empty(), "async success never replies: {reps:?}");
+        }
+        assert_eq!(server.stats().calls, 1);
+        assert_eq!(server.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn heartbeats_are_acknowledged() {
+        use ava_transport::{CostModel, TransportKind};
+        use ava_wire::ControlMessage;
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        server
+            .serve_one(
+                server_end.as_ref(),
+                ava_wire::Message::Control(ControlMessage::Heartbeat(42)),
+            )
+            .unwrap();
+        assert_eq!(
+            client.recv().unwrap(),
+            ava_wire::Message::Control(ControlMessage::HeartbeatAck(42))
+        );
+    }
+
+    #[test]
+    fn journal_replay_rebuilds_a_crashed_server() {
+        use ava_transport::{CostModel, TransportKind};
+        use std::sync::Mutex;
+        let desc = toy_descriptor();
+        let journal = Arc::new(Mutex::new(CallJournal::new()));
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_journal(Arc::clone(&journal));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(create_req(&desc, 1, 8)),
+        );
+        let h = reps[0].ret.as_handle().expect("created handle");
+        pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::Bytes(b"journal!".to_vec().into()),
+                8,
+            )),
+        );
+        // Crash: the server vanishes without any chance to snapshot.
+        drop(server);
+
+        let entries = journal.lock().unwrap().entries().to_vec();
+        let mut fresh = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        assert_eq!(fresh.replay_journal(&entries), 2);
+        // The guest's wire handle survived and the kernel-written contents
+        // were reconstructed by re-execution, not from a snapshot.
+        assert_eq!(&read_buf(&mut fresh, &desc, h, 8), b"journal!");
+        // A guest retry of a pre-crash call is answered, not re-executed.
+        let reps = pump(
+            &mut fresh,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::Bytes(b"XXXXXXXX".to_vec().into()),
+                8,
+            )),
+        );
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].status, ReplyStatus::Ok);
+        assert_eq!(&read_buf(&mut fresh, &desc, h, 8), b"journal!");
+        assert_eq!(fresh.stats().duplicates_suppressed, 1);
+        assert!(journal.lock().unwrap().call_ids_unique());
+    }
+
+    #[test]
+    fn migration_image_carries_dedup_state() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut source = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let reps = pump(
+            &mut source,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(create_req(&desc, 1, 8)),
+        );
+        assert_eq!(reps[0].status, ReplyStatus::Ok);
+        let image = source.snapshot();
+        source.teardown();
+        let mut target =
+            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(1024)), &image).unwrap();
+        // A retry that straddled the migration is still deduplicated.
+        let dup = pump(
+            &mut target,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(create_req(&desc, 1, 8)),
+        );
+        assert_eq!(dup.len(), 1);
+        assert_eq!(dup[0], reps[0]);
+        assert_eq!(target.stats().duplicates_suppressed, 1);
+        assert_eq!(target.stats().calls, 0, "nothing re-executed post-restore");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! contents, and resumes — the Nooks-style object tracking the paper cites.
 
 use ava_spec::RecordCategory;
-use ava_wire::{FnId, Value};
+use ava_wire::{CallId, CallReply, CallRequest, FnId, Value};
 
 /// One recorded call.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +117,70 @@ pub struct MigrationImage {
     pub records: Vec<RecordedCall>,
     /// Saved device-buffer payloads, as `(wire handle, bytes)`.
     pub buffers: Vec<(u64, Vec<u8>)>,
+    /// Recently sent sync replies, so duplicate suppression keeps answering
+    /// guest retries that straddle the migration.
+    pub replies: Vec<CallReply>,
+    /// At-most-once execution highwater mark (`None`: nothing executed).
+    pub highwater: Option<CallId>,
+}
+
+/// One fully-executed call, journaled for crash recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// The request exactly as executed (cache references materialized).
+    pub request: CallRequest,
+    /// The reply the server produced for it.
+    pub reply: CallReply,
+}
+
+/// The complete execution journal for one VM's API server.
+///
+/// Unlike the [`RecordLog`] — which holds only `record`-annotated calls and
+/// backs *planned* reconstruction (migration, swap-in) where device buffers
+/// can still be snapshotted — the journal holds *every* executed call, so a
+/// crashed server can be rebuilt by replay alone: after a crash there is no
+/// opportunity to snapshot buffers, and kernel launches or writes that
+/// mutated device state must be re-run, not restored. The supervisor owns
+/// the journal, behind a mutex, because it must survive the server process
+/// it describes.
+#[derive(Debug, Default, Clone)]
+pub struct CallJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl CallJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one executed call.
+    pub fn record(&mut self, request: CallRequest, reply: CallReply) {
+        self.entries.push(JournalEntry { request, reply });
+    }
+
+    /// All entries in execution (and therefore replay) order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of journaled calls.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has executed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when every journaled call id is distinct — the at-most-once
+    /// guarantee made observable: a duplicate frame that slipped past
+    /// dedup and re-executed would journal its call id twice.
+    pub fn call_ids_unique(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.entries.iter().all(|e| seen.insert(e.request.call_id))
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +231,30 @@ mod tests {
         );
         log.cancel_for_handle(100);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn journal_detects_duplicate_call_ids() {
+        use ava_wire::{CallMode, ReplyStatus};
+        let req = |id: u64| CallRequest {
+            call_id: id,
+            fn_id: 0,
+            mode: CallMode::Sync,
+            args: vec![],
+        };
+        let rep = |id: u64| CallReply {
+            call_id: id,
+            status: ReplyStatus::Ok,
+            ret: Value::Unit,
+            outputs: vec![],
+        };
+        let mut journal = CallJournal::new();
+        journal.record(req(1), rep(1));
+        journal.record(req(2), rep(2));
+        assert!(journal.call_ids_unique());
+        assert_eq!(journal.len(), 2);
+        journal.record(req(2), rep(2));
+        assert!(!journal.call_ids_unique());
     }
 
     #[test]

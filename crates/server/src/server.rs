@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use ava_spec::{
@@ -18,13 +18,19 @@ use ava_spec::{
 use ava_telemetry::{Counter, Stage, Telemetry};
 use ava_transport::{Transport, TransportError};
 use ava_wire::{
-    fnv1a64, CallId, CallReply, CallRequest, ControlMessage, DigestLru, Message, ReplyStatus, Value,
+    fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, Message,
+    ReplyStatus, Value,
 };
 
 use crate::error::{Result, ServerError};
 use crate::handler::{ApiHandler, HandlerOutput};
 use crate::handles::{HandleState, HandleTable};
-use crate::record::{MigrationImage, RecordLog};
+use crate::record::{CallJournal, JournalEntry, MigrationImage, RecordLog};
+
+/// How many recent sync replies are kept for duplicate suppression. The
+/// guest library serializes sync calls, so a retry can only ever chase the
+/// most recent executions; 64 leaves generous slack for batched traffic.
+const REPLY_CACHE_CAP: usize = 64;
 
 /// Server execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +49,10 @@ pub struct ServerStats {
     pub payload_cache_hits: u64,
     /// `CacheMiss` NACKs sent (each forces a full guest resend).
     pub payload_cache_misses: u64,
+    /// Duplicate call frames whose re-execution was suppressed (guest
+    /// retries and transport-duplicated frames answered from the reply
+    /// cache instead of running twice).
+    pub duplicates_suppressed: u64,
 }
 
 /// Registry-shareable storage behind [`ServerStats`] (`recorded` is
@@ -55,6 +65,7 @@ struct ServerCounters {
     swap_ins: Counter,
     payload_cache_hits: Counter,
     payload_cache_misses: Counter,
+    duplicates_suppressed: Counter,
 }
 
 impl ServerCounters {
@@ -77,6 +88,10 @@ impl ServerCounters {
         registry.register_counter(
             &format!("server.vm{vm}.payload_cache_misses"),
             &self.payload_cache_misses,
+        );
+        registry.register_counter(
+            &format!("server.vm{vm}.duplicates_suppressed"),
+            &self.duplicates_suppressed,
         );
     }
 }
@@ -108,6 +123,29 @@ pub struct ApiServer {
     held: VecDeque<CallRequest>,
     /// The call id whose full-payload resend we are waiting for.
     stalled_on: Option<CallId>,
+    /// Highest call id ever executed. Guest call ids are issued in
+    /// strictly increasing order and executed in issue order (the guest
+    /// serializes its sends and the transport preserves ordering), so any
+    /// frame at or below this mark is a retry or a duplicated frame and
+    /// must not run again.
+    highwater: Option<CallId>,
+    /// Recent sync replies, answered verbatim to duplicate frames.
+    reply_cache: VecDeque<CallReply>,
+    /// Crash-recovery journal, shared with the supervising stack; every
+    /// executed call is appended with its materialized request and reply.
+    journal: Option<Arc<Mutex<CallJournal>>>,
+}
+
+/// Why [`ApiServer::serve`] returned — lets a supervisor distinguish an
+/// orderly shutdown from a transport failure that warrants recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeExit {
+    /// The stop flag was raised or a `Shutdown` control frame arrived.
+    Stopped,
+    /// The peer closed the transport in an orderly fashion.
+    Closed,
+    /// The transport failed abruptly (peer vanished, ring poisoned).
+    Failed,
 }
 
 impl ApiServer {
@@ -127,7 +165,18 @@ impl ApiServer {
             rx_cache_min_bytes: 0,
             held: VecDeque::new(),
             stalled_on: None,
+            highwater: None,
+            reply_cache: VecDeque::new(),
+            journal: None,
         }
+    }
+
+    /// Attaches the crash-recovery journal. Every subsequently executed
+    /// call is appended (materialized request plus reply); the supervisor
+    /// keeps the journal outside the server so it survives a crash and can
+    /// be replayed into a fresh server via [`ApiServer::replay_journal`].
+    pub fn set_journal(&mut self, journal: Arc<Mutex<CallJournal>>) {
+        self.journal = Some(journal);
     }
 
     /// Configures the payload mirror cache. `entries` and `min_bytes` must
@@ -172,6 +221,7 @@ impl ApiServer {
             recorded: self.records.len() as u64,
             payload_cache_hits: self.counters.payload_cache_hits.get(),
             payload_cache_misses: self.counters.payload_cache_misses.get(),
+            duplicates_suppressed: self.counters.duplicates_suppressed.get(),
         }
     }
 
@@ -187,7 +237,8 @@ impl ApiServer {
     /// Serves calls from `transport` until the peer shuts down or `stop`
     /// becomes true. On stop the already-delivered backlog is drained
     /// first so no in-flight call is lost (migration relies on this).
-    pub fn serve(&mut self, transport: &dyn Transport, stop: &AtomicBool) {
+    /// The return value tells a supervisor whether recovery is warranted.
+    pub fn serve(&mut self, transport: &dyn Transport, stop: &AtomicBool) -> ServeExit {
         loop {
             if stop.load(Ordering::Acquire) {
                 while let Ok(Some(msg)) = transport.try_recv() {
@@ -195,17 +246,18 @@ impl ApiServer {
                         break;
                     }
                 }
-                return;
+                return ServeExit::Stopped;
             }
             match transport.recv_timeout(Duration::from_millis(2)) {
                 Ok(Some(msg)) => {
                     if self.serve_one(transport, msg).is_err() {
-                        return;
+                        return ServeExit::Stopped;
                     }
                 }
                 Ok(None) => {}
-                Err(TransportError::Closed) => return,
-                Err(_) => return,
+                Err(e) if e.is_failure() => return ServeExit::Failed,
+                Err(TransportError::Closed) => return ServeExit::Closed,
+                Err(_) => return ServeExit::Closed,
             }
         }
     }
@@ -227,6 +279,10 @@ impl ApiServer {
             Message::Control(ControlMessage::Shutdown) => Err(()),
             Message::Control(ControlMessage::Ping(v)) => {
                 let _ = transport.send(&Message::Control(ControlMessage::Pong(v)));
+                Ok(())
+            }
+            Message::Control(ControlMessage::Heartbeat(v)) => {
+                let _ = transport.send(&Message::Control(ControlMessage::HeartbeatAck(v)));
                 Ok(())
             }
             Message::Control(ControlMessage::CacheEpoch(_)) => {
@@ -273,6 +329,25 @@ impl ApiServer {
         transport: &dyn Transport,
         mut req: CallRequest,
     ) -> std::result::Result<(), ()> {
+        // At-most-once dedup, checked before the payload cache is touched:
+        // a duplicate frame must neither re-execute (device side effects
+        // would double-apply) nor re-insert its buffers into the mirror
+        // cache (the guest's cache applied them exactly once).
+        if self.already_executed(req.call_id) {
+            self.counters.duplicates_suppressed.inc();
+            if req.mode == CallMode::Sync {
+                // Answer from the reply cache. An evicted entry stays
+                // silent: the guest serializes sync calls, so a reply that
+                // old has no waiter left — its original either arrived or
+                // the caller has long since given up.
+                if let Some(reply) = self.cached_reply(req.call_id) {
+                    if transport.send(&Message::Reply(reply)).is_err() {
+                        return Err(());
+                    }
+                }
+            }
+            return Ok(());
+        }
         if !self.resolve_cached_args(&mut req) {
             self.counters.payload_cache_misses.inc();
             self.stalled_on = Some(req.call_id);
@@ -288,12 +363,92 @@ impl ApiServer {
             return Ok(());
         }
         let (fn_id, mode) = (req.fn_id, req.mode);
+        let journal_req = if self.journal.is_some() {
+            Some(req.clone())
+        } else {
+            None
+        };
         let reply = self.handle_call(req);
+        self.note_executed(mode, journal_req, &reply);
         if self.should_reply(fn_id, mode, &reply) && transport.send(&Message::Reply(reply)).is_err()
         {
             return Err(());
         }
         Ok(())
+    }
+
+    /// True when `call_id` was already executed, by this server or by the
+    /// pre-crash/pre-migration incarnation whose state it inherited.
+    fn already_executed(&self, call_id: CallId) -> bool {
+        self.highwater.is_some_and(|h| call_id <= h)
+    }
+
+    /// The cached reply for `call_id`, if it has not been evicted.
+    fn cached_reply(&self, call_id: CallId) -> Option<CallReply> {
+        self.reply_cache
+            .iter()
+            .rev()
+            .find(|r| r.call_id == call_id)
+            .cloned()
+    }
+
+    /// Post-execution bookkeeping: advance the at-most-once highwater
+    /// mark, cache the reply for duplicate suppression (sync only — async
+    /// duplicates are suppressed silently), and append to the crash
+    /// journal. `CacheMiss` NACKs never reach here: a NACKed call did not
+    /// execute, so its retransmission must not be treated as a duplicate.
+    fn note_executed(
+        &mut self,
+        mode: CallMode,
+        journal_req: Option<CallRequest>,
+        reply: &CallReply,
+    ) {
+        self.highwater = Some(match self.highwater {
+            Some(h) => h.max(reply.call_id),
+            None => reply.call_id,
+        });
+        if mode == CallMode::Sync {
+            self.remember_reply(reply.clone());
+        }
+        if let (Some(journal), Some(request)) = (&self.journal, journal_req) {
+            if let Ok(mut j) = journal.lock() {
+                j.record(request, reply.clone());
+            }
+        }
+    }
+
+    fn remember_reply(&mut self, reply: CallReply) {
+        self.reply_cache.push_back(reply);
+        while self.reply_cache.len() > REPLY_CACHE_CAP {
+            self.reply_cache.pop_front();
+        }
+    }
+
+    /// Re-executes every journaled call, in order, against this server's
+    /// fresh handler — crash recovery's analogue of migration replay. The
+    /// journal holds *all* executed calls (not just `record`-annotated
+    /// ones), so a deterministic handler reconstructs complete device
+    /// state, including kernel-mutated buffers that a migration snapshot
+    /// would have carried. Wire-handle minting is a deterministic counter,
+    /// so replaying the same execution sequence re-mints the same wire
+    /// handles and the guest's outstanding handles stay valid. Also primes
+    /// the highwater mark and reply cache from the journal so guest
+    /// retries of pre-crash calls stay suppressed. Returns the number of
+    /// calls replayed.
+    pub fn replay_journal(&mut self, entries: &[JournalEntry]) -> u64 {
+        let mut replayed = 0;
+        for entry in entries {
+            let _ = self.handle_call(entry.request.clone());
+            self.highwater = Some(match self.highwater {
+                Some(h) => h.max(entry.request.call_id),
+                None => entry.request.call_id,
+            });
+            if entry.request.mode == CallMode::Sync {
+                self.remember_reply(entry.reply.clone());
+            }
+            replayed += 1;
+        }
+        replayed
     }
 
     /// Rewrites `req` in place: received eligible buffers are inserted
@@ -721,6 +876,8 @@ impl ApiServer {
         MigrationImage {
             records: self.records.replay_order().cloned().collect(),
             buffers,
+            replies: self.reply_cache.iter().cloned().collect(),
+            highwater: self.highwater,
         }
     }
 
@@ -812,6 +969,10 @@ impl ApiServer {
                 }
             }
         }
+        // Carry the at-most-once state across the migration so guest
+        // retries straddling it are still answered, never re-executed.
+        server.reply_cache = image.replies.iter().cloned().collect();
+        server.highwater = image.highwater;
         Ok(server)
     }
 }

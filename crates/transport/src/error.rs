@@ -7,8 +7,17 @@ use ava_wire::WireError;
 /// Error raised by a transport operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
-    /// The peer endpoint has been dropped or shut down.
+    /// The peer endpoint shut down in an orderly fashion (`close` was
+    /// called, or the peer was dropped after draining).
     Closed,
+    /// The peer vanished abruptly: a hard disconnect with traffic possibly
+    /// still in flight. Unlike `Closed`, this signals a *failure*, not a
+    /// shutdown — recovery machinery (respawn, replay) should engage.
+    Disconnected,
+    /// The shared channel state is poisoned (a thread died while holding the
+    /// ring lock, or an invariant check failed). The endpoint is unusable
+    /// and the lane must be torn down.
+    Poisoned,
     /// A frame failed to decode (corruption or version mismatch).
     Decode(WireError),
     /// An I/O error (socket transports).
@@ -26,12 +35,31 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Closed => write!(f, "transport closed by peer"),
+            Self::Disconnected => write!(f, "peer disconnected abruptly"),
+            Self::Poisoned => write!(f, "transport state poisoned"),
             Self::Decode(e) => write!(f, "frame decode failed: {e}"),
             Self::Io(m) => write!(f, "transport I/O error: {m}"),
             Self::FrameTooLarge { size, limit } => {
                 write!(f, "frame of {size} bytes exceeds transport limit {limit}")
             }
         }
+    }
+}
+
+impl TransportError {
+    /// Whether the endpoint is permanently unusable after this error.
+    ///
+    /// Fatal errors end the connection (orderly or not); non-fatal ones
+    /// (decode failures, oversized frames, transient I/O hiccups) leave the
+    /// endpoint able to carry further traffic.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, Self::Closed | Self::Disconnected | Self::Poisoned)
+    }
+
+    /// Whether this error indicates a *failure* of the peer (as opposed to
+    /// an orderly shutdown). Failures are what the supervisor reacts to.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Self::Disconnected | Self::Poisoned)
     }
 }
 

@@ -1,0 +1,608 @@
+//! Deterministic fault injection for transports.
+//!
+//! A [`FaultInjector`] wraps any [`Transport`] endpoint and perturbs the
+//! frames *sent through it*: dropping, duplicating, delaying, corrupting,
+//! or hard-disconnecting, driven by a seedable [`FaultPlan`]. Wrapping each
+//! endpoint of a pair with its own plan gives independent per-direction
+//! fault schedules.
+//!
+//! Determinism matters more than realism here: a chaos test that fails must
+//! replay bit-identically from its seed. All randomness comes from a
+//! xorshift generator owned by the injector, advanced once per eligible
+//! frame, so the fault schedule is a pure function of `(seed, traffic)`.
+//!
+//! Corruption is modelled at the byte level even for in-process transports:
+//! the frame is encoded, one byte is flipped, and the result is re-decoded.
+//! If the mangled frame no longer parses it is discarded — exactly what a
+//! checksumming link layer would do — and counted as corrupt-dropped.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ava_wire::Message;
+use parking_lot::Mutex;
+
+use crate::error::{Result, TransportError};
+use crate::stats::TransportStats;
+use crate::{BoxedTransport, Transport};
+
+/// What the injector decided to do with one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Silently discard the frame.
+    Drop,
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Deliver after an added delay.
+    Delay,
+    /// Flip one byte of the encoded frame.
+    Corrupt,
+    /// Sever the link: this and all later operations fail with
+    /// [`TransportError::Disconnected`].
+    Disconnect,
+}
+
+/// A scripted override: frames matching `matches` (by sequence number and
+/// content) receive `action` instead of a random draw. First match wins.
+#[derive(Clone)]
+pub struct FaultRule {
+    /// Predicate over `(frame sequence number, message)`.
+    pub matches: Arc<dyn Fn(u64, &Message) -> bool + Send + Sync>,
+    /// Action applied when the predicate holds.
+    pub action: FaultAction,
+}
+
+/// A deterministic, seedable schedule of transport faults.
+///
+/// Rates are probabilities in `[0, 1]` evaluated per frame in the order
+/// drop → duplicate → corrupt → delay. Frames rejected by the eligibility
+/// [`predicate`](FaultPlan::eligible) are always delivered faithfully —
+/// this is how a chaos test avoids dropping fire-and-forget traffic that
+/// no retry machinery can recover.
+#[derive(Clone)]
+pub struct FaultPlan {
+    /// Seed for the injector's private PRNG.
+    pub seed: u64,
+    /// Probability of dropping an eligible frame.
+    pub drop_rate: f64,
+    /// Probability of duplicating an eligible frame.
+    pub duplicate_rate: f64,
+    /// Probability of corrupting one byte of an eligible frame.
+    pub corrupt_rate: f64,
+    /// Probability of delaying an eligible frame.
+    pub delay_rate: f64,
+    /// Added latency for delayed frames.
+    pub delay: Duration,
+    /// Hard-disconnect after this many frames have been offered for
+    /// sending (faulted or not). `None` = never.
+    pub disconnect_after: Option<u64>,
+    /// Scripted per-frame overrides, checked before the random draw.
+    pub rules: Vec<FaultRule>,
+    /// Eligibility predicate: frames failing it bypass fault injection.
+    /// Usually set via [`FaultPlan::eligible`]; public so struct-update
+    /// syntax (`..FaultPlan::default()`) works outside this crate.
+    pub predicate: Option<Arc<dyn Fn(&Message) -> bool + Send + Sync>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            disconnect_after: None,
+            rules: Vec::new(),
+            predicate: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("drop_rate", &self.drop_rate)
+            .field("duplicate_rate", &self.duplicate_rate)
+            .field("corrupt_rate", &self.corrupt_rate)
+            .field("delay_rate", &self.delay_rate)
+            .field("delay", &self.delay)
+            .field("disconnect_after", &self.disconnect_after)
+            .field("rules", &self.rules.len())
+            .field("has_predicate", &self.predicate.is_some())
+            .finish()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Restricts fault injection to frames matching `pred`; everything
+    /// else passes through untouched.
+    pub fn eligible(mut self, pred: impl Fn(&Message) -> bool + Send + Sync + 'static) -> Self {
+        self.predicate = Some(Arc::new(pred));
+        self
+    }
+
+    /// Appends a scripted rule (checked before the random draw).
+    pub fn rule(
+        mut self,
+        matches: impl Fn(u64, &Message) -> bool + Send + Sync + 'static,
+        action: FaultAction,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            matches: Arc::new(matches),
+            action,
+        });
+        self
+    }
+}
+
+/// Counters describing what an injector has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames passed through (including the extra copy of duplicates).
+    pub delivered: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delivered late.
+    pub delayed: u64,
+    /// Frames with a byte flipped that still decoded (delivered mangled).
+    pub corrupted_delivered: u64,
+    /// Frames whose corruption broke decoding (discarded, as a
+    /// checksumming link would).
+    pub corrupted_dropped: u64,
+    /// 1 once the scripted hard-disconnect has fired.
+    pub disconnects: u64,
+}
+
+#[derive(Default)]
+struct FaultCounters {
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    corrupted_delivered: AtomicU64,
+    corrupted_dropped: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+/// Deterministic xorshift64* generator (private to the injector so the
+/// fault schedule depends only on the seed and the traffic sequence).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A [`Transport`] wrapper that injects faults on the send path according
+/// to a [`FaultPlan`]. Receive-path faults are obtained by wrapping the
+/// peer endpoint with its own injector.
+pub struct FaultInjector {
+    inner: BoxedTransport,
+    plan: FaultPlan,
+    /// Guards the PRNG and frame counter, and serializes faulted sends so
+    /// a delay cannot reorder frames relative to a concurrent sender.
+    state: Mutex<InjectorState>,
+    counters: FaultCounters,
+    severed: AtomicBool,
+}
+
+struct InjectorState {
+    rng: XorShift,
+    frames: u64,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: BoxedTransport, plan: FaultPlan) -> Self {
+        let rng = XorShift::new(plan.seed);
+        FaultInjector {
+            inner,
+            plan,
+            state: Mutex::new(InjectorState { rng, frames: 0 }),
+            counters: FaultCounters::default(),
+            severed: AtomicBool::new(false),
+        }
+    }
+
+    /// Boxed convenience constructor.
+    pub fn wrap(inner: BoxedTransport, plan: FaultPlan) -> BoxedTransport {
+        Box::new(Self::new(inner, plan))
+    }
+
+    /// Snapshot of the injector's activity counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            duplicated: self.counters.duplicated.load(Ordering::Relaxed),
+            delayed: self.counters.delayed.load(Ordering::Relaxed),
+            corrupted_delivered: self.counters.corrupted_delivered.load(Ordering::Relaxed),
+            corrupted_dropped: self.counters.corrupted_dropped.load(Ordering::Relaxed),
+            disconnects: self.counters.disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    fn check_severed(&self) -> Result<()> {
+        if self.severed.load(Ordering::Acquire) {
+            Err(TransportError::Disconnected)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sever(&self) -> TransportError {
+        if !self.severed.swap(true, Ordering::AcqRel) {
+            self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+            // The peer observes an abrupt end of traffic.
+            self.inner.close();
+        }
+        TransportError::Disconnected
+    }
+
+    /// Decides the fate of one frame. Must run under the state lock so the
+    /// PRNG sequence is a deterministic function of the traffic order.
+    fn decide(&self, state: &mut InjectorState, msg: &Message) -> FaultAction {
+        let seq = state.frames;
+        state.frames += 1;
+        if let Some(n) = self.plan.disconnect_after {
+            if seq >= n {
+                return FaultAction::Disconnect;
+            }
+        }
+        for rule in &self.plan.rules {
+            if (rule.matches)(seq, msg) {
+                return rule.action;
+            }
+        }
+        if let Some(pred) = &self.plan.predicate {
+            if !pred(msg) {
+                return FaultAction::Deliver;
+            }
+        }
+        let p = self.plan.drop_rate + self.plan.duplicate_rate + self.plan.corrupt_rate;
+        if p == 0.0 && self.plan.delay_rate == 0.0 {
+            return FaultAction::Deliver;
+        }
+        let draw = state.rng.next_f64();
+        let mut threshold = self.plan.drop_rate;
+        if draw < threshold {
+            return FaultAction::Drop;
+        }
+        threshold += self.plan.duplicate_rate;
+        if draw < threshold {
+            return FaultAction::Duplicate;
+        }
+        threshold += self.plan.corrupt_rate;
+        if draw < threshold {
+            return FaultAction::Corrupt;
+        }
+        threshold += self.plan.delay_rate;
+        if draw < threshold {
+            return FaultAction::Delay;
+        }
+        FaultAction::Deliver
+    }
+
+    /// Applies single-byte corruption; returns the mangled message if it
+    /// still decodes, or `None` when a link layer would discard it.
+    fn corrupt(&self, state: &mut InjectorState, msg: &Message) -> Option<Message> {
+        let encoded = msg.encode();
+        let mut raw = encoded.to_vec();
+        if raw.is_empty() {
+            return None;
+        }
+        let pos = (state.rng.next_u64() as usize) % raw.len();
+        let mask = ((state.rng.next_u64() % 255) + 1) as u8;
+        raw[pos] ^= mask;
+        Message::decode(bytes::Bytes::from(raw)).ok()
+    }
+}
+
+impl Transport for FaultInjector {
+    fn send(&self, msg: &Message) -> Result<()> {
+        self.check_severed()?;
+        let mut state = self.state.lock();
+        match self.decide(&mut state, msg) {
+            FaultAction::Deliver => {
+                self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                self.inner.send(msg)
+            }
+            FaultAction::Drop => {
+                self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            FaultAction::Duplicate => {
+                self.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+                self.counters.delivered.fetch_add(2, Ordering::Relaxed);
+                self.inner.send(msg)?;
+                self.inner.send(msg)
+            }
+            FaultAction::Delay => {
+                self.counters.delayed.fetch_add(1, Ordering::Relaxed);
+                self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+                // Sleeping under the state lock keeps later frames behind
+                // this one, modelling queueing delay rather than reordering.
+                std::thread::sleep(self.plan.delay);
+                self.inner.send(msg)
+            }
+            FaultAction::Corrupt => match self.corrupt(&mut state, msg) {
+                Some(mangled) => {
+                    self.counters
+                        .corrupted_delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.send(&mangled)
+                }
+                None => {
+                    self.counters
+                        .corrupted_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+            },
+            FaultAction::Disconnect => {
+                drop(state);
+                Err(self.sever())
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<Message> {
+        self.check_severed()?;
+        self.inner.recv()
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        self.check_severed()?;
+        self.inner.try_recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>> {
+        self.check_severed()?;
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        self.inner.register_telemetry(registry, prefix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc;
+    use crate::latency::CostModel;
+    use ava_wire::{CallMode, CallRequest, ControlMessage, Value};
+
+    fn call(id: u64) -> Message {
+        Message::Call(CallRequest {
+            call_id: id,
+            fn_id: 1,
+            mode: CallMode::Sync,
+            args: vec![Value::U64(id)],
+        })
+    }
+
+    fn injected(plan: FaultPlan) -> (FaultInjector, BoxedTransport) {
+        let (a, b) = inproc::pair(CostModel::free());
+        (FaultInjector::new(Box::new(a), plan), Box::new(b))
+    }
+
+    fn drain(rx: &BoxedTransport) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(Some(msg)) = rx.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let (tx, rx) = injected(FaultPlan::quiet(7));
+        for i in 0..50 {
+            tx.send(&call(i)).unwrap();
+        }
+        assert_eq!(drain(&rx).len(), 50);
+        let s = tx.fault_stats();
+        assert_eq!(s.delivered, 50);
+        assert_eq!(s.dropped + s.duplicated + s.delayed, 0);
+    }
+
+    #[test]
+    fn drop_rate_discards_frames() {
+        let plan = FaultPlan {
+            seed: 42,
+            drop_rate: 0.5,
+            ..Default::default()
+        };
+        let (tx, rx) = injected(plan);
+        for i in 0..200 {
+            tx.send(&call(i)).unwrap();
+        }
+        let got = drain(&rx).len() as u64;
+        let s = tx.fault_stats();
+        assert_eq!(got, s.delivered);
+        assert!(s.dropped > 50, "expected many drops, got {}", s.dropped);
+        assert_eq!(s.delivered + s.dropped, 200);
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let plan = FaultPlan {
+            seed: 9,
+            duplicate_rate: 1.0,
+            ..Default::default()
+        };
+        let (tx, rx) = injected(plan);
+        tx.send(&call(3)).unwrap();
+        let got = drain(&rx);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], got[1]);
+        assert_eq!(tx.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan {
+            seed: 1234,
+            drop_rate: 0.3,
+            duplicate_rate: 0.2,
+            ..Default::default()
+        };
+        let run = |plan: FaultPlan| {
+            let (tx, rx) = injected(plan);
+            for i in 0..100 {
+                tx.send(&call(i)).unwrap();
+            }
+            let ids: Vec<u64> = drain(&rx)
+                .into_iter()
+                .map(|m| match m {
+                    Message::Call(req) => req.call_id,
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            (ids, tx.fault_stats())
+        };
+        let (ids_a, stats_a) = run(plan.clone());
+        let (ids_b, stats_b) = run(plan);
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(stats_a, stats_b);
+    }
+
+    #[test]
+    fn predicate_shields_ineligible_frames() {
+        // Drop everything — except control frames, which the predicate
+        // exempts.
+        let plan = FaultPlan {
+            seed: 5,
+            drop_rate: 1.0,
+            ..Default::default()
+        }
+        .eligible(|msg| !matches!(msg, Message::Control(_)));
+        let (tx, rx) = injected(plan);
+        tx.send(&call(1)).unwrap();
+        tx.send(&Message::Control(ControlMessage::Ping(8))).unwrap();
+        let got = drain(&rx);
+        assert_eq!(got, vec![Message::Control(ControlMessage::Ping(8))]);
+    }
+
+    #[test]
+    fn scripted_rule_overrides_rates() {
+        // No random faults, but frame #1 is scripted to drop.
+        let plan = FaultPlan::quiet(3).rule(|seq, _| seq == 1, FaultAction::Drop);
+        let (tx, rx) = injected(plan);
+        for i in 0..3 {
+            tx.send(&call(i)).unwrap();
+        }
+        let ids: Vec<u64> = drain(&rx)
+            .into_iter()
+            .map(|m| match m {
+                Message::Call(req) => req.call_id,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn disconnect_after_severs_the_link() {
+        let plan = FaultPlan {
+            seed: 2,
+            disconnect_after: Some(2),
+            ..Default::default()
+        };
+        let (tx, rx) = injected(plan);
+        tx.send(&call(0)).unwrap();
+        tx.send(&call(1)).unwrap();
+        assert_eq!(tx.send(&call(2)).unwrap_err(), TransportError::Disconnected);
+        // Subsequent operations fail the same way without touching inner.
+        assert_eq!(tx.send(&call(3)).unwrap_err(), TransportError::Disconnected);
+        assert_eq!(tx.recv().unwrap_err(), TransportError::Disconnected);
+        assert_eq!(tx.fault_stats().disconnects, 1);
+        // The peer sees the channel end.
+        assert_eq!(drain(&rx).len(), 2);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn corruption_mangles_or_discards() {
+        let plan = FaultPlan {
+            seed: 77,
+            corrupt_rate: 1.0,
+            ..Default::default()
+        };
+        let (tx, rx) = injected(plan);
+        let original = call(1);
+        for _ in 0..50 {
+            tx.send(&original).unwrap();
+        }
+        let got = drain(&rx);
+        let s = tx.fault_stats();
+        assert_eq!(s.corrupted_delivered + s.corrupted_dropped, 50);
+        assert_eq!(got.len() as u64, s.corrupted_delivered);
+        // Every delivered frame differs from the original in some way
+        // (a flipped byte that decodes identically is impossible for this
+        // canonical encoding, where every byte is load-bearing).
+        for msg in got {
+            assert_ne!(msg, original);
+        }
+    }
+
+    #[test]
+    fn delay_slows_but_delivers() {
+        let plan = FaultPlan {
+            seed: 11,
+            delay_rate: 1.0,
+            delay: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let (tx, rx) = injected(plan);
+        let start = std::time::Instant::now();
+        tx.send(&call(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        assert_eq!(drain(&rx).len(), 1);
+        assert_eq!(tx.fault_stats().delayed, 1);
+    }
+}

@@ -79,6 +79,16 @@ impl InProcTransport {
             Ok(())
         }
     }
+
+    /// `Err(Closed)` once the pair is closed *and* this end's queue is
+    /// empty; pending frames that raced the close stay receivable.
+    fn closed_after_drain(&self) -> Result<()> {
+        if self.closed.load(std::sync::atomic::Ordering::Acquire) && self.rx.is_empty() {
+            Err(TransportError::Closed)
+        } else {
+            Ok(())
+        }
+    }
 }
 
 impl Transport for InProcTransport {
@@ -97,8 +107,17 @@ impl Transport for InProcTransport {
     }
 
     fn recv(&self) -> Result<Message> {
-        let timed = self.rx.recv().map_err(|_| TransportError::Closed)?;
-        self.deliver(timed)
+        // Poll rather than block indefinitely: once the pair is closed and
+        // the backlog (including the wake-up sentinel) has been drained, a
+        // blocked receiver must still observe `Closed` rather than hang —
+        // the sentinel is consumed by whichever receive gets there first.
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(timed) => return self.deliver(timed),
+                Err(RecvTimeoutError::Timeout) => self.closed_after_drain()?,
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
     }
 
     fn try_recv(&self) -> Result<Option<Message>> {
@@ -107,7 +126,10 @@ impl Transport for InProcTransport {
             // (blocking the short remainder) rather than re-queued, which
             // would reorder traffic.
             Ok(timed) => self.deliver(timed).map(Some),
-            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Empty) => {
+                self.closed_after_drain()?;
+                Ok(None)
+            }
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
     }
@@ -115,7 +137,10 @@ impl Transport for InProcTransport {
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>> {
         match self.rx.recv_timeout(timeout) {
             Ok(timed) => self.deliver(timed).map(Some),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => {
+                self.closed_after_drain()?;
+                Ok(None)
+            }
             Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
     }

@@ -18,6 +18,7 @@
 //!   LegoOS-style configuration mentioned in §4.1).
 
 pub mod error;
+pub mod fault;
 pub mod inproc;
 pub mod latency;
 pub mod shmem;
@@ -29,6 +30,7 @@ use std::time::Duration;
 use ava_wire::Message;
 
 pub use error::{Result, TransportError};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 pub use latency::CostModel;
 pub use stats::TransportStats;
 

@@ -70,8 +70,12 @@ struct Ring {
     head: AtomicUsize,
     /// Monotonic count of bytes produced.
     tail: AtomicUsize,
-    /// Set when either side closes.
+    /// Set when either side closes in an orderly fashion.
     closed: AtomicBool,
+    /// Set when a peer vanishes abruptly (crash). Unlike `closed`, frames
+    /// still in the ring are considered lost and both sides observe
+    /// [`TransportError::Disconnected`].
+    disconnected: AtomicBool,
     /// Doorbell: wakes a consumer waiting for data.
     doorbell: Mutex<()>,
     doorbell_cv: Condvar,
@@ -102,6 +106,7 @@ impl Ring {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
+            disconnected: AtomicBool::new(false),
             doorbell: Mutex::new(()),
             doorbell_cv: Condvar::new(),
             space: Mutex::new(()),
@@ -122,6 +127,25 @@ impl Ring {
 
     fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    fn disconnect(&self) {
+        self.disconnected.store(true, Ordering::Release);
+        self.doorbell_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Returns the error a dead ring should surface, if any. A hard
+    /// disconnect shadows an orderly close: if both happened, the failure
+    /// is what callers must react to.
+    fn dead(&self) -> Option<TransportError> {
+        if self.disconnected.load(Ordering::Acquire) {
+            Some(TransportError::Disconnected)
+        } else if self.is_closed() {
+            Some(TransportError::Closed)
+        } else {
+            None
+        }
     }
 
     /// Copies `src` into the ring at absolute position `pos`, wrapping.
@@ -169,10 +193,12 @@ impl Ring {
                 limit: self.capacity(),
             });
         }
-        // Wait for space.
+        // Wait for space. A dead peer (closed or disconnected) surfaces as
+        // an error even while the ring is full — the classic "ring full
+        // with a dead consumer" wedge must not block forever.
         loop {
-            if self.is_closed() {
-                return Err(TransportError::Closed);
+            if let Some(err) = self.dead() {
+                return Err(err);
             }
             let head = self.head.load(Ordering::Acquire);
             let tail = self.tail.load(Ordering::Relaxed);
@@ -184,7 +210,7 @@ impl Ring {
             // Re-check under the lock to avoid a lost wakeup.
             let head = self.head.load(Ordering::Acquire);
             let used = self.tail.load(Ordering::Relaxed) - head;
-            if self.capacity() - used >= need || self.is_closed() {
+            if self.capacity() - used >= need || self.dead().is_some() {
                 continue;
             }
             self.space_cv
@@ -209,6 +235,12 @@ impl Ring {
     /// Consumer: pops one frame (or fragment) if available. Returns the
     /// deliver-at nanos, the bytes, and whether more fragments follow.
     fn try_pop_frame(&self) -> Result<Option<(u64, Vec<u8>, bool)>> {
+        // A hard disconnect loses in-flight frames: error out even if bytes
+        // remain in the ring, so a consumer never acts on traffic from a
+        // peer that crashed mid-conversation.
+        if self.disconnected.load(Ordering::Acquire) {
+            return Err(TransportError::Disconnected);
+        }
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         if tail - head < HEADER {
@@ -253,8 +285,8 @@ impl Ring {
             if tail - head >= HEADER {
                 continue;
             }
-            if self.is_closed() {
-                return Err(TransportError::Closed);
+            if let Some(err) = self.dead() {
+                return Err(err);
             }
             match deadline {
                 Some(d) => {
@@ -314,6 +346,14 @@ pub fn pair(config: RingConfig) -> (ShmemTransport, ShmemTransport) {
 }
 
 impl ShmemTransport {
+    /// Simulates an abrupt peer crash: both directions observe
+    /// [`TransportError::Disconnected`] and any in-flight frames are lost.
+    /// Contrast with [`Transport::close`], which is an orderly shutdown.
+    pub fn disconnect(&self) {
+        self.tx_ring.disconnect();
+        self.rx_ring.disconnect();
+    }
+
     /// Largest single fragment: a quarter of the ring, so a chained
     /// message cannot monopolize it.
     fn max_fragment(&self) -> usize {
@@ -573,6 +613,74 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         a.close();
         assert_eq!(waiter.join().unwrap().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn recv_timeout_and_hard_disconnect_are_distinct() {
+        // Benign timeout: Ok(None). Hard disconnect: Err(Disconnected).
+        // Orderly close: Err(Closed). Three different answers so callers
+        // can retry, recover, or shut down respectively.
+        let (a, b) = free_pair();
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)).unwrap(), None);
+        a.disconnect();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            TransportError::Disconnected
+        );
+        let (c, d) = free_pair();
+        c.close();
+        assert_eq!(
+            d.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            TransportError::Closed
+        );
+    }
+
+    #[test]
+    fn disconnect_discards_in_flight_frames() {
+        let (a, b) = free_pair();
+        a.send(&call(1, 16)).unwrap();
+        a.disconnect();
+        // The frame is in the ring, but a crashed peer's traffic must not
+        // be delivered as if nothing happened.
+        assert_eq!(b.recv().unwrap_err(), TransportError::Disconnected);
+    }
+
+    #[test]
+    fn ring_full_with_dead_consumer_errors_instead_of_blocking() {
+        let (a, b) = pair(RingConfig {
+            capacity: 2048,
+            model: CostModel::free(),
+        });
+        // Fill the ring with no consumer draining it, then kill the
+        // consumer. The blocked producer must unwedge with an error.
+        let producer = std::thread::spawn(move || {
+            let mut result = Ok(());
+            for i in 0..50 {
+                result = a.send(&call(i, 400));
+                if result.is_err() {
+                    break;
+                }
+            }
+            result
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        b.disconnect();
+        assert_eq!(
+            producer.join().unwrap().unwrap_err(),
+            TransportError::Disconnected
+        );
+    }
+
+    #[test]
+    fn disconnect_wakes_blocked_receiver() {
+        let (a, b) = free_pair();
+        let waiter = std::thread::spawn(move || b.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        a.disconnect();
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            TransportError::Disconnected
+        );
     }
 
     #[test]

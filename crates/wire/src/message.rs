@@ -35,6 +35,10 @@ pub enum ReplyStatus {
     /// from its payload cache. The guest must retransmit the call with the
     /// full buffer contents; the call has not been executed.
     CacheMiss,
+    /// The API server backing this VM is gone and could not be recovered.
+    /// The call was not executed and must not be retried: the guest should
+    /// surface a clean unavailability error instead of hanging.
+    Unavailable,
 }
 
 /// A forwarded API invocation.
@@ -83,6 +87,12 @@ pub enum ControlMessage {
     /// must drop their payload caches before processing further calls. The
     /// payload is the new epoch number, monotonically increasing.
     CacheEpoch(u64),
+    /// Supervisor liveness probe carrying a sequence number. Unlike `Ping`,
+    /// heartbeats are answered even while a server is suspended, so a
+    /// migrating VM is not mistaken for a dead one.
+    Heartbeat(u64),
+    /// Reply to a `Heartbeat`, echoing its sequence number.
+    HeartbeatAck(u64),
 }
 
 /// Top-level unit exchanged over a transport.
@@ -114,6 +124,8 @@ mod ctrl {
     pub const RESUME: u64 = 4;
     pub const ERROR: u64 = 5;
     pub const CACHE_EPOCH: u64 = 6;
+    pub const HEARTBEAT: u64 = 7;
+    pub const HEARTBEAT_ACK: u64 = 8;
 }
 
 impl CallMode {
@@ -140,6 +152,7 @@ impl ReplyStatus {
             ReplyStatus::TransportError => 1,
             ReplyStatus::PolicyRejected => 2,
             ReplyStatus::CacheMiss => 3,
+            ReplyStatus::Unavailable => 4,
         }
     }
 
@@ -149,6 +162,7 @@ impl ReplyStatus {
             1 => Ok(ReplyStatus::TransportError),
             2 => Ok(ReplyStatus::PolicyRejected),
             3 => Ok(ReplyStatus::CacheMiss),
+            4 => Ok(ReplyStatus::Unavailable),
             other => Err(WireError::BadDiscriminant("reply status", other)),
         }
     }
@@ -280,6 +294,14 @@ impl ControlMessage {
                 put_varint(buf, ctrl::CACHE_EPOCH);
                 put_varint(buf, *epoch);
             }
+            ControlMessage::Heartbeat(seq) => {
+                put_varint(buf, ctrl::HEARTBEAT);
+                put_varint(buf, *seq);
+            }
+            ControlMessage::HeartbeatAck(seq) => {
+                put_varint(buf, ctrl::HEARTBEAT_ACK);
+                put_varint(buf, *seq);
+            }
         }
     }
 
@@ -301,6 +323,8 @@ impl ControlMessage {
                 )
             }
             ctrl::CACHE_EPOCH => ControlMessage::CacheEpoch(get_varint(buf)?),
+            ctrl::HEARTBEAT => ControlMessage::Heartbeat(get_varint(buf)?),
+            ctrl::HEARTBEAT_ACK => ControlMessage::HeartbeatAck(get_varint(buf)?),
             other => return Err(WireError::BadDiscriminant("control kind", other)),
         })
     }
@@ -487,6 +511,9 @@ mod tests {
             ControlMessage::Error("device lost".into()),
             ControlMessage::CacheEpoch(0),
             ControlMessage::CacheEpoch(u64::MAX),
+            ControlMessage::Heartbeat(0),
+            ControlMessage::Heartbeat(u64::MAX),
+            ControlMessage::HeartbeatAck(3),
         ] {
             let msg = Message::Control(ctl);
             assert_eq!(round_trip(&msg), msg);
@@ -557,6 +584,30 @@ mod tests {
         assert_eq!(single.elided_bytes(), 512);
         assert_eq!(single.cached_count(), 1);
         assert_eq!(Message::Control(ControlMessage::Ping(0)).elided_bytes(), 0);
+    }
+
+    #[test]
+    fn unavailable_reply_round_trips() {
+        let msg = Message::Reply(CallReply {
+            call_id: 77,
+            status: ReplyStatus::Unavailable,
+            ret: Value::Unit,
+            outputs: vec![],
+        });
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn truncated_heartbeat_fails_cleanly() {
+        for ctl in [
+            ControlMessage::Heartbeat(u64::MAX),
+            ControlMessage::HeartbeatAck(u64::MAX),
+        ] {
+            let encoded = Message::Control(ctl).encode();
+            // Chop the multi-byte varint sequence number in half.
+            let truncated = encoded.slice(0..encoded.len() - 4);
+            assert!(Message::decode(truncated).is_err());
+        }
     }
 
     #[test]

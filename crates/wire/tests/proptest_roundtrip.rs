@@ -53,7 +53,7 @@ fn arb_call() -> impl Strategy<Value = CallRequest> {
 fn arb_reply() -> impl Strategy<Value = CallReply> {
     (
         any::<u64>(),
-        0u8..4,
+        0u8..5,
         arb_value(),
         proptest::collection::vec((any::<u32>(), arb_value()), 0..4),
     )
@@ -63,7 +63,8 @@ fn arb_reply() -> impl Strategy<Value = CallReply> {
                 0 => ReplyStatus::Ok,
                 1 => ReplyStatus::TransportError,
                 2 => ReplyStatus::PolicyRejected,
-                _ => ReplyStatus::CacheMiss,
+                3 => ReplyStatus::CacheMiss,
+                _ => ReplyStatus::Unavailable,
             },
             ret,
             outputs,
@@ -83,6 +84,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             Just(ControlMessage::Resume),
             "[ -~]{0,32}".prop_map(ControlMessage::Error),
             any::<u64>().prop_map(ControlMessage::CacheEpoch),
+            any::<u64>().prop_map(ControlMessage::Heartbeat),
+            any::<u64>().prop_map(ControlMessage::HeartbeatAck),
         ]
         .prop_map(Message::Control),
     ]
@@ -100,6 +103,28 @@ proptest! {
     fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Either outcome is fine; the property is "no panic, no hang".
         let _ = Message::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncated_frames_never_panic(msg in arb_message(), cut in 0usize..64) {
+        // Model a corrupting link that chops a frame: the decoder must fail
+        // cleanly (no panic, no partial message accepted as a longer one).
+        let encoded = msg.encode();
+        if cut < encoded.len() {
+            let truncated = encoded.slice(0..encoded.len() - cut - 1);
+            let _ = Message::decode(truncated);
+        }
+    }
+
+    #[test]
+    fn flipped_byte_never_panics(msg in arb_message(), pos in any::<prop::sample::Index>(), mask in 1u8..=255) {
+        // Model single-byte corruption: decode either fails or yields some
+        // well-formed message, but never panics.
+        let encoded = msg.encode();
+        let mut raw = encoded.to_vec();
+        let idx = pos.index(raw.len());
+        raw[idx] ^= mask;
+        let _ = Message::decode(Bytes::from(raw));
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Chaos end-to-end tests: real workloads driven through the full stack
+//! while the guest channel drops, duplicates, and delays frames — plus one
+//! API-server crash in the middle — must produce checksums bit-identical
+//! to a fault-free run.
+//!
+//! Fault schedules are deterministic (scripted rules over frame sequence
+//! numbers, plus a seeded PRNG for delays), so a failure here replays
+//! exactly. Two deliberate scoping choices keep the oracle exact:
+//!
+//! * Only *recoverable* frames are dropped: sync calls time out and retry
+//!   (the server deduplicates by call id), and dropped sync replies are
+//!   re-answered from the server's reply cache. Fire-and-forget async
+//!   frames have no retry machinery — dropping them silently corrupts
+//!   results by design — so they are never dropped, only duplicated
+//!   (which dedup absorbs).
+//! * Corruption is exercised in the transport and wire test suites, not
+//!   here: a corrupted frame that still decodes would execute with mangled
+//!   arguments, which no retry protocol can detect without end-to-end
+//!   checksums the wire format does not carry.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ava_core::{opencl_stack, GuestConfig, OpenClClient, StackConfig};
+use ava_guest::GuestError;
+use ava_hypervisor::VmPolicy;
+use ava_telemetry::Registry;
+use ava_transport::{CostModel, FaultAction, FaultPlan, TransportKind};
+use ava_wire::{Message, Value};
+use ava_workloads::{backprop::Backprop, kmeans::Kmeans, silo_with_all_kernels, ClWorkload, Scale};
+use simcl::types::*;
+use simcl::ClApi;
+
+/// Guest deadlines short enough that a dropped frame costs little, long
+/// enough that crash recovery (a few milliseconds of journal replay)
+/// finishes well inside one attempt window.
+fn chaos_config() -> StackConfig {
+    StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::free(),
+        guest: GuestConfig {
+            call_deadline: Some(Duration::from_millis(100)),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(1),
+            ..GuestConfig::default()
+        },
+        ..StackConfig::default()
+    }
+}
+
+/// The guest→router schedule: every 20th frame (sync or async call) is
+/// duplicated — the at-most-once machinery must suppress the copy — and
+/// 5% of frames are delayed 1 ms for jitter. Nothing is dropped on this
+/// direction, so async calls are never lost.
+fn tx_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        delay_rate: 0.05,
+        delay: Duration::from_millis(1),
+        ..FaultPlan::default()
+    }
+    .eligible(|msg| !matches!(msg, Message::Control(_)))
+    .rule(
+        |seq, msg| matches!(msg, Message::Call(_)) && seq % 20 == 13,
+        FaultAction::Duplicate,
+    )
+}
+
+/// The router→guest schedule: 5% of replies dropped (every 20th frame),
+/// another 5% duplicated. A dropped reply forces the guest to retry the
+/// call; the retry's reply arrives a frame or two later — never back on a
+/// `seq % 20 == 7` slot — so one retry always suffices and the run stays
+/// deterministic.
+fn rx_plan(seed: u64) -> FaultPlan {
+    FaultPlan::quiet(seed)
+        .rule(
+            |seq, msg| matches!(msg, Message::Reply(_)) && seq % 20 == 7,
+            FaultAction::Drop,
+        )
+        .rule(
+            |seq, msg| matches!(msg, Message::Reply(_)) && seq % 20 == 17,
+            FaultAction::Duplicate,
+        )
+}
+
+fn wait_for(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn marker_bytes(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 % 253) as u8).collect()
+}
+
+/// The acceptance run: kmeans and backprop under drops + duplicates +
+/// delays with an API-server crash between them, bit-identical to a
+/// fault-free run, with zero duplicate device-side executions and a
+/// recovery that provably replayed the journal.
+#[test]
+fn chaos_run_with_crash_recovery_is_bit_identical() {
+    // Fault-free oracle (same config, no injectors, fresh silo).
+    let (kmeans_oracle, backprop_oracle) = {
+        let stack = opencl_stack(silo_with_all_kernels(Scale::Test), chaos_config()).unwrap();
+        let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        let client = OpenClClient::new(lib);
+        let k = Kmeans::new(Scale::Test).run(&client).unwrap();
+        let b = Backprop::new(Scale::Test).run(&client).unwrap();
+        (k, b)
+    };
+
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), chaos_config()).unwrap();
+    let registry = Registry::new();
+    stack.set_telemetry(registry.clone()).unwrap();
+    let (tx, rx) = (Some(tx_plan(0xC4A0)), Some(rx_plan(0xFA11)));
+    let (vm, lib) = stack
+        .attach_vm_with_faults(VmPolicy::default(), tx, rx)
+        .unwrap();
+    let client = OpenClClient::new(Arc::clone(&lib));
+
+    let kmeans = Kmeans::new(Scale::Test).run(&client).unwrap();
+    assert_eq!(kmeans, kmeans_oracle, "kmeans diverged under faults");
+
+    // State the recovery must reconstruct: a buffer whose contents exist
+    // only device-side once written.
+    let data = marker_bytes(1024);
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, QueueProps::default())
+        .unwrap();
+    let marker = client
+        .create_buffer(ctx, MemFlags::read_write(), data.len(), None)
+        .unwrap();
+    client
+        .enqueue_write_buffer(queue, marker, true, 0, &data, &[], false)
+        .unwrap();
+    client.finish(queue).unwrap();
+
+    // The duplicated call frames reached the server and were suppressed
+    // rather than re-executed.
+    let pre_crash = stack.vm_server_stats(vm).unwrap();
+    assert!(
+        pre_crash.duplicates_suppressed > 0,
+        "expected duplicate frames to reach dedup, got none"
+    );
+
+    // Kill the API server mid-run; the supervisor must notice, respawn,
+    // and replay the journal without any help from this thread.
+    stack.crash_vm_server(vm).unwrap();
+    wait_for("supervisor respawn", Duration::from_secs(10), || {
+        stack.recovery_stats().respawns >= 1
+    });
+    let recovery = stack.recovery_stats();
+    assert_eq!(recovery.respawns, 1);
+    assert!(
+        recovery.replayed_calls > 0,
+        "recovery must rebuild state by replay, not start empty"
+    );
+    assert_eq!(recovery.failed, 0);
+
+    // The marker buffer survived the crash: journal replay re-executed the
+    // create and the write, and the wire handle still resolves.
+    let mut out = vec![0u8; data.len()];
+    client
+        .enqueue_read_buffer(queue, marker, true, 0, &mut out, &[], false)
+        .unwrap();
+    assert_eq!(out, data, "device state lost across crash recovery");
+
+    let backprop = Backprop::new(Scale::Test).run(&client).unwrap();
+    assert_eq!(
+        backprop, backprop_oracle,
+        "backprop diverged after recovery"
+    );
+
+    // At-most-once, end to end: despite duplicated frames and deadline
+    // retries, no call id ever executed device-side twice.
+    let journal = stack.vm_journal(vm).unwrap();
+    assert!(!journal.is_empty());
+    assert!(
+        journal.call_ids_unique(),
+        "a call executed twice despite dedup"
+    );
+
+    // Recovery is visible in the unified telemetry registry.
+    let counters = registry.snapshot().counters;
+    assert_eq!(counters.get("recovery.respawns"), Some(&1));
+    assert!(counters.get("recovery.replayed_calls").copied() > Some(0));
+
+    // CI artifact: full cross-tier telemetry for the chaos run.
+    if let Ok(path) = std::env::var("CHAOS_REPORT") {
+        let report = stack.telemetry_report().expect("telemetry attached");
+        std::fs::write(path, report).expect("write chaos report");
+    }
+}
+
+/// A server that stays dead: with a respawn budget of zero the supervisor
+/// marks the VM unavailable, and a call fails with `Unavailable` within
+/// twice the configured deadline instead of burning the retry budget.
+#[test]
+fn permanently_dead_server_fails_unavailable_within_twice_the_deadline() {
+    let deadline = Duration::from_millis(250);
+    let config = StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::free(),
+        guest: GuestConfig {
+            call_deadline: Some(deadline),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+            ..GuestConfig::default()
+        },
+        max_respawns: 0,
+        ..StackConfig::default()
+    };
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), config).unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(Arc::clone(&lib));
+
+    // Prove the lane works, then kill the server for good.
+    client.get_platform_ids().unwrap();
+    assert_eq!(lib.probe_liveness(Duration::from_secs(1)), Ok(true));
+    stack.crash_vm_server(vm).unwrap();
+    wait_for("recovery to give up", Duration::from_secs(10), || {
+        stack.recovery_stats().failed >= 1
+    });
+
+    let start = Instant::now();
+    let err = lib
+        .call(
+            "clGetPlatformIDs",
+            vec![Value::U32(0), Value::Null, Value::U64(1)],
+        )
+        .unwrap_err();
+    let elapsed = start.elapsed();
+    assert_eq!(err, GuestError::Unavailable);
+    assert!(
+        elapsed <= deadline * 2,
+        "unavailable reply took {elapsed:?}, budget {:?}",
+        deadline * 2
+    );
+
+    // Heartbeats go unanswered on a dead lane.
+    assert_eq!(
+        lib.probe_liveness(Duration::from_millis(100)),
+        Ok(false),
+        "dead server must not ack heartbeats"
+    );
+    assert_eq!(stack.recovery_stats().respawns, 0);
+    assert!(stack.vm_router_stats(vm).unwrap().unavailable_replies > 0);
+}
