@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON artifact against its committed baseline.
+
+Only speed-insensitive ratio metrics are compared (fairness indices, cache
+hit rates, payload-reduction fractions, policy conformance) — wall-clock
+numbers vary with runner hardware and would make the gate flaky. A metric
+regresses when it deviates from the baseline by more than the tolerance
+(relative, two-sided: an unexplained large "improvement" usually means the
+experiment broke, not that the code got better).
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.2]
+                     [--summary FILE]
+    compare_bench.py --self-test
+
+Exit status: 0 when every metric is within tolerance, 1 on regression,
+2 on usage/parse errors. With --summary, a markdown delta table is
+appended to FILE (pass "$GITHUB_STEP_SUMMARY" in CI).
+"""
+
+import json
+import sys
+
+
+def extract_metrics(report):
+    """Flattens a bench report into {metric_name: float}."""
+    bench = report.get("bench")
+    out = {}
+    if bench == "data_path":
+        for cfg in report.get("configs", []):
+            if not cfg.get("cache"):
+                continue
+            key = cfg["transport"]
+            out[f"{key}.payload_reduction"] = cfg["payload_reduction_vs_off"]
+            out[f"{key}.hit_rate"] = cfg["hit_rate"]
+    elif bench == "scheduling":
+        for sc in report.get("scenarios", []):
+            out[f"{sc['name']}.jain"] = sc["jain_device_time"]
+        out["weight_ratio"] = report["weight_ratio_observed"]
+        out["rate_limit_conformance"] = report["rate_limit_conformance"]
+    else:
+        raise ValueError(f"unknown bench kind: {bench!r}")
+    return out
+
+
+def compare(baseline, current, tolerance):
+    """Returns (rows, regressed) where rows is a list of
+    (metric, base, cur, rel_delta, ok)."""
+    base_metrics = extract_metrics(baseline)
+    cur_metrics = extract_metrics(current)
+    rows = []
+    regressed = False
+    for name, base in sorted(base_metrics.items()):
+        if name not in cur_metrics:
+            rows.append((name, base, None, None, False))
+            regressed = True
+            continue
+        cur = cur_metrics[name]
+        if base == 0.0:
+            rel = 0.0 if cur == 0.0 else float("inf")
+        else:
+            rel = cur / base - 1.0
+        ok = abs(rel) <= tolerance
+        regressed = regressed or not ok
+        rows.append((name, base, cur, rel, ok))
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        # New metrics are informational, never a failure: baselines are
+        # updated in the same PR that adds the metric.
+        rows.append((name, None, cur_metrics[name], None, True))
+    return rows, regressed
+
+
+def render_table(title, rows, tolerance):
+    lines = [
+        f"### Bench regression check: {title}",
+        "",
+        f"Tolerance: ±{tolerance * 100:.0f}% relative.",
+        "",
+        "| metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|",
+    ]
+    for name, base, cur, rel, ok in rows:
+        base_s = "—" if base is None else f"{base:.4f}"
+        cur_s = "—" if cur is None else f"{cur:.4f}"
+        if rel is None:
+            delta_s = "—"
+        elif rel == float("inf"):
+            delta_s = "inf"
+        else:
+            delta_s = f"{rel * 100:+.1f}%"
+        status = "ok" if ok else "**REGRESSED**"
+        if base is None:
+            status = "new (info only)"
+        lines.append(f"| {name} | {base_s} | {cur_s} | {delta_s} | {status} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def self_test():
+    """A scripted negative test: a deliberately regressed artifact must
+    fail the gate, and an identical one must pass."""
+    baseline = {
+        "bench": "scheduling",
+        "weight_ratio_observed": 3.0,
+        "rate_limit_conformance": 1.0,
+        "scenarios": [
+            {"name": "fairness_fifo", "jain_device_time": 0.64},
+            {"name": "fairness_fair_share", "jain_device_time": 1.0},
+        ],
+    }
+    same = json.loads(json.dumps(baseline))
+    _, regressed = compare(baseline, same, 0.2)
+    assert not regressed, "identical artifacts must pass"
+
+    worse = json.loads(json.dumps(baseline))
+    worse["scenarios"][1]["jain_device_time"] = 0.70  # -30%: unfair again
+    rows, regressed = compare(baseline, worse, 0.2)
+    assert regressed, "a 30% fairness drop must fail the gate"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "fairness_fair_share.jain", rows
+
+    missing = {"bench": "scheduling", "weight_ratio_observed": 3.0,
+               "rate_limit_conformance": 1.0, "scenarios": []}
+    _, regressed = compare(baseline, missing, 0.2)
+    assert regressed, "a vanished metric must fail the gate"
+
+    dp_base = {
+        "bench": "data_path",
+        "configs": [
+            {"transport": "shmem", "cache": False, "hit_rate": 0.0,
+             "payload_reduction_vs_off": 0.0},
+            {"transport": "shmem", "cache": True, "hit_rate": 0.73,
+             "payload_reduction_vs_off": 0.72},
+        ],
+    }
+    dp_worse = json.loads(json.dumps(dp_base))
+    dp_worse["configs"][1]["payload_reduction_vs_off"] = 0.10
+    _, regressed = compare(dp_base, dp_worse, 0.2)
+    assert regressed, "an elision collapse must fail the gate"
+
+    print("compare_bench self-test: ok")
+
+
+def main(argv):
+    if "--self-test" in argv:
+        self_test()
+        return 0
+    tolerance = 0.2
+    summary_path = None
+    args = []
+    it = iter(argv)
+    for a in it:
+        if a == "--tolerance":
+            tolerance = float(next(it))
+        elif a == "--summary":
+            summary_path = next(it)
+        elif a.startswith("--"):
+            print(f"unknown option: {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, current_path = args
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(current_path) as f:
+        current = json.load(f)
+
+    rows, regressed = compare(baseline, current, tolerance)
+    table = render_table(baseline.get("bench", "?"), rows, tolerance)
+    print(table)
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(table + "\n")
+    if regressed:
+        print("FAIL: at least one metric regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    print("ok: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,265 @@
+//! Offline compatibility shim for the `criterion` API subset this
+//! workspace uses. It runs a real warmup + timed measurement loop and
+//! prints per-benchmark median/mean iteration times (plus throughput
+//! when declared), but performs no statistical regression analysis,
+//! plotting, or result persistence — this workspace's CI compares
+//! bench-binary JSON reports instead (see `ci/compare_bench.py`).
+//!
+//! See `compat/README.md` for why these shims exist.
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level driver handed to each registered bench function.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// `configure_from_args` in the real crate parses CLI flags; the shim
+    /// accepts the call and keeps defaults so `criterion_main!` expansions
+    /// stay source-compatible.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm, measure) = (self.warm_up_time, self.measurement_time);
+        run_one(&name.into(), None, warm, measure, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let measure = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.warm_up_time,
+            measure,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times the
+/// routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the batch's iteration count, recording wall
+    /// time around the whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup: grow the batch size until one batch takes a meaningful
+    // slice of the warmup budget; this also calibrates iters/batch.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= warm_up {
+            break;
+        }
+        if b.elapsed < warm_up / 20 {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Measurement: fixed-size batches until the time budget runs out,
+    // collecting per-iteration times per batch.
+    let mut samples: Vec<f64> = Vec::new();
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < measurement || samples.len() < 5 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        if samples.len() >= 100_000 {
+            break;
+        }
+    }
+
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is never NaN"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / median)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<40} median {:>12}  mean {:>12}  ({} samples x {iters} iters){rate}",
+        fmt_time(median),
+        fmt_time(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites work; `std::hint` is
+/// the canonical implementation on modern toolchains.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64));
+        let mut count = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                std::hint::black_box(count)
+            })
+        });
+        group.finish();
+        assert!(count > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn bench_function_on_criterion_directly() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("direct", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline compatibility shim for the `crossbeam::channel` API subset this
+//! workspace uses, implemented over `std::sync::mpsc`.
+//!
+//! See `compat/README.md` for why these shims exist. Differences
+//! from crossbeam that matter here: none — the workspace uses unbounded
+//! MPMC-shaped channels with `send`/`recv`/`try_recv`/`recv_timeout`/
+//! `iter`, and this shim provides exactly those semantics. The receiver is
+//! `Clone` (consumers share one underlying queue; each message is
+//! delivered to exactly one receiver).
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable: clones share
+    /// the queue and each message is consumed by exactly one of them.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<std::sync::mpsc::Receiver<T>>>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver")
+                .field("queued", &self.len())
+                .finish()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                queued: Arc::clone(&queued),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+                queued,
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)?;
+            self.queued.fetch_add(1, Ordering::AcqRel);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn took(&self) {
+            // `send` bumps the counter after the message is enqueued, so a
+            // receive can observe it first; saturate instead of underflow.
+            let _ = self
+                .queued
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1));
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let v = self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv()?;
+            self.took();
+            Ok(v)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let v = self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .try_recv()?;
+            self.took();
+            Ok(v)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let v = self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv_timeout(timeout)?;
+            self.took();
+            Ok(v)
+        }
+
+        /// Number of messages currently queued (approximate under
+        /// concurrent send/recv, exact when quiescent).
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Acquire)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator that ends when every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_iter() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+
+        #[test]
+        fn timeout_and_disconnect() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(2)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(2)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            tx.send(1u8).unwrap();
+            tx.send(2u8).unwrap();
+            let a = rx.recv().unwrap();
+            let b = rx2.recv().unwrap();
+            let mut got = vec![a, b];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! Offline compatibility shim for the `proptest` API subset this
+//! workspace uses: a small but real property-testing engine.
+//!
+//! See `compat/README.md` for why these shims exist. What is
+//! faithfully reproduced: deterministic seeded case generation (seed
+//! derived from the test name, so failures reproduce run-over-run), the
+//! `Strategy` combinators the tests rely on (`prop_map`, `prop_filter`,
+//! `prop_recursive`, tuples, ranges, `Just`, `prop_oneof!`,
+//! `collection::vec`, character-class string patterns, `sample::Index`),
+//! and `prop_assert!`-style failure reporting with the case number and
+//! seed. What is simplified: no shrinking — a failing case reports its
+//! seed for replay instead of minimizing, and the default case count is
+//! 64 per property.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving test-case generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Generates one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.sample(rng)),
+        }
+    }
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| f(self.sample(rng))),
+        }
+    }
+
+    /// Discards values failing `pred`, regenerating (bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let reason = reason.into();
+        BoxedStrategy {
+            gen: Rc::new(move |rng| {
+                for _ in 0..1000 {
+                    let v = self.sample(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter `{reason}` rejected 1000 consecutive values");
+            }),
+        }
+    }
+
+    /// Builds recursive structures: `self` is the leaf strategy and
+    /// `expand` lifts a strategy for depth-`d` values into one for depth
+    /// `d+1`. `depth` bounds the nesting; the size/branch hints are
+    /// accepted for API compatibility (recursion depth alone bounds the
+    /// shim's output).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let leaf = current.clone();
+            let expanded = expand(current).boxed();
+            current = BoxedStrategy {
+                gen: Rc::new(move |rng: &mut TestRng| {
+                    // Lean toward leaves so expected size stays bounded.
+                    if rng.below(3) == 0 {
+                        expanded.sample(rng)
+                    } else {
+                        leaf.sample(rng)
+                    }
+                }),
+            };
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply cloneable [`Strategy`].
+pub struct BoxedStrategy<V> {
+    gen: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs [`prop_oneof!`]).
+pub fn union<V: 'static>(options: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    BoxedStrategy {
+        gen: Rc::new(move |rng| {
+            let pick = rng.below(options.len() as u64) as usize;
+            options[pick].sample(rng)
+        }),
+    }
+}
+
+// ---- numeric ranges -------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                // `width` can exceed u64 only for the full u64/i64 domain.
+                let off = if width > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % width
+                };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                // unit_f64 is in [0, 1); nudge so `hi` is reachable.
+                let u = (rng.unit_f64() * 1.000_000_1).min(1.0) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- string patterns ------------------------------------------------------
+
+/// `&'static str` is a strategy: the string is a character-class pattern —
+/// a sequence of `[class]{m,n}` / `[class]{m}` / `[class]` groups (a `-`
+/// between two characters inside a class is a range; first or last it is
+/// literal), generating a `String`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let groups = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &groups {
+            let count = if lo == hi {
+                *lo
+            } else {
+                *lo + rng.below((*hi - *lo + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Parses a pattern into `(alphabet, min_repeat, max_repeat)` groups.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated class in pattern `{pattern}`"));
+            let mut alpha = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in pattern `{pattern}`");
+                    for c in lo..=hi {
+                        alpha.push(char::from_u32(c).expect("valid char range"));
+                    }
+                    j += 3;
+                } else {
+                    alpha.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            alpha
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repeat in pattern `{pattern}`"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repeat bound"),
+                    b.trim().parse().expect("repeat bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "bad repeat bounds in pattern `{pattern}`");
+        groups.push((alphabet, lo, hi));
+    }
+    groups
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_strategy() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `T` (whole domain, uniform over raw bits
+/// for primitives — floats do produce NaN and infinities occasionally,
+/// as the real crate's `any` does).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary_strategy()
+}
+
+macro_rules! arbitrary_from_bits {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_strategy() -> BoxedStrategy<Self> {
+                #[allow(clippy::redundant_closure_call)]
+                BoxedStrategy {
+                    gen: Rc::new(|rng: &mut TestRng| ($conv)(rng.next_u64())),
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_from_bits!(
+    u8 => |b: u64| b as u8,
+    u16 => |b: u64| b as u16,
+    u32 => |b: u64| b as u32,
+    u64 => |b: u64| b,
+    usize => |b: u64| b as usize,
+    i8 => |b: u64| b as i8,
+    i16 => |b: u64| b as i16,
+    i32 => |b: u64| b as i32,
+    i64 => |b: u64| b as i64,
+    isize => |b: u64| b as isize,
+    bool => |b: u64| b & 1 == 1,
+    f32 => |b: u64| f32::from_bits(b as u32),
+    f64 => |b: u64| f64::from_bits(b),
+);
+
+// ---------------------------------------------------------------------------
+// collection / sample
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::rc::Rc;
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S>(element: S, size: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        assert!(size.start < size.end, "empty vec size range");
+        BoxedStrategy {
+            gen: Rc::new(move |rng: &mut TestRng| {
+                let extra = rng.below((size.end - size.start) as u64) as usize;
+                let n = size.start + extra;
+                (0..n).map(|_| element.sample(rng)).collect()
+            }),
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, BoxedStrategy, TestRng};
+    use std::rc::Rc;
+
+    /// An index into a not-yet-known collection length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps onto a concrete collection length. Panics on `len == 0`,
+        /// matching the real crate.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_strategy() -> BoxedStrategy<Self> {
+            BoxedStrategy {
+                gen: Rc::new(|rng: &mut TestRng| Index(rng.next_u64())),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case (raised by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Drives one property over its generated cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `property` for the configured number of cases with seeds
+    /// derived from `name` (override the base with `PROPTEST_SEED`).
+    pub fn run_named<F>(&mut self, name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        for case in 0..self.config.cases {
+            let seed = base.wrapping_add((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut rng = TestRng::from_seed(seed);
+            if let Err(e) = property(&mut rng) {
+                panic!(
+                    "property `{name}` failed at case {case}/{}: {e}\n\
+                     (rerun this case with PROPTEST_SEED={base})",
+                    self.config.cases
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($cfg);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The conventional glob import: strategies, macros, and `prop` (an alias
+/// for this crate, so `prop::collection::vec` and `prop::sample::Index`
+/// resolve).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(0u8..=255), &mut rng);
+            let _ = w; // whole domain; just must not panic
+            let f = Strategy::sample(&(0.25f64..=1.0), &mut rng);
+            assert!((0.25..=1.0).contains(&f));
+            let i = Strategy::sample(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_covers_high_values() {
+        let mut rng = TestRng::from_seed(2);
+        let mut high = false;
+        for _ in 0..200 {
+            if Strategy::sample(&(0u64..=u64::MAX), &mut rng) > u64::MAX / 2 {
+                high = true;
+            }
+        }
+        assert!(high);
+    }
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = Strategy::sample(&"[ -~]{0,32}", &mut rng);
+            assert!(t.len() <= 32);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = Strategy::sample(&"[a-zA-Z0-9 _:/.-]{0,64}", &mut rng);
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _:/.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_and_map_compose() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop::collection::vec((any::<u8>(), 1u32..5), 2..6)
+            .prop_map(|pairs| pairs.len())
+            .prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..100 {
+            let n = Strategy::sample(&strat, &mut rng);
+            assert!(n % 2 == 0 && (2..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 64, 8, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            assert!(depth(&Strategy::sample(&strat, &mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, mut v in prop::collection::vec(any::<bool>(), 0..8)) {
+            v.push(true);
+            prop_assert!(x < 100, "x was {x}");
+            prop_assert_eq!(v.last(), Some(&true));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8));
+        runner.run_named("always_fails", |rng| {
+            let v: u64 = rng.next_u64();
+            let _ = v;
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use ava_bench::ava_env;
 use ava_spec::LowerOptions;
-use ava_transport::{CostModel, Transport, TransportKind};
+use ava_transport::{CostModel, TransportKind};
 use ava_wire::{CallMode, CallRequest, Message, Value};
 use ava_workloads::Scale;
 use simcl::ClApi;

@@ -1,97 +1,344 @@
 //! Extension experiment Ext-S: the router's resource-management policies
-//! (§4.3) — cross-VM fair sharing by estimated device time, and command
-//! rate-limiting.
+//! (§4.3) on a *shared device pool* — cross-VM fair sharing by estimated
+//! device time, weighted shares, and command rate-limiting, quantified by
+//! per-VM throughput and the Jain fairness index.
+//!
+//! Four VMs are pinned to a one-slot pool (one physical device), so every
+//! call contends for real device time: the slot's handler mutex serializes
+//! dispatches, and the handler busy-spins for the call's declared cost.
+//! The spec annotates that cost (`resource(device_time_us, cost_us)`), so
+//! the router's estimate equals the actual occupancy and FairShare can
+//! arbitrate honestly.
+//!
+//! Usage: `scheduling [--smoke]`. `--smoke` shrinks the run for CI;
+//! either way a machine-readable `BENCH_scheduling.json` is written to the
+//! current directory.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use ava_core::{opencl_stack_with, OpenClClient, StackConfig};
-use ava_hypervisor::{SchedulerKind, VmPolicy};
-use ava_spec::LowerOptions;
+use ava_bench::{jain, row};
+use ava_core::{ApiStack, SchedulerKind, StackConfig, VmPolicy};
+use ava_server::{ApiHandler, HandlerOutput};
+use ava_spec::{compile_spec, FunctionDesc, LowerOptions, MapResolver};
 use ava_transport::{CostModel, TransportKind};
-use ava_workloads::{opencl_workloads, silo_with_all_kernels, ClWorkload, Scale};
+use ava_wire::Value;
 
-fn contend(scheduler: SchedulerKind, policy_a: VmPolicy, policy_b: VmPolicy, label: &str) {
+/// A one-function API whose only operation consumes a caller-chosen amount
+/// of device time, declared to the router via the resource annotation.
+const SCHED_SPEC: &str = r#"
+api("sched", 1);
+#define SCHED_OK 0
+typedef int sched_status;
+type(sched_status) { success(SCHED_OK); }
+sched_status sched_work(unsigned long cost_us) {
+  sync;
+  resource(device_time_us, cost_us);
+}
+"#;
+
+/// The "device": executing a call occupies it (busy-spin) for exactly the
+/// declared cost. Runs inside the pool slot's handler mutex, so two VMs'
+/// calls on the same slot serialize — contention is real, not simulated.
+struct SpinHandler;
+
+impl ApiHandler for SpinHandler {
+    fn dispatch(
+        &mut self,
+        _func: &FunctionDesc,
+        args: &[Value],
+    ) -> ava_server::Result<HandlerOutput> {
+        let cost_us = match args.first() {
+            Some(Value::U64(v)) => *v,
+            Some(Value::U32(v)) => u64::from(*v),
+            _ => 0,
+        };
+        let deadline = Instant::now() + Duration::from_micros(cost_us);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+        Ok(HandlerOutput::ret(Value::I32(0)))
+    }
+
+    fn snapshot_object(&mut self, _kind: &str, _silo: u64) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn restore_object(&mut self, _kind: &str, _silo: u64, _data: &[u8]) -> bool {
+        false
+    }
+
+    fn drop_object(&mut self, _kind: &str, _silo: u64) -> bool {
+        false
+    }
+}
+
+struct VmSample {
+    calls: u64,
+    calls_per_sec: f64,
+    device_time_us: f64,
+}
+
+struct Scenario {
+    name: &'static str,
+    samples: Vec<VmSample>,
+    jain_device_time: f64,
+    wall_s: f64,
+}
+
+/// Runs `policies.len()` VMs against a one-slot pool for `duration`; VM
+/// `i` issues back-to-back sync calls costing `costs_us[i]` each. Returns
+/// per-VM throughput and router-accounted device time.
+fn run_contention(
+    scheduler: SchedulerKind,
+    policies: Vec<VmPolicy>,
+    costs_us: &[u64],
+    duration: Duration,
+) -> (Vec<VmSample>, f64) {
+    let descriptor = Arc::new(
+        compile_spec(SCHED_SPEC, &MapResolver::new(), LowerOptions::default())
+            .expect("sched spec compiles"),
+    );
     let config = StackConfig {
-        transport: TransportKind::SharedMemory,
-        cost_model: CostModel::paravirtual(),
+        transport: TransportKind::InProcess,
+        cost_model: CostModel::free(),
         scheduler,
+        pool_size: 1,
+        // One sync call in flight per slot: every forwarding decision is a
+        // scheduling decision, nothing queues up device-side.
+        slot_inflight: 1,
         ..StackConfig::default()
     };
-    let stack = Arc::new(
-        opencl_stack_with(
-            silo_with_all_kernels(Scale::Bench),
-            config,
-            LowerOptions::default(),
+    let stack = Arc::new(ApiStack::new(
+        Arc::clone(&descriptor),
+        || Box::new(SpinHandler) as Box<dyn ApiHandler>,
+        config,
+    ));
+
+    let barrier = Arc::new(std::sync::Barrier::new(policies.len() + 1));
+    let mut threads = Vec::new();
+    let mut vm_ids = Vec::new();
+    for (i, policy) in policies.into_iter().enumerate() {
+        let (vm, lib) = stack.attach_vm(policy).expect("vm attaches");
+        assert_eq!(stack.vm_slot(vm), Some(0), "one-slot pool pins every VM");
+        vm_ids.push(vm);
+        let cost = costs_us[i];
+        let barrier = Arc::clone(&barrier);
+        let stack_ref = Arc::clone(&stack);
+        threads.push(std::thread::spawn(move || {
+            let _ = &stack_ref;
+            barrier.wait();
+            let deadline = Instant::now() + duration;
+            let mut calls = 0u64;
+            while Instant::now() < deadline {
+                lib.call("sched_work", vec![Value::U64(cost)])
+                    .expect("sched_work");
+                calls += 1;
+            }
+            calls
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let counts: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let samples = vm_ids
+        .iter()
+        .zip(counts)
+        .map(|(&vm, calls)| {
+            let stats = stack.vm_router_stats(vm).expect("router stats");
+            VmSample {
+                calls,
+                calls_per_sec: calls as f64 / wall_s,
+                device_time_us: stats.est_device_time_us,
+            }
+        })
+        .collect();
+    (samples, wall_s)
+}
+
+fn print_scenario(s: &Scenario) {
+    println!("## {}", s.name);
+    let widths = [4usize, 9, 12, 16, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "vm".into(),
+                "calls".into(),
+                "calls/s".into(),
+                "device_time_us".into(),
+                "share".into(),
+            ],
+            &widths
         )
-        .unwrap(),
     );
-    let (vm_a, lib_a) = stack.attach_vm(policy_a).unwrap();
-    let (vm_b, lib_b) = stack.attach_vm(policy_b).unwrap();
-
-    // Both VMs hammer the device with the same kernel-heavy workload.
-    let run = |lib| {
-        let client = OpenClClient::new(lib);
-        let wl = opencl_workloads(Scale::Bench)
-            .into_iter()
-            .find(|w: &Box<dyn ClWorkload>| w.name() == "gaussian")
-            .expect("gaussian exists");
-        let start = std::time::Instant::now();
-        wl.run(&client).expect("contending run");
-        start.elapsed().as_secs_f64() * 1e3
-    };
-    let sa = Arc::clone(&stack);
-    let ta = std::thread::spawn(move || {
-        let _ = &sa;
-        run(lib_a)
-    });
-    let sb = Arc::clone(&stack);
-    let tb = std::thread::spawn(move || {
-        let _ = &sb;
-        run(lib_b)
-    });
-    let ms_a = ta.join().unwrap();
-    let ms_b = tb.join().unwrap();
-
-    let stats_a = stack.vm_router_stats(vm_a).unwrap();
-    let stats_b = stack.vm_router_stats(vm_b).unwrap();
-    println!("## {label}");
-    println!(
-        "  vm A: {:8.1} ms   forwarded {:6}   est device time {:9.0} us",
-        ms_a, stats_a.forwarded, stats_a.est_device_time_us
-    );
-    println!(
-        "  vm B: {:8.1} ms   forwarded {:6}   est device time {:9.0} us",
-        ms_b, stats_b.forwarded, stats_b.est_device_time_us
-    );
+    let total: f64 = s.samples.iter().map(|x| x.device_time_us).sum();
+    for (i, x) in s.samples.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{i}"),
+                    x.calls.to_string(),
+                    format!("{:.0}", x.calls_per_sec),
+                    format!("{:.0}", x.device_time_us),
+                    format!("{:.3}", x.device_time_us / total.max(1e-9)),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("  Jain fairness (device time): {:.4}", s.jain_device_time);
     println!();
 }
 
 fn main() {
-    println!("# Scheduling & rate limiting (Ext-S, §4.3)");
-    println!("# two VMs run the gaussian workload concurrently on one device");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration = Duration::from_millis(if smoke { 600 } else { 2500 });
+
+    println!("# Scheduling on a shared device pool (Ext-S, §4.3)");
+    println!("# 4 VMs, 1 pool slot; VM 0 issues 400us calls, VMs 1-3 issue 100us calls");
     println!();
-    contend(
-        SchedulerKind::Fifo,
-        VmPolicy::default(),
-        VmPolicy::default(),
-        "FIFO, equal policies (baseline)",
-    );
-    contend(
+
+    // Asymmetric costs: a per-*call* scheduler (Fifo) hands the expensive
+    // VM ~4x the device time; a per-*device-time* scheduler (FairShare)
+    // equalizes shares. The gap between the two Jain indices is the
+    // experiment's headline.
+    let costs = [400u64, 100, 100, 100];
+    let equal_policies = || vec![VmPolicy::default(); 4];
+
+    let mut scenarios = Vec::new();
+    for (name, scheduler) in [
+        ("fairness_fifo", SchedulerKind::Fifo),
+        ("fairness_fair_share", SchedulerKind::FairShare),
+    ] {
+        let (samples, wall_s) = run_contention(scheduler, equal_policies(), &costs, duration);
+        let shares: Vec<f64> = samples.iter().map(|s| s.device_time_us).collect();
+        let scenario = Scenario {
+            name,
+            jain_device_time: jain(&shares),
+            samples,
+            wall_s,
+        };
+        print_scenario(&scenario);
+        scenarios.push(scenario);
+    }
+
+    // Weighted fair share: VM 0 is entitled to 3x the device time of each
+    // of the others, with every call costing the same.
+    let weighted_policies = vec![
+        VmPolicy::with_weight(3),
+        VmPolicy::with_weight(1),
+        VmPolicy::with_weight(1),
+        VmPolicy::with_weight(1),
+    ];
+    let (samples, wall_s) = run_contention(
         SchedulerKind::FairShare,
-        VmPolicy::with_weight(1),
-        VmPolicy::with_weight(1),
-        "fair share, equal weights (should match baseline closely)",
+        weighted_policies,
+        &[100, 100, 100, 100],
+        duration,
     );
-    contend(
-        SchedulerKind::FairShare,
-        VmPolicy::with_weight(4),
-        VmPolicy::with_weight(1),
-        "fair share, A weighted 4x (A should finish first)",
-    );
-    contend(
-        SchedulerKind::Fifo,
+    let heavy = samples[0].device_time_us;
+    let light = samples[1..].iter().map(|s| s.device_time_us).sum::<f64>() / 3.0;
+    let weight_ratio = heavy / light.max(1e-9);
+    let weighted = Scenario {
+        name: "weighted_fair_share",
+        jain_device_time: jain(&samples.iter().map(|s| s.device_time_us).collect::<Vec<_>>()),
+        samples,
+        wall_s,
+    };
+    print_scenario(&weighted);
+    println!("  observed weight ratio (target 3.0): {weight_ratio:.2}");
+    println!();
+
+    // Rate limiting: VM 0 capped; its observed call rate must conform to
+    // the token bucket (sustained rate + initial burst), while the
+    // unlimited VMs are unaffected. Runs under Fifo: FairShare would hold
+    // the device for the lowest-device-time lane (the limited VM) and drag
+    // everyone into lockstep with it.
+    let limit_cps = if smoke { 500.0 } else { 1000.0 };
+    let burst = 32u32;
+    let rate_policies = vec![
+        VmPolicy::with_rate_limit(limit_cps, burst),
         VmPolicy::default(),
-        VmPolicy::with_rate_limit(2000.0, 64),
-        "FIFO, B rate-limited to 2000 calls/s (B should slow, A should not)",
+        VmPolicy::default(),
+        VmPolicy::default(),
+    ];
+    let (samples, wall_s) = run_contention(
+        SchedulerKind::Fifo,
+        rate_policies,
+        &[100, 100, 100, 100],
+        duration,
     );
+    let allowed = limit_cps * wall_s + f64::from(burst);
+    let conformance = samples[0].calls as f64 / allowed;
+    let rate_limited = Scenario {
+        name: "rate_limit",
+        jain_device_time: jain(&samples.iter().map(|s| s.device_time_us).collect::<Vec<_>>()),
+        samples,
+        wall_s,
+    };
+    print_scenario(&rate_limited);
+    println!(
+        "  limited VM: {} calls in {:.2} s vs {:.0} allowed (conformance {:.3}, must be <= 1.15)",
+        rate_limited.samples[0].calls, wall_s, allowed, conformance
+    );
+    println!();
+
+    scenarios.push(weighted);
+    scenarios.push(rate_limited);
+
+    // Machine-readable artifact for CI. Only speed-insensitive ratios
+    // (Jain, weight ratio, conformance) are compared against baselines;
+    // absolute throughputs are informational.
+    let mut json = String::from("{\n  \"bench\": \"scheduling\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"vms\": 4,\n  \"pool_size\": 1,\n  \"duration_ms\": {},\n",
+        duration.as_millis()
+    ));
+    json.push_str(&format!(
+        "  \"weight_ratio_target\": 3.0,\n  \"weight_ratio_observed\": {weight_ratio:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"rate_limit_cps\": {limit_cps},\n  \"rate_limit_conformance\": {conformance:.4},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let calls: Vec<String> = s.samples.iter().map(|x| x.calls.to_string()).collect();
+        let cps: Vec<String> = s
+            .samples
+            .iter()
+            .map(|x| format!("{:.1}", x.calls_per_sec))
+            .collect();
+        let dt: Vec<String> = s
+            .samples
+            .iter()
+            .map(|x| format!("{:.1}", x.device_time_us))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"jain_device_time\": {:.4}, \"wall_s\": {:.3}, \
+             \"per_vm_calls\": [{}], \"per_vm_calls_per_sec\": [{}], \
+             \"per_vm_device_time_us\": [{}]}}{}\n",
+            s.name,
+            s.jain_device_time,
+            s.wall_s,
+            calls.join(", "),
+            cps.join(", "),
+            dt.join(", "),
+            if i + 1 == scenarios.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scheduling.json", &json).expect("write BENCH_scheduling.json");
+
+    let fifo = &scenarios[0];
+    let fair = &scenarios[1];
+    println!(
+        "# headline: Jain under asymmetric load — Fifo {:.3} vs FairShare {:.3}",
+        fifo.jain_device_time, fair.jain_device_time
+    );
+    println!("# wrote BENCH_scheduling.json");
 }

@@ -114,6 +114,22 @@ pub fn row(cols: &[String], widths: &[usize]) -> String {
         .join("  ")
 }
 
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`. 1.0 when every VM got an
+/// equal share, `1/n` when one VM got everything; scale-free, so it works
+/// on throughputs and device-time shares alike. Empty or all-zero input
+/// counts as perfectly fair (nobody got anything — equally).
+pub fn jain(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sum_sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (shares.len() as f64 * sum_sq)
+}
+
 /// Geometric mean.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -136,6 +152,18 @@ mod tests {
             }
         });
         assert!(t < 15.0, "median {t} should ignore the slow outlier");
+    }
+
+    #[test]
+    fn jain_bounds_and_known_values() {
+        assert!((jain(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One VM hogging everything: J = 1/n.
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Asymmetric 4:1:1:1 split: J = 49/76.
+        let j = jain(&[4.0, 1.0, 1.0, 1.0]);
+        assert!((j - 49.0 / 76.0).abs() < 1e-12);
+        assert!((jain(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

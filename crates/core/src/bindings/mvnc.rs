@@ -45,7 +45,7 @@ fn int(args: &[Value], i: usize) -> Result<i64> {
         .ok_or_else(|| ServerError::BadArguments(format!("argument {i} is not an integer")))
 }
 
-fn bytes<'a>(args: &'a [Value], i: usize) -> Result<&'a [u8]> {
+fn bytes(args: &[Value], i: usize) -> Result<&[u8]> {
     match args.get(i) {
         Some(Value::Bytes(b)) => Ok(b),
         other => Err(ServerError::BadArguments(format!(
@@ -54,7 +54,7 @@ fn bytes<'a>(args: &'a [Value], i: usize) -> Result<&'a [u8]> {
     }
 }
 
-fn string<'a>(args: &'a [Value], i: usize) -> Result<&'a str> {
+fn string(args: &[Value], i: usize) -> Result<&str> {
     args.get(i)
         .and_then(Value::as_str)
         .ok_or_else(|| ServerError::BadArguments(format!("argument {i} is not a string")))

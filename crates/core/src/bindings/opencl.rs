@@ -103,7 +103,7 @@ impl OpenClHandler {
 
 // ---- Argument accessors --------------------------------------------------
 
-fn arg<'a>(args: &'a [Value], i: usize) -> Result<&'a Value> {
+fn arg(args: &[Value], i: usize) -> Result<&Value> {
     args.get(i)
         .ok_or_else(|| ServerError::BadArguments(format!("missing argument {i}")))
 }
@@ -120,7 +120,7 @@ fn uint(args: &[Value], i: usize) -> Result<u64> {
         .ok_or_else(|| ServerError::BadArguments(format!("argument {i} is not an integer")))
 }
 
-fn bytes<'a>(args: &'a [Value], i: usize) -> Result<&'a [u8]> {
+fn bytes(args: &[Value], i: usize) -> Result<&[u8]> {
     match arg(args, i)? {
         Value::Bytes(b) => Ok(b),
         other => Err(ServerError::BadArguments(format!(
@@ -129,7 +129,7 @@ fn bytes<'a>(args: &'a [Value], i: usize) -> Result<&'a [u8]> {
     }
 }
 
-fn opt_bytes<'a>(args: &'a [Value], i: usize) -> Result<Option<&'a [u8]>> {
+fn opt_bytes(args: &[Value], i: usize) -> Result<Option<&[u8]>> {
     match arg(args, i)? {
         Value::Bytes(b) => Ok(Some(b)),
         Value::Null => Ok(None),
@@ -139,13 +139,13 @@ fn opt_bytes<'a>(args: &'a [Value], i: usize) -> Result<Option<&'a [u8]>> {
     }
 }
 
-fn string<'a>(args: &'a [Value], i: usize) -> Result<&'a str> {
+fn string(args: &[Value], i: usize) -> Result<&str> {
     arg(args, i)?
         .as_str()
         .ok_or_else(|| ServerError::BadArguments(format!("argument {i} is not a string")))
 }
 
-fn opt_string<'a>(args: &'a [Value], i: usize) -> Result<&'a str> {
+fn opt_string(args: &[Value], i: usize) -> Result<&str> {
     match arg(args, i)? {
         Value::Str(s) => Ok(s),
         Value::Null => Ok(""),

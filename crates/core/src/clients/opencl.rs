@@ -94,7 +94,7 @@ impl OpenClClient {
             .ok_or(ClError(CL_OUT_OF_RESOURCES))
     }
 
-    fn out_bytes<'r>(result: &'r CallResult, idx: u32) -> ClResult<&'r [u8]> {
+    fn out_bytes(result: &CallResult, idx: u32) -> ClResult<&[u8]> {
         result
             .output(idx)
             .and_then(Value::as_bytes)

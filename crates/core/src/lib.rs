@@ -44,12 +44,12 @@ pub mod stack;
 use std::sync::Arc;
 
 pub use ava_guest::{GuestConfig, GuestLibrary, GuestStats};
-pub use ava_hypervisor::{SchedulerKind, VmPolicy};
+pub use ava_hypervisor::{PlacementPolicy, SchedulerKind, VmPolicy};
 pub use ava_spec::LowerOptions;
 pub use ava_transport::{CostModel, TransportKind};
 pub use bindings::{MvncHandler, OpenClHandler};
 pub use clients::{MvncClient, OpenClClient};
-pub use stack::{ApiStack, RecoveryStats, Result, StackConfig, StackError};
+pub use stack::{ApiStack, PoolSlotStats, RecoveryStats, Result, StackConfig, StackError};
 
 /// Builds a complete AvA stack virtualizing OpenCL over the silo `cl`,
 /// using the default (async-optimized) specification.
@@ -70,6 +70,31 @@ pub fn opencl_stack_with(
     Ok(ApiStack::new(
         descriptor,
         move || Box::new(OpenClHandler::new(cl.clone())) as Box<dyn ava_server::ApiHandler>,
+        config,
+    ))
+}
+
+/// Builds an OpenCL stack over a *pool* of silos: one shared device per
+/// silo, `config.pool_size` forced to `silos.len()`. VMs attached to the
+/// stack are bound to slots by `config.placement` and contend for their
+/// slot's device; see `StackConfig::pool_size`.
+pub fn opencl_pool_stack(silos: Vec<simcl::SimCl>, config: StackConfig) -> Result<ApiStack> {
+    opencl_pool_stack_with(silos, config, LowerOptions::default())
+}
+
+/// Builds an OpenCL pool stack with explicit lowering options.
+pub fn opencl_pool_stack_with(
+    silos: Vec<simcl::SimCl>,
+    mut config: StackConfig,
+    opts: LowerOptions,
+) -> Result<ApiStack> {
+    assert!(!silos.is_empty(), "a device pool needs at least one silo");
+    let descriptor = specs::opencl_descriptor(opts)
+        .map_err(|e| StackError::Server(ava_server::ServerError::Handler(e.to_string())))?;
+    config.pool_size = silos.len();
+    Ok(ApiStack::new_indexed(
+        descriptor,
+        move |i| Box::new(OpenClHandler::new(silos[i].clone())) as Box<dyn ava_server::ApiHandler>,
         config,
     ))
 }

@@ -7,17 +7,22 @@
 //! convenience constructors live in the crate root.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ava_guest::{GuestConfig, GuestLibrary};
-use ava_hypervisor::{Hypervisor, HypervisorError, SchedulerKind, VmPolicy, VmStats};
-use ava_server::{ApiHandler, ApiServer, CallJournal, MigrationImage, ServerStats};
-use ava_spec::ApiDescriptor;
-use ava_telemetry::{Counter, Registry, Telemetry};
+use ava_hypervisor::{
+    Hypervisor, HypervisorError, PlacementPolicy, RouterConfig, SchedulerKind, VmPolicy, VmStats,
+};
+use ava_server::{
+    shared_handler, ApiHandler, ApiServer, CallJournal, HandlerOutput, MigrationImage, ServerStats,
+    SharedHandler,
+};
+use ava_spec::{ApiDescriptor, FunctionDesc};
+use ava_telemetry::{Counter, Gauge, Registry, Telemetry};
 use ava_transport::{CostModel, FaultPlan, Transport, TransportError, TransportKind};
-use ava_wire::{ControlMessage, Message, VmId};
+use ava_wire::{ControlMessage, Message, Value, VmId};
 use parking_lot::Mutex;
 
 /// Stack-level errors.
@@ -31,6 +36,10 @@ pub enum StackError {
     Server(ava_server::ServerError),
     /// The VM id is unknown to this stack.
     UnknownVm(VmId),
+    /// The operation requires a device pool (`StackConfig::pool_size > 0`).
+    NotPooled,
+    /// The pool-slot index is out of range.
+    UnknownSlot(usize),
 }
 
 impl std::fmt::Display for StackError {
@@ -40,6 +49,8 @@ impl std::fmt::Display for StackError {
             Self::Transport(e) => write!(f, "transport: {e}"),
             Self::Server(e) => write!(f, "server: {e}"),
             Self::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            Self::NotPooled => write!(f, "stack has no device pool (pool_size is 0)"),
+            Self::UnknownSlot(slot) => write!(f, "pool slot {slot} out of range"),
         }
     }
 }
@@ -77,6 +88,30 @@ pub struct StackConfig {
     pub max_respawns: u32,
     /// How often the supervisor sweeps for dead API-server threads.
     pub supervision_interval: Duration,
+    /// Number of shared devices in the pool. `0` (the default) preserves
+    /// the historical behaviour: every VM gets a private device instance,
+    /// and no placement or rebalancing ever happens. With `pool_size = N`,
+    /// the stack constructs `N` shared handler instances up front and every
+    /// attached VM is bound to one of them — VMs sharing a slot contend for
+    /// that device's execution time for real (its handler mutex serializes
+    /// them).
+    pub pool_size: usize,
+    /// How newly attached VMs are bound to pool slots (ignored when
+    /// `pool_size` is 0).
+    pub placement: PlacementPolicy,
+    /// Router-side cap on sync calls in flight per pool slot (across all
+    /// the slot's VMs). Keeps scheduling decisions in the router instead of
+    /// laundering them through deep server-side queues.
+    pub slot_inflight: usize,
+    /// When set, the supervisor watches per-slot device time and migrates
+    /// one VM from the hottest to the coolest slot whenever the hottest
+    /// slot consumed at least this many more milliseconds of device time
+    /// than the coolest over the last [`StackConfig::rebalance_interval`].
+    /// `None` (the default) disables the watchdog; `rebalance_vm` is still
+    /// available for explicit migration.
+    pub rebalance_threshold_ms: Option<f64>,
+    /// How often the load watchdog evaluates slot imbalance.
+    pub rebalance_interval: Duration,
 }
 
 impl Default for StackConfig {
@@ -88,6 +123,11 @@ impl Default for StackConfig {
             guest: GuestConfig::default(),
             max_respawns: 3,
             supervision_interval: Duration::from_millis(5),
+            pool_size: 0,
+            placement: PlacementPolicy::default(),
+            slot_inflight: 2,
+            rebalance_threshold_ms: None,
+            rebalance_interval: Duration::from_millis(100),
         }
     }
 }
@@ -129,6 +169,235 @@ impl RecoveryCounters {
             failed: self.failed.get(),
         }
     }
+}
+
+/// Wraps a slot's handler so every dispatch is timed into the slot's
+/// `pool.slot<N>.device_time_ms` gauge. The wrapper sits *inside* the
+/// slot's shared mutex, so the measured interval is exactly the device
+/// occupancy the mutex serializes.
+struct TimedHandler {
+    inner: Box<dyn ApiHandler>,
+    device_time_ms: Gauge,
+}
+
+impl ApiHandler for TimedHandler {
+    fn dispatch(
+        &mut self,
+        func: &FunctionDesc,
+        args: &[Value],
+    ) -> ava_server::Result<HandlerOutput> {
+        let start = Instant::now();
+        let out = self.inner.dispatch(func, args);
+        self.device_time_ms.add(start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    fn swappable_kinds(&self) -> &[&str] {
+        self.inner.swappable_kinds()
+    }
+
+    fn snapshot_object(&mut self, kind: &str, silo: u64) -> Option<Vec<u8>> {
+        self.inner.snapshot_object(kind, silo)
+    }
+
+    fn restore_object(&mut self, kind: &str, silo: u64, data: &[u8]) -> bool {
+        self.inner.restore_object(kind, silo, data)
+    }
+
+    fn drop_object(&mut self, kind: &str, silo: u64) -> bool {
+        self.inner.drop_object(kind, silo)
+    }
+
+    fn ret_indicates_oom(&self, func: &FunctionDesc, ret: &Value) -> bool {
+        self.inner.ret_indicates_oom(func, ret)
+    }
+}
+
+/// One shared device in the pool: the handler every server bound to this
+/// slot executes against, plus load gauges.
+struct PoolSlot {
+    handler: SharedHandler,
+    device_time_ms: Gauge,
+    vms: Gauge,
+}
+
+/// Load/occupancy snapshot of one pool slot (see [`ApiStack::pool_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolSlotStats {
+    /// Wall-clock milliseconds of device time dispatched on this slot so
+    /// far (time spent inside the slot's handler, under its mutex).
+    pub device_time_ms: f64,
+    /// VMs currently bound to this slot.
+    pub vms: u32,
+}
+
+/// The shared-device pool: `pool_size` slots plus the VM→slot binding map.
+struct PoolState {
+    slots: Vec<PoolSlot>,
+    placements: Mutex<HashMap<VmId, usize>>,
+    rr_cursor: AtomicUsize,
+}
+
+impl PoolState {
+    fn new<F>(size: usize, slot_factory: &F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn ApiHandler> + ?Sized,
+    {
+        let slots = (0..size)
+            .map(|i| {
+                let device_time_ms = Gauge::new();
+                let handler = shared_handler(Box::new(TimedHandler {
+                    inner: slot_factory(i),
+                    device_time_ms: device_time_ms.clone(),
+                }));
+                PoolSlot {
+                    handler,
+                    device_time_ms,
+                    vms: Gauge::new(),
+                }
+            })
+            .collect();
+        PoolState {
+            slots,
+            placements: Mutex::new(HashMap::new()),
+            rr_cursor: AtomicUsize::new(0),
+        }
+    }
+
+    fn register(&self, registry: &Registry) {
+        for (i, slot) in self.slots.iter().enumerate() {
+            registry.register_gauge(
+                &format!("pool.slot{i}.device_time_ms"),
+                &slot.device_time_ms,
+            );
+            registry.register_gauge(&format!("pool.slot{i}.vms"), &slot.vms);
+        }
+    }
+
+    /// Chooses the slot for a newly attached VM.
+    fn place(&self, policy: PlacementPolicy, hypervisor: &Hypervisor) -> usize {
+        match policy {
+            PlacementPolicy::RoundRobin => {
+                self.rr_cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len()
+            }
+            PlacementPolicy::Packed => {
+                // Fill the most occupied slot first (ties: lowest index),
+                // maximizing idle slots.
+                (0..self.slots.len())
+                    .max_by(|&a, &b| {
+                        self.slots[a]
+                            .vms
+                            .get()
+                            .partial_cmp(&self.slots[b].vms.get())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.cmp(&a))
+                    })
+                    .unwrap_or(0)
+            }
+            PlacementPolicy::LeastLoaded => {
+                // Estimated device time already routed to each slot's VMs,
+                // from the router's per-VM accounting; ties broken by
+                // fewest VMs, then lowest index.
+                let placements = self.placements.lock();
+                let mut load = vec![0.0f64; self.slots.len()];
+                for (&vm, &slot) in placements.iter() {
+                    if let Ok(stats) = hypervisor.vm_stats(vm) {
+                        load[slot] += stats.est_device_time_us;
+                    }
+                }
+                (0..self.slots.len())
+                    .min_by(|&a, &b| {
+                        load[a]
+                            .partial_cmp(&load[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| {
+                                self.slots[a]
+                                    .vms
+                                    .get()
+                                    .partial_cmp(&self.slots[b].vms.get())
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .then(a.cmp(&b))
+                    })
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    fn slot_of(&self, vm: VmId) -> Option<usize> {
+        self.placements.lock().get(&vm).copied()
+    }
+}
+
+/// Migrates one pooled VM to `dst`, reusing the crash-recovery machinery:
+/// pause, quiesce, snapshot, free the source slot's device objects, replay
+/// onto the destination slot's shared handler, re-home the router lane,
+/// bump the cache epoch, resume. Shared by [`ApiStack::rebalance_vm`] and
+/// the supervisor's load watchdog.
+#[allow(clippy::too_many_arguments)]
+fn rebalance(
+    hypervisor: &Hypervisor,
+    descriptor: &Arc<ApiDescriptor>,
+    config: &StackConfig,
+    vms: &Mutex<HashMap<VmId, VmRuntime>>,
+    telemetry: &Mutex<Telemetry>,
+    pool: &PoolState,
+    vm: VmId,
+    dst: usize,
+) -> Result<()> {
+    if dst >= pool.slots.len() {
+        return Err(StackError::UnknownSlot(dst));
+    }
+    let src = pool.slot_of(vm).ok_or(StackError::UnknownVm(vm))?;
+    if src == dst {
+        return Ok(());
+    }
+    hypervisor.pause_vm(vm)?;
+    if let Err(e) = hypervisor.wait_quiescent(vm, Duration::from_secs(30)) {
+        let _ = hypervisor.resume_vm(vm);
+        return Err(e.into());
+    }
+
+    let mut vms_guard = vms.lock();
+    let runtime = vms_guard.get_mut(&vm).ok_or(StackError::UnknownVm(vm))?;
+    runtime.halt();
+    let image = {
+        let mut server = runtime.server.lock();
+        let image = server.snapshot();
+        // Frees this VM's objects on the source slot's device; slot-mates
+        // are untouched (their servers hold their own handle tables).
+        server.teardown();
+        image
+    };
+    let mut restored = ApiServer::restore_with(
+        Arc::clone(descriptor),
+        Arc::clone(&pool.slots[dst].handler),
+        &image,
+    )?;
+    restored.set_telemetry(telemetry.lock().with_vm(vm));
+    restored.set_payload_cache(
+        config.guest.payload_cache_entries,
+        config.guest.payload_cache_min_bytes,
+    );
+    restored.set_journal(Arc::clone(&runtime.journal));
+    runtime.server = Arc::new(Mutex::new(restored));
+    runtime.spawn();
+    // The restored server's payload mirror starts empty; a new epoch makes
+    // the guest drop its digest cache instead of eating NACKs.
+    runtime.cache_epoch += 1;
+    let _ = runtime
+        .transport
+        .send(&Message::Control(ControlMessage::CacheEpoch(
+            runtime.cache_epoch,
+        )));
+    drop(vms_guard);
+
+    hypervisor.set_vm_slot(vm, Some(dst))?;
+    pool.placements.lock().insert(vm, dst);
+    pool.slots[src].vms.add(-1.0);
+    pool.slots[dst].vms.add(1.0);
+    hypervisor.resume_vm(vm)?;
+    Ok(())
 }
 
 /// Per-VM host-side runtime: the serving thread plus shared server state.
@@ -218,17 +487,90 @@ struct Supervisor {
     hypervisor: Arc<Hypervisor>,
     descriptor: Arc<ApiDescriptor>,
     config: StackConfig,
-    handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
+    handler_factory: Arc<dyn Fn(usize) -> Box<dyn ApiHandler> + Send + Sync>,
     vms: Arc<Mutex<HashMap<VmId, VmRuntime>>>,
     telemetry: Arc<Mutex<Telemetry>>,
     recovery: RecoveryCounters,
+    pool: Option<Arc<PoolState>>,
 }
 
 impl Supervisor {
     fn run(&self, stop: &AtomicBool) {
+        let mut last_check = Instant::now();
+        let mut last_time: Vec<f64> = self
+            .pool
+            .as_ref()
+            .map(|p| vec![0.0; p.slots.len()])
+            .unwrap_or_default();
         while !stop.load(Ordering::Acquire) {
             std::thread::sleep(self.config.supervision_interval);
             self.sweep();
+            if let (Some(pool), Some(threshold)) = (&self.pool, self.config.rebalance_threshold_ms)
+            {
+                if last_check.elapsed() >= self.config.rebalance_interval {
+                    last_check = Instant::now();
+                    self.maybe_rebalance(pool, threshold, &mut last_time);
+                }
+            }
+        }
+    }
+
+    /// Load watchdog: compares per-slot device time consumed over the last
+    /// interval and migrates one VM (lowest id) from the hottest slot to
+    /// the coolest when the gap exceeds the threshold. Only acts when the
+    /// hot slot has at least two VMs — a lone hot VM gains nothing from
+    /// moving to an idle device of equal speed.
+    fn maybe_rebalance(&self, pool: &Arc<PoolState>, threshold_ms: f64, last: &mut [f64]) {
+        let deltas: Vec<f64> = pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let cur = s.device_time_ms.get();
+                let d = cur - last[i];
+                last[i] = cur;
+                d
+            })
+            .collect();
+        let Some(hot) = (0..deltas.len()).max_by(|&a, &b| {
+            deltas[a]
+                .partial_cmp(&deltas[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
+            return;
+        };
+        let Some(cold) = (0..deltas.len()).min_by(|&a, &b| {
+            deltas[a]
+                .partial_cmp(&deltas[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
+            return;
+        };
+        if hot == cold || deltas[hot] - deltas[cold] < threshold_ms {
+            return;
+        }
+        let victim = {
+            let placements = pool.placements.lock();
+            if placements.values().filter(|&&s| s == hot).count() < 2 {
+                return;
+            }
+            placements
+                .iter()
+                .filter(|&(_, &s)| s == hot)
+                .map(|(&vm, _)| vm)
+                .min()
+        };
+        if let Some(vm) = victim {
+            let _ = rebalance(
+                &self.hypervisor,
+                &self.descriptor,
+                &self.config,
+                &self.vms,
+                &self.telemetry,
+                pool,
+                vm,
+                cold,
+            );
         }
     }
 
@@ -264,10 +606,21 @@ impl Supervisor {
             return;
         }
         runtime.respawns += 1;
-        self.recovery.respawns.inc();
 
         let telemetry = self.telemetry.lock().with_vm(vm);
-        let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        // Pooled VMs recover onto their slot's shared device: the device
+        // itself survived the server crash, but the crashed server's handle
+        // table died with it, so replay re-creates this VM's objects there
+        // (the crashed server's orphaned objects linger until slot
+        // teardown — the price of sharing a device). Private VMs get a
+        // fresh device instance, as before.
+        let handler = match self.pool.as_ref().and_then(|p| p.slot_of(vm)) {
+            Some(slot) => Arc::clone(
+                &self.pool.as_ref().expect("pool exists for placed VM").slots[slot].handler,
+            ),
+            None => shared_handler((self.handler_factory)(0)),
+        };
+        let mut server = ApiServer::with_shared(Arc::clone(&self.descriptor), handler);
         server.set_telemetry(telemetry.clone());
         server.set_payload_cache(
             self.config.guest.payload_cache_entries,
@@ -304,6 +657,9 @@ impl Supervisor {
             .send(&Message::Control(ControlMessage::CacheEpoch(
                 runtime.cache_epoch,
             )));
+        // Counted only now: observers waiting on `recovery.respawns` must
+        // see the replay/replayed-calls counters already settled.
+        self.recovery.respawns.inc();
         runtime.spawn();
     }
 }
@@ -313,27 +669,48 @@ pub struct ApiStack {
     hypervisor: Arc<Hypervisor>,
     descriptor: Arc<ApiDescriptor>,
     config: StackConfig,
-    handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync>,
+    handler_factory: Arc<dyn Fn(usize) -> Box<dyn ApiHandler> + Send + Sync>,
     vms: Arc<Mutex<HashMap<VmId, VmRuntime>>>,
     telemetry: Arc<Mutex<Telemetry>>,
     recovery: RecoveryCounters,
+    pool: Option<Arc<PoolState>>,
     supervisor_stop: Arc<AtomicBool>,
     supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ApiStack {
     /// Builds a stack for `descriptor`; `handler_factory` produces one
-    /// fresh API handler per attached VM (and per crash recovery).
+    /// fresh API handler per attached VM (and per crash recovery) when the
+    /// stack has no pool, or one per pool slot when it does.
     pub fn new<F>(descriptor: Arc<ApiDescriptor>, handler_factory: F, config: StackConfig) -> Self
     where
         F: Fn() -> Box<dyn ApiHandler> + Send + Sync + 'static,
     {
-        let hypervisor = Arc::new(Hypervisor::new(
-            config.scheduler,
-            Some(Arc::clone(&descriptor)),
-        ));
-        let handler_factory: Arc<dyn Fn() -> Box<dyn ApiHandler> + Send + Sync> =
+        ApiStack::new_indexed(descriptor, move |_| handler_factory(), config)
+    }
+
+    /// Like [`ApiStack::new`], but the factory receives the pool-slot
+    /// index it is building a device for — the constructor for pools of
+    /// *distinct* physical devices (`pool_size` slots are built eagerly,
+    /// indices `0..pool_size`). With `pool_size = 0` the index is always 0.
+    pub fn new_indexed<F>(
+        descriptor: Arc<ApiDescriptor>,
+        handler_factory: F,
+        config: StackConfig,
+    ) -> Self
+    where
+        F: Fn(usize) -> Box<dyn ApiHandler> + Send + Sync + 'static,
+    {
+        let hypervisor = Arc::new(Hypervisor::with_config(RouterConfig {
+            scheduler: config.scheduler,
+            descriptor: Some(Arc::clone(&descriptor)),
+            slot_inflight: config.slot_inflight,
+            ..RouterConfig::default()
+        }));
+        let handler_factory: Arc<dyn Fn(usize) -> Box<dyn ApiHandler> + Send + Sync> =
             Arc::new(handler_factory);
+        let pool = (config.pool_size > 0)
+            .then(|| Arc::new(PoolState::new(config.pool_size, &*handler_factory)));
         let vms = Arc::new(Mutex::new(HashMap::new()));
         let telemetry = Arc::new(Mutex::new(Telemetry::disabled()));
         let recovery = RecoveryCounters::default();
@@ -345,6 +722,7 @@ impl ApiStack {
             vms: Arc::clone(&vms),
             telemetry: Arc::clone(&telemetry),
             recovery: recovery.clone(),
+            pool: pool.clone(),
         };
         let supervisor_stop = Arc::new(AtomicBool::new(false));
         let stop = Arc::clone(&supervisor_stop);
@@ -360,6 +738,7 @@ impl ApiStack {
             vms,
             telemetry,
             recovery,
+            pool,
             supervisor_stop,
             supervisor: Some(supervisor),
         }
@@ -371,6 +750,9 @@ impl ApiStack {
     /// on. Call before [`ApiStack::attach_vm`].
     pub fn set_telemetry(&self, registry: Registry) -> Result<()> {
         self.recovery.register(&registry);
+        if let Some(pool) = &self.pool {
+            pool.register(&registry);
+        }
         let telemetry = Telemetry::new(registry);
         *self.telemetry.lock() = telemetry.clone();
         self.hypervisor.set_telemetry(telemetry)?;
@@ -410,15 +792,27 @@ impl ApiStack {
         guest_tx_plan: Option<FaultPlan>,
         guest_rx_plan: Option<FaultPlan>,
     ) -> Result<(VmId, Arc<GuestLibrary>)> {
-        let conn = self.hypervisor.add_vm_with_faults(
+        // Pooled stacks bind the VM to a slot chosen by the placement
+        // policy: its server executes against that slot's shared handler,
+        // and the router accounts the lane against the slot's in-flight
+        // budget. Private stacks keep a fresh device per VM, as ever.
+        let (slot, handler) = match &self.pool {
+            Some(pool) => {
+                let slot = pool.place(self.config.placement, &self.hypervisor);
+                (Some(slot), Arc::clone(&pool.slots[slot].handler))
+            }
+            None => (None, shared_handler((self.handler_factory)(0))),
+        };
+        let conn = self.hypervisor.add_vm_full(
             policy,
             self.config.transport,
             self.config.cost_model,
+            slot,
             guest_tx_plan,
             guest_rx_plan,
         )?;
         let telemetry = self.telemetry.lock().with_vm(conn.vm_id);
-        let mut server = ApiServer::new(Arc::clone(&self.descriptor), (self.handler_factory)());
+        let mut server = ApiServer::with_shared(Arc::clone(&self.descriptor), handler);
         server.set_telemetry(telemetry.clone());
         // The server's payload mirror must match the guest's transfer cache
         // exactly (same capacity, same eligibility floor) — the stack is
@@ -447,10 +841,56 @@ impl ApiStack {
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
+        if let (Some(pool), Some(slot)) = (&self.pool, slot) {
+            pool.placements.lock().insert(conn.vm_id, slot);
+            pool.slots[slot].vms.add(1.0);
+        }
         let mut lib =
             GuestLibrary::new(Arc::clone(&self.descriptor), conn.guest, self.config.guest);
         lib.attach_telemetry(telemetry);
         Ok((conn.vm_id, Arc::new(lib)))
+    }
+
+    /// The pool slot a VM is bound to; `None` for private-device stacks
+    /// (or unknown VMs).
+    pub fn vm_slot(&self, vm: VmId) -> Option<usize> {
+        self.pool.as_ref().and_then(|p| p.slot_of(vm))
+    }
+
+    /// Per-slot load statistics; empty for private-device stacks.
+    pub fn pool_stats(&self) -> Vec<PoolSlotStats> {
+        self.pool
+            .as_ref()
+            .map(|pool| {
+                pool.slots
+                    .iter()
+                    .map(|s| PoolSlotStats {
+                        device_time_ms: s.device_time_ms.get(),
+                        vms: s.vms.get().max(0.0) as u32,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Live-migrates a pooled VM to pool slot `dst` (§4.3 applied to
+    /// load rebalancing): pause, quiesce, snapshot, free its objects on the
+    /// source slot's device, replay onto the destination slot's shared
+    /// handler, re-home the router lane, resume. The guest's transport and
+    /// wire handles survive unchanged; a no-op when the VM is already on
+    /// `dst`. Fails with [`StackError::NotPooled`] on private stacks.
+    pub fn rebalance_vm(&self, vm: VmId, dst: usize) -> Result<()> {
+        let pool = self.pool.as_ref().ok_or(StackError::NotPooled)?;
+        rebalance(
+            &self.hypervisor,
+            &self.descriptor,
+            &self.config,
+            &self.vms,
+            &self.telemetry,
+            pool,
+            vm,
+            dst,
+        )
     }
 
     /// Router-side statistics for a VM.
@@ -480,6 +920,11 @@ impl ApiStack {
         let mut runtime = vms.remove(&vm).ok_or(StackError::UnknownVm(vm))?;
         runtime.halt();
         self.hypervisor.remove_vm(vm)?;
+        if let Some(pool) = &self.pool {
+            if let Some(slot) = pool.placements.lock().remove(&vm) {
+                pool.slots[slot].vms.add(-1.0);
+            }
+        }
         Ok(())
     }
 
@@ -532,6 +977,16 @@ impl ApiStack {
                 runtime.cache_epoch,
             )));
         drop(vms);
+
+        // Migrating onto a caller-supplied private handler takes the VM
+        // off the pool: its objects now live on the target device, so the
+        // router must stop charging its calls to the old slot.
+        if let Some(pool) = &self.pool {
+            if let Some(slot) = pool.placements.lock().remove(&vm) {
+                pool.slots[slot].vms.add(-1.0);
+                self.hypervisor.set_vm_slot(vm, None)?;
+            }
+        }
 
         self.hypervisor.resume_vm(vm)?;
         Ok(image)

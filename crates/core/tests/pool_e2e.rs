@@ -1,0 +1,361 @@
+//! End-to-end tests for the shared device pool: placement policies,
+//! slot-sharing correctness, live rebalancing, pooled crash recovery and
+//! the load watchdog.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ava_core::{
+    opencl_pool_stack, opencl_stack, OpenClClient, PlacementPolicy, StackConfig, StackError,
+};
+use ava_hypervisor::VmPolicy;
+use ava_transport::{CostModel, TransportKind};
+use simcl::types::*;
+use simcl::{ClApi, SimCl};
+
+fn pool_config(placement: PlacementPolicy) -> StackConfig {
+    StackConfig {
+        transport: TransportKind::SharedMemory,
+        cost_model: CostModel::free(),
+        placement,
+        ..StackConfig::default()
+    }
+}
+
+fn silos(n: usize) -> Vec<SimCl> {
+    (0..n).map(|_| SimCl::new()).collect()
+}
+
+/// The same saxpy pipeline as `virtualized_e2e`, against any ClApi.
+fn run_saxpy(api: &dyn ClApi, n: usize) -> Vec<f32> {
+    let platform = api.get_platform_ids().unwrap()[0];
+    let device = api.get_device_ids(platform, DeviceType::Gpu).unwrap()[0];
+    let ctx = api.create_context(device).unwrap();
+    let queue = api
+        .create_command_queue(ctx, device, QueueProps::default())
+        .unwrap();
+    let program = api
+        .create_program_with_source(ctx, simcl::kernels::builtins::SOURCE)
+        .unwrap();
+    api.build_program(program, "").unwrap();
+    let kernel = api.create_kernel(program, "saxpy").unwrap();
+
+    let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let y: Vec<f32> = vec![10.0; n];
+    let bx = api
+        .create_buffer(
+            ctx,
+            MemFlags::read_only(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&x)),
+        )
+        .unwrap();
+    let by = api
+        .create_buffer(
+            ctx,
+            MemFlags::read_write(),
+            4 * n,
+            Some(&simcl::mem::f32_to_bytes(&y)),
+        )
+        .unwrap();
+    api.set_kernel_arg(kernel, 0, KernelArg::Mem(bx)).unwrap();
+    api.set_kernel_arg(kernel, 1, KernelArg::Mem(by)).unwrap();
+    api.set_kernel_arg(kernel, 2, KernelArg::from_f32(3.0))
+        .unwrap();
+    api.set_kernel_arg(kernel, 3, KernelArg::from_u32(n as u32))
+        .unwrap();
+    api.enqueue_nd_range_kernel(queue, kernel, [n, 1, 1], None, &[], false)
+        .unwrap();
+    let mut out = vec![0u8; 4 * n];
+    api.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false)
+        .unwrap();
+    api.release_kernel(kernel).unwrap();
+    api.release_program(program).unwrap();
+    api.release_mem_object(bx).unwrap();
+    api.release_mem_object(by).unwrap();
+    api.finish(queue).unwrap();
+    api.release_command_queue(queue).unwrap();
+    api.release_context(ctx).unwrap();
+    simcl::mem::bytes_to_f32(&out)
+}
+
+#[test]
+fn default_config_keeps_private_devices() {
+    let stack = opencl_stack(SimCl::new(), pool_config(PlacementPolicy::RoundRobin)).unwrap();
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    assert_eq!(run_saxpy(&client, 64)[1], 13.0);
+    // No pool: no slot binding, no pool stats, rebalance refuses.
+    assert_eq!(stack.vm_slot(vm), None);
+    assert!(stack.pool_stats().is_empty());
+    assert!(matches!(
+        stack.rebalance_vm(vm, 0),
+        Err(StackError::NotPooled)
+    ));
+}
+
+#[test]
+fn two_vms_on_one_slot_match_solo_runs_bit_identically() {
+    let n = 512;
+    // Oracle: a solo run on a private, non-pooled stack.
+    let solo = {
+        let stack = opencl_stack(SimCl::new(), pool_config(PlacementPolicy::RoundRobin)).unwrap();
+        let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        run_saxpy(&OpenClClient::new(lib), n)
+    };
+
+    // Two VMs pinned to the single slot of a one-device pool, running
+    // concurrently: contention must never change results.
+    let stack = opencl_pool_stack(silos(1), pool_config(PlacementPolicy::RoundRobin)).unwrap();
+    let (vm_a, lib_a) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let (vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_a), Some(0));
+    assert_eq!(stack.vm_slot(vm_b), Some(0));
+
+    let ta = std::thread::spawn(move || run_saxpy(&OpenClClient::new(lib_a), n));
+    let tb = std::thread::spawn(move || run_saxpy(&OpenClClient::new(lib_b), n));
+    let ra = ta.join().unwrap();
+    let rb = tb.join().unwrap();
+    assert_eq!(ra, solo);
+    assert_eq!(rb, solo);
+
+    let stats = stack.pool_stats();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].vms, 2);
+    assert!(
+        stats[0].device_time_ms > 0.0,
+        "dispatches must be timed into the slot gauge: {stats:?}"
+    );
+}
+
+#[test]
+fn round_robin_placement_cycles_slots() {
+    let stack = opencl_pool_stack(silos(3), pool_config(PlacementPolicy::RoundRobin)).unwrap();
+    let mut slots = Vec::new();
+    for _ in 0..5 {
+        let (vm, _lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        slots.push(stack.vm_slot(vm).unwrap());
+    }
+    assert_eq!(slots, vec![0, 1, 2, 0, 1]);
+    let stats = stack.pool_stats();
+    assert_eq!(
+        stats.iter().map(|s| s.vms).collect::<Vec<_>>(),
+        vec![2, 2, 1]
+    );
+}
+
+#[test]
+fn packed_placement_fills_one_slot_first() {
+    let stack = opencl_pool_stack(silos(2), pool_config(PlacementPolicy::Packed)).unwrap();
+    for _ in 0..3 {
+        let (vm, _lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        assert_eq!(stack.vm_slot(vm), Some(0));
+    }
+    assert_eq!(stack.pool_stats()[0].vms, 3);
+    assert_eq!(stack.pool_stats()[1].vms, 0);
+}
+
+#[test]
+fn least_loaded_placement_spreads_asymmetric_load() {
+    let stack = opencl_pool_stack(silos(2), pool_config(PlacementPolicy::LeastLoaded)).unwrap();
+
+    // First VM: everything idle, ties resolve to slot 0. Run heavy work
+    // so the router accumulates estimated device time against slot 0.
+    let (vm_a, lib_a) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_a), Some(0));
+    let client_a = OpenClClient::new(lib_a);
+    for _ in 0..4 {
+        run_saxpy(&client_a, 2048);
+    }
+
+    // Second VM must land on the idle slot 1.
+    let (vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_b), Some(1));
+
+    // A little load on slot 1 — still far less than slot 0 — so the third
+    // VM joins slot 1 too (least *load*, not least population).
+    run_saxpy(&OpenClClient::new(lib_b), 64);
+    let (vm_c, _lib_c) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_c), Some(1));
+}
+
+#[test]
+fn rebalance_vm_mid_workload_preserves_results() {
+    let iters = 24usize;
+    let payload_len = 4096usize;
+
+    // Oracle: the same write/mutate/read loop run locally.
+    let oracle_checksum = {
+        let mut payload: Vec<u8> = (0..payload_len).map(|i| (i * 131 % 251) as u8).collect();
+        let mut checksum = 0u64;
+        for epoch in 0..iters {
+            payload[0] = payload[0].wrapping_add(epoch as u8);
+            checksum = checksum.wrapping_add(payload.iter().map(|&b| u64::from(b)).sum::<u64>());
+        }
+        checksum
+    };
+
+    let stack =
+        Arc::new(opencl_pool_stack(silos(2), pool_config(PlacementPolicy::RoundRobin)).unwrap());
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm), Some(0));
+    let client = OpenClClient::new(lib);
+
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, QueueProps::default())
+        .unwrap();
+    let buf = client
+        .create_buffer(ctx, MemFlags::read_write(), payload_len, None)
+        .unwrap();
+
+    // The workload hammers write→read round trips while the main thread
+    // live-migrates the VM to the other slot mid-stream. Every round trip
+    // must read back exactly what it wrote, rebalance or not.
+    let stack_ref = Arc::clone(&stack);
+    let worker = std::thread::spawn(move || {
+        let _ = &stack_ref;
+        let mut payload: Vec<u8> = (0..payload_len).map(|i| (i * 131 % 251) as u8).collect();
+        let mut checksum = 0u64;
+        for epoch in 0..iters {
+            payload[0] = payload[0].wrapping_add(epoch as u8);
+            client
+                .enqueue_write_buffer(queue, buf, true, 0, &payload, &[], false)
+                .unwrap();
+            let mut out = vec![0u8; payload_len];
+            client
+                .enqueue_read_buffer(queue, buf, true, 0, &mut out, &[], false)
+                .unwrap();
+            assert_eq!(out, payload, "epoch {epoch} round trip corrupted");
+            checksum = checksum.wrapping_add(out.iter().map(|&b| u64::from(b)).sum::<u64>());
+        }
+        checksum
+    });
+
+    // Let a few epochs land on slot 0, then move the VM to slot 1 while
+    // the workload keeps issuing calls.
+    std::thread::sleep(Duration::from_millis(20));
+    stack.rebalance_vm(vm, 1).unwrap();
+    assert_eq!(stack.vm_slot(vm), Some(1));
+
+    let checksum = worker.join().unwrap();
+    assert_eq!(checksum, oracle_checksum);
+
+    let stats = stack.pool_stats();
+    assert_eq!(stats[0].vms, 0);
+    assert_eq!(stats[1].vms, 1);
+    assert!(
+        stats[1].device_time_ms > 0.0,
+        "post-rebalance work must be billed to the destination slot"
+    );
+
+    // Rebalancing to the current slot is a no-op; out-of-range fails.
+    stack.rebalance_vm(vm, 1).unwrap();
+    assert!(matches!(
+        stack.rebalance_vm(vm, 9),
+        Err(StackError::UnknownSlot(9))
+    ));
+}
+
+#[test]
+fn pooled_vm_recovers_onto_its_slot_after_crash() {
+    let mut config = pool_config(PlacementPolicy::RoundRobin);
+    config.supervision_interval = Duration::from_millis(2);
+    let stack = opencl_pool_stack(silos(1), config).unwrap();
+    let (vm_a, lib_a) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let (_vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let a = OpenClClient::new(lib_a);
+    let b = OpenClClient::new(lib_b);
+
+    // Both slot-mates set up state on the shared device.
+    let marker_a: Vec<u8> = (0..=255).rev().collect();
+    let platform = a.get_platform_ids().unwrap()[0];
+    let device = a.get_device_ids(platform, DeviceType::All).unwrap()[0];
+    let ctx_a = a.create_context(device).unwrap();
+    let queue_a = a
+        .create_command_queue(ctx_a, device, QueueProps::default())
+        .unwrap();
+    let buf_a = a
+        .create_buffer(ctx_a, MemFlags::read_write(), 256, Some(&marker_a))
+        .unwrap();
+    a.finish(queue_a).unwrap();
+    assert_eq!(run_saxpy(&b, 64)[1], 13.0);
+
+    // Kill A's API server mid-flight; the supervisor replays its journal
+    // onto the *same* slot's device.
+    stack.crash_vm_server(vm_a).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stack.recovery_stats().respawns == 0 {
+        assert!(Instant::now() < deadline, "supervisor never respawned");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        stack.vm_slot(vm_a),
+        Some(0),
+        "recovery must not move the VM"
+    );
+    assert!(stack.recovery_stats().replayed_calls > 0);
+
+    // A's handles (minted pre-crash) still resolve, and its data survived.
+    let mut out = vec![0u8; 256];
+    a.enqueue_read_buffer(queue_a, buf_a, true, 0, &mut out, &[], false)
+        .unwrap();
+    assert_eq!(out, marker_a);
+    // The slot-mate was never disturbed.
+    assert_eq!(run_saxpy(&b, 64)[1], 13.0);
+}
+
+#[test]
+fn load_watchdog_moves_a_vm_off_the_hot_slot() {
+    let mut config = pool_config(PlacementPolicy::Packed);
+    config.supervision_interval = Duration::from_millis(2);
+    config.rebalance_interval = Duration::from_millis(25);
+    config.rebalance_threshold_ms = Some(1.0);
+    let stack = Arc::new(opencl_pool_stack(silos(2), config).unwrap());
+
+    // Packed placement piles both VMs onto slot 0; slot 1 sits idle.
+    let (vm_a, lib_a) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let (vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_a), Some(0));
+    assert_eq!(stack.vm_slot(vm_b), Some(0));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for lib in [lib_a, lib_b] {
+        let stop = Arc::clone(&stop);
+        let stack_ref = Arc::clone(&stack);
+        workers.push(std::thread::spawn(move || {
+            let _ = &stack_ref;
+            let client = OpenClClient::new(lib);
+            while !stop.load(Ordering::Acquire) {
+                assert_eq!(run_saxpy(&client, 256)[1], 13.0);
+            }
+        }));
+    }
+
+    // The hot slot burns real device time every interval while the cold
+    // one burns none, so the watchdog must split the pair.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let moved = loop {
+        let a = stack.vm_slot(vm_a).unwrap();
+        let b = stack.vm_slot(vm_b).unwrap();
+        if a != b {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(moved, "watchdog never rebalanced the hot slot");
+    let stats = stack.pool_stats();
+    assert_eq!(stats[0].vms, 1);
+    assert_eq!(stats[1].vms, 1);
+}

@@ -692,7 +692,7 @@ impl GuestLibrary {
                 (Transfer::Handle { .. }, Value::Null) if param.nullable => {}
                 (Transfer::Str, Value::Str(_)) => {}
                 (Transfer::Str, Value::Null) if param.nullable => {}
-                (Transfer::Callback { .. } | Transfer::Opaque, _) => {}
+                (Transfer::Callback | Transfer::Opaque, _) => {}
                 (Transfer::OutElement { .. }, _) => {}
                 (Transfer::Buffer { len, elem }, value) => {
                     let is_out_only = matches!(param.direction, ava_spec::Direction::Out);
@@ -835,11 +835,7 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
     ) -> std::thread::JoinHandle<Vec<CallRequest>> {
         std::thread::spawn(move || {
             let mut seen = Vec::new();
-            loop {
-                let msg = match server.recv() {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
+            while let Ok(msg) = server.recv() {
                 let reqs = match msg {
                     Message::Call(req) => vec![req],
                     Message::Batch(reqs) => reqs,
@@ -1065,11 +1061,7 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
             let mut rx: DigestLru<Vec<u8>> = DigestLru::new(entries);
             let mut seen = Vec::new();
             let mut executed = 0usize;
-            loop {
-                let msg = match server.recv() {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
+            while let Ok(msg) = server.recv() {
                 let reqs = match msg {
                     Message::Call(req) => vec![req],
                     Message::Batch(reqs) => reqs,

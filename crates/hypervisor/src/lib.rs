@@ -24,7 +24,7 @@ use ava_transport::{BoxedTransport, CostModel, FaultInjector, FaultPlan, Transpo
 use ava_wire::VmId;
 use crossbeam::channel::{unbounded, Sender};
 
-pub use policy::{RateLimiter, SchedulerKind, VmPolicy};
+pub use policy::{PlacementPolicy, RateLimiter, SchedulerKind, VmPolicy};
 pub use router::{RouterConfig, VmStats};
 
 use router::RouterCmd;
@@ -78,12 +78,17 @@ impl Hypervisor {
     /// Starts a hypervisor with the given scheduler and API descriptor
     /// (used for cost estimation and call verification).
     pub fn new(scheduler: SchedulerKind, descriptor: Option<Arc<ApiDescriptor>>) -> Self {
-        let (cmd_tx, cmd_rx) = unbounded();
-        let config = RouterConfig {
+        Hypervisor::with_config(RouterConfig {
             scheduler,
             descriptor,
             ..RouterConfig::default()
-        };
+        })
+    }
+
+    /// Starts a hypervisor with full router configuration (per-slot
+    /// in-flight budgets, forwarding round size, …).
+    pub fn with_config(config: RouterConfig) -> Self {
+        let (cmd_tx, cmd_rx) = unbounded();
         let handle = std::thread::Builder::new()
             .name("ava-router".into())
             .spawn(move || router::run_router(config, cmd_rx))
@@ -140,6 +145,21 @@ impl Hypervisor {
         guest_tx_plan: Option<FaultPlan>,
         guest_rx_plan: Option<FaultPlan>,
     ) -> Result<VmConnection, HypervisorError> {
+        self.add_vm_full(policy, kind, model, None, guest_tx_plan, guest_rx_plan)
+    }
+
+    /// The full attachment variant: fault plans plus an optional device-
+    /// pool slot binding. Lanes bound to the same slot share its in-flight
+    /// budget and show up in `pool.slot<N>.*` telemetry.
+    pub fn add_vm_full(
+        &self,
+        policy: VmPolicy,
+        kind: TransportKind,
+        model: CostModel,
+        slot: Option<usize>,
+        guest_tx_plan: Option<FaultPlan>,
+        guest_rx_plan: Option<FaultPlan>,
+    ) -> Result<VmConnection, HypervisorError> {
         let vm_id = self.next_vm.fetch_add(1, Ordering::Relaxed);
         let (guest_end, router_guest_end) = ava_transport::pair(kind, model)
             .map_err(|e| HypervisorError::Transport(e.to_string()))?;
@@ -160,6 +180,7 @@ impl Hypervisor {
                 guest: router_guest_end,
                 server: router_server_end,
                 policy,
+                slot,
             })
             .map_err(|_| HypervisorError::RouterGone)?;
         Ok(VmConnection {
@@ -192,6 +213,15 @@ impl Hypervisor {
     pub fn mark_unavailable(&self, vm_id: VmId) -> Result<(), HypervisorError> {
         self.cmd_tx
             .send(RouterCmd::MarkUnavailable(vm_id))
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
+    /// Rebinds a VM's lane to a different device-pool slot (`None`
+    /// detaches it from pool accounting). Used by live rebalancing after
+    /// the VM's server has been rebuilt on the destination slot's device.
+    pub fn set_vm_slot(&self, vm_id: VmId, slot: Option<usize>) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::SetSlot { vm_id, slot })
             .map_err(|_| HypervisorError::RouterGone)
     }
 
@@ -284,13 +314,12 @@ mod tests {
                             break;
                         }
                     }
-                    Message::Control(ControlMessage::Heartbeat(v)) => {
+                    Message::Control(ControlMessage::Heartbeat(v))
                         if server
                             .send(&Message::Control(ControlMessage::HeartbeatAck(v)))
-                            .is_err()
-                        {
-                            break;
-                        }
+                            .is_err() =>
+                    {
+                        break;
                     }
                     Message::Control(ControlMessage::Shutdown) => break,
                     _ => {}

@@ -70,6 +70,24 @@ pub enum SchedulerKind {
     Priority,
 }
 
+/// How a stack assigns newly attached VMs to device-pool slots.
+///
+/// Placement only matters when the pool is smaller than the VM count:
+/// every VM bound to the same slot shares that slot's physical device and
+/// contends for its execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Cycle through slots in order; even VM counts spread evenly.
+    #[default]
+    RoundRobin,
+    /// Bind to the slot with the least estimated outstanding device time
+    /// (ties broken by fewest VMs, then lowest index).
+    LeastLoaded,
+    /// Fill one slot before using the next — maximizes idle slots, for
+    /// consolidation/power experiments.
+    Packed,
+}
+
 /// Per-VM policy configuration.
 #[derive(Debug, Clone)]
 pub struct VmPolicy {

@@ -6,7 +6,7 @@
 //! resource policies (rate limiting, scheduling, quotas) and only then
 //! hands it to the per-VM API server. Replies flow back the same way.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -130,6 +130,10 @@ pub enum RouterCmd {
         server: BoxedTransport,
         /// Resource policy for this VM.
         policy: VmPolicy,
+        /// Device-pool slot this VM's server is bound to, if the stack
+        /// runs a shared pool. Lanes on the same slot share the slot's
+        /// in-flight budget ([`RouterConfig::slot_inflight`]).
+        slot: Option<usize>,
     },
     /// Stop forwarding guest→server traffic for a VM (replies still pump).
     Pause(VmId),
@@ -150,6 +154,15 @@ pub enum RouterCmd {
     /// calls are answered with [`ReplyStatus::Unavailable`] immediately
     /// instead of waiting on a reply that can never come.
     MarkUnavailable(VmId),
+    /// Rebind a lane to a different device-pool slot (used by live
+    /// rebalancing, after the VM's server was migrated onto the
+    /// destination slot's device).
+    SetSlot {
+        /// VM identifier.
+        vm_id: VmId,
+        /// New slot, or `None` to detach the lane from pool accounting.
+        slot: Option<usize>,
+    },
     /// Query statistics.
     Stats(VmId, Sender<Option<VmStats>>),
     /// Attach a telemetry registry: per-VM counters register under
@@ -166,6 +179,9 @@ struct Lane {
     server: BoxedTransport,
     policy: VmPolicy,
     queue: VecDeque<CallRequest>,
+    /// Device-pool slot the lane's server is bound to; `None` when the VM
+    /// has a private device (the pre-pool topology).
+    slot: Option<usize>,
     paused: bool,
     closed: bool,
     /// The server transport failed; forwarding is suspended until the
@@ -188,6 +204,12 @@ pub struct RouterConfig {
     /// Maximum calls forwarded per scheduling round (keeps reply pumping
     /// responsive under load).
     pub max_forward_per_round: usize,
+    /// Maximum sync calls in flight per device-pool slot, across every
+    /// lane bound to that slot. Small values keep the scheduler in
+    /// control (a slot's device serializes anyway — deep server-side
+    /// queues would just launder scheduling decisions made early); must
+    /// be ≥ 1 or a pooled slot could never forward at all.
+    pub slot_inflight: usize,
 }
 
 impl Default for RouterConfig {
@@ -196,6 +218,7 @@ impl Default for RouterConfig {
             scheduler: SchedulerKind::Fifo,
             descriptor: None,
             max_forward_per_round: 64,
+            slot_inflight: 2,
         }
     }
 }
@@ -206,6 +229,9 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
     let mut telemetry = Telemetry::disabled();
     let mut rr_cursor = 0usize; // round-robin start position
     let mut idle_spins = 0u32;
+    // Router-owned `pool.slot<N>.queue_depth` gauges: queued-call depth
+    // summed over every lane bound to the slot.
+    let mut slot_gauges: HashMap<usize, Gauge> = HashMap::new();
 
     loop {
         let mut progressed = false;
@@ -227,6 +253,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     guest,
                     server,
                     policy,
+                    slot,
                 } => {
                     let metrics = VmMetrics::default();
                     let lane_telemetry = telemetry.with_vm(vm_id);
@@ -237,6 +264,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         server,
                         policy,
                         queue: VecDeque::new(),
+                        slot,
                         paused: false,
                         closed: false,
                         server_down: false,
@@ -263,13 +291,24 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         lane.server = server;
                         lane.server_down = false;
                         lane.unavailable = false;
+                        // In-flight replies died with the old server. Reset
+                        // the outstanding count or the lane's slot would be
+                        // charged for calls that can never complete —
+                        // starving its slot-mates under the in-flight cap.
+                        lane.metrics.outstanding.take();
                     }
                 }
                 RouterCmd::MarkUnavailable(id) => {
                     if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == id) {
                         lane.unavailable = true;
                         lane.server_down = true;
+                        lane.metrics.outstanding.take();
                         fail_queued_unavailable(lane);
+                    }
+                }
+                RouterCmd::SetSlot { vm_id, slot } => {
+                    if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == vm_id) {
+                        lane.slot = slot;
                     }
                 }
                 RouterCmd::Stats(id, reply) => {
@@ -284,6 +323,11 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     for lane in lanes.iter_mut() {
                         lane.telemetry = telemetry.with_vm(lane.vm_id);
                         lane.metrics.register_into(&lane.telemetry);
+                    }
+                    if let Some(registry) = telemetry.registry() {
+                        for (s, g) in slot_gauges.iter() {
+                            registry.register_gauge(&format!("pool.slot{s}.queue_depth"), g);
+                        }
                     }
                 }
                 RouterCmd::Shutdown => return,
@@ -353,9 +397,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
 
         // 3. Scheduling rounds: pick an admissible lane, forward one call.
         let config_sched = config.scheduler;
+        let slot_inflight = config.slot_inflight.max(1);
         for _ in 0..config.max_forward_per_round {
             let now = Instant::now();
-            let candidate = pick_lane(&mut lanes, config_sched, rr_cursor, now);
+            let candidate = pick_lane(&mut lanes, config_sched, rr_cursor, now, slot_inflight);
             let Some(idx) = candidate else { break };
             rr_cursor = (idx + 1).max(1) % lanes.len().max(1);
             let lane = &mut lanes[idx];
@@ -483,7 +528,11 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             }
         }
 
-        // 5. Idle backoff: escalate toward 1 ms sleeps so an idle router
+        // 5. Refresh per-slot queue-depth gauges (sum of queued calls over
+        // the slot's lanes). Slots with no queued work read zero.
+        update_slot_gauges(&lanes, &mut slot_gauges, &telemetry);
+
+        // 6. Idle backoff: escalate toward 1 ms sleeps so an idle router
         // does not burn a core (which would perturb co-located work), at
         // the price of up to ~1 ms extra latency on the first call after
         // an idle period.
@@ -548,20 +597,92 @@ fn fail_queued_unavailable(lane: &mut Lane) {
     }
 }
 
-/// Picks the next lane to service, honouring pause state, rate limits and
-/// the configured scheduler. Returns an index into `lanes`.
+/// Refreshes the router-owned `pool.slot<N>.queue_depth` gauges. A slot's
+/// depth is the number of queued (not yet forwarded) calls summed over
+/// every lane bound to it; slots whose lanes all drained read zero.
+fn update_slot_gauges(
+    lanes: &[Lane],
+    slot_gauges: &mut HashMap<usize, Gauge>,
+    telemetry: &Telemetry,
+) {
+    let mut depth: HashMap<usize, u64> = HashMap::new();
+    for lane in lanes {
+        if let Some(s) = lane.slot {
+            *depth.entry(s).or_default() += lane.queue.len() as u64;
+        }
+    }
+    for (&s, &d) in &depth {
+        let gauge = slot_gauges.entry(s).or_insert_with(|| {
+            let g = Gauge::default();
+            if let Some(registry) = telemetry.registry() {
+                registry.register_gauge(&format!("pool.slot{s}.queue_depth"), &g);
+            }
+            g
+        });
+        gauge.set(d as f64);
+    }
+    for (s, g) in slot_gauges.iter() {
+        if !depth.contains_key(s) {
+            g.set(0.0);
+        }
+    }
+}
+
+/// Sync calls currently in flight (forwarded, unanswered) on a slot,
+/// summed over its lanes. This is the quantity the per-slot in-flight cap
+/// bounds: the slot's device serializes execution anyway, so anything
+/// beyond a small pipeline depth only moves queueing out of the
+/// scheduler's reach.
+fn slot_outstanding(lanes: &[Lane], slot: usize) -> u64 {
+    lanes
+        .iter()
+        .filter(|l| l.slot == Some(slot))
+        .map(|l| l.metrics.outstanding.get())
+        .sum()
+}
+
+/// Picks the next lane to service, honouring pause state, rate limits,
+/// per-slot in-flight budgets and the configured scheduler. Returns an
+/// index into `lanes`.
 fn pick_lane(
     lanes: &mut [Lane],
     scheduler: SchedulerKind,
     rr_cursor: usize,
     now: Instant,
+    slot_inflight: usize,
 ) -> Option<usize> {
     let n = lanes.len();
     if n == 0 {
         return None;
     }
+    // Per-slot in-flight totals, computed once per pick: a lane on a full
+    // slot is not schedulable this round no matter what the scheduler
+    // thinks of it.
+    let slot_free: HashMap<usize, bool> = lanes
+        .iter()
+        .filter_map(|l| l.slot)
+        .collect::<std::collections::HashSet<_>>()
+        .into_iter()
+        .map(|s| (s, slot_outstanding(lanes, s) < slot_inflight as u64))
+        .collect();
+    let ready = |lane: &Lane| -> bool {
+        !lane.paused
+            && !lane.closed
+            && !lane.server_down
+            && !lane.queue.is_empty()
+            && lane
+                .slot
+                .is_none_or(|s| slot_free.get(&s).copied().unwrap_or(true))
+    };
     let admissible = |lane: &mut Lane, now: Instant| -> bool {
-        if lane.paused || lane.closed || lane.server_down || lane.queue.is_empty() {
+        if !(!lane.paused
+            && !lane.closed
+            && !lane.server_down
+            && !lane.queue.is_empty()
+            && lane
+                .slot
+                .is_none_or(|s| slot_free.get(&s).copied().unwrap_or(true)))
+        {
             return false;
         }
         match &mut lane.policy.rate_limit {
@@ -581,18 +702,16 @@ fn pick_lane(
             None
         }
         SchedulerKind::FairShare => {
-            // Least weighted estimated device time first.
+            // Least weighted estimated device time first. Device-time
+            // estimates accumulate per lane, so on a shared slot this
+            // arbitrates real device occupancy between slot-mates.
             let mut best: Option<(usize, f64)> = None;
-            for idx in 0..n {
-                let ready = {
-                    let lane = &lanes[idx];
-                    !lane.paused && !lane.closed && !lane.server_down && !lane.queue.is_empty()
-                };
-                if !ready {
+            for (idx, lane) in lanes.iter().enumerate() {
+                if !ready(lane) {
                     continue;
                 }
-                let score = lanes[idx].metrics.est_device_time_us.get()
-                    / f64::from(lanes[idx].policy.weight.max(1));
+                let score =
+                    lane.metrics.est_device_time_us.get() / f64::from(lane.policy.weight.max(1));
                 if best.map(|(_, s)| score < s).unwrap_or(true) {
                     best = Some((idx, score));
                 }
@@ -606,9 +725,8 @@ fn pick_lane(
         }
         SchedulerKind::Priority => {
             let mut best: Option<(usize, u8)> = None;
-            for idx in 0..n {
-                let lane = &lanes[idx];
-                if lane.paused || lane.closed || lane.server_down || lane.queue.is_empty() {
+            for (idx, lane) in lanes.iter().enumerate() {
+                if !ready(lane) {
                     continue;
                 }
                 let p = lane.policy.priority;

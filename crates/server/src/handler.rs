@@ -7,10 +7,26 @@
 //! API-agnostic — handle translation, recording, swapping, reply framing —
 //! and delegates the actual API execution to this trait.
 
+use std::sync::Arc;
+
 use ava_spec::FunctionDesc;
 use ava_wire::Value;
+use parking_lot::Mutex;
 
 use crate::error::Result;
+
+/// A handler that may be shared by several [`crate::ApiServer`]s bound to
+/// the same device-pool slot. The mutex *is* the device: holding it for
+/// the duration of a dispatch serializes all VMs mapped to the slot, so
+/// contention on a shared device is real rather than simulated.
+/// `parking_lot` is used deliberately — a panicking VM thread must not
+/// poison the device for its slot-mates.
+pub type SharedHandler = Arc<Mutex<Box<dyn ApiHandler>>>;
+
+/// Wraps a handler for sharing across the servers of one pool slot.
+pub fn shared_handler(handler: Box<dyn ApiHandler>) -> SharedHandler {
+    Arc::new(Mutex::new(handler))
+}
 
 /// Result of dispatching one call.
 #[derive(Debug, Clone, PartialEq)]

@@ -29,7 +29,7 @@ pub mod record;
 pub mod server;
 
 pub use error::{Result, ServerError};
-pub use handler::{ApiHandler, HandlerOutput};
+pub use handler::{shared_handler, ApiHandler, HandlerOutput, SharedHandler};
 pub use handles::{HandleEntry, HandleState, HandleTable};
 pub use record::{CallJournal, JournalEntry, MigrationImage, RecordLog, RecordedCall};
 pub use server::{ApiServer, ServeExit, ServerStats};

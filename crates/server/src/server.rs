@@ -23,7 +23,7 @@ use ava_wire::{
 };
 
 use crate::error::{Result, ServerError};
-use crate::handler::{ApiHandler, HandlerOutput};
+use crate::handler::{shared_handler, ApiHandler, HandlerOutput, SharedHandler};
 use crate::handles::{HandleState, HandleTable};
 use crate::record::{CallJournal, JournalEntry, MigrationImage, RecordLog};
 
@@ -99,7 +99,10 @@ impl ServerCounters {
 /// The per-VM API server.
 pub struct ApiServer {
     desc: Arc<ApiDescriptor>,
-    handler: Box<dyn ApiHandler>,
+    /// The execution backend. Private servers own the only reference; in a
+    /// device pool every server of a slot clones the same [`SharedHandler`],
+    /// and dispatches serialize on its mutex (real device contention).
+    handler: SharedHandler,
     handles: HandleTable,
     records: RecordLog,
     /// Estimated device bytes per allocated wire handle (from
@@ -148,9 +151,19 @@ pub enum ServeExit {
     Failed,
 }
 
+/// `(ret, outputs, produced-handle registrations)` from one dispatch.
+type TranslatedOutputs = (Value, Vec<(u32, Value)>, Vec<(u64, String)>);
+
 impl ApiServer {
-    /// Creates a server for one VM.
+    /// Creates a server for one VM with a private handler (its own device).
     pub fn new(desc: Arc<ApiDescriptor>, handler: Box<dyn ApiHandler>) -> Self {
+        ApiServer::with_shared(desc, shared_handler(handler))
+    }
+
+    /// Creates a server bound to an existing (possibly shared) handler —
+    /// the device-pool path, where several VMs' servers execute against
+    /// one slot and contend on its mutex.
+    pub fn with_shared(desc: Arc<ApiDescriptor>, handler: SharedHandler) -> Self {
         ApiServer {
             desc,
             handler,
@@ -262,7 +275,9 @@ impl ApiServer {
         }
     }
 
-    /// Processes one message; `Err` means "stop serving".
+    /// Processes one message; `Err` means "stop serving" (there is no
+    /// payload to carry — the caller only tears the loop down).
+    #[allow(clippy::result_unit_err)]
     pub fn serve_one(
         &mut self,
         transport: &dyn Transport,
@@ -460,10 +475,10 @@ impl ApiServer {
     fn resolve_cached_args(&mut self, req: &mut CallRequest) -> bool {
         for arg in req.args.iter_mut() {
             match arg {
-                Value::Bytes(b) => {
-                    if b.len() >= self.rx_cache_min_bytes && self.rx_cache.capacity() > 0 {
-                        self.rx_cache.insert(fnv1a64(b), Value::Bytes(b.clone()));
-                    }
+                Value::Bytes(b)
+                    if b.len() >= self.rx_cache_min_bytes && self.rx_cache.capacity() > 0 =>
+                {
+                    self.rx_cache.insert(fnv1a64(b), Value::Bytes(b.clone()));
                 }
                 Value::CachedBytes { digest, .. } => match self.rx_cache.get(*digest) {
                     Some(cached) => {
@@ -568,14 +583,17 @@ impl ApiServer {
         let silo_args = self.translate_args(func, &req.args)?;
 
         // Dispatch, with OOM-triggered swap-out retries for allocations.
-        let mut out = self.handler.dispatch(func, &silo_args)?;
+        // The handler lock is held per attempt, not across the eviction
+        // loop: swap-out re-enters the handler and the mutex is not
+        // reentrant.
+        let mut out = self.handler.lock().dispatch(func, &silo_args)?;
         let mut evictions = 0;
-        while self.handler.ret_indicates_oom(func, &out.ret) && evictions < 64 {
+        while self.handler.lock().ret_indicates_oom(func, &out.ret) && evictions < 64 {
             if !self.swap_out_one_victim()? {
                 break;
             }
             evictions += 1;
-            out = self.handler.dispatch(func, &silo_args)?;
+            out = self.handler.lock().dispatch(func, &silo_args)?;
         }
 
         // Translate handle outputs to wire handles.
@@ -701,7 +719,7 @@ impl ApiServer {
         &mut self,
         func: &FunctionDesc,
         out: HandlerOutput,
-    ) -> Result<(Value, Vec<(u32, Value)>, Vec<(u64, String)>)> {
+    ) -> Result<TranslatedOutputs> {
         let mut produced: Vec<(u64, String)> = Vec::new();
         let ret = match (&func.ret, out.ret) {
             (RetDesc::Handle { kind }, Value::Handle(silo)) => {
@@ -770,6 +788,7 @@ impl ApiServer {
     pub fn swap_out_one_victim(&mut self) -> Result<bool> {
         let kinds: Vec<String> = self
             .handler
+            .lock()
             .swappable_kinds()
             .iter()
             .map(|s| s.to_string())
@@ -800,13 +819,16 @@ impl ApiServer {
     /// object, park the payload host-side.
     pub fn swap_out(&mut self, wire: u64, kind: &str) -> Result<()> {
         let silo = self.handles.to_silo(wire, kind)?;
-        let data = self
-            .handler
-            .snapshot_object(kind, silo)
-            .ok_or_else(|| ServerError::Swap(format!("object {wire:#x} has no payload")))?;
-        if !self.handler.drop_object(kind, silo) {
-            return Err(ServerError::Swap(format!("cannot drop object {wire:#x}")));
-        }
+        let data = {
+            let mut handler = self.handler.lock();
+            let data = handler
+                .snapshot_object(kind, silo)
+                .ok_or_else(|| ServerError::Swap(format!("object {wire:#x} has no payload")))?;
+            if !handler.drop_object(kind, silo) {
+                return Err(ServerError::Swap(format!("cannot drop object {wire:#x}")));
+            }
+            data
+        };
         self.handles.mark_swapped(wire, data)?;
         self.counters.swap_outs.inc();
         Ok(())
@@ -829,14 +851,14 @@ impl ApiServer {
         // Re-allocation may itself hit device OOM; evict other victims
         // until it fits (the wire handle being swapped in is not live and
         // therefore never selected as its own victim).
-        let mut out = self.handler.dispatch(&func, &silo_args)?;
+        let mut out = self.handler.lock().dispatch(&func, &silo_args)?;
         let mut evictions = 0;
-        while self.handler.ret_indicates_oom(&func, &out.ret) && evictions < 64 {
+        while self.handler.lock().ret_indicates_oom(&func, &out.ret) && evictions < 64 {
             if !self.swap_out_one_victim()? {
                 break;
             }
             evictions += 1;
-            out = self.handler.dispatch(&func, &silo_args)?;
+            out = self.handler.lock().dispatch(&func, &silo_args)?;
         }
         let (kind, silo) = match (&func.ret, &out.ret) {
             (RetDesc::Handle { kind }, Value::Handle(silo)) => (kind.clone(), *silo),
@@ -847,7 +869,7 @@ impl ApiServer {
             }
         };
         let data = self.handles.mark_live(wire, silo)?;
-        if !self.handler.restore_object(&kind, silo, &data) {
+        if !self.handler.lock().restore_object(&kind, silo, &data) {
             return Err(ServerError::Swap(format!(
                 "payload restore failed for {wire:#x}"
             )));
@@ -863,16 +885,18 @@ impl ApiServer {
     /// with router pause + quiescence for a consistent image.
     pub fn snapshot(&mut self) -> MigrationImage {
         let mut buffers = Vec::new();
+        let mut handler = self.handler.lock();
         for (wire, entry) in self.handles.entries() {
             match &entry.state {
                 HandleState::Live(silo) => {
-                    if let Some(data) = self.handler.snapshot_object(&entry.kind, *silo) {
+                    if let Some(data) = handler.snapshot_object(&entry.kind, *silo) {
                         buffers.push((wire, data));
                     }
                 }
                 HandleState::Swapped { data } => buffers.push((wire, data.clone())),
             }
         }
+        drop(handler);
         MigrationImage {
             records: self.records.replay_order().cloned().collect(),
             buffers,
@@ -893,8 +917,9 @@ impl ApiServer {
                 HandleState::Swapped { .. } => None,
             })
             .collect();
+        let mut handler = self.handler.lock();
         for (kind, silo) in live {
-            self.handler.drop_object(&kind, silo);
+            handler.drop_object(&kind, silo);
         }
     }
 
@@ -907,7 +932,18 @@ impl ApiServer {
         handler: Box<dyn ApiHandler>,
         image: &MigrationImage,
     ) -> Result<ApiServer> {
-        let mut server = ApiServer::new(desc, handler);
+        ApiServer::restore_with(desc, shared_handler(handler), image)
+    }
+
+    /// [`ApiServer::restore`] onto an existing (possibly shared) handler —
+    /// the slot-rebalancing path, where the image is replayed against a
+    /// pool slot's device that other VMs keep using concurrently.
+    pub fn restore_with(
+        desc: Arc<ApiDescriptor>,
+        handler: SharedHandler,
+        image: &MigrationImage,
+    ) -> Result<ApiServer> {
+        let mut server = ApiServer::with_shared(desc, handler);
         for record in &image.records {
             let func = server
                 .desc
@@ -915,7 +951,7 @@ impl ApiServer {
                 .cloned()
                 .ok_or(ServerError::UnknownFunction(record.fn_id))?;
             let silo_args = server.translate_args(&func, &record.args)?;
-            let out = server.handler.dispatch(&func, &silo_args)?;
+            let out = server.handler.lock().dispatch(&func, &silo_args)?;
             // Collect the silo handles the replayed call produced, in the
             // same canonical order the original recording used, and
             // re-bind the guest's original wire handles to them.
@@ -956,7 +992,11 @@ impl ApiServer {
                 )))?;
             match entry.state {
                 HandleState::Live(silo) => {
-                    if !server.handler.restore_object(&entry.kind, silo, data) {
+                    if !server
+                        .handler
+                        .lock()
+                        .restore_object(&entry.kind, silo, data)
+                    {
                         return Err(ServerError::Replay(format!(
                             "payload restore failed for {wire:#x}"
                         )));

@@ -158,6 +158,7 @@ pub trait ClApi: Send + Sync {
     ) -> ClResult<Option<ClEvent>>;
 
     /// `clEnqueueReadBuffer`.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_read_buffer(
         &self,
         queue: ClQueue,
@@ -170,6 +171,7 @@ pub trait ClApi: Send + Sync {
     ) -> ClResult<Option<ClEvent>>;
 
     /// `clEnqueueWriteBuffer`.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_write_buffer(
         &self,
         queue: ClQueue,
@@ -182,6 +184,7 @@ pub trait ClApi: Send + Sync {
     ) -> ClResult<Option<ClEvent>>;
 
     /// `clEnqueueCopyBuffer`.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_copy_buffer(
         &self,
         queue: ClQueue,

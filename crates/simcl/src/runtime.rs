@@ -275,13 +275,13 @@ impl SimCl {
     ) -> ClResult<Option<ClEvent>> {
         let q = self.queue(queue.0)?;
         let k = self.kern(kernel.0)?;
-        if global.iter().any(|&g| g == 0) {
+        if global.contains(&0) {
             return Err(ClError(CL_INVALID_WORK_DIMENSION));
         }
         let max_wg = q.device.config.max_work_group_size;
         let local = match local {
             Some(l) => {
-                if l.iter().any(|&x| x == 0)
+                if l.contains(&0)
                     || l.iter().product::<usize>() > max_wg
                     || global.iter().zip(l.iter()).any(|(g, l)| g % l != 0)
                 {
@@ -293,7 +293,7 @@ impl SimCl {
                 // Implementation-chosen group size: the largest power of
                 // two that divides global[0] and fits the device limit.
                 let mut size = 1usize;
-                while size * 2 <= max_wg && global[0] % (size * 2) == 0 {
+                while size * 2 <= max_wg && global[0].is_multiple_of(size * 2) {
                     size *= 2;
                 }
                 [size, 1, 1]

@@ -88,8 +88,8 @@ fn full_saxpy_pipeline() {
     cl.enqueue_read_buffer(queue, by, true, 0, &mut out, &[], false)
         .unwrap();
     let result = simcl::mem::bytes_to_f32(&out);
-    for i in 0..n {
-        assert_eq!(result[i], 1.0 + 2.0 * i as f32);
+    for (i, &r) in result.iter().enumerate().take(n) {
+        assert_eq!(r, 1.0 + 2.0 * i as f32);
     }
 }
 

@@ -320,7 +320,7 @@ impl Network {
     }
 }
 
-fn fetch<'a>(results: &'a [Option<Tensor>], idx: usize) -> NcResult<&'a Tensor> {
+fn fetch(results: &[Option<Tensor>], idx: usize) -> NcResult<&Tensor> {
     results
         .get(idx)
         .and_then(|o| o.as_ref())
@@ -521,7 +521,7 @@ mod tests {
                     stride: 1,
                     pad: 1,
                     relu: true,
-                    weights: vec![0.1; 2 * 1 * 9],
+                    weights: vec![0.1; 2 * 9],
                     bias: vec![0.0, 0.5],
                 },
                 Layer::MaxPool {

@@ -25,11 +25,14 @@ struct Job {
     reply: Sender<NcResult<(Vec<u8>, u64)>>,
 }
 
+/// A one-shot channel carrying one inference's output bytes + user tag.
+type ResultSlot = Receiver<NcResult<(Vec<u8>, u64)>>;
+
 struct GraphState {
     device: u64,
     job_tx: Sender<Job>,
-    result_rx: Receiver<Receiver<NcResult<(Vec<u8>, u64)>>>,
-    result_order_tx: Sender<Receiver<NcResult<(Vec<u8>, u64)>>>,
+    result_rx: Receiver<ResultSlot>,
+    result_order_tx: Sender<ResultSlot>,
     last_inference_micros: Arc<Mutex<u64>>,
     dont_block: Mutex<u64>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -236,7 +239,7 @@ impl MvncApi for SimNc {
 
     fn load_tensor(&self, graph: NcGraph, tensor: &[u8], user_param: u64) -> NcResult<()> {
         let state = self.graph(graph.0)?;
-        if tensor.is_empty() || tensor.len() % 4 != 0 {
+        if tensor.is_empty() || !tensor.len().is_multiple_of(4) {
             return Err(NcError(MVNC_INVALID_PARAMETERS));
         }
         // Recover the shape from the byte count: the network validates the

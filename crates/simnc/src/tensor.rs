@@ -80,6 +80,7 @@ impl Tensor {
 
 /// 2D convolution. Weights are `[out_c][in_c][k][k]` flattened; `bias` has
 /// `out_c` entries. Zero padding of `pad` on each side, square stride.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d(
     input: &Tensor,
     weights: &[f32],
@@ -109,10 +110,10 @@ pub fn conv2d(
         return Err(NcError(MVNC_INVALID_PARAMETERS));
     }
     let mut out = Tensor::zeros(out_c, oh, ow);
-    for oc in 0..out_c {
+    for (oc, &oc_bias) in bias.iter().enumerate() {
         for oy in 0..oh {
             for ox in 0..ow {
-                let mut acc = bias[oc];
+                let mut acc = oc_bias;
                 for ic in 0..in_c {
                     let wbase = ((oc * in_c) + ic) * k * k;
                     for ky in 0..k {

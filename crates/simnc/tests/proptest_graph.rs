@@ -7,8 +7,8 @@ use simnc::{Layer, Network};
 fn arb_network() -> impl Strategy<Value = Network> {
     (2usize..6, 2usize..8, 1usize..4).prop_map(|(c, hw, convs)| {
         let mut layers = vec![Layer::Input { c, h: hw, w: hw }];
-        let mut last_c = c;
         for i in 0..convs {
+            let last_c = c + i;
             layers.push(Layer::Conv {
                 input: i,
                 out_c: last_c + 1,
@@ -19,7 +19,6 @@ fn arb_network() -> impl Strategy<Value = Network> {
                 weights: vec![0.5; (last_c + 1) * last_c],
                 bias: vec![0.0; last_c + 1],
             });
-            last_c += 1;
         }
         Network {
             name: format!("n{c}x{hw}"),

@@ -120,22 +120,22 @@ fn parse_top_level(cur: &mut Cursor, header: &mut Header) -> Result<()> {
                 _ => {}
             }
         }
-        Some(Tok::Ident(kw)) if kw == "enum" => {
-            if matches!(cur.peek_n(1), Some(Tok::Punct("{")))
-                || matches!(
-                    (cur.peek_n(1), cur.peek_n(2)),
-                    (Some(Tok::Ident(_)), Some(Tok::Punct("{")))
-                )
-            {
-                cur.next();
-                let tag = match cur.peek() {
-                    Some(Tok::Ident(_)) => cur.expect_ident()?,
-                    _ => anon_tag(cur),
-                };
-                parse_enum_body(cur, header, &tag)?;
-                cur.expect_punct(";")?;
-                return Ok(());
-            }
+        Some(Tok::Ident(kw))
+            if kw == "enum"
+                && (matches!(cur.peek_n(1), Some(Tok::Punct("{")))
+                    || matches!(
+                        (cur.peek_n(1), cur.peek_n(2)),
+                        (Some(Tok::Ident(_)), Some(Tok::Punct("{")))
+                    )) =>
+        {
+            cur.next();
+            let tag = match cur.peek() {
+                Some(Tok::Ident(_)) => cur.expect_ident()?,
+                _ => anon_tag(cur),
+            };
+            parse_enum_body(cur, header, &tag)?;
+            cur.expect_punct(";")?;
+            return Ok(());
         }
         _ => {}
     }
@@ -298,9 +298,9 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
     let mut base: Option<CType> = None;
     let mut saw_int_kw = false;
 
-    loop {
-        match cur.peek().cloned() {
-            Some(Tok::Ident(kw)) => match kw.as_str() {
+    while let Some(Tok::Ident(kw)) = cur.peek().cloned() {
+        {
+            match kw.as_str() {
                 "const" => {
                     is_const = true;
                     cur.next();
@@ -396,8 +396,7 @@ fn parse_type_inner(cur: &mut Cursor) -> Result<(CType, bool)> {
                     }
                     break;
                 }
-            },
-            _ => break,
+            }
         }
     }
 

@@ -229,7 +229,11 @@ impl Cursor {
         self.toks.get(self.pos + n).map(|t| &t.tok)
     }
 
-    /// Consumes and returns the next token.
+    /// Consumes and returns the next token. Named like
+    /// `Iterator::next` on purpose — the cursor is an iterator in
+    /// spirit, but implementing the trait would forbid the lookahead
+    /// (`peek_n`) borrows the parser leans on.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {

@@ -287,7 +287,8 @@ impl Snapshot {
             .cloned()
             .collect();
         let mut out = Vec::new();
-        let segments: [(&'static str, fn(&SpanRecord) -> Option<u64>); 6] = [
+        type Segment = (&'static str, fn(&SpanRecord) -> Option<u64>);
+        let segments: [Segment; 6] = [
             ("guest_marshal", SpanRecord::guest_marshal),
             ("transport_out", SpanRecord::transport_out),
             ("router_queue", SpanRecord::router_queue),

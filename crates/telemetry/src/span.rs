@@ -294,9 +294,11 @@ mod tests {
 
     #[test]
     fn out_of_order_stamp_detected() {
-        let mut r = SpanRecord::default();
-        r.queued = Some(10);
-        r.forwarded = Some(5);
+        let r = SpanRecord {
+            queued: Some(10),
+            forwarded: Some(5),
+            ..Default::default()
+        };
         assert!(!r.stages_ordered());
     }
 }

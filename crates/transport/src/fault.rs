@@ -45,12 +45,18 @@ pub enum FaultAction {
     Disconnect,
 }
 
+/// Predicate over `(frame sequence number, message)` used by [`FaultRule`].
+pub type RulePredicate = Arc<dyn Fn(u64, &Message) -> bool + Send + Sync>;
+
+/// Frame-eligibility predicate used by [`FaultPlan`].
+pub type EligibilityPredicate = Arc<dyn Fn(&Message) -> bool + Send + Sync>;
+
 /// A scripted override: frames matching `matches` (by sequence number and
 /// content) receive `action` instead of a random draw. First match wins.
 #[derive(Clone)]
 pub struct FaultRule {
     /// Predicate over `(frame sequence number, message)`.
-    pub matches: Arc<dyn Fn(u64, &Message) -> bool + Send + Sync>,
+    pub matches: RulePredicate,
     /// Action applied when the predicate holds.
     pub action: FaultAction,
 }
@@ -84,7 +90,7 @@ pub struct FaultPlan {
     /// Eligibility predicate: frames failing it bypass fault injection.
     /// Usually set via [`FaultPlan::eligible`]; public so struct-update
     /// syntax (`..FaultPlan::default()`) works outside this crate.
-    pub predicate: Option<Arc<dyn Fn(&Message) -> bool + Send + Sync>>,
+    pub predicate: Option<EligibilityPredicate>,
 }
 
 impl Default for FaultPlan {

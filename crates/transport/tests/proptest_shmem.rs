@@ -11,7 +11,7 @@ fn message(id: u64, payload: &[u8]) -> Message {
     Message::Call(CallRequest {
         call_id: id,
         fn_id: (id % 7) as u32,
-        mode: if id % 2 == 0 {
+        mode: if id.is_multiple_of(2) {
             CallMode::Sync
         } else {
             CallMode::Async

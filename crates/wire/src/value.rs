@@ -293,7 +293,7 @@ impl Value {
 }
 
 /// Checks that at least `n` bytes remain, returning the buffer for chaining.
-fn need<'b>(buf: &'b mut Bytes, n: usize) -> Result<&'b mut Bytes> {
+fn need(buf: &mut Bytes, n: usize) -> Result<&mut Bytes> {
     if buf.remaining() < n {
         Err(WireError::UnexpectedEof)
     } else {

@@ -52,10 +52,10 @@ impl Bfs {
         let n = self.nodes;
         let mut rng = XorShift::new(0xbf5);
         let mut adj: Vec<Vec<i32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            adj[v].push(((v + 1) % n) as i32); // ring keeps it connected
+        for (v, nbrs) in adj.iter_mut().enumerate() {
+            nbrs.push(((v + 1) % n) as i32); // ring keeps it connected
             for _ in 0..self.degree - 1 {
-                adj[v].push(rng.next_below(n) as i32);
+                nbrs.push(rng.next_below(n) as i32);
             }
         }
         let mut row_offsets = Vec::with_capacity(n + 1);
@@ -77,8 +77,9 @@ impl Bfs {
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for &node in &frontier {
-                for e in row_offsets[node] as usize..row_offsets[node + 1] as usize {
-                    let nb = edges[e] as usize;
+                let row = row_offsets[node] as usize..row_offsets[node + 1] as usize;
+                for &edge in &edges[row] {
+                    let nb = edge as usize;
                     if levels[nb] < 0 {
                         levels[nb] = level + 1;
                         next.push(nb);
@@ -107,8 +108,9 @@ impl ClWorkload for Bfs {
             let changed = as_i32_mut(changed);
             for node in 0..n {
                 if levels[node] == level {
-                    for e in row_offsets[node] as usize..row_offsets[node + 1] as usize {
-                        let nb = edges[e] as usize;
+                    let row = row_offsets[node] as usize..row_offsets[node + 1] as usize;
+                    for &edge in &edges[row] {
+                        let nb = edge as usize;
                         if levels[nb] < 0 {
                             levels[nb] = level + 1;
                             changed[0] = 1;

@@ -197,6 +197,66 @@ fn chaos_run_with_crash_recovery_is_bit_identical() {
     }
 }
 
+/// Nightly-scale sweep: the same drop/duplicate/delay + crash scenario
+/// across many fault-schedule seeds. Each seed shifts which frames the
+/// injectors hit, so the sweep probes retry/dedup/replay interleavings the
+/// two fixed seeds of the smoke test never reach. Gated behind
+/// `CHAOS_EXTENDED=1` (set by the nightly workflow) so PR CI stays fast.
+#[test]
+fn extended_chaos_seed_sweep() {
+    if std::env::var("CHAOS_EXTENDED").is_err() {
+        eprintln!("skipping extended sweep: set CHAOS_EXTENDED=1 to run it");
+        return;
+    }
+    let (kmeans_oracle, backprop_oracle) = {
+        let stack = opencl_stack(silo_with_all_kernels(Scale::Test), chaos_config()).unwrap();
+        let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        let client = OpenClClient::new(lib);
+        let k = Kmeans::new(Scale::Test).run(&client).unwrap();
+        let b = Backprop::new(Scale::Test).run(&client).unwrap();
+        (k, b)
+    };
+
+    let seeds: Vec<(u64, u64)> = (0..12)
+        .map(|i| (0xC4A0 + 0x1111 * i, 0xFA11 + 0x2222 * i))
+        .collect();
+    for (i, &(tx_seed, rx_seed)) in seeds.iter().enumerate() {
+        let stack = opencl_stack(silo_with_all_kernels(Scale::Test), chaos_config()).unwrap();
+        let (vm, lib) = stack
+            .attach_vm_with_faults(
+                VmPolicy::default(),
+                Some(tx_plan(tx_seed)),
+                Some(rx_plan(rx_seed)),
+            )
+            .unwrap();
+        let client = OpenClClient::new(Arc::clone(&lib));
+
+        let kmeans = Kmeans::new(Scale::Test).run(&client).unwrap();
+        assert_eq!(kmeans, kmeans_oracle, "seed pair {i}: kmeans diverged");
+
+        // Sync fence: the transport is FIFO per VM, so a completed sync
+        // call means every earlier async frame was served — the crash can
+        // only lose trailing releases, never result-bearing work.
+        client.get_platform_ids().unwrap();
+        stack.crash_vm_server(vm).unwrap();
+        wait_for("supervisor respawn", Duration::from_secs(10), || {
+            stack.recovery_stats().respawns >= 1
+        });
+
+        let backprop = Backprop::new(Scale::Test).run(&client).unwrap();
+        assert_eq!(
+            backprop, backprop_oracle,
+            "seed pair {i}: backprop diverged after recovery"
+        );
+        let journal = stack.vm_journal(vm).unwrap();
+        assert!(
+            journal.call_ids_unique(),
+            "seed pair {i}: a call executed twice despite dedup"
+        );
+        assert_eq!(stack.recovery_stats().failed, 0, "seed pair {i}");
+    }
+}
+
 /// A server that stays dead: with a respawn budget of zero the supervisor
 /// marks the VM unavailable, and a call fails with `Unavailable` within
 /// twice the configured deadline instead of burning the retry budget.

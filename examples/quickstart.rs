@@ -39,7 +39,6 @@ fn main() {
             .expect("info")
             .as_str()
             .expect("string info")
-            .to_string()
     );
 
     let ctx = api.create_context(device).expect("context");
