@@ -33,6 +33,13 @@ def extract_metrics(report):
             key = cfg["transport"]
             out[f"{key}.payload_reduction"] = cfg["payload_reduction_vs_off"]
             out[f"{key}.hit_rate"] = cfg["hit_rate"]
+        # Recorder-on vs recorder-off p50 overhead ratio (~1.0x). A ratio
+        # is already hardware-normalized, so it gates like the other
+        # speed-insensitive metrics. Guarded: baselines predating the
+        # ablation lack the key, and the new-metric path handles that.
+        recorder = report.get("recorder")
+        if recorder is not None:
+            out["recorder_overhead_p50"] = recorder["overhead_ratio"]
     elif bench == "scheduling":
         for sc in report.get("scenarios", []):
             out[f"{sc['name']}.jain"] = sc["jain_device_time"]
@@ -137,6 +144,19 @@ def self_test():
     dp_worse["configs"][1]["payload_reduction_vs_off"] = 0.10
     _, regressed = compare(dp_base, dp_worse, 0.2)
     assert regressed, "an elision collapse must fail the gate"
+
+    dp_rec = json.loads(json.dumps(dp_base))
+    dp_rec["recorder"] = {"p50_off_us": 30.0, "p50_on_us": 31.0,
+                          "overhead_ratio": 1.033}
+    rows, regressed = compare(dp_base, dp_rec, 0.2)
+    assert not regressed, "a new recorder metric must be info-only"
+    assert any(r[0] == "recorder_overhead_p50" and r[1] is None
+               for r in rows), rows
+
+    dp_rec_worse = json.loads(json.dumps(dp_rec))
+    dp_rec_worse["recorder"]["overhead_ratio"] = 1.35
+    _, regressed = compare(dp_rec, dp_rec_worse, 0.2)
+    assert regressed, "a recorder overhead blow-up must fail the gate"
 
     print("compare_bench self-test: ok")
 

@@ -1,61 +1,42 @@
 //! End-to-end telemetry demonstration: runs a Rodinia-style OpenCL
 //! workload through the full AvA stack with a registry attached, then
-//! prints the per-function latency table and the cross-tier span
-//! breakdown (guest-marshal / transport / router-queue / server-execute)
-//! for both the in-process and the TCP transport.
+//! prints the per-function latency table, the cross-tier span breakdown
+//! (guest-marshal / transport / router-queue / server-execute), and the
+//! recovery / pool / SLO counters, for both the in-process and the TCP
+//! transport.
 //!
 //! The segment sums telescope: for each completed sync span they add up
 //! exactly to its guest-observed end-to-end latency, so the "sum /
 //! total" column printed at the bottom is a built-in self-check (it must
 //! be 1.000 up to floating-point rounding).
 //!
-//! Usage: `telemetry_report [--json]`
+//! Usage: `telemetry_report [--json] [--smoke] [--trace FILE] [--prom FILE]`
+//!
+//! * `--smoke` replaces the two-transport sweep with a single pooled run
+//!   that deliberately exercises every flight-recorder event class:
+//!   dropped replies (guest retries), an API-server crash (respawn +
+//!   journal replay), an explicit live migration (rebalance), and an
+//!   unmeetable SLO (violation events + burn gauges). CI uses it to
+//!   assert the exporters produce non-trivial artifacts.
+//! * `--trace FILE` writes Chrome-trace/Perfetto JSON of the final run.
+//! * `--prom FILE` writes Prometheus text exposition of the final run.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 use ava_bench::row;
-use ava_core::OpenClClient;
-use ava_core::{opencl_stack_with, StackConfig};
+use ava_core::{
+    opencl_pool_stack, opencl_stack_with, GuestConfig, OpenClClient, PlacementPolicy, StackConfig,
+};
 use ava_hypervisor::VmPolicy;
 use ava_spec::LowerOptions;
-use ava_telemetry::Registry;
-use ava_transport::{CostModel, TransportKind};
+use ava_telemetry::{export, Registry, SloConfig, Snapshot};
+use ava_transport::{CostModel, FaultAction, FaultPlan, TransportKind};
+use ava_wire::Message;
 use ava_workloads::{opencl_workloads, silo_with_all_kernels, Scale};
 
-fn run_with_transport(kind: TransportKind, json: bool) {
-    let label = match kind {
-        TransportKind::InProcess => "inproc",
-        TransportKind::SharedMemory => "shmem",
-        TransportKind::Tcp => "tcp",
-    };
-    let scale = Scale::Test;
-    let config = StackConfig {
-        transport: kind,
-        cost_model: CostModel::free(),
-        ..StackConfig::default()
-    };
-    let stack = opencl_stack_with(
-        silo_with_all_kernels(scale),
-        config,
-        LowerOptions::default(),
-    )
-    .expect("stack builds");
-    let registry = Registry::new();
-    stack
-        .set_telemetry(registry.clone())
-        .expect("telemetry attaches");
-    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
-    let client = OpenClClient::new(lib);
-
-    for wl in opencl_workloads(scale) {
-        wl.run(&client).expect("workload runs");
-    }
-
-    let snapshot = registry.snapshot();
-    if json {
-        println!("{}", snapshot.render_json());
-        return;
-    }
-
-    println!("== transport: {label} ==");
+fn print_report(label: &str, snapshot: &Snapshot) {
+    println!("== {label} ==");
     println!();
 
     // Per-function latency table from the guest-side histograms.
@@ -110,16 +91,244 @@ fn run_with_transport(kind: TransportKind, json: bool) {
         println!("  sum / total      {:>10.3}", segment_sum / total);
     }
     println!();
+
+    // Recovery, pool and SLO state. Respawn/replay counters exist on every
+    // telemetry-attached stack (zero on a fault-free run); slot gauges and
+    // burn gauges appear only on pooled / SLO-configured stacks.
+    let mut lines = Vec::new();
+    for (name, v) in &snapshot.counters {
+        if name.starts_with("recovery.") {
+            lines.push(format!("  {name:<28} {v}"));
+        }
+    }
+    for (name, v) in &snapshot.gauges {
+        if name.starts_with("pool.slot") || name.starts_with("slo.") {
+            lines.push(format!("  {name:<28} {v:.1}"));
+        }
+    }
+    if !lines.is_empty() {
+        println!("recovery / pool / slo:");
+        for line in lines {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    // Flight-recorder summary: what happened, by event class.
+    println!(
+        "flight recorder: {} events retained, {} overwritten, {} spans dropped",
+        snapshot.events.len(),
+        snapshot.events_overwritten,
+        snapshot.spans_dropped
+    );
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for event in &snapshot.events {
+        *kinds.entry(event.kind.name()).or_default() += 1;
+    }
+    for (kind, n) in kinds {
+        println!("  {kind:<20} {n}");
+    }
+    println!();
+}
+
+fn run_with_transport(kind: TransportKind, json: bool) -> Registry {
+    let label = match kind {
+        TransportKind::InProcess => "transport: inproc",
+        TransportKind::SharedMemory => "transport: shmem",
+        TransportKind::Tcp => "transport: tcp",
+    };
+    let scale = Scale::Test;
+    let config = StackConfig {
+        transport: kind,
+        cost_model: CostModel::free(),
+        ..StackConfig::default()
+    };
+    let stack = opencl_stack_with(
+        silo_with_all_kernels(scale),
+        config,
+        LowerOptions::default(),
+    )
+    .expect("stack builds");
+    let registry = Registry::new();
+    stack
+        .set_telemetry(registry.clone())
+        .expect("telemetry attaches");
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+    let client = OpenClClient::new(lib);
+
+    for wl in opencl_workloads(scale) {
+        wl.run(&client).expect("workload runs");
+    }
+
+    let snapshot = registry.snapshot();
+    if json {
+        println!("{}", snapshot.render_json());
+    } else {
+        print_report(label, &snapshot);
+    }
+    registry
+}
+
+/// A pooled run that deterministically drives every recorder event class:
+/// two VMs packed onto slot 0, dropped replies on VM A (retries), a crash
+/// of VM B's API server (respawn + journal replay + cache-epoch bump), an
+/// explicit migration of VM B (rebalance + placement), and a 1 ns p99
+/// target no workload can meet (SLO violations + burn gauges).
+fn run_smoke(json: bool) -> Registry {
+    let scale = Scale::Test;
+    let config = StackConfig {
+        transport: TransportKind::InProcess,
+        cost_model: CostModel::free(),
+        placement: PlacementPolicy::Packed,
+        guest: GuestConfig {
+            call_deadline: Some(Duration::from_millis(50)),
+            max_retries: 5,
+            retry_backoff: Duration::from_millis(1),
+            payload_cache_entries: 32,
+            ..GuestConfig::default()
+        },
+        supervision_interval: Duration::from_millis(2),
+        rebalance_interval: Duration::from_millis(25),
+        slo: Some(SloConfig::p99(1)),
+        ..StackConfig::default()
+    };
+    let silos = vec![silo_with_all_kernels(scale), silo_with_all_kernels(scale)];
+    let stack = opencl_pool_stack(silos, config).expect("pool stack builds");
+    let registry = Registry::new();
+    stack
+        .set_telemetry(registry.clone())
+        .expect("telemetry attaches");
+
+    // VM A: every reply on a `seq % 20 == 7` frame is dropped, forcing the
+    // guest to retry that call (the server's at-most-once cache absorbs
+    // the resend) — same schedule as the chaos acceptance test.
+    let rx_plan = FaultPlan::quiet(11).rule(
+        |seq, msg| matches!(msg, Message::Reply(_)) && seq % 20 == 7,
+        FaultAction::Drop,
+    );
+    let (_vm_a, lib_a) = stack
+        .attach_vm_with_faults(VmPolicy::default(), None, Some(rx_plan))
+        .expect("vm A attaches");
+    let (vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).expect("vm B attaches");
+    let client_a = OpenClClient::new(lib_a);
+    let client_b = OpenClClient::new(lib_b);
+
+    for wl in opencl_workloads(scale) {
+        wl.run(&client_a).expect("workload runs on vm A");
+    }
+    let first = |client: &OpenClClient| {
+        let mut wls = opencl_workloads(scale);
+        wls.truncate(1);
+        for wl in wls {
+            wl.run(client).expect("workload runs on vm B");
+        }
+    };
+    first(&client_b);
+
+    // Kill B's API server; the supervisor replays its journal.
+    stack.crash_vm_server(vm_b).expect("crash injects");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stack.recovery_stats().respawns == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never respawned the crashed server"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Post-crash traffic proves the replayed server works and re-warms the
+    // payload caches (the respawned mirror starts cold, so elided sends
+    // NACK with CacheMiss first).
+    first(&client_b);
+
+    // Explicit live migration to the other slot: rebalance + placement
+    // events on the pool track.
+    let src = stack.vm_slot(vm_b).expect("vm B is pooled");
+    stack
+        .rebalance_vm(vm_b, 1 - src)
+        .expect("rebalance succeeds");
+
+    // Let the supervisor evaluate at least one SLO window (the 1 ns p99
+    // target is unmeetable, so violations and burn gauges appear).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stack.slo_violations().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "SLO monitor never flagged the unmeetable p99 target"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let snapshot = registry.snapshot();
+    if json {
+        println!("{}", snapshot.render_json());
+    } else {
+        print_report("smoke: pooled, faults + crash + migration", &snapshot);
+    }
+    registry
+}
+
+struct Args {
+    json: bool,
+    smoke: bool,
+    trace: Option<String>,
+    prom: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        json: false,
+        smoke: false,
+        trace: None,
+        prom: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--smoke" => args.smoke = true,
+            "--trace" => args.trace = Some(it.next().expect("--trace requires a file path")),
+            "--prom" => args.prom = Some(it.next().expect("--prom requires a file path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: telemetry_report [--json] [--smoke] [--trace FILE] [--prom FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
 }
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
-    if !json {
-        println!("# End-to-end telemetry report");
-        println!("# Rodinia-style OpenCL suite, per-call spans across guest -> router -> server");
-        println!();
+    let args = parse_args();
+    let registry = if args.smoke {
+        run_smoke(args.json)
+    } else {
+        if !args.json {
+            println!("# End-to-end telemetry report");
+            println!(
+                "# Rodinia-style OpenCL suite, per-call spans across guest -> router -> server"
+            );
+            println!();
+        }
+        let mut last = None;
+        for kind in [TransportKind::InProcess, TransportKind::Tcp] {
+            last = Some(run_with_transport(kind, args.json));
+        }
+        last.expect("at least one transport ran")
+    };
+
+    // Artifact exports come from the final run's registry (the smoke run,
+    // or the TCP sweep). Status goes to stderr so `--json` stdout stays a
+    // single parseable document.
+    let snapshot = registry.snapshot();
+    if let Some(path) = &args.trace {
+        std::fs::write(path, export::trace_json(&snapshot)).expect("trace file writes");
+        eprintln!("wrote Chrome trace to {path}");
     }
-    for kind in [TransportKind::InProcess, TransportKind::Tcp] {
-        run_with_transport(kind, json);
+    if let Some(path) = &args.prom {
+        std::fs::write(path, export::prometheus(&snapshot)).expect("prometheus file writes");
+        eprintln!("wrote Prometheus exposition to {path}");
     }
 }

@@ -20,7 +20,10 @@ use ava_server::{
     SharedHandler,
 };
 use ava_spec::{ApiDescriptor, FunctionDesc};
-use ava_telemetry::{Counter, Gauge, Registry, Telemetry};
+use ava_telemetry::{
+    pack_slots, Counter, EventKind, Gauge, Registry, SloConfig, SloMonitor, SloSubject,
+    SloViolation, Telemetry, Tier,
+};
 use ava_transport::{CostModel, FaultPlan, Transport, TransportError, TransportKind};
 use ava_wire::{ControlMessage, Message, Value, VmId};
 use parking_lot::Mutex;
@@ -112,6 +115,13 @@ pub struct StackConfig {
     pub rebalance_threshold_ms: Option<f64>,
     /// How often the load watchdog evaluates slot imbalance.
     pub rebalance_interval: Duration,
+    /// Service-level objectives, evaluated by the supervisor on the
+    /// [`StackConfig::rebalance_interval`] cadence once telemetry is
+    /// attached ([`ApiStack::set_telemetry`]). A slot in violation is
+    /// treated as hot by the rebalance watchdog even when the raw
+    /// device-time gap alone would not trigger a migration. `None`
+    /// disables SLO monitoring.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for StackConfig {
@@ -128,6 +138,7 @@ impl Default for StackConfig {
             slot_inflight: 2,
             rebalance_threshold_ms: None,
             rebalance_interval: Duration::from_millis(100),
+            slo: None,
         }
     }
 }
@@ -397,6 +408,10 @@ fn rebalance(
     pool.slots[src].vms.add(-1.0);
     pool.slots[dst].vms.add(1.0);
     hypervisor.resume_vm(vm)?;
+    telemetry
+        .lock()
+        .with_vm(vm)
+        .event(Tier::Pool, EventKind::Rebalance, 0, pack_slots(src, dst));
     Ok(())
 }
 
@@ -492,6 +507,9 @@ struct Supervisor {
     telemetry: Arc<Mutex<Telemetry>>,
     recovery: RecoveryCounters,
     pool: Option<Arc<PoolState>>,
+    /// SLO monitor, populated by `ApiStack::set_telemetry` (objectives
+    /// need the registry to window over).
+    slo: Arc<Mutex<Option<Arc<SloMonitor>>>>,
 }
 
 impl Supervisor {
@@ -505,11 +523,30 @@ impl Supervisor {
         while !stop.load(Ordering::Acquire) {
             std::thread::sleep(self.config.supervision_interval);
             self.sweep();
-            if let (Some(pool), Some(threshold)) = (&self.pool, self.config.rebalance_threshold_ms)
-            {
-                if last_check.elapsed() >= self.config.rebalance_interval {
-                    last_check = Instant::now();
-                    self.maybe_rebalance(pool, threshold, &mut last_time);
+            if last_check.elapsed() >= self.config.rebalance_interval {
+                last_check = Instant::now();
+                // SLO windows close on the watchdog cadence: the monitor
+                // diffs this scrape against the previous one, and the
+                // violations feed straight into the rebalance decision.
+                let monitor = self.slo.lock().clone();
+                let violations = match &monitor {
+                    Some(m) => {
+                        let placements: Vec<(VmId, usize)> = self
+                            .pool
+                            .as_ref()
+                            .map(|p| p.placements.lock().iter().map(|(&v, &s)| (v, s)).collect())
+                            .unwrap_or_default();
+                        m.evaluate(&placements)
+                    }
+                    None => Vec::new(),
+                };
+                if let Some(pool) = &self.pool {
+                    self.maybe_rebalance(
+                        pool,
+                        self.config.rebalance_threshold_ms,
+                        &mut last_time,
+                        &violations,
+                    );
                 }
             }
         }
@@ -517,10 +554,18 @@ impl Supervisor {
 
     /// Load watchdog: compares per-slot device time consumed over the last
     /// interval and migrates one VM (lowest id) from the hottest slot to
-    /// the coolest when the gap exceeds the threshold. Only acts when the
-    /// hot slot has at least two VMs — a lone hot VM gains nothing from
-    /// moving to an idle device of equal speed.
-    fn maybe_rebalance(&self, pool: &Arc<PoolState>, threshold_ms: f64, last: &mut [f64]) {
+    /// the coolest when the gap exceeds the threshold. A slot in SLO
+    /// violation is treated as hot regardless of the raw device-time gap —
+    /// service quality is the contract; device time is only its proxy.
+    /// Only acts when the hot slot has at least two VMs — a lone hot VM
+    /// gains nothing from moving to an idle device of equal speed.
+    fn maybe_rebalance(
+        &self,
+        pool: &Arc<PoolState>,
+        threshold_ms: Option<f64>,
+        last: &mut [f64],
+        violations: &[SloViolation],
+    ) {
         let deltas: Vec<f64> = pool
             .slots
             .iter()
@@ -532,23 +577,43 @@ impl Supervisor {
                 d
             })
             .collect();
-        let Some(hot) = (0..deltas.len()).max_by(|&a, &b| {
+        let violating = violations.iter().find_map(|v| match v.subject {
+            SloSubject::Slot(s) if s < deltas.len() => Some(s),
+            _ => None,
+        });
+        let hot = match violating {
+            Some(slot) => slot,
+            None => {
+                let Some(threshold) = threshold_ms else {
+                    return;
+                };
+                let Some(hot) = (0..deltas.len()).max_by(|&a, &b| {
+                    deltas[a]
+                        .partial_cmp(&deltas[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }) else {
+                    return;
+                };
+                let Some(cold) = (0..deltas.len()).min_by(|&a, &b| {
+                    deltas[a]
+                        .partial_cmp(&deltas[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }) else {
+                    return;
+                };
+                if hot == cold || deltas[hot] - deltas[cold] < threshold {
+                    return;
+                }
+                hot
+            }
+        };
+        let Some(cold) = (0..deltas.len()).filter(|&i| i != hot).min_by(|&a, &b| {
             deltas[a]
                 .partial_cmp(&deltas[b])
                 .unwrap_or(std::cmp::Ordering::Equal)
         }) else {
             return;
         };
-        let Some(cold) = (0..deltas.len()).min_by(|&a, &b| {
-            deltas[a]
-                .partial_cmp(&deltas[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        }) else {
-            return;
-        };
-        if hot == cold || deltas[hot] - deltas[cold] < threshold_ms {
-            return;
-        }
         let victim = {
             let placements = pool.placements.lock();
             if placements.values().filter(|&&s| s == hot).count() < 2 {
@@ -600,14 +665,14 @@ impl Supervisor {
         if let Some(t) = runtime.thread.take() {
             let _ = t.join();
         }
+        let telemetry = self.telemetry.lock().with_vm(vm);
+        telemetry.event(Tier::Supervisor, EventKind::ServerCrash, 0, 0);
         if runtime.respawns >= self.config.max_respawns {
             self.recovery.failed.inc();
             let _ = self.hypervisor.mark_unavailable(vm);
             return;
         }
         runtime.respawns += 1;
-
-        let telemetry = self.telemetry.lock().with_vm(vm);
         // Pooled VMs recover onto their slot's shared device: the device
         // itself survived the server crash, but the crashed server's handle
         // table died with it, so replay re-creates this VM's objects there
@@ -632,6 +697,7 @@ impl Supervisor {
         };
         let replayed = server.replay_journal(&entries);
         self.recovery.replayed_calls.add(replayed);
+        telemetry.event(Tier::Supervisor, EventKind::JournalReplay, 0, replayed);
         // Attach the journal only after replay, so replayed calls are not
         // journaled a second time.
         server.set_journal(Arc::clone(&runtime.journal));
@@ -657,6 +723,12 @@ impl Supervisor {
             .send(&Message::Control(ControlMessage::CacheEpoch(
                 runtime.cache_epoch,
             )));
+        telemetry.event(
+            Tier::Supervisor,
+            EventKind::ServerRespawn,
+            0,
+            u64::from(runtime.respawns),
+        );
         // Counted only now: observers waiting on `recovery.respawns` must
         // see the replay/replayed-calls counters already settled.
         self.recovery.respawns.inc();
@@ -674,6 +746,7 @@ pub struct ApiStack {
     telemetry: Arc<Mutex<Telemetry>>,
     recovery: RecoveryCounters,
     pool: Option<Arc<PoolState>>,
+    slo: Arc<Mutex<Option<Arc<SloMonitor>>>>,
     supervisor_stop: Arc<AtomicBool>,
     supervisor: Option<std::thread::JoinHandle<()>>,
 }
@@ -714,6 +787,7 @@ impl ApiStack {
         let vms = Arc::new(Mutex::new(HashMap::new()));
         let telemetry = Arc::new(Mutex::new(Telemetry::disabled()));
         let recovery = RecoveryCounters::default();
+        let slo: Arc<Mutex<Option<Arc<SloMonitor>>>> = Arc::new(Mutex::new(None));
         let supervisor = Supervisor {
             hypervisor: Arc::clone(&hypervisor),
             descriptor: Arc::clone(&descriptor),
@@ -723,6 +797,7 @@ impl ApiStack {
             telemetry: Arc::clone(&telemetry),
             recovery: recovery.clone(),
             pool: pool.clone(),
+            slo: Arc::clone(&slo),
         };
         let supervisor_stop = Arc::new(AtomicBool::new(false));
         let stop = Arc::clone(&supervisor_stop);
@@ -739,6 +814,7 @@ impl ApiStack {
             telemetry,
             recovery,
             pool,
+            slo,
             supervisor_stop,
             supervisor: Some(supervisor),
         }
@@ -753,16 +829,44 @@ impl ApiStack {
         if let Some(pool) = &self.pool {
             pool.register(&registry);
         }
+        // SLO objectives window over the registry, so the monitor can only
+        // come alive once one is attached.
+        if let Some(slo_config) = self.config.slo.filter(SloConfig::any_enabled) {
+            *self.slo.lock() = Some(Arc::new(SloMonitor::new(registry.clone(), slo_config)));
+        }
         let telemetry = Telemetry::new(registry);
         *self.telemetry.lock() = telemetry.clone();
         self.hypervisor.set_telemetry(telemetry)?;
         Ok(())
     }
 
+    /// The latest SLO-evaluation window's violations; empty when no SLO is
+    /// configured, telemetry is not attached, or every objective is met.
+    /// The rebalance watchdog consults the same list before migrating.
+    pub fn slo_violations(&self) -> Vec<SloViolation> {
+        self.slo
+            .lock()
+            .as_ref()
+            .map(|m| m.violations())
+            .unwrap_or_default()
+    }
+
     /// Renders the attached registry as a text report; `None` when
     /// telemetry was never attached.
     pub fn telemetry_report(&self) -> Option<String> {
         self.telemetry.lock().report()
+    }
+
+    /// Renders the attached registry as Chrome-trace / Perfetto JSON;
+    /// `None` when telemetry was never attached.
+    pub fn export_trace(&self) -> Option<String> {
+        self.telemetry.lock().export_trace()
+    }
+
+    /// Renders the attached registry as Prometheus text exposition;
+    /// `None` when telemetry was never attached.
+    pub fn export_prometheus(&self) -> Option<String> {
+        self.telemetry.lock().export_prometheus()
     }
 
     /// The API descriptor this stack serves.
@@ -844,6 +948,7 @@ impl ApiStack {
         if let (Some(pool), Some(slot)) = (&self.pool, slot) {
             pool.placements.lock().insert(conn.vm_id, slot);
             pool.slots[slot].vms.add(1.0);
+            telemetry.event(Tier::Pool, EventKind::Placement, 0, slot as u64);
         }
         let mut lib =
             GuestLibrary::new(Arc::clone(&self.descriptor), conn.guest, self.config.guest);

@@ -359,3 +359,73 @@ fn load_watchdog_moves_a_vm_off_the_hot_slot() {
     assert_eq!(stats[0].vms, 1);
     assert_eq!(stats[1].vms, 1);
 }
+
+#[test]
+fn slo_violation_flips_api_and_watchdog_migrates_off_the_violating_slot() {
+    use ava_telemetry::{Registry, SloConfig, SloObjective, SloSubject};
+
+    let mut config = pool_config(PlacementPolicy::Packed);
+    config.supervision_interval = Duration::from_millis(2);
+    config.rebalance_interval = Duration::from_millis(25);
+    // No device-time threshold: any migration must come from the SLO path.
+    config.rebalance_threshold_ms = None;
+    // A 1 ns p99 target no real call can meet — slot 0 (both VMs packed
+    // onto it) enters violation as soon as one window carries traffic.
+    config.slo = Some(SloConfig::p99(1));
+    let stack = Arc::new(opencl_pool_stack(silos(2), config).unwrap());
+    stack.set_telemetry(Registry::new()).unwrap();
+
+    let (vm_a, lib_a) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let (vm_b, lib_b) = stack.attach_vm(VmPolicy::default()).unwrap();
+    assert_eq!(stack.vm_slot(vm_a), Some(0));
+    assert_eq!(stack.vm_slot(vm_b), Some(0));
+    // No windows evaluated yet: the API reports a clean slate.
+    assert!(stack.slo_violations().is_empty());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for lib in [lib_a, lib_b] {
+        let stop = Arc::clone(&stop);
+        let stack_ref = Arc::clone(&stack);
+        workers.push(std::thread::spawn(move || {
+            let _ = &stack_ref;
+            let client = OpenClClient::new(lib);
+            while !stop.load(Ordering::Acquire) {
+                assert_eq!(run_saxpy(&client, 256)[1], 13.0);
+            }
+        }));
+    }
+
+    // First the monitor must flag slot 0's p99, then the watchdog must
+    // treat the violating slot as hot and split the pair — with the
+    // threshold disabled, the SLO verdict is the only migration trigger.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut violated = false;
+    let moved = loop {
+        violated |= stack
+            .slo_violations()
+            .iter()
+            .any(|v| v.subject == SloSubject::Slot(0) && v.objective == SloObjective::P99Latency);
+        let a = stack.vm_slot(vm_a).unwrap();
+        let b = stack.vm_slot(vm_b).unwrap();
+        if violated && a != b {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(
+        violated,
+        "SLO monitor never flagged the unmeetable p99 target"
+    );
+    assert!(moved, "watchdog never migrated a VM off the violating slot");
+    let stats = stack.pool_stats();
+    assert_eq!(stats[0].vms, 1);
+    assert_eq!(stats[1].vms, 1);
+}

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ava_spec::{ApiDescriptor, ElemKind, FunctionDesc, RetDesc, ScalarKind, Transfer};
-use ava_telemetry::{Counter, Stage, Telemetry};
+use ava_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, Tier};
 use ava_transport::BoxedTransport;
 use ava_wire::{
     fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, FnId, Message,
@@ -198,6 +198,12 @@ pub struct GuestLibrary {
     config: GuestConfig,
     counters: GuestCounters,
     telemetry: Telemetry,
+    /// Per-VM end-to-end latency histogram (`guest.vm<N>.e2e_ns`),
+    /// resolved once at attach so the per-call path never formats names.
+    e2e_hist: Option<Histogram>,
+    /// Per-function latency histograms (`guest.call.<fn>`), indexed by
+    /// `FnId` (`descriptor.functions[i].id == i`) — same reasoning.
+    fn_hists: Vec<Histogram>,
     inner: Mutex<Inner>,
 }
 
@@ -210,6 +216,8 @@ impl GuestLibrary {
             config,
             counters: GuestCounters::default(),
             telemetry: Telemetry::disabled(),
+            e2e_hist: None,
+            fn_hists: Vec::new(),
             inner: Mutex::new(Inner {
                 next_call_id: 1,
                 pending: HashMap::new(),
@@ -233,6 +241,19 @@ impl GuestLibrary {
     /// registered by the stack that owns it.
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.counters.register_into(&telemetry);
+        self.e2e_hist = telemetry
+            .registry()
+            .map(|r| r.histogram(&format!("guest.vm{}.e2e_ns", telemetry.vm())));
+        self.fn_hists = telemetry
+            .registry()
+            .map(|r| {
+                self.desc
+                    .functions
+                    .iter()
+                    .map(|f| r.histogram(&format!("guest.call.{}", f.name)))
+                    .collect()
+            })
+            .unwrap_or_default();
         self.telemetry = telemetry;
     }
 
@@ -321,8 +342,9 @@ impl GuestLibrary {
             // latency the application observes.
             if self.telemetry.enabled() {
                 let spent = self.telemetry.now_nanos().saturating_sub(entry_nanos);
-                self.telemetry
-                    .record_hist(&format!("guest.call.{}", func.name), spent);
+                if let Some(h) = self.fn_hists.get(func.id as usize) {
+                    h.record(spent);
+                }
             }
             // Synthesize the success value immediately.
             let ret = synthesized_success(func);
@@ -344,6 +366,13 @@ impl GuestLibrary {
         });
         self.telemetry
             .span_stage_at(call_id, Stage::GuestStart, entry_nanos, Some(func.id));
+        self.telemetry.event_at(
+            Tier::Guest,
+            EventKind::CallStart,
+            call_id,
+            u64::from(func.id),
+            entry_nanos,
+        );
         // Stamped before the send: `send` blocks on modelled sender
         // overhead, so the router may ingest (Queued) before it returns —
         // stamping after would break sent ≤ queued monotonicity.
@@ -397,13 +426,33 @@ impl GuestLibrary {
                     let now = Instant::now();
                     if attempts_left == 0 || now >= hard {
                         self.counters.deadline_exceeded.inc();
+                        let attempts = u64::from(self.config.max_retries - attempts_left);
+                        self.telemetry.event(
+                            Tier::Guest,
+                            EventKind::DeadlineExceeded,
+                            call_id,
+                            attempts,
+                        );
                         self.telemetry.span_abandon(call_id);
                         return Err(GuestError::DeadlineExceeded);
                     }
                     attempts_left -= 1;
                     self.counters.retries.inc();
+                    let attempt = u64::from(self.config.max_retries - attempts_left);
+                    self.telemetry
+                        .event(Tier::Guest, EventKind::Retry, call_id, attempt);
                     std::thread::sleep(backoff.min(hard.saturating_duration_since(now)));
                     backoff = backoff.saturating_mul(2);
+                    // Abandon the first attempt's span and open a fresh one
+                    // for the resend: the router will re-stamp
+                    // Queued/Forwarded for the retried request, and letting
+                    // those land on the original record would corrupt its
+                    // stage ordering (the retry's Queued after the
+                    // original's Replied).
+                    self.telemetry.span_abandon(call_id);
+                    self.telemetry
+                        .span_stage(call_id, Stage::GuestStart, Some(func.id));
+                    self.telemetry.span_stage(call_id, Stage::Sent, None);
                     if let Err(e) = self.transport.send(&call_msg) {
                         self.telemetry.span_abandon(call_id);
                         return Err(map_transport_err(&e));
@@ -457,12 +506,26 @@ impl GuestLibrary {
             }
         };
         // Close the span before the status branches below: rejected calls
-        // still completed a full round trip worth measuring.
-        self.telemetry.span_stage(call_id, Stage::GuestEnd, None);
+        // still completed a full round trip worth measuring. One clock
+        // read serves the span stamp, the histograms and the finish event.
         if self.telemetry.enabled() {
-            let spent = self.telemetry.now_nanos().saturating_sub(entry_nanos);
+            let end_nanos = self.telemetry.now_nanos();
             self.telemetry
-                .record_hist(&format!("guest.call.{}", func.name), spent);
+                .span_stage_at(call_id, Stage::GuestEnd, end_nanos, None);
+            let spent = end_nanos.saturating_sub(entry_nanos);
+            if let Some(h) = self.fn_hists.get(func.id as usize) {
+                h.record(spent);
+            }
+            if let Some(h) = &self.e2e_hist {
+                h.record(spent);
+            }
+            self.telemetry.event_at(
+                Tier::Guest,
+                EventKind::CallFinish,
+                call_id,
+                u64::from(func.id),
+                end_nanos,
+            );
         }
         // The server processes in order, so every async call sent before
         // this sync call has completed; forget its bookkeeping.

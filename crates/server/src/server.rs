@@ -15,7 +15,7 @@ use std::time::Duration;
 use ava_spec::{
     ApiDescriptor, Direction, ElemKind, FunctionDesc, RecordCategory, RetDesc, Transfer,
 };
-use ava_telemetry::{Counter, Stage, Telemetry};
+use ava_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, Tier};
 use ava_transport::{Transport, TransportError};
 use ava_wire::{
     fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, Message,
@@ -113,6 +113,10 @@ pub struct ApiServer {
     last_use: HashMap<u64, u64>,
     counters: ServerCounters,
     telemetry: Telemetry,
+    /// Per-function execute histograms (`server.execute.<fn>`), indexed by
+    /// `FnId` — resolved once at attach so the dispatch path never formats
+    /// metric names.
+    fn_hists: Vec<Histogram>,
     /// Mirror of the guest's transfer cache: digest → materialized payload
     /// (stored as `Value::Bytes` so hits clone cheaply into argument
     /// position). Same capacity and eligibility floor as the guest's, so
@@ -174,6 +178,7 @@ impl ApiServer {
             last_use: HashMap::new(),
             counters: ServerCounters::default(),
             telemetry: Telemetry::disabled(),
+            fn_hists: Vec::new(),
             rx_cache: DigestLru::new(0),
             rx_cache_min_bytes: 0,
             held: VecDeque::new(),
@@ -215,6 +220,16 @@ impl ApiServer {
     /// calls get their Executed span stamp.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.counters.register_into(&telemetry);
+        self.fn_hists = telemetry
+            .registry()
+            .map(|r| {
+                self.desc
+                    .functions
+                    .iter()
+                    .map(|f| r.histogram(&format!("server.execute.{}", f.name)))
+                    .collect()
+            })
+            .unwrap_or_default();
         self.telemetry = telemetry;
     }
 
@@ -300,8 +315,10 @@ impl ApiServer {
                 let _ = transport.send(&Message::Control(ControlMessage::HeartbeatAck(v)));
                 Ok(())
             }
-            Message::Control(ControlMessage::CacheEpoch(_)) => {
+            Message::Control(ControlMessage::CacheEpoch(epoch)) => {
                 self.rx_cache.clear();
+                self.telemetry
+                    .event(Tier::Server, EventKind::CacheEpoch, 0, epoch);
                 Ok(())
             }
             _ => Ok(()),
@@ -365,6 +382,8 @@ impl ApiServer {
         }
         if !self.resolve_cached_args(&mut req) {
             self.counters.payload_cache_misses.inc();
+            self.telemetry
+                .event(Tier::Server, EventKind::CacheMissNack, req.call_id, 0);
             self.stalled_on = Some(req.call_id);
             let nack = CallReply {
                 call_id: req.call_id,
@@ -525,15 +544,14 @@ impl ApiServer {
         };
         let result = self.execute(&req);
         if enabled {
-            let spent = self.telemetry.now_nanos().saturating_sub(start);
-            if let Some(func) = self.desc.by_id(req.fn_id) {
-                let name = func.name.clone();
-                self.telemetry
-                    .record_hist(&format!("server.execute.{name}"), spent);
+            // One clock read serves the histogram and the span stamp.
+            let end = self.telemetry.now_nanos();
+            if let Some(h) = self.fn_hists.get(req.fn_id as usize) {
+                h.record(end.saturating_sub(start));
             }
             if req.mode == ava_wire::CallMode::Sync {
                 self.telemetry
-                    .span_stage(req.call_id, Stage::Executed, Some(req.fn_id));
+                    .span_stage_at(req.call_id, Stage::Executed, end, Some(req.fn_id));
             }
         }
         match result {

@@ -1,0 +1,470 @@
+//! Standard-format exporters over a [`Snapshot`].
+//!
+//! Two formats, both self-contained strings with no serde dependency:
+//!
+//! * **Chrome trace / Perfetto JSON** ([`trace_json`]): each completed
+//!   span becomes complete (`"ph":"X"`) slices on per-tier tracks
+//!   (guest / transport / router / server), and each flight-recorder
+//!   event becomes an instant (`"ph":"i"`) on its tier's track — pool
+//!   events land on a per-slot track. Load the file at `ui.perfetto.dev`
+//!   or `chrome://tracing`.
+//! * **Prometheus text exposition** ([`prometheus`]): every counter,
+//!   gauge and histogram in the registry, with stable metric names —
+//!   per-VM / per-slot / per-function path segments become labels, so
+//!   `router.vm3.bytes_elided` exports as
+//!   `ava_router_vm_bytes_elided_total{vm="3"}` and the family name is
+//!   identical for every VM.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_bounds, HistogramSnapshot, BUCKETS};
+use crate::recorder::{unpack_slots, Event, EventKind, Tier};
+use crate::registry::Snapshot;
+use crate::span::SpanRecord;
+
+/// Synthetic process id for the whole stack (one process, many tracks).
+const TRACE_PID: u32 = 1;
+
+/// Track (thread) ids per tier; pool slots get `POOL_TID_BASE + slot`.
+fn tier_tid(tier: Tier) -> u64 {
+    match tier {
+        Tier::Guest => 1,
+        Tier::Transport => 2,
+        Tier::Router => 3,
+        Tier::Server => 4,
+        Tier::Supervisor => 5,
+        Tier::Pool => POOL_TID_BASE, // refined per-slot by the caller
+    }
+}
+
+/// Pool slot `s` renders on track `POOL_TID_BASE + s`.
+const POOL_TID_BASE: u64 = 10;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Microseconds (Chrome trace unit) from registry nanoseconds, keeping
+/// sub-microsecond resolution as a fraction.
+fn micros(nanos: u64) -> f64 {
+    nanos as f64 / 1000.0
+}
+
+struct TraceEvent {
+    ts: f64,
+    line: String,
+}
+
+fn complete_event(
+    name: &str,
+    tid: u64,
+    start_ns: u64,
+    end_ns: u64,
+    args: &[(&str, String)],
+) -> TraceEvent {
+    let ts = micros(start_ns);
+    let dur = micros(end_ns.saturating_sub(start_ns));
+    let args_json = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+        .collect::<Vec<_>>()
+        .join(",");
+    TraceEvent {
+        ts,
+        line: format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{TRACE_PID},\"tid\":{tid},\"args\":{{{args_json}}}}}",
+            esc(name)
+        ),
+    }
+}
+
+fn instant_event(name: &str, tid: u64, nanos: u64, args: &[(&str, String)]) -> TraceEvent {
+    let ts = micros(nanos);
+    let args_json = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+        .collect::<Vec<_>>()
+        .join(",");
+    TraceEvent {
+        ts,
+        line: format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts:.3},\"pid\":{TRACE_PID},\"tid\":{tid},\"args\":{{{args_json}}}}}",
+            esc(name)
+        ),
+    }
+}
+
+fn metadata_event(tid: u64, track_name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        esc(track_name)
+    )
+}
+
+fn span_slices(span: &SpanRecord, out: &mut Vec<TraceEvent>) {
+    let label = match span.fn_id.or(span.server_fn_id) {
+        Some(f) => format!("vm{} fn{}", span.vm, f),
+        None => format!("vm{} call{}", span.vm, span.call_id),
+    };
+    let args = [
+        ("vm", span.vm.to_string()),
+        ("call_id", span.call_id.to_string()),
+    ];
+    if let (Some(a), Some(b)) = (span.guest_start, span.guest_end) {
+        out.push(complete_event(&label, tier_tid(Tier::Guest), a, b, &args));
+    }
+    if let (Some(a), Some(b)) = (span.sent, span.queued) {
+        out.push(complete_event(
+            &format!("{label} out"),
+            tier_tid(Tier::Transport),
+            a,
+            b,
+            &args,
+        ));
+    }
+    if let (Some(a), Some(b)) = (span.queued, span.forwarded) {
+        out.push(complete_event(&label, tier_tid(Tier::Router), a, b, &args));
+    }
+    if let (Some(a), Some(b)) = (span.forwarded, span.executed) {
+        out.push(complete_event(&label, tier_tid(Tier::Server), a, b, &args));
+    }
+    if let (Some(a), Some(b)) = (span.replied, span.guest_end) {
+        out.push(complete_event(
+            &format!("{label} back"),
+            tier_tid(Tier::Transport),
+            a,
+            b,
+            &args,
+        ));
+    }
+}
+
+/// The track an event renders on: pool events go to their slot's track.
+fn event_tid(event: &Event) -> u64 {
+    if event.tier == Tier::Pool {
+        let slot = if event.kind == EventKind::Rebalance {
+            unpack_slots(event.arg).1
+        } else {
+            (event.arg & 0xffff_ffff) as usize
+        };
+        POOL_TID_BASE + slot as u64
+    } else {
+        tier_tid(event.tier)
+    }
+}
+
+fn event_instant(event: &Event) -> TraceEvent {
+    let mut args = vec![("vm", event.vm.to_string()), ("arg", event.arg.to_string())];
+    if event.call_id != 0 {
+        args.push(("call_id", event.call_id.to_string()));
+    }
+    if event.kind == EventKind::Rebalance {
+        let (src, dst) = unpack_slots(event.arg);
+        args.push(("src_slot", src.to_string()));
+        args.push(("dst_slot", dst.to_string()));
+    }
+    instant_event(event.kind.name(), event_tid(event), event.nanos, &args)
+}
+
+/// Renders `snapshot` as Chrome-trace JSON (`{"traceEvents":[...]}`),
+/// time-ordered, one track per tier plus one per pool slot.
+pub fn trace_json(snapshot: &Snapshot) -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for span in &snapshot.spans {
+        span_slices(span, &mut events);
+    }
+    let mut pool_slots: Vec<u64> = Vec::new();
+    for event in &snapshot.events {
+        if event.tier == Tier::Pool {
+            let tid = event_tid(event);
+            if !pool_slots.contains(&tid) {
+                pool_slots.push(tid);
+            }
+        }
+        events.push(event_instant(event));
+    }
+    // Perfetto tolerates unsorted input but the CI checker (and humans
+    // reading the raw JSON) expect time order per track.
+    events.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+
+    let mut lines: Vec<String> = vec![
+        metadata_event(tier_tid(Tier::Guest), "guest"),
+        metadata_event(tier_tid(Tier::Transport), "transport"),
+        metadata_event(tier_tid(Tier::Router), "router"),
+        metadata_event(tier_tid(Tier::Server), "server"),
+        metadata_event(tier_tid(Tier::Supervisor), "supervisor"),
+    ];
+    pool_slots.sort_unstable();
+    for tid in pool_slots {
+        lines.push(metadata_event(
+            tid,
+            &format!("pool slot{}", tid - POOL_TID_BASE),
+        ));
+    }
+    lines.extend(events.into_iter().map(|e| e.line));
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"");
+    out.push_str(&format!(
+        ",\"otherData\":{{\"spans\":{},\"events\":{},\"events_overwritten\":{},\"spans_dropped\":{}}}",
+        snapshot.spans.len(),
+        snapshot.events.len(),
+        snapshot.events_overwritten,
+        snapshot.spans_dropped
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// A registry name mangled into a Prometheus family plus labels.
+struct PromName {
+    family: String,
+    labels: Vec<(String, String)>,
+}
+
+fn sanitize(part: &str) -> String {
+    part.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Splits a `tier.subsystem.name` registry key into a stable family name
+/// and labels: `vm<N>` / `slot<N>` segments become `vm` / `slot` labels,
+/// and the per-function histogram families (`guest.call.<fn>`,
+/// `server.execute.<fn>`) carry the function as an `fn` label.
+fn mangle(name: &str) -> PromName {
+    if let Some(f) = name.strip_prefix("guest.call.") {
+        return PromName {
+            family: "ava_guest_call_ns".into(),
+            labels: vec![("fn".into(), f.to_string())],
+        };
+    }
+    if let Some(f) = name.strip_prefix("server.execute.") {
+        return PromName {
+            family: "ava_server_execute_ns".into(),
+            labels: vec![("fn".into(), f.to_string())],
+        };
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut labels: Vec<(String, String)> = Vec::new();
+    for seg in name.split('.') {
+        let vm_id = seg
+            .strip_prefix("vm")
+            .filter(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+        let slot_id = seg
+            .strip_prefix("slot")
+            .filter(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()));
+        if let Some(id) = vm_id {
+            parts.push("vm".into());
+            labels.push(("vm".into(), id.to_string()));
+        } else if let Some(id) = slot_id {
+            parts.push("slot".into());
+            labels.push(("slot".into(), id.to_string()));
+        } else {
+            parts.push(sanitize(seg));
+        }
+    }
+    PromName {
+        family: format!("ava_{}", parts.join("_")),
+        labels,
+    }
+}
+
+fn label_str(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        let body = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", esc(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{{body}}}")
+    }
+}
+
+fn label_str_with(labels: &[(String, String)], extra_key: &str, extra_val: &str) -> String {
+    let mut all = labels.to_vec();
+    all.push((extra_key.to_string(), extra_val.to_string()));
+    label_str(&all)
+}
+
+/// One Prometheus family: TYPE plus its sample lines, grouped so the
+/// exposition emits `# HELP`/`# TYPE` once per family.
+struct Family {
+    kind: &'static str,
+    samples: Vec<String>,
+}
+
+fn family_entry<'a>(
+    families: &'a mut BTreeMap<String, Family>,
+    name: &str,
+    kind: &'static str,
+) -> &'a mut Family {
+    families.entry(name.to_string()).or_insert_with(|| Family {
+        kind,
+        samples: Vec::new(),
+    })
+}
+
+fn histogram_samples(
+    family: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        let n = h.buckets[i];
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let (_, hi) = bucket_bounds(i);
+        out.push(format!(
+            "{family}_bucket{} {cumulative}",
+            label_str_with(labels, "le", &hi.to_string())
+        ));
+    }
+    out.push(format!(
+        "{family}_bucket{} {}",
+        label_str_with(labels, "le", "+Inf"),
+        h.count
+    ));
+    out.push(format!("{family}_sum{} {}", label_str(labels), h.sum));
+    out.push(format!("{family}_count{} {}", label_str(labels), h.count));
+    out
+}
+
+/// Renders `snapshot` as Prometheus text exposition format, covering
+/// every counter, gauge and histogram plus recorder/span meta-metrics.
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+
+    for (name, value) in &snapshot.counters {
+        let m = mangle(name);
+        let family = format!("{}_total", m.family);
+        let sample = format!("{family}{} {value}", label_str(&m.labels));
+        family_entry(&mut families, &family, "counter")
+            .samples
+            .push(sample);
+    }
+    for (name, value) in &snapshot.gauges {
+        let m = mangle(name);
+        let sample = format!("{}{} {value}", m.family, label_str(&m.labels));
+        family_entry(&mut families, &m.family, "gauge")
+            .samples
+            .push(sample);
+    }
+    for (name, h) in &snapshot.histograms {
+        let m = mangle(name);
+        let samples = histogram_samples(&m.family, &m.labels, h);
+        family_entry(&mut families, &m.family, "histogram")
+            .samples
+            .extend(samples);
+    }
+
+    // Observability-of-the-observability: shed history is itself visible.
+    family_entry(
+        &mut families,
+        "ava_recorder_events_overwritten_total",
+        "counter",
+    )
+    .samples
+    .push(format!(
+        "ava_recorder_events_overwritten_total {}",
+        snapshot.events_overwritten
+    ));
+    family_entry(&mut families, "ava_recorder_events_retained", "gauge")
+        .samples
+        .push(format!(
+            "ava_recorder_events_retained {}",
+            snapshot.events.len()
+        ));
+    family_entry(&mut families, "ava_spans_dropped_total", "counter")
+        .samples
+        .push(format!(
+            "ava_spans_dropped_total {}",
+            snapshot.spans_dropped
+        ));
+    family_entry(&mut families, "ava_spans_completed", "gauge")
+        .samples
+        .push(format!("ava_spans_completed {}", snapshot.spans.len()));
+
+    let mut out = String::new();
+    for (name, family) in &families {
+        let _ = writeln!(
+            out,
+            "# HELP {name} AvA {} exported from the telemetry registry.",
+            family.kind
+        );
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+        for sample in &family.samples {
+            let _ = writeln!(out, "{sample}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::Stage;
+
+    #[test]
+    fn mangle_turns_vm_and_slot_into_labels() {
+        let m = mangle("router.vm3.bytes_elided");
+        assert_eq!(m.family, "ava_router_vm_bytes_elided");
+        assert_eq!(m.labels, vec![("vm".to_string(), "3".to_string())]);
+        let m = mangle("pool.slot0.queue_depth");
+        assert_eq!(m.family, "ava_pool_slot_queue_depth");
+        assert_eq!(m.labels, vec![("slot".to_string(), "0".to_string())]);
+        let m = mangle("guest.call.clFinish");
+        assert_eq!(m.family, "ava_guest_call_ns");
+        assert_eq!(m.labels, vec![("fn".to_string(), "clFinish".to_string())]);
+        // Non-numeric suffixes stay in the family name.
+        let m = mangle("guest.vmx.thing");
+        assert_eq!(m.family, "ava_guest_vmx_thing");
+        assert!(m.labels.is_empty());
+    }
+
+    #[test]
+    fn prometheus_counter_line_matches_issue_example() {
+        let r = Registry::new();
+        r.counter("router.vm3.bytes_elided").add(42);
+        let text = prometheus(&r.snapshot());
+        assert!(
+            text.contains("ava_router_vm_bytes_elided_total{vm=\"3\"} 42"),
+            "exposition:\n{text}"
+        );
+        assert!(text.contains("# TYPE ava_router_vm_bytes_elided_total counter"));
+    }
+
+    #[test]
+    fn trace_json_has_tier_tracks_and_balanced_json() {
+        let r = Registry::new();
+        let key = (1, 5);
+        let s = r.spans();
+        s.stage(key, Stage::GuestStart, 1_000, Some(7));
+        s.stage(key, Stage::Sent, 2_000, None);
+        s.stage(key, Stage::Queued, 3_000, None);
+        s.stage(key, Stage::Forwarded, 4_000, None);
+        s.stage(key, Stage::Executed, 5_000, Some(7));
+        s.stage(key, Stage::Replied, 6_000, None);
+        s.stage(key, Stage::GuestEnd, 7_000, None);
+        let json = trace_json(&r.snapshot());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"router\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

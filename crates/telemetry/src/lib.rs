@@ -24,12 +24,17 @@
 //! is an inlineable no-op (one branch, no clock reads, no allocation), so
 //! compiling telemetry in does not tax the forwarding fast path.
 
+pub mod export;
 pub mod histogram;
+pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod span;
 
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{pack_slots, unpack_slots, Event, EventKind, FlightRecorder, Tier};
 pub use registry::{Counter, Gauge, Registry, Snapshot};
+pub use slo::{SloConfig, SloMonitor, SloObjective, SloSubject, SloViolation};
 pub use span::{SpanKey, SpanRecord, SpanTable, Stage};
 
 /// A tier's handle onto the shared registry; disabled by default.
@@ -134,10 +139,59 @@ impl Telemetry {
         }
     }
 
+    /// Records a flight-recorder event stamped with the current instant
+    /// and this handle's VM attribution. No-op when disabled.
+    #[inline]
+    pub fn event(&self, tier: Tier, kind: EventKind, call_id: u64, arg: u64) {
+        if let Some(r) = &self.registry {
+            r.recorder().record(Event {
+                nanos: r.now_nanos(),
+                tier,
+                kind,
+                vm: self.vm,
+                call_id,
+                arg,
+            });
+        }
+    }
+
+    /// Records a flight-recorder event at an explicit `nanos` timestamp
+    /// (from [`Telemetry::now_nanos`]) — lets a hot path reuse a clock
+    /// read it already made for a span stamp. No-op when disabled.
+    #[inline]
+    pub fn event_at(&self, tier: Tier, kind: EventKind, call_id: u64, arg: u64, nanos: u64) {
+        if let Some(r) = &self.registry {
+            r.recorder().record(Event {
+                nanos,
+                tier,
+                kind,
+                vm: self.vm,
+                call_id,
+                arg,
+            });
+        }
+    }
+
     /// Renders the attached registry as a text report, or `None` when
     /// disabled.
     pub fn report(&self) -> Option<String> {
         self.registry.as_ref().map(|r| r.snapshot().render_text())
+    }
+
+    /// Renders the attached registry as Chrome-trace JSON
+    /// ([`export::trace_json`]), or `None` when disabled.
+    pub fn export_trace(&self) -> Option<String> {
+        self.registry
+            .as_ref()
+            .map(|r| export::trace_json(&r.snapshot()))
+    }
+
+    /// Renders the attached registry as Prometheus text exposition
+    /// ([`export::prometheus`]), or `None` when disabled.
+    pub fn export_prometheus(&self) -> Option<String> {
+        self.registry
+            .as_ref()
+            .map(|r| export::prometheus(&r.snapshot()))
     }
 }
 

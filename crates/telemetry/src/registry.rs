@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::recorder::{Event, FlightRecorder};
 use crate::span::{SpanRecord, SpanTable};
 
 /// A shareable monotonic counter.
@@ -112,6 +113,7 @@ struct RegistryInner {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: SpanTable,
+    recorder: FlightRecorder,
     epoch: Instant,
 }
 
@@ -136,6 +138,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 spans: SpanTable::new(),
+                recorder: FlightRecorder::default(),
                 epoch: Instant::now(),
             }),
         }
@@ -186,6 +189,11 @@ impl Registry {
         &self.inner.spans
     }
 
+    /// The cross-tier flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
     /// Non-destructive snapshot of every metric and the completed spans.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -214,6 +222,9 @@ impl Registry {
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
             spans: self.inner.spans.completed(),
+            events: self.inner.recorder.events(),
+            events_overwritten: self.inner.recorder.overwritten(),
+            spans_dropped: self.inner.spans.dropped(),
         }
     }
 
@@ -249,6 +260,9 @@ impl Registry {
                 .map(|(k, v)| (k.clone(), v.take()))
                 .collect(),
             spans: self.inner.spans.take_completed(),
+            events_overwritten: self.inner.recorder.overwritten(),
+            events: self.inner.recorder.take(),
+            spans_dropped: self.inner.spans.dropped(),
         }
     }
 }
@@ -264,6 +278,12 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Completed spans.
     pub spans: Vec<SpanRecord>,
+    /// Flight-recorder events, oldest first.
+    pub events: Vec<Event>,
+    /// Events shed by the recorder ring (overwrite-oldest).
+    pub events_overwritten: u64,
+    /// Spans dropped at the span-table capacity caps.
+    pub spans_dropped: u64,
 }
 
 /// Mean of an optional-segment extractor over a span set, in nanoseconds.

@@ -13,11 +13,47 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Identifies one call across tiers: `(vm_id, call_id)`.
 pub type SpanKey = (u32, u64);
+
+/// A multiply-xor hasher (FxHash-style) for the active-span maps. Span
+/// keys are tiny and attacker-free, and the map is locked on every stage
+/// stamp of every call — SipHash's DoS resistance costs more here than
+/// the whole critical section it guards.
+#[derive(Default)]
+struct SpanKeyHasher(u64);
+
+impl Hasher for SpanKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(26);
+    }
+}
+
+type ActiveMap = HashMap<SpanKey, SpanRecord, BuildHasherDefault<SpanKeyHasher>>;
 
 /// Lifecycle stages a span passes through, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,13 +175,32 @@ const ACTIVE_CAP: usize = 1 << 16;
 /// Default cap on retained completed spans.
 const COMPLETED_CAP: usize = 1 << 16;
 
+/// Shards of the active-span map. Stamps for one call come from three
+/// threads (guest, router, server) but *different* calls are in flight
+/// simultaneously; hashing the key across shards keeps the per-stamp
+/// critical section from serializing the whole stack on one mutex.
+const ACTIVE_SHARDS: usize = 16;
+
 /// Concurrent store of active and completed spans.
-#[derive(Default)]
 pub struct SpanTable {
-    active: Mutex<HashMap<SpanKey, SpanRecord>>,
+    active: [Mutex<ActiveMap>; ACTIVE_SHARDS],
+    /// Total records across all `active` shards (cap enforcement without
+    /// locking every shard).
+    active_count: AtomicU64,
     completed: Mutex<Vec<SpanRecord>>,
     /// Spans dropped because a cap was hit.
     dropped: AtomicU64,
+}
+
+impl Default for SpanTable {
+    fn default() -> Self {
+        SpanTable {
+            active: std::array::from_fn(|_| Mutex::new(ActiveMap::default())),
+            active_count: AtomicU64::new(0),
+            completed: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
 }
 
 impl SpanTable {
@@ -154,18 +209,26 @@ impl SpanTable {
         Self::default()
     }
 
+    /// The shard holding `key`'s record. Consecutive call ids spread
+    /// across shards, so back-to-back calls never contend.
+    fn shard(&self, key: SpanKey) -> &Mutex<ActiveMap> {
+        let h = key.1 ^ u64::from(key.0).rotate_left(32);
+        &self.active[(h as usize) % ACTIVE_SHARDS]
+    }
+
     /// Records `stage` at time `nanos` for the span `key`, creating the
     /// record on first touch. `fn_id` attributes the function at the
     /// recording tier (guest on open, server on execute).
     pub fn stage(&self, key: SpanKey, stage: Stage, nanos: u64, fn_id: Option<u32>) {
-        let mut active = self.active.lock().expect("span table poisoned");
+        let mut active = self.shard(key).lock().expect("span table poisoned");
         let record = match active.get_mut(&key) {
             Some(r) => r,
             None => {
-                if active.len() >= ACTIVE_CAP {
+                if self.active_count.load(Ordering::Relaxed) >= ACTIVE_CAP as u64 {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
+                self.active_count.fetch_add(1, Ordering::Relaxed);
                 let r = active.entry(key).or_default();
                 r.vm = key.0;
                 r.call_id = key.1;
@@ -199,6 +262,7 @@ impl SpanTable {
         if done {
             let record = active.remove(&key).expect("record exists");
             drop(active);
+            self.active_count.fetch_sub(1, Ordering::Relaxed);
             let mut completed = self.completed.lock().expect("span table poisoned");
             if completed.len() >= COMPLETED_CAP {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -211,15 +275,19 @@ impl SpanTable {
     /// Discards the active record for `key` (e.g. a call that failed
     /// before reaching the wire).
     pub fn abandon(&self, key: SpanKey) {
-        self.active
+        let removed = self
+            .shard(key)
             .lock()
             .expect("span table poisoned")
             .remove(&key);
+        if removed.is_some() {
+            self.active_count.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of spans currently in flight.
     pub fn active_len(&self) -> usize {
-        self.active.lock().expect("span table poisoned").len()
+        self.active_count.load(Ordering::Relaxed) as usize
     }
 
     /// Spans dropped due to capacity limits.

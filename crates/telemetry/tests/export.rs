@@ -1,0 +1,598 @@
+//! Exporter round-trips: the Prometheus exposition is re-parsed line by
+//! line (names, labels, values, bucket monotonicity) and the Chrome-trace
+//! JSON is validated structurally (grammar, required fields per phase,
+//! time order per track) — both with no JSON/metrics library, matching
+//! the zero-dependency exporters themselves.
+
+use std::collections::BTreeMap;
+
+use ava_telemetry::{export, pack_slots, Event, EventKind, Registry, Stage, Telemetry, Tier};
+
+// ---------------------------------------------------------------------
+// A minimal JSON grammar validator (no tree building): enough to prove
+// the exporter emits a well-formed document, not just balanced braces.
+// ---------------------------------------------------------------------
+
+struct JsonScan<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonScan<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonScan {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object sep {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array sep {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => self.i += 1, // skip the escaped byte
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| ())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+fn assert_valid_json(s: &str) {
+    let mut scan = JsonScan::new(s);
+    scan.value().unwrap_or_else(|e| panic!("invalid JSON: {e}"));
+    scan.ws();
+    assert_eq!(scan.i, s.len(), "trailing garbage after JSON document");
+}
+
+/// Extracts the numeric field `"key":<num>` from a single trace-event line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the string field `"key":"<val>"` from a single line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+// ---------------------------------------------------------------------
+// A Prometheus text-format sample parser.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Sample {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unclosed labels in {line:?}"));
+            let labels = body
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("bad label pair {pair:?} in {line:?}"));
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label value in {line:?}"));
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name.to_string(), labels)
+        }
+    };
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+    assert!(
+        !name.chars().next().unwrap().is_ascii_digit(),
+        "metric name starts with a digit: {name:?}"
+    );
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+fn parse_exposition(text: &str) -> (Vec<Sample>, BTreeMap<String, String>) {
+    let mut samples = Vec::new();
+    let mut types = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+            let prior = types.insert(family.to_string(), kind.to_string());
+            assert!(prior.is_none(), "duplicate TYPE for {family}");
+        } else if line.starts_with('#') {
+            continue;
+        } else if !line.is_empty() {
+            samples.push(parse_sample(line));
+        }
+    }
+    (samples, types)
+}
+
+/// The TYPE family a sample belongs to (buckets/sum/count fold into the
+/// histogram family; `_total` is part of the counter family name).
+fn family_of<'a>(sample: &'a Sample, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = sample.name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return stem;
+            }
+        }
+    }
+    &sample.name
+}
+
+fn find<'a>(samples: &'a [Sample], name: &str, labels: &[(&str, &str)]) -> &'a Sample {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+        .unwrap_or_else(|| panic!("no sample {name} with labels {labels:?}"))
+}
+
+// ---------------------------------------------------------------------
+// A registry populated the way the real stack populates one.
+// ---------------------------------------------------------------------
+
+fn seeded_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("guest.vm1.retries").add(3);
+    r.counter("guest.vm1.sync_calls").add(120);
+    r.counter("router.vm3.bytes_elided").add(42);
+    r.counter("recovery.respawns").add(1);
+    r.gauge("pool.slot0.queue_depth").set(2.0);
+    r.gauge("pool.slot1.vms").set(1.0);
+    r.gauge("slo.vm1.p99_e2e_burn").set(4.0);
+    for v in [800, 1_500, 3_000, 3_100, 65_000, 1_000_000] {
+        r.histogram("guest.call.clFinish").record(v);
+        r.histogram("guest.vm2.e2e_ns").record(v * 2);
+    }
+
+    // Two complete spans plus recorder events across every tier.
+    let s = r.spans();
+    for (vm, call, base) in [(1u32, 5u64, 10_000u64), (2, 9, 40_000)] {
+        let key = (vm, call);
+        s.stage(key, Stage::GuestStart, base, Some(7));
+        s.stage(key, Stage::Sent, base + 1_000, None);
+        s.stage(key, Stage::Queued, base + 2_000, None);
+        s.stage(key, Stage::Forwarded, base + 3_000, None);
+        s.stage(key, Stage::Executed, base + 4_000, Some(7));
+        s.stage(key, Stage::Replied, base + 5_000, None);
+        s.stage(key, Stage::GuestEnd, base + 6_000, None);
+    }
+    let rec = |nanos, tier, kind, vm, call_id, arg| {
+        r.recorder().record(Event {
+            nanos,
+            tier,
+            kind,
+            vm,
+            call_id,
+            arg,
+        });
+    };
+    rec(11_000, Tier::Guest, EventKind::Retry, 1, 5, 1);
+    rec(12_000, Tier::Server, EventKind::CacheMissNack, 1, 5, 0);
+    rec(20_000, Tier::Supervisor, EventKind::ServerCrash, 2, 0, 0);
+    rec(21_000, Tier::Supervisor, EventKind::JournalReplay, 2, 0, 17);
+    rec(22_000, Tier::Supervisor, EventKind::ServerRespawn, 2, 0, 1);
+    rec(30_000, Tier::Pool, EventKind::Placement, 2, 0, 0);
+    rec(
+        31_000,
+        Tier::Pool,
+        EventKind::Rebalance,
+        2,
+        0,
+        pack_slots(0, 1),
+    );
+    r
+}
+
+// ---------------------------------------------------------------------
+// Prometheus round-trip.
+// ---------------------------------------------------------------------
+
+#[test]
+fn prometheus_roundtrip_covers_every_registry_metric() {
+    let r = seeded_registry();
+    let snapshot = r.snapshot();
+    let text = export::prometheus(&snapshot);
+    let (samples, types) = parse_exposition(&text);
+
+    // Every sample's family is typed, and every typed family has samples.
+    for sample in &samples {
+        let family = family_of(sample, &types);
+        assert!(types.contains_key(family), "no TYPE for {}", sample.name);
+    }
+    for family in types.keys() {
+        assert!(
+            samples.iter().any(|s| family_of(s, &types) == family),
+            "TYPE {family} has no samples"
+        );
+    }
+
+    // Counters: one sample per registry counter (plus the two recorder /
+    // span meta-counters), exact values, `_total` naming, vm labels.
+    let counter_samples: Vec<_> = samples
+        .iter()
+        .filter(|s| types.get(&s.name).map(String::as_str) == Some("counter"))
+        .collect();
+    assert_eq!(counter_samples.len(), snapshot.counters.len() + 2);
+    for s in &counter_samples {
+        assert!(
+            s.name.ends_with("_total"),
+            "counter {} lacks _total",
+            s.name
+        );
+    }
+    assert_eq!(
+        find(&samples, "ava_guest_vm_retries_total", &[("vm", "1")]).value,
+        3.0
+    );
+    assert_eq!(
+        find(&samples, "ava_router_vm_bytes_elided_total", &[("vm", "3")]).value,
+        42.0
+    );
+    assert_eq!(
+        find(&samples, "ava_recovery_respawns_total", &[]).value,
+        1.0
+    );
+
+    // Gauges, including the slot-labeled pool gauges and burn gauges.
+    let gauge_samples: Vec<_> = samples
+        .iter()
+        .filter(|s| types.get(&s.name).map(String::as_str) == Some("gauge"))
+        .collect();
+    assert_eq!(gauge_samples.len(), snapshot.gauges.len() + 2);
+    assert_eq!(
+        find(&samples, "ava_pool_slot_queue_depth", &[("slot", "0")]).value,
+        2.0
+    );
+    assert_eq!(
+        find(&samples, "ava_slo_vm_p99_e2e_burn", &[("vm", "1")]).value,
+        4.0
+    );
+
+    // Meta-metrics make shed history visible.
+    assert_eq!(
+        find(&samples, "ava_recorder_events_retained", &[]).value,
+        snapshot.events.len() as f64
+    );
+    assert_eq!(find(&samples, "ava_spans_dropped_total", &[]).value, 0.0);
+}
+
+#[test]
+fn prometheus_histograms_are_cumulative_and_monotone() {
+    let r = seeded_registry();
+    let snapshot = r.snapshot();
+    let (samples, types) = parse_exposition(&export::prometheus(&snapshot));
+
+    // Group bucket samples per (family, labels-sans-le), preserving
+    // emission order.
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for s in &samples {
+        let Some(stem) = s.name.strip_suffix("_bucket") else {
+            continue;
+        };
+        if types.get(stem).map(String::as_str) != Some("histogram") {
+            continue;
+        }
+        let le = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| {
+                if v == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    v.parse().expect("numeric le bound")
+                }
+            })
+            .expect("bucket sample has an le label");
+        let mut rest: Vec<_> = s.labels.iter().filter(|(k, _)| k != "le").collect();
+        rest.sort();
+        let key = format!("{stem}{rest:?}");
+        series.entry(key).or_default().push((le, s.value));
+    }
+    assert!(
+        series.len() >= 2,
+        "expected the clFinish and vm2 e2e histogram series"
+    );
+    for (key, buckets) in &series {
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[1].0 > pair[0].0,
+                "{key}: le bounds not ascending: {buckets:?}"
+            );
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{key}: cumulative counts not monotone: {buckets:?}"
+            );
+        }
+        let (last_le, last_count) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "{key}: missing +Inf bucket");
+        // +Inf bucket equals the series count sample.
+        let stem = key.split('[').next().unwrap();
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{stem}_count"))
+            .expect("histogram has a _count sample");
+        if count.labels.is_empty() || buckets.len() == 1 {
+            // Unlabeled series (or a single bucket): direct comparison.
+            assert_eq!(last_count, count.value, "{key}: +Inf != _count");
+        }
+    }
+
+    // Exact check for the known clFinish distribution: 6 recorded values,
+    // +Inf bucket and count must both say 6, sum must match.
+    let inf = find(
+        &samples,
+        "ava_guest_call_ns_bucket",
+        &[("fn", "clFinish"), ("le", "+Inf")],
+    );
+    assert_eq!(inf.value, 6.0);
+    let count = find(&samples, "ava_guest_call_ns_count", &[("fn", "clFinish")]);
+    assert_eq!(count.value, 6.0);
+    let sum = find(&samples, "ava_guest_call_ns_sum", &[("fn", "clFinish")]);
+    assert_eq!(
+        sum.value,
+        (800 + 1_500 + 3_000 + 3_100 + 65_000 + 1_000_000) as f64
+    );
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace round-trip.
+// ---------------------------------------------------------------------
+
+/// The individual event lines of a trace document (trailing commas
+/// stripped), skipping the wrapper lines.
+fn trace_event_lines(json: &str) -> Vec<String> {
+    json.lines()
+        .map(|l| l.trim_end_matches(','))
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn trace_json_is_valid_and_schema_complete() {
+    let r = seeded_registry();
+    let json = export::trace_json(&r.snapshot());
+    assert_valid_json(&json);
+
+    let lines = trace_event_lines(&json);
+    assert!(!lines.is_empty());
+    let mut complete = 0;
+    let mut instants = 0;
+    for line in &lines {
+        assert_valid_json(line);
+        let ph = str_field(line, "ph").expect("every event has ph");
+        assert_eq!(num_field(line, "pid"), Some(1.0), "pid missing in {line}");
+        assert!(num_field(line, "tid").is_some(), "tid missing in {line}");
+        assert!(str_field(line, "name").is_some(), "name missing in {line}");
+        match ph.as_str() {
+            "X" => {
+                complete += 1;
+                assert!(num_field(line, "ts").is_some(), "X lacks ts: {line}");
+                assert!(num_field(line, "dur").is_some(), "X lacks dur: {line}");
+            }
+            "i" => {
+                instants += 1;
+                assert!(num_field(line, "ts").is_some(), "i lacks ts: {line}");
+            }
+            "M" => {}
+            other => panic!("unexpected phase {other:?} in {line}"),
+        }
+    }
+    // Two complete spans × five slices (guest, out, router, server, back).
+    assert_eq!(complete, 10);
+    assert_eq!(instants, 7);
+}
+
+#[test]
+fn trace_json_tracks_are_named_and_time_ordered() {
+    let r = seeded_registry();
+    let json = export::trace_json(&r.snapshot());
+    let lines = trace_event_lines(&json);
+
+    // Metadata names every tier track, plus the pool-slot tracks the
+    // placement (slot 0) and rebalance (dst slot 1) events landed on.
+    let tracks: Vec<String> = lines
+        .iter()
+        .filter(|l| str_field(l, "ph").as_deref() == Some("M"))
+        .map(|l| {
+            let args_at = l.find("\"args\"").unwrap();
+            str_field(&l[args_at..], "name").unwrap()
+        })
+        .collect();
+    for expect in [
+        "guest",
+        "transport",
+        "router",
+        "server",
+        "supervisor",
+        "pool slot0",
+        "pool slot1",
+    ] {
+        assert!(
+            tracks.contains(&expect.to_string()),
+            "missing track {expect}"
+        );
+    }
+
+    // Per-track timestamps never go backwards.
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for line in &lines {
+        let ph = str_field(line, "ph").unwrap();
+        if ph == "M" {
+            continue;
+        }
+        let tid = num_field(line, "tid").unwrap() as u64;
+        let ts = num_field(line, "ts").unwrap();
+        if let Some(prev) = last_ts.get(&tid) {
+            assert!(
+                ts >= *prev,
+                "track {tid} goes backwards: {prev} -> {ts} at {line}"
+            );
+        }
+        last_ts.insert(tid, ts);
+    }
+
+    // The rebalance instant names both slots.
+    let rebalance = lines
+        .iter()
+        .find(|l| str_field(l, "name").as_deref() == Some("rebalance"))
+        .expect("rebalance instant present");
+    assert_eq!(num_field(rebalance, "src_slot"), Some(0.0));
+    assert_eq!(num_field(rebalance, "dst_slot"), Some(1.0));
+    // It renders on the destination slot's track (POOL_TID_BASE + 1).
+    assert_eq!(num_field(rebalance, "tid"), Some(11.0));
+}
+
+#[test]
+fn telemetry_handle_exports_mirror_enablement() {
+    assert!(Telemetry::disabled().export_trace().is_none());
+    assert!(Telemetry::disabled().export_prometheus().is_none());
+
+    let r = seeded_registry();
+    let t = Telemetry::new(r);
+    let trace = t.export_trace().expect("enabled handle exports a trace");
+    assert_valid_json(&trace);
+    let prom = t.export_prometheus().expect("enabled handle exports prom");
+    assert!(prom.contains("# TYPE ava_guest_call_ns histogram"));
+}

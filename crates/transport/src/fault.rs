@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use ava_telemetry::{EventKind, Telemetry, Tier};
 use ava_wire::Message;
 use parking_lot::Mutex;
 
@@ -225,6 +226,9 @@ pub struct FaultInjector {
     state: Mutex<InjectorState>,
     counters: FaultCounters,
     severed: AtomicBool,
+    /// Flight-recorder handle, attached by `register_telemetry` (the VM
+    /// attribution is parsed from the registration prefix).
+    telemetry: Mutex<Telemetry>,
 }
 
 struct InjectorState {
@@ -242,6 +246,7 @@ impl FaultInjector {
             state: Mutex::new(InjectorState { rng, frames: 0 }),
             counters: FaultCounters::default(),
             severed: AtomicBool::new(false),
+            telemetry: Mutex::new(Telemetry::disabled()),
         }
     }
 
@@ -324,6 +329,29 @@ impl FaultInjector {
         FaultAction::Deliver
     }
 
+    /// Records a `FaultInjected` flight-recorder event for a non-Deliver
+    /// decision. `arg` is the action discriminant (0 drop, 1 duplicate,
+    /// 2 delay, 3 corrupt, 4 disconnect).
+    fn note_fault(&self, action: FaultAction, msg: &Message) {
+        let telemetry = self.telemetry.lock();
+        if !telemetry.enabled() {
+            return;
+        }
+        let arg = match action {
+            FaultAction::Deliver => return,
+            FaultAction::Drop => 0,
+            FaultAction::Duplicate => 1,
+            FaultAction::Delay => 2,
+            FaultAction::Corrupt => 3,
+            FaultAction::Disconnect => 4,
+        };
+        let call_id = match msg {
+            Message::Call(req) => req.call_id,
+            _ => 0,
+        };
+        telemetry.event(Tier::Transport, EventKind::FaultInjected, call_id, arg);
+    }
+
     /// Applies single-byte corruption; returns the mangled message if it
     /// still decodes, or `None` when a link layer would discard it.
     fn corrupt(&self, state: &mut InjectorState, msg: &Message) -> Option<Message> {
@@ -343,7 +371,9 @@ impl Transport for FaultInjector {
     fn send(&self, msg: &Message) -> Result<()> {
         self.check_severed()?;
         let mut state = self.state.lock();
-        match self.decide(&mut state, msg) {
+        let action = self.decide(&mut state, msg);
+        self.note_fault(action, msg);
+        match action {
             FaultAction::Deliver => {
                 self.counters.delivered.fetch_add(1, Ordering::Relaxed);
                 self.inner.send(msg)
@@ -411,6 +441,14 @@ impl Transport for FaultInjector {
     }
 
     fn register_telemetry(&self, registry: &ava_telemetry::Registry, prefix: &str) {
+        // Prefixes look like `vm3.guest`; the leading `vm<N>` attributes
+        // this injector's fault events.
+        let vm = prefix
+            .strip_prefix("vm")
+            .and_then(|rest| rest.split('.').next())
+            .and_then(|digits| digits.parse::<u32>().ok())
+            .unwrap_or(0);
+        *self.telemetry.lock() = Telemetry::new(registry.clone()).with_vm(vm);
         self.inner.register_telemetry(registry, prefix);
     }
 }
