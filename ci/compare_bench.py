@@ -22,17 +22,43 @@ import json
 import sys
 
 
+# Directional gates for metrics whose regressions are one-sided. Keyed by
+# the metric-name suffix (the part after the last '.'). Value is
+# (direction, slack): direction 'lower_better' fails only when the metric
+# *rises* past tolerance, 'higher_better' only when it *falls*; a non-None
+# slack replaces the CLI tolerance for that metric (throughput speedups on
+# shared CI runners swing far more than fairness indices do, so they get a
+# wider, explicitly-chosen band).
+DIRECTIONAL_GATES = {
+    # Cache-on wall / cache-off wall: getting *faster* is never a failure.
+    "cache_latency_ratio": ("lower_better", None),
+    # Batched-vs-unbatched throughput: gate only a collapse (>50% drop).
+    "speedup": ("higher_better", 0.5),
+}
+
+
 def extract_metrics(report):
     """Flattens a bench report into {metric_name: float}."""
     bench = report.get("bench")
     out = {}
     if bench == "data_path":
+        walls = {
+            (c["transport"], bool(c.get("cache"))): c["wall_ms"]
+            for c in report.get("configs", [])
+            if "wall_ms" in c
+        }
         for cfg in report.get("configs", []):
             if not cfg.get("cache"):
                 continue
             key = cfg["transport"]
             out[f"{key}.payload_reduction"] = cfg["payload_reduction_vs_off"]
             out[f"{key}.hit_rate"] = cfg["hit_rate"]
+            # Cache-on vs cache-off wall time on the same run/host: a
+            # hardware-normalized ratio, gated one-sided (see
+            # DIRECTIONAL_GATES) because elision must never cost latency.
+            off_wall = walls.get((key, False), 0.0)
+            if off_wall > 0.0 and "wall_ms" in cfg:
+                out[f"{key}.cache_latency_ratio"] = cfg["wall_ms"] / off_wall
         # Recorder-on vs recorder-off p50 overhead ratio (~1.0x). A ratio
         # is already hardware-normalized, so it gates like the other
         # speed-insensitive metrics. Guarded: baselines predating the
@@ -45,6 +71,19 @@ def extract_metrics(report):
             out[f"{sc['name']}.jain"] = sc["jain_device_time"]
         out["weight_ratio"] = report["weight_ratio_observed"]
         out["rate_limit_conformance"] = report["rate_limit_conformance"]
+    elif bench == "throughput":
+        # Batching efficacy ratios only: absolute calls/sec depend on the
+        # runner. doorbell_reduction and batch_fill come from deterministic
+        # frame counters; speedup is wall-clock-derived and gated with the
+        # wide one-sided band from DIRECTIONAL_GATES.
+        head = report.get("headline", {})
+        for key in ("speedup", "doorbell_reduction", "batch_fill"):
+            if key in head:
+                out[f"headline.{key}"] = head[key]
+        for sc in report.get("scaling", []):
+            tag = f"scaling_{sc['vms']}vms"
+            out[f"{tag}.speedup"] = sc["speedup"]
+            out[f"{tag}.doorbell_reduction"] = sc["doorbell_reduction"]
     else:
         raise ValueError(f"unknown bench kind: {bench!r}")
     return out
@@ -67,7 +106,15 @@ def compare(baseline, current, tolerance):
             rel = 0.0 if cur == 0.0 else float("inf")
         else:
             rel = cur / base - 1.0
-        ok = abs(rel) <= tolerance
+        direction, slack = DIRECTIONAL_GATES.get(
+            name.rsplit(".", 1)[-1], ("two_sided", None))
+        band = tolerance if slack is None else slack
+        if direction == "lower_better":
+            ok = rel <= band
+        elif direction == "higher_better":
+            ok = rel >= -band
+        else:
+            ok = abs(rel) <= band
         regressed = regressed or not ok
         rows.append((name, base, cur, rel, ok))
     for name in sorted(set(cur_metrics) - set(base_metrics)):
@@ -157,6 +204,52 @@ def self_test():
     dp_rec_worse["recorder"]["overhead_ratio"] = 1.35
     _, regressed = compare(dp_rec, dp_rec_worse, 0.2)
     assert regressed, "a recorder overhead blow-up must fail the gate"
+
+    # cache_latency_ratio is one-sided: a big *improvement* (cache-on got
+    # much faster relative to off) must pass, a rise past tolerance fails.
+    dp_lat = json.loads(json.dumps(dp_base))
+    dp_lat["configs"][0]["wall_ms"] = 4.0
+    dp_lat["configs"][1]["wall_ms"] = 3.6  # ratio 0.90
+    dp_lat_fast = json.loads(json.dumps(dp_lat))
+    dp_lat_fast["configs"][1]["wall_ms"] = 2.0  # ratio 0.50: -44%
+    _, regressed = compare(dp_lat, dp_lat_fast, 0.2)
+    assert not regressed, "a faster cache-on arm must never fail the gate"
+    dp_lat_slow = json.loads(json.dumps(dp_lat))
+    dp_lat_slow["configs"][1]["wall_ms"] = 4.8  # ratio 1.20: +33%
+    rows, regressed = compare(dp_lat, dp_lat_slow, 0.2)
+    assert regressed, "cache-on turning into a latency loss must fail"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "shmem.cache_latency_ratio", rows
+
+    tp_base = {
+        "bench": "throughput",
+        "headline": {"speedup": 4.0, "doorbell_reduction": 28.0,
+                     "batch_fill": 30.0},
+        "scaling": [
+            {"vms": 16, "speedup": 4.5, "doorbell_reduction": 30.0},
+            {"vms": 64, "speedup": 2.8, "doorbell_reduction": 27.0},
+        ],
+    }
+    tp_same = json.loads(json.dumps(tp_base))
+    _, regressed = compare(tp_base, tp_same, 0.2)
+    assert not regressed, "identical throughput artifacts must pass"
+
+    tp_noisy = json.loads(json.dumps(tp_base))
+    tp_noisy["scaling"][1]["speedup"] = 2.0  # -29%: within the wide band
+    _, regressed = compare(tp_base, tp_noisy, 0.2)
+    assert not regressed, "run-to-run speedup noise must not fail the gate"
+
+    tp_collapse = json.loads(json.dumps(tp_base))
+    tp_collapse["scaling"][1]["speedup"] = 1.1  # -61%: batching broke
+    rows, regressed = compare(tp_base, tp_collapse, 0.2)
+    assert regressed, "a speedup collapse must fail the gate"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "scaling_64vms.speedup", rows
+
+    tp_doorbell = json.loads(json.dumps(tp_base))
+    tp_doorbell["headline"]["doorbell_reduction"] = 5.0  # flush logic broke
+    _, regressed = compare(tp_base, tp_doorbell, 0.2)
+    assert regressed, "a doorbell-reduction drop must fail the gate"
 
     print("compare_bench self-test: ok")
 

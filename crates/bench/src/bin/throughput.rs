@@ -1,0 +1,363 @@
+//! Extension experiment Ext-T: data-path throughput. The §5 overhead
+//! argument is about *call frequency*: every guest→hypervisor crossing
+//! pays a doorbell (modelled sender overhead) and a router wakeup, so an
+//! async-heavy call stream is gated by crossings per second, not by
+//! device work. Adaptive wire batching coalesces consecutive async calls
+//! into one framed batch — one doorbell per batch — and the router
+//! forwards runs of queued calls as one router→server frame. This
+//! harness measures the resulting calls/sec three ways:
+//!
+//! * headline: one VM, batched vs unbatched calls/sec;
+//! * sweep: calls/sec as the guest batch limit grows;
+//! * scaling: aggregate calls/sec at 16/64/256 VMs, batched vs
+//!   unbatched (the contended router is where coalescing pays most).
+//!
+//! The stack runs over the shared-memory ring with the *trap* cost
+//! model: every crossing is a full VM exit, the interposition regime the
+//! paper's overhead argument targets and the one batching exists to
+//! amortize. `AVA_TP_MODEL` (`trap`/`paravirtual`/`free`) and
+//! `AVA_TP_TRANSPORT` (`shmem`/`inproc`) override the rig for
+//! experiments; `AVA_TP_DIAG` prints per-phase wall/CPU breakdowns.
+//!
+//! Usage: `throughput [--smoke]`. `--smoke` shrinks VM counts and call
+//! volume for CI; either way a machine-readable `BENCH_throughput.json`
+//! is written to the current directory. Wall-clock throughput varies
+//! with runner hardware, so the regression gate consumes only the
+//! deterministic counter ratios (doorbell reduction, batch fill);
+//! speedups are asserted one-sided by the CI smoke job.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use ava_bench::row;
+use ava_core::{opencl_stack_with, ApiStack, GuestConfig, OpenClClient, StackConfig};
+use ava_hypervisor::VmPolicy;
+use ava_spec::LowerOptions;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{silo_with_all_kernels, Scale};
+use simcl::ClApi;
+
+/// Per-VM sync setup handshake, performed *outside* the timed window:
+/// the measured quantity is streaming throughput, not one-time
+/// context-creation round-trips (which are identical in both modes and
+/// would dilute the comparison on small runners).
+fn setup_vm(client: &OpenClClient, payload_len: usize) -> (simcl::ClQueue, simcl::ClMem) {
+    let platform = client.get_platform_ids().expect("platforms")[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .expect("devices")[0];
+    let ctx = client.create_context(device).expect("context");
+    let queue = client
+        .create_command_queue(ctx, device, simcl::QueueProps::default())
+        .expect("queue");
+    let buf = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), payload_len, None)
+        .expect("buffer");
+    (queue, buf)
+}
+
+/// Timed per-VM call stream: `calls` small non-blocking writes stream
+/// async, and a final `finish` barrier makes the server-side effects
+/// observable before the clock stops.
+fn drive_vm(
+    client: &OpenClClient,
+    queue: simcl::ClQueue,
+    buf: simcl::ClMem,
+    calls: usize,
+    payload: &[u8],
+) {
+    for _ in 0..calls {
+        client
+            .enqueue_write_buffer(queue, buf, false, 0, payload, &[], false)
+            .expect("async write");
+    }
+    client.finish(queue).expect("finish");
+}
+
+fn cost_model() -> CostModel {
+    match std::env::var("AVA_TP_MODEL").as_deref() {
+        Ok("free") => CostModel::free(),
+        Ok("paravirtual") => CostModel::paravirtual(),
+        _ => CostModel::trap(),
+    }
+}
+
+fn transport_kind() -> TransportKind {
+    match std::env::var("AVA_TP_TRANSPORT").as_deref() {
+        Ok("inproc") => TransportKind::InProcess,
+        _ => TransportKind::SharedMemory,
+    }
+}
+
+fn build_stack(batch_max_calls: usize) -> ApiStack {
+    let config = StackConfig {
+        transport: transport_kind(),
+        cost_model: cost_model(),
+        guest: GuestConfig {
+            batch_max_calls,
+            // Age-based flush bounds how long a straggler call can sit in
+            // an open batch; the sync `finish` flushes the tail anyway.
+            batch_max_delay_us: if batch_max_calls > 0 { 200 } else { 0 },
+            ..GuestConfig::default()
+        },
+        ..StackConfig::default()
+    };
+    opencl_stack_with(
+        silo_with_all_kernels(Scale::Test),
+        config,
+        LowerOptions::default(),
+    )
+    .expect("stack builds")
+}
+
+fn proc_cpu_ticks() -> (u64, u64) {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    let fields: Vec<&str> = stat.split_whitespace().collect();
+    let parse = |i: usize| fields.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (parse(13), parse(14))
+}
+
+struct RunResult {
+    calls_per_sec: f64,
+    doorbells: u64,
+    total_calls: u64,
+}
+
+/// Runs `vms` concurrent VMs on one stack, each streaming `calls` async
+/// writes, and returns the aggregate throughput plus doorbell counters
+/// summed over every guest.
+fn run_fleet(batch_max_calls: usize, vms: usize, calls: usize, payload_len: usize) -> RunResult {
+    let stack = build_stack(batch_max_calls);
+    let mut libs = Vec::with_capacity(vms);
+    for _ in 0..vms {
+        let (_, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+        libs.push(lib);
+    }
+    // Two barriers bracket the timed window: every VM finishes its sync
+    // setup handshake before the first, the main thread snapshots the
+    // doorbell counters, and the second releases the streaming phase.
+    let ready = Arc::new(Barrier::new(vms + 1));
+    let go = Arc::new(Barrier::new(vms + 1));
+    let mut handles = Vec::with_capacity(vms);
+    for lib in &libs {
+        let lib = Arc::clone(lib);
+        let ready = Arc::clone(&ready);
+        let go = Arc::clone(&go);
+        handles.push(std::thread::spawn(move || {
+            let client = OpenClClient::new(lib);
+            let payload: Vec<u8> = (0..payload_len).map(|i| (i * 131 % 251) as u8).collect();
+            let (queue, buf) = setup_vm(&client, payload_len);
+            ready.wait();
+            go.wait();
+            let t0 = Instant::now();
+            drive_vm(&client, queue, buf, calls, &payload);
+            t0.elapsed().as_secs_f64()
+        }));
+    }
+    ready.wait();
+    let mut doorbells_before = 0u64;
+    let mut calls_before = 0u64;
+    for lib in &libs {
+        let stats = lib.stats();
+        doorbells_before += stats.doorbells;
+        calls_before += stats.sync_calls + stats.async_calls;
+    }
+    // Stamp before releasing the barrier: every worker starts streaming
+    // the instant `go` trips, but this thread may not be rescheduled for
+    // a long time on a saturated machine — stamping after would
+    // undercount the window and inflate throughput.
+    let start = Instant::now();
+    let cpu0 = proc_cpu_ticks();
+    go.wait();
+    let mut durations: Vec<f64> = Vec::with_capacity(vms);
+    for h in handles {
+        durations.push(h.join().expect("vm thread"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    if std::env::var("AVA_TP_DIAG").is_ok() {
+        let (du, ds) = {
+            let (u1, s1) = proc_cpu_ticks();
+            ((u1 - cpu0.0) as f64 / 100.0, (s1 - cpu0.1) as f64 / 100.0)
+        };
+        durations.sort_by(f64::total_cmp);
+        eprintln!(
+            "# diag batch={batch_max_calls} vms={vms}: wall {wall:.3}s user {du:.2}s sys {ds:.2}s, per-vm p50 {:.3}s max {:.3}s",
+            durations[vms / 2],
+            durations[vms - 1]
+        );
+    }
+    let mut doorbells = 0u64;
+    let mut total_calls = 0u64;
+    for lib in &libs {
+        let stats = lib.stats();
+        doorbells += stats.doorbells;
+        total_calls += stats.sync_calls + stats.async_calls;
+    }
+    doorbells -= doorbells_before;
+    total_calls -= calls_before;
+    RunResult {
+        calls_per_sec: total_calls as f64 / wall.max(1e-9),
+        doorbells,
+        total_calls,
+    }
+}
+
+/// Best-of-`reps` throughput (minimum wall time is the noise-robust
+/// estimator on shared runners). Counters ride along with the winning
+/// rep: they can differ by a frame or two across reps because the
+/// age-based flush fires on preemption, so they are not asserted equal.
+fn run_best(batch: usize, vms: usize, calls: usize, payload_len: usize, reps: usize) -> RunResult {
+    let mut best = run_fleet(batch, vms, calls, payload_len);
+    for _ in 1..reps {
+        let next = run_fleet(batch, vms, calls, payload_len);
+        if next.calls_per_sec > best.calls_per_sec {
+            best = next;
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let batch = 32usize;
+    let payload_len = 256usize;
+    let (sweep_calls, scale_calls, vm_counts, reps): (usize, usize, &[usize], usize) = if smoke {
+        (400, 300, &[16, 64], 2)
+    } else {
+        (2000, 800, &[16, 64, 256], 2)
+    };
+
+    println!("# Throughput (Ext-T): adaptive wire batching, calls/sec");
+    println!(
+        "# payload {payload_len} B async writes, batch limit {batch}, shmem ring, \
+         trap cost model (20 us exit per crossing, 15 us delivery)"
+    );
+    println!();
+
+    // Headline: one VM, batched vs unbatched.
+    let head_off = run_best(0, 1, sweep_calls, payload_len, reps);
+    let head_on = run_best(batch, 1, sweep_calls, payload_len, reps);
+    let head_speedup = head_on.calls_per_sec / head_off.calls_per_sec;
+    let head_fill = head_on.total_calls as f64 / head_on.doorbells.max(1) as f64;
+    println!(
+        "# headline (1 VM): {:.0} -> {:.0} calls/sec ({head_speedup:.2}x), \
+         doorbells {} -> {} (fill {head_fill:.1} calls/frame)",
+        head_off.calls_per_sec, head_on.calls_per_sec, head_off.doorbells, head_on.doorbells
+    );
+    println!();
+
+    // Batch-size sweep on one VM.
+    let widths = [8usize, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "batch".into(),
+                "calls/sec".into(),
+                "doorbells".into(),
+                "fill".into(),
+            ],
+            &widths
+        )
+    );
+    let mut sweep: Vec<(usize, RunResult)> = Vec::new();
+    for b in [0usize, 2, 8, 32, 128] {
+        let r = run_best(b, 1, sweep_calls, payload_len, reps);
+        println!(
+            "{}",
+            row(
+                &[
+                    b.to_string(),
+                    format!("{:.0}", r.calls_per_sec),
+                    r.doorbells.to_string(),
+                    format!("{:.1}", r.total_calls as f64 / r.doorbells.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+        sweep.push((b, r));
+    }
+    println!();
+
+    // VM scaling: the router serializes forwarding, so this is where
+    // per-frame overheads hurt most — and where coalescing pays most.
+    let widths = [6usize, 14, 14, 9, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "vms".into(),
+                "off calls/s".into(),
+                "on calls/s".into(),
+                "speedup".into(),
+                "doorbell_red".into(),
+            ],
+            &widths
+        )
+    );
+    let mut scaling: Vec<(usize, RunResult, RunResult)> = Vec::new();
+    for &vms in vm_counts {
+        let off = run_best(0, vms, scale_calls, payload_len, reps);
+        let on = run_best(batch, vms, scale_calls, payload_len, reps);
+        println!(
+            "{}",
+            row(
+                &[
+                    vms.to_string(),
+                    format!("{:.0}", off.calls_per_sec),
+                    format!("{:.0}", on.calls_per_sec),
+                    format!("{:.2}x", on.calls_per_sec / off.calls_per_sec),
+                    format!("{:.1}x", off.doorbells as f64 / on.doorbells.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+        scaling.push((vms, off, on));
+    }
+
+    // Machine-readable artifact for CI. Wall-clock throughputs are
+    // recorded for humans; the regression gate reads only the
+    // deterministic counter ratios.
+    let mut json = String::from("{\n  \"bench\": \"throughput\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"batch_limit\": {batch},\n"));
+    json.push_str(&format!("  \"payload_bytes\": {payload_len},\n"));
+    json.push_str(&format!(
+        "  \"headline\": {{\"unbatched_cps\": {:.1}, \"batched_cps\": {:.1}, \
+         \"speedup\": {:.4}, \"doorbell_reduction\": {:.4}, \"batch_fill\": {:.4}}},\n",
+        head_off.calls_per_sec,
+        head_on.calls_per_sec,
+        head_speedup,
+        head_off.doorbells as f64 / head_on.doorbells.max(1) as f64,
+        head_fill
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, (b, r)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch\": {b}, \"calls_per_sec\": {:.1}, \"doorbells\": {}, \
+             \"batch_fill\": {:.4}}}{}\n",
+            r.calls_per_sec,
+            r.doorbells,
+            r.total_calls as f64 / r.doorbells.max(1) as f64,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"scaling\": [\n");
+    for (i, (vms, off, on)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"vms\": {vms}, \"unbatched_cps\": {:.1}, \"batched_cps\": {:.1}, \
+             \"speedup\": {:.4}, \"doorbell_reduction\": {:.4}, \"batch_fill\": {:.4}}}{}\n",
+            off.calls_per_sec,
+            on.calls_per_sec,
+            on.calls_per_sec / off.calls_per_sec,
+            off.doorbells as f64 / on.doorbells.max(1) as f64,
+            on.total_calls as f64 / on.doorbells.max(1) as f64,
+            if i + 1 == scaling.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!();
+    println!("# wrote BENCH_throughput.json");
+}

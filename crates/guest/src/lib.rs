@@ -27,8 +27,8 @@ use ava_spec::{ApiDescriptor, ElemKind, FunctionDesc, RetDesc, ScalarKind, Trans
 use ava_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, Tier};
 use ava_transport::BoxedTransport;
 use ava_wire::{
-    fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, FnId, Message,
-    ReplyStatus, Value,
+    digest64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, FnId, Message,
+    ReplyStatus, Value, MAX_BATCH_CALLS,
 };
 use parking_lot::Mutex;
 
@@ -57,7 +57,20 @@ impl CallResult {
 #[derive(Debug, Clone, Copy)]
 pub struct GuestConfig {
     /// Maximum calls coalesced into one batch; 0 disables batching.
+    /// Legacy knob — [`GuestConfig::batch_max_calls`] takes precedence
+    /// whenever it is non-zero.
     pub batch_max: usize,
+    /// Adaptive-batching size limit: the batch flushes as one wire frame
+    /// (one doorbell) once it holds this many calls. 0 defers to
+    /// [`GuestConfig::batch_max`]; both zero disables batching. Values are
+    /// clamped to the protocol's per-frame cap.
+    pub batch_max_calls: usize,
+    /// Adaptive-batching age limit in microseconds: a batch older than
+    /// this flushes before the next call joins it, bounding the latency a
+    /// coalesced async call can sit unsent. 0 disables age-based flushing
+    /// (batches flush only on size, sync barrier, or explicit
+    /// [`GuestLibrary::flush`]).
+    pub batch_max_delay_us: u64,
     /// Entries in the content-addressed transfer cache (digests of buffer
     /// payloads already pushed over this connection); 0 disables elision.
     /// The server mirrors this capacity, so both caches evolve in lockstep.
@@ -81,6 +94,8 @@ impl Default for GuestConfig {
     fn default() -> Self {
         GuestConfig {
             batch_max: 0,
+            batch_max_calls: 0,
+            batch_max_delay_us: 0,
             payload_cache_entries: 0,
             payload_cache_min_bytes: 64,
             call_deadline: None,
@@ -99,6 +114,9 @@ pub struct GuestStats {
     pub async_calls: u64,
     /// Transport crossings saved by batching.
     pub batched_calls: u64,
+    /// Call-carrying wire frames handed to the transport (each one is a
+    /// doorbell ring; retries and cache-miss resends are not counted).
+    pub doorbells: u64,
     /// Deferred errors delivered on later synchronous calls.
     pub deferred_errors_delivered: u64,
     /// Buffer arguments elided by the transfer cache.
@@ -119,6 +137,10 @@ struct PendingCall {
     /// Full-payload copy kept for `CacheMiss` resends; `None` when the
     /// transfer cache is disabled or the call carried no eligible buffers.
     resend: Option<CallRequest>,
+    /// Wire-form copy of the request as sent, kept while batching is
+    /// enabled so a sync-call retry can re-deliver a dropped batch as a
+    /// unit. Cheap: buffer payloads are refcounted [`bytes::Bytes`].
+    wire: Option<CallRequest>,
 }
 
 struct Inner {
@@ -129,6 +151,8 @@ struct Inner {
     deferred_error: Option<Value>,
     /// Batched (not yet sent) async calls.
     batch: Vec<CallRequest>,
+    /// When the oldest call in `batch` joined it; drives age-based flush.
+    batch_started: Option<Instant>,
     /// Digests of eligible buffers already pushed over this connection.
     tx_cache: DigestLru<()>,
 }
@@ -139,6 +163,7 @@ struct GuestCounters {
     sync_calls: Counter,
     async_calls: Counter,
     batched_calls: Counter,
+    doorbells: Counter,
     deferred_errors_delivered: Counter,
     payload_cache_hits: Counter,
     payload_cache_misses: Counter,
@@ -153,6 +178,7 @@ impl GuestCounters {
             sync_calls: self.sync_calls.get(),
             async_calls: self.async_calls.get(),
             batched_calls: self.batched_calls.get(),
+            doorbells: self.doorbells.get(),
             deferred_errors_delivered: self.deferred_errors_delivered.get(),
             payload_cache_hits: self.payload_cache_hits.get(),
             payload_cache_misses: self.payload_cache_misses.get(),
@@ -170,6 +196,7 @@ impl GuestCounters {
         registry.register_counter(&format!("guest.vm{vm}.sync_calls"), &self.sync_calls);
         registry.register_counter(&format!("guest.vm{vm}.async_calls"), &self.async_calls);
         registry.register_counter(&format!("guest.vm{vm}.batched_calls"), &self.batched_calls);
+        registry.register_counter(&format!("guest.vm{vm}.doorbells"), &self.doorbells);
         registry.register_counter(
             &format!("guest.vm{vm}.deferred_errors_delivered"),
             &self.deferred_errors_delivered,
@@ -223,6 +250,7 @@ impl GuestLibrary {
                 pending: HashMap::new(),
                 deferred_error: None,
                 batch: Vec::new(),
+                batch_started: None,
                 tx_cache: DigestLru::new(config.payload_cache_entries),
             }),
         }
@@ -315,26 +343,41 @@ impl GuestLibrary {
             self.counters.async_calls.inc();
             let (wire_args, resend) =
                 self.prepare_args(&mut inner, call_id, func.id, is_sync, args);
-            inner.pending.insert(
-                call_id,
-                PendingCall {
-                    fn_id: func.id,
-                    resend,
-                },
-            );
             let req = CallRequest {
                 call_id,
                 fn_id: func.id,
                 mode: CallMode::Async,
                 args: wire_args,
             };
-            if self.config.batch_max > 0 {
+            let batch_limit = self.batch_limit();
+            inner.pending.insert(
+                call_id,
+                PendingCall {
+                    fn_id: func.id,
+                    resend,
+                    // A retry can only ever fire when a deadline is armed,
+                    // so the wire copy is dead weight without one.
+                    wire: (batch_limit > 0 && self.config.call_deadline.is_some())
+                        .then(|| req.clone()),
+                },
+            );
+            if batch_limit > 0 {
+                // A batch that aged past the delay budget flushes before
+                // this call joins, so coalescing never holds a call back
+                // longer than the configured bound.
+                if self.age_flush_due(&inner) {
+                    self.flush_batch(&mut inner)?;
+                }
+                if inner.batch.is_empty() {
+                    inner.batch_started = Some(Instant::now());
+                }
                 inner.batch.push(req);
                 self.counters.batched_calls.inc();
-                if inner.batch.len() >= self.config.batch_max {
+                if inner.batch.len() >= batch_limit {
                     self.flush_batch(&mut inner)?;
                 }
             } else {
+                self.counters.doorbells.inc();
                 self.send_with_retry(&Message::Call(req))?;
             }
             // Async calls get no span (success replies are suppressed, so
@@ -354,16 +397,27 @@ impl GuestLibrary {
             });
         }
 
-        // Synchronous path: flush any batched work first so ordering holds.
+        // Synchronous path: any batched asyncs ride in the same frame as
+        // this call — one transport crossing, one doorbell — instead of a
+        // separate flush followed by a second send. The server executes
+        // batch members in order, so ordering holds exactly as before.
         self.counters.sync_calls.inc();
-        self.flush_batch(&mut inner)?;
         let (wire_args, resend) = self.prepare_args(&mut inner, call_id, func.id, is_sync, args);
-        let call_msg = Message::Call(CallRequest {
+        let sync_req = CallRequest {
             call_id,
             fn_id: func.id,
             mode: CallMode::Sync,
             args: wire_args,
-        });
+        };
+        let call_msg = if inner.batch.is_empty() {
+            Message::Call(sync_req.clone())
+        } else {
+            inner.batch_started = None;
+            let mut batch = std::mem::take(&mut inner.batch);
+            batch.push(sync_req.clone());
+            Message::Batch(batch)
+        };
+        self.counters.doorbells.inc();
         self.telemetry
             .span_stage_at(call_id, Stage::GuestStart, entry_nanos, Some(func.id));
         self.telemetry.event_at(
@@ -453,7 +507,12 @@ impl GuestLibrary {
                     self.telemetry
                         .span_stage(call_id, Stage::GuestStart, Some(func.id));
                     self.telemetry.span_stage(call_id, Stage::Sent, None);
-                    if let Err(e) = self.transport.send(&call_msg) {
+                    // A dropped batch is retried as a unit: still-pending
+                    // async calls older than this sync call ride along, and
+                    // the server's call-id highwater dedup keeps any member
+                    // that did execute from running twice.
+                    let retry_msg = rebuild_retry_frame(&inner, &sync_req);
+                    if let Err(e) = self.transport.send(&retry_msg) {
                         self.telemetry.span_abandon(call_id);
                         return Err(map_transport_err(&e));
                     }
@@ -570,13 +629,51 @@ impl GuestLibrary {
         })
     }
 
-    /// Sends any batched calls as a single transport crossing.
+    /// The effective batch size limit: `batch_max_calls` wins over the
+    /// legacy `batch_max`, and both are clamped to the protocol's
+    /// per-frame cap so the guest can never build an undecodable frame.
+    fn batch_limit(&self) -> usize {
+        let limit = if self.config.batch_max_calls > 0 {
+            self.config.batch_max_calls
+        } else {
+            self.config.batch_max
+        };
+        limit.min(MAX_BATCH_CALLS)
+    }
+
+    /// True when the open batch has outlived `batch_max_delay_us`.
+    fn age_flush_due(&self, inner: &Inner) -> bool {
+        self.config.batch_max_delay_us > 0
+            && !inner.batch.is_empty()
+            && inner.batch_started.is_some_and(|t| {
+                t.elapsed() >= Duration::from_micros(self.config.batch_max_delay_us)
+            })
+    }
+
+    /// Flushes any coalesced-but-unsent async calls immediately. Useful
+    /// when the application knows it is about to go idle and no sync call
+    /// will arrive to act as a flush barrier.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_batch(&mut inner)
+    }
+
+    /// Sends any batched calls as a single transport crossing. A batch of
+    /// one goes out as a plain `Call` — single calls never pay the batch
+    /// framing overhead.
     fn flush_batch(&self, inner: &mut Inner) -> Result<()> {
         if inner.batch.is_empty() {
             return Ok(());
         }
-        let batch = std::mem::take(&mut inner.batch);
-        self.send_with_retry(&Message::Batch(batch))
+        inner.batch_started = None;
+        let mut batch = std::mem::take(&mut inner.batch);
+        let msg = if batch.len() == 1 {
+            Message::Call(batch.pop().expect("len checked"))
+        } else {
+            Message::Batch(batch)
+        };
+        self.counters.doorbells.inc();
+        self.send_with_retry(&msg)
     }
 
     /// Sends one message, retrying transient failures with bounded
@@ -657,7 +754,7 @@ impl GuestLibrary {
             .iter()
             .map(|arg| match arg {
                 Value::Bytes(b) if b.len() >= min => {
-                    let digest = fnv1a64(b);
+                    let digest = digest64(b);
                     if inner.tx_cache.get(digest).is_some() {
                         self.counters.payload_cache_hits.inc();
                         self.counters.bytes_elided.add(b.len() as u64);
@@ -842,10 +939,29 @@ fn repair_cache(cache: &mut DigestLru<()>, args: &[Value], min_bytes: usize) {
     for arg in args {
         if let Value::Bytes(b) = arg {
             if b.len() >= min_bytes {
-                cache.insert(fnv1a64(b), ());
+                cache.insert(digest64(b), ());
             }
         }
     }
+}
+
+/// The frame for a sync-call retry. Any still-pending async calls older
+/// than the sync call are re-delivered in the same batch (in call-id
+/// order) so a batch dropped in transit is retried as a unit; members the
+/// server already executed are deduplicated by its call-id highwater.
+fn rebuild_retry_frame(inner: &Inner, sync_req: &CallRequest) -> Message {
+    let mut riders: Vec<CallRequest> = inner
+        .pending
+        .iter()
+        .filter(|(id, _)| **id < sync_req.call_id)
+        .filter_map(|(_, p)| p.wire.clone())
+        .collect();
+    if riders.is_empty() {
+        return Message::Call(sync_req.clone());
+    }
+    riders.sort_by_key(|r| r.call_id);
+    riders.push(sync_req.clone());
+    Message::Batch(riders)
 }
 
 /// True if `ret` equals the function's declared success value (non-status
@@ -1110,6 +1226,196 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
         server.join().unwrap();
     }
 
+    /// The shape of one observed call-carrying frame: `(was_batch, fn_ids)`.
+    type FrameLog = Vec<(bool, Vec<u32>)>;
+
+    /// Records the shape of every call-carrying frame as
+    /// `(was_batch, fn_ids)` in arrival order, replying to each member.
+    fn spawn_frame_server(server: BoxedTransport) -> std::thread::JoinHandle<FrameLog> {
+        std::thread::spawn(move || {
+            let mut frames = Vec::new();
+            while let Ok(msg) = server.recv() {
+                let (was_batch, reqs) = match msg {
+                    Message::Call(req) => (false, vec![req]),
+                    Message::Batch(reqs) => (true, reqs),
+                    Message::Control(ControlMessage::Shutdown) => break,
+                    _ => continue,
+                };
+                frames.push((was_batch, reqs.iter().map(|r| r.fn_id).collect()));
+                for req in reqs {
+                    let ret = match req.fn_id {
+                        1 => Value::Handle(0x4000_0001), // toy_create
+                        _ => Value::I32(0),
+                    };
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Ok,
+                        ret,
+                        outputs: vec![],
+                    };
+                    if server.send(&Message::Reply(reply)).is_err() {
+                        return frames;
+                    }
+                }
+            }
+            frames
+        })
+    }
+
+    fn setup_frames(config: GuestConfig) -> (GuestLibrary, std::thread::JoinHandle<FrameLog>) {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let server = spawn_frame_server(server_end);
+        let lib = GuestLibrary::new(descriptor(), guest_end, config);
+        (lib, server)
+    }
+
+    #[test]
+    fn sync_call_rides_in_the_batch_frame() {
+        let (lib, server) = setup_frames(GuestConfig {
+            batch_max_calls: 16,
+            ..GuestConfig::default()
+        });
+        let h = lib.call("toy_create", vec![Value::U64(8)]).unwrap().ret;
+        for i in 0..3 {
+            lib.call("toy_poke", vec![h.clone(), Value::U32(i)])
+                .unwrap();
+        }
+        lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        assert_eq!(lib.stats().doorbells, 2, "create + one coalesced frame");
+        shutdown(lib);
+        let frames = server.join().unwrap();
+        // The sync init shares a single frame with the three pokes.
+        assert_eq!(frames, vec![(false, vec![1]), (true, vec![2, 2, 2, 0])]);
+    }
+
+    #[test]
+    fn explicit_flush_drains_partial_batches() {
+        let (lib, server) = setup_frames(GuestConfig {
+            batch_max_calls: 16,
+            ..GuestConfig::default()
+        });
+        let h = lib.call("toy_create", vec![Value::U64(8)]).unwrap().ret;
+        lib.call("toy_poke", vec![h.clone(), Value::U32(0)])
+            .unwrap();
+        lib.flush().unwrap();
+        lib.call("toy_poke", vec![h.clone(), Value::U32(1)])
+            .unwrap();
+        lib.call("toy_poke", vec![h.clone(), Value::U32(2)])
+            .unwrap();
+        lib.flush().unwrap();
+        lib.flush().unwrap(); // a second flush of an empty batch is a no-op
+        assert_eq!(lib.stats().doorbells, 3);
+        // A trailing sync call (on an empty batch) both proves single
+        // calls skip batch framing and serializes against the server
+        // before shutdown.
+        lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        shutdown(lib);
+        let frames = server.join().unwrap();
+        // A flushed batch of one goes out as a plain call (no batch
+        // framing penalty for singles); two or more as a batch.
+        assert_eq!(
+            frames,
+            vec![
+                (false, vec![1]),
+                (false, vec![2]),
+                (true, vec![2, 2]),
+                (false, vec![0])
+            ]
+        );
+    }
+
+    #[test]
+    fn stale_batch_age_flushes_before_the_next_call_joins() {
+        let (lib, server) = setup_frames(GuestConfig {
+            batch_max_calls: 16,
+            batch_max_delay_us: 500,
+            ..GuestConfig::default()
+        });
+        let h = Value::Handle(0x77); // scripted server: any handle works
+        lib.call("toy_poke", vec![h.clone(), Value::U32(0)])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        lib.call("toy_poke", vec![h.clone(), Value::U32(1)])
+            .unwrap();
+        lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        shutdown(lib);
+        let frames = server.join().unwrap();
+        // The first poke aged out and went alone; the second coalesced
+        // with the flushing sync call.
+        assert_eq!(frames, vec![(false, vec![2]), (true, vec![2, 0])]);
+    }
+
+    /// A lossy server that swallows the first `drop_frames` call-carrying
+    /// frames whole (batches included), then executes with call-id
+    /// highwater dedup — replying only to sync members, like the real
+    /// server suppresses async successes.
+    fn spawn_lossy_batch_server(
+        server: BoxedTransport,
+        drop_frames: usize,
+    ) -> std::thread::JoinHandle<Vec<CallId>> {
+        std::thread::spawn(move || {
+            let mut dropped = 0usize;
+            let mut highwater = 0u64;
+            let mut executed = Vec::new();
+            while let Ok(msg) = server.recv() {
+                let reqs = match msg {
+                    Message::Call(req) => vec![req],
+                    Message::Batch(reqs) => reqs,
+                    _ => continue,
+                };
+                if dropped < drop_frames {
+                    dropped += 1;
+                    continue;
+                }
+                for req in reqs {
+                    if req.call_id > highwater {
+                        highwater = req.call_id;
+                        executed.push(req.call_id);
+                    }
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Ok,
+                        ret: Value::I32(0),
+                        outputs: vec![],
+                    };
+                    if req.mode == CallMode::Sync && server.send(&Message::Reply(reply)).is_err() {
+                        return executed;
+                    }
+                }
+            }
+            executed
+        })
+    }
+
+    #[test]
+    fn dropped_batch_is_retried_as_a_unit() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let server = spawn_lossy_batch_server(server_end, 1);
+        let config = GuestConfig {
+            batch_max_calls: 16,
+            ..deadline_config(40, 3)
+        };
+        let lib = GuestLibrary::new(descriptor(), guest_end, config);
+        let h = Value::Handle(0x77);
+        lib.call("toy_poke", vec![h.clone(), Value::U32(1)])
+            .unwrap();
+        lib.call("toy_poke", vec![h.clone(), Value::U32(2)])
+            .unwrap();
+        // The sync call coalesces with both pokes; the whole frame is
+        // dropped in transit and must be re-delivered as one unit.
+        let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        assert_eq!(r.ret, Value::I32(0));
+        assert!(lib.stats().retries >= 1, "the dropped batch forced a retry");
+        shutdown(lib);
+        let executed = server.join().unwrap();
+        assert_eq!(executed.len(), 3, "both pokes and the init executed");
+        let mut uniq = executed.clone();
+        uniq.dedup();
+        assert_eq!(uniq, executed, "retry-as-a-unit never double-executes");
+    }
+
     /// A scripted server that mirrors the transfer-cache protocol: inserts
     /// received eligible buffers, rematerializes `CachedBytes`, NACKs on
     /// miss, and optionally wipes its cache after `wipe_after` executions
@@ -1137,7 +1443,7 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
                     for arg in req.args.iter_mut() {
                         match arg {
                             Value::Bytes(b) if b.len() >= min => {
-                                rx.insert(fnv1a64(b), b.to_vec());
+                                rx.insert(digest64(b), b.to_vec());
                             }
                             Value::CachedBytes { digest, .. } => match rx.get(*digest) {
                                 Some(data) => *arg = Value::Bytes(data.clone().into()),

@@ -314,6 +314,24 @@ mod tests {
                             break;
                         }
                     }
+                    Message::Batch(reqs) => {
+                        let mut dead = false;
+                        for req in reqs {
+                            let reply = CallReply {
+                                call_id: req.call_id,
+                                status: ReplyStatus::Ok,
+                                ret: Value::I32(0),
+                                outputs: vec![],
+                            };
+                            if server.send(&Message::Reply(reply)).is_err() {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        if dead {
+                            break;
+                        }
+                    }
                     Message::Control(ControlMessage::Heartbeat(v))
                         if server
                             .send(&Message::Control(ControlMessage::HeartbeatAck(v)))

@@ -6,14 +6,14 @@
 //! resource policies (rate limiting, scheduling, quotas) and only then
 //! hands it to the per-VM API server. Replies flow back the same way.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ava_spec::{ApiDescriptor, RecordCategory};
 use ava_telemetry::{Counter, Gauge, Stage, Telemetry};
 use ava_transport::{BoxedTransport, TransportError};
-use ava_wire::{CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
+use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use crate::policy::{SchedulerKind, VmPolicy};
@@ -173,6 +173,77 @@ pub enum RouterCmd {
     Shutdown,
 }
 
+/// Shared scheduling state for one device-pool slot, maintained
+/// incrementally on the ingest/forward/reply paths. Admission checks and
+/// the `pool.slot<N>.queue_depth` gauge are O(1) atomic reads — the
+/// pre-overhaul router instead rebuilt a HashMap of slot budgets on every
+/// scheduling pick and rescanned every lane per loop iteration to refresh
+/// the gauges.
+#[derive(Default)]
+struct SlotEntry {
+    /// Sync calls forwarded and unanswered across the slot's lanes (the
+    /// quantity [`RouterConfig::slot_inflight`] bounds).
+    outstanding: Counter,
+    /// Queued (ingested, not yet forwarded) calls across the slot's
+    /// lanes; registered directly as the slot's queue-depth gauge, so
+    /// there is no separate refresh pass.
+    depth: Gauge,
+}
+
+#[derive(Default)]
+struct SlotTable {
+    slots: Vec<SlotEntry>,
+}
+
+impl SlotTable {
+    /// The entry for `slot`, growing the table (and registering new
+    /// gauges) on first sight of a slot index.
+    fn entry(&mut self, slot: usize, telemetry: &Telemetry) -> &SlotEntry {
+        while self.slots.len() <= slot {
+            let e = SlotEntry::default();
+            if let Some(registry) = telemetry.registry() {
+                registry.register_gauge(
+                    &format!("pool.slot{}.queue_depth", self.slots.len()),
+                    &e.depth,
+                );
+            }
+            self.slots.push(e);
+        }
+        &self.slots[slot]
+    }
+
+    fn get(&self, slot: usize) -> Option<&SlotEntry> {
+        self.slots.get(slot)
+    }
+
+    /// Re-registers every slot gauge (after telemetry attaches late).
+    fn register_all(&self, telemetry: &Telemetry) {
+        if let Some(registry) = telemetry.registry() {
+            for (s, e) in self.slots.iter().enumerate() {
+                registry.register_gauge(&format!("pool.slot{s}.queue_depth"), &e.depth);
+            }
+        }
+    }
+
+    /// Adjusts a slot's queued-call depth by `delta`.
+    fn add_depth(&mut self, slot: Option<usize>, delta: f64, telemetry: &Telemetry) {
+        if let Some(s) = slot {
+            self.entry(s, telemetry).depth.add(delta);
+        }
+    }
+
+    /// Removes `n` from a slot's outstanding count (server reattach or
+    /// give-up: the lane's in-flight calls died with the old server).
+    fn release_outstanding(&mut self, slot: Option<usize>, n: u64, telemetry: &Telemetry) {
+        if let Some(s) = slot {
+            let entry = self.entry(s, telemetry);
+            for _ in 0..n {
+                entry.outstanding.dec_saturating();
+            }
+        }
+    }
+}
+
 struct Lane {
     vm_id: VmId,
     guest: BoxedTransport,
@@ -210,6 +281,11 @@ pub struct RouterConfig {
     /// queues would just launder scheduling decisions made early); must
     /// be ≥ 1 or a pooled slot could never forward at all.
     pub slot_inflight: usize,
+    /// Maximum consecutive same-lane calls coalesced into one
+    /// router→server frame. Async calls coalesce freely; sync calls stay
+    /// bounded by the slot in-flight budget. 1 restores call-at-a-time
+    /// forwarding.
+    pub forward_batch_max: usize,
 }
 
 impl Default for RouterConfig {
@@ -219,6 +295,7 @@ impl Default for RouterConfig {
             descriptor: None,
             max_forward_per_round: 64,
             slot_inflight: 2,
+            forward_batch_max: 32,
         }
     }
 }
@@ -229,9 +306,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
     let mut telemetry = Telemetry::disabled();
     let mut rr_cursor = 0usize; // round-robin start position
     let mut idle_spins = 0u32;
-    // Router-owned `pool.slot<N>.queue_depth` gauges: queued-call depth
-    // summed over every lane bound to the slot.
-    let mut slot_gauges: HashMap<usize, Gauge> = HashMap::new();
+    // Shared per-slot scheduling state: in-flight budgets and the
+    // router-owned `pool.slot<N>.queue_depth` gauges, both maintained
+    // incrementally instead of recomputed by scans.
+    let mut slots = SlotTable::default();
 
     loop {
         let mut progressed = false;
@@ -258,6 +336,11 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     let metrics = VmMetrics::default();
                     let lane_telemetry = telemetry.with_vm(vm_id);
                     metrics.register_into(&lane_telemetry);
+                    if let Some(s) = slot {
+                        // Materialize the slot entry (and its gauge) up
+                        // front so an idle slot still reads zero.
+                        let _ = slots.entry(s, &telemetry);
+                    }
                     lanes.push(Lane {
                         vm_id,
                         guest,
@@ -284,6 +367,14 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                     }
                 }
                 RouterCmd::Remove(id) => {
+                    if let Some(lane) = lanes.iter().find(|l| l.vm_id == id) {
+                        slots.add_depth(lane.slot, -(lane.queue.len() as f64), &telemetry);
+                        slots.release_outstanding(
+                            lane.slot,
+                            lane.metrics.outstanding.get(),
+                            &telemetry,
+                        );
+                    }
                     lanes.retain(|l| l.vm_id != id);
                 }
                 RouterCmd::ReattachServer { vm_id, server } => {
@@ -295,20 +386,32 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         // the outstanding count or the lane's slot would be
                         // charged for calls that can never complete —
                         // starving its slot-mates under the in-flight cap.
-                        lane.metrics.outstanding.take();
+                        let stale = lane.metrics.outstanding.take();
+                        slots.release_outstanding(lane.slot, stale, &telemetry);
                     }
                 }
                 RouterCmd::MarkUnavailable(id) => {
                     if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == id) {
                         lane.unavailable = true;
                         lane.server_down = true;
-                        lane.metrics.outstanding.take();
-                        fail_queued_unavailable(lane);
+                        let stale = lane.metrics.outstanding.take();
+                        slots.release_outstanding(lane.slot, stale, &telemetry);
+                        fail_queued_unavailable(lane, &mut slots, &telemetry);
                     }
                 }
                 RouterCmd::SetSlot { vm_id, slot } => {
                     if let Some(lane) = lanes.iter_mut().find(|l| l.vm_id == vm_id) {
+                        // Move the lane's queued and in-flight charges to
+                        // the destination slot's cells.
+                        let depth = lane.queue.len() as f64;
+                        let outstanding = lane.metrics.outstanding.get();
+                        slots.add_depth(lane.slot, -depth, &telemetry);
+                        slots.release_outstanding(lane.slot, outstanding, &telemetry);
                         lane.slot = slot;
+                        slots.add_depth(lane.slot, depth, &telemetry);
+                        if let Some(s) = lane.slot {
+                            slots.entry(s, &telemetry).outstanding.add(outstanding);
+                        }
                     }
                 }
                 RouterCmd::Stats(id, reply) => {
@@ -324,11 +427,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         lane.telemetry = telemetry.with_vm(lane.vm_id);
                         lane.metrics.register_into(&lane.telemetry);
                     }
-                    if let Some(registry) = telemetry.registry() {
-                        for (s, g) in slot_gauges.iter() {
-                            registry.register_gauge(&format!("pool.slot{s}.queue_depth"), g);
-                        }
-                    }
+                    slots.register_all(&telemetry);
                 }
                 RouterCmd::Shutdown => return,
             }
@@ -342,7 +441,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             loop {
                 match lane.guest.try_recv() {
                     Ok(Some(Message::Call(req))) => {
-                        ingest_request(lane, req);
+                        ingest_request(lane, req, &mut slots, &telemetry);
                         progressed = true;
                     }
                     Ok(Some(Message::Batch(reqs))) => {
@@ -351,7 +450,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         // a transport framing detail, not a different kind
                         // of traffic.
                         for req in reqs {
-                            ingest_request(lane, req);
+                            ingest_request(lane, req, &mut slots, &telemetry);
                         }
                         progressed = true;
                     }
@@ -395,99 +494,167 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             }
         }
 
-        // 3. Scheduling rounds: pick an admissible lane, forward one call.
+        // 3. Scheduling rounds: pick an admissible lane, then forward a
+        // run of consecutive calls from its queue as ONE router→server
+        // frame. Async calls coalesce freely; sync calls are bounded by
+        // the slot's in-flight budget and the lane's rate limit admits
+        // each member individually. One frame per run means one modelled
+        // doorbell (sender overhead) per run instead of per call.
         let config_sched = config.scheduler;
         let slot_inflight = config.slot_inflight.max(1);
-        for _ in 0..config.max_forward_per_round {
+        let run_max = config.forward_batch_max.max(1);
+        let mut forwarded_round = 0usize;
+        while forwarded_round < config.max_forward_per_round {
             let now = Instant::now();
-            let candidate = pick_lane(&mut lanes, config_sched, rr_cursor, now, slot_inflight);
+            let candidate = pick_lane(
+                &mut lanes,
+                config_sched,
+                rr_cursor,
+                now,
+                slot_inflight,
+                &slots,
+            );
             let Some(idx) = candidate else { break };
             rr_cursor = (idx + 1).max(1) % lanes.len().max(1);
             let lane = &mut lanes[idx];
-            let Some(req) = lane.queue.pop_front() else {
-                // A scheduler bug should degrade to a skipped round, not
-                // take the whole router (and every lane) down with it.
-                continue;
-            };
-
-            // Verify and cost-account the call against the API descriptor.
-            let mut reject = false;
-            if let Some(desc) = &config.descriptor {
-                match desc.by_id(req.fn_id) {
-                    Some(func) if func.resources.is_empty() => {}
-                    Some(func) => {
-                        let env = desc.env_for(func, &req.args);
-                        for res in &func.resources {
-                            if let Ok(v) = res.amount.eval(&env, &desc.types) {
-                                match res.resource.as_str() {
-                                    "device_time_us" => {
-                                        lane.metrics.est_device_time_us.add(v as f64)
-                                    }
-                                    "device_mem" => lane.metrics.est_device_mem.add(v as f64),
-                                    _ => {}
-                                }
-                            }
-                        }
-                        if func.record == Some(RecordCategory::Alloc) {
-                            if let Some(quota) = lane.policy.device_mem_quota {
-                                if lane.metrics.est_device_mem.get() > quota as f64 {
-                                    reject = true;
-                                }
-                            }
-                        }
-                    }
-                    None => reject = true, // unknown function id: refuse
-                }
-            }
-
-            if reject {
-                lane.metrics.rejected.inc();
-                if req.mode == ava_wire::CallMode::Sync {
-                    lane.telemetry.span_stage(req.call_id, Stage::Replied, None);
-                }
-                let reply = CallReply {
-                    call_id: req.call_id,
-                    status: ReplyStatus::PolicyRejected,
-                    ret: ava_wire::Value::Unit,
-                    outputs: vec![],
-                };
-                let _ = lane.guest.send(&Message::Reply(reply));
-            } else {
-                // Stamp Forwarded before the send: the modelled sender
-                // overhead means the server could otherwise execute (and
-                // stamp) before this thread resumes. A failed send leaves
-                // a harmless early stamp — the requeued call overwrites it
-                // when it is actually forwarded.
-                if req.mode == ava_wire::CallMode::Sync {
-                    lane.telemetry
-                        .span_stage(req.call_id, Stage::Forwarded, None);
-                }
-                let msg = Message::Call(req);
-                match lane.server.send(&msg) {
-                    Ok(()) => {
-                        lane.metrics.forwarded.inc();
-                        if let Message::Call(req) = msg {
-                            // Async calls are fire-and-forget: the server
-                            // only replies on failure, so they are not
-                            // tracked as outstanding.
-                            if req.mode == ava_wire::CallMode::Sync {
-                                lane.metrics.outstanding.inc();
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        // The call never reached the server: requeue it at
-                        // the front (nothing newer was forwarded, so order
-                        // is preserved) and suspend the lane for the
-                        // supervisor to reattach or fail it.
-                        lane.server_down = true;
-                        if let Message::Call(req) = msg {
-                            lane.queue.push_front(req);
-                        }
-                    }
-                }
-            }
             progressed = true;
+
+            // Sync calls admitted into this run beyond what the slot's
+            // in-flight budget already allows would launder the cap.
+            let mut sync_budget = match lane.slot {
+                Some(s) => (slot_inflight as u64)
+                    .saturating_sub(slots.entry(s, &telemetry).outstanding.get()),
+                None => u64::MAX,
+            };
+            let take_cap = run_max.min(config.max_forward_per_round - forwarded_round);
+            let mut outgoing: Vec<CallRequest> = Vec::new();
+            while outgoing.len() < take_cap {
+                let Some(front) = lane.queue.front() else {
+                    break;
+                };
+                let is_sync = front.mode == CallMode::Sync;
+                if is_sync && sync_budget == 0 {
+                    break;
+                }
+                // The first member was admitted by pick_lane; each
+                // additional one spends its own rate-limit token.
+                if !outgoing.is_empty() {
+                    if let Some(rl) = &mut lane.policy.rate_limit {
+                        if !rl.try_admit_at(now) {
+                            break;
+                        }
+                    }
+                }
+                let req = lane.queue.pop_front().expect("front checked");
+                slots.add_depth(lane.slot, -1.0, &telemetry);
+
+                // Verify and cost-account against the API descriptor.
+                let mut reject = false;
+                if let Some(desc) = &config.descriptor {
+                    match desc.by_id(req.fn_id) {
+                        Some(func) if func.resources.is_empty() => {}
+                        Some(func) => {
+                            let env = desc.env_for(func, &req.args);
+                            for res in &func.resources {
+                                if let Ok(v) = res.amount.eval(&env, &desc.types) {
+                                    match res.resource.as_str() {
+                                        "device_time_us" => {
+                                            lane.metrics.est_device_time_us.add(v as f64)
+                                        }
+                                        "device_mem" => lane.metrics.est_device_mem.add(v as f64),
+                                        _ => {}
+                                    }
+                                }
+                            }
+                            if func.record == Some(RecordCategory::Alloc) {
+                                if let Some(quota) = lane.policy.device_mem_quota {
+                                    if lane.metrics.est_device_mem.get() > quota as f64 {
+                                        reject = true;
+                                    }
+                                }
+                            }
+                        }
+                        None => reject = true, // unknown function id: refuse
+                    }
+                }
+
+                if reject {
+                    lane.metrics.rejected.inc();
+                    if req.mode == CallMode::Sync {
+                        lane.telemetry
+                            .span_stage_deferred(req.call_id, Stage::Replied, None);
+                    }
+                    let reply = CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::PolicyRejected,
+                        ret: ava_wire::Value::Unit,
+                        outputs: vec![],
+                    };
+                    let _ = lane.guest.send(&Message::Reply(reply));
+                    continue;
+                }
+                if is_sync {
+                    sync_budget -= 1;
+                }
+                outgoing.push(req);
+            }
+            if outgoing.is_empty() {
+                // Everything popped this pick was rejected by policy.
+                continue;
+            }
+            forwarded_round += outgoing.len();
+
+            // Stamp Forwarded before the send: the modelled sender
+            // overhead means the server could otherwise execute (and
+            // stamp) before this thread resumes. A failed send leaves a
+            // harmless early stamp — the requeued call overwrites it when
+            // it is actually forwarded. Stamps ride the lock-free
+            // deferred intake: no mutex on the forwarding path.
+            let mut sync_count = 0u64;
+            for req in &outgoing {
+                if req.mode == CallMode::Sync {
+                    sync_count += 1;
+                    lane.telemetry
+                        .span_stage_deferred(req.call_id, Stage::Forwarded, None);
+                }
+            }
+            let msg = if outgoing.len() == 1 {
+                Message::Call(outgoing.pop().expect("len checked"))
+            } else {
+                Message::Batch(outgoing)
+            };
+            match lane.server.send(&msg) {
+                Ok(()) => {
+                    let n = match &msg {
+                        Message::Batch(reqs) => reqs.len() as u64,
+                        _ => 1,
+                    };
+                    lane.metrics.forwarded.add(n);
+                    // Async calls are fire-and-forget: the server only
+                    // replies on failure, so they are not tracked as
+                    // outstanding.
+                    lane.metrics.outstanding.add(sync_count);
+                    if let Some(s) = lane.slot {
+                        slots.entry(s, &telemetry).outstanding.add(sync_count);
+                    }
+                }
+                Err(_) => {
+                    // The run never reached the server: requeue it at the
+                    // front in order (nothing newer was forwarded, so
+                    // order is preserved) and suspend the lane for the
+                    // supervisor to reattach or fail it.
+                    lane.server_down = true;
+                    let reqs = match msg {
+                        Message::Call(req) => vec![req],
+                        Message::Batch(reqs) => reqs,
+                        _ => unreachable!("runs are Call or Batch frames"),
+                    };
+                    for req in reqs.into_iter().rev() {
+                        slots.add_depth(lane.slot, 1.0, &telemetry);
+                        lane.queue.push_front(req);
+                    }
+                }
+            }
         }
 
         // 4. Pump replies server→guest.
@@ -501,12 +668,22 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                 match lane.server.try_recv() {
                     Ok(Some(Message::Reply(rep))) => {
                         lane.metrics.replies.inc();
+                        let prev = lane.metrics.outstanding.get();
                         lane.metrics.outstanding.dec_saturating();
+                        if prev > 0 {
+                            if let Some(s) = lane.slot {
+                                slots.entry(s, &telemetry).outstanding.dec_saturating();
+                            }
+                        }
                         lane.metrics.bytes_out.add(rep.payload_bytes() as u64);
                         if rep.status == ReplyStatus::CacheMiss {
                             lane.metrics.cache_misses.inc();
                         }
-                        lane.telemetry.span_stage(rep.call_id, Stage::Replied, None);
+                        // Deferred stamp, pushed before the relay below:
+                        // the guest's GuestEnd fold is therefore
+                        // guaranteed to see it.
+                        lane.telemetry
+                            .span_stage_deferred(rep.call_id, Stage::Replied, None);
                         let _ = lane.guest.send(&Message::Reply(rep));
                         progressed = true;
                     }
@@ -528,11 +705,11 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             }
         }
 
-        // 5. Refresh per-slot queue-depth gauges (sum of queued calls over
-        // the slot's lanes). Slots with no queued work read zero.
-        update_slot_gauges(&lanes, &mut slot_gauges, &telemetry);
+        // (Per-slot queue-depth gauges need no refresh pass: the slot
+        // table's depth cells ARE the registered gauges, updated at each
+        // ingest and forward.)
 
-        // 6. Idle backoff: escalate toward 1 ms sleeps so an idle router
+        // 5. Idle backoff: escalate toward 1 ms sleeps so an idle router
         // does not burn a core (which would perturb co-located work), at
         // the price of up to ~1 ms extra latency on the first call after
         // an idle period.
@@ -554,7 +731,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
 /// `Queued` span stamp for sync calls (batched or not). Only sync calls
 /// carry spans: async successes are reply-suppressed, so their spans could
 /// never complete.
-fn ingest_request(lane: &mut Lane, req: CallRequest) {
+fn ingest_request(lane: &mut Lane, req: CallRequest, slots: &mut SlotTable, telemetry: &Telemetry) {
     if lane.unavailable {
         // The server is permanently gone. Answering immediately — rather
         // than queueing toward a reply that can never come — is what
@@ -566,9 +743,11 @@ fn ingest_request(lane: &mut Lane, req: CallRequest) {
     lane.metrics.bytes_in.add(req.payload_bytes() as u64);
     lane.metrics.bytes_elided.add(req.elided_bytes() as u64);
     lane.metrics.cache_hits.add(req.cached_count() as u64);
-    if req.mode == ava_wire::CallMode::Sync {
-        lane.telemetry.span_stage(req.call_id, Stage::Queued, None);
+    if req.mode == CallMode::Sync {
+        lane.telemetry
+            .span_stage_deferred(req.call_id, Stage::Queued, None);
     }
+    slots.add_depth(lane.slot, 1.0, telemetry);
     lane.queue.push_back(req);
 }
 
@@ -576,11 +755,12 @@ fn ingest_request(lane: &mut Lane, req: CallRequest) {
 /// async calls are fire-and-forget and simply dropped; the guest learns of
 /// the failure on its next sync call at the latest).
 fn fail_unavailable(lane: &mut Lane, req: &CallRequest) {
-    if req.mode != ava_wire::CallMode::Sync {
+    if req.mode != CallMode::Sync {
         return;
     }
     lane.metrics.unavailable_replies.inc();
-    lane.telemetry.span_stage(req.call_id, Stage::Replied, None);
+    lane.telemetry
+        .span_stage_deferred(req.call_id, Stage::Replied, None);
     let reply = CallReply {
         call_id: req.call_id,
         status: ReplyStatus::Unavailable,
@@ -591,97 +771,50 @@ fn fail_unavailable(lane: &mut Lane, req: &CallRequest) {
 }
 
 /// Fails every queued call on a lane whose server was declared gone.
-fn fail_queued_unavailable(lane: &mut Lane) {
+fn fail_queued_unavailable(lane: &mut Lane, slots: &mut SlotTable, telemetry: &Telemetry) {
     while let Some(req) = lane.queue.pop_front() {
+        slots.add_depth(lane.slot, -1.0, telemetry);
         fail_unavailable(lane, &req);
     }
 }
 
-/// Refreshes the router-owned `pool.slot<N>.queue_depth` gauges. A slot's
-/// depth is the number of queued (not yet forwarded) calls summed over
-/// every lane bound to it; slots whose lanes all drained read zero.
-fn update_slot_gauges(
-    lanes: &[Lane],
-    slot_gauges: &mut HashMap<usize, Gauge>,
-    telemetry: &Telemetry,
-) {
-    let mut depth: HashMap<usize, u64> = HashMap::new();
-    for lane in lanes {
-        if let Some(s) = lane.slot {
-            *depth.entry(s).or_default() += lane.queue.len() as u64;
-        }
-    }
-    for (&s, &d) in &depth {
-        let gauge = slot_gauges.entry(s).or_insert_with(|| {
-            let g = Gauge::default();
-            if let Some(registry) = telemetry.registry() {
-                registry.register_gauge(&format!("pool.slot{s}.queue_depth"), &g);
-            }
-            g
-        });
-        gauge.set(d as f64);
-    }
-    for (s, g) in slot_gauges.iter() {
-        if !depth.contains_key(s) {
-            g.set(0.0);
-        }
-    }
-}
-
-/// Sync calls currently in flight (forwarded, unanswered) on a slot,
-/// summed over its lanes. This is the quantity the per-slot in-flight cap
-/// bounds: the slot's device serializes execution anyway, so anything
-/// beyond a small pipeline depth only moves queueing out of the
-/// scheduler's reach.
-fn slot_outstanding(lanes: &[Lane], slot: usize) -> u64 {
-    lanes
-        .iter()
-        .filter(|l| l.slot == Some(slot))
-        .map(|l| l.metrics.outstanding.get())
-        .sum()
-}
-
 /// Picks the next lane to service, honouring pause state, rate limits,
 /// per-slot in-flight budgets and the configured scheduler. Returns an
-/// index into `lanes`.
+/// index into `lanes`. Slot budgets are O(1) atomic reads against the
+/// incrementally-maintained slot table — no per-pick scan.
 fn pick_lane(
     lanes: &mut [Lane],
     scheduler: SchedulerKind,
     rr_cursor: usize,
     now: Instant,
     slot_inflight: usize,
+    slots: &SlotTable,
 ) -> Option<usize> {
     let n = lanes.len();
     if n == 0 {
         return None;
     }
-    // Per-slot in-flight totals, computed once per pick: a lane on a full
-    // slot is not schedulable this round no matter what the scheduler
-    // thinks of it.
-    let slot_free: HashMap<usize, bool> = lanes
-        .iter()
-        .filter_map(|l| l.slot)
-        .collect::<std::collections::HashSet<_>>()
-        .into_iter()
-        .map(|s| (s, slot_outstanding(lanes, s) < slot_inflight as u64))
-        .collect();
+    let slot_free = |slot: Option<usize>| -> bool {
+        slot.is_none_or(|s| {
+            slots
+                .get(s)
+                .map(|e| e.outstanding.get() < slot_inflight as u64)
+                .unwrap_or(true)
+        })
+    };
     let ready = |lane: &Lane| -> bool {
         !lane.paused
             && !lane.closed
             && !lane.server_down
             && !lane.queue.is_empty()
-            && lane
-                .slot
-                .is_none_or(|s| slot_free.get(&s).copied().unwrap_or(true))
+            && slot_free(lane.slot)
     };
     let admissible = |lane: &mut Lane, now: Instant| -> bool {
         if !(!lane.paused
             && !lane.closed
             && !lane.server_down
             && !lane.queue.is_empty()
-            && lane
-                .slot
-                .is_none_or(|s| slot_free.get(&s).copied().unwrap_or(true)))
+            && slot_free(lane.slot))
         {
             return false;
         }

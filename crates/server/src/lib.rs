@@ -386,7 +386,7 @@ toy_status toy_destroy(toy_buf buf) {
         let h = create_buf(&mut server, &desc, 64);
 
         let payload = b"content-addressed".to_vec();
-        let digest = ava_wire::fnv1a64(&payload);
+        let digest = ava_wire::digest64(&payload);
         // Full transfer primes the mirror.
         let reps = pump(
             &mut server,
@@ -448,7 +448,7 @@ toy_status toy_destroy(toy_buf buf) {
                 1,
                 h,
                 Value::CachedBytes {
-                    digest: ava_wire::fnv1a64(&first),
+                    digest: ava_wire::digest64(&first),
                     len: first.len() as u64,
                 },
                 first.len() as u64,
@@ -505,7 +505,7 @@ toy_status toy_destroy(toy_buf buf) {
         let h = create_buf(&mut server, &desc, 64);
 
         let payload = b"soon-to-be-forgotten".to_vec();
-        let digest = ava_wire::fnv1a64(&payload);
+        let digest = ava_wire::digest64(&payload);
         pump(
             &mut server,
             server_end.as_ref(),

@@ -18,7 +18,7 @@ use ava_spec::{
 use ava_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, Tier};
 use ava_transport::{Transport, TransportError};
 use ava_wire::{
-    fnv1a64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, Message,
+    digest64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, Message,
     ReplyStatus, Value,
 };
 
@@ -497,7 +497,7 @@ impl ApiServer {
                 Value::Bytes(b)
                     if b.len() >= self.rx_cache_min_bytes && self.rx_cache.capacity() > 0 =>
                 {
-                    self.rx_cache.insert(fnv1a64(b), Value::Bytes(b.clone()));
+                    self.rx_cache.insert(digest64(b), Value::Bytes(b.clone()));
                 }
                 Value::CachedBytes { digest, .. } => match self.rx_cache.get(*digest) {
                     Some(cached) => {

@@ -115,6 +115,18 @@ impl Telemetry {
         }
     }
 
+    /// Stamps `stage` at the current instant through the span table's
+    /// lock-free deferred intake — no shard mutex on the caller's path.
+    /// Used on the router data path; the stamp becomes visible at the
+    /// next fold (guest-end stamp or span read).
+    #[inline]
+    pub fn span_stage_deferred(&self, call_id: u64, stage: Stage, fn_id: Option<u32>) {
+        if let Some(r) = &self.registry {
+            r.spans()
+                .stage_deferred((self.vm, call_id), stage, r.now_nanos(), fn_id);
+        }
+    }
+
     /// Discards an open span (call failed before crossing the wire).
     #[inline]
     pub fn span_abandon(&self, call_id: u64) {

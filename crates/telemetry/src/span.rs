@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Identifies one call across tiers: `(vm_id, call_id)`.
@@ -181,6 +181,25 @@ const COMPLETED_CAP: usize = 1 << 16;
 /// critical section from serializing the whole stack on one mutex.
 const ACTIVE_SHARDS: usize = 16;
 
+/// Cap on deferred stamps awaiting a fold; excess stamps are dropped and
+/// counted, bounding memory if nothing ever folds.
+const DEFERRED_CAP: u64 = 1 << 16;
+
+/// A stage stamp recorded via [`SpanTable::stage_deferred`], parked on
+/// the lock-free intake until the next fold.
+struct DeferredStamp {
+    key: SpanKey,
+    stage: Stage,
+    nanos: u64,
+    fn_id: Option<u32>,
+}
+
+/// Intrusive node of the deferred-stamp Treiber stack.
+struct StampNode {
+    stamp: DeferredStamp,
+    next: *mut StampNode,
+}
+
 /// Concurrent store of active and completed spans.
 pub struct SpanTable {
     active: [Mutex<ActiveMap>; ACTIVE_SHARDS],
@@ -190,6 +209,14 @@ pub struct SpanTable {
     completed: Mutex<Vec<SpanRecord>>,
     /// Spans dropped because a cap was hit.
     dropped: AtomicU64,
+    /// Lock-free intake of stamps pushed by [`SpanTable::stage_deferred`]
+    /// (newest first; reversed to push order at fold time).
+    deferred: AtomicPtr<StampNode>,
+    /// Upper bound on nodes in `deferred`.
+    deferred_len: AtomicU64,
+    /// Serializes folds so one fold cannot interleave another's chain —
+    /// a producer's per-call stamp order must survive the fold.
+    fold_lock: Mutex<()>,
 }
 
 impl Default for SpanTable {
@@ -199,6 +226,21 @@ impl Default for SpanTable {
             active_count: AtomicU64::new(0),
             completed: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            deferred: AtomicPtr::new(std::ptr::null_mut()),
+            deferred_len: AtomicU64::new(0),
+            fold_lock: Mutex::new(()),
+        }
+    }
+}
+
+impl Drop for SpanTable {
+    fn drop(&mut self) {
+        let mut node = *self.deferred.get_mut();
+        while !node.is_null() {
+            // Safety: nodes are uniquely owned by the intake once pushed,
+            // and `&mut self` excludes concurrent pushers and folders.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next;
         }
     }
 }
@@ -219,7 +261,19 @@ impl SpanTable {
     /// Records `stage` at time `nanos` for the span `key`, creating the
     /// record on first touch. `fn_id` attributes the function at the
     /// recording tier (guest on open, server on execute).
+    ///
+    /// A `GuestEnd` stamp folds the deferred intake first, so any
+    /// router-side stamps parked there (the router pushes `Replied`
+    /// *before* relaying the reply, hence before the guest can get here)
+    /// land on the record before it completes.
     pub fn stage(&self, key: SpanKey, stage: Stage, nanos: u64, fn_id: Option<u32>) {
+        if stage == Stage::GuestEnd {
+            self.fold_deferred();
+        }
+        self.stage_inner(key, stage, nanos, fn_id);
+    }
+
+    fn stage_inner(&self, key: SpanKey, stage: Stage, nanos: u64, fn_id: Option<u32>) {
         let mut active = self.shard(key).lock().expect("span table poisoned");
         let record = match active.get_mut(&key) {
             Some(r) => r,
@@ -272,6 +326,75 @@ impl SpanTable {
         }
     }
 
+    /// Records `stage` without touching any shard mutex: the stamp is
+    /// pushed onto a lock-free intake and applied at the next fold (a
+    /// guest-end stamp or a read API). Meant for the router's data path,
+    /// where a per-stamp lock would serialize call forwarding against
+    /// telemetry readers and the other tiers' stamps.
+    pub fn stage_deferred(&self, key: SpanKey, stage: Stage, nanos: u64, fn_id: Option<u32>) {
+        if self.deferred_len.fetch_add(1, Ordering::SeqCst) >= DEFERRED_CAP {
+            self.deferred_len.fetch_sub(1, Ordering::SeqCst);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let node = Box::into_raw(Box::new(StampNode {
+            stamp: DeferredStamp {
+                key,
+                stage,
+                nanos,
+                fn_id,
+            },
+            next: std::ptr::null_mut(),
+        }));
+        let mut head = self.deferred.load(Ordering::SeqCst);
+        loop {
+            // Safety: `node` came from Box::into_raw above and is not yet
+            // shared; it becomes shared only once the CAS publishes it.
+            unsafe { (*node).next = head };
+            match self.deferred.compare_exchange_weak(
+                head,
+                node,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Applies every parked deferred stamp to the span records, in each
+    /// producer's push order. Cheap when the intake is empty (one atomic
+    /// load); folds are serialized against each other.
+    pub fn fold_deferred(&self) {
+        if self.deferred.load(Ordering::SeqCst).is_null() {
+            return;
+        }
+        let _guard = self.fold_lock.lock().expect("span table poisoned");
+        let mut head = self.deferred.swap(std::ptr::null_mut(), Ordering::SeqCst);
+        // Reverse the LIFO chain so stamps apply in push order.
+        let mut prev: *mut StampNode = std::ptr::null_mut();
+        let mut count = 0u64;
+        while !head.is_null() {
+            // Safety: the swap above transferred exclusive ownership of
+            // the whole chain to this fold.
+            let next = unsafe { (*head).next };
+            unsafe { (*head).next = prev };
+            prev = head;
+            head = next;
+            count += 1;
+        }
+        self.deferred_len.fetch_sub(count, Ordering::SeqCst);
+        let mut node = prev;
+        while !node.is_null() {
+            // Safety: each node is applied and freed exactly once.
+            let boxed = unsafe { Box::from_raw(node) };
+            let s = boxed.stamp;
+            self.stage_inner(s.key, s.stage, s.nanos, s.fn_id);
+            node = boxed.next;
+        }
+    }
+
     /// Discards the active record for `key` (e.g. a call that failed
     /// before reaching the wire).
     pub fn abandon(&self, key: SpanKey) {
@@ -295,13 +418,17 @@ impl SpanTable {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Copies the completed spans without consuming them.
+    /// Copies the completed spans without consuming them. Folds the
+    /// deferred intake first so readers see every stamp pushed so far.
     pub fn completed(&self) -> Vec<SpanRecord> {
+        self.fold_deferred();
         self.completed.lock().expect("span table poisoned").clone()
     }
 
-    /// Drains and returns the completed spans.
+    /// Drains and returns the completed spans (after folding deferred
+    /// stamps, like [`SpanTable::completed`]).
     pub fn take_completed(&self) -> Vec<SpanRecord> {
+        self.fold_deferred();
         std::mem::take(&mut *self.completed.lock().expect("span table poisoned"))
     }
 }
@@ -358,6 +485,68 @@ mod tests {
         t.abandon((1, 1));
         assert_eq!(t.active_len(), 0);
         assert!(t.take_completed().is_empty());
+    }
+
+    #[test]
+    fn deferred_stamps_fold_before_guest_end_completes() {
+        let t = SpanTable::new();
+        let key = (1, 9);
+        t.stage(key, Stage::GuestStart, 10, Some(4));
+        t.stage(key, Stage::Sent, 20, None);
+        // Router-side stamps go through the lock-free intake.
+        t.stage_deferred(key, Stage::Queued, 30, None);
+        t.stage_deferred(key, Stage::Forwarded, 40, None);
+        t.stage_deferred(key, Stage::Replied, 60, None);
+        // Nothing folded yet: the record is active and missing them.
+        assert_eq!(t.active_len(), 1);
+        t.stage(key, Stage::GuestEnd, 70, None);
+        let done = t.take_completed();
+        assert_eq!(done.len(), 1);
+        let span = &done[0];
+        assert_eq!(span.queued, Some(30));
+        assert_eq!(span.forwarded, Some(40));
+        assert_eq!(span.replied, Some(60));
+        assert!(span.stages_ordered());
+    }
+
+    #[test]
+    fn read_apis_fold_deferred_guestless_spans() {
+        let t = SpanTable::new();
+        let key = (2, 5);
+        t.stage_deferred(key, Stage::Queued, 1, None);
+        t.stage_deferred(key, Stage::Forwarded, 2, None);
+        t.stage_deferred(key, Stage::Replied, 3, None);
+        // A guestless span completes on Replied — but only once folded.
+        let done = t.completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].replied, Some(3));
+        assert_eq!(t.active_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_deferred_pushers_lose_nothing() {
+        use std::sync::Arc;
+        let t = Arc::new(SpanTable::new());
+        let threads: Vec<_> = (0..4u32)
+            .map(|vm| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for call in 0..500u64 {
+                        let key = (vm, call);
+                        t.stage_deferred(key, Stage::Queued, call * 2, None);
+                        t.stage_deferred(key, Stage::Forwarded, call * 2 + 1, None);
+                        t.stage_deferred(key, Stage::Replied, call * 2 + 2, None);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let done = t.take_completed();
+        assert_eq!(done.len(), 4 * 500, "every guestless span completed");
+        assert!(done.iter().all(|s| s.stages_ordered()));
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]

@@ -47,6 +47,21 @@ impl CostModel {
         }
     }
 
+    /// Defaults modelled on trap-based interposition: every crossing is a
+    /// full VM exit (hypercall or emulated doorbell write) handled by the
+    /// hypervisor, plus interrupt-injection delivery — the regime AvA's §2
+    /// overhead argument targets, where per-call forwarding costs tens of
+    /// microseconds and call *frequency*, not payload volume, dominates.
+    /// Contrast with [`CostModel::paravirtual`], whose exitless doorbell
+    /// costs ~1 µs: batching exists precisely to amortize this gap.
+    pub const fn trap() -> Self {
+        CostModel {
+            sender_overhead: Duration::from_micros(20),
+            delivery_latency: Duration::from_micros(15),
+            bytes_per_sec: Some(12_000_000_000),
+        }
+    }
+
     /// Defaults modelled on a datacenter network hop (disaggregated
     /// accelerators): ~20 µs one-way and 10 GbE-class bandwidth.
     pub const fn network() -> Self {
@@ -84,9 +99,12 @@ impl Default for CostModel {
 /// Waits until `deadline` without monopolizing a core.
 ///
 /// The modelled latencies are single-digit microseconds; OS sleep
-/// granularity is far coarser, so short waits yield to the scheduler (so
-/// the peer endpoint can make progress — essential on small machines)
-/// and long waits sleep.
+/// granularity is far coarser, so short waits spin and long waits sleep.
+/// The spin window covers every built-in model's crossing latency on
+/// purpose: yielding instead would hand the core to another thread for a
+/// full scheduling quantum (milliseconds under load — a 100×+ overshoot
+/// of the modelled cost), which both distorts the model and makes
+/// forwarding throughput hostage to scheduler luck on small machines.
 pub fn wait_until(deadline: Instant) {
     loop {
         let now = Instant::now();
@@ -96,7 +114,7 @@ pub fn wait_until(deadline: Instant) {
         let remaining = deadline - now;
         if remaining > Duration::from_micros(200) {
             std::thread::sleep(remaining - Duration::from_micros(100));
-        } else if remaining > Duration::from_micros(5) {
+        } else if remaining > Duration::from_micros(25) {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();

@@ -21,6 +21,8 @@ pub enum WireError {
     TrailingBytes(usize),
     /// An enum discriminant (e.g. call mode, reply status) was invalid.
     BadDiscriminant(&'static str, u64),
+    /// A batch frame claimed more member calls than the protocol allows.
+    BatchTooLarge(usize),
 }
 
 impl fmt::Display for WireError {
@@ -35,6 +37,9 @@ impl fmt::Display for WireError {
             Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             Self::BadDiscriminant(what, v) => {
                 write!(f, "invalid {what} discriminant {v}")
+            }
+            Self::BatchTooLarge(n) => {
+                write!(f, "batch of {n} calls exceeds the per-frame cap")
             }
         }
     }

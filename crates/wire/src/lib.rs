@@ -23,9 +23,11 @@ mod error;
 mod message;
 mod value;
 
-pub use cache::{fnv1a64, DigestLru};
+pub use cache::{digest64, fnv1a64, DigestLru};
 pub use error::WireError;
-pub use message::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus};
+pub use message::{
+    CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, MAX_BATCH_CALLS,
+};
 pub use value::Value;
 
 /// Result alias for wire-format operations.

@@ -109,6 +109,14 @@ pub enum Message {
     Control(ControlMessage),
 }
 
+/// Maximum member calls accepted in one [`Message::Batch`] frame.
+///
+/// The guest flush policy never builds batches anywhere near this large
+/// (tens of calls at most); the cap exists so a corrupt or hostile count
+/// prefix cannot drive an enormous `Vec` reservation or a quadratic decode
+/// loop before the per-call decoders start failing on garbage.
+pub const MAX_BATCH_CALLS: usize = 4096;
+
 mod kind {
     pub const CALL: u8 = 0x10;
     pub const REPLY: u8 = 0x11;
@@ -333,9 +341,22 @@ impl ControlMessage {
 impl Message {
     /// Serializes the message into a standalone byte string.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
+        let mut buf = BytesMut::with_capacity(self.encoded_size_hint());
         self.encode_into(&mut buf);
         buf.freeze()
+    }
+
+    /// A cheap upper-ballpark of the encoded size, used to reserve the
+    /// output buffer in one shot. Large payloads dominate the frame, so
+    /// sizing by payload bytes (plus a small per-call framing allowance)
+    /// keeps `encode` from growing-and-copying the buffer — the last
+    /// hidden memcpy on the serialization path for big transfers.
+    pub fn encoded_size_hint(&self) -> usize {
+        let calls = match self {
+            Message::Batch(reqs) => reqs.len(),
+            _ => 1,
+        };
+        64 + self.payload_bytes() + 64 * calls
     }
 
     /// Serializes the message, appending to `buf`.
@@ -384,6 +405,9 @@ impl Message {
             kind::REPLY => Message::Reply(CallReply::decode_body(buf)?),
             kind::BATCH => {
                 let count = get_len(buf)?;
+                if count > MAX_BATCH_CALLS {
+                    return Err(WireError::BatchTooLarge(count));
+                }
                 if count > buf.remaining() {
                     return Err(WireError::UnexpectedEof);
                 }
@@ -548,6 +572,47 @@ mod tests {
         buf.put_u8(0x12); // BATCH
         buf.put_u8(0x05); // claims 5 calls, but nothing follows
         assert_eq!(Message::decode(buf.freeze()), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_rejects_batch_over_call_cap() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x12); // BATCH
+        put_varint(&mut buf, (MAX_BATCH_CALLS + 1) as u64);
+        // Enough trailing bytes that the count passes the EOF guard; the
+        // cap must reject the frame before any per-call decoding begins.
+        buf.extend_from_slice(&vec![0u8; MAX_BATCH_CALLS + 2]);
+        assert_eq!(
+            Message::decode(buf.freeze()),
+            Err(WireError::BatchTooLarge(MAX_BATCH_CALLS + 1))
+        );
+    }
+
+    #[test]
+    fn batch_at_call_cap_round_trips() {
+        let calls: Vec<CallRequest> = (0..MAX_BATCH_CALLS as u64)
+            .map(|id| CallRequest {
+                call_id: id,
+                fn_id: 1,
+                mode: CallMode::Async,
+                args: vec![],
+            })
+            .collect();
+        let msg = Message::Batch(calls);
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn encode_reserves_for_large_payloads() {
+        let payload = vec![0xabu8; 1 << 20];
+        let msg = Message::Call(CallRequest {
+            call_id: 1,
+            fn_id: 2,
+            mode: CallMode::Sync,
+            args: vec![Value::Bytes(Bytes::from(payload))],
+        });
+        assert!(msg.encoded_size_hint() >= 1 << 20);
+        assert_eq!(round_trip(&msg), msg);
     }
 
     #[test]

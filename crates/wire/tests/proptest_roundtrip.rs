@@ -1,7 +1,10 @@
 //! Property tests: every well-formed message survives an encode/decode cycle,
 //! and the decoder never panics on arbitrary input.
 
-use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value};
+use ava_wire::{
+    CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, Value, WireError,
+    MAX_BATCH_CALLS,
+};
 use bytes::Bytes;
 use proptest::prelude::*;
 
@@ -91,6 +94,38 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Batch-shaped calls with the transfer-cache value mix the adaptive
+/// batcher actually produces: plain payloads, cache references, and
+/// nested lists containing `CachedBytes` members.
+fn arb_cachey_call() -> impl Strategy<Value = CallRequest> {
+    let cachey_value = prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(|v| Value::Bytes(Bytes::from(v))),
+        (any::<u64>(), 0u64..=u32::MAX as u64)
+            .prop_map(|(digest, len)| Value::CachedBytes { digest, len }),
+        proptest::collection::vec(
+            (any::<u64>(), 0u64..1024).prop_map(|(digest, len)| Value::CachedBytes { digest, len }),
+            0..4
+        )
+        .prop_map(Value::List),
+    ];
+    (
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        proptest::collection::vec(cachey_value, 0..5),
+    )
+        .prop_map(|(call_id, fn_id, is_async, args)| CallRequest {
+            call_id,
+            fn_id,
+            mode: if is_async {
+                CallMode::Async
+            } else {
+                CallMode::Sync
+            },
+            args,
+        })
+}
+
 proptest! {
     #[test]
     fn message_round_trips(msg in arb_message()) {
@@ -125,6 +160,56 @@ proptest! {
         let idx = pos.index(raw.len());
         raw[idx] ^= mask;
         let _ = Message::decode(Bytes::from(raw));
+    }
+
+    #[test]
+    fn large_cachey_batches_round_trip(calls in proptest::collection::vec(arb_cachey_call(), 0..96)) {
+        let msg = Message::Batch(calls);
+        let encoded = msg.encode();
+        let decoded = Message::decode(encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_batches_error_cleanly(
+        calls in proptest::collection::vec(arb_cachey_call(), 1..32),
+        frac in 0.0f64..1.0,
+    ) {
+        // Any strict prefix of a batch frame must decode to an error —
+        // never to a panic, and never to a successfully decoded batch
+        // (a partially applied batch would break retry-as-a-unit).
+        let msg = Message::Batch(calls);
+        let encoded = msg.encode();
+        let keep = ((encoded.len() as f64) * frac) as usize;
+        if keep < encoded.len() {
+            prop_assert!(Message::decode(encoded.slice(0..keep)).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_batch_counts_rejected(extra in 1u64..1_000_000, garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // A frame claiming more member calls than MAX_BATCH_CALLS must be
+        // refused by the cap (when enough bytes follow to defeat the EOF
+        // guard) or fail some other way — never allocate or decode.
+        let count = MAX_BATCH_CALLS as u64 + extra;
+        let mut raw = vec![0x12u8]; // BATCH kind
+        let mut v = count;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                raw.push(byte);
+                break;
+            }
+            raw.push(byte | 0x80);
+        }
+        let body = count.min(MAX_BATCH_CALLS as u64 + 2) as usize + garbage.len();
+        raw.extend(std::iter::repeat_n(0u8, body));
+        match Message::decode(Bytes::from(raw)) {
+            Err(WireError::BatchTooLarge(n)) => prop_assert_eq!(n as u64, count),
+            Err(_) => {}
+            Ok(msg) => prop_assert!(false, "oversized batch decoded: {:?}", msg),
+        }
     }
 
     #[test]
