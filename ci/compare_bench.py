@@ -34,6 +34,9 @@ DIRECTIONAL_GATES = {
     "cache_latency_ratio": ("lower_better", None),
     # Batched-vs-unbatched throughput: gate only a collapse (>50% drop).
     "speedup": ("higher_better", 0.5),
+    # Overcommitted p99 / resident-only p99: wall-clock-derived, so only a
+    # blow-up (ratio tripling) fails; getting faster never does.
+    "p99_vs_resident_ratio": ("lower_better", 2.0),
 }
 
 
@@ -84,6 +87,16 @@ def extract_metrics(report):
             tag = f"scaling_{sc['vms']}vms"
             out[f"{tag}.speedup"] = sc["speedup"]
             out[f"{tag}.doorbell_reduction"] = sc["doorbell_reduction"]
+    elif bench == "swapping":
+        # Availability and swap behaviour are deterministic (which buffers
+        # swap is fixed by the capacity and touch order); only the p99
+        # ratio is wall-clock-derived and gets the wide one-sided band.
+        for lv in report.get("levels", []):
+            tag = f"oc{lv['overcommit']:g}x"
+            out[f"{tag}.oom_aborts"] = float(lv["oom_aborts"])
+            out[f"{tag}.peak_swapped_fraction"] = lv["peak_swapped_fraction"]
+            if lv["overcommit"] > 1.0:
+                out[f"{tag}.p99_vs_resident_ratio"] = lv["p99_vs_resident_ratio"]
     else:
         raise ValueError(f"unknown bench kind: {bench!r}")
     return out
@@ -250,6 +263,43 @@ def self_test():
     tp_doorbell["headline"]["doorbell_reduction"] = 5.0  # flush logic broke
     _, regressed = compare(tp_base, tp_doorbell, 0.2)
     assert regressed, "a doorbell-reduction drop must fail the gate"
+
+    sw_base = {
+        "bench": "swapping",
+        "levels": [
+            {"overcommit": 0.75, "p99_vs_resident_ratio": 1.0,
+             "peak_swapped_fraction": 0.0, "oom_aborts": 0},
+            {"overcommit": 2.0, "p99_vs_resident_ratio": 1.4,
+             "peak_swapped_fraction": 0.5625, "oom_aborts": 0},
+        ],
+    }
+    sw_same = json.loads(json.dumps(sw_base))
+    _, regressed = compare(sw_base, sw_same, 0.2)
+    assert not regressed, "identical swapping artifacts must pass"
+
+    sw_oom = json.loads(json.dumps(sw_base))
+    sw_oom["levels"][1]["oom_aborts"] = 1  # guest saw an allocation fail
+    rows, regressed = compare(sw_base, sw_oom, 0.2)
+    assert regressed, "any guest-visible OOM under overcommit must fail"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "oc2x.oom_aborts", rows
+
+    sw_noisy = json.loads(json.dumps(sw_base))
+    sw_noisy["levels"][1]["p99_vs_resident_ratio"] = 3.0  # +114%: noise band
+    _, regressed = compare(sw_base, sw_noisy, 0.2)
+    assert not regressed, "p99 ratio noise must stay within the wide band"
+
+    sw_blowup = json.loads(json.dumps(sw_base))
+    sw_blowup["levels"][1]["p99_vs_resident_ratio"] = 9.0  # +543%: thrashing
+    rows, regressed = compare(sw_base, sw_blowup, 0.2)
+    assert regressed, "a p99 blow-up under overcommit must fail the gate"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "oc2x.p99_vs_resident_ratio", rows
+
+    sw_noswap = json.loads(json.dumps(sw_base))
+    sw_noswap["levels"][1]["peak_swapped_fraction"] = 0.1  # pressure vanished
+    _, regressed = compare(sw_base, sw_noswap, 0.2)
+    assert regressed, "a collapse in swap pressure means the experiment broke"
 
     print("compare_bench self-test: ok")
 

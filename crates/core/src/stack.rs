@@ -16,8 +16,8 @@ use ava_hypervisor::{
     Hypervisor, HypervisorError, PlacementPolicy, RouterConfig, SchedulerKind, VmPolicy, VmStats,
 };
 use ava_server::{
-    shared_handler, ApiHandler, ApiServer, CallJournal, HandlerOutput, MigrationImage, ServerStats,
-    SharedHandler,
+    shared_handler, ApiHandler, ApiServer, CallJournal, HandlerOutput, MemoryManager, MemoryStats,
+    MigrationImage, ServerStats, SharedHandler,
 };
 use ava_spec::{ApiDescriptor, FunctionDesc};
 use ava_telemetry::{
@@ -122,6 +122,18 @@ pub struct StackConfig {
     /// device-time gap alone would not trigger a migration. `None`
     /// disables SLO monitoring.
     pub slo: Option<SloConfig>,
+    /// Soft per-slot (or per private device) ceiling on *resident* device
+    /// memory, in bytes. When an allocation would push a device past this
+    /// ceiling, the server proactively LRU-evicts cold buffers to the
+    /// host-side swap store before dispatching — graceful overcommit
+    /// instead of device OOM. `None` (the default) leaves eviction purely
+    /// reactive (device OOM retry).
+    pub device_mem_capacity: Option<u64>,
+    /// Stack-wide default per-VM device-memory quota, in bytes: the most a
+    /// VM may *own* (resident + swapped) before allocations are answered
+    /// with `QuotaExceeded`. A per-VM [`VmPolicy::device_mem_quota`]
+    /// overrides it. `None` (the default) leaves VMs unquota'd.
+    pub device_mem_quota: Option<u64>,
 }
 
 impl Default for StackConfig {
@@ -139,6 +151,8 @@ impl Default for StackConfig {
             rebalance_threshold_ms: None,
             rebalance_interval: Duration::from_millis(100),
             slo: None,
+            device_mem_capacity: None,
+            device_mem_quota: None,
         }
     }
 }
@@ -230,6 +244,10 @@ struct PoolSlot {
     handler: SharedHandler,
     device_time_ms: Gauge,
     vms: Gauge,
+    /// Residency/swap accounting for every VM bound to this slot — the
+    /// memory half of the slot's load. Shared by all the slot's servers so
+    /// quota and capacity pressure see the device's true footprint.
+    memory: Arc<MemoryManager>,
 }
 
 /// Load/occupancy snapshot of one pool slot (see [`ApiStack::pool_stats`]).
@@ -250,7 +268,7 @@ struct PoolState {
 }
 
 impl PoolState {
-    fn new<F>(size: usize, slot_factory: &F) -> Self
+    fn new<F>(size: usize, slot_factory: &F, mem_capacity: Option<u64>) -> Self
     where
         F: Fn(usize) -> Box<dyn ApiHandler> + ?Sized,
     {
@@ -265,6 +283,7 @@ impl PoolState {
                     handler,
                     device_time_ms,
                     vms: Gauge::new(),
+                    memory: Arc::new(MemoryManager::new(mem_capacity)),
                 }
             })
             .collect();
@@ -282,6 +301,7 @@ impl PoolState {
                 &slot.device_time_ms,
             );
             registry.register_gauge(&format!("pool.slot{i}.vms"), &slot.vms);
+            slot.memory.register(registry, &format!("slot{i}"));
         }
     }
 
@@ -306,9 +326,13 @@ impl PoolState {
                     .unwrap_or(0)
             }
             PlacementPolicy::LeastLoaded => {
-                // Estimated device time already routed to each slot's VMs,
-                // from the router's per-VM accounting; ties broken by
-                // fewest VMs, then lowest index.
+                // Estimated device time already routed to each slot's VMs
+                // (from the router's per-VM accounting), weighted by the
+                // slot's resident device memory: a slot whose working set
+                // is near eviction pressure scores worse than its compute
+                // queue alone suggests. With no memory tracked the factor
+                // is 1 and the ordering degenerates to time-only. Ties
+                // broken by fewest VMs, then lowest index.
                 let placements = self.placements.lock();
                 let mut load = vec![0.0f64; self.slots.len()];
                 for (&vm, &slot) in placements.iter() {
@@ -316,10 +340,18 @@ impl PoolState {
                         load[slot] += stats.est_device_time_us;
                     }
                 }
+                let score: Vec<f64> = load
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        let resident = self.slots[i].memory.resident_bytes() as f64;
+                        (1.0 + t) * (1.0 + resident)
+                    })
+                    .collect();
                 (0..self.slots.len())
                     .min_by(|&a, &b| {
-                        load[a]
-                            .partial_cmp(&load[b])
+                        score[a]
+                            .partial_cmp(&score[b])
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then_with(|| {
                                 self.slots[a]
@@ -377,6 +409,8 @@ fn rebalance(
         let image = server.snapshot();
         // Frees this VM's objects on the source slot's device; slot-mates
         // are untouched (their servers hold their own handle tables).
+        // Teardown also drops the VM's residency registrations from the
+        // source slot's memory manager.
         server.teardown();
         image
     };
@@ -390,6 +424,12 @@ fn rebalance(
         config.guest.payload_cache_entries,
         config.guest.payload_cache_min_bytes,
     );
+    // Residency re-homes with the VM: the restored server re-registers
+    // every surviving buffer (and re-parks still-swapped ones) with the
+    // destination slot's accountant; the quota travels unchanged.
+    restored.set_memory(Arc::clone(&pool.slots[dst].memory), vm);
+    restored.set_mem_quota(runtime.mem_quota);
+    runtime.memory = Arc::clone(&pool.slots[dst].memory);
     restored.set_journal(Arc::clone(&runtime.journal));
     runtime.server = Arc::new(Mutex::new(restored));
     runtime.spawn();
@@ -434,6 +474,14 @@ struct VmRuntime {
     journal: Arc<StdMutex<CallJournal>>,
     /// Respawns consumed so far (against [`StackConfig::max_respawns`]).
     respawns: u32,
+    /// The residency accountant this VM's server reports into: the slot's
+    /// shared manager for pooled VMs, a private one otherwise. Owned here —
+    /// like the journal — because recovery must clear and rebuild the VM's
+    /// registrations on whatever server replaces the crashed one.
+    memory: Arc<MemoryManager>,
+    /// Effective device-memory quota (policy override or stack default),
+    /// re-applied to every server rebuilt for this VM.
+    mem_quota: Option<u64>,
 }
 
 impl VmRuntime {
@@ -566,6 +614,11 @@ impl Supervisor {
         last: &mut [f64],
         violations: &[SloViolation],
     ) {
+        // Device time consumed over the window, weighted by resident
+        // memory (1 + MiB resident): a slot under memory pressure is
+        // hotter than its compute delta alone says, because every further
+        // allocation there pays eviction/fault-in latency. With nothing
+        // resident the weight is 1 and this is the raw device-time delta.
         let deltas: Vec<f64> = pool
             .slots
             .iter()
@@ -574,7 +627,8 @@ impl Supervisor {
                 let cur = s.device_time_ms.get();
                 let d = cur - last[i];
                 last[i] = cur;
-                d
+                let resident_mib = s.memory.resident_bytes() as f64 / (1u64 << 20) as f64;
+                d * (1.0 + resident_mib)
             })
             .collect();
         let violating = violations.iter().find_map(|v| match v.subject {
@@ -691,6 +745,14 @@ impl Supervisor {
             self.config.guest.payload_cache_entries,
             self.config.guest.payload_cache_min_bytes,
         );
+        // The crashed server's residency registrations describe state that
+        // died with it; wipe them, then let journal replay re-register the
+        // rebuilt allocations (replay runs with the accountant and quota
+        // already attached, so residency is rematerialized exactly as the
+        // original execution produced it).
+        runtime.memory.free_all(vm);
+        server.set_memory(Arc::clone(&runtime.memory), vm);
+        server.set_mem_quota(runtime.mem_quota);
         let entries = match runtime.journal.lock() {
             Ok(journal) => journal.entries().to_vec(),
             Err(poisoned) => poisoned.into_inner().entries().to_vec(),
@@ -782,8 +844,13 @@ impl ApiStack {
         }));
         let handler_factory: Arc<dyn Fn(usize) -> Box<dyn ApiHandler> + Send + Sync> =
             Arc::new(handler_factory);
-        let pool = (config.pool_size > 0)
-            .then(|| Arc::new(PoolState::new(config.pool_size, &*handler_factory)));
+        let pool = (config.pool_size > 0).then(|| {
+            Arc::new(PoolState::new(
+                config.pool_size,
+                &*handler_factory,
+                config.device_mem_capacity,
+            ))
+        });
         let vms = Arc::new(Mutex::new(HashMap::new()));
         let telemetry = Arc::new(Mutex::new(Telemetry::disabled()));
         let recovery = RecoveryCounters::default();
@@ -907,6 +974,14 @@ impl ApiStack {
             }
             None => (None, shared_handler((self.handler_factory)(0))),
         };
+        // Pooled VMs share the slot's residency accountant (quota and
+        // capacity pressure see the device's true footprint); private VMs
+        // get their own. Per-VM policy quota beats the stack default.
+        let memory = match (&self.pool, slot) {
+            (Some(pool), Some(slot)) => Arc::clone(&pool.slots[slot].memory),
+            _ => Arc::new(MemoryManager::new(self.config.device_mem_capacity)),
+        };
+        let mem_quota = policy.device_mem_quota.or(self.config.device_mem_quota);
         let conn = self.hypervisor.add_vm_full(
             policy,
             self.config.transport,
@@ -925,11 +1000,18 @@ impl ApiStack {
             self.config.guest.payload_cache_entries,
             self.config.guest.payload_cache_min_bytes,
         );
+        server.set_memory(Arc::clone(&memory), conn.vm_id);
+        server.set_mem_quota(mem_quota);
         if let Some(registry) = telemetry.registry() {
             conn.guest
                 .register_telemetry(registry, &format!("vm{}.guest", conn.vm_id));
             conn.server
                 .register_telemetry(registry, &format!("vm{}.server", conn.vm_id));
+            // Pooled managers are registered per-slot (`mem.slot<N>.*`) by
+            // `PoolState::register`; private ones get a per-VM scope here.
+            if self.pool.is_none() {
+                memory.register(registry, &format!("vm{}", conn.vm_id));
+            }
         }
         let journal = Arc::new(StdMutex::new(CallJournal::new()));
         server.set_journal(Arc::clone(&journal));
@@ -942,6 +1024,8 @@ impl ApiStack {
             cache_epoch: 0,
             journal,
             respawns: 0,
+            memory,
+            mem_quota,
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
@@ -1019,11 +1103,40 @@ impl ApiStack {
         Ok(mem)
     }
 
+    /// Residency/swap statistics from the memory manager a VM reports
+    /// into. For pooled VMs this is the *slot's* accountant, so the totals
+    /// cover every VM sharing that device; [`ApiStack::vm_owned_device_mem`]
+    /// gives the single-VM footprint.
+    pub fn vm_memory_stats(&self, vm: VmId) -> Result<MemoryStats> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        Ok(runtime.memory.stats())
+    }
+
+    /// Bytes of device memory a VM currently *owns* (resident + swapped) —
+    /// the footprint its quota is enforced against.
+    pub fn vm_owned_device_mem(&self, vm: VmId) -> Result<u64> {
+        let vms = self.vms.lock();
+        let runtime = vms.get(&vm).ok_or(StackError::UnknownVm(vm))?;
+        Ok(runtime.memory.vm_bytes(vm))
+    }
+
+    /// Per-slot residency/swap statistics; empty for private-device stacks.
+    pub fn pool_memory_stats(&self) -> Vec<MemoryStats> {
+        self.pool
+            .as_ref()
+            .map(|pool| pool.slots.iter().map(|s| s.memory.stats()).collect())
+            .unwrap_or_default()
+    }
+
     /// Detaches a VM and stops its server.
     pub fn detach_vm(&self, vm: VmId) -> Result<()> {
         let mut vms = self.vms.lock();
         let mut runtime = vms.remove(&vm).ok_or(StackError::UnknownVm(vm))?;
         runtime.halt();
+        // Release the VM's residency accounting (and any host-store swap
+        // payloads it still owned) from its slot's shared accountant.
+        runtime.memory.free_all(vm);
         self.hypervisor.remove_vm(vm)?;
         if let Some(pool) = &self.pool {
             if let Some(slot) = pool.placements.lock().remove(&vm) {
@@ -1063,6 +1176,16 @@ impl ApiStack {
             self.config.guest.payload_cache_entries,
             self.config.guest.payload_cache_min_bytes,
         );
+        // Migrating onto a private handler re-homes residency onto a fresh
+        // private accountant (the source teardown already released the
+        // VM's registrations from the old one); the restore path replays
+        // allocation sizes and re-parks still-swapped buffers.
+        {
+            let memory = Arc::new(MemoryManager::new(self.config.device_mem_capacity));
+            restored.set_memory(Arc::clone(&memory), vm);
+            restored.set_mem_quota(runtime.mem_quota);
+            runtime.memory = memory;
+        }
         // The journal keeps accumulating across migrations: it already
         // holds the pre-migration history, so a later crash still replays
         // the full execution and re-mints the same wire handles.

@@ -1,0 +1,234 @@
+//! Device-memory virtualization, proven end-to-end against an oracle:
+//! real workloads (kmeans, backprop) run under a resident-memory ceiling
+//! tight enough that a large fraction of their working set is LRU-evicted
+//! to the host-side swap store mid-run — and must still produce results
+//! bit-identical to the same workload on an unconstrained stack. Swapping
+//! may cost latency; it must never cost correctness.
+//!
+//! Also covered: the per-VM device-memory quota answers over-quota
+//! allocations with a clean `QuotaExceeded` and leaves the lane healthy.
+
+use ava_core::{opencl_stack, ApiStack, OpenClClient, StackConfig};
+use ava_guest::GuestError;
+use ava_hypervisor::VmPolicy;
+use ava_server::MemoryStats;
+use ava_transport::{CostModel, TransportKind};
+use ava_workloads::{backprop::Backprop, kmeans::Kmeans, silo_with_all_kernels, ClWorkload, Scale};
+
+fn stack_with_capacity(capacity: Option<u64>) -> ApiStack {
+    opencl_stack(
+        silo_with_all_kernels(Scale::Test),
+        StackConfig {
+            transport: TransportKind::SharedMemory,
+            cost_model: CostModel::free(),
+            device_mem_capacity: capacity,
+            ..StackConfig::default()
+        },
+    )
+    .expect("stack builds")
+}
+
+/// Runs `workload` once on a stack whose resident ceiling is `capacity`
+/// (None = unconstrained) and returns the result plus memory statistics.
+fn run_under_capacity(workload: &dyn ClWorkload, capacity: Option<u64>) -> (f64, MemoryStats) {
+    let stack = stack_with_capacity(capacity);
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+    let client = OpenClClient::new(lib);
+    let result = workload.run(&client).unwrap_or_else(|e| {
+        panic!(
+            "{} failed under capacity {capacity:?}: {e}",
+            workload.name()
+        )
+    });
+    let stats = stack.vm_memory_stats(vm).expect("memory stats");
+    (result, stats)
+}
+
+/// The oracle property: a capacity tight enough to swap out a meaningful
+/// fraction of the working set mid-run changes latencies, not results.
+fn assert_swapped_run_matches_oracle(workload: &dyn ClWorkload, capacity: u64) {
+    let (oracle, oracle_stats) = run_under_capacity(workload, None);
+    assert_eq!(
+        oracle_stats.evictions, 0,
+        "unconstrained oracle must not swap"
+    );
+
+    let (constrained, stats) = run_under_capacity(workload, Some(capacity));
+    assert_eq!(
+        oracle.to_bits(),
+        constrained.to_bits(),
+        "{}: swapped run diverged from oracle ({oracle} vs {constrained})",
+        workload.name()
+    );
+    assert!(
+        stats.evictions > 0 && stats.faults > 0,
+        "{}: capacity {capacity} B produced no swap traffic \
+         (evictions {}, faults {})",
+        workload.name(),
+        stats.evictions,
+        stats.faults
+    );
+    assert!(
+        stats.peak_swapped_fraction >= 0.3,
+        "{}: peak swapped fraction {:.2} below the 30% the test promises",
+        workload.name(),
+        stats.peak_swapped_fraction
+    );
+}
+
+#[test]
+fn kmeans_is_bit_identical_with_most_of_its_working_set_swapped() {
+    // Test-scale kmeans owns ~10 KiB of buffers (8 KiB points, 2 KiB
+    // membership, 64 B centroids); a 4 KiB ceiling keeps the points
+    // buffer and the membership buffer fighting for residency all run.
+    assert_swapped_run_matches_oracle(&Kmeans::new(Scale::Test), 4 << 10);
+}
+
+#[test]
+fn backprop_is_bit_identical_with_most_of_its_working_set_swapped() {
+    // Test-scale backprop owns ~9 KiB (8 KiB weights, 1 KiB input, two
+    // tiny vectors); same 4 KiB ceiling, same property.
+    assert_swapped_run_matches_oracle(&Backprop::new(Scale::Test), 4 << 10);
+}
+
+#[test]
+fn over_quota_alloc_is_rejected_cleanly_and_lane_survives() {
+    use simcl::ClApi;
+    let stack = stack_with_capacity(None);
+    let (vm, lib) = stack
+        .attach_vm(VmPolicy::with_device_mem_quota(8 << 10))
+        .expect("vm attaches");
+    let client = OpenClClient::new(lib);
+
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, simcl::QueueProps::default())
+        .unwrap();
+
+    // Within quota: fine.
+    let payload = vec![7u8; 4 << 10];
+    let ok = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), 4 << 10, Some(&payload))
+        .expect("within-quota allocation succeeds");
+
+    // Over quota (4 KiB owned + 8 KiB requested > 8 KiB quota): a clean,
+    // typed rejection — not a transport error, not a panic.
+    let err = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), 8 << 10, None)
+        .expect_err("over-quota allocation must be refused");
+    assert_eq!(
+        err,
+        simcl::ClError(simcl::status::CL_OUT_OF_RESOURCES),
+        "guest-facing CL error should map from QuotaExceeded"
+    );
+    assert!(
+        stack.vm_server_stats(vm).unwrap().quota_rejects >= 1,
+        "server must count the quota rejection"
+    );
+
+    // The lane is not poisoned: the surviving buffer still reads back
+    // intact and further within-quota work proceeds.
+    let mut out = vec![0u8; 4 << 10];
+    client
+        .enqueue_read_buffer(queue, ok, true, 0, &mut out, &[], false)
+        .expect("lane survives the rejection");
+    assert!(out.iter().all(|&b| b == 7));
+    client.release_mem_object(ok).unwrap();
+    let again = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), 6 << 10, None)
+        .expect("freed quota is reusable");
+    client.release_mem_object(again).unwrap();
+}
+
+#[test]
+fn retain_release_keeps_residency_until_the_final_release() {
+    use simcl::ClApi;
+    let stack = stack_with_capacity(None);
+    let (vm, lib) = stack.attach_vm(VmPolicy::default()).expect("vm attaches");
+    let client = OpenClClient::new(lib);
+
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, simcl::QueueProps::default())
+        .unwrap();
+
+    let base = stack.vm_memory_stats(vm).unwrap().live_bytes;
+    let payload = vec![42u8; 1024];
+    let buf = client
+        .create_buffer(ctx, simcl::MemFlags::read_write(), 1024, Some(&payload))
+        .unwrap();
+    assert_eq!(
+        stack.vm_memory_stats(vm).unwrap().live_bytes,
+        base + 1024,
+        "allocation must enter residency accounting"
+    );
+
+    // Retain then release: the object survives (refcount 2 -> 1), so its
+    // bytes must stay on the books — retiring them here would let a later
+    // eviction pass skip a live buffer or double-free its accounting.
+    client.retain_mem_object(buf).unwrap();
+    client.release_mem_object(buf).unwrap();
+    // Releases are async; a sync fence (FIFO transport) ensures they have
+    // executed before the accounting is inspected.
+    client.finish(queue).unwrap();
+    assert_eq!(
+        stack.vm_memory_stats(vm).unwrap().live_bytes,
+        base + 1024,
+        "refcounted release must not retire a surviving buffer's residency"
+    );
+    let mut out = vec![0u8; 1024];
+    client
+        .enqueue_read_buffer(queue, buf, true, 0, &mut out, &[], false)
+        .expect("buffer survives the refcounted release");
+    assert_eq!(out, payload);
+
+    // Final release: the object dies and its bytes leave the accounting.
+    client.release_mem_object(buf).unwrap();
+    client.finish(queue).unwrap();
+    assert_eq!(
+        stack.vm_memory_stats(vm).unwrap().live_bytes,
+        base,
+        "final release must retire residency exactly"
+    );
+}
+
+#[test]
+fn raw_guest_call_surfaces_quota_exceeded() {
+    use ava_wire::Value;
+    use simcl::ClApi;
+    let stack = stack_with_capacity(None);
+    let (_vm, lib) = stack
+        .attach_vm(VmPolicy::with_device_mem_quota(1 << 10))
+        .expect("vm attaches");
+    let client = OpenClClient::new(lib);
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client
+        .get_device_ids(platform, simcl::DeviceType::All)
+        .unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    // Drive the guest library directly so the typed error is observable
+    // before the OpenCL binding folds it into a CL status code.
+    let err = client
+        .library()
+        .call(
+            "clCreateBuffer",
+            vec![
+                Value::Handle(ctx.0),
+                Value::U64(simcl::MemFlags::read_write().to_bits()),
+                Value::U64(4 << 10),
+                Value::Null,
+                Value::U64(1),
+            ],
+        )
+        .expect_err("over-quota raw call must fail");
+    assert!(matches!(err, GuestError::QuotaExceeded), "{err}");
+    assert!(!err.is_retryable(), "quota rejection is not retryable");
+}

@@ -23,6 +23,11 @@ pub enum GuestError {
     /// The call *may* have executed; retrying is safe because the server
     /// deduplicates by call id.
     DeadlineExceeded,
+    /// The allocation would exceed this VM's device-memory quota. The call
+    /// was not executed and the lane stays healthy; not retryable — the
+    /// guest must release device memory (or the quota must be raised)
+    /// before the same allocation can succeed.
+    QuotaExceeded,
 }
 
 impl GuestError {
@@ -48,6 +53,7 @@ impl fmt::Display for GuestError {
             Self::Protocol(m) => write!(f, "protocol failure: {m}"),
             Self::Unavailable => write!(f, "API server unavailable"),
             Self::DeadlineExceeded => write!(f, "call deadline exceeded"),
+            Self::QuotaExceeded => write!(f, "device-memory quota exceeded"),
         }
     }
 }
@@ -64,6 +70,7 @@ mod tests {
         assert!(GuestError::DeadlineExceeded.is_retryable());
         assert!(!GuestError::Unavailable.is_retryable());
         assert!(!GuestError::PolicyRejected.is_retryable());
+        assert!(!GuestError::QuotaExceeded.is_retryable());
         assert!(!GuestError::Protocol("bad reply".into()).is_retryable());
         assert!(!GuestError::UnknownFunction("x".into()).is_retryable());
         assert!(!GuestError::BadArgument("shape".into()).is_retryable());

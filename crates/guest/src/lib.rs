@@ -610,6 +610,7 @@ impl GuestLibrary {
             // The router answers for a lane whose server is gone and
             // unrecoverable: fail cleanly instead of hanging.
             ReplyStatus::Unavailable => return Err(GuestError::Unavailable),
+            ReplyStatus::QuotaExceeded => return Err(GuestError::QuotaExceeded),
         }
 
         // Deliver a deferred async failure through this call's status

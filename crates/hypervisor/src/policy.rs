@@ -80,8 +80,11 @@ pub enum PlacementPolicy {
     /// Cycle through slots in order; even VM counts spread evenly.
     #[default]
     RoundRobin,
-    /// Bind to the slot with the least estimated outstanding device time
-    /// (ties broken by fewest VMs, then lowest index).
+    /// Bind to the slot with the least estimated load — outstanding
+    /// device time weighted by the slot's resident device memory, so a
+    /// slot whose working set is near eviction pressure is avoided even
+    /// when its compute queue is short (ties broken by fewest VMs, then
+    /// lowest index).
     LeastLoaded,
     /// Fill one slot before using the next — maximizes idle slots, for
     /// consolidation/power experiments.
@@ -97,8 +100,22 @@ pub struct VmPolicy {
     pub weight: u32,
     /// Priority level for [`SchedulerKind::Priority`].
     pub priority: u8,
-    /// Device-memory quota in bytes, if enforced.
+    /// Device-memory quota in bytes, if enforced. The quota is enforced
+    /// at the API server against the VM's *owned* footprint (resident
+    /// plus swapped bytes, so swap-out cannot launder it); over-quota
+    /// allocations are answered with a clean `QuotaExceeded` reply and
+    /// never executed. Overrides any stack-wide default quota.
     pub device_mem_quota: Option<u64>,
+}
+
+impl VmPolicy {
+    /// Policy with a device-memory quota (bytes).
+    pub fn with_device_mem_quota(quota: u64) -> Self {
+        VmPolicy {
+            device_mem_quota: Some(quota),
+            ..Default::default()
+        }
+    }
 }
 
 impl Default for VmPolicy {

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ava_spec::{ApiDescriptor, RecordCategory};
+use ava_spec::ApiDescriptor;
 use ava_telemetry::{Counter, Gauge, Stage, Telemetry};
 use ava_transport::{BoxedTransport, TransportError};
 use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
@@ -566,13 +566,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                                     }
                                 }
                             }
-                            if func.record == Some(RecordCategory::Alloc) {
-                                if let Some(quota) = lane.policy.device_mem_quota {
-                                    if lane.metrics.est_device_mem.get() > quota as f64 {
-                                        reject = true;
-                                    }
-                                }
-                            }
+                            // Device-memory quotas are enforced at the
+                            // server (it owns the authoritative residency
+                            // accounting, including swapped bytes); the
+                            // router only keeps the cost estimates.
                         }
                         None => reject = true, // unknown function id: refuse
                     }

@@ -20,6 +20,17 @@ pub enum ServerError {
     Replay(String),
     /// Swap-in/out failed.
     Swap(String),
+    /// The allocation would exceed the VM's device-memory quota. The call
+    /// was not executed; answered with [`ReplyStatus::QuotaExceeded`]
+    /// rather than a transport error so the lane stays healthy.
+    ///
+    /// [`ReplyStatus::QuotaExceeded`]: ava_wire::ReplyStatus::QuotaExceeded
+    QuotaExceeded {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// The VM's configured quota in bytes.
+        quota: u64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -32,6 +43,10 @@ impl fmt::Display for ServerError {
             Self::Handler(m) => write!(f, "handler error: {m}"),
             Self::Replay(m) => write!(f, "replay error: {m}"),
             Self::Swap(m) => write!(f, "swap error: {m}"),
+            Self::QuotaExceeded { requested, quota } => write!(
+                f,
+                "device-memory quota exceeded: {requested} B requested, quota {quota} B"
+            ),
         }
     }
 }

@@ -8,6 +8,7 @@
 //! (buffer-granularity swapping, §4.3).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{Result, ServerError};
 
@@ -16,10 +17,15 @@ use crate::error::{Result, ServerError};
 pub enum HandleState {
     /// Backed by a live silo object.
     Live(u64),
-    /// Device object evicted; payload parked host-side.
+    /// Device object evicted; payload parked host-side. The payload is
+    /// shared with the [`MemoryManager`]'s digest-deduplicated store, so
+    /// identical swapped content is held once however many handles (or
+    /// VMs) reference it.
+    ///
+    /// [`MemoryManager`]: crate::memory::MemoryManager
     Swapped {
-        /// Saved object contents.
-        data: Vec<u8>,
+        /// Saved object contents (shared with the host-side store).
+        data: Arc<Vec<u8>>,
     },
 }
 
@@ -103,7 +109,7 @@ impl HandleTable {
     }
 
     /// Marks a handle swapped-out, parking `data`.
-    pub fn mark_swapped(&mut self, wire: u64, data: Vec<u8>) -> Result<()> {
+    pub fn mark_swapped(&mut self, wire: u64, data: Arc<Vec<u8>>) -> Result<()> {
         let entry = self
             .map
             .get_mut(&wire)
@@ -114,7 +120,7 @@ impl HandleTable {
 
     /// Brings a swapped handle back to life with a new silo handle,
     /// returning the parked payload.
-    pub fn mark_live(&mut self, wire: u64, silo: u64) -> Result<Vec<u8>> {
+    pub fn mark_live(&mut self, wire: u64, silo: u64) -> Result<Arc<Vec<u8>>> {
         let entry = self
             .map
             .get_mut(&wire)
@@ -210,11 +216,11 @@ mod tests {
         let mut t = HandleTable::new();
         let w = t.insert("cl_mem", 3);
         assert!(!t.is_swapped(w));
-        t.mark_swapped(w, vec![1, 2, 3]).unwrap();
+        t.mark_swapped(w, Arc::new(vec![1, 2, 3])).unwrap();
         assert!(t.is_swapped(w));
         assert!(t.to_silo(w, "cl_mem").is_err(), "swapped handle not usable");
         let data = t.mark_live(w, 12).unwrap();
-        assert_eq!(data, vec![1, 2, 3]);
+        assert_eq!(*data, vec![1, 2, 3]);
         assert_eq!(t.to_silo(w, "cl_mem").unwrap(), 12);
         assert!(t.mark_live(w, 13).is_err(), "double swap-in rejected");
     }
@@ -225,7 +231,7 @@ mod tests {
         let a = t.insert("cl_mem", 1);
         let _b = t.insert("cl_context", 2);
         let c = t.insert("cl_mem", 3);
-        t.mark_swapped(c, vec![]).unwrap();
+        t.mark_swapped(c, Arc::new(vec![])).unwrap();
         assert_eq!(t.live_of_kind("cl_mem"), vec![a]);
         assert_eq!(t.len(), 3);
     }

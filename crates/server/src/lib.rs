@@ -12,9 +12,13 @@
 //! * **object tracking** — calls annotated `record(...)` are logged;
 //! * **VM migration** — snapshot (records + buffer payloads) and restore
 //!   by replay on another host;
-//! * **buffer-granularity memory swapping** — on device OOM, evict the
-//!   LRU tracked buffer to host memory and transparently restore it on
-//!   next use;
+//! * **buffer-granularity memory swapping** — on device OOM or
+//!   capacity pressure, evict the LRU tracked buffer to host memory and
+//!   transparently restore it on next use;
+//! * **device-memory virtualization** — per-VM quotas (over-quota
+//!   allocations are refused with a clean `QuotaExceeded` reply) and a
+//!   per-device [`MemoryManager`] that accounts residency and
+//!   deduplicates swapped payloads by content digest;
 //! * **at-most-once execution** — duplicate call frames (guest retries,
 //!   transport duplication) are answered from a bounded reply cache, never
 //!   re-executed;
@@ -25,12 +29,14 @@
 pub mod error;
 pub mod handler;
 pub mod handles;
+pub mod memory;
 pub mod record;
 pub mod server;
 
 pub use error::{Result, ServerError};
 pub use handler::{shared_handler, ApiHandler, HandlerOutput, SharedHandler};
 pub use handles::{HandleEntry, HandleState, HandleTable};
+pub use memory::{MemoryManager, MemoryStats};
 pub use record::{CallJournal, JournalEntry, MigrationImage, RecordLog, RecordedCall};
 pub use server::{ApiServer, ServeExit, ServerStats};
 
@@ -348,6 +354,153 @@ toy_status toy_destroy(toy_buf buf) {
         assert_eq!(server.live_device_mem(), 50);
         server.swap_in(h1).unwrap();
         assert_eq!(server.live_device_mem(), 150);
+    }
+
+    #[test]
+    fn over_quota_alloc_is_rejected_cleanly_and_lane_stays_healthy() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_mem_quota(Some(64));
+        let h1 = create_buf(&mut server, &desc, 32);
+        // Second allocation would put the VM at 96 B against a 64 B quota.
+        let rep = server.handle_call(call(&desc, "toy_create", vec![Value::U64(64)]));
+        assert_eq!(rep.status, ReplyStatus::QuotaExceeded);
+        assert_eq!(server.stats().quota_rejects, 1);
+        // The refusal must not poison the lane: an in-quota allocation
+        // and ordinary traffic still work.
+        let h2 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h2, b"fine");
+        assert_eq!(&read_buf(&mut server, &desc, h2, 4), b"fine");
+        // Freeing memory restores headroom.
+        server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h1)]));
+        let h3 = create_buf(&mut server, &desc, 32);
+        assert_eq!(&read_buf(&mut server, &desc, h3, 1), &[0]);
+    }
+
+    #[test]
+    fn quota_counts_swapped_bytes_so_swapping_cannot_launder_it() {
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        server.set_mem_quota(Some(64));
+        let h1 = create_buf(&mut server, &desc, 32);
+        let _h2 = create_buf(&mut server, &desc, 32);
+        // Swap h1 out: the device has room again, but the VM still *owns*
+        // 64 B — a further allocation must be refused by quota, not
+        // satisfied by eviction.
+        server.swap_out(h1, "toy_buf").unwrap();
+        assert_eq!(server.live_device_mem(), 32);
+        assert_eq!(server.owned_device_mem(), 64);
+        let rep = server.handle_call(call(&desc, "toy_create", vec![Value::U64(16)]));
+        assert_eq!(rep.status, ReplyStatus::QuotaExceeded);
+    }
+
+    #[test]
+    fn memory_manager_tracks_residency_through_swap_cycle() {
+        let desc = toy_descriptor();
+        let mm = Arc::new(MemoryManager::new(None));
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(64)));
+        server.set_memory(Arc::clone(&mm), 7);
+        let h1 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h1, b"payload-one");
+        let h2 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h2, b"payload-two");
+        assert_eq!(mm.stats().resident_bytes, 64);
+        // Third allocation overflows the toy device: h1 is evicted.
+        let h3 = create_buf(&mut server, &desc, 32);
+        let s = mm.stats();
+        assert_eq!(s.resident_bytes, 64);
+        assert_eq!(s.swapped_bytes, 32);
+        assert_eq!(s.live_bytes, 96);
+        assert_eq!(s.evictions, 1);
+        // Destroy h3 (making room) and touch h1: fault-in moves the bytes
+        // back and the freed buffer left no residue.
+        server.handle_call(call(&desc, "toy_destroy", vec![Value::Handle(h3)]));
+        assert_eq!(&read_buf(&mut server, &desc, h1, 11), b"payload-one");
+        let s = mm.stats();
+        assert_eq!(s.resident_bytes, 64);
+        assert_eq!(s.swapped_bytes, 0);
+        assert_eq!(s.faults, 1);
+        assert_eq!(mm.vm_bytes(7), 64);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_proactively_before_device_oom() {
+        let desc = toy_descriptor();
+        // The toy device is huge; only the manager's capacity constrains
+        // residency, so evictions here are purely pressure-driven.
+        let mm = Arc::new(MemoryManager::new(Some(64)));
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(4096)));
+        server.set_memory(Arc::clone(&mm), 0);
+        let h1 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h1, b"cold");
+        let h2 = create_buf(&mut server, &desc, 32);
+        write_buf(&mut server, &desc, h2, b"warm");
+        let _h3 = create_buf(&mut server, &desc, 32);
+        let s = mm.stats();
+        assert!(s.evictions >= 1, "capacity pressure must evict");
+        assert!(
+            s.resident_bytes <= 64,
+            "resident set must respect capacity, got {}",
+            s.resident_bytes
+        );
+        // The evicted buffer faults back in transparently.
+        assert_eq!(&read_buf(&mut server, &desc, h1, 4), b"cold");
+        assert!(mm.stats().faults >= 1);
+    }
+
+    #[test]
+    fn identical_swapped_payloads_dedup_across_servers_on_one_device() {
+        let desc = toy_descriptor();
+        let mm = Arc::new(MemoryManager::new(None));
+        let handler = shared_handler(Box::new(ToyHandler::new(4096)));
+        let mut a = ApiServer::with_shared(Arc::clone(&desc), handler.clone());
+        let mut b = ApiServer::with_shared(Arc::clone(&desc), handler);
+        a.set_memory(Arc::clone(&mm), 1);
+        b.set_memory(Arc::clone(&mm), 2);
+        let ha = create_buf(&mut a, &desc, 64);
+        let hb = create_buf(&mut b, &desc, 64);
+        a.handle_call(call(
+            &desc,
+            "toy_write",
+            vec![
+                Value::Handle(ha),
+                Value::Bytes(vec![9u8; 64].into()),
+                Value::U64(64),
+            ],
+        ));
+        b.handle_call(call(
+            &desc,
+            "toy_write",
+            vec![
+                Value::Handle(hb),
+                Value::Bytes(vec![9u8; 64].into()),
+                Value::U64(64),
+            ],
+        ));
+        a.swap_out(ha, "toy_buf").unwrap();
+        b.swap_out(hb, "toy_buf").unwrap();
+        let s = mm.stats();
+        assert_eq!(s.swapped_bytes, 128, "accounting stays per-buffer");
+        assert_eq!(s.host_store_bytes, 64, "identical content stored once");
+        assert_eq!(s.dedup_hits, 1);
+    }
+
+    #[test]
+    fn set_memory_after_restore_rematerializes_residency() {
+        let desc = toy_descriptor();
+        let mut source = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(4096)));
+        let h1 = create_buf(&mut source, &desc, 48);
+        write_buf(&mut source, &desc, h1, b"carried");
+        let image = source.snapshot();
+        source.teardown();
+        let mut target =
+            ApiServer::restore(Arc::clone(&desc), Box::new(ToyHandler::new(4096)), &image).unwrap();
+        let mm = Arc::new(MemoryManager::new(None));
+        target.set_memory(Arc::clone(&mm), 3);
+        let s = mm.stats();
+        assert_eq!(s.resident_bytes, 48, "restored buffers register resident");
+        assert_eq!(s.live_bytes, 48);
+        assert_eq!(&read_buf(&mut target, &desc, h1, 7), b"carried");
     }
 
     /// Sends `msg` through `serve_one` and drains every reply available on

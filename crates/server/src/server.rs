@@ -19,12 +19,13 @@ use ava_telemetry::{Counter, EventKind, Histogram, Stage, Telemetry, Tier};
 use ava_transport::{Transport, TransportError};
 use ava_wire::{
     digest64, CallId, CallMode, CallReply, CallRequest, ControlMessage, DigestLru, Message,
-    ReplyStatus, Value,
+    ReplyStatus, Value, VmId,
 };
 
 use crate::error::{Result, ServerError};
 use crate::handler::{shared_handler, ApiHandler, HandlerOutput, SharedHandler};
 use crate::handles::{HandleState, HandleTable};
+use crate::memory::MemoryManager;
 use crate::record::{CallJournal, JournalEntry, MigrationImage, RecordLog};
 
 /// How many recent sync replies are kept for duplicate suppression. The
@@ -53,6 +54,9 @@ pub struct ServerStats {
     /// retries and transport-duplicated frames answered from the reply
     /// cache instead of running twice).
     pub duplicates_suppressed: u64,
+    /// Allocations refused for exceeding the VM's device-memory quota
+    /// (each answered with a clean `QuotaExceeded` reply, not executed).
+    pub quota_rejects: u64,
 }
 
 /// Registry-shareable storage behind [`ServerStats`] (`recorded` is
@@ -66,6 +70,7 @@ struct ServerCounters {
     payload_cache_hits: Counter,
     payload_cache_misses: Counter,
     duplicates_suppressed: Counter,
+    quota_rejects: Counter,
 }
 
 impl ServerCounters {
@@ -93,6 +98,7 @@ impl ServerCounters {
             &format!("server.vm{vm}.duplicates_suppressed"),
             &self.duplicates_suppressed,
         );
+        registry.register_counter(&format!("server.vm{vm}.quota_rejects"), &self.quota_rejects);
     }
 }
 
@@ -108,6 +114,12 @@ pub struct ApiServer {
     /// Estimated device bytes per allocated wire handle (from
     /// `resource(device_mem, ...)` annotations).
     mem_sizes: HashMap<u64, u64>,
+    /// Object→object references learned from modify records (e.g. a
+    /// kernel binding a mem buffer via `clSetKernelArgMem`): dispatching
+    /// a call that names the referrer must fault the referents back in
+    /// too, because the device will touch them without their handles ever
+    /// appearing in the argument list.
+    deps: HashMap<u64, Vec<u64>>,
     /// LRU clock for swap victim selection.
     use_clock: u64,
     last_use: HashMap<u64, u64>,
@@ -141,6 +153,14 @@ pub struct ApiServer {
     /// Crash-recovery journal, shared with the supervising stack; every
     /// executed call is appended with its materialized request and reply.
     journal: Option<Arc<Mutex<CallJournal>>>,
+    /// Device-memory residency accounting, shared per device (slot-wide
+    /// on pools). `None` leaves the legacy OOM-only swapping behaviour.
+    memory: Option<Arc<MemoryManager>>,
+    /// This server's VM id within the memory manager's accounting.
+    mem_vm: VmId,
+    /// Hard per-VM device-memory quota over the VM's total footprint
+    /// (resident *and* swapped — swapping must not launder quota).
+    mem_quota: Option<u64>,
 }
 
 /// Why [`ApiServer::serve`] returned — lets a supervisor distinguish an
@@ -174,6 +194,7 @@ impl ApiServer {
             handles: HandleTable::new(),
             records: RecordLog::new(),
             mem_sizes: HashMap::new(),
+            deps: HashMap::new(),
             use_clock: 0,
             last_use: HashMap::new(),
             counters: ServerCounters::default(),
@@ -186,6 +207,9 @@ impl ApiServer {
             highwater: None,
             reply_cache: VecDeque::new(),
             journal: None,
+            memory: None,
+            mem_vm: 0,
+            mem_quota: None,
         }
     }
 
@@ -195,6 +219,28 @@ impl ApiServer {
     /// be replayed into a fresh server via [`ApiServer::replay_journal`].
     pub fn set_journal(&mut self, journal: Arc<Mutex<CallJournal>>) {
         self.journal = Some(journal);
+    }
+
+    /// Attaches the device-memory manager (shared with every other server
+    /// on the same device) and this server's VM id within it. Buffers the
+    /// server already tracks are registered immediately, so attaching
+    /// after a restore re-materializes the residency accounting.
+    pub fn set_memory(&mut self, memory: Arc<MemoryManager>, vm: VmId) {
+        for (wire, bytes) in &self.mem_sizes {
+            memory.alloc(vm, *wire, *bytes);
+            if let Some(HandleState::Swapped { data }) = self.handles.get(*wire).map(|e| &e.state) {
+                memory.note_evicted(vm, *wire, Arc::clone(data));
+            }
+        }
+        self.memory = Some(memory);
+        self.mem_vm = vm;
+    }
+
+    /// Sets (or clears) the hard per-VM device-memory quota. Enforced on
+    /// `record(alloc)` calls against the VM's total tracked footprint;
+    /// over-quota allocations are answered `QuotaExceeded` unexecuted.
+    pub fn set_mem_quota(&mut self, quota: Option<u64>) {
+        self.mem_quota = quota;
     }
 
     /// Configures the payload mirror cache. `entries` and `min_bytes` must
@@ -250,6 +296,7 @@ impl ApiServer {
             payload_cache_hits: self.counters.payload_cache_hits.get(),
             payload_cache_misses: self.counters.payload_cache_misses.get(),
             duplicates_suppressed: self.counters.duplicates_suppressed.get(),
+            quota_rejects: self.counters.quota_rejects.get(),
         }
     }
 
@@ -260,6 +307,12 @@ impl ApiServer {
             .filter(|(w, _)| !self.handles.is_swapped(**w))
             .map(|(_, sz)| *sz)
             .sum()
+    }
+
+    /// Estimated device memory the VM owns in total, resident plus
+    /// swapped — the footprint the quota is enforced against.
+    pub fn owned_device_mem(&self) -> u64 {
+        self.mem_sizes.values().sum()
     }
 
     /// Serves calls from `transport` until the peer shuts down or `stop`
@@ -564,6 +617,23 @@ impl ApiServer {
                     outputs,
                 }
             }
+            Err(ServerError::QuotaExceeded { requested, .. }) => {
+                // A clean policy refusal, not a failure: the call did not
+                // execute, the lane stays healthy, and the guest gets a
+                // dedicated status it can surface without retrying.
+                self.counters.quota_rejects.inc();
+                if let Some(mm) = &self.memory {
+                    mm.count_quota_reject();
+                }
+                self.telemetry
+                    .event(Tier::Server, EventKind::QuotaReject, req.call_id, requested);
+                CallReply {
+                    call_id: req.call_id,
+                    status: ReplyStatus::QuotaExceeded,
+                    ret: Value::Unit,
+                    outputs: Vec::new(),
+                }
+            }
             Err(_e) => {
                 self.counters.transport_errors.inc();
                 CallReply::transport_error(req.call_id)
@@ -587,14 +657,82 @@ impl ApiServer {
             )));
         }
 
-        // Swap-in any referenced handles that were evicted.
+        // Quota enforcement and capacity pressure, decided before any
+        // side effect (no swap-in, no dispatch) so a refused call leaves
+        // the server untouched.
+        let alloc_bytes = if func.record == Some(RecordCategory::Alloc) {
+            self.estimate_mem(func, &req.args)
+        } else {
+            None
+        };
+        if let (Some(bytes), Some(quota)) = (alloc_bytes, self.mem_quota) {
+            if self.owned_device_mem() + bytes > quota {
+                return Err(ServerError::QuotaExceeded {
+                    requested: bytes,
+                    quota,
+                });
+            }
+        }
+        if let (Some(bytes), Some(mm)) = (alloc_bytes, self.memory.clone()) {
+            // Proactive LRU eviction: keep the device's resident set under
+            // the configured capacity. Only this VM's objects are eligible
+            // victims; if the pressure comes from a neighbour on a shared
+            // slot, the device-OOM retry loop below remains the backstop.
+            let mut evictions = 0;
+            while mm.over_capacity(bytes) && evictions < 64 {
+                if !self.swap_out_one_victim()? {
+                    break;
+                }
+                evictions += 1;
+            }
+        }
+
+        // Swap-in every evicted object this call will reach: the handle
+        // arguments themselves plus their recorded dependency closure (a
+        // kernel drags in its bound buffers — the device touches them
+        // without their handles appearing in the argument list). Each
+        // fault-in runs under the same proactive capacity pressure a
+        // fresh allocation faces, because without eviction here one scan
+        // over an overcommitted working set would end fully resident.
+        // Everything reachable is touched first so LRU never victimizes
+        // an object this very call is about to use.
+        let mut needed: Vec<u64> = Vec::new();
         for (param, arg) in func.params.iter().zip(req.args.iter()) {
             if let Transfer::Handle { .. } = &param.transfer {
                 if let Value::Handle(wire) = arg {
-                    if self.handles.is_swapped(*wire) {
-                        self.swap_in(*wire)?;
+                    if !needed.contains(wire) {
+                        needed.push(*wire);
                     }
                 }
+            }
+        }
+        let mut i = 0;
+        while i < needed.len() {
+            if let Some(refs) = self.deps.get(&needed[i]) {
+                for &r in refs {
+                    if !needed.contains(&r) {
+                        needed.push(r);
+                    }
+                }
+            }
+            i += 1;
+        }
+        for &wire in &needed {
+            self.touch(wire);
+        }
+        for &wire in &needed {
+            if self.handles.is_swapped(wire) {
+                if let Some(mm) = self.memory.clone() {
+                    let bytes = self.mem_sizes.get(&wire).copied().unwrap_or(0);
+                    let mut evictions = 0;
+                    while mm.over_capacity(bytes) && evictions < 64 {
+                        if !self.swap_out_one_victim_excluding(&needed)? {
+                            break;
+                        }
+                        evictions += 1;
+                    }
+                }
+                self.swap_in(wire)?;
             }
         }
 
@@ -642,6 +780,13 @@ impl ApiServer {
                         self.records.cancel_for_handle(*wire);
                         self.mem_sizes.remove(wire);
                         self.last_use.remove(wire);
+                        self.deps.remove(wire);
+                        // Residency accounting must not outlive the
+                        // object: releases (including refcounted releases
+                        // that really destroy) retire the buffer's bytes.
+                        if let Some(mm) = &self.memory {
+                            mm.free(self.mem_vm, *wire);
+                        }
                     }
                 }
             }
@@ -654,10 +799,16 @@ impl ApiServer {
                     let category = func.record.expect("checked above");
                     if category == RecordCategory::Alloc {
                         if let Some((wire, _)) = produced.first() {
-                            if let Some(bytes) = self.estimate_mem(func, &req.args) {
+                            if let Some(bytes) = alloc_bytes {
                                 self.mem_sizes.insert(*wire, bytes);
+                                if let Some(mm) = &self.memory {
+                                    mm.alloc(self.mem_vm, *wire, bytes);
+                                }
                             }
                         }
+                    }
+                    if category == RecordCategory::Modify {
+                        self.note_deps(func, &req.args);
                     }
                     self.records
                         .record(req.fn_id, req.args.clone(), category, produced);
@@ -793,10 +944,37 @@ impl ApiServer {
         Ok((ret, outputs, produced))
     }
 
+    /// Learns object→object references from a modify-record call: the
+    /// first handle parameter is the modified object, every further handle
+    /// parameter something it now references (`clSetKernelArgMem` binding
+    /// a buffer into a kernel is the canonical case). A later dispatch
+    /// naming the referrer swaps these referents back in first. Stale
+    /// entries are harmless — a dependency that is live stays put, one
+    /// that was deallocated is no longer swapped and is skipped.
+    fn note_deps(&mut self, func: &FunctionDesc, args: &[Value]) {
+        let mut referrer: Option<u64> = None;
+        for (param, arg) in func.params.iter().zip(args.iter()) {
+            if let (Transfer::Handle { .. }, Value::Handle(wire)) = (&param.transfer, arg) {
+                match referrer {
+                    None => referrer = Some(*wire),
+                    Some(holder) => {
+                        let refs = self.deps.entry(holder).or_default();
+                        if !refs.contains(wire) {
+                            refs.push(*wire);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     fn touch(&mut self, wire: u64) {
         self.use_clock += 1;
         let clock = self.use_clock;
         self.last_use.insert(wire, clock);
+        if let Some(mm) = &self.memory {
+            mm.touch(self.mem_vm, wire);
+        }
     }
 
     // ---- Buffer-granularity swapping (§4.3) -----------------------------
@@ -804,6 +982,17 @@ impl ApiServer {
     /// Swaps out the least-recently-used swappable object. Returns false
     /// if no victim exists.
     pub fn swap_out_one_victim(&mut self) -> Result<bool> {
+        self.swap_out_one_victim_excluding(&[])
+    }
+
+    /// [`ApiServer::swap_out_one_victim`], but never victimizing `pinned`
+    /// wires — the objects the in-flight call is about to dispatch on.
+    /// Without the pin, a call whose working set exceeds the resident
+    /// capacity could evict a buffer it faulted in moments earlier and
+    /// dispatch against a hole. Returns false when only pinned (or no)
+    /// candidates remain; the capacity ceiling is soft, so the caller
+    /// simply proceeds over it and lets later calls drain the excess.
+    fn swap_out_one_victim_excluding(&mut self, pinned: &[u64]) -> Result<bool> {
         let kinds: Vec<String> = self
             .handler
             .lock()
@@ -817,6 +1006,9 @@ impl ApiServer {
             for wire in self.handles.live_of_kind(kind) {
                 // Only objects we can recreate (tracked alloc) are eligible.
                 if self.records.alloc_record_for(wire).is_none() {
+                    continue;
+                }
+                if pinned.contains(&wire) {
                     continue;
                 }
                 let clock = self.last_use.get(&wire).copied().unwrap_or(0);
@@ -847,8 +1039,23 @@ impl ApiServer {
             }
             data
         };
+        let bytes = self
+            .mem_sizes
+            .get(&wire)
+            .copied()
+            .unwrap_or(data.len() as u64);
+        // Park the payload through the memory manager so identical
+        // content (same digest) swapped by any VM on this device is held
+        // once, and residency accounting moves the bytes host-side.
+        let data = Arc::new(data);
+        let data = match &self.memory {
+            Some(mm) => mm.note_evicted(self.mem_vm, wire, data),
+            None => data,
+        };
         self.handles.mark_swapped(wire, data)?;
         self.counters.swap_outs.inc();
+        self.telemetry
+            .event(Tier::Server, EventKind::SwapOut, 0, bytes);
         Ok(())
     }
 
@@ -892,7 +1099,17 @@ impl ApiServer {
                 "payload restore failed for {wire:#x}"
             )));
         }
+        if let Some(mm) = &self.memory {
+            mm.note_faulted(self.mem_vm, wire);
+        }
         self.counters.swap_ins.inc();
+        let bytes = self
+            .mem_sizes
+            .get(&wire)
+            .copied()
+            .unwrap_or(data.len() as u64);
+        self.telemetry
+            .event(Tier::Server, EventKind::FaultIn, 0, bytes);
         Ok(())
     }
 
@@ -911,7 +1128,7 @@ impl ApiServer {
                         buffers.push((wire, data));
                     }
                 }
-                HandleState::Swapped { data } => buffers.push((wire, data.clone())),
+                HandleState::Swapped { data } => buffers.push((wire, data.as_ref().clone())),
             }
         }
         drop(handler);
@@ -938,6 +1155,10 @@ impl ApiServer {
         let mut handler = self.handler.lock();
         for (kind, silo) in live {
             handler.drop_object(&kind, silo);
+        }
+        drop(handler);
+        if let Some(mm) = &self.memory {
+            mm.free_all(self.mem_vm);
         }
     }
 
@@ -991,6 +1212,9 @@ impl ApiServer {
                         server.mem_sizes.insert(*wire, bytes);
                     }
                 }
+            }
+            if record.category == RecordCategory::Modify {
+                server.note_deps(&func, &record.args);
             }
             server.records.record(
                 record.fn_id,

@@ -90,6 +90,15 @@ pub enum EventKind {
     /// objective discriminant (0 p99 latency, 1 retry rate, 2 queue
     /// depth).
     SloViolation,
+    /// Server: a cold buffer was evicted to the host-side store under
+    /// memory pressure. `arg` = buffer size in bytes.
+    SwapOut,
+    /// Server: a swapped-out buffer was faulted back onto the device on
+    /// touch. `arg` = buffer size in bytes.
+    FaultIn,
+    /// Server: an allocation was refused because it would exceed the VM's
+    /// device-memory quota. `arg` = requested size in bytes.
+    QuotaReject,
 }
 
 impl EventKind {
@@ -109,6 +118,9 @@ impl EventKind {
             EventKind::Rebalance => "rebalance",
             EventKind::Placement => "placement",
             EventKind::SloViolation => "slo_violation",
+            EventKind::SwapOut => "swap_out",
+            EventKind::FaultIn => "fault_in",
+            EventKind::QuotaReject => "quota_reject",
         }
     }
 }

@@ -39,6 +39,12 @@ pub enum ReplyStatus {
     /// The call was not executed and must not be retried: the guest should
     /// surface a clean unavailability error instead of hanging.
     Unavailable,
+    /// An allocation would push the VM past its device-memory quota. The
+    /// call was not executed; the lane stays healthy and later calls within
+    /// quota proceed normally. Not retryable: the guest must free memory
+    /// (or the operator must raise the quota) before the same allocation
+    /// can succeed.
+    QuotaExceeded,
 }
 
 /// A forwarded API invocation.
@@ -161,6 +167,7 @@ impl ReplyStatus {
             ReplyStatus::PolicyRejected => 2,
             ReplyStatus::CacheMiss => 3,
             ReplyStatus::Unavailable => 4,
+            ReplyStatus::QuotaExceeded => 5,
         }
     }
 
@@ -171,6 +178,7 @@ impl ReplyStatus {
             2 => Ok(ReplyStatus::PolicyRejected),
             3 => Ok(ReplyStatus::CacheMiss),
             4 => Ok(ReplyStatus::Unavailable),
+            5 => Ok(ReplyStatus::QuotaExceeded),
             other => Err(WireError::BadDiscriminant("reply status", other)),
         }
     }
@@ -656,6 +664,17 @@ mod tests {
         let msg = Message::Reply(CallReply {
             call_id: 77,
             status: ReplyStatus::Unavailable,
+            ret: Value::Unit,
+            outputs: vec![],
+        });
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn quota_exceeded_reply_round_trips() {
+        let msg = Message::Reply(CallReply {
+            call_id: 78,
+            status: ReplyStatus::QuotaExceeded,
             ret: Value::Unit,
             outputs: vec![],
         });

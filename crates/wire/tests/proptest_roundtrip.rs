@@ -56,7 +56,7 @@ fn arb_call() -> impl Strategy<Value = CallRequest> {
 fn arb_reply() -> impl Strategy<Value = CallReply> {
     (
         any::<u64>(),
-        0u8..5,
+        0u8..6,
         arb_value(),
         proptest::collection::vec((any::<u32>(), arb_value()), 0..4),
     )
@@ -67,7 +67,8 @@ fn arb_reply() -> impl Strategy<Value = CallReply> {
                 1 => ReplyStatus::TransportError,
                 2 => ReplyStatus::PolicyRejected,
                 3 => ReplyStatus::CacheMiss,
-                _ => ReplyStatus::Unavailable,
+                4 => ReplyStatus::Unavailable,
+                _ => ReplyStatus::QuotaExceeded,
             },
             ret,
             outputs,

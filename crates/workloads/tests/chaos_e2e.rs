@@ -257,6 +257,120 @@ fn extended_chaos_seed_sweep() {
     }
 }
 
+/// Chaos meets memory virtualization: the server crashes while part of
+/// the VM's device memory is parked in the host-side swap store, under the
+/// same drop/duplicate/delay schedules as the main chaos run. Journal
+/// replay must rematerialize the full buffer set — residency accounting
+/// included — and a real workload run after recovery, still under the
+/// tight resident ceiling, must match the fault-free unconstrained oracle.
+#[test]
+fn crash_with_swapped_buffers_rematerializes_residency() {
+    let kmeans_oracle = {
+        let stack = opencl_stack(silo_with_all_kernels(Scale::Test), chaos_config()).unwrap();
+        let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+        Kmeans::new(Scale::Test)
+            .run(&OpenClClient::new(lib))
+            .unwrap()
+    };
+
+    // Resident ceiling of 4 KiB against an 8 KiB buffer set: at least half
+    // the footprint is always swapped out, so the crash below is
+    // guaranteed to land while the swap store holds live state.
+    let config = StackConfig {
+        device_mem_capacity: Some(4 << 10),
+        ..chaos_config()
+    };
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), config).unwrap();
+    let (vm, lib) = stack
+        .attach_vm_with_faults(
+            VmPolicy::default(),
+            Some(tx_plan(0x5A40)),
+            Some(rx_plan(0x5A41)),
+        )
+        .unwrap();
+    let client = OpenClClient::new(Arc::clone(&lib));
+
+    let platform = client.get_platform_ids().unwrap()[0];
+    let device = client.get_device_ids(platform, DeviceType::All).unwrap()[0];
+    let ctx = client.create_context(device).unwrap();
+    let queue = client
+        .create_command_queue(ctx, device, QueueProps::default())
+        .unwrap();
+
+    let buf_len = 2 << 10;
+    let payloads: Vec<Vec<u8>> = (0..4)
+        .map(|i| {
+            (0..buf_len)
+                .map(|j| ((j * 41 + i * 97) % 249) as u8)
+                .collect()
+        })
+        .collect();
+    let bufs: Vec<ClMem> = payloads
+        .iter()
+        .map(|p| {
+            let b = client
+                .create_buffer(ctx, MemFlags::read_write(), buf_len, None)
+                .unwrap();
+            client
+                .enqueue_write_buffer(queue, b, true, 0, p, &[], false)
+                .unwrap();
+            b
+        })
+        .collect();
+    client.finish(queue).unwrap();
+
+    let pre = stack.vm_memory_stats(vm).unwrap();
+    assert!(
+        pre.swapped_bytes > 0,
+        "precondition: the crash must land while buffers are swapped out \
+         (resident {}, swapped {})",
+        pre.resident_bytes,
+        pre.swapped_bytes
+    );
+
+    stack.crash_vm_server(vm).unwrap();
+    wait_for("supervisor respawn", Duration::from_secs(10), || {
+        stack.recovery_stats().respawns >= 1
+    });
+    assert_eq!(stack.recovery_stats().failed, 0);
+    assert!(stack.recovery_stats().replayed_calls > 0);
+
+    // Every buffer — resident or swapped at crash time — reads back
+    // bit-identical: replay re-created the whole set and faulting pulls
+    // parked payloads off the host store on touch.
+    let mut out = vec![0u8; buf_len];
+    for (i, (buf, payload)) in bufs.iter().zip(&payloads).enumerate() {
+        client
+            .enqueue_read_buffer(queue, *buf, true, 0, &mut out, &[], false)
+            .unwrap();
+        assert_eq!(&out, payload, "buffer {i} lost or corrupted across crash");
+    }
+
+    // Residency accounting was rebuilt from scratch, not inherited stale:
+    // the tracked footprint equals exactly the four live buffers, and the
+    // ceiling still holds.
+    let post = stack.vm_memory_stats(vm).unwrap();
+    assert_eq!(
+        post.live_bytes,
+        4 * buf_len as u64,
+        "replay must rematerialize residency accounting exactly"
+    );
+    assert!(
+        post.resident_bytes <= 4 << 10,
+        "resident ceiling violated after recovery ({} bytes)",
+        post.resident_bytes
+    );
+
+    // And the lane still computes: a full workload under the same ceiling,
+    // after the crash, on a faulty channel, matches the clean oracle.
+    let kmeans = Kmeans::new(Scale::Test).run(&client).unwrap();
+    assert_eq!(kmeans, kmeans_oracle, "kmeans diverged after swap + crash");
+    assert!(
+        stack.vm_journal(vm).unwrap().call_ids_unique(),
+        "a call executed twice despite dedup"
+    );
+}
+
 /// A server that stays dead: with a respawn budget of zero the supervisor
 /// marks the VM unavailable, and a call fails with `Unavailable` within
 /// twice the configured deadline instead of burning the retry budget.

@@ -125,10 +125,11 @@ fn both_apis_virtualize_side_by_side() {
 }
 
 #[test]
-fn policy_rejection_surfaces_as_guest_error() {
+fn quota_rejection_surfaces_as_guest_error() {
     use ava::guest::GuestError;
-    // Quota of 1 KiB estimated device memory: the second buffer allocation
-    // must be rejected by the router, not executed.
+    // Quota of 1 KiB of device memory: the second buffer allocation must
+    // be answered by the API server with a clean `QuotaExceeded` — never
+    // executed, and without poisoning the lane.
     let stack = opencl_stack(silo_with_all_kernels(Scale::Test), paravirt_config()).unwrap();
     let policy = VmPolicy {
         device_mem_quota: Some(1024),
@@ -157,5 +158,9 @@ fn policy_rejection_surfaces_as_guest_error() {
             ],
         )
         .unwrap_err();
-    assert!(matches!(err, GuestError::PolicyRejected), "{err}");
+    assert!(matches!(err, GuestError::QuotaExceeded), "{err}");
+    // The rejection is per-call, not per-lane: a within-quota allocation
+    // still succeeds afterwards.
+    let ok = client.create_buffer(ctx, simcl::MemFlags::read_write(), 256, None);
+    assert!(ok.is_ok(), "lane stays healthy after a quota rejection");
 }
