@@ -37,6 +37,13 @@ DIRECTIONAL_GATES = {
     # Overcommitted p99 / resident-only p99: wall-clock-derived, so only a
     # blow-up (ratio tripling) fails; getting faster never does.
     "p99_vs_resident_ratio": ("lower_better", 2.0),
+    # Goodput at 5x offered load over goodput at 1x: admission control
+    # holding the plateau. Same-run ratio, so hardware-normalized; only a
+    # collapse fails — serving *more* under overload is never a regression.
+    "goodput_plateau_ratio": ("higher_better", None),
+    # Client-observed Overloaded rejections over stack-side rejections:
+    # falling means shed replies are being lost instead of delivered.
+    "shed_accuracy": ("higher_better", None),
 }
 
 
@@ -97,6 +104,16 @@ def extract_metrics(report):
             out[f"{tag}.peak_swapped_fraction"] = lv["peak_swapped_fraction"]
             if lv["overcommit"] > 1.0:
                 out[f"{tag}.p99_vs_resident_ratio"] = lv["p99_vs_resident_ratio"]
+    elif bench == "overload":
+        # Both headline metrics are same-run ratios (goodput/goodput and
+        # count/count), so they gate like the other speed-insensitive
+        # metrics; absolute goodput and p99 depend on the runner and are
+        # informational only. other_errors must stay at zero — any guest
+        # error that is not a clean Overloaded shed means degradation
+        # stopped being graceful.
+        out["goodput_plateau_ratio"] = report["goodput_plateau_ratio"]
+        out["shed_accuracy"] = report["shed_accuracy"]
+        out["other_errors"] = float(report.get("other_errors", 0))
     else:
         raise ValueError(f"unknown bench kind: {bench!r}")
     return out
@@ -300,6 +317,40 @@ def self_test():
     sw_noswap["levels"][1]["peak_swapped_fraction"] = 0.1  # pressure vanished
     _, regressed = compare(sw_base, sw_noswap, 0.2)
     assert regressed, "a collapse in swap pressure means the experiment broke"
+
+    ov_base = {
+        "bench": "overload",
+        "goodput_plateau_ratio": 0.93,
+        "shed_accuracy": 1.0,
+        "other_errors": 0,
+    }
+    ov_same = json.loads(json.dumps(ov_base))
+    _, regressed = compare(ov_base, ov_same, 0.2)
+    assert not regressed, "identical overload artifacts must pass"
+
+    ov_better = json.loads(json.dumps(ov_base))
+    ov_better["goodput_plateau_ratio"] = 1.05  # +13%: served more under load
+    _, regressed = compare(ov_base, ov_better, 0.2)
+    assert not regressed, "a higher goodput plateau must never fail the gate"
+
+    ov_collapse = json.loads(json.dumps(ov_base))
+    ov_collapse["goodput_plateau_ratio"] = 0.40  # -57%: congestion collapse
+    rows, regressed = compare(ov_base, ov_collapse, 0.2)
+    assert regressed, "a goodput-plateau collapse must fail the gate"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "goodput_plateau_ratio", rows
+
+    ov_lost = json.loads(json.dumps(ov_base))
+    ov_lost["shed_accuracy"] = 0.5  # half the shed replies never arrived
+    rows, regressed = compare(ov_base, ov_lost, 0.2)
+    assert regressed, "losing shed replies must fail the gate"
+    bad = [r for r in rows if not r[4]]
+    assert bad and bad[0][0] == "shed_accuracy", rows
+
+    ov_errs = json.loads(json.dumps(ov_base))
+    ov_errs["other_errors"] = 3  # non-Overloaded guest errors appeared
+    _, regressed = compare(ov_base, ov_errs, 0.2)
+    assert regressed, "any non-shed guest error under overload must fail"
 
     print("compare_bench self-test: ok")
 

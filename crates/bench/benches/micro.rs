@@ -23,6 +23,7 @@ fn sample_call(payload: usize) -> Message {
             Value::U64(4096),
             Value::Bytes(vec![0xabu8; payload].into()),
         ],
+        budget_us: 0,
     })
 }
 

@@ -44,12 +44,14 @@ pub mod stack;
 use std::sync::Arc;
 
 pub use ava_guest::{GuestConfig, GuestLibrary, GuestStats};
-pub use ava_hypervisor::{PlacementPolicy, SchedulerKind, VmPolicy};
+pub use ava_hypervisor::{BreakerConfig, PlacementPolicy, SchedulerKind, VmPolicy};
 pub use ava_spec::LowerOptions;
 pub use ava_transport::{CostModel, TransportKind};
 pub use bindings::{MvncHandler, OpenClHandler};
 pub use clients::{MvncClient, OpenClClient};
-pub use stack::{ApiStack, PoolSlotStats, RecoveryStats, Result, StackConfig, StackError};
+pub use stack::{
+    ApiStack, BrownoutConfig, PoolSlotStats, RecoveryStats, Result, StackConfig, StackError,
+};
 
 /// Builds a complete AvA stack virtualizing OpenCL over the silo `cl`,
 /// using the default (async-optimized) specification.

@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use ava_guest::{GuestConfig, GuestLibrary};
 use ava_hypervisor::{
-    Hypervisor, HypervisorError, PlacementPolicy, RouterConfig, SchedulerKind, VmPolicy, VmStats,
+    BreakerConfig, Hypervisor, HypervisorError, PlacementPolicy, RouterConfig, SchedulerKind,
+    VmPolicy, VmStats,
 };
 use ava_server::{
     shared_handler, ApiHandler, ApiServer, CallJournal, HandlerOutput, MemoryManager, MemoryStats,
@@ -75,6 +76,34 @@ impl From<ava_server::ServerError> for StackError {
 /// Result alias for stack operations.
 pub type Result<T> = std::result::Result<T, StackError>;
 
+/// Supervisor-driven brownout policy: staged degradation under sustained
+/// SLO burn (requires [`StackConfig::slo`] and attached telemetry).
+///
+/// Stage 1 trades throughput for latency — the router collapses batching
+/// and halves its admission limits. Stage 2 additionally sheds the
+/// lowest-priority tenants outright so the rest keep their SLO. Both
+/// stages unwind automatically once the burn clears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Consecutive violating SLO windows before entering stage 1.
+    pub stage1_burn: u64,
+    /// Consecutive violating windows before escalating to stage 2.
+    pub stage2_burn: u64,
+    /// Most tenants stage 2 may shed (lowest [`VmPolicy::priority`]
+    /// first, ties broken by lowest VM id).
+    pub max_shed: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            stage1_burn: 2,
+            stage2_burn: 4,
+            max_shed: 1,
+        }
+    }
+}
+
 /// Stack configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct StackConfig {
@@ -134,6 +163,24 @@ pub struct StackConfig {
     /// with `QuotaExceeded`. A per-VM [`VmPolicy::device_mem_quota`]
     /// overrides it. `None` (the default) leaves VMs unquota'd.
     pub device_mem_quota: Option<u64>,
+    /// Router admission control: most calls queued per VM lane before new
+    /// arrivals are shed with `Overloaded`. `None` (the default) admits
+    /// unboundedly.
+    pub max_queue_depth: Option<usize>,
+    /// Router admission control: most sync calls queued across all of a
+    /// pool slot's VMs before further arrivals to that slot are shed.
+    pub max_slot_queue_depth: Option<usize>,
+    /// Oldest a queued call may grow before the router drops it at
+    /// dequeue instead of forwarding already-stale work.
+    pub max_queue_age: Option<Duration>,
+    /// Per-lane circuit breaker: after this many consecutive
+    /// transport-failed replies the lane's traffic is shed until a
+    /// half-open probe succeeds. `None` (the default) disables breakers.
+    pub breaker: Option<BreakerConfig>,
+    /// Staged brownout under sustained SLO burn, driven by the
+    /// supervisor. `None` (the default) disables it; requires
+    /// [`StackConfig::slo`].
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for StackConfig {
@@ -153,6 +200,11 @@ impl Default for StackConfig {
             slo: None,
             device_mem_capacity: None,
             device_mem_quota: None,
+            max_queue_depth: None,
+            max_slot_queue_depth: None,
+            max_queue_age: None,
+            breaker: None,
+            brownout: None,
         }
     }
 }
@@ -482,6 +534,10 @@ struct VmRuntime {
     /// Effective device-memory quota (policy override or stack default),
     /// re-applied to every server rebuilt for this VM.
     mem_quota: Option<u64>,
+    /// Scheduling priority from the VM's policy, kept here so the
+    /// supervisor's brownout stage 2 can pick the lowest-priority
+    /// tenants to shed without a round-trip through the router.
+    priority: u8,
 }
 
 impl VmRuntime {
@@ -568,6 +624,8 @@ impl Supervisor {
             .as_ref()
             .map(|p| vec![0.0; p.slots.len()])
             .unwrap_or_default();
+        let mut brownout_stage: u8 = 0;
+        let mut brownout_shed: Vec<VmId> = Vec::new();
         while !stop.load(Ordering::Acquire) {
             std::thread::sleep(self.config.supervision_interval);
             self.sweep();
@@ -588,6 +646,9 @@ impl Supervisor {
                     }
                     None => Vec::new(),
                 };
+                if let Some(bw) = self.config.brownout {
+                    self.drive_brownout(bw, &violations, &mut brownout_stage, &mut brownout_shed);
+                }
                 if let Some(pool) = &self.pool {
                     self.maybe_rebalance(
                         pool,
@@ -597,6 +658,52 @@ impl Supervisor {
                     );
                 }
             }
+        }
+    }
+
+    /// Brownout state machine, evaluated on the watchdog cadence. The
+    /// stage follows the worst SLO burn across subjects: `stage1_burn`
+    /// consecutive violating windows collapse batching and halve the
+    /// router's admission limits; `stage2_burn` additionally sheds the
+    /// lowest-priority tenants. Any clean window unwinds fully — the
+    /// router re-admits shed tenants and restores its limits.
+    fn drive_brownout(
+        &self,
+        cfg: BrownoutConfig,
+        violations: &[SloViolation],
+        stage: &mut u8,
+        shed: &mut Vec<VmId>,
+    ) {
+        let burn = violations.iter().map(|v| v.burn).max().unwrap_or(0);
+        let want_stage: u8 = if burn >= cfg.stage2_burn {
+            2
+        } else if burn >= cfg.stage1_burn {
+            1
+        } else {
+            0
+        };
+        let want_shed: Vec<VmId> = if want_stage >= 2 {
+            let vms = self.vms.lock();
+            let mut by_prio: Vec<(u8, VmId)> =
+                vms.iter().map(|(&vm, rt)| (rt.priority, vm)).collect();
+            drop(vms);
+            by_prio.sort_unstable();
+            by_prio
+                .into_iter()
+                .take(cfg.max_shed)
+                .map(|(_, vm)| vm)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if (want_stage != *stage || want_shed != *shed)
+            && self
+                .hypervisor
+                .set_brownout(want_stage, want_shed.clone())
+                .is_ok()
+        {
+            *stage = want_stage;
+            *shed = want_shed;
         }
     }
 
@@ -840,6 +947,10 @@ impl ApiStack {
             scheduler: config.scheduler,
             descriptor: Some(Arc::clone(&descriptor)),
             slot_inflight: config.slot_inflight,
+            max_queue_depth: config.max_queue_depth,
+            max_slot_queue_depth: config.max_slot_queue_depth,
+            max_queue_age: config.max_queue_age,
+            breaker: config.breaker,
             ..RouterConfig::default()
         }));
         let handler_factory: Arc<dyn Fn(usize) -> Box<dyn ApiHandler> + Send + Sync> =
@@ -982,6 +1093,7 @@ impl ApiStack {
             _ => Arc::new(MemoryManager::new(self.config.device_mem_capacity)),
         };
         let mem_quota = policy.device_mem_quota.or(self.config.device_mem_quota);
+        let priority = policy.priority;
         let conn = self.hypervisor.add_vm_full(
             policy,
             self.config.transport,
@@ -1026,6 +1138,7 @@ impl ApiStack {
             respawns: 0,
             memory,
             mem_quota,
+            priority,
         };
         runtime.spawn();
         self.vms.lock().insert(conn.vm_id, runtime);
@@ -1085,6 +1198,15 @@ impl ApiStack {
     /// Router-side statistics for a VM.
     pub fn vm_router_stats(&self, vm: VmId) -> Result<VmStats> {
         Ok(self.hypervisor.vm_stats(vm)?)
+    }
+
+    /// Forces a brownout stage on the router (stage 0 exits). Traffic
+    /// from `shed` VMs is refused with `Overloaded` while the stage
+    /// holds. The supervisor drives this automatically when
+    /// [`StackConfig::brownout`] is set; this hook exists for tests,
+    /// benches, and operator overrides.
+    pub fn set_brownout(&self, stage: u8, shed: Vec<VmId>) -> Result<()> {
+        Ok(self.hypervisor.set_brownout(stage, shed)?)
     }
 
     /// Server-side statistics for a VM.

@@ -28,6 +28,13 @@ pub enum GuestError {
     /// guest must release device memory (or the quota must be raised)
     /// before the same allocation can succeed.
     QuotaExceeded,
+    /// The stack shed this call under overload (admission queue full,
+    /// stale beyond its age limit, tenant circuit breaker open, or a
+    /// brownout stage). The call was not executed. Not retryable until
+    /// the caller backs off: the guest library already retried with
+    /// backoff inside the deadline budget before surfacing this, so an
+    /// immediate retry would only feed the overload.
+    Overloaded,
 }
 
 impl GuestError {
@@ -54,6 +61,7 @@ impl fmt::Display for GuestError {
             Self::Unavailable => write!(f, "API server unavailable"),
             Self::DeadlineExceeded => write!(f, "call deadline exceeded"),
             Self::QuotaExceeded => write!(f, "device-memory quota exceeded"),
+            Self::Overloaded => write!(f, "call shed by overload protection"),
         }
     }
 }
@@ -71,6 +79,7 @@ mod tests {
         assert!(!GuestError::Unavailable.is_retryable());
         assert!(!GuestError::PolicyRejected.is_retryable());
         assert!(!GuestError::QuotaExceeded.is_retryable());
+        assert!(!GuestError::Overloaded.is_retryable());
         assert!(!GuestError::Protocol("bad reply".into()).is_retryable());
         assert!(!GuestError::UnknownFunction("x".into()).is_retryable());
         assert!(!GuestError::BadArgument("shape".into()).is_retryable());

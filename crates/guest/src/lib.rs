@@ -129,6 +129,11 @@ pub struct GuestStats {
     pub retries: u64,
     /// Calls abandoned with [`GuestError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
+    /// `Overloaded` replies observed (sync and async): calls the stack
+    /// shed under overload protection. Retries that later succeed still
+    /// count each shed reply, so this reconciles against the router's
+    /// shed counters, not against surfaced errors.
+    pub overloaded: u64,
 }
 
 /// Bookkeeping for an async call whose reply has not been consumed yet.
@@ -170,6 +175,7 @@ struct GuestCounters {
     bytes_elided: Counter,
     retries: Counter,
     deadline_exceeded: Counter,
+    overloaded: Counter,
 }
 
 impl GuestCounters {
@@ -185,6 +191,7 @@ impl GuestCounters {
             bytes_elided: self.bytes_elided.get(),
             retries: self.retries.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
+            overloaded: self.overloaded.get(),
         }
     }
 
@@ -215,6 +222,7 @@ impl GuestCounters {
             &format!("guest.vm{vm}.deadline_exceeded"),
             &self.deadline_exceeded,
         );
+        registry.register_counter(&format!("guest.vm{vm}.overloaded"), &self.overloaded);
     }
 }
 
@@ -348,6 +356,7 @@ impl GuestLibrary {
                 fn_id: func.id,
                 mode: CallMode::Async,
                 args: wire_args,
+                budget_us: initial_budget_us(&self.config),
             };
             let batch_limit = self.batch_limit();
             inner.pending.insert(
@@ -408,6 +417,7 @@ impl GuestLibrary {
             fn_id: func.id,
             mode: CallMode::Sync,
             args: wire_args,
+            budget_us: initial_budget_us(&self.config),
         };
         let call_msg = if inner.batch.is_empty() {
             Message::Call(sync_req.clone())
@@ -510,8 +520,15 @@ impl GuestLibrary {
                     // A dropped batch is retried as a unit: still-pending
                     // async calls older than this sync call ride along, and
                     // the server's call-id highwater dedup keeps any member
-                    // that did execute from running twice.
-                    let retry_msg = rebuild_retry_frame(&inner, &sync_req);
+                    // that did execute from running twice. The frame is
+                    // restamped with the *remaining* budget — stamping the
+                    // original deadline would let the stack spend time this
+                    // call no longer has.
+                    let retry_msg = rebuild_retry_frame(
+                        &inner,
+                        &sync_req,
+                        remaining_budget_us(hard, per_attempt),
+                    );
                     if let Err(e) = self.transport.send(&retry_msg) {
                         self.telemetry.span_abandon(call_id);
                         return Err(map_transport_err(&e));
@@ -533,7 +550,11 @@ impl GuestLibrary {
                                 &full.args,
                                 self.config.payload_cache_min_bytes,
                             );
-                            if let Err(e) = self.transport.send(&Message::Call(full.clone())) {
+                            let mut full = full.clone();
+                            if let Some((hard, per_attempt)) = budget {
+                                full.budget_us = remaining_budget_us(hard, per_attempt);
+                            }
+                            if let Err(e) = self.transport.send(&Message::Call(full)) {
                                 self.telemetry.span_abandon(call_id);
                                 return Err(map_transport_err(&e));
                             }
@@ -550,6 +571,49 @@ impl GuestLibrary {
                                 "spurious cache-miss NACK for `{}`",
                                 func.name
                             )));
+                        }
+                        continue;
+                    }
+                    if rep.status == ReplyStatus::Overloaded {
+                        // The stack shed this call before execution. Back
+                        // off and resend within the deadline budget; when
+                        // the budget or retry allowance runs out, surface
+                        // Overloaded (not retryable — pushing harder into
+                        // an overloaded stack only deepens the overload).
+                        self.counters.overloaded.inc();
+                        let now = Instant::now();
+                        let can_retry =
+                            attempts_left > 0 && budget.map(|(hard, _)| now < hard).unwrap_or(true);
+                        if !can_retry {
+                            self.telemetry.span_abandon(call_id);
+                            return Err(GuestError::Overloaded);
+                        }
+                        attempts_left -= 1;
+                        self.counters.retries.inc();
+                        let attempt = u64::from(self.config.max_retries - attempts_left);
+                        self.telemetry
+                            .event(Tier::Guest, EventKind::Retry, call_id, attempt);
+                        let pause = match budget {
+                            Some((hard, _)) => backoff.min(hard.saturating_duration_since(now)),
+                            None => backoff,
+                        };
+                        std::thread::sleep(pause);
+                        backoff = backoff.saturating_mul(2);
+                        self.telemetry.span_abandon(call_id);
+                        self.telemetry
+                            .span_stage(call_id, Stage::GuestStart, Some(func.id));
+                        self.telemetry.span_stage(call_id, Stage::Sent, None);
+                        let retry_budget = match budget {
+                            Some((hard, per_attempt)) => remaining_budget_us(hard, per_attempt),
+                            None => 0,
+                        };
+                        let retry_msg = rebuild_retry_frame(&inner, &sync_req, retry_budget);
+                        if let Err(e) = self.transport.send(&retry_msg) {
+                            self.telemetry.span_abandon(call_id);
+                            return Err(map_transport_err(&e));
+                        }
+                        if let Some((hard, per_attempt)) = budget {
+                            attempt_deadline = Some((Instant::now() + per_attempt).min(hard));
                         }
                         continue;
                     }
@@ -611,6 +675,9 @@ impl GuestLibrary {
             // unrecoverable: fail cleanly instead of hanging.
             ReplyStatus::Unavailable => return Err(GuestError::Unavailable),
             ReplyStatus::QuotaExceeded => return Err(GuestError::QuotaExceeded),
+            // Consumed inside the receive loop (retried with backoff);
+            // escaping here means the retry machinery failed to converge.
+            ReplyStatus::Overloaded => return Err(GuestError::Overloaded),
         }
 
         // Deliver a deferred async failure through this call's status
@@ -780,6 +847,7 @@ impl GuestLibrary {
                 CallMode::Async
             },
             args,
+            budget_us: initial_budget_us(&self.config),
         };
         (wire_args, Some(resend))
     }
@@ -804,6 +872,12 @@ impl GuestLibrary {
                 let _ = self.transport.send(&Message::Call(full));
             }
             return;
+        }
+        // Shed async calls DO get an Overloaded reply (the router answers
+        // both modes for overload, unlike Unavailable) precisely so this
+        // counter can reconcile against the router's shed accounting.
+        if rep.status == ReplyStatus::Overloaded {
+            self.counters.overloaded.inc();
         }
         let Some(PendingCall { fn_id, .. }) = inner.pending.remove(&rep.call_id) else {
             return;
@@ -950,19 +1024,54 @@ fn repair_cache(cache: &mut DigestLru<()>, args: &[Value], min_bytes: usize) {
 /// than the sync call are re-delivered in the same batch (in call-id
 /// order) so a batch dropped in transit is retried as a unit; members the
 /// server already executed are deduplicated by its call-id highwater.
-fn rebuild_retry_frame(inner: &Inner, sync_req: &CallRequest) -> Message {
+///
+/// Every member is restamped with `budget_us` — the budget *remaining*
+/// now, not the original per-call deadline. The frame leaves the guest at
+/// this instant, and downstream tiers measure their queue wait against the
+/// stamp; carrying the original deadline would grant retried calls time
+/// the application is no longer willing to wait.
+fn rebuild_retry_frame(inner: &Inner, sync_req: &CallRequest, budget_us: u64) -> Message {
+    let mut sync_req = sync_req.clone();
+    sync_req.budget_us = budget_us;
     let mut riders: Vec<CallRequest> = inner
         .pending
         .iter()
         .filter(|(id, _)| **id < sync_req.call_id)
         .filter_map(|(_, p)| p.wire.clone())
+        .map(|mut r| {
+            r.budget_us = budget_us;
+            r
+        })
         .collect();
     if riders.is_empty() {
-        return Message::Call(sync_req.clone());
+        return Message::Call(sync_req);
     }
     riders.sort_by_key(|r| r.call_id);
-    riders.push(sync_req.clone());
+    riders.push(sync_req);
     Message::Batch(riders)
+}
+
+/// `Duration` → whole microseconds, saturating.
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// The deadline budget stamped on a freshly-sent call: the per-attempt
+/// deadline (a frame older than one attempt window is already being
+/// retried, so downstream work on it is wasted), floored at 1 µs because 0
+/// on the wire means "no deadline". `None` deadline stamps 0.
+fn initial_budget_us(config: &GuestConfig) -> u64 {
+    config.call_deadline.map_or(0, |d| duration_us(d).max(1))
+}
+
+/// The budget for a retry frame: the per-attempt window, clipped to what
+/// is left of the hard 2×deadline budget (floored at 1 µs — the caller
+/// only retries while inside the hard budget).
+fn remaining_budget_us(hard: Instant, per_attempt: Duration) -> u64 {
+    let left = hard
+        .saturating_duration_since(Instant::now())
+        .min(per_attempt);
+    duration_us(left).max(1)
 }
 
 /// True if `ret` equals the function's declared success value (non-status
@@ -1698,6 +1807,120 @@ toy_status toy_store(toy_buf buf, const void *data, size_t data_size) {
         assert!(!err.is_retryable());
         shutdown(lib);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn overloaded_replies_retry_then_surface() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        // A saturated stack: every attempt is shed with Overloaded.
+        let server = std::thread::spawn(move || {
+            while let Ok(msg) = server_end.recv() {
+                let reqs = match msg {
+                    Message::Call(req) => vec![req],
+                    Message::Batch(reqs) => reqs,
+                    _ => continue,
+                };
+                for req in reqs {
+                    if server_end
+                        .send(&Message::Reply(ava_wire::CallReply::overloaded(
+                            req.call_id,
+                        )))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+        });
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(200, 2));
+        let err = lib.call("toy_init", vec![Value::U32(0)]).unwrap_err();
+        assert_eq!(err, GuestError::Overloaded);
+        assert!(!err.is_retryable());
+        let stats = lib.stats();
+        assert_eq!(stats.retries, 2, "both retry slots spent backing off");
+        assert_eq!(stats.overloaded, 3, "every shed attempt was counted");
+        shutdown(lib);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn overloaded_then_ok_recovers_within_budget() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        // Transient overload: the first attempt sheds, the retry lands.
+        let server = std::thread::spawn(move || {
+            let mut shed_done = false;
+            while let Ok(msg) = server_end.recv() {
+                if let Message::Call(req) = msg {
+                    let reply = if shed_done {
+                        ava_wire::CallReply {
+                            call_id: req.call_id,
+                            status: ReplyStatus::Ok,
+                            ret: Value::I32(0),
+                            outputs: vec![],
+                        }
+                    } else {
+                        shed_done = true;
+                        ava_wire::CallReply::overloaded(req.call_id)
+                    };
+                    if server_end.send(&Message::Reply(reply)).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(200, 3));
+        let r = lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        assert_eq!(r.ret, Value::I32(0));
+        let stats = lib.stats();
+        assert_eq!(stats.overloaded, 1);
+        assert_eq!(stats.retries, 1);
+        shutdown(lib);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_frame_carries_remaining_budget_not_original_deadline() {
+        let (guest_end, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        // Drop the first frame so the guest retries after one attempt
+        // window, and record the budget stamped on every frame seen.
+        let server = std::thread::spawn(move || {
+            let mut budgets: Vec<u64> = Vec::new();
+            let mut dropped = false;
+            while let Ok(msg) = server_end.recv() {
+                if let Message::Call(req) = msg {
+                    budgets.push(req.budget_us);
+                    if !dropped {
+                        dropped = true;
+                        continue;
+                    }
+                    let reply = ava_wire::CallReply {
+                        call_id: req.call_id,
+                        status: ReplyStatus::Ok,
+                        ret: Value::I32(0),
+                        outputs: vec![],
+                    };
+                    if server_end.send(&Message::Reply(reply)).is_err() {
+                        break;
+                    }
+                }
+            }
+            budgets
+        });
+        let lib = GuestLibrary::new(descriptor(), guest_end, deadline_config(50, 3));
+        lib.call("toy_init", vec![Value::U32(0)]).unwrap();
+        shutdown(lib);
+        let budgets = server.join().unwrap();
+        assert!(budgets.len() >= 2, "expected original + retry frames");
+        assert_eq!(budgets[0], 50_000, "fresh call carries the full deadline");
+        assert!(
+            budgets[1] > 0 && budgets[1] < budgets[0],
+            "retry must carry the shrunken remaining budget, got {} then {}",
+            budgets[0],
+            budgets[1]
+        );
     }
 
     #[test]

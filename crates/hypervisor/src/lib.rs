@@ -24,7 +24,10 @@ use ava_transport::{BoxedTransport, CostModel, FaultInjector, FaultPlan, Transpo
 use ava_wire::VmId;
 use crossbeam::channel::{unbounded, Sender};
 
-pub use policy::{PlacementPolicy, RateLimiter, SchedulerKind, VmPolicy};
+pub use policy::{
+    BreakerConfig, BreakerState, CircuitBreaker, PlacementPolicy, RateLimiter, SchedulerKind,
+    VmPolicy,
+};
 pub use router::{RouterConfig, VmStats};
 
 use router::RouterCmd;
@@ -225,6 +228,17 @@ impl Hypervisor {
             .map_err(|_| HypervisorError::RouterGone)
     }
 
+    /// Sets the brownout degradation stage (0 = normal operation). At
+    /// stage ≥ 1 the router collapses forward-run coalescing and halves
+    /// its queue-depth admission limits; tenants in `shed` (chosen lowest
+    /// priority first by the caller) have their traffic shed entirely
+    /// with `Overloaded` replies until the stage drops.
+    pub fn set_brownout(&self, stage: u8, shed: Vec<VmId>) -> Result<(), HypervisorError> {
+        self.cmd_tx
+            .send(RouterCmd::SetBrownout { stage, shed })
+            .map_err(|_| HypervisorError::RouterGone)
+    }
+
     /// Pauses guest→server forwarding for a VM (used before migration).
     pub fn pause_vm(&self, vm_id: VmId) -> Result<(), HypervisorError> {
         self.cmd_tx
@@ -295,6 +309,7 @@ mod tests {
             fn_id: 0,
             mode: CallMode::Sync,
             args: vec![Value::U32(1)],
+            budget_us: 0,
         })
     }
 
@@ -576,6 +591,184 @@ mod tests {
             .send(&Message::Control(ControlMessage::Shutdown))
             .unwrap();
         echo.join().unwrap();
+    }
+
+    /// Poison server: answers every call with a TransportError reply (the
+    /// breaker's failure signal).
+    fn spawn_poison(server: BoxedTransport) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(msg) = server.recv() {
+                match msg {
+                    Message::Call(req)
+                        if server
+                            .send(&Message::Reply(CallReply::transport_error(req.call_id)))
+                            .is_err() =>
+                    {
+                        break;
+                    }
+                    Message::Batch(reqs) => {
+                        for req in reqs {
+                            let _ = server
+                                .send(&Message::Reply(CallReply::transport_error(req.call_id)));
+                        }
+                    }
+                    Message::Control(ControlMessage::Shutdown) => break,
+                    _ => {}
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn queue_depth_admission_sheds_with_overloaded() {
+        let hv = Hypervisor::with_config(RouterConfig {
+            max_queue_depth: Some(2),
+            ..RouterConfig::default()
+        });
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        // Pause forwarding so the queue actually fills.
+        hv.pause_vm(conn.vm_id).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        for i in 0..5 {
+            conn.guest.send(&call(i)).unwrap();
+        }
+        // First 2 queue; the remaining 3 are shed at admission.
+        for _ in 0..3 {
+            match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(Message::Reply(rep)) => assert_eq!(rep.status, ReplyStatus::Overloaded),
+                other => panic!("{other:?}"),
+            }
+        }
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.forwarded, 0);
+    }
+
+    #[test]
+    fn expired_budget_is_dropped_at_dequeue_not_forwarded() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        hv.pause_vm(conn.vm_id).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        // 1 ms of budget, then left in the queue for ~20 ms.
+        conn.guest
+            .send(&Message::Call(CallRequest {
+                call_id: 1,
+                fn_id: 0,
+                mode: CallMode::Sync,
+                args: vec![Value::U32(1)],
+                budget_us: 1_000,
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        hv.resume_vm(conn.vm_id).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => {
+                assert_eq!(rep.call_id, 1);
+                assert_eq!(rep.status, ReplyStatus::Overloaded);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.deadline_drops, 1);
+        assert_eq!(
+            stats.forwarded, 0,
+            "expired work must never reach the server"
+        );
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn brownout_sheds_listed_tenants_and_recovers() {
+        let hv = Hypervisor::new(SchedulerKind::Fifo, None);
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        let echo = spawn_echo(conn.server);
+        hv.set_brownout(2, vec![conn.vm_id]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        conn.guest.send(&call(1)).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => assert_eq!(rep.status, ReplyStatus::Overloaded),
+            other => panic!("{other:?}"),
+        }
+        // Stage 0 restores normal service.
+        hv.set_brownout(0, vec![]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        conn.guest.send(&call(2)).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => assert_eq!(rep.status, ReplyStatus::Ok),
+            other => panic!("{other:?}"),
+        }
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn breaker_opens_on_poison_replies_and_sheds_new_calls() {
+        let hv = Hypervisor::with_config(RouterConfig {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 3,
+                open_for: Duration::from_secs(60),
+                probe_successes: 1,
+            }),
+            ..RouterConfig::default()
+        });
+        let conn = hv
+            .add_vm(
+                VmPolicy::default(),
+                TransportKind::InProcess,
+                CostModel::free(),
+            )
+            .unwrap();
+        let poison = spawn_poison(conn.server);
+        for i in 0..3 {
+            conn.guest.send(&call(i)).unwrap();
+            match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(Message::Reply(rep)) => assert_eq!(rep.status, ReplyStatus::TransportError),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Third failure opened the breaker; the next call sheds at
+        // admission without touching the server.
+        conn.guest.send(&call(10)).unwrap();
+        match conn.guest.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Message::Reply(rep)) => {
+                assert_eq!(rep.call_id, 10);
+                assert_eq!(rep.status, ReplyStatus::Overloaded);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = hv.vm_stats(conn.vm_id).unwrap();
+        assert_eq!(stats.breaker_opens, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.forwarded, 3);
+        conn.guest
+            .send(&Message::Control(ControlMessage::Shutdown))
+            .unwrap();
+        poison.join().unwrap();
     }
 
     #[test]

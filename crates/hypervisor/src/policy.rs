@@ -58,6 +58,180 @@ impl RateLimiter {
     }
 }
 
+/// Circuit-breaker tuning for one tenant's lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failed calls (faulted replies or lost forwards) that
+    /// open the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before a half-open probe is
+    /// allowed through.
+    pub open_for: Duration,
+    /// Consecutive successful probes required to close from half-open.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            open_for: Duration::from_millis(50),
+            probe_successes: 2,
+        }
+    }
+}
+
+/// Where a [`CircuitBreaker`] currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted.
+    Closed,
+    /// Quarantined: all traffic shed until the open window elapses.
+    Open,
+    /// Probing: one call at a time admitted; successes close the
+    /// breaker, any failure re-opens it.
+    HalfOpen,
+}
+
+/// Per-tenant circuit breaker (open → half-open probe → close).
+///
+/// The router drives it from observed call outcomes: a reply with a
+/// fault status or a lost forward is a failure, an `Ok`/`CacheMiss`
+/// reply is a success. While open, every call from the tenant is shed
+/// with `Overloaded` so a poisoned VM cannot keep a slot busy failing;
+/// after [`BreakerConfig::open_for`] one probe call is let through at a
+/// time until [`BreakerConfig::probe_successes`] in a row close it.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_hits: u32,
+    /// Probes admitted (cumulative, for the close event payload).
+    probes_used: u32,
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight; admit nothing else.
+    probe_inflight: bool,
+    /// Times the breaker transitioned to open (cumulative).
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_hits: 0,
+            probes_used: 0,
+            opened_at: None,
+            probe_inflight: false,
+            opens: 0,
+        }
+    }
+
+    /// Current state, advancing open → half-open when the window elapsed.
+    pub fn state_at(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.opened_at {
+                if now.duration_since(at) >= self.config.open_for {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_hits = 0;
+                    self.probe_inflight = false;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Whether a call from this tenant may be admitted right now. In
+    /// half-open, admits exactly one probe at a time (the caller must
+    /// report its outcome via [`CircuitBreaker::on_success`] /
+    /// [`CircuitBreaker::on_failure`]).
+    pub fn admit_at(&mut self, now: Instant) -> bool {
+        match self.state_at(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    self.probes_used += 1;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful call outcome. Returns `true` when this
+    /// success closed the breaker (for the `breaker_close` event).
+    pub fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.probe_inflight = false;
+            self.probe_hits += 1;
+            if self.probe_hits >= self.config.probe_successes.max(1) {
+                self.state = BreakerState::Closed;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Records a failed call outcome. Returns `true` when this failure
+    /// opened (or re-opened) the breaker (for the `breaker_open` event).
+    pub fn on_failure_at(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                self.probe_inflight = false;
+                self.opens += 1;
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                    self.opens += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Releases the half-open probe slot without an outcome: the probe
+    /// call was dropped before execution (expired in queue, lane flushed),
+    /// so neither success nor failure is known. The next admitted call
+    /// becomes the probe instead of the breaker deadlocking half-open.
+    pub fn probe_abandoned(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_inflight = false;
+        }
+    }
+
+    /// Consecutive failures observed while closed (event payload).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Probes admitted since creation (event payload).
+    pub fn probes_used(&self) -> u32 {
+        self.probes_used
+    }
+
+    /// Times the breaker has opened since creation.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
 /// Scheduling algorithm the router applies across VMs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
@@ -106,6 +280,11 @@ pub struct VmPolicy {
     /// allocations are answered with a clean `QuotaExceeded` reply and
     /// never executed. Overrides any stack-wide default quota.
     pub device_mem_quota: Option<u64>,
+    /// Concurrency cap: maximum calls from this VM in flight to its API
+    /// server at once, if enforced. Excess calls wait in the lane queue
+    /// (and age out under admission control) instead of monopolizing the
+    /// slot's in-flight budget.
+    pub max_inflight: Option<u32>,
 }
 
 impl VmPolicy {
@@ -125,6 +304,7 @@ impl Default for VmPolicy {
             weight: 1,
             priority: 0,
             device_mem_quota: None,
+            max_inflight: None,
         }
     }
 }
@@ -150,6 +330,14 @@ impl VmPolicy {
     pub fn with_priority(priority: u8) -> Self {
         VmPolicy {
             priority,
+            ..Default::default()
+        }
+    }
+
+    /// Policy with a concurrency cap.
+    pub fn with_max_inflight(max_inflight: u32) -> Self {
+        VmPolicy {
+            max_inflight: Some(max_inflight.max(1)),
             ..Default::default()
         }
     }
@@ -209,5 +397,72 @@ mod tests {
         assert!(VmPolicy::with_rate_limit(5.0, 2).rate_limit.is_some());
         assert_eq!(VmPolicy::with_weight(0).weight, 1);
         assert_eq!(VmPolicy::with_priority(9).priority, 9);
+        assert_eq!(VmPolicy::with_max_inflight(0).max_inflight, Some(1));
+    }
+
+    fn breaker(threshold: u32, open_ms: u64, probes: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_for: Duration::from_millis(open_ms),
+            probe_successes: probes,
+        })
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures() {
+        let start = Instant::now();
+        let mut br = breaker(3, 10, 1);
+        assert!(br.admit_at(start));
+        assert!(!br.on_failure_at(start));
+        assert!(!br.on_failure_at(start));
+        assert!(br.on_failure_at(start), "third failure opens");
+        assert_eq!(br.state_at(start), BreakerState::Open);
+        assert!(!br.admit_at(start));
+        assert_eq!(br.opens(), 1);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let start = Instant::now();
+        let mut br = breaker(3, 10, 1);
+        br.on_failure_at(start);
+        br.on_failure_at(start);
+        br.on_success();
+        assert!(!br.on_failure_at(start), "streak restarted after success");
+        assert_eq!(br.state_at(start), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let start = Instant::now();
+        let mut br = breaker(1, 10, 2);
+        assert!(br.on_failure_at(start));
+        assert!(!br.admit_at(start), "open sheds everything");
+        let later = start + Duration::from_millis(11);
+        assert!(br.admit_at(later), "half-open admits one probe");
+        assert!(!br.admit_at(later), "only one probe in flight");
+        assert!(!br.on_success(), "one success is not enough for probes=2");
+        assert!(br.admit_at(later), "second probe admitted");
+        assert!(br.on_success(), "second success closes");
+        assert_eq!(br.state_at(later), BreakerState::Closed);
+        assert_eq!(br.probes_used(), 2);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let start = Instant::now();
+        let mut br = breaker(1, 10, 1);
+        br.on_failure_at(start);
+        let later = start + Duration::from_millis(11);
+        assert!(br.admit_at(later));
+        assert!(br.on_failure_at(later), "probe failure re-opens");
+        assert_eq!(br.state_at(later), BreakerState::Open);
+        assert!(!br.admit_at(later));
+        // A second open window elapses: probing resumes.
+        let much_later = later + Duration::from_millis(11);
+        assert!(br.admit_at(much_later));
+        assert!(br.on_success());
+        assert_eq!(br.state_at(much_later), BreakerState::Closed);
+        assert_eq!(br.opens(), 2);
     }
 }

@@ -16,7 +16,9 @@ use ava_transport::{BoxedTransport, TransportError};
 use ava_wire::{CallMode, CallReply, CallRequest, ControlMessage, Message, ReplyStatus, VmId};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
-use crate::policy::{SchedulerKind, VmPolicy};
+use crate::policy::{BreakerConfig, BreakerState, CircuitBreaker, SchedulerKind, VmPolicy};
+use ava_telemetry::EventKind;
+use ava_telemetry::Tier;
 
 /// Per-VM counters exposed by the router.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -50,6 +52,16 @@ pub struct VmStats {
     /// Sync calls answered with [`ReplyStatus::Unavailable`] because the
     /// lane's server is permanently gone.
     pub unavailable_replies: u64,
+    /// Calls shed at admission (queue-depth limit, open breaker, or
+    /// brownout) with an [`ReplyStatus::Overloaded`] reply.
+    pub shed: u64,
+    /// Queued calls dropped at dequeue because their deadline budget
+    /// expired while waiting.
+    pub deadline_drops: u64,
+    /// Queued calls dropped at dequeue for exceeding the queue-age limit.
+    pub age_drops: u64,
+    /// Times this lane's circuit breaker opened.
+    pub breaker_opens: u64,
 }
 
 /// Registry-shareable storage behind [`VmStats`]: the router mutates these
@@ -67,6 +79,10 @@ struct VmMetrics {
     cache_misses: Counter,
     outstanding: Counter,
     unavailable_replies: Counter,
+    shed: Counter,
+    deadline_drops: Counter,
+    age_drops: Counter,
+    breaker_opens: Counter,
     est_device_time_us: Gauge,
     est_device_mem: Gauge,
 }
@@ -86,6 +102,10 @@ impl VmMetrics {
             est_device_mem: self.est_device_mem.get(),
             outstanding: self.outstanding.get(),
             unavailable_replies: self.unavailable_replies.get(),
+            shed: self.shed.get(),
+            deadline_drops: self.deadline_drops.get(),
+            age_drops: self.age_drops.get(),
+            breaker_opens: self.breaker_opens.get(),
         }
     }
 
@@ -107,6 +127,10 @@ impl VmMetrics {
         c("cache_misses", &self.cache_misses);
         c("outstanding", &self.outstanding);
         c("unavailable_replies", &self.unavailable_replies);
+        c("shed", &self.shed);
+        c("deadline_drops", &self.deadline_drops);
+        c("age_drops", &self.age_drops);
+        c("breaker_opens", &self.breaker_opens);
         registry.register_gauge(
             &format!("router.vm{vm}.est_device_time_us"),
             &self.est_device_time_us,
@@ -162,6 +186,19 @@ pub enum RouterCmd {
         vm_id: VmId,
         /// New slot, or `None` to detach the lane from pool accounting.
         slot: Option<usize>,
+    },
+    /// Set the brownout degradation stage. Stage 0 restores normal
+    /// operation; stage ≥ 1 collapses forward-run coalescing (queued work
+    /// drains with minimal added batching latency) and halves the
+    /// admission queue-depth limits; the `shed` list names tenants
+    /// (lowest priority first, chosen by the supervisor) whose traffic is
+    /// shed entirely with [`ReplyStatus::Overloaded`] until the stage
+    /// drops again.
+    SetBrownout {
+        /// New degradation stage (0 = normal).
+        stage: u8,
+        /// VMs whose traffic is shed at this stage.
+        shed: Vec<VmId>,
     },
     /// Query statistics.
     Stats(VmId, Sender<Option<VmStats>>),
@@ -244,12 +281,51 @@ impl SlotTable {
     }
 }
 
+/// Aggregate overload counters, registered as `overload.*` so operators
+/// see stack-wide shedding without summing per-VM cells.
+#[derive(Default)]
+struct OverloadMetrics {
+    sheds: Counter,
+    deadline_drops: Counter,
+    age_drops: Counter,
+    breaker_opens: Counter,
+    brownout_stage: Gauge,
+}
+
+impl OverloadMetrics {
+    fn register_into(&self, telemetry: &Telemetry) {
+        let Some(registry) = telemetry.registry() else {
+            return;
+        };
+        registry.register_counter("overload.sheds", &self.sheds);
+        registry.register_counter("overload.deadline_drops", &self.deadline_drops);
+        registry.register_counter("overload.age_drops", &self.age_drops);
+        registry.register_counter("overload.breaker_opens", &self.breaker_opens);
+        registry.register_gauge("overload.brownout_stage", &self.brownout_stage);
+    }
+}
+
+/// Why a call was shed at admission ([`EventKind::Shed`] `arg` payload).
+mod shed_reason {
+    pub const QUEUE_DEPTH: u64 = 0;
+    pub const QUEUE_AGE: u64 = 1;
+    pub const BREAKER: u64 = 2;
+    pub const BROWNOUT: u64 = 3;
+}
+
+/// One guest call waiting in a lane queue, stamped with its arrival time
+/// so age limits and deadline budgets can be enforced at dequeue.
+struct QueuedCall {
+    req: CallRequest,
+    enqueued_at: Instant,
+}
+
 struct Lane {
     vm_id: VmId,
     guest: BoxedTransport,
     server: BoxedTransport,
     policy: VmPolicy,
-    queue: VecDeque<CallRequest>,
+    queue: VecDeque<QueuedCall>,
     /// Device-pool slot the lane's server is bound to; `None` when the VM
     /// has a private device (the pre-pool topology).
     slot: Option<usize>,
@@ -261,6 +337,13 @@ struct Lane {
     /// The supervisor gave up on this lane's server: answer sync calls
     /// with `Unavailable` instead of queueing them.
     unavailable: bool,
+    /// Per-tenant circuit breaker, when the router is configured with one.
+    breaker: Option<CircuitBreaker>,
+    /// Call id of the in-flight half-open probe, if any (so an aged-out
+    /// or expired probe releases the half-open admission slot).
+    probe_call_id: Option<u64>,
+    /// Brownout is shedding this tenant's traffic entirely.
+    brownout_shed: bool,
     metrics: VmMetrics,
     telemetry: Telemetry,
 }
@@ -286,6 +369,19 @@ pub struct RouterConfig {
     /// bounded by the slot in-flight budget. 1 restores call-at-a-time
     /// forwarding.
     pub forward_batch_max: usize,
+    /// Per-VM admission limit: a call arriving while the lane already
+    /// queues this many is shed with [`ReplyStatus::Overloaded`].
+    /// `None` disables per-VM depth admission.
+    pub max_queue_depth: Option<usize>,
+    /// Per-slot aggregate admission limit across all lanes bound to the
+    /// slot. `None` disables per-slot depth admission.
+    pub max_slot_queue_depth: Option<usize>,
+    /// Maximum time a call may wait in a lane queue before being dropped
+    /// stale at dequeue (answered `Overloaded`). `None` disables age
+    /// dropping; deadline budgets stamped on the frame still apply.
+    pub max_queue_age: Option<Duration>,
+    /// Per-tenant circuit-breaker tuning; `None` disables breakers.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for RouterConfig {
@@ -296,6 +392,10 @@ impl Default for RouterConfig {
             max_forward_per_round: 64,
             slot_inflight: 2,
             forward_batch_max: 32,
+            max_queue_depth: None,
+            max_slot_queue_depth: None,
+            max_queue_age: None,
+            breaker: None,
         }
     }
 }
@@ -310,6 +410,10 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
     // router-owned `pool.slot<N>.queue_depth` gauges, both maintained
     // incrementally instead of recomputed by scans.
     let mut slots = SlotTable::default();
+    // Stack-wide overload counters (`overload.*`) and the current
+    // brownout degradation stage (0 = normal).
+    let overload = OverloadMetrics::default();
+    let mut brownout_stage = 0u8;
 
     loop {
         let mut progressed = false;
@@ -352,6 +456,9 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         closed: false,
                         server_down: false,
                         unavailable: false,
+                        breaker: config.breaker.map(CircuitBreaker::new),
+                        probe_call_id: None,
+                        brownout_shed: false,
                         metrics,
                         telemetry: lane_telemetry,
                     });
@@ -414,6 +521,24 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         }
                     }
                 }
+                RouterCmd::SetBrownout { stage, shed } => {
+                    brownout_stage = stage;
+                    overload.brownout_stage.set(f64::from(stage));
+                    for lane in lanes.iter_mut() {
+                        let shed_now = stage > 0 && shed.contains(&lane.vm_id);
+                        if shed_now && !lane.brownout_shed {
+                            // Traffic already queued was admitted before
+                            // the stage change; only new arrivals shed.
+                            lane.telemetry.event(
+                                Tier::Router,
+                                EventKind::Brownout,
+                                0,
+                                u64::from(stage),
+                            );
+                        }
+                        lane.brownout_shed = shed_now;
+                    }
+                }
                 RouterCmd::Stats(id, reply) => {
                     let stats = lanes
                         .iter()
@@ -428,12 +553,19 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         lane.metrics.register_into(&lane.telemetry);
                     }
                     slots.register_all(&telemetry);
+                    overload.register_into(&telemetry);
                 }
                 RouterCmd::Shutdown => return,
             }
         }
 
-        // 2. Ingest guest traffic into per-lane queues.
+        // 2. Ingest guest traffic into per-lane queues. Brownout stage ≥ 1
+        // halves the configured queue-depth admission limits so the stack
+        // starts shedding earlier while degraded.
+        let admission = AdmissionLimits {
+            max_queue_depth: brownout_limit(config.max_queue_depth, brownout_stage),
+            max_slot_queue_depth: brownout_limit(config.max_slot_queue_depth, brownout_stage),
+        };
         for lane in lanes.iter_mut() {
             if lane.closed {
                 continue;
@@ -441,7 +573,7 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
             loop {
                 match lane.guest.try_recv() {
                     Ok(Some(Message::Call(req))) => {
-                        ingest_request(lane, req, &mut slots, &telemetry);
+                        ingest_request(lane, req, &mut slots, &telemetry, &admission, &overload);
                         progressed = true;
                     }
                     Ok(Some(Message::Batch(reqs))) => {
@@ -450,7 +582,9 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         // a transport framing detail, not a different kind
                         // of traffic.
                         for req in reqs {
-                            ingest_request(lane, req, &mut slots, &telemetry);
+                            ingest_request(
+                                lane, req, &mut slots, &telemetry, &admission, &overload,
+                            );
                         }
                         progressed = true;
                     }
@@ -502,7 +636,13 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
         // doorbell (sender overhead) per run instead of per call.
         let config_sched = config.scheduler;
         let slot_inflight = config.slot_inflight.max(1);
-        let run_max = config.forward_batch_max.max(1);
+        // Brownout collapses run coalescing: queued work drains with
+        // minimal added batching latency while the stack is degraded.
+        let run_max = if brownout_stage >= 1 {
+            1
+        } else {
+            config.forward_batch_max.max(1)
+        };
         let mut forwarded_round = 0usize;
         while forwarded_round < config.max_forward_per_round {
             let now = Instant::now();
@@ -532,7 +672,22 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                 let Some(front) = lane.queue.front() else {
                     break;
                 };
-                let is_sync = front.mode == CallMode::Sync;
+                // Expiry gates run before any admission spend: a call
+                // whose deadline budget lapsed while queued — or that
+                // overstayed the queue-age limit — is dropped, never
+                // forwarded. The guest has already given up on it;
+                // executing it would burn device time on dead work.
+                let wait = now.saturating_duration_since(front.enqueued_at);
+                let wait_us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+                let budget_expired = front.req.budget_us > 0 && wait_us >= front.req.budget_us;
+                let age_expired = config.max_queue_age.is_some_and(|limit| wait >= limit);
+                if budget_expired || age_expired {
+                    let dropped = lane.queue.pop_front().expect("front checked");
+                    slots.add_depth(lane.slot, -1.0, &telemetry);
+                    drop_expired(lane, &dropped.req, budget_expired, &overload);
+                    continue;
+                }
+                let is_sync = front.req.mode == CallMode::Sync;
                 if is_sync && sync_budget == 0 {
                     break;
                 }
@@ -545,8 +700,15 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         }
                     }
                 }
-                let req = lane.queue.pop_front().expect("front checked");
+                let QueuedCall { mut req, .. } = lane.queue.pop_front().expect("front checked");
                 slots.add_depth(lane.slot, -1.0, &telemetry);
+                // Re-stamp the remaining budget: the next tier (the
+                // server) measures elapsed time from *its* frame arrival,
+                // so the queue wait spent here must come off the budget
+                // now. Expiry was checked above, so at least 1 µs remains.
+                if req.budget_us > 0 {
+                    req.budget_us -= wait_us;
+                }
 
                 // Verify and cost-account against the API descriptor.
                 let mut reject = false;
@@ -646,9 +808,15 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         Message::Batch(reqs) => reqs,
                         _ => unreachable!("runs are Call or Batch frames"),
                     };
+                    // The dequeue already deducted queue wait from each
+                    // call's budget, so restarting the wait clock here
+                    // keeps budget accounting consistent.
                     for req in reqs.into_iter().rev() {
                         slots.add_depth(lane.slot, 1.0, &telemetry);
-                        lane.queue.push_front(req);
+                        lane.queue.push_front(QueuedCall {
+                            req,
+                            enqueued_at: Instant::now(),
+                        });
                     }
                 }
             }
@@ -675,6 +843,37 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
                         lane.metrics.bytes_out.add(rep.payload_bytes() as u64);
                         if rep.status == ReplyStatus::CacheMiss {
                             lane.metrics.cache_misses.inc();
+                        }
+                        // Circuit breaker: a TransportError reply is the
+                        // poison signal (server-side marshal/execute
+                        // breakage); every other status — including the
+                        // server's own Overloaded deadline discards — is
+                        // a live server and counts as success. Overload
+                        // is deliberately not conflated with poison: a
+                        // saturated tenant must shed, not quarantine.
+                        if let Some(br) = &mut lane.breaker {
+                            if rep.status == ReplyStatus::TransportError {
+                                if br.on_failure_at(Instant::now()) {
+                                    lane.metrics.breaker_opens.inc();
+                                    overload.breaker_opens.inc();
+                                    lane.telemetry.event(
+                                        Tier::Router,
+                                        EventKind::BreakerOpen,
+                                        rep.call_id,
+                                        u64::from(br.consecutive_failures()),
+                                    );
+                                }
+                            } else if br.on_success() {
+                                lane.telemetry.event(
+                                    Tier::Router,
+                                    EventKind::BreakerClose,
+                                    rep.call_id,
+                                    u64::from(br.probes_used()),
+                                );
+                            }
+                            if lane.probe_call_id == Some(rep.call_id) {
+                                lane.probe_call_id = None;
+                            }
                         }
                         // Deferred stamp, pushed before the relay below:
                         // the guest's GuestEnd fold is therefore
@@ -723,12 +922,38 @@ pub fn run_router(config: RouterConfig, cmds: Receiver<RouterCmd>) {
     }
 }
 
+/// Queue-depth admission limits in effect this loop iteration (the
+/// configured limits, halved while a brownout stage is active).
+struct AdmissionLimits {
+    max_queue_depth: Option<usize>,
+    max_slot_queue_depth: Option<usize>,
+}
+
+/// Halves a depth limit (floor 1) while a brownout stage is active, so
+/// the stack sheds earlier instead of queueing deeper while degraded.
+fn brownout_limit(limit: Option<usize>, stage: u8) -> Option<usize> {
+    limit.map(|l| if stage >= 1 { (l / 2).max(1) } else { l })
+}
+
 /// Ingests one guest call into a lane's queue with uniform per-call
 /// accounting: moved and elided byte counts, cache-hit counting, and the
 /// `Queued` span stamp for sync calls (batched or not). Only sync calls
 /// carry spans: async successes are reply-suppressed, so their spans could
 /// never complete.
-fn ingest_request(lane: &mut Lane, req: CallRequest, slots: &mut SlotTable, telemetry: &Telemetry) {
+///
+/// Admission control runs here, before any queueing: brownout-shed
+/// tenants, depth limits (per VM and per slot) and the tenant's circuit
+/// breaker each shed with [`ReplyStatus::Overloaded`] instead of letting
+/// the queue absorb load the stack cannot serve in time. Depth checks run
+/// before the breaker so a shed never wastes the one half-open probe slot.
+fn ingest_request(
+    lane: &mut Lane,
+    req: CallRequest,
+    slots: &mut SlotTable,
+    telemetry: &Telemetry,
+    admission: &AdmissionLimits,
+    overload: &OverloadMetrics,
+) {
     if lane.unavailable {
         // The server is permanently gone. Answering immediately — rather
         // than queueing toward a reply that can never come — is what
@@ -736,6 +961,34 @@ fn ingest_request(lane: &mut Lane, req: CallRequest, slots: &mut SlotTable, tele
         // of a full retry budget.
         fail_unavailable(lane, &req);
         return;
+    }
+    if lane.brownout_shed {
+        fail_overloaded(lane, &req, shed_reason::BROWNOUT, overload);
+        return;
+    }
+    if admission
+        .max_queue_depth
+        .is_some_and(|limit| lane.queue.len() >= limit)
+    {
+        fail_overloaded(lane, &req, shed_reason::QUEUE_DEPTH, overload);
+        return;
+    }
+    if let (Some(limit), Some(s)) = (admission.max_slot_queue_depth, lane.slot) {
+        if slots.entry(s, telemetry).depth.get() >= limit as f64 {
+            fail_overloaded(lane, &req, shed_reason::QUEUE_DEPTH, overload);
+            return;
+        }
+    }
+    if let Some(br) = &mut lane.breaker {
+        let now = Instant::now();
+        let half_open = br.state_at(now) == BreakerState::HalfOpen;
+        if !br.admit_at(now) {
+            fail_overloaded(lane, &req, shed_reason::BREAKER, overload);
+            return;
+        }
+        if half_open {
+            lane.probe_call_id = Some(req.call_id);
+        }
     }
     lane.metrics.bytes_in.add(req.payload_bytes() as u64);
     lane.metrics.bytes_elided.add(req.elided_bytes() as u64);
@@ -745,7 +998,73 @@ fn ingest_request(lane: &mut Lane, req: CallRequest, slots: &mut SlotTable, tele
             .span_stage_deferred(req.call_id, Stage::Queued, None);
     }
     slots.add_depth(lane.slot, 1.0, telemetry);
-    lane.queue.push_back(req);
+    lane.queue.push_back(QueuedCall {
+        req,
+        enqueued_at: Instant::now(),
+    });
+}
+
+/// Sheds one call with [`ReplyStatus::Overloaded`]. Unlike
+/// [`fail_unavailable`], async calls get the reply too: shed accounting
+/// must reconcile end to end — the guest's observed rejections and the
+/// router's shed counters describe the same set of calls.
+fn fail_overloaded(lane: &mut Lane, req: &CallRequest, reason: u64, overload: &OverloadMetrics) {
+    lane.metrics.shed.inc();
+    overload.sheds.inc();
+    lane.telemetry
+        .event(Tier::Router, EventKind::Shed, req.call_id, reason);
+    if req.mode == CallMode::Sync {
+        lane.telemetry
+            .span_stage_deferred(req.call_id, Stage::Replied, None);
+    }
+    let _ = lane
+        .guest
+        .send(&Message::Reply(CallReply::overloaded(req.call_id)));
+}
+
+/// Drops a queued call whose deadline budget (or queue-age limit) lapsed
+/// while it waited. The call never reaches the server, so the journal
+/// never records it and a later guest retry with a fresh budget is not
+/// dedup-dropped. A dropped half-open probe releases the breaker's
+/// admission slot so the next arrival can probe instead.
+fn drop_expired(
+    lane: &mut Lane,
+    req: &CallRequest,
+    budget_expired: bool,
+    overload: &OverloadMetrics,
+) {
+    if lane.probe_call_id == Some(req.call_id) {
+        lane.probe_call_id = None;
+        if let Some(br) = &mut lane.breaker {
+            br.probe_abandoned();
+        }
+    }
+    if budget_expired {
+        lane.metrics.deadline_drops.inc();
+        overload.deadline_drops.inc();
+        lane.telemetry.event(
+            Tier::Router,
+            EventKind::DeadlineDrop,
+            req.call_id,
+            req.budget_us,
+        );
+    } else {
+        lane.metrics.age_drops.inc();
+        overload.age_drops.inc();
+        lane.telemetry.event(
+            Tier::Router,
+            EventKind::Shed,
+            req.call_id,
+            shed_reason::QUEUE_AGE,
+        );
+    }
+    if req.mode == CallMode::Sync {
+        lane.telemetry
+            .span_stage_deferred(req.call_id, Stage::Replied, None);
+    }
+    let _ = lane
+        .guest
+        .send(&Message::Reply(CallReply::overloaded(req.call_id)));
 }
 
 /// Answers one call with [`ReplyStatus::Unavailable`] (sync calls only —
@@ -769,9 +1088,15 @@ fn fail_unavailable(lane: &mut Lane, req: &CallRequest) {
 
 /// Fails every queued call on a lane whose server was declared gone.
 fn fail_queued_unavailable(lane: &mut Lane, slots: &mut SlotTable, telemetry: &Telemetry) {
-    while let Some(req) = lane.queue.pop_front() {
+    while let Some(queued) = lane.queue.pop_front() {
         slots.add_depth(lane.slot, -1.0, telemetry);
-        fail_unavailable(lane, &req);
+        if lane.probe_call_id == Some(queued.req.call_id) {
+            lane.probe_call_id = None;
+            if let Some(br) = &mut lane.breaker {
+                br.probe_abandoned();
+            }
+        }
+        fail_unavailable(lane, &queued.req);
     }
 }
 
@@ -799,19 +1124,28 @@ fn pick_lane(
                 .unwrap_or(true)
         })
     };
+    // The per-tenant concurrency cap (bulkhead) bounds a lane's own
+    // in-flight calls, independent of the slot-wide budget it shares.
+    let under_cap = |lane: &Lane| -> bool {
+        lane.policy
+            .max_inflight
+            .is_none_or(|cap| lane.metrics.outstanding.get() < u64::from(cap))
+    };
     let ready = |lane: &Lane| -> bool {
         !lane.paused
             && !lane.closed
             && !lane.server_down
             && !lane.queue.is_empty()
             && slot_free(lane.slot)
+            && under_cap(lane)
     };
     let admissible = |lane: &mut Lane, now: Instant| -> bool {
         if !(!lane.paused
             && !lane.closed
             && !lane.server_down
             && !lane.queue.is_empty()
-            && slot_free(lane.slot))
+            && slot_free(lane.slot)
+            && under_cap(lane))
         {
             return false;
         }

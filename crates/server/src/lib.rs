@@ -189,6 +189,7 @@ toy_status toy_destroy(toy_buf buf) {
             fn_id: desc.by_name(name).unwrap().id,
             mode: CallMode::Sync,
             args,
+            budget_us: 0,
         }
     }
 
@@ -253,6 +254,7 @@ toy_status toy_destroy(toy_buf buf) {
             fn_id: 999,
             mode: CallMode::Sync,
             args: vec![],
+            budget_us: 0,
         });
         assert_eq!(rep.status, ReplyStatus::TransportError);
         assert_eq!(rep.call_id, 7);
@@ -525,6 +527,7 @@ toy_status toy_destroy(toy_buf buf) {
             fn_id: desc.by_name("toy_write").unwrap().id,
             mode: CallMode::Sync,
             args: vec![Value::Handle(h), arg, Value::U64(len)],
+            budget_us: 0,
         }
     }
 
@@ -648,6 +651,87 @@ toy_status toy_destroy(toy_buf buf) {
     }
 
     #[test]
+    fn expired_budget_is_discarded_without_dedup_so_a_retry_executes() {
+        use ava_transport::{CostModel, TransportKind};
+        let desc = toy_descriptor();
+        let mut server = ApiServer::new(Arc::clone(&desc), Box::new(ToyHandler::new(1024)));
+        server.set_payload_cache(8, 4);
+        let (client, server_end) =
+            ava_transport::pair(TransportKind::InProcess, CostModel::free()).unwrap();
+        let h = create_buf(&mut server, &desc, 64);
+
+        let stall = b"stall-payload".to_vec();
+        let late = b"LATE".to_vec();
+        // Call 1 stalls the lane on an unknown digest.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::CachedBytes {
+                    digest: ava_wire::digest64(&stall),
+                    len: stall.len() as u64,
+                },
+                stall.len() as u64,
+            )),
+        );
+        assert_eq!(reps[0].status, ReplyStatus::CacheMiss);
+        // Call 2 arrives with a 5ms budget and is held behind the stall.
+        let mut deadlined = write_req(&desc, 2, h, Value::Bytes(late.clone().into()), 4);
+        deadlined.budget_us = 5_000;
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(deadlined),
+        );
+        assert!(reps.is_empty(), "held call must not be answered: {reps:?}");
+        // The stall outlives call 2's budget.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                1,
+                h,
+                Value::Bytes(stall.clone().into()),
+                stall.len() as u64,
+            )),
+        );
+        assert_eq!(reps.len(), 2);
+        assert_eq!((reps[0].call_id, reps[0].status), (1, ReplyStatus::Ok));
+        assert_eq!(
+            (reps[1].call_id, reps[1].status),
+            (2, ReplyStatus::Overloaded),
+            "expired held call is discarded, not executed"
+        );
+        assert_eq!(server.stats().expired_discards, 1);
+        assert_eq!(server.stats().calls, 2, "only toy_create and call 1 ran");
+        // The discard skipped dedup state: a retry of call 2 with a fresh
+        // budget executes for real instead of being suppressed.
+        let reps = pump(
+            &mut server,
+            server_end.as_ref(),
+            client.as_ref(),
+            ava_wire::Message::Call(write_req(
+                &desc,
+                2,
+                h,
+                Value::Bytes(late.clone().into()),
+                late.len() as u64,
+            )),
+        );
+        assert_eq!((reps[0].call_id, reps[0].status), (2, ReplyStatus::Ok));
+        assert_eq!(server.stats().duplicates_suppressed, 0);
+        assert_eq!(read_buf(&mut server, &desc, h, late.len() as u64), late);
+    }
+
+    #[test]
     fn clearing_the_mirror_forces_a_nack_on_next_cached_reference() {
         use ava_transport::{CostModel, TransportKind};
         let desc = toy_descriptor();
@@ -697,6 +781,7 @@ toy_status toy_destroy(toy_buf buf) {
             fn_id: desc.by_name("toy_create").unwrap().id,
             mode: CallMode::Sync,
             args: vec![Value::U64(size)],
+            budget_us: 0,
         }
     }
 
@@ -744,6 +829,7 @@ toy_status toy_destroy(toy_buf buf) {
             fn_id: desc.by_name("toy_init").unwrap().id,
             mode: CallMode::Async,
             args: vec![Value::U32(0)],
+            budget_us: 0,
         };
         for _ in 0..2 {
             let reps = pump(

@@ -17,7 +17,7 @@
 //! [`ApiServer`]: crate::server::ApiServer
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use ava_telemetry::{Counter, Gauge, Registry};
 use ava_wire::{digest64, VmId};
@@ -134,11 +134,25 @@ impl MemoryManager {
         self.capacity
     }
 
+    /// Locks the shared accounting state, recovering from poison.
+    ///
+    /// The manager is shared by every lane thread on a device. A lane
+    /// that panics mid-update (transport torn down in the middle of a
+    /// fault-in, for example) poisons the mutex; a plain `unwrap()` in
+    /// the surviving lanes would turn one dead tenant into a cascade of
+    /// panics during shutdown. Instead we take the state as-is — the
+    /// mutation sites below use saturating arithmetic, so a
+    /// half-applied transition degrades to slightly conservative
+    /// accounting rather than an abort.
+    fn locked(&self) -> MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers (or re-registers) a buffer as resident. Re-registering
     /// an existing buffer updates its size in place without disturbing
     /// its residency side.
     pub fn alloc(&self, vm: VmId, wire: u64, bytes: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         st.clock += 1;
         let stamp = st.clock;
         match st.buffers.get_mut(&(vm, wire)) {
@@ -147,9 +161,9 @@ impl MemoryManager {
                 buf.bytes = bytes;
                 buf.last_use = stamp;
                 if buf.resident {
-                    st.resident_bytes = st.resident_bytes - old + bytes;
+                    st.resident_bytes = st.resident_bytes.saturating_sub(old) + bytes;
                 } else {
-                    st.swapped_bytes = st.swapped_bytes - old + bytes;
+                    st.swapped_bytes = st.swapped_bytes.saturating_sub(old) + bytes;
                 }
             }
             None => {
@@ -171,7 +185,7 @@ impl MemoryManager {
     /// Forgets a buffer, releasing its host-store reference if swapped.
     /// Unknown buffers are ignored (free can race a crash replay).
     pub fn free(&self, vm: VmId, wire: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         if let Some(buf) = st.buffers.remove(&(vm, wire)) {
             Self::drop_buf(&mut st, &buf);
         }
@@ -181,7 +195,7 @@ impl MemoryManager {
     /// Forgets every buffer owned by `vm` (detach, migration away, or a
     /// crash whose replay will re-register the survivors).
     pub fn free_all(&self, vm: VmId) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         let owned: Vec<(VmId, u64)> = st.buffers.keys().filter(|k| k.0 == vm).copied().collect();
         for key in owned {
             if let Some(buf) = st.buffers.remove(&key) {
@@ -193,9 +207,9 @@ impl MemoryManager {
 
     fn drop_buf(st: &mut MemState, buf: &BufState) {
         if buf.resident {
-            st.resident_bytes -= buf.bytes;
+            st.resident_bytes = st.resident_bytes.saturating_sub(buf.bytes);
         } else {
-            st.swapped_bytes -= buf.bytes;
+            st.swapped_bytes = st.swapped_bytes.saturating_sub(buf.bytes);
             if let Some(d) = buf.digest {
                 Self::store_unref(st, d);
             }
@@ -204,10 +218,12 @@ impl MemoryManager {
 
     fn store_unref(st: &mut MemState, digest: u64) {
         if let Some(entry) = st.store.get_mut(&digest) {
-            entry.refs -= 1;
+            entry.refs = entry.refs.saturating_sub(1);
             if entry.refs == 0 {
-                let gone = st.store.remove(&digest).unwrap();
-                st.host_store_bytes -= gone.data.len() as u64;
+                if let Some(gone) = st.store.remove(&digest) {
+                    st.host_store_bytes =
+                        st.host_store_bytes.saturating_sub(gone.data.len() as u64);
+                }
             }
         }
     }
@@ -215,7 +231,7 @@ impl MemoryManager {
     /// Records a use of a buffer for LRU ordering. Unknown buffers are
     /// ignored.
     pub fn touch(&self, vm: VmId, wire: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         st.clock += 1;
         let stamp = st.clock;
         if let Some(buf) = st.buffers.get_mut(&(vm, wire)) {
@@ -228,7 +244,7 @@ impl MemoryManager {
     /// stamps cannot happen; the clock is strictly monotonic) are moot,
     /// so the order is fully deterministic for a fixed touch sequence.
     pub fn evict_candidate(&self, vm: VmId) -> Option<u64> {
-        let st = self.state.lock().unwrap();
+        let st = self.locked();
         st.buffers
             .iter()
             .filter(|(k, b)| k.0 == vm && b.resident)
@@ -242,7 +258,7 @@ impl MemoryManager {
     /// Idempotent: evicting an already-swapped buffer returns the stored
     /// payload without counting a second eviction.
     pub fn note_evicted(&self, vm: VmId, wire: u64, data: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         let Some(buf) = st.buffers.get(&(vm, wire)).cloned() else {
             // Untracked buffer (no resource(device_mem) annotation):
             // nothing to account, pass the payload through.
@@ -275,11 +291,16 @@ impl MemoryManager {
                 data
             }
         };
-        let buf = st.buffers.get_mut(&(vm, wire)).unwrap();
+        let Some(buf) = st.buffers.get_mut(&(vm, wire)) else {
+            // The entry vanished between the clone above and here only if
+            // a panicking lane left the map mid-mutation; surrendering the
+            // eviction is safer than unwrapping.
+            return canonical;
+        };
         buf.resident = false;
         buf.digest = Some(digest);
         let bytes = buf.bytes;
-        st.resident_bytes -= bytes;
+        st.resident_bytes = st.resident_bytes.saturating_sub(bytes);
         st.swapped_bytes += bytes;
         st.bump_peak();
         self.evictions.inc();
@@ -291,7 +312,7 @@ impl MemoryManager {
     /// reference. Idempotent: faulting an already-resident buffer is a
     /// no-op.
     pub fn note_faulted(&self, vm: VmId, wire: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.locked();
         st.clock += 1;
         let stamp = st.clock;
         let Some(buf) = st.buffers.get_mut(&(vm, wire)) else {
@@ -304,7 +325,7 @@ impl MemoryManager {
         buf.last_use = stamp;
         let digest = buf.digest.take();
         let bytes = buf.bytes;
-        st.swapped_bytes -= bytes;
+        st.swapped_bytes = st.swapped_bytes.saturating_sub(bytes);
         st.resident_bytes += bytes;
         if let Some(d) = digest {
             Self::store_unref(&mut st, d);
@@ -318,7 +339,7 @@ impl MemoryManager {
     pub fn over_capacity(&self, incoming: u64) -> bool {
         match self.capacity {
             Some(cap) => {
-                let st = self.state.lock().unwrap();
+                let st = self.locked();
                 st.resident_bytes + incoming > cap
             }
             None => false,
@@ -333,7 +354,7 @@ impl MemoryManager {
 
     /// Total tracked footprint (resident + swapped) owned by `vm`.
     pub fn vm_bytes(&self, vm: VmId) -> u64 {
-        let st = self.state.lock().unwrap();
+        let st = self.locked();
         st.buffers
             .iter()
             .filter(|(k, _)| k.0 == vm)
@@ -343,12 +364,12 @@ impl MemoryManager {
 
     /// Bytes currently resident on the device (all VMs on this device).
     pub fn resident_bytes(&self) -> u64 {
-        self.state.lock().unwrap().resident_bytes
+        self.locked().resident_bytes
     }
 
     /// A full accounting snapshot.
     pub fn stats(&self) -> MemoryStats {
-        let st = self.state.lock().unwrap();
+        let st = self.locked();
         MemoryStats {
             resident_bytes: st.resident_bytes,
             swapped_bytes: st.swapped_bytes,
@@ -506,6 +527,37 @@ mod tests {
         assert_eq!(snap.gauges.get("mem.slot0.resident_bytes"), Some(&0.0));
         assert_eq!(snap.gauges.get("mem.slot0.swapped_bytes"), Some(&100.0));
         assert_eq!(snap.counters.get("mem.slot0.evictions"), Some(&1));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let mm = Arc::new(MemoryManager::new(Some(1024)));
+        mm.alloc(1, 10, 100);
+        mm.note_evicted(1, 10, payload(1, 100));
+        // A lane thread dies while holding the accounting lock — the
+        // shape of a transport being torn down mid-fault-in.
+        let mm2 = Arc::clone(&mm);
+        let _ = std::thread::spawn(move || {
+            let _guard = mm2.state.lock().unwrap();
+            panic!("lane died mid-fault-in");
+        })
+        .join();
+        assert!(mm.state.is_poisoned());
+        // Every entry point still works on the surviving lanes, and the
+        // shutdown path (free_all) completes cleanly.
+        mm.note_faulted(1, 10);
+        assert_eq!(mm.stats().resident_bytes, 100);
+        mm.alloc(1, 11, 50);
+        mm.touch(1, 11);
+        assert_eq!(mm.evict_candidate(1), Some(10));
+        assert!(!mm.over_capacity(0));
+        assert_eq!(mm.vm_bytes(1), 150);
+        assert_eq!(mm.resident_bytes(), 150);
+        mm.free(1, 11);
+        mm.free_all(1);
+        let s = mm.stats();
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.host_store_bytes, 0);
     }
 
     /// One step of an arbitrary workload against the manager.

@@ -241,6 +241,7 @@ mod tests {
             fn_id: 0,
             mode: CallMode::Sync,
             args: vec![],
+            budget_us: 0,
         };
         let rep = |id: u64| CallReply {
             call_id: id,

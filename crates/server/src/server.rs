@@ -10,7 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ava_spec::{
     ApiDescriptor, Direction, ElemKind, FunctionDesc, RecordCategory, RetDesc, Transfer,
@@ -57,6 +57,12 @@ pub struct ServerStats {
     /// Allocations refused for exceeding the VM's device-memory quota
     /// (each answered with a clean `QuotaExceeded` reply, not executed).
     pub quota_rejects: u64,
+    /// Calls discarded unexecuted because their deadline budget lapsed
+    /// before dispatch (in transit, or behind earlier members of the same
+    /// batch). Discards never advance the at-most-once highwater mark and
+    /// never reach the journal, so a guest retry with a fresh budget
+    /// executes instead of being dedup-dropped.
+    pub expired_discards: u64,
 }
 
 /// Registry-shareable storage behind [`ServerStats`] (`recorded` is
@@ -71,6 +77,7 @@ struct ServerCounters {
     payload_cache_misses: Counter,
     duplicates_suppressed: Counter,
     quota_rejects: Counter,
+    expired_discards: Counter,
 }
 
 impl ServerCounters {
@@ -99,6 +106,10 @@ impl ServerCounters {
             &self.duplicates_suppressed,
         );
         registry.register_counter(&format!("server.vm{vm}.quota_rejects"), &self.quota_rejects);
+        registry.register_counter(
+            &format!("server.vm{vm}.expired_discards"),
+            &self.expired_discards,
+        );
     }
 }
 
@@ -138,8 +149,10 @@ pub struct ApiServer {
     rx_cache_min_bytes: usize,
     /// Calls held back while a `CacheMiss` resend is outstanding —
     /// execution order must match send order, so nothing behind the NACKed
-    /// call may run before its retransmission arrives.
-    held: VecDeque<CallRequest>,
+    /// call may run before its retransmission arrives. Each keeps its
+    /// frame-arrival instant: a held call's deadline budget keeps burning
+    /// while it waits.
+    held: VecDeque<(CallRequest, Instant)>,
     /// The call id whose full-payload resend we are waiting for.
     stalled_on: Option<CallId>,
     /// Highest call id ever executed. Guest call ids are issued in
@@ -297,6 +310,7 @@ impl ApiServer {
             payload_cache_misses: self.counters.payload_cache_misses.get(),
             duplicates_suppressed: self.counters.duplicates_suppressed.get(),
             quota_rejects: self.counters.quota_rejects.get(),
+            expired_discards: self.counters.expired_discards.get(),
         }
     }
 
@@ -351,11 +365,17 @@ impl ApiServer {
         transport: &dyn Transport,
         msg: Message,
     ) -> std::result::Result<(), ()> {
+        // Frame arrival is the reference point for deadline budgets: the
+        // guest (or the router, re-stamping at dequeue) measured the
+        // budget when the frame left the previous tier, so elapsed time
+        // here — including time spent behind earlier members of the same
+        // batch — counts against it.
+        let arrived = Instant::now();
         match msg {
-            Message::Call(req) => self.ingest_call(transport, req),
+            Message::Call(req) => self.ingest_call(transport, req, arrived),
             Message::Batch(reqs) => {
                 for req in reqs {
-                    self.ingest_call(transport, req)?;
+                    self.ingest_call(transport, req, arrived)?;
                 }
                 Ok(())
             }
@@ -386,22 +406,23 @@ impl ApiServer {
         &mut self,
         transport: &dyn Transport,
         req: CallRequest,
+        arrived: Instant,
     ) -> std::result::Result<(), ()> {
         if let Some(waiting) = self.stalled_on {
             if req.call_id != waiting {
-                self.held.push_back(req);
+                self.held.push_back((req, arrived));
                 return Ok(());
             }
             self.stalled_on = None;
         }
-        self.try_execute(transport, req)?;
+        self.try_execute(transport, req, arrived)?;
         // Drain the held backlog until it runs dry or a held call itself
         // opens a new stall.
         while self.stalled_on.is_none() {
-            let Some(next) = self.held.pop_front() else {
+            let Some((next, next_arrived)) = self.held.pop_front() else {
                 break;
             };
-            self.try_execute(transport, next)?;
+            self.try_execute(transport, next, next_arrived)?;
         }
         Ok(())
     }
@@ -413,6 +434,7 @@ impl ApiServer {
         &mut self,
         transport: &dyn Transport,
         mut req: CallRequest,
+        arrived: Instant,
     ) -> std::result::Result<(), ()> {
         // At-most-once dedup, checked before the payload cache is touched:
         // a duplicate frame must neither re-execute (device side effects
@@ -432,6 +454,34 @@ impl ApiServer {
                 }
             }
             return Ok(());
+        }
+        // Deadline enforcement: a call whose remaining budget lapsed — in
+        // transit, behind earlier members of this frame, or while held for
+        // a cache resend — is discarded unexecuted. Crucially this takes
+        // NO execution bookkeeping: the highwater mark stays put and the
+        // journal never sees the call, so the guest's retry (stamped with
+        // a fresh budget) executes instead of being dedup-dropped.
+        if req.budget_us > 0 {
+            let elapsed_us = arrived.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            if elapsed_us >= req.budget_us {
+                self.counters.expired_discards.inc();
+                self.telemetry.event(
+                    Tier::Server,
+                    EventKind::DeadlineDrop,
+                    req.call_id,
+                    req.budget_us,
+                );
+                // Both modes are answered (unlike normal async success
+                // suppression) so guest- and stack-side overload counts
+                // reconcile.
+                if transport
+                    .send(&Message::Reply(CallReply::overloaded(req.call_id)))
+                    .is_err()
+                {
+                    return Err(());
+                }
+                return Ok(());
+            }
         }
         if !self.resolve_cached_args(&mut req) {
             self.counters.payload_cache_misses.inc();

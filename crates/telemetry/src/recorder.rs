@@ -99,6 +99,24 @@ pub enum EventKind {
     /// Server: an allocation was refused because it would exceed the VM's
     /// device-memory quota. `arg` = requested size in bytes.
     QuotaReject,
+    /// Router: admission control shed a call (queue depth/age limit,
+    /// open breaker, or brownout priority shedding). `arg` = reason
+    /// discriminant (0 queue depth, 1 queue age, 2 breaker, 3 brownout,
+    /// 4 concurrency cap).
+    Shed,
+    /// Router or server: a call's deadline budget expired while queued
+    /// and it was discarded instead of executed. `arg` = the expired
+    /// budget in microseconds as stamped on the frame.
+    DeadlineDrop,
+    /// Router: a tenant's circuit breaker opened (quarantine). `arg` =
+    /// consecutive failures observed.
+    BreakerOpen,
+    /// Router: a tenant's circuit breaker closed after a successful
+    /// half-open probe. `arg` = probes used.
+    BreakerClose,
+    /// Supervisor: brownout stage changed. `arg` = new stage (0 = exit
+    /// brownout, higher = deeper degradation).
+    Brownout,
 }
 
 impl EventKind {
@@ -121,6 +139,11 @@ impl EventKind {
             EventKind::SwapOut => "swap_out",
             EventKind::FaultIn => "fault_in",
             EventKind::QuotaReject => "quota_reject",
+            EventKind::Shed => "shed",
+            EventKind::DeadlineDrop => "deadline_drop",
+            EventKind::BreakerOpen => "breaker_open",
+            EventKind::BreakerClose => "breaker_close",
+            EventKind::Brownout => "brownout",
         }
     }
 }

@@ -466,6 +466,7 @@ mod tests {
             fn_id: 1,
             mode: CallMode::Sync,
             args: vec![Value::U64(id)],
+            budget_us: 0,
         })
     }
 

@@ -172,6 +172,7 @@ mod tests {
             fn_id: 1,
             mode: CallMode::Sync,
             args: vec![Value::Bytes(bytes::Bytes::from(vec![0u8; bytes]))],
+            budget_us: 0,
         })
     }
 

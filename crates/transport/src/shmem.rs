@@ -473,6 +473,7 @@ mod tests {
             fn_id: 9,
             mode: CallMode::Sync,
             args: vec![Value::Bytes(bytes::Bytes::from(vec![0xabu8; bytes]))],
+            budget_us: 0,
         })
     }
 

@@ -205,6 +205,7 @@ mod tests {
             fn_id: 3,
             mode: CallMode::Async,
             args: vec![Value::Bytes(bytes::Bytes::from(vec![7u8; bytes]))],
+            budget_us: 0,
         })
     }
 

@@ -17,6 +17,7 @@ fn message(id: u64, payload: &[u8]) -> Message {
             CallMode::Async
         },
         args: vec![Value::U64(id), Value::Bytes(payload.to_vec().into())],
+        budget_us: 0,
     })
 }
 

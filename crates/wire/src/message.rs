@@ -45,6 +45,12 @@ pub enum ReplyStatus {
     /// (or the operator must raise the quota) before the same allocation
     /// can succeed.
     QuotaExceeded,
+    /// The call was shed by overload protection (admission queue full,
+    /// stale beyond its age limit, tenant circuit breaker open, or a
+    /// brownout stage dropping low-priority traffic). The call was not
+    /// executed. Not immediately retryable: the guest must back off
+    /// before re-offering the work, or surface the rejection.
+    Overloaded,
 }
 
 /// A forwarded API invocation.
@@ -59,6 +65,12 @@ pub struct CallRequest {
     /// Marshaled arguments, in declaration order. Output-only buffer
     /// parameters are marshaled as their length so the server can allocate.
     pub args: Vec<Value>,
+    /// Remaining deadline budget, in microseconds, measured when the frame
+    /// left the previous tier (0 = no deadline). Each tier that holds the
+    /// call (router queue, server inbox) decrements by its own holding time
+    /// and discards the call once the budget is exhausted, so doomed work
+    /// is shed instead of executed.
+    pub budget_us: u64,
 }
 
 /// The reply to a [`CallRequest`].
@@ -168,6 +180,7 @@ impl ReplyStatus {
             ReplyStatus::CacheMiss => 3,
             ReplyStatus::Unavailable => 4,
             ReplyStatus::QuotaExceeded => 5,
+            ReplyStatus::Overloaded => 6,
         }
     }
 
@@ -179,6 +192,7 @@ impl ReplyStatus {
             3 => Ok(ReplyStatus::CacheMiss),
             4 => Ok(ReplyStatus::Unavailable),
             5 => Ok(ReplyStatus::QuotaExceeded),
+            6 => Ok(ReplyStatus::Overloaded),
             other => Err(WireError::BadDiscriminant("reply status", other)),
         }
     }
@@ -189,6 +203,7 @@ impl CallRequest {
         put_varint(buf, self.call_id);
         put_varint(buf, u64::from(self.fn_id));
         put_varint(buf, self.mode.encode_u64());
+        put_varint(buf, self.budget_us);
         put_varint(buf, self.args.len() as u64);
         for arg in &self.args {
             arg.encode(buf);
@@ -200,6 +215,7 @@ impl CallRequest {
         let fn_id = u32::try_from(get_varint(buf)?)
             .map_err(|_| WireError::BadDiscriminant("fn id", u64::MAX))?;
         let mode = CallMode::decode_u64(get_varint(buf)?)?;
+        let budget_us = get_varint(buf)?;
         let argc = get_len(buf)?;
         if argc > buf.remaining() {
             return Err(WireError::UnexpectedEof);
@@ -213,6 +229,7 @@ impl CallRequest {
             fn_id,
             mode,
             args,
+            budget_us,
         })
     }
 
@@ -281,6 +298,16 @@ impl CallReply {
         CallReply {
             call_id,
             status: ReplyStatus::TransportError,
+            ret: Value::Unit,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for an overload-shed reply.
+    pub fn overloaded(call_id: CallId) -> Self {
+        CallReply {
+            call_id,
+            status: ReplyStatus::Overloaded,
             ret: Value::Unit,
             outputs: Vec::new(),
         }
@@ -478,6 +505,7 @@ mod tests {
                 Value::Bytes(Bytes::from_static(&[1, 2, 3])),
                 Value::Null,
             ],
+            budget_us: 0,
         }
     }
 
@@ -604,6 +632,7 @@ mod tests {
                 fn_id: 1,
                 mode: CallMode::Async,
                 args: vec![],
+                budget_us: 0,
             })
             .collect();
         let msg = Message::Batch(calls);
@@ -618,6 +647,7 @@ mod tests {
             fn_id: 2,
             mode: CallMode::Sync,
             args: vec![Value::Bytes(Bytes::from(payload))],
+            budget_us: 0,
         });
         assert!(msg.encoded_size_hint() >= 1 << 20);
         assert_eq!(round_trip(&msg), msg);
@@ -679,6 +709,42 @@ mod tests {
             outputs: vec![],
         });
         assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
+    fn overloaded_reply_round_trips() {
+        let msg = Message::Reply(CallReply::overloaded(79));
+        assert_eq!(round_trip(&msg), msg);
+        if let Message::Reply(rep) = &msg {
+            assert_eq!(rep.status, ReplyStatus::Overloaded);
+        }
+    }
+
+    #[test]
+    fn deadline_budget_round_trips() {
+        for budget in [0u64, 1, 1_000, u64::MAX] {
+            let mut req = sample_call(5);
+            req.budget_us = budget;
+            let msg = Message::Call(req);
+            assert_eq!(round_trip(&msg), msg);
+            let batch = Message::Batch(vec![sample_call(1), {
+                let mut r = sample_call(2);
+                r.budget_us = budget;
+                r
+            }]);
+            assert_eq!(round_trip(&batch), batch);
+        }
+    }
+
+    #[test]
+    fn truncated_budget_fails_cleanly() {
+        let mut req = sample_call(3);
+        req.args.clear(); // budget varint is the tail of the frame
+        req.budget_us = u64::MAX;
+        let encoded = Message::Call(req).encode();
+        // Chop the multi-byte budget varint in half.
+        let truncated = encoded.slice(0..encoded.len() - 5);
+        assert!(Message::decode(truncated).is_err());
     }
 
     #[test]

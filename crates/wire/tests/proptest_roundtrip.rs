@@ -34,14 +34,27 @@ fn arb_value() -> impl Strategy<Value = Value> {
     })
 }
 
+/// Deadline budgets weighted toward the interesting edges: no deadline,
+/// tiny/zero-adjacent budgets, and overflow-sized values.
+fn arb_budget() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        1u64..10_000_000,
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+    ]
+}
+
 fn arb_call() -> impl Strategy<Value = CallRequest> {
     (
         any::<u64>(),
         any::<u32>(),
         any::<bool>(),
         proptest::collection::vec(arb_value(), 0..6),
+        arb_budget(),
     )
-        .prop_map(|(call_id, fn_id, is_async, args)| CallRequest {
+        .prop_map(|(call_id, fn_id, is_async, args, budget_us)| CallRequest {
             call_id,
             fn_id,
             mode: if is_async {
@@ -50,13 +63,14 @@ fn arb_call() -> impl Strategy<Value = CallRequest> {
                 CallMode::Sync
             },
             args,
+            budget_us,
         })
 }
 
 fn arb_reply() -> impl Strategy<Value = CallReply> {
     (
         any::<u64>(),
-        0u8..6,
+        0u8..7,
         arb_value(),
         proptest::collection::vec((any::<u32>(), arb_value()), 0..4),
     )
@@ -68,7 +82,8 @@ fn arb_reply() -> impl Strategy<Value = CallReply> {
                 2 => ReplyStatus::PolicyRejected,
                 3 => ReplyStatus::CacheMiss,
                 4 => ReplyStatus::Unavailable,
-                _ => ReplyStatus::QuotaExceeded,
+                5 => ReplyStatus::QuotaExceeded,
+                _ => ReplyStatus::Overloaded,
             },
             ret,
             outputs,
@@ -114,8 +129,9 @@ fn arb_cachey_call() -> impl Strategy<Value = CallRequest> {
         any::<u32>(),
         any::<bool>(),
         proptest::collection::vec(cachey_value, 0..5),
+        arb_budget(),
     )
-        .prop_map(|(call_id, fn_id, is_async, args)| CallRequest {
+        .prop_map(|(call_id, fn_id, is_async, args, budget_us)| CallRequest {
             call_id,
             fn_id,
             mode: if is_async {
@@ -124,6 +140,7 @@ fn arb_cachey_call() -> impl Strategy<Value = CallRequest> {
                 CallMode::Sync
             },
             args,
+            budget_us,
         })
 }
 
