@@ -2,6 +2,11 @@
 """Validate telemetry_report --smoke artifacts in CI.
 
 Usage: check_telemetry.py TRACE_JSON METRICS_PROM
+       check_telemetry.py --prom METRICS_PROM [EXTRA_REQUIRED_FAMILY...]
+
+The --prom mode validates a standalone Prometheus exposition (e.g. an
+avad /metrics scrape) without a trace file; any extra arguments name
+additional families that must be present and populated.
 
 Asserts the Chrome-trace export is machine-parseable, time-ordered, and
 carries the per-tier tracks plus the retry / recovery / rebalance / SLO
@@ -130,8 +135,19 @@ def check_prom(path):
 
 
 def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--prom":
+        REQUIRED_FAMILIES.update(sys.argv[3:])
+        n_families, n_samples = check_prom(sys.argv[2])
+        print(
+            f"check_telemetry: OK: prom {n_families} families, "
+            f"{n_samples} samples"
+        )
+        return
     if len(sys.argv) != 3:
-        fail("usage: check_telemetry.py TRACE_JSON METRICS_PROM")
+        fail(
+            "usage: check_telemetry.py TRACE_JSON METRICS_PROM | "
+            "--prom METRICS_PROM [FAMILY...]"
+        )
     n_events, n_slices, n_instants = check_trace(sys.argv[1])
     n_families, n_samples = check_prom(sys.argv[2])
     print(

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Scripted lifecycle smoke test against a real avad daemon.
+
+Boots the avad binary on a scratch port with the checked-in CI config,
+then drives the full HTTP lifecycle exactly as an external operator
+would: create two VMs under different tenants, run workloads (verifying
+repeat runs are bit-identical), scrape /metrics, live-migrate, rebalance,
+delete, and gracefully shut down — asserting /health returns 200 at
+every step along the way.
+
+Artifacts land in --outdir: the daemon log (avad.log), the /metrics
+scrape (metrics.prom, validated separately via check_telemetry.py
+--prom), and the flight-recorder trace flushed on shutdown.
+
+Stdlib only; exits non-zero with a one-line reason on the first failure.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+CI_TOKEN = "ci-front-door-token"
+DEMO_TOKEN = "demo-tenant-token"
+
+
+def fail(msg):
+    print(f"frontdoor_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Door:
+    def __init__(self, base, token):
+        self.base = base
+        self.token = token
+
+    def request(self, method, path, body=None):
+        req = urllib.request.Request(
+            self.base + path,
+            method=method,
+            data=None if body is None else json.dumps(body).encode(),
+        )
+        if self.token:
+            req.add_header("Authorization", f"Bearer {self.token}")
+        if body is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as e:
+            return e.code, e.read().decode()
+
+    def json(self, method, path, body=None, expect=200):
+        status, raw = self.request(method, path, body)
+        if status != expect:
+            fail(f"{method} {path}: expected {expect}, got {status}: {raw}")
+        return json.loads(raw) if raw else {}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--avad", default="target/release/avad")
+    ap.add_argument("--config", default="specs/configs/frontdoor_ci.toml")
+    ap.add_argument("--outdir", default="frontdoor-artifacts")
+    ap.add_argument("--port", type=int, default=7680)
+    args = ap.parse_args()
+
+    os.makedirs(args.outdir, exist_ok=True)
+
+    # Rewrite listen/flight_record so the scratch port and artifacts are
+    # under our control; everything else comes from the checked-in file.
+    with open(args.config) as f:
+        config = f.read()
+    config = re.sub(
+        r'listen\s*=\s*"[^"]*"', f'listen = "127.0.0.1:{args.port}"', config
+    )
+    trace_path = os.path.join(args.outdir, "avad_trace.json")
+    config = re.sub(
+        r'flight_record\s*=\s*"[^"]*"',
+        f'flight_record = "{trace_path}"',
+        config,
+    )
+    live_config = os.path.join(args.outdir, "frontdoor_ci.live.toml")
+    with open(live_config, "w") as f:
+        f.write(config)
+
+    log = open(os.path.join(args.outdir, "avad.log"), "w")
+    daemon = subprocess.Popen(
+        [args.avad, "serve", live_config], stdout=log, stderr=subprocess.STDOUT
+    )
+    base = f"http://127.0.0.1:{args.port}"
+    ci = Door(base, CI_TOKEN)
+    demo = Door(base, DEMO_TOKEN)
+    anon = Door(base, None)
+
+    def health_ok(stage):
+        status, raw = anon.request("GET", "/health")
+        if status != 200:
+            fail(f"/health != 200 {stage}: {status} {raw}")
+
+    try:
+        # Wait for the daemon to come up, via the same probe k8s would use.
+        deadline = time.time() + 30
+        while True:
+            try:
+                health_ok("at boot")
+                break
+            except SystemExit:
+                raise
+            except Exception:
+                if daemon.poll() is not None:
+                    fail(f"daemon exited early with {daemon.returncode}")
+                if time.time() > deadline:
+                    fail("daemon did not become healthy within 30s")
+                time.sleep(0.2)
+
+        # --- create two VMs under different tenants ---
+        vm_a = ci.json("POST", "/vms", {"name": "smoke-a"}, expect=201)["id"]
+        vm_b = demo.json("POST", "/vms", {"name": "smoke-b"}, expect=201)["id"]
+        health_ok("after create")
+
+        # --- run workloads; repeats must be bit-identical ---
+        sums_a = ci.json("POST", f"/vms/{vm_a}/run", {"workload": "kmeans", "repeat": 2})
+        if len(set(sums_a["checksums"])) != 1:
+            fail(f"kmeans repeats diverged: {sums_a}")
+        sums_b = demo.json("POST", f"/vms/{vm_b}/run", {"workload": "backprop", "repeat": 2})
+        if len(set(sums_b["checksums"])) != 1:
+            fail(f"backprop repeats diverged: {sums_b}")
+        health_ok("after runs")
+
+        # --- scrape /metrics for offline validation ---
+        status, prom = anon.request("GET", "/metrics")
+        if status != 200:
+            fail(f"/metrics: {status}")
+        with open(os.path.join(args.outdir, "metrics.prom"), "w") as f:
+            f.write(prom)
+        for family in ("ava_frontdoor_requests_total", "ava_frontdoor_vms_created_total"):
+            if family not in prom:
+                fail(f"/metrics missing {family}")
+
+        # --- rebalance across the pool, then live-migrate ---
+        for slot in (1, 0):
+            ci.json("POST", f"/vms/{vm_a}/rebalance", {"slot": slot})
+            got = ci.json("GET", f"/vms/{vm_a}/stats")["slot"]
+            if got != slot:
+                fail(f"rebalance to slot {slot} landed on {got}")
+        health_ok("after rebalance")
+
+        ci.json("POST", f"/vms/{vm_a}/migrate", {})
+        after = ci.json("POST", f"/vms/{vm_a}/run", {"workload": "kmeans", "repeat": 1})
+        if after["checksums"][0] != sums_a["checksums"][0]:
+            fail(f"migration changed the checksum: {after} vs {sums_a}")
+        health_ok("after migrate")
+
+        # --- tenant isolation sanity: demo may not touch smoke-a ---
+        status, _ = demo.request("DELETE", f"/vms/{vm_a}")
+        if status != 403:
+            fail(f"demo deleting ci's VM: expected 403, got {status}")
+
+        # --- delete both, listing must be empty ---
+        ci.json("DELETE", f"/vms/{vm_a}")
+        demo.json("DELETE", f"/vms/{vm_b}")
+        left = ci.json("GET", "/vms")["vms"]
+        if left:
+            fail(f"VMs leaked after delete: {left}")
+        health_ok("after delete")
+
+        # --- graceful shutdown: drains, flushes the flight recorder ---
+        ci.json("POST", "/shutdown", {}, expect=202)
+        if daemon.wait(timeout=30) != 0:
+            fail(f"daemon exited with {daemon.returncode}")
+        with open(trace_path) as f:
+            if "traceEvents" not in f.read():
+                fail("flight record missing traceEvents")
+
+        print(
+            "frontdoor_smoke: OK: 2 VMs, kmeans/backprop bit-identical, "
+            "rebalance+migrate+delete clean, health 200 throughout, "
+            "graceful shutdown with flight record"
+        )
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+        log.close()
+
+
+if __name__ == "__main__":
+    main()

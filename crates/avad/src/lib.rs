@@ -1,0 +1,27 @@
+//! `avad` — the AvA control-plane daemon.
+//!
+//! The production front door over the reproduction's [`ApiStack`]: a
+//! schema-validated TOML config boots the full stack (hypervisor +
+//! router + per-VM API servers), and a small hand-rolled HTTP/1.1
+//! server exposes VM lifecycle, workload execution, migration, live
+//! Prometheus metrics, and health probing — see [`daemon`] for the
+//! endpoint table and auth model, [`config`] for the schema and its
+//! cross-field validation rules.
+//!
+//! Everything here is deliberately a *projection*: the daemon adds no
+//! scheduling, placement, fault-handling or accounting semantics of its
+//! own. The workspace builds offline with no external crates, so the
+//! TOML ([`toml`]), JSON ([`json`]) and HTTP ([`http`]) layers are
+//! small in-tree implementations of exactly the subsets the control
+//! plane needs.
+//!
+//! [`ApiStack`]: ava_core::ApiStack
+
+pub mod config;
+pub mod daemon;
+pub mod http;
+pub mod json;
+pub mod toml;
+
+pub use config::{AvadConfig, Violation};
+pub use daemon::{Daemon, DaemonHandle};

@@ -1,0 +1,80 @@
+//! `avad` CLI: `avad serve [CONFIG]` boots the daemon; `avad
+//! --check-config CONFIG...` validates configs and prints **every**
+//! violation (exit 1 if any file fails, exit 2 on usage errors).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use avad::{AvadConfig, Daemon};
+
+const USAGE: &str = "usage:
+  avad serve [CONFIG.toml]        boot the daemon (default config when omitted)
+  avad --check-config FILE...     validate configs; print every violation
+  avad --help                     this text";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(args.get(1).map(String::as_str)),
+        Some("--check-config") if args.len() > 1 => check_configs(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn serve(config_path: Option<&str>) -> ExitCode {
+    let config = match config_path {
+        Some(path) => match AvadConfig::load(Path::new(path)) {
+            Ok(config) => config,
+            Err(violations) => {
+                eprintln!(
+                    "avad: {path} is invalid ({} violation(s)):",
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  {v}");
+                }
+                return ExitCode::FAILURE;
+            }
+        },
+        None => AvadConfig::default(),
+    };
+    let handle = match Daemon::start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("avad: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("avad: serving on http://{}", handle.addr());
+    handle.join();
+    println!("avad: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn check_configs(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        match AvadConfig::load(Path::new(path)) {
+            Ok(_) => println!("{path}: ok"),
+            Err(violations) => {
+                failed = true;
+                println!("{path}: {} violation(s)", violations.len());
+                for v in &violations {
+                    println!("  {v}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,214 @@
+//! Property test: any valid `AvadConfig` serialized with `to_toml`
+//! round-trips through the parser+validator unchanged. This is the
+//! contract that makes the TOML layer safe to hand-roll — whatever the
+//! daemon can be configured to, the file format can express and the
+//! validator accepts.
+
+use avad::config::{
+    AdmissionSection, AvadConfig, BreakerSection, BrownoutSection, GuestSection, PolicySection,
+    SloSection, StackSection, TenantSection,
+};
+use proptest::prelude::*;
+
+/// `proptest::option::of` equivalent (the offline shim has no `option`
+/// module): half the draws are `None`.
+fn opt<S>(s: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + std::fmt::Debug + 'static,
+{
+    (any::<bool>(), s).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicySection> {
+    (
+        opt(0.1f64..1000.0),
+        opt(1u64..64),
+        opt(1u64..16),
+        opt(0u64..8),
+        opt(1u64..32),
+        opt(1u64..1_000_000),
+    )
+        .prop_map(
+            |(rate_limit, rate_burst, weight, priority, max_inflight, device_mem_quota)| {
+                PolicySection {
+                    rate_limit,
+                    rate_burst,
+                    weight,
+                    priority,
+                    max_inflight,
+                    device_mem_quota,
+                }
+            },
+        )
+}
+
+fn arb_tenants() -> impl Strategy<Value = Vec<(String, TenantSection)>> {
+    proptest::collection::vec((0usize..3, any::<bool>(), arb_policy()), 0..3).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (name_idx, admin, policy))| {
+                let name = format!("tenant-{}{i}", ["a", "b", "c"][name_idx % 3]);
+                let tenant = TenantSection {
+                    // Unique per index, so the token-collision rule stays out
+                    // of the way of the round-trip property.
+                    token: format!("tok-{i}-{name_idx}"),
+                    admin,
+                    policy,
+                };
+                (name, tenant)
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = AvadConfig> {
+    let stack = (
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0u64..4,
+        1u64..8,
+        opt(1u64..1_000_000),
+    )
+        .prop_map(
+            |(transport, cost, sched, place, pool, inflight, capacity)| StackSection {
+                transport: ["inproc", "shmem", "tcp"][transport].to_string(),
+                cost_model: ["free", "paravirtual", "network"][cost].to_string(),
+                scheduler: ["fifo", "fair_share", "priority"][sched].to_string(),
+                placement: ["round_robin", "least_loaded", "packed"][place].to_string(),
+                pool_size: pool,
+                slot_inflight: inflight,
+                device_mem_capacity: capacity,
+                // Quota at most the capacity: always inside the 8x envelope.
+                device_mem_quota: capacity.map(|c| (c / 2).max(1)),
+                ..StackSection::default()
+            },
+        );
+    let guest = (0u64..32, 0u64..200, opt(10u64..10_000), 0u64..6).prop_map(
+        |(batch_calls, batch_delay_us, deadline, retries)| GuestSection {
+            batch_max_calls: batch_calls,
+            batch_max_delay_us: batch_delay_us,
+            call_deadline_ms: deadline,
+            max_retries: retries,
+            ..GuestSection::default()
+        },
+    );
+    let admission =
+        (1u64..64, any::<bool>(), opt(1u64..5_000)).prop_map(|(depth, with_slot, age)| {
+            AdmissionSection {
+                max_queue_depth: Some(depth + 8), // >= any slot_inflight drawn above
+                max_slot_queue_depth: if with_slot {
+                    Some((depth + 8) * 2)
+                } else {
+                    None
+                },
+                max_queue_age_ms: age,
+            }
+        });
+    let breaker = opt((1u64..16, 1u64..500, 1u64..8).prop_map(
+        |(failure_threshold, open_for_ms, probe_successes)| BreakerSection {
+            failure_threshold,
+            open_for_ms,
+            probe_successes,
+        },
+    ));
+    let slo_brownout = (
+        opt(
+            (1u64..1_000_000, 1u64..64).prop_map(|(p99, window)| SloSection {
+                p99_e2e_us: Some(p99),
+                max_retry_rate: Some(0.5),
+                min_window_calls: window,
+                ..SloSection::default()
+            }),
+        ),
+        opt(
+            (1u64..4, 0u64..4, 1u64..4).prop_map(|(stage1, extra, max_shed)| BrownoutSection {
+                stage1_burn: stage1,
+                stage2_burn: stage1 + extra,
+                max_shed,
+            }),
+        ),
+    )
+        .prop_map(|(slo, brownout)| {
+            // Brownout without a live SLO is a validation error by design;
+            // keep generated configs valid.
+            let brownout = if slo.is_some() { brownout } else { None };
+            (slo, brownout)
+        });
+
+    (
+        stack,
+        guest,
+        admission,
+        breaker,
+        slo_brownout,
+        arb_policy(),
+        arb_tenants(),
+        (any::<bool>(), 1u64..10_000),
+    )
+        .prop_map(
+            |(
+                stack,
+                guest,
+                admission,
+                breaker,
+                (slo, brownout),
+                policy,
+                tenants,
+                (hooks, drain),
+            )| {
+                // Keep every generated tenant quota inside the 8x
+                // overcommit envelope the validator enforces.
+                let envelope = stack.device_mem_capacity.map(|c| c * 8);
+                let tenants = tenants
+                    .into_iter()
+                    .map(|(name, mut tenant)| {
+                        if let (Some(limit), Some(q)) = (envelope, tenant.policy.device_mem_quota) {
+                            tenant.policy.device_mem_quota = Some(q.min(limit));
+                        }
+                        (name, tenant)
+                    })
+                    .collect();
+                let mut config = AvadConfig {
+                    stack,
+                    guest,
+                    admission,
+                    breaker,
+                    slo,
+                    brownout,
+                    policy,
+                    tenants,
+                    ..AvadConfig::default()
+                };
+                config.daemon.enable_test_hooks = hooks;
+                config.daemon.drain_timeout_ms = drain;
+                config.daemon.flight_record = hooks.then(|| "trace.json".to_string());
+                config
+            },
+        )
+}
+
+proptest! {
+    /// serialize → parse → identical struct, and the serialized form
+    /// passes validation (the generator only emits valid configs).
+    #[test]
+    fn config_round_trips_through_toml(config in arb_config()) {
+        let own_violations = config.validate();
+        prop_assert!(
+            own_violations.is_empty(),
+            "generator emitted an invalid config: {own_violations:#?}\n{config:#?}"
+        );
+        let toml = config.to_toml();
+        let reparsed = match AvadConfig::from_str(&toml) {
+            Ok(c) => c,
+            Err(violations) => {
+                return Err(TestCaseError::fail(format!(
+                    "serialized config failed to validate: {violations:#?}\n---\n{toml}"
+                )))
+            }
+        };
+        prop_assert_eq!(reparsed, config, "round-trip mismatch\n---\n{}", toml);
+    }
+}

@@ -1,0 +1,172 @@
+//! Chaos sweep through the HTTP front door: one daemon (never
+//! restarted) serving waves of short-lived tenants whose transports are
+//! seeded with fault injection — dropped replies, duplicated calls,
+//! random delays. Every workload result must stay bit-identical to a
+//! clean native run, and `/health` must answer 200 throughout.
+//!
+//! Default run is a smoke-sized sweep (2 seeds). Nightly sets
+//! `FRONTDOOR_EXTENDED=1` for the full 12-seed sweep with hundreds of
+//! short-lived tenants, and `FRONTDOOR_CHAOS_REPORT=<path>` to persist
+//! a machine-readable summary artifact.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+
+use ava_core::{opencl_stack, OpenClClient, StackConfig, VmPolicy};
+use ava_workloads::{opencl_workloads, silo_with_all_kernels, FrontDoor, Scale};
+use avad::{AvadConfig, Daemon};
+
+/// Workloads cheap enough at `Scale::Test` to run hundreds of times.
+const WORKLOADS: &[&str] = &["kmeans", "backprop", "nw", "pathfinder"];
+
+fn chaos_config() -> AvadConfig {
+    // Open mode (no [tenants]): every short-lived tenant connects with
+    // its own throwaway token. Deadlines are generous enough that a
+    // dropped reply costs one retry, not a failed run.
+    AvadConfig::from_str(
+        r#"
+[daemon]
+listen = "127.0.0.1:0"
+enable_test_hooks = true
+drain_timeout_ms = 3000
+
+[stack]
+cost_model = "free"
+pool_size = 2
+slot_inflight = 2
+
+[guest]
+call_deadline_ms = 500
+max_retries = 8
+retry_backoff_ms = 1
+"#,
+    )
+    .expect("chaos config validates")
+}
+
+/// Clean-path oracle checksums, computed once in-process.
+fn native_checksums() -> BTreeMap<&'static str, f64> {
+    let stack = opencl_stack(silo_with_all_kernels(Scale::Test), StackConfig::default()).unwrap();
+    let (_vm, lib) = stack.attach_vm(VmPolicy::default()).unwrap();
+    let client = OpenClClient::new(lib);
+    let workloads = opencl_workloads(Scale::Test);
+    WORKLOADS
+        .iter()
+        .map(|name| {
+            let w = workloads.iter().find(|w| w.name() == *name).unwrap();
+            (*name, w.run(&client).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_sweep_is_bit_identical_and_health_stays_up() {
+    let extended = std::env::var("FRONTDOOR_EXTENDED").is_ok_and(|v| v == "1");
+    let seeds: Vec<u64> = if extended {
+        (1..=12).collect()
+    } else {
+        vec![3, 9]
+    };
+    // Extended: 12 seeds x 25 tenants = 300 short-lived tenants through
+    // one daemon process.
+    let tenants_per_seed = if extended { 25 } else { 8 };
+
+    let oracle = native_checksums();
+    let handle = Daemon::start(chaos_config()).expect("daemon boots");
+    let door = FrontDoor::new(handle.addr().to_string(), "chaos-driver");
+
+    let mut runs = 0u64;
+    let mut health_checks = 0u64;
+    let mut migrations = 0u64;
+    for &seed in &seeds {
+        for i in 0..tenants_per_seed {
+            // Each "tenant" is a short-lived VM with its own faulted
+            // transport, created and destroyed within one loop pass.
+            let name = format!("tenant-s{seed}-{i}");
+            let created = door
+                .create_vm(&format!(
+                    "{{\"name\":\"{name}\",\"faults\":{{\"seed\":{}}}}}",
+                    seed.wrapping_mul(1000).wrapping_add(i)
+                ))
+                .unwrap();
+            assert_eq!(created.status, 201, "{}", created.body);
+            let vm = created.field_u64("id").unwrap();
+
+            let workload = WORKLOADS[(i as usize) % WORKLOADS.len()];
+            let run = door.run_workload(vm, workload, 1).unwrap();
+            assert_eq!(
+                run.status, 200,
+                "seed {seed} vm {vm} {workload}: {}",
+                run.body
+            );
+            let got = run.array_field("checksums").unwrap()[0]
+                .parse::<f64>()
+                .unwrap();
+            assert_eq!(
+                got, oracle[workload],
+                "seed {seed} vm {vm}: {workload} diverged under faults"
+            );
+            runs += 1;
+
+            // Every fifth tenant also survives a journal-replay
+            // migration mid-life, then re-verifies its checksum.
+            if i % 5 == 4 {
+                let migrated = door.migrate_vm(vm).unwrap();
+                assert_eq!(migrated.status, 200, "{}", migrated.body);
+                migrations += 1;
+                let rerun = door.run_workload(vm, workload, 1).unwrap();
+                assert_eq!(rerun.status, 200, "{}", rerun.body);
+                let again = rerun.array_field("checksums").unwrap()[0]
+                    .parse::<f64>()
+                    .unwrap();
+                assert_eq!(again, oracle[workload], "post-migration divergence");
+            }
+
+            let deleted = door.delete_vm(vm).unwrap();
+            assert_eq!(deleted.status, 200, "{}", deleted.body);
+
+            if i % 3 == 0 {
+                let health = door.health().unwrap();
+                assert_eq!(
+                    health.status, 200,
+                    "health dipped mid-sweep: {}",
+                    health.body
+                );
+                health_checks += 1;
+            }
+        }
+        // End-of-seed invariants: no tenant VMs leaked, daemon healthy.
+        let listing = door.list_vms().unwrap();
+        assert_eq!(listing.status, 200);
+        assert!(
+            !listing.body.contains("tenant-s"),
+            "leaked VMs after seed {seed}: {}",
+            listing.body
+        );
+        let health = door.health().unwrap();
+        assert_eq!(health.status, 200, "health down after seed {seed}");
+        health_checks += 1;
+    }
+
+    // The daemon never restarted: its served-request counter covers the
+    // whole sweep in one process.
+    let metrics = door.metrics().unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("ava_frontdoor_vms_created_total"));
+
+    if let Ok(path) = std::env::var("FRONTDOOR_CHAOS_REPORT") {
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(
+            f,
+            "{{\"seeds\":{},\"tenants\":{},\"runs\":{},\"migrations\":{},\"health_checks\":{},\"bit_identical\":true}}",
+            seeds.len(),
+            seeds.len() * tenants_per_seed as usize,
+            runs,
+            migrations,
+            health_checks
+        )
+        .unwrap();
+    }
+
+    handle.stop();
+}

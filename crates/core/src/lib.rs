@@ -44,7 +44,7 @@ pub mod stack;
 use std::sync::Arc;
 
 pub use ava_guest::{GuestConfig, GuestLibrary, GuestStats};
-pub use ava_hypervisor::{BreakerConfig, PlacementPolicy, SchedulerKind, VmPolicy};
+pub use ava_hypervisor::{BreakerConfig, PlacementPolicy, PolicyDefaults, SchedulerKind, VmPolicy};
 pub use ava_spec::LowerOptions;
 pub use ava_transport::{CostModel, TransportKind};
 pub use bindings::{MvncHandler, OpenClHandler};

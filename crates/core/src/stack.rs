@@ -105,7 +105,7 @@ impl Default for BrownoutConfig {
 }
 
 /// Stack configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StackConfig {
     /// Guest↔hypervisor transport kind.
     pub transport: TransportKind,
@@ -1057,6 +1057,20 @@ impl ApiStack {
         &self.hypervisor
     }
 
+    /// The configuration this stack was built with.
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Ids of every currently attached VM, ascending. The daemon-facing
+    /// listing primitive: control planes enumerate their tenants' VMs
+    /// through this instead of tracking attach/detach themselves.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = self.vms.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Boots a VM: attaches it to the router, starts its API server, and
     /// returns the guest library its applications link against.
     pub fn attach_vm(&self, policy: VmPolicy) -> Result<(VmId, Arc<GuestLibrary>)> {
@@ -1340,6 +1354,17 @@ impl ApiStack {
 
         self.hypervisor.resume_vm(vm)?;
         Ok(image)
+    }
+
+    /// Live-migrates a VM onto a fresh device instance built by the
+    /// stack's own handler factory — the control-plane form of
+    /// [`ApiStack::migrate_vm`], for callers (like the `avad` daemon) that
+    /// cannot supply a handler closure over the wire. Pooled VMs leave
+    /// the pool, exactly as with an explicit target handler.
+    pub fn migrate_vm_fresh(&self, vm: VmId) -> Result<()> {
+        let factory = Arc::clone(&self.handler_factory);
+        self.migrate_vm(vm, move || factory(0))?;
+        Ok(())
     }
 
     /// Wipes a VM's server-side payload cache while leaving the guest's

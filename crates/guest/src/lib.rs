@@ -54,7 +54,7 @@ impl CallResult {
 }
 
 /// Guest-library configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GuestConfig {
     /// Maximum calls coalesced into one batch; 0 disables batching.
     /// Legacy knob — [`GuestConfig::batch_max_calls`] takes precedence

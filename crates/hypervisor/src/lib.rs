@@ -25,8 +25,8 @@ use ava_wire::VmId;
 use crossbeam::channel::{unbounded, Sender};
 
 pub use policy::{
-    BreakerConfig, BreakerState, CircuitBreaker, PlacementPolicy, RateLimiter, SchedulerKind,
-    VmPolicy,
+    BreakerConfig, BreakerState, CircuitBreaker, PlacementPolicy, PolicyDefaults, RateLimiter,
+    SchedulerKind, VmPolicy,
 };
 pub use router::{RouterConfig, VmStats};
 

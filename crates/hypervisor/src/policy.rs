@@ -232,6 +232,56 @@ impl CircuitBreaker {
     }
 }
 
+/// Layered defaults for building a [`VmPolicy`] from configuration.
+///
+/// Control planes compose policies from several sources — a stack-wide
+/// default section, a per-tenant config block, and per-request overrides —
+/// each of which may set only some fields. `overlay` merges two layers
+/// (the receiver wins wherever it has a value) and `build` produces the
+/// final policy, falling back to [`VmPolicy::default`] semantics for
+/// anything still unset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyDefaults {
+    /// Sustained call rate (calls/sec) and burst size.
+    pub rate_limit: Option<(f64, u32)>,
+    /// Fair-share weight.
+    pub weight: Option<u32>,
+    /// Priority level.
+    pub priority: Option<u8>,
+    /// Device-memory quota in bytes.
+    pub device_mem_quota: Option<u64>,
+    /// Concurrency cap (calls in flight).
+    pub max_inflight: Option<u32>,
+}
+
+impl PolicyDefaults {
+    /// Merges `self` over `base`: every field set here wins, everything
+    /// else falls through to the base layer.
+    pub fn overlay(&self, base: &PolicyDefaults) -> PolicyDefaults {
+        PolicyDefaults {
+            rate_limit: self.rate_limit.or(base.rate_limit),
+            weight: self.weight.or(base.weight),
+            priority: self.priority.or(base.priority),
+            device_mem_quota: self.device_mem_quota.or(base.device_mem_quota),
+            max_inflight: self.max_inflight.or(base.max_inflight),
+        }
+    }
+
+    /// Builds the effective [`VmPolicy`], with unset fields taking the
+    /// policy defaults (weight 1, priority 0, no limits).
+    pub fn build(&self) -> VmPolicy {
+        VmPolicy {
+            rate_limit: self
+                .rate_limit
+                .map(|(rate, burst)| RateLimiter::new(rate, burst)),
+            weight: self.weight.unwrap_or(1).max(1),
+            priority: self.priority.unwrap_or(0),
+            device_mem_quota: self.device_mem_quota,
+            max_inflight: self.max_inflight.map(|n| n.max(1)),
+        }
+    }
+}
+
 /// Scheduling algorithm the router applies across VMs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
@@ -390,6 +440,54 @@ mod tests {
             rl.next_ready_in(start + Duration::from_secs(60)),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn defaults_overlay_prefers_upper_layer() {
+        let stack = PolicyDefaults {
+            rate_limit: Some((100.0, 10)),
+            weight: Some(1),
+            priority: None,
+            device_mem_quota: Some(1 << 20),
+            max_inflight: None,
+        };
+        let tenant = PolicyDefaults {
+            rate_limit: None,
+            weight: Some(4),
+            priority: Some(2),
+            device_mem_quota: None,
+            max_inflight: Some(8),
+        };
+        let merged = tenant.overlay(&stack);
+        assert_eq!(merged.rate_limit, Some((100.0, 10)), "falls through");
+        assert_eq!(merged.weight, Some(4), "tenant wins");
+        assert_eq!(merged.priority, Some(2));
+        assert_eq!(merged.device_mem_quota, Some(1 << 20));
+        assert_eq!(merged.max_inflight, Some(8));
+    }
+
+    #[test]
+    fn defaults_build_fills_policy_defaults() {
+        let built = PolicyDefaults::default().build();
+        assert!(built.rate_limit.is_none());
+        assert_eq!(built.weight, 1);
+        assert_eq!(built.priority, 0);
+        assert_eq!(built.device_mem_quota, None);
+        assert_eq!(built.max_inflight, None);
+
+        let built = PolicyDefaults {
+            rate_limit: Some((50.0, 5)),
+            weight: Some(0),
+            priority: Some(3),
+            device_mem_quota: Some(4096),
+            max_inflight: Some(0),
+        }
+        .build();
+        assert!(built.rate_limit.is_some());
+        assert_eq!(built.weight, 1, "weight floors at 1");
+        assert_eq!(built.priority, 3);
+        assert_eq!(built.device_mem_quota, Some(4096));
+        assert_eq!(built.max_inflight, Some(1), "inflight floors at 1");
     }
 
     #[test]

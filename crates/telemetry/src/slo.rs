@@ -24,7 +24,7 @@ use crate::recorder::{Event, EventKind, Tier};
 use crate::registry::Registry;
 
 /// SLO targets; `None` disables the corresponding objective.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SloConfig {
     /// Per-VM and per-slot p99 end-to-end latency target (nanoseconds),
     /// evaluated over each window's `guest.vm<N>.e2e_ns` bucket deltas.

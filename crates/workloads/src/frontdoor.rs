@@ -1,0 +1,228 @@
+//! A minimal HTTP client for the `avad` control plane.
+//!
+//! Lives in the workloads crate so chaos drivers, CI smoke scripts'
+//! example binaries, and nightly sweeps can exercise the daemon *through
+//! the front door* — the same `TcpStream` path an external tenant would
+//! use — without depending on the daemon crate (which depends on this
+//! one). Requests are HTTP/1.1 with `Connection: close`; responses are
+//! read to EOF. JSON handling is deliberately naive: the daemon emits
+//! flat, known-shape bodies, and this client only plucks scalar fields.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A front-door response: status code plus raw body.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for API endpoints, text for `/metrics`).
+    pub body: String,
+}
+
+impl HttpReply {
+    /// True for 2xx.
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Plucks a scalar JSON field (`"key":value`) from a flat body:
+    /// numbers and strings both come back as the raw token text.
+    pub fn field(&self, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":");
+        let start = self.body.find(&needle)? + needle.len();
+        let rest = &self.body[start..];
+        if let Some(quoted) = rest.strip_prefix('"') {
+            let end = quoted.find('"')?;
+            return Some(quoted[..end].to_string());
+        }
+        let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    }
+
+    /// A numeric field as u64.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field(key)?.parse().ok()
+    }
+
+    /// Every element of a flat numeric array field (`"key":[a,b,c]`),
+    /// as raw token strings — used for checksum lists, where the *text*
+    /// is compared (bit-identical f64s print identically).
+    pub fn array_field(&self, key: &str) -> Option<Vec<String>> {
+        let needle = format!("\"{key}\":[");
+        let start = self.body.find(&needle)? + needle.len();
+        let rest = &self.body[start..];
+        let end = rest.find(']')?;
+        let inner = &rest[..end];
+        if inner.is_empty() {
+            return Some(Vec::new());
+        }
+        Some(inner.split(',').map(|s| s.trim().to_string()).collect())
+    }
+}
+
+/// A typed client bound to one daemon address and bearer token.
+#[derive(Debug, Clone)]
+pub struct FrontDoor {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// Bearer token; empty = no Authorization header (open daemons).
+    pub token: String,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+/// Front-door client errors (connect/IO/protocol).
+pub type FrontDoorResult = Result<HttpReply, String>;
+
+impl FrontDoor {
+    /// A client for `addr` (`host:port` or `http://host:port`).
+    pub fn new(addr: impl Into<String>, token: impl Into<String>) -> FrontDoor {
+        let addr = addr.into();
+        let addr = addr
+            .strip_prefix("http://")
+            .map(str::to_string)
+            .unwrap_or(addr);
+        let addr = addr.trim_end_matches('/').to_string();
+        FrontDoor {
+            addr,
+            token: token.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// One request/response exchange.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> FrontDoorResult {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("socket setup: {e}"))?;
+        let auth = if self.token.is_empty() {
+            String::new()
+        } else {
+            format!("Authorization: Bearer {}\r\n", self.token)
+        };
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{auth}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("recv: {e}"))?;
+        let (head, payload) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| format!("malformed response: {raw:.80}"))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {head:.80}"))?;
+        Ok(HttpReply {
+            status,
+            body: payload.to_string(),
+        })
+    }
+
+    fn get(&self, path: &str) -> FrontDoorResult {
+        self.request("GET", path, "")
+    }
+
+    fn post(&self, path: &str, body: &str) -> FrontDoorResult {
+        self.request("POST", path, body)
+    }
+
+    /// `GET /health`.
+    pub fn health(&self) -> FrontDoorResult {
+        self.get("/health")
+    }
+
+    /// `GET /metrics` (Prometheus text).
+    pub fn metrics(&self) -> FrontDoorResult {
+        self.get("/metrics")
+    }
+
+    /// `GET /vms`.
+    pub fn list_vms(&self) -> FrontDoorResult {
+        self.get("/vms")
+    }
+
+    /// `POST /vms` with a raw JSON body (`{}` for all defaults). On
+    /// success the reply's `id` field is the new VM id.
+    pub fn create_vm(&self, body: &str) -> FrontDoorResult {
+        self.post("/vms", body)
+    }
+
+    /// `GET /vms/{id}/stats`.
+    pub fn vm_stats(&self, vm: u64) -> FrontDoorResult {
+        self.get(&format!("/vms/{vm}/stats"))
+    }
+
+    /// `POST /vms/{id}/run` for `workload`, returning the reply whose
+    /// `checksums` array carries the deterministic result(s).
+    pub fn run_workload(&self, vm: u64, workload: &str, repeat: u32) -> FrontDoorResult {
+        self.post(
+            &format!("/vms/{vm}/run"),
+            &format!("{{\"workload\":\"{workload}\",\"repeat\":{repeat}}}"),
+        )
+    }
+
+    /// `POST /vms/{id}/migrate`.
+    pub fn migrate_vm(&self, vm: u64) -> FrontDoorResult {
+        self.post(&format!("/vms/{vm}/migrate"), "")
+    }
+
+    /// `POST /vms/{id}/rebalance` to `slot`.
+    pub fn rebalance_vm(&self, vm: u64, slot: u64) -> FrontDoorResult {
+        self.post(
+            &format!("/vms/{vm}/rebalance"),
+            &format!("{{\"slot\":{slot}}}"),
+        )
+    }
+
+    /// `POST /vms/{id}/crash` (needs `daemon.enable_test_hooks`).
+    pub fn crash_vm(&self, vm: u64) -> FrontDoorResult {
+        self.post(&format!("/vms/{vm}/crash"), "")
+    }
+
+    /// `DELETE /vms/{id}`.
+    pub fn delete_vm(&self, vm: u64) -> FrontDoorResult {
+        self.request("DELETE", &format!("/vms/{vm}"), "")
+    }
+
+    /// `POST /shutdown` (admin): asks the daemon to drain and exit.
+    pub fn shutdown(&self) -> FrontDoorResult {
+        self.post("/shutdown", "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extractors_pluck_scalars_and_arrays() {
+        let reply = HttpReply {
+            status: 200,
+            body: r#"{"id":7,"name":"vm-a","slot":null,"checksums":[1.5,-2,3e-7],"empty":[]}"#
+                .to_string(),
+        };
+        assert!(reply.ok());
+        assert_eq!(reply.field_u64("id"), Some(7));
+        assert_eq!(reply.field("name").as_deref(), Some("vm-a"));
+        assert_eq!(reply.field("slot").as_deref(), Some("null"));
+        assert_eq!(
+            reply.array_field("checksums").unwrap(),
+            vec!["1.5", "-2", "3e-7"]
+        );
+        assert_eq!(reply.array_field("empty").unwrap(), Vec::<String>::new());
+        assert_eq!(reply.field("missing"), None);
+    }
+}

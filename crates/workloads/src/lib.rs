@@ -27,6 +27,7 @@
 
 pub mod backprop;
 pub mod bfs;
+pub mod frontdoor;
 pub mod gaussian;
 pub mod harness;
 pub mod hotspot;
@@ -42,6 +43,7 @@ use std::sync::Arc;
 
 use simcl::kernels::KernelRegistry;
 
+pub use frontdoor::{FrontDoor, HttpReply};
 pub use harness::{ClWorkload, Result, Scale, Session, WorkloadError, XorShift};
 pub use inception::Inception;
 
