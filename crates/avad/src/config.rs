@@ -43,6 +43,22 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Compares two secrets without short-circuiting on the first differing
+/// byte: every byte position up to the longer length is visited and
+/// folded into one accumulator, so match time does not reveal how long a
+/// correct prefix the candidate had.
+fn constant_time_eq(expected: &str, candidate: &str) -> bool {
+    let a = expected.as_bytes();
+    let b = candidate.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 fn violation(out: &mut Vec<Violation>, path: impl Into<String>, message: impl Into<String>) {
     out.push(Violation {
         path: path.into(),
@@ -958,11 +974,13 @@ impl AvadConfig {
         }
     }
 
-    /// Resolves a bearer token to its tenant.
+    /// Resolves a bearer token to its tenant. Comparison is
+    /// constant-time per candidate so a network attacker cannot guess a
+    /// token byte-by-byte off the auth boundary's timing.
     pub fn tenant_by_token(&self, token: &str) -> Option<(&str, &TenantSection)> {
         self.tenants
             .iter()
-            .find(|(_, t)| !t.token.is_empty() && t.token == token)
+            .find(|(_, t)| !t.token.is_empty() && constant_time_eq(&t.token, token))
             .map(|(name, t)| (name.as_str(), t))
     }
 

@@ -19,9 +19,12 @@
 //!
 //! **Auth.** Tenants are declared in the config with bearer tokens; every
 //! endpoint except `/health` and `/metrics` requires one. Non-admin
-//! tenants only see and manage their own VMs. A config with no tenants
-//! runs *open*: every request acts as an implicit admin (examples, local
-//! experiments).
+//! tenants only see and manage their own VMs, and the `policy` object on
+//! `POST /vms` may only *tighten* their operator-configured limits —
+//! loosening (higher rate/weight/priority/quota/concurrency) is a 403,
+//! so the config file stays the isolation boundary. A config with no
+//! tenants runs *open*: every request acts as an implicit admin
+//! (examples, local experiments).
 //!
 //! **Health.** `/health` probes a *canary* VM the daemon attaches at
 //! boot and never exposes to tenants, so liveness is judged on a lane
@@ -50,7 +53,7 @@ use ava_wire::{Message, VmId};
 use ava_workloads::{opencl_workloads, silo_with_all_kernels, Scale};
 use parking_lot::Mutex;
 
-use crate::config::AvadConfig;
+use crate::config::{AvadConfig, MAX_QUOTA_OVERCOMMIT};
 use crate::http::{Request, Response, Server, Stopper};
 use crate::json::{self, Json};
 
@@ -406,8 +409,10 @@ impl Daemon {
             .unwrap_or("vm")
             .to_string();
 
-        // Policy layering: request overrides ⊕ tenant config ⊕ stack-wide
-        // defaults.
+        // Policy layering: tenant config ⊕ stack-wide defaults form the
+        // operator-set envelope; the request body is the least-trusted
+        // layer and may only *tighten* it (admins excepted — they are
+        // the operator speaking over HTTP).
         let request_overrides = match body.get("policy") {
             Some(p) => match policy_from_json(p) {
                 Ok(d) => d,
@@ -415,9 +420,33 @@ impl Daemon {
             },
             None => PolicyDefaults::default(),
         };
-        let policy = request_overrides
-            .overlay(&self.config.tenant_defaults(&id.tenant))
-            .build();
+        // Request-supplied quotas obey the same overcommit envelope that
+        // `--check-config` enforces on config-file quotas.
+        if let (Some(capacity), Some(quota)) = (
+            self.config.stack.device_mem_capacity,
+            request_overrides.device_mem_quota,
+        ) {
+            let limit = capacity.saturating_mul(MAX_QUOTA_OVERCOMMIT);
+            if quota > limit {
+                return error_response(
+                    400,
+                    &format!(
+                        "policy.device_mem_quota {quota} exceeds {MAX_QUOTA_OVERCOMMIT}x \
+                         the device capacity ({capacity} bytes)"
+                    ),
+                );
+            }
+        }
+        let tenant_config = self.config.tenant_defaults(&id.tenant);
+        let merged = if id.admin {
+            request_overrides.overlay(&tenant_config)
+        } else {
+            match tighten_policy(&request_overrides, &tenant_config) {
+                Ok(d) => d,
+                Err(msg) => return error_response(403, &msg),
+            }
+        };
+        let policy = merged.build();
 
         let (tx_plan, rx_plan) = match body.get("faults") {
             None => (None, None),
@@ -675,6 +704,70 @@ fn stack_error_response(e: StackError) -> Response {
         _ => 500,
     };
     error_response(status, &e.to_string())
+}
+
+/// Applies a non-admin tenant's requested overrides on top of its
+/// operator-configured envelope. Config wins: each field may only move
+/// in the *tightening* direction (lower rate/burst, lower concurrency,
+/// smaller quota, lower weight/priority). Weight and priority bound
+/// against their build-time defaults (1 and 0) when unconfigured, so an
+/// absent config line is a ceiling, not a blank check. A loosening
+/// request is refused outright so the tenant learns its envelope
+/// instead of silently keeping the configured value.
+fn tighten_policy(req: &PolicyDefaults, config: &PolicyDefaults) -> Result<PolicyDefaults, String> {
+    let mut out = config.clone();
+    if let Some((rate, burst)) = req.rate_limit {
+        if let Some((max_rate, max_burst)) = config.rate_limit {
+            if rate > max_rate || burst > max_burst {
+                return Err(format!(
+                    "policy.rate_limit may not exceed the configured \
+                     {max_rate} calls/s (burst {max_burst}) for this tenant"
+                ));
+            }
+        }
+        out.rate_limit = Some((rate, burst));
+    }
+    let max_weight = config.weight.unwrap_or(1);
+    if let Some(weight) = req.weight {
+        if weight > max_weight {
+            return Err(format!(
+                "policy.weight may not exceed the configured {max_weight} for this tenant"
+            ));
+        }
+        out.weight = Some(weight);
+    }
+    let max_priority = config.priority.unwrap_or(0);
+    if let Some(priority) = req.priority {
+        if priority > max_priority {
+            return Err(format!(
+                "policy.priority may not exceed the configured {max_priority} for this tenant"
+            ));
+        }
+        out.priority = Some(priority);
+    }
+    if let Some(quota) = req.device_mem_quota {
+        if let Some(max_quota) = config.device_mem_quota {
+            if quota > max_quota {
+                return Err(format!(
+                    "policy.device_mem_quota may not exceed the configured \
+                     {max_quota} bytes for this tenant"
+                ));
+            }
+        }
+        out.device_mem_quota = Some(quota);
+    }
+    if let Some(inflight) = req.max_inflight {
+        if let Some(max_inflight) = config.max_inflight {
+            if inflight > max_inflight {
+                return Err(format!(
+                    "policy.max_inflight may not exceed the configured \
+                     {max_inflight} for this tenant"
+                ));
+            }
+        }
+        out.max_inflight = Some(inflight);
+    }
+    Ok(out)
 }
 
 /// Reads the request's `policy` object into [`PolicyDefaults`].

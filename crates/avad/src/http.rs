@@ -9,7 +9,7 @@
 //! to drain (bounded by the configured drain timeout).
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -18,9 +18,19 @@ use std::time::{Duration, Instant};
 /// bound keeps a buggy client from ballooning daemon memory.
 const MAX_BODY: usize = 1 << 20;
 
+/// Largest accepted request head (request line + all headers). Bounds
+/// memory against a client that streams an endless header line, which
+/// would otherwise grow a `String` without ever tripping the socket
+/// timeout (each read keeps succeeding).
+const MAX_HEAD: usize = 8 << 10;
+
 /// Per-connection socket timeout; a stalled client cannot pin its
 /// handler thread past this.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How often the nonblocking accept loop re-checks the stop flag when
+/// idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 /// A parsed HTTP request.
 #[derive(Debug)]
@@ -131,25 +141,39 @@ impl Server {
     /// Runs the accept loop until stopped. Each connection is handled on
     /// its own thread with `handler`; worker threads are joined before
     /// returning so no request outlives the loop unaccounted.
+    ///
+    /// The listener runs nonblocking with a short poll so the loop
+    /// observes the stop flag deterministically — shutdown cannot hinge
+    /// on a wake-up connection reaching a wildcard listen address.
     pub fn run<F>(&self, handler: F)
     where
         F: Fn(Request) -> Response + Send + Sync + 'static,
     {
         let handler = Arc::new(handler);
         let mut workers = Vec::new();
-        for conn in self.listener.incoming() {
+        // If nonblocking mode cannot be set, accept() blocks and stop()
+        // falls back to its loopback kick to wake the loop.
+        let _ = self.listener.set_nonblocking(true);
+        loop {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(stream) = conn else { continue };
-            let handler = Arc::clone(&handler);
-            let inflight = Arc::clone(&self.inflight);
-            let served = Arc::clone(&self.served);
-            inflight.fetch_add(1, Ordering::AcqRel);
-            workers.push(std::thread::spawn(move || {
-                let _ = serve_conn(stream, &*handler, &served);
-                inflight.fetch_sub(1, Ordering::AcqRel);
-            }));
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets may inherit the listener's
+                    // nonblocking mode on some platforms.
+                    let _ = stream.set_nonblocking(false);
+                    let handler = Arc::clone(&handler);
+                    let inflight = Arc::clone(&self.inflight);
+                    let served = Arc::clone(&self.served);
+                    inflight.fetch_add(1, Ordering::AcqRel);
+                    workers.push(std::thread::spawn(move || {
+                        let _ = serve_conn(stream, &*handler, &served);
+                        inflight.fetch_sub(1, Ordering::AcqRel);
+                    }));
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
             // Reap finished workers so the vec stays bounded under churn.
             workers.retain(|w| !w.is_finished());
         }
@@ -173,9 +197,19 @@ impl Stopper {
     /// `true` means a clean drain.
     pub fn stop(&self, drain_timeout: Duration) -> bool {
         self.stop.store(true, Ordering::Release);
-        // The accept call is blocking; a throwaway loopback connection
-        // wakes it so it can observe the flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        // The accept loop normally polls nonblocking and sees the flag on
+        // its own; the throwaway connection is a fallback kick for the
+        // rare platform where nonblocking mode could not be set. A
+        // wildcard bind (0.0.0.0 / [::]) is not connectable everywhere,
+        // so the kick always targets loopback on the bound port.
+        let mut kick = self.addr;
+        if kick.ip().is_unspecified() {
+            kick.set_ip(match kick.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&kick, Duration::from_millis(250));
         let deadline = Instant::now() + drain_timeout;
         while self.inflight.load(Ordering::Acquire) > 0 {
             if Instant::now() >= deadline {
@@ -203,12 +237,61 @@ where
     write_response(stream, &response)
 }
 
+/// Reads one LF-terminated line of the request head, charging stored
+/// bytes against `budget` so neither a single endless header line nor an
+/// endless stream of headers can grow memory unbounded. Once the budget
+/// is spent, further bytes are *discarded* (up to the separate `discard`
+/// allowance) rather than refused mid-stream: the caller keeps consuming
+/// to the end of the head and then answers with a clean 400 — closing
+/// with unread bytes in the socket buffer can RST the error response off
+/// the wire. Returns the stored line (CRs dropped) plus the line's true
+/// length, so a caller in discard mode can still spot the blank
+/// terminator line. EOF mid-line returns what was read.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    discard: &mut usize,
+) -> Result<(String, usize), String> {
+    let mut buf = Vec::new();
+    let mut len = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                let b = byte[0];
+                if *budget > 0 {
+                    *budget -= 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                    if b != b'\r' {
+                        buf.push(b);
+                        len += 1;
+                    }
+                } else if *discard > 0 {
+                    *discard -= 1;
+                    if b == b'\n' {
+                        break;
+                    }
+                    if b != b'\r' {
+                        len += 1;
+                    }
+                } else {
+                    return Err(format!("request head exceeds {MAX_HEAD} bytes"));
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    Ok((String::from_utf8_lossy(&buf).into_owned(), len))
+}
+
 fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, String> {
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read error: {e}"))?;
-    if line.trim().is_empty() {
+    let mut budget = MAX_HEAD;
+    let mut discard = MAX_BODY;
+    let (line, line_len) = read_line_bounded(reader, &mut budget, &mut discard)?;
+    if line_len == 0 || line.trim().is_empty() {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
@@ -219,10 +302,15 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, St
     let mut bearer = None;
     let mut content_length = 0usize;
     loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| format!("header read error: {e}"))?;
+        let (header, header_len) = read_line_bounded(reader, &mut budget, &mut discard)?;
+        if header_len == 0 {
+            break;
+        }
+        if budget == 0 {
+            // Over budget: keep consuming to the blank terminator line,
+            // parsing nothing; the error is raised after the loop.
+            continue;
+        }
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -244,6 +332,9 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, St
             }
             _ => {}
         }
+    }
+    if budget == 0 {
+        return Err(format!("request head exceeds {MAX_HEAD} bytes"));
     }
     if content_length > MAX_BODY {
         return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
@@ -325,6 +416,32 @@ mod tests {
     #[test]
     fn rejects_oversized_bodies() {
         let resp = roundtrip("POST /vms HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn rejects_endless_header_lines() {
+        // One header line larger than the whole head budget: the server
+        // must refuse with 400 instead of buffering it.
+        let raw = format!(
+            "GET /health HTTP/1.1\r\nX-Flood: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD + 1024)
+        );
+        let resp = roundtrip(&raw);
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("request head exceeds"), "{body}");
+    }
+
+    #[test]
+    fn rejects_endless_header_streams() {
+        // Many small headers summing past the budget are bounded too.
+        let mut raw = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..1024 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(64)));
+        }
+        raw.push_str("\r\n");
+        let resp = roundtrip(&raw);
         assert_eq!(resp.status, 400);
     }
 }

@@ -238,8 +238,37 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                             Some(b'/') => out.push('/'),
                             Some(b'u') => {
                                 let hex = src_slice(bytes, *pos + 1, 4)?;
-                                let code = u32::from_str_radix(hex, 16)
+                                let unit = u32::from_str_radix(hex, 16)
                                     .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                                let code = match unit {
+                                    // High surrogate: JSON encodes non-BMP
+                                    // characters as a UTF-16 pair of
+                                    // escapes, so the matching low
+                                    // surrogate must follow immediately.
+                                    0xD800..=0xDBFF => {
+                                        if bytes.get(*pos + 5) != Some(&b'\\')
+                                            || bytes.get(*pos + 6) != Some(&b'u')
+                                        {
+                                            return Err(format!(
+                                                "unpaired surrogate at byte {pos}"
+                                            ));
+                                        }
+                                        let lo_hex = src_slice(bytes, *pos + 7, 4)?;
+                                        let lo = u32::from_str_radix(lo_hex, 16)
+                                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                                            return Err(format!(
+                                                "unpaired surrogate at byte {pos}"
+                                            ));
+                                        }
+                                        *pos += 6;
+                                        0x1_0000 + ((unit - 0xD800) << 10) + (lo - 0xDC00)
+                                    }
+                                    0xDC00..=0xDFFF => {
+                                        return Err(format!("unpaired surrogate at byte {pos}"))
+                                    }
+                                    other => other,
+                                };
                                 out.push(
                                     char::from_u32(code)
                                         .ok_or_else(|| format!("bad codepoint at byte {pos}"))?,
@@ -326,6 +355,29 @@ mod tests {
             "tru",
             "{\"a\":1} x",
             "{1:2}",
+        ] {
+            assert!(parse(src).is_err(), "{src:?} should fail");
+        }
+    }
+
+    #[test]
+    fn decodes_utf16_surrogate_pairs() {
+        // Python's json.dumps (ensure_ascii default) writes non-BMP
+        // characters as surrogate-pair escapes; both halves must combine.
+        let v = parse("{\"name\":\"\\ud83d\\ude00 vm\"}").unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("\u{1F600} vm"));
+        // BMP escapes still decode alone.
+        let v = parse("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("A\u{e9}"));
+    }
+
+    #[test]
+    fn rejects_unpaired_surrogates() {
+        for src in [
+            r#""\ud83d""#,   // lone high surrogate
+            r#""\ud83d x""#, // high surrogate followed by plain text
+            r#""\ud83dA""#,  // high surrogate paired with a non-surrogate
+            r#""\ude00""#,   // lone low surrogate
         ] {
             assert!(parse(src).is_err(), "{src:?} should fail");
         }

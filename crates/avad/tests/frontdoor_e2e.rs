@@ -234,9 +234,11 @@ fn policy_overrides_flow_from_request_to_server() {
     // A request-level memory quota far too small for the data-heavy nn
     // workload: its buffer allocations must be refused by the server's
     // quota accountant — proof the per-request policy override flowed
-    // through the defaults layering down to the device.
+    // through the defaults layering down to the device. Every field here
+    // *tightens* alice's configured envelope (weight 2, inflight 8,
+    // otherwise unlimited), so the request is accepted.
     let created = alice
-        .create_vm("{\"name\":\"limited\",\"policy\":{\"device_mem_quota\":1024,\"rate_limit\":1000.0,\"weight\":3}}")
+        .create_vm("{\"name\":\"limited\",\"policy\":{\"device_mem_quota\":1024,\"rate_limit\":1000.0,\"weight\":1}}")
         .unwrap();
     assert_eq!(created.status, 201, "{}", created.body);
     let vm = created.field_u64("id").unwrap();
@@ -245,6 +247,48 @@ fn policy_overrides_flow_from_request_to_server() {
     let stats = alice.vm_stats(vm).unwrap();
     let quota_rejects = stats.field_u64("quota_rejects").unwrap_or(0);
     assert!(quota_rejects > 0, "quota never engaged: {}", stats.body);
+    handle.stop();
+}
+
+/// The request body is the least-trusted policy layer: a non-admin
+/// tenant may only tighten its operator-configured limits. Loosening
+/// attempts (the self-escalation path) are refused with 403, while an
+/// admin's overrides still win over config.
+#[test]
+fn tenants_cannot_loosen_their_configured_policy() {
+    let (handle, ops, alice) = boot(None);
+    // alice is configured with weight = 2, max_inflight = 8.
+    for (body, field) in [
+        ("{\"policy\":{\"weight\":3}}", "weight"),
+        ("{\"policy\":{\"max_inflight\":64}}", "max_inflight"),
+        ("{\"policy\":{\"priority\":5}}", "priority"),
+    ] {
+        let refused = alice.create_vm(body).unwrap();
+        assert_eq!(refused.status, 403, "{field}: {}", refused.body);
+        assert!(
+            refused.body.contains(field),
+            "{field} not named: {}",
+            refused.body
+        );
+    }
+    // Nothing leaked into the VM table.
+    let listing = alice.list_vms().unwrap();
+    assert_eq!(
+        listing.body.matches("\"id\":").count(),
+        0,
+        "{}",
+        listing.body
+    );
+
+    // Tightening the same fields is accepted.
+    let ok = alice
+        .create_vm("{\"policy\":{\"weight\":2,\"max_inflight\":4}}")
+        .unwrap();
+    assert_eq!(ok.status, 201, "{}", ok.body);
+
+    // Admins speak for the operator: the same loosening request wins.
+    let admin = ops.create_vm("{\"policy\":{\"weight\":9}}").unwrap();
+    assert_eq!(admin.status, 201, "{}", admin.body);
     handle.stop();
 }
 
@@ -273,6 +317,35 @@ fn shutdown_endpoint_drains_detaches_and_flushes_trace() {
         "daemon still answering after shutdown"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Request-supplied quotas obey the same 8x overcommit envelope that
+/// `--check-config` enforces on config-file quotas — even for admins.
+#[test]
+fn request_quotas_are_bounded_by_the_overcommit_envelope() {
+    let config = AvadConfig::from_str(
+        "[daemon]\nlisten = \"127.0.0.1:0\"\n\
+         [stack]\ncost_model = \"free\"\ndevice_mem_capacity = 1048576\n",
+    )
+    .unwrap();
+    let handle = Daemon::start(config).unwrap();
+    let anon = FrontDoor::new(handle.addr().to_string(), "");
+    // 9x the capacity: past the envelope, refused outright.
+    let refused = anon
+        .create_vm("{\"policy\":{\"device_mem_quota\":9437184}}")
+        .unwrap();
+    assert_eq!(refused.status, 400, "{}", refused.body);
+    assert!(
+        refused.body.contains("device_mem_quota"),
+        "{}",
+        refused.body
+    );
+    // 8x exactly: the envelope's edge is allowed.
+    let ok = anon
+        .create_vm("{\"policy\":{\"device_mem_quota\":8388608}}")
+        .unwrap();
+    assert_eq!(ok.status, 201, "{}", ok.body);
+    handle.stop();
 }
 
 #[test]
